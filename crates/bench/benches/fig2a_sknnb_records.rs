@@ -1,0 +1,29 @@
+//! Figure 2(a)/(b) shape check: SkNN_b time grows linearly with the number of
+//! records `n` and with the number of attributes `m`, and is dominated by
+//! SSED. Run at Criterion scale (small n, 128-bit key); the full sweep lives
+//! in the `experiments` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sknn_bench::{build_instance, time_basic, InstanceSpec};
+use std::hint::black_box;
+
+fn bench_sknnb_vs_records(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2a/sknnb_vs_n");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &m in &[6usize, 12] {
+        for &n in &[10usize, 20, 40] {
+            let instance = build_instance(InstanceSpec::new(n, m, 10, 128));
+            group.bench_with_input(
+                BenchmarkId::new(format!("m{m}"), n),
+                &n,
+                |bench, _| bench.iter(|| black_box(time_basic(&instance, 5.min(n)))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sknnb_vs_records);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 2(c) shape check: SkNN_b time is essentially independent of `k`
+//! because its cost is dominated by the SSED pass over all records.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sknn_bench::{build_instance, time_basic, InstanceSpec};
+use std::hint::black_box;
+
+fn bench_sknnb_vs_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2c/sknnb_vs_k");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let instance = build_instance(InstanceSpec::new(30, 6, 10, 128));
+    for &k in &[1usize, 5, 10, 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, _| {
+            bench.iter(|| black_box(time_basic(&instance, k)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sknnb_vs_k);
+criterion_main!(benches);

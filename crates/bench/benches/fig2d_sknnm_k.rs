@@ -1,0 +1,28 @@
+//! Figure 2(d)/(e) shape check: SkNN_m time grows roughly linearly with `k`
+//! (one SMIN_n tournament plus one freeze pass per returned neighbor) and
+//! with the distance-domain bit length `l`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sknn_bench::{build_instance, time_secure, InstanceSpec};
+use std::hint::black_box;
+
+fn bench_sknnm_vs_k_and_l(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2d/sknnm_vs_k");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &l in &[6usize, 12] {
+        let instance = build_instance(InstanceSpec::new(10, 6, l, 128));
+        for &k in &[1usize, 2, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("l{l}"), k),
+                &k,
+                |bench, _| bench.iter(|| black_box(time_secure(&instance, k, l))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sknnm_vs_k_and_l);
+criterion_main!(benches);

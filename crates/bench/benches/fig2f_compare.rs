@@ -1,0 +1,28 @@
+//! Figure 2(f) shape check: for the same query, the fully secure SkNN_m costs
+//! one to two orders of magnitude more than SkNN_b, and the gap widens with k
+//! while SkNN_b stays flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sknn_bench::{build_instance, time_basic, time_secure, InstanceSpec};
+use std::hint::black_box;
+
+fn bench_protocol_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2f/basic_vs_secure");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let l = 6;
+    let instance = build_instance(InstanceSpec::new(10, 6, l, 128));
+    for &k in &[1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("basic", k), &k, |bench, _| {
+            bench.iter(|| black_box(time_basic(&instance, k)))
+        });
+        group.bench_with_input(BenchmarkId::new("secure", k), &k, |bench, _| {
+            bench.iter(|| black_box(time_secure(&instance, k, l)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocol_comparison);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 3 shape check: the record-parallel SkNN_b implementation scales
+//! with the number of worker threads, at identical results.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sknn_bench::{build_instance, time_basic, InstanceSpec};
+use std::hint::black_box;
+
+fn bench_parallel_sknnb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3/parallel_sknnb");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let n = 60;
+    for &threads in &[1usize, 2, 4, 6] {
+        let instance = build_instance(InstanceSpec {
+            threads,
+            ..InstanceSpec::new(n, 6, 10, 128)
+        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |bench, _| bench.iter(|| black_box(time_basic(&instance, 5))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_sknnb);
+criterion_main!(benches);

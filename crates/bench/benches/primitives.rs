@@ -1,0 +1,117 @@
+//! Benchmarks of the six secure sub-protocols (Section 3 of the paper):
+//! SM, SSED, SBD, SMIN, SMIN_n and SBOR, plus the batched-vs-individual SM
+//! ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sknn_bench::cached_keypair;
+use sknn_paillier::{Ciphertext, PublicKey};
+use sknn_protocols::{
+    secure_bit_decompose, secure_bit_or, secure_min, secure_min_n, secure_multiply,
+    secure_multiply_batch, secure_squared_distance, LocalKeyHolder,
+};
+use std::hint::black_box;
+
+const KEY_BITS: usize = 256;
+
+fn setup() -> (PublicKey, LocalKeyHolder, StdRng) {
+    let (pk, sk) = cached_keypair(KEY_BITS).split();
+    let holder = LocalKeyHolder::new(sk, 21);
+    (pk, holder, StdRng::seed_from_u64(22))
+}
+
+fn encrypt_bits(pk: &PublicKey, value: u64, l: usize, rng: &mut StdRng) -> Vec<Ciphertext> {
+    (0..l)
+        .rev()
+        .map(|i| pk.encrypt_u64((value >> i) & 1, rng))
+        .collect()
+}
+
+fn bench_sm_and_sbor(c: &mut Criterion) {
+    let (pk, holder, mut rng) = setup();
+    let mut group = c.benchmark_group("primitives/sm_sbor");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let a = pk.encrypt_u64(59, &mut rng);
+    let b = pk.encrypt_u64(58, &mut rng);
+    group.bench_function("sm_single", |bench| {
+        bench.iter(|| black_box(secure_multiply(&pk, &holder, &a, &b, &mut rng)))
+    });
+    for batch in [8usize, 32] {
+        let pairs: Vec<_> = (0..batch).map(|_| (a.clone(), b.clone())).collect();
+        group.bench_with_input(BenchmarkId::new("sm_batched", batch), &batch, |bench, _| {
+            bench.iter(|| black_box(secure_multiply_batch(&pk, &holder, &pairs, &mut rng)))
+        });
+    }
+    let bit0 = pk.encrypt_u64(0, &mut rng);
+    let bit1 = pk.encrypt_u64(1, &mut rng);
+    group.bench_function("sbor", |bench| {
+        bench.iter(|| black_box(secure_bit_or(&pk, &holder, &bit0, &bit1, &mut rng)))
+    });
+    group.finish();
+}
+
+fn bench_ssed(c: &mut Criterion) {
+    let (pk, holder, mut rng) = setup();
+    let mut group = c.benchmark_group("primitives/ssed");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for m in [6usize, 12, 18] {
+        let x: Vec<_> = (0..m as u64).map(|v| pk.encrypt_u64(v * 3, &mut rng)).collect();
+        let y: Vec<_> = (0..m as u64).map(|v| pk.encrypt_u64(v + 7, &mut rng)).collect();
+        group.bench_with_input(BenchmarkId::new("m", m), &m, |bench, _| {
+            bench.iter(|| {
+                black_box(secure_squared_distance(&pk, &holder, &x, &y, &mut rng).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sbd(c: &mut Criterion) {
+    let (pk, holder, mut rng) = setup();
+    let mut group = c.benchmark_group("primitives/sbd");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for l in [6usize, 12] {
+        let z = pk.encrypt_u64(41 % (1 << l), &mut rng);
+        group.bench_with_input(BenchmarkId::new("l", l), &l, |bench, _| {
+            bench.iter(|| {
+                black_box(secure_bit_decompose(&pk, &holder, &z, l, &mut rng).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_smin(c: &mut Criterion) {
+    let (pk, holder, mut rng) = setup();
+    let mut group = c.benchmark_group("primitives/smin");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for l in [6usize, 12] {
+        let u = encrypt_bits(&pk, 23 % (1 << l), l, &mut rng);
+        let v = encrypt_bits(&pk, 19 % (1 << l), l, &mut rng);
+        group.bench_with_input(BenchmarkId::new("smin_l", l), &l, |bench, _| {
+            bench.iter(|| black_box(secure_min(&pk, &holder, &u, &v, &mut rng).unwrap()))
+        });
+    }
+    for n in [4usize, 8] {
+        let l = 6;
+        let values: Vec<_> = (0..n as u64)
+            .map(|i| encrypt_bits(&pk, (i * 11 + 3) % 64, l, &mut rng))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("smin_n", n), &n, |bench, _| {
+            bench.iter(|| black_box(secure_min_n(&pk, &holder, &values, &mut rng).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sm_and_sbor, bench_ssed, bench_sbd, bench_smin);
+criterion_main!(benches);

@@ -1,0 +1,261 @@
+//! Regenerates every figure of the paper's evaluation (Section 5).
+//!
+//! ```text
+//! cargo run --release -p sknn-bench --bin experiments -- <experiment> [--scale smoke|paper-shape|paper]
+//!
+//! experiments:
+//!   fig2a      SkNN_b time vs n for m ∈ {6,12,18}        (k = 5, small key)
+//!   fig2b      SkNN_b time vs n for m ∈ {6,12,18}        (k = 5, large key)
+//!   fig2c      SkNN_b time vs k for both key sizes        (m = 6)
+//!   fig2d      SkNN_m time vs k for l ∈ {6,12}            (small key)
+//!   fig2e      SkNN_m time vs k for l ∈ {6,12}            (large key)
+//!   fig2f      SkNN_b vs SkNN_m time vs k                 (l = 6, small key)
+//!   fig3       serial vs parallel SkNN_b time vs n        (k = 5, small key)
+//!   breakdown  SMIN_n share of SkNN_m cost vs k           (Section 5.2 claim)
+//!   bob-cost   Bob's query-encryption cost vs key size    (Section 5.2 claim)
+//!   keysize    SkNN_b cost ratio when the key size doubles (Section 5.1 claim)
+//!   all        every experiment above, in order
+//! ```
+//!
+//! Output is a whitespace-aligned table per experiment (one row per plotted
+//! point), matching the series of the corresponding figure. The `--scale`
+//! presets are described in `sknn-bench`'s crate documentation and in
+//! EXPERIMENTS.md.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sknn_bench::{
+    build_instance, cached_keypair, secs, time_basic, time_secure, InstanceSpec, Scale,
+    HARNESS_SEED,
+};
+use sknn_core::{QueryUser, Stage};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiment = String::from("all");
+    let mut scale = Scale::PaperShape;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let value = iter.next().map(String::as_str).unwrap_or("");
+                scale = Scale::parse(value).unwrap_or_else(|| {
+                    eprintln!("unknown scale '{value}' (expected smoke | paper-shape | paper)");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!("see the module documentation at the top of experiments.rs");
+                return;
+            }
+            name => experiment = name.to_string(),
+        }
+    }
+
+    println!("# sknn experiment harness — scale: {scale:?}");
+    println!("# (times in seconds; series match the figures of Elmehdwi et al., ICDE 2014)\n");
+
+    match experiment.as_str() {
+        "fig2a" => fig2ab(scale, false),
+        "fig2b" => fig2ab(scale, true),
+        "fig2c" => fig2c(scale),
+        "fig2d" => fig2de(scale, false),
+        "fig2e" => fig2de(scale, true),
+        "fig2f" => fig2f(scale),
+        "fig3" => fig3(scale),
+        "breakdown" => breakdown(scale),
+        "bob-cost" => bob_cost(scale),
+        "keysize" => keysize(scale),
+        "all" => {
+            fig2ab(scale, false);
+            fig2ab(scale, true);
+            fig2c(scale);
+            fig2de(scale, false);
+            fig2de(scale, true);
+            fig2f(scale);
+            fig3(scale);
+            breakdown(scale);
+            bob_cost(scale);
+            keysize(scale);
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Figures 2(a) and 2(b): SkNN_b time vs number of records, one series per m.
+fn fig2ab(scale: Scale, large_key: bool) {
+    let (small, large) = scale.key_sizes();
+    let key_bits = if large_key { large } else { small };
+    let fig = if large_key { "2(b)" } else { "2(a)" };
+    let k = 5.min(scale.record_sweep()[0]);
+    println!("## Figure {fig}: SkNN_b, k = {k}, K = {key_bits} bits");
+    println!("{:>8} {:>6} {:>12}", "n", "m", "time_s");
+    for &m in &scale.attribute_sweep() {
+        for &n in &scale.record_sweep() {
+            let instance = build_instance(InstanceSpec::new(n, m, 12, key_bits));
+            let elapsed = time_basic(&instance, k);
+            println!("{n:>8} {m:>6} {:>12}", secs(elapsed));
+        }
+    }
+    println!();
+}
+
+/// Figure 2(c): SkNN_b time vs k, one series per key size.
+fn fig2c(scale: Scale) {
+    let (small, large) = scale.key_sizes();
+    let n = scale.basic_k_sweep_records();
+    println!("## Figure 2(c): SkNN_b, m = 6, n = {n}");
+    println!("{:>8} {:>6} {:>12}", "k", "K", "time_s");
+    for &key_bits in &[small, large] {
+        let instance = build_instance(InstanceSpec::new(n, 6, 12, key_bits));
+        for &k in &scale.k_sweep() {
+            let k = k.min(n);
+            let elapsed = time_basic(&instance, k);
+            println!("{k:>8} {key_bits:>6} {:>12}", secs(elapsed));
+        }
+    }
+    println!();
+}
+
+/// Figures 2(d) and 2(e): SkNN_m time vs k, one series per l.
+fn fig2de(scale: Scale, large_key: bool) {
+    let (small, large) = scale.key_sizes();
+    let key_bits = if large_key { large } else { small };
+    let fig = if large_key { "2(e)" } else { "2(d)" };
+    let n = scale.secure_records();
+    println!("## Figure {fig}: SkNN_m, m = 6, n = {n}, K = {key_bits} bits");
+    println!("{:>8} {:>6} {:>12}", "k", "l", "time_s");
+    for &l in &scale.distance_bit_sweep() {
+        let instance = build_instance(InstanceSpec::new(n, 6, l, key_bits));
+        for &k in &scale.k_sweep() {
+            let k = k.min(n);
+            let elapsed = time_secure(&instance, k, l);
+            println!("{k:>8} {l:>6} {:>12}", secs(elapsed));
+        }
+    }
+    println!();
+}
+
+/// Figure 2(f): SkNN_b vs SkNN_m time vs k.
+fn fig2f(scale: Scale) {
+    let (small, _) = scale.key_sizes();
+    let n = scale.secure_records();
+    let l = scale.distance_bit_sweep()[0];
+    println!("## Figure 2(f): SkNN_b vs SkNN_m, m = 6, n = {n}, l = {l}, K = {small} bits");
+    println!("{:>8} {:>12} {:>12}", "k", "basic_s", "secure_s");
+    let instance = build_instance(InstanceSpec::new(n, 6, l, small));
+    for &k in &scale.k_sweep() {
+        let k = k.min(n);
+        let basic = time_basic(&instance, k);
+        let secure = time_secure(&instance, k, l);
+        println!("{k:>8} {:>12} {:>12}", secs(basic), secs(secure));
+    }
+    println!();
+}
+
+/// Figure 3: serial vs parallel SkNN_b time vs n.
+fn fig3(scale: Scale) {
+    let (small, _) = scale.key_sizes();
+    let k = 5.min(scale.record_sweep()[0]);
+    let threads = 6;
+    println!("## Figure 3: SkNN_b serial vs parallel ({threads} threads), m = 6, k = {k}, K = {small} bits");
+    println!("{:>8} {:>12} {:>12} {:>9}", "n", "serial_s", "parallel_s", "speedup");
+    for &n in &scale.record_sweep() {
+        let serial = build_instance(InstanceSpec::new(n, 6, 12, small));
+        let serial_time = time_basic(&serial, k);
+        let parallel = build_instance(InstanceSpec {
+            threads,
+            ..InstanceSpec::new(n, 6, 12, small)
+        });
+        let parallel_time = time_basic(&parallel, k);
+        println!(
+            "{n:>8} {:>12} {:>12} {:>8.2}x",
+            secs(serial_time),
+            secs(parallel_time),
+            serial_time.as_secs_f64() / parallel_time.as_secs_f64()
+        );
+    }
+    println!();
+}
+
+/// Section 5.2: the share of SkNN_m's cost spent inside SMIN_n grows from
+/// ≈70% to ≈75% as k grows from 5 to 25.
+fn breakdown(scale: Scale) {
+    let (small, _) = scale.key_sizes();
+    let n = scale.secure_records();
+    let l = scale.distance_bit_sweep()[0];
+    println!("## Cost breakdown of SkNN_m (Section 5.2), m = 6, n = {n}, l = {l}, K = {small} bits");
+    println!(
+        "{:>8} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        "k", "total_s", "smin_n_%", "ssed_%", "sbd_%", "other_%"
+    );
+    let ks = scale.k_sweep();
+    let endpoints = [*ks.first().expect("non-empty sweep"), *ks.last().expect("non-empty sweep")];
+    for &k in &endpoints {
+        let k = k.min(n);
+        let instance = build_instance(InstanceSpec::new(n, 6, l, small));
+        let mut rng = StdRng::seed_from_u64(HARNESS_SEED ^ 0xBD);
+        let result = instance
+            .federation
+            .query_secure_with_bits(&instance.query, k, l, &mut rng)
+            .expect("secure query");
+        let p = &result.profile;
+        let smin = p.fraction(Stage::SecureMinimum) * 100.0;
+        let ssed = p.fraction(Stage::DistanceComputation) * 100.0;
+        let sbd = p.fraction(Stage::BitDecomposition) * 100.0;
+        let other = 100.0 - smin - ssed - sbd;
+        println!(
+            "{k:>8} {:>12} {smin:>9.1}% {ssed:>9.1}% {sbd:>9.1}% {other:>9.1}%",
+            secs(p.total())
+        );
+    }
+    println!();
+}
+
+/// Section 5.2: Bob's only cost is encrypting his query (≈4 ms at K = 512,
+/// ≈17 ms at K = 1024 for m = 6 in the paper).
+fn bob_cost(scale: Scale) {
+    let (small, large) = scale.key_sizes();
+    let m = 6;
+    println!("## Bob's query-encryption cost (Section 5.2), m = {m}");
+    println!("{:>8} {:>14}", "K", "encrypt_ms");
+    for &key_bits in &[small, large] {
+        let keypair = cached_keypair(key_bits);
+        let user = QueryUser::new(keypair.public_key().clone());
+        let mut rng = StdRng::seed_from_u64(HARNESS_SEED ^ 0xB0B);
+        let query: Vec<u64> = (0..m as u64).map(|i| 37 * i + 5).collect();
+        // Average over several encryptions for a stable number.
+        let reps = 10;
+        let start = Instant::now();
+        for _ in 0..reps {
+            let _ = user.encrypt_query(&query, &mut rng);
+        }
+        let per_query = start.elapsed() / reps;
+        println!("{key_bits:>8} {:>14.2}", per_query.as_secs_f64() * 1000.0);
+    }
+    println!();
+}
+
+/// Section 5.1: doubling the key size multiplies SkNN_b's cost by ≈7.
+fn keysize(scale: Scale) {
+    let (small, large) = scale.key_sizes();
+    let n = scale.basic_k_sweep_records();
+    let k = 5.min(n);
+    println!("## Key-size scaling of SkNN_b (Section 5.1), n = {n}, m = 6, k = {k}");
+    println!("{:>8} {:>12}", "K", "time_s");
+    let small_instance = build_instance(InstanceSpec::new(n, 6, 12, small));
+    let small_time = time_basic(&small_instance, k);
+    println!("{small:>8} {:>12}", secs(small_time));
+    let large_instance = build_instance(InstanceSpec::new(n, 6, 12, large));
+    let large_time = time_basic(&large_instance, k);
+    println!("{large:>8} {:>12}", secs(large_time));
+    println!(
+        "# ratio when K doubles: {:.2}x (paper reports ≈7x)",
+        large_time.as_secs_f64() / small_time.as_secs_f64()
+    );
+    println!();
+}

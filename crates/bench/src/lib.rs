@@ -1,0 +1,270 @@
+//! Shared harness code for the Criterion benchmarks and the `experiments`
+//! binary that regenerates the figures of the paper's evaluation (Section 5).
+//!
+//! The paper's absolute numbers come from a C + GMP implementation running for
+//! minutes to hours per data point; reproducing the *shape* of every figure
+//! does not require that scale, so the harness supports three presets
+//! ([`Scale`]): `smoke` for CI, `paper-shape` (default) for down-scaled sweeps
+//! that preserve every reported trend, and `paper` for the exact parameters of
+//! the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sknn_core::{DataOwner, Federation, FederationConfig, Keypair};
+use sknn_data::{uniform_query, SyntheticDataset};
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Experiment scale preset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-long sanity runs (used by `cargo bench` and CI).
+    Smoke,
+    /// Down-scaled sweeps that preserve the paper's trends (default).
+    PaperShape,
+    /// The exact parameters of the paper (hours of compute).
+    Paper,
+}
+
+impl Scale {
+    /// Parses `smoke` / `paper-shape` / `paper`.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "smoke" => Some(Scale::Smoke),
+            "paper-shape" | "papershape" | "shape" => Some(Scale::PaperShape),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// Record-count sweep for the SkNN_b figures (2(a), 2(b), 3).
+    pub fn record_sweep(&self) -> Vec<usize> {
+        match self {
+            Scale::Smoke => vec![20, 40],
+            Scale::PaperShape => vec![100, 200, 300, 400, 500],
+            Scale::Paper => vec![2000, 4000, 6000, 8000, 10000],
+        }
+    }
+
+    /// Attribute-count sweep for Figures 2(a)–(b).
+    pub fn attribute_sweep(&self) -> Vec<usize> {
+        match self {
+            Scale::Smoke => vec![6],
+            _ => vec![6, 12, 18],
+        }
+    }
+
+    /// Neighbor-count sweep for Figures 2(c)–(f).
+    pub fn k_sweep(&self) -> Vec<usize> {
+        match self {
+            Scale::Smoke => vec![1, 2],
+            _ => vec![5, 10, 15, 20, 25],
+        }
+    }
+
+    /// Key sizes standing in for the paper's (512, 1024) pair.
+    pub fn key_sizes(&self) -> (usize, usize) {
+        match self {
+            Scale::Smoke => (128, 256),
+            Scale::PaperShape => (256, 512),
+            Scale::Paper => (512, 1024),
+        }
+    }
+
+    /// Number of records used in the k-sweeps of SkNN_b (Figure 2(c)).
+    pub fn basic_k_sweep_records(&self) -> usize {
+        match self {
+            Scale::Smoke => 30,
+            Scale::PaperShape => 200,
+            Scale::Paper => 2000,
+        }
+    }
+
+    /// Number of records used in the SkNN_m figures (2(d)–(f)).
+    pub fn secure_records(&self) -> usize {
+        match self {
+            Scale::Smoke => 10,
+            Scale::PaperShape => 50,
+            Scale::Paper => 2000,
+        }
+    }
+
+    /// Distance-domain sweep for Figures 2(d)–(e).
+    pub fn distance_bit_sweep(&self) -> Vec<usize> {
+        match self {
+            Scale::Smoke => vec![6],
+            _ => vec![6, 12],
+        }
+    }
+}
+
+/// One prepared benchmark instance: an outsourced synthetic dataset and a
+/// query drawn from the same domain.
+pub struct Instance {
+    /// The ready-to-query federation (clouds already hold the data/keys).
+    pub federation: Federation,
+    /// The plaintext query used against it.
+    pub query: Vec<u64>,
+    /// The number of records outsourced.
+    pub records: usize,
+    /// The number of attributes per record.
+    pub attributes: usize,
+    /// The distance-domain bit length used for secure queries.
+    pub distance_bits: usize,
+    /// The Paillier key size in bits.
+    pub key_bits: usize,
+}
+
+/// Parameters describing an instance to prepare.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct InstanceSpec {
+    /// Number of records (`n`).
+    pub records: usize,
+    /// Number of attributes (`m`).
+    pub attributes: usize,
+    /// Distance-domain bits (`l`).
+    pub distance_bits: usize,
+    /// Paillier key size (`K`).
+    pub key_bits: usize,
+    /// Worker threads for the record-parallel stages.
+    pub threads: usize,
+}
+
+impl InstanceSpec {
+    /// A serial instance spec.
+    pub fn new(records: usize, attributes: usize, distance_bits: usize, key_bits: usize) -> Self {
+        InstanceSpec {
+            records,
+            attributes,
+            distance_bits,
+            key_bits,
+            threads: 1,
+        }
+    }
+}
+
+/// Deterministic seed used everywhere so experiment output is reproducible.
+pub const HARNESS_SEED: u64 = 0x5EED_2014;
+
+fn keypair_cache() -> &'static Mutex<HashMap<usize, Keypair>> {
+    static CACHE: std::sync::OnceLock<Mutex<HashMap<usize, Keypair>>> = std::sync::OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Returns a cached key pair of the requested size (key generation is
+/// expensive and irrelevant to the query-time figures being reproduced).
+pub fn cached_keypair(key_bits: usize) -> Keypair {
+    let mut cache = keypair_cache().lock().expect("keypair cache poisoned");
+    cache
+        .entry(key_bits)
+        .or_insert_with(|| {
+            let mut rng = StdRng::seed_from_u64(HARNESS_SEED ^ key_bits as u64);
+            Keypair::generate(key_bits, &mut rng)
+        })
+        .clone()
+}
+
+/// Builds a ready-to-query instance for the given spec.
+pub fn build_instance(spec: InstanceSpec) -> Instance {
+    let mut rng = StdRng::seed_from_u64(
+        HARNESS_SEED
+            .wrapping_mul(31)
+            .wrapping_add(spec.records as u64)
+            .wrapping_add((spec.attributes as u64) << 20)
+            .wrapping_add((spec.distance_bits as u64) << 40),
+    );
+    let dataset = SyntheticDataset::uniform(spec.records, spec.attributes, spec.distance_bits, &mut rng);
+    let query = uniform_query(spec.attributes, dataset.max_value, &mut rng);
+    let owner = DataOwner::from_keypair(cached_keypair(spec.key_bits));
+    let federation = Federation::setup_with_owner(
+        owner,
+        &dataset.table,
+        FederationConfig {
+            key_bits: spec.key_bits,
+            distance_bits: Some(spec.distance_bits),
+            max_query_value: dataset.max_value,
+            threads: spec.threads,
+            ..Default::default()
+        },
+        &mut rng,
+    )
+    .expect("benchmark instance setup");
+    Instance {
+        federation,
+        query,
+        records: spec.records,
+        attributes: spec.attributes,
+        distance_bits: spec.distance_bits,
+        key_bits: spec.key_bits,
+    }
+}
+
+/// Times one SkNN_b query on the instance.
+pub fn time_basic(instance: &Instance, k: usize) -> Duration {
+    let mut rng = StdRng::seed_from_u64(HARNESS_SEED ^ 0xB);
+    let start = Instant::now();
+    instance
+        .federation
+        .query_basic(&instance.query, k, &mut rng)
+        .expect("basic query");
+    start.elapsed()
+}
+
+/// Times one SkNN_m query on the instance with an explicit `l`.
+pub fn time_secure(instance: &Instance, k: usize, l: usize) -> Duration {
+    let mut rng = StdRng::seed_from_u64(HARNESS_SEED ^ 0x5);
+    let start = Instant::now();
+    instance
+        .federation
+        .query_secure_with_bits(&instance.query, k, l, &mut rng)
+        .expect("secure query");
+    start.elapsed()
+}
+
+/// Formats a duration as fractional seconds for the experiment tables.
+pub fn secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("smoke"), Some(Scale::Smoke));
+        assert_eq!(Scale::parse("paper-shape"), Some(Scale::PaperShape));
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn sweeps_grow_with_scale() {
+        assert!(Scale::Smoke.record_sweep().len() <= Scale::Paper.record_sweep().len());
+        assert_eq!(Scale::Paper.record_sweep().last(), Some(&10000));
+        assert_eq!(Scale::Paper.key_sizes(), (512, 1024));
+        assert_eq!(Scale::PaperShape.k_sweep(), vec![5, 10, 15, 20, 25]);
+    }
+
+    #[test]
+    fn instances_are_buildable_and_queryable_at_smoke_scale() {
+        let spec = InstanceSpec::new(12, 3, 8, 128);
+        let instance = build_instance(spec);
+        assert_eq!(instance.records, 12);
+        let basic = time_basic(&instance, 2);
+        let secure = time_secure(&instance, 2, 8);
+        assert!(basic > Duration::ZERO);
+        assert!(secure > basic, "the secure protocol costs more than the basic one");
+    }
+
+    #[test]
+    fn cached_keypairs_are_reused() {
+        let a = cached_keypair(128);
+        let b = cached_keypair(128);
+        assert_eq!(a.public_key(), b.public_key());
+    }
+}

@@ -1,0 +1,177 @@
+//! Addition and subtraction.
+
+use crate::limbs::{adc, sbb};
+use crate::BigUint;
+use core::ops::{Add, AddAssign, Sub, SubAssign};
+
+impl BigUint {
+    /// Returns `self + rhs`.
+    pub fn add_ref(&self, rhs: &BigUint) -> BigUint {
+        let (longer, shorter) = if self.limbs.len() >= rhs.limbs.len() {
+            (&self.limbs, &rhs.limbs)
+        } else {
+            (&rhs.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(longer.len() + 1);
+        let mut carry = 0u64;
+        for (i, &a) in longer.iter().enumerate() {
+            let b = shorter.get(i).copied().unwrap_or(0);
+            let (s, c) = adc(a, b, carry);
+            out.push(s);
+            carry = c;
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Returns `self - rhs`, or `None` when `rhs > self`.
+    pub fn checked_sub(&self, rhs: &BigUint) -> Option<BigUint> {
+        if self < rhs {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = rhs.limbs.get(i).copied().unwrap_or(0);
+            let (d, br) = sbb(self.limbs[i], b, borrow);
+            out.push(d);
+            borrow = br;
+        }
+        debug_assert_eq!(borrow, 0);
+        Some(BigUint::from_limbs(out))
+    }
+
+    /// Returns `self - rhs`, panicking on underflow.
+    ///
+    /// # Panics
+    /// Panics when `rhs > self`.
+    pub fn sub_ref(&self, rhs: &BigUint) -> BigUint {
+        self.checked_sub(rhs)
+            .expect("BigUint subtraction underflow")
+    }
+
+    /// Returns `self + rhs` where `rhs` is a single limb.
+    pub fn add_u64(&self, rhs: u64) -> BigUint {
+        self.add_ref(&BigUint::from_u64(rhs))
+    }
+
+    /// Returns `self - rhs` where `rhs` is a single limb.
+    ///
+    /// # Panics
+    /// Panics when `rhs > self`.
+    pub fn sub_u64(&self, rhs: u64) -> BigUint {
+        self.sub_ref(&BigUint::from_u64(rhs))
+    }
+
+    /// Returns `|self - rhs|` (absolute difference).
+    pub fn abs_diff(&self, rhs: &BigUint) -> BigUint {
+        if self >= rhs {
+            self.sub_ref(rhs)
+        } else {
+            rhs.sub_ref(self)
+        }
+    }
+}
+
+impl Add for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: &BigUint) -> BigUint {
+        self.add_ref(rhs)
+    }
+}
+
+impl Add for BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: BigUint) -> BigUint {
+        self.add_ref(&rhs)
+    }
+}
+
+impl AddAssign<&BigUint> for BigUint {
+    fn add_assign(&mut self, rhs: &BigUint) {
+        *self = self.add_ref(rhs);
+    }
+}
+
+impl Sub for &BigUint {
+    type Output = BigUint;
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        self.sub_ref(rhs)
+    }
+}
+
+impl Sub for BigUint {
+    type Output = BigUint;
+    fn sub(self, rhs: BigUint) -> BigUint {
+        self.sub_ref(&rhs)
+    }
+}
+
+impl SubAssign<&BigUint> for BigUint {
+    fn sub_assign(&mut self, rhs: &BigUint) {
+        *self = self.sub_ref(rhs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bu(v: u128) -> BigUint {
+        BigUint::from_u128(v)
+    }
+
+    #[test]
+    fn add_with_carry_across_limbs() {
+        let a = bu(u64::MAX as u128);
+        let b = bu(1);
+        assert_eq!(a.add_ref(&b), bu(u64::MAX as u128 + 1));
+        let c = bu(u128::MAX);
+        let d = c.add_ref(&BigUint::one());
+        assert_eq!(d.limbs(), &[0, 0, 1]);
+    }
+
+    #[test]
+    fn sub_and_checked_sub() {
+        let a = bu(1u128 << 64);
+        let b = bu(1);
+        assert_eq!(a.sub_ref(&b), bu((1u128 << 64) - 1));
+        assert_eq!(b.checked_sub(&a), None);
+        assert_eq!(a.checked_sub(&a), Some(BigUint::zero()));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = BigUint::one().sub_ref(&BigUint::two());
+    }
+
+    #[test]
+    fn abs_diff_symmetric() {
+        let a = bu(100);
+        let b = bu(250);
+        assert_eq!(a.abs_diff(&b), bu(150));
+        assert_eq!(b.abs_diff(&a), bu(150));
+    }
+
+    #[test]
+    fn operator_impls() {
+        let a = bu(7);
+        let b = bu(5);
+        assert_eq!(&a + &b, bu(12));
+        assert_eq!(&a - &b, bu(2));
+        let mut c = a.clone();
+        c += &b;
+        assert_eq!(c, bu(12));
+        c -= &b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn add_sub_u64_helpers() {
+        assert_eq!(bu(10).add_u64(5), bu(15));
+        assert_eq!(bu(10).sub_u64(5), bu(5));
+    }
+}

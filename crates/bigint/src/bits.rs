@@ -1,0 +1,122 @@
+//! Bit-level accessors.
+
+use crate::BigUint;
+
+impl BigUint {
+    /// Returns the position of the most significant set bit plus one,
+    /// i.e. the minimal number of bits needed to represent the value.
+    /// `bits(0) == 0`.
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() - 1) * 64 + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Returns the value of bit `i` (little-endian, bit 0 is the LSB).
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 64;
+        let bit = i % 64;
+        self.limbs
+            .get(limb)
+            .is_some_and(|l| (l >> bit) & 1 == 1)
+    }
+
+    /// Sets bit `i` to `value`, growing the limb vector if needed.
+    pub fn set_bit(&mut self, i: usize, value: bool) {
+        let limb = i / 64;
+        let bit = i % 64;
+        if value {
+            if limb >= self.limbs.len() {
+                self.limbs.resize(limb + 1, 0);
+            }
+            self.limbs[limb] |= 1 << bit;
+        } else if limb < self.limbs.len() {
+            self.limbs[limb] &= !(1 << bit);
+            self.normalize();
+        }
+    }
+
+    /// Number of trailing zero bits; `None` for zero.
+    pub fn trailing_zeros(&self) -> Option<usize> {
+        for (i, &l) in self.limbs.iter().enumerate() {
+            if l != 0 {
+                return Some(i * 64 + l.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Decomposes the value into its `l` least-significant bits,
+    /// most-significant first (the `[z]` notation of the paper).
+    ///
+    /// # Panics
+    /// Panics if the value does not fit in `l` bits.
+    pub fn to_bits_msb_first(&self, l: usize) -> Vec<u8> {
+        assert!(
+            self.bits() <= l,
+            "value needs {} bits but only {} requested",
+            self.bits(),
+            l
+        );
+        (0..l).rev().map(|i| self.bit(i) as u8).collect()
+    }
+
+    /// Reconstructs a value from bits given most-significant first.
+    pub fn from_bits_msb_first(bits: &[u8]) -> BigUint {
+        let mut out = BigUint::zero();
+        for &b in bits {
+            out = out.shl_bits(1);
+            if b != 0 {
+                out.set_bit(0, true);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_counts() {
+        assert_eq!(BigUint::zero().bits(), 0);
+        assert_eq!(BigUint::one().bits(), 1);
+        assert_eq!(BigUint::from_u64(255).bits(), 8);
+        assert_eq!(BigUint::from_u64(256).bits(), 9);
+        assert_eq!(BigUint::from_u128(1u128 << 64).bits(), 65);
+    }
+
+    #[test]
+    fn bit_get_set() {
+        let mut a = BigUint::zero();
+        a.set_bit(130, true);
+        assert!(a.bit(130));
+        assert!(!a.bit(129));
+        assert_eq!(a.bits(), 131);
+        a.set_bit(130, false);
+        assert!(a.is_zero());
+    }
+
+    #[test]
+    fn trailing_zeros() {
+        assert_eq!(BigUint::zero().trailing_zeros(), None);
+        assert_eq!(BigUint::from_u64(8).trailing_zeros(), Some(3));
+        assert_eq!(BigUint::from_u128(1u128 << 70).trailing_zeros(), Some(70));
+    }
+
+    #[test]
+    fn bits_msb_roundtrip() {
+        let v = BigUint::from_u64(55);
+        let bits = v.to_bits_msb_first(6);
+        assert_eq!(bits, vec![1, 1, 0, 1, 1, 1]); // Example 4 of the paper
+        assert_eq!(BigUint::from_bits_msb_first(&bits), v);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits")]
+    fn bits_msb_overflow_panics() {
+        BigUint::from_u64(64).to_bits_msb_first(6);
+    }
+}

@@ -1,0 +1,88 @@
+//! Ordering and comparison for [`BigUint`].
+
+use crate::limbs::cmp_limbs;
+use crate::BigUint;
+use core::cmp::Ordering;
+
+impl PartialOrd for BigUint {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        cmp_limbs(&self.limbs, &other.limbs)
+    }
+}
+
+impl PartialEq<u64> for BigUint {
+    #[inline]
+    fn eq(&self, other: &u64) -> bool {
+        self.to_u64() == Some(*other)
+    }
+}
+
+impl PartialOrd<u64> for BigUint {
+    #[inline]
+    fn partial_cmp(&self, other: &u64) -> Option<Ordering> {
+        Some(match self.to_u64() {
+            Some(v) => v.cmp(other),
+            None => Ordering::Greater,
+        })
+    }
+}
+
+impl BigUint {
+    /// Returns the larger of `self` and `other` by value.
+    pub fn max_val(self, other: Self) -> Self {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of `self` and `other` by value.
+    pub fn min_val(self, other: Self) -> Self {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_by_length_and_value() {
+        let small = BigUint::from_u64(u64::MAX);
+        let big = BigUint::from_u128(1u128 << 64);
+        assert!(small < big);
+        assert!(big > small);
+        assert_eq!(small.cmp(&small.clone()), Ordering::Equal);
+    }
+
+    #[test]
+    fn compare_with_u64() {
+        let a = BigUint::from_u64(42);
+        assert!(a == 42u64);
+        assert!(a > 41);
+        assert!(a < 43);
+        let b = BigUint::from_u128(u128::MAX);
+        assert!(b > u64::MAX);
+    }
+
+    #[test]
+    fn min_max_val() {
+        let a = BigUint::from_u64(3);
+        let b = BigUint::from_u64(9);
+        assert_eq!(a.clone().max_val(b.clone()), b);
+        assert_eq!(a.clone().min_val(b.clone()), a);
+    }
+}

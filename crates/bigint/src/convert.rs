@@ -1,0 +1,250 @@
+//! Conversions to and from byte strings, hexadecimal and decimal text.
+
+use crate::BigUint;
+use core::fmt;
+use core::str::FromStr;
+
+/// Error returned when parsing a [`BigUint`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigUintError {
+    kind: &'static str,
+}
+
+impl fmt::Display for ParseBigUintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid big integer literal: {}", self.kind)
+    }
+}
+
+impl std::error::Error for ParseBigUintError {}
+
+impl BigUint {
+    /// Builds a value from big-endian bytes.
+    pub fn from_bytes_be(bytes: &[u8]) -> BigUint {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        for chunk in bytes.rchunks(8) {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = (limb << 8) | b as u64;
+            }
+            limbs.push(limb);
+        }
+        BigUint::from_limbs(limbs)
+    }
+
+    /// Serializes to big-endian bytes with no leading zero bytes
+    /// (the empty vector for zero).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for &l in self.limbs.iter().rev() {
+            out.extend_from_slice(&l.to_be_bytes());
+        }
+        let skip = out.iter().take_while(|&&b| b == 0).count();
+        out.drain(..skip);
+        out
+    }
+
+    /// Builds a value from little-endian bytes.
+    pub fn from_bytes_le(bytes: &[u8]) -> BigUint {
+        let mut limbs = Vec::with_capacity(bytes.len() / 8 + 1);
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            limbs.push(u64::from_le_bytes(buf));
+        }
+        BigUint::from_limbs(limbs)
+    }
+
+    /// Serializes to little-endian bytes with no trailing zero bytes.
+    pub fn to_bytes_le(&self) -> Vec<u8> {
+        let mut out = self.to_bytes_be();
+        out.reverse();
+        out
+    }
+
+    /// Parses a hexadecimal string (no `0x` prefix, case-insensitive).
+    pub fn from_hex_str(s: &str) -> Result<BigUint, ParseBigUintError> {
+        if s.is_empty() {
+            return Err(ParseBigUintError { kind: "empty string" });
+        }
+        let mut out = BigUint::zero();
+        for c in s.chars() {
+            let d = c
+                .to_digit(16)
+                .ok_or(ParseBigUintError { kind: "non-hex digit" })?;
+            out = out.shl_bits(4).add_u64(d as u64);
+        }
+        Ok(out)
+    }
+
+    /// Formats as a lowercase hexadecimal string (no prefix, `"0"` for zero).
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut s = String::with_capacity(self.limbs.len() * 16);
+        let mut iter = self.limbs.iter().rev();
+        if let Some(top) = iter.next() {
+            s.push_str(&format!("{top:x}"));
+        }
+        for l in iter {
+            s.push_str(&format!("{l:016x}"));
+        }
+        s
+    }
+
+    /// Parses a decimal string.
+    pub fn from_dec_str(s: &str) -> Result<BigUint, ParseBigUintError> {
+        if s.is_empty() {
+            return Err(ParseBigUintError { kind: "empty string" });
+        }
+        let mut out = BigUint::zero();
+        for c in s.chars() {
+            let d = c
+                .to_digit(10)
+                .ok_or(ParseBigUintError { kind: "non-decimal digit" })?;
+            out = out.mul_u64(10).add_u64(d as u64);
+        }
+        Ok(out)
+    }
+
+    /// Formats as a decimal string.
+    pub fn to_dec_string(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        // Repeated division by 10^19 (largest power of ten in a limb).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let chunk = BigUint::from_u64(CHUNK);
+        let mut value = self.clone();
+        let mut parts: Vec<u64> = Vec::new();
+        while !value.is_zero() {
+            let (q, r) = value.div_rem(&chunk);
+            parts.push(r.to_u64().expect("remainder fits in a limb"));
+            value = q;
+        }
+        let mut s = String::new();
+        let mut iter = parts.iter().rev();
+        if let Some(top) = iter.next() {
+            s.push_str(&top.to_string());
+        }
+        for p in iter {
+            s.push_str(&format!("{p:019}"));
+        }
+        s
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_dec_string())
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.bits() <= 128 {
+            write!(f, "BigUint({})", self.to_dec_string())
+        } else {
+            write!(f, "BigUint(0x{}…, {} bits)", &self.to_hex()[..16], self.bits())
+        }
+    }
+}
+
+impl fmt::LowerHex for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl FromStr for BigUint {
+    type Err = ParseBigUintError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+            BigUint::from_hex_str(hex)
+        } else {
+            BigUint::from_dec_str(s)
+        }
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        BigUint::from_u64(v)
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        BigUint::from_u128(v)
+    }
+}
+
+impl From<u32> for BigUint {
+    fn from(v: u32) -> Self {
+        BigUint::from_u64(v as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_roundtrip() {
+        let cases = [
+            BigUint::zero(),
+            BigUint::one(),
+            BigUint::from_u128(0x0102030405060708090A0B0C0D0E0F10),
+            BigUint::from_limbs(vec![u64::MAX, 1, 0xDEADBEEF]),
+        ];
+        for v in cases {
+            assert_eq!(BigUint::from_bytes_be(&v.to_bytes_be()), v);
+            assert_eq!(BigUint::from_bytes_le(&v.to_bytes_le()), v);
+        }
+    }
+
+    #[test]
+    fn bytes_be_no_leading_zeros() {
+        let v = BigUint::from_u64(0x1234);
+        assert_eq!(v.to_bytes_be(), vec![0x12, 0x34]);
+        assert!(BigUint::zero().to_bytes_be().is_empty());
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        for s in ["0", "1", "ff", "deadbeefcafebabe", "123456789abcdef0123456789abcdef"] {
+            let v = BigUint::from_hex_str(s).unwrap();
+            assert_eq!(v.to_hex(), s);
+        }
+        assert_eq!(BigUint::from_hex_str("00ff").unwrap().to_hex(), "ff");
+        assert_eq!(BigUint::from_hex_str("DEADBEEF").unwrap().to_hex(), "deadbeef");
+        assert!(BigUint::from_hex_str("xyz").is_err());
+        assert!(BigUint::from_hex_str("").is_err());
+    }
+
+    #[test]
+    fn decimal_roundtrip() {
+        for s in ["0", "1", "42", "18446744073709551616", "340282366920938463463374607431768211455123456789"] {
+            let v = BigUint::from_dec_str(s).unwrap();
+            assert_eq!(v.to_dec_string(), s);
+            assert_eq!(v.to_string(), s);
+        }
+        assert!(BigUint::from_dec_str("12a").is_err());
+    }
+
+    #[test]
+    fn from_str_detects_radix() {
+        assert_eq!("0xff".parse::<BigUint>().unwrap(), BigUint::from_u64(255));
+        assert_eq!("255".parse::<BigUint>().unwrap(), BigUint::from_u64(255));
+    }
+
+    #[test]
+    fn display_matches_u128() {
+        let v: u128 = 123456789012345678901234567890;
+        assert_eq!(BigUint::from_u128(v).to_string(), v.to_string());
+    }
+}

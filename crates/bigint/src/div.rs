@@ -1,0 +1,272 @@
+//! Division and remainder.
+//!
+//! Multi-limb division uses Knuth's Algorithm D (TAOCP Vol. 2, 4.3.1); a
+//! simple binary long division is kept as a test oracle.
+
+use crate::BigUint;
+use core::ops::{Div, Rem};
+
+impl BigUint {
+    /// Returns `(self / rhs, self % rhs)`.
+    ///
+    /// # Panics
+    /// Panics when `rhs` is zero.
+    pub fn div_rem(&self, rhs: &BigUint) -> (BigUint, BigUint) {
+        assert!(!rhs.is_zero(), "division by zero");
+        if self < rhs {
+            return (BigUint::zero(), self.clone());
+        }
+        if rhs.limbs.len() == 1 {
+            let (q, r) = div_rem_by_limb(&self.limbs, rhs.limbs[0]);
+            return (BigUint::from_limbs(q), BigUint::from_u64(r));
+        }
+        let (q, r) = div_rem_knuth(&self.limbs, &rhs.limbs);
+        (BigUint::from_limbs(q), BigUint::from_limbs(r))
+    }
+
+    /// Returns `self % rhs`.
+    ///
+    /// # Panics
+    /// Panics when `rhs` is zero.
+    pub fn rem_ref(&self, rhs: &BigUint) -> BigUint {
+        self.div_rem(rhs).1
+    }
+
+    /// Returns `self / rhs` rounded toward zero.
+    ///
+    /// # Panics
+    /// Panics when `rhs` is zero.
+    pub fn div_ref(&self, rhs: &BigUint) -> BigUint {
+        self.div_rem(rhs).0
+    }
+
+    /// Binary long division used as a correctness oracle in tests and
+    /// benchmark ablations. O(bits × limbs); not used on hot paths.
+    pub fn div_rem_binary(&self, rhs: &BigUint) -> (BigUint, BigUint) {
+        assert!(!rhs.is_zero(), "division by zero");
+        let mut quotient = BigUint::zero();
+        let mut remainder = BigUint::zero();
+        for i in (0..self.bits()).rev() {
+            remainder = remainder.shl_bits(1);
+            if self.bit(i) {
+                remainder.set_bit(0, true);
+            }
+            if remainder >= *rhs {
+                remainder = remainder.sub_ref(rhs);
+                quotient.set_bit(i, true);
+            }
+        }
+        (quotient, remainder)
+    }
+}
+
+/// Divides a multi-limb value by a single limb.
+fn div_rem_by_limb(u: &[u64], v: u64) -> (Vec<u64>, u64) {
+    let mut q = vec![0u64; u.len()];
+    let mut rem: u64 = 0;
+    for i in (0..u.len()).rev() {
+        let cur = ((rem as u128) << 64) | u[i] as u128;
+        q[i] = (cur / v as u128) as u64;
+        rem = (cur % v as u128) as u64;
+    }
+    (q, rem)
+}
+
+/// Knuth Algorithm D for `u / v` with `v` at least two limbs and `u >= v`.
+fn div_rem_knuth(u: &[u64], v: &[u64]) -> (Vec<u64>, Vec<u64>) {
+    const B: u128 = 1 << 64;
+    let n = v.len();
+    let m = u.len() - n;
+
+    // D1: normalize so the divisor's top bit is set.
+    let shift = v[n - 1].leading_zeros() as usize;
+    let vn = shl_limbs(v, shift, n);
+    let mut un = shl_limbs(u, shift, u.len() + 1);
+
+    let mut q = vec![0u64; m + 1];
+
+    for j in (0..=m).rev() {
+        // D3: estimate q̂ from the top two dividend limbs and top divisor limb.
+        let numhi = ((un[j + n] as u128) << 64) | un[j + n - 1] as u128;
+        let mut qhat = numhi / vn[n - 1] as u128;
+        let mut rhat = numhi % vn[n - 1] as u128;
+        loop {
+            // Short-circuiting keeps every product below 2^128.
+            if qhat >= B
+                || qhat * vn[n - 2] as u128 > (rhat << 64) | un[j + n - 2] as u128
+            {
+                qhat -= 1;
+                rhat += vn[n - 1] as u128;
+                if rhat < B {
+                    continue;
+                }
+            }
+            break;
+        }
+
+        // D4: multiply and subtract un[j..=j+n] -= q̂ * vn.
+        let mut mul_carry: u64 = 0;
+        let mut borrow: u64 = 0;
+        for i in 0..n {
+            let p = qhat * vn[i] as u128 + mul_carry as u128;
+            mul_carry = (p >> 64) as u64;
+            let (t1, b1) = un[i + j].overflowing_sub(p as u64);
+            let (t2, b2) = t1.overflowing_sub(borrow);
+            un[i + j] = t2;
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        let (t1, b1) = un[j + n].overflowing_sub(mul_carry);
+        let (t2, b2) = t1.overflowing_sub(borrow);
+        un[j + n] = t2;
+
+        q[j] = qhat as u64;
+
+        // D6: q̂ was one too large (probability ~2/2^64); add the divisor back.
+        if b1 || b2 {
+            q[j] -= 1;
+            let mut carry: u64 = 0;
+            for i in 0..n {
+                let (s1, c1) = un[i + j].overflowing_add(vn[i]);
+                let (s2, c2) = s1.overflowing_add(carry);
+                un[i + j] = s2;
+                carry = (c1 as u64) + (c2 as u64);
+            }
+            un[j + n] = un[j + n].wrapping_add(carry);
+        }
+    }
+
+    // D8: denormalize the remainder.
+    let r = shr_limbs(&un[..n], shift);
+    (q, r)
+}
+
+/// Left-shifts limbs by `shift` (< 64) bits into a vector of exactly `out_len` limbs.
+fn shl_limbs(src: &[u64], shift: usize, out_len: usize) -> Vec<u64> {
+    let mut out = vec![0u64; out_len];
+    if shift == 0 {
+        out[..src.len()].copy_from_slice(src);
+        return out;
+    }
+    let mut carry = 0u64;
+    for (i, &l) in src.iter().enumerate() {
+        out[i] = (l << shift) | carry;
+        carry = l >> (64 - shift);
+    }
+    if src.len() < out_len {
+        out[src.len()] = carry;
+    } else {
+        debug_assert_eq!(carry, 0);
+    }
+    out
+}
+
+/// Right-shifts limbs by `shift` (< 64) bits.
+fn shr_limbs(src: &[u64], shift: usize) -> Vec<u64> {
+    if shift == 0 {
+        return src.to_vec();
+    }
+    let mut out = vec![0u64; src.len()];
+    for i in 0..src.len() {
+        let lo = src[i] >> shift;
+        let hi = if i + 1 < src.len() {
+            src[i + 1] << (64 - shift)
+        } else {
+            0
+        };
+        out[i] = lo | hi;
+    }
+    out
+}
+
+impl Div for &BigUint {
+    type Output = BigUint;
+    fn div(self, rhs: &BigUint) -> BigUint {
+        self.div_ref(rhs)
+    }
+}
+
+impl Rem for &BigUint {
+    type Output = BigUint;
+    fn rem(self, rhs: &BigUint) -> BigUint {
+        self.rem_ref(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bu(v: u128) -> BigUint {
+        BigUint::from_u128(v)
+    }
+
+    #[test]
+    fn small_division_matches_u128() {
+        let cases = [
+            (100u128, 7u128),
+            (u128::MAX, 3),
+            (u128::MAX, u64::MAX as u128),
+            (12345, 12345),
+            (5, 10),
+            (0, 3),
+        ];
+        for (a, b) in cases {
+            let (q, r) = bu(a).div_rem(&bu(b));
+            assert_eq!(q, bu(a / b), "quotient {a}/{b}");
+            assert_eq!(r, bu(a % b), "remainder {a}%{b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = bu(5).div_rem(&BigUint::zero());
+    }
+
+    #[test]
+    fn knuth_matches_binary_oracle() {
+        let mut state = 0x0123456789ABCDEFu64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for ulen in [2usize, 3, 5, 8, 16, 33] {
+            for vlen in [2usize, 3, 4, 8] {
+                if vlen > ulen {
+                    continue;
+                }
+                let u = BigUint::from_limbs((0..ulen).map(|_| next()).collect());
+                let mut v = BigUint::from_limbs((0..vlen).map(|_| next()).collect());
+                if v.is_zero() {
+                    v = BigUint::one();
+                }
+                let (q1, r1) = u.div_rem(&v);
+                let (q2, r2) = u.div_rem_binary(&v);
+                assert_eq!(q1, q2);
+                assert_eq!(r1, r2);
+                // Reconstruction property.
+                assert_eq!(q1.mul_ref(&v).add_ref(&r1), u);
+                assert!(r1 < v);
+            }
+        }
+    }
+
+    #[test]
+    fn add_back_branch_case() {
+        // A classic Algorithm D stress case where the initial q̂ estimate is
+        // too large and the add-back (step D6) branch must execute.
+        let u = BigUint::from_limbs(vec![0, 0, 0x8000000000000000, 0x7FFFFFFFFFFFFFFF]);
+        let v = BigUint::from_limbs(vec![1, 0, 0x8000000000000000]);
+        let (q, r) = u.div_rem(&v);
+        assert_eq!(q.mul_ref(&v).add_ref(&r), u);
+        assert!(r < v);
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(&bu(100) / &bu(7), bu(14));
+        assert_eq!(&bu(100) % &bu(7), bu(2));
+    }
+}

@@ -1,0 +1,219 @@
+//! # sknn-bigint
+//!
+//! A from-scratch, dependency-free arbitrary-precision **unsigned** integer
+//! library sized for public-key cryptography workloads (512–4096 bit
+//! operands). It is the arithmetic substrate underneath the
+//! [`sknn-paillier`](../sknn_paillier/index.html) crate and, transitively, the
+//! whole secure k-nearest-neighbor stack.
+//!
+//! The design goals, in order:
+//!
+//! 1. **Correctness** — every non-trivial algorithm (Knuth Algorithm D
+//!    division, Karatsuba multiplication, Montgomery exponentiation,
+//!    Miller–Rabin) is cross-checked in tests against a simple reference
+//!    implementation and against `u128` arithmetic via property tests.
+//! 2. **Predictable performance** — limb-based (`u64`) representation,
+//!    Montgomery CIOS multiplication for the modular exponentiations that
+//!    dominate Paillier, no allocations in the inner loops of hot paths.
+//! 3. **A small, explicit API** — only the operations the Paillier layer and
+//!    the secure protocols need.
+//!
+//! This crate is *not* intended to be constant-time; the threat model of the
+//! reproduced paper is honest-but-curious cloud servers observing protocol
+//! messages, not co-located attackers with cycle-accurate timers.
+//!
+//! ## Example
+//!
+//! ```
+//! use sknn_bigint::BigUint;
+//!
+//! let a = BigUint::from_u64(1_000_000_007);
+//! let b = BigUint::from_u64(998_244_353);
+//! let m = BigUint::from_u64(1_000_000_009);
+//! let c = a.mod_pow(&b, &m);
+//! assert!(c < m);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod add_sub;
+mod bits;
+mod cmp;
+mod convert;
+mod div;
+mod limbs;
+mod modular;
+mod mont;
+mod mul;
+mod prime;
+mod random;
+#[cfg(feature = "serde")]
+mod serde_impl;
+mod shift;
+
+pub use mont::Montgomery;
+pub use prime::{gen_prime, gen_prime_with_bit_exact, is_probable_prime};
+pub use random::{random_below, random_bits, random_bits_exact, random_range};
+
+/// An arbitrary-precision unsigned integer.
+///
+/// Internally a little-endian vector of `u64` limbs with the invariant that
+/// the most-significant limb is non-zero (zero is the empty vector). All
+/// constructors and arithmetic maintain this normalization, so structural
+/// equality coincides with numeric equality.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct BigUint {
+    /// Little-endian limbs; no trailing (most-significant) zero limbs.
+    pub(crate) limbs: Vec<u64>,
+}
+
+/// Number of bits per limb.
+pub const LIMB_BITS: u32 = 64;
+
+impl BigUint {
+    /// The value `0`.
+    #[inline]
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    #[inline]
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// The value `2`.
+    #[inline]
+    pub fn two() -> Self {
+        BigUint { limbs: vec![2] }
+    }
+
+    /// Constructs a value from a single `u64`.
+    #[inline]
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+
+    /// Constructs a value from a `u128`.
+    #[inline]
+    pub fn from_u128(v: u128) -> Self {
+        let lo = v as u64;
+        let hi = (v >> 64) as u64;
+        if hi == 0 {
+            Self::from_u64(lo)
+        } else {
+            BigUint { limbs: vec![lo, hi] }
+        }
+    }
+
+    /// Constructs a value from little-endian limbs, normalizing trailing zeros.
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// Returns the little-endian limbs of this value.
+    #[inline]
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Returns `true` if this value is `0`.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Returns `true` if this value is `1`.
+    #[inline]
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// Returns `true` if this value is even (including zero).
+    #[inline]
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// Returns `true` if this value is odd.
+    #[inline]
+    pub fn is_odd(&self) -> bool {
+        !self.is_even()
+    }
+
+    /// Converts to `u64` if the value fits.
+    #[inline]
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Converts to `u128` if the value fits.
+    #[inline]
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some((self.limbs[1] as u128) << 64 | self.limbs[0] as u128),
+            _ => None,
+        }
+    }
+
+    /// Removes any most-significant zero limbs (restores the invariant).
+    #[inline]
+    pub(crate) fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_predicates() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert!(BigUint::zero().is_even());
+        assert!(BigUint::one().is_odd());
+        assert!(BigUint::two().is_even());
+        assert_eq!(BigUint::from_u64(0), BigUint::zero());
+        assert_eq!(BigUint::from_u128(0), BigUint::zero());
+        assert_eq!(BigUint::from_u128(1 << 80).limbs().len(), 2);
+    }
+
+    #[test]
+    fn to_u64_u128_roundtrip() {
+        for v in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(BigUint::from_u64(v).to_u64(), Some(v));
+        }
+        for v in [0u128, 1, u64::MAX as u128 + 1, u128::MAX] {
+            assert_eq!(BigUint::from_u128(v).to_u128(), Some(v));
+        }
+        let big = BigUint::from_limbs(vec![1, 2, 3]);
+        assert_eq!(big.to_u64(), None);
+        assert_eq!(big.to_u128(), None);
+    }
+
+    #[test]
+    fn from_limbs_normalizes() {
+        let a = BigUint::from_limbs(vec![5, 0, 0]);
+        assert_eq!(a, BigUint::from_u64(5));
+        let b = BigUint::from_limbs(vec![0, 0]);
+        assert!(b.is_zero());
+    }
+}

@@ -1,0 +1,134 @@
+//! Low-level limb (u64) helpers shared by the arithmetic modules.
+//!
+//! These are the only places where carry/borrow propagation is written by
+//! hand; every higher-level routine is expressed in terms of them.
+
+/// Adds `a + b + carry`, returning the low limb and the carry out (0 or 1).
+#[inline(always)]
+pub(crate) fn adc(a: u64, b: u64, carry: u64) -> (u64, u64) {
+    let sum = a as u128 + b as u128 + carry as u128;
+    (sum as u64, (sum >> 64) as u64)
+}
+
+/// Subtracts `a - b - borrow`, returning the low limb and the borrow out (0 or 1).
+#[inline(always)]
+pub(crate) fn sbb(a: u64, b: u64, borrow: u64) -> (u64, u64) {
+    let diff = (a as u128).wrapping_sub(b as u128).wrapping_sub(borrow as u128);
+    (diff as u64, (diff >> 127) as u64)
+}
+
+/// Computes `a * b + c + carry`, returning (low, high).
+#[inline(always)]
+pub(crate) fn mac(a: u64, b: u64, c: u64, carry: u64) -> (u64, u64) {
+    let t = a as u128 * b as u128 + c as u128 + carry as u128;
+    (t as u64, (t >> 64) as u64)
+}
+
+/// In-place addition of `rhs` into `acc` (which must be at least as long),
+/// returning the final carry.
+pub(crate) fn add_assign_limbs(acc: &mut [u64], rhs: &[u64]) -> u64 {
+    debug_assert!(acc.len() >= rhs.len());
+    let mut carry = 0u64;
+    for (a, &b) in acc.iter_mut().zip(rhs.iter()) {
+        let (s, c) = adc(*a, b, carry);
+        *a = s;
+        carry = c;
+    }
+    if carry != 0 {
+        for a in acc.iter_mut().skip(rhs.len()) {
+            let (s, c) = adc(*a, 0, carry);
+            *a = s;
+            carry = c;
+            if carry == 0 {
+                break;
+            }
+        }
+    }
+    carry
+}
+
+/// In-place subtraction of `rhs` from `acc` (which must be numerically >=),
+/// returning the final borrow (0 when the caller's precondition holds).
+pub(crate) fn sub_assign_limbs(acc: &mut [u64], rhs: &[u64]) -> u64 {
+    debug_assert!(acc.len() >= rhs.len());
+    let mut borrow = 0u64;
+    for (a, &b) in acc.iter_mut().zip(rhs.iter()) {
+        let (d, br) = sbb(*a, b, borrow);
+        *a = d;
+        borrow = br;
+    }
+    if borrow != 0 {
+        for a in acc.iter_mut().skip(rhs.len()) {
+            let (d, br) = sbb(*a, 0, borrow);
+            *a = d;
+            borrow = br;
+            if borrow == 0 {
+                break;
+            }
+        }
+    }
+    borrow
+}
+
+/// Compares two little-endian limb slices numerically.
+pub(crate) fn cmp_limbs(a: &[u64], b: &[u64]) -> core::cmp::Ordering {
+    use core::cmp::Ordering;
+    // Skip high zero limbs so unnormalized temporaries compare correctly.
+    let a_len = a.iter().rposition(|&l| l != 0).map_or(0, |p| p + 1);
+    let b_len = b.iter().rposition(|&l| l != 0).map_or(0, |p| p + 1);
+    if a_len != b_len {
+        return a_len.cmp(&b_len);
+    }
+    for i in (0..a_len).rev() {
+        match a[i].cmp(&b[i]) {
+            Ordering::Equal => continue,
+            ord => return ord,
+        }
+    }
+    Ordering::Equal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::cmp::Ordering;
+
+    #[test]
+    fn adc_carries() {
+        assert_eq!(adc(u64::MAX, 1, 0), (0, 1));
+        assert_eq!(adc(u64::MAX, u64::MAX, 1), (u64::MAX, 1));
+        assert_eq!(adc(1, 2, 0), (3, 0));
+    }
+
+    #[test]
+    fn sbb_borrows() {
+        assert_eq!(sbb(0, 1, 0), (u64::MAX, 1));
+        assert_eq!(sbb(5, 3, 1), (1, 0));
+        assert_eq!(sbb(0, 0, 1), (u64::MAX, 1));
+    }
+
+    #[test]
+    fn mac_full_width() {
+        // (2^64-1)^2 + (2^64-1) + (2^64-1) = 2^128 - 1
+        assert_eq!(mac(u64::MAX, u64::MAX, u64::MAX, u64::MAX), (u64::MAX, u64::MAX));
+        assert_eq!(mac(3, 4, 5, 6), (23, 0));
+    }
+
+    #[test]
+    fn add_sub_assign_roundtrip() {
+        let mut acc = vec![u64::MAX, u64::MAX, 0];
+        let carry = add_assign_limbs(&mut acc, &[1]);
+        assert_eq!(carry, 0);
+        assert_eq!(acc, vec![0, 0, 1]);
+        let borrow = sub_assign_limbs(&mut acc, &[1]);
+        assert_eq!(borrow, 0);
+        assert_eq!(acc, vec![u64::MAX, u64::MAX, 0]);
+    }
+
+    #[test]
+    fn cmp_ignores_high_zeros() {
+        assert_eq!(cmp_limbs(&[1, 0, 0], &[1]), Ordering::Equal);
+        assert_eq!(cmp_limbs(&[0, 1], &[5]), Ordering::Greater);
+        assert_eq!(cmp_limbs(&[5], &[0, 1]), Ordering::Less);
+    }
+}

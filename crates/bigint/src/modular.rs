@@ -1,0 +1,213 @@
+//! Modular arithmetic: addition, subtraction, multiplication, exponentiation,
+//! inversion, GCD and LCM.
+
+use crate::mont::Montgomery;
+use crate::BigUint;
+
+impl BigUint {
+    /// Returns `(self + rhs) mod m`. Both operands must already be `< m`.
+    pub fn mod_add(&self, rhs: &BigUint, m: &BigUint) -> BigUint {
+        debug_assert!(self < m && rhs < m);
+        let sum = self.add_ref(rhs);
+        if sum >= *m {
+            sum.sub_ref(m)
+        } else {
+            sum
+        }
+    }
+
+    /// Returns `(self - rhs) mod m`. Both operands must already be `< m`.
+    pub fn mod_sub(&self, rhs: &BigUint, m: &BigUint) -> BigUint {
+        debug_assert!(self < m && rhs < m);
+        if self >= rhs {
+            self.sub_ref(rhs)
+        } else {
+            m.sub_ref(rhs).add_ref(self)
+        }
+    }
+
+    /// Returns `-self mod m` (i.e. `m - self`, or zero when `self` is zero).
+    pub fn mod_neg(&self, m: &BigUint) -> BigUint {
+        debug_assert!(self < m);
+        if self.is_zero() {
+            BigUint::zero()
+        } else {
+            m.sub_ref(self)
+        }
+    }
+
+    /// Returns `(self * rhs) mod m`.
+    pub fn mod_mul(&self, rhs: &BigUint, m: &BigUint) -> BigUint {
+        self.mul_ref(rhs).rem_ref(m)
+    }
+
+    /// Returns `self^exp mod m`.
+    ///
+    /// Odd moduli (the only kind Paillier ever uses: `N` and `N²` are odd)
+    /// dispatch to Montgomery exponentiation; even moduli fall back to plain
+    /// square-and-multiply with division-based reduction.
+    ///
+    /// # Panics
+    /// Panics when `m` is zero.
+    pub fn mod_pow(&self, exp: &BigUint, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "modulus must be non-zero");
+        if m.is_one() {
+            return BigUint::zero();
+        }
+        if m.is_odd() {
+            let ctx = Montgomery::new(m.clone());
+            return ctx.pow(self, exp);
+        }
+        self.mod_pow_basic(exp, m)
+    }
+
+    /// Plain left-to-right square-and-multiply exponentiation. Exposed for the
+    /// Montgomery-vs-basic ablation benchmark.
+    pub fn mod_pow_basic(&self, exp: &BigUint, m: &BigUint) -> BigUint {
+        assert!(!m.is_zero(), "modulus must be non-zero");
+        if m.is_one() {
+            return BigUint::zero();
+        }
+        let base = self.rem_ref(m);
+        let mut result = BigUint::one();
+        for i in (0..exp.bits()).rev() {
+            result = result.mod_mul(&result, m);
+            if exp.bit(i) {
+                result = result.mod_mul(&base, m);
+            }
+        }
+        result
+    }
+
+    /// Returns the greatest common divisor of `self` and `rhs`.
+    pub fn gcd(&self, rhs: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = rhs.clone();
+        while !b.is_zero() {
+            let r = a.rem_ref(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Returns the least common multiple of `self` and `rhs`.
+    pub fn lcm(&self, rhs: &BigUint) -> BigUint {
+        if self.is_zero() || rhs.is_zero() {
+            return BigUint::zero();
+        }
+        self.div_ref(&self.gcd(rhs)).mul_ref(rhs)
+    }
+
+    /// Returns the multiplicative inverse of `self` modulo `m`, or `None` when
+    /// `gcd(self, m) != 1`.
+    ///
+    /// Uses the iterative extended Euclidean algorithm with the Bézout
+    /// coefficient tracked modulo `m`, so only unsigned arithmetic is needed.
+    pub fn mod_inverse(&self, m: &BigUint) -> Option<BigUint> {
+        if m.is_zero() || m.is_one() {
+            return None;
+        }
+        let a = self.rem_ref(m);
+        if a.is_zero() {
+            return None;
+        }
+        // Invariant: r ≡ t * a (mod m) and new_r ≡ new_t * a (mod m).
+        let mut t = BigUint::zero();
+        let mut new_t = BigUint::one();
+        let mut r = m.clone();
+        let mut new_r = a;
+        while !new_r.is_zero() {
+            let (q, rem) = r.div_rem(&new_r);
+            let q_new_t = q.mul_ref(&new_t).rem_ref(m);
+            let next_t = t.mod_sub(&q_new_t, m);
+            t = core::mem::replace(&mut new_t, next_t);
+            r = core::mem::replace(&mut new_r, rem);
+        }
+        if r.is_one() {
+            Some(t)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bu(v: u128) -> BigUint {
+        BigUint::from_u128(v)
+    }
+
+    #[test]
+    fn mod_add_sub_neg() {
+        let m = bu(97);
+        assert_eq!(bu(50).mod_add(&bu(60), &m), bu(13));
+        assert_eq!(bu(10).mod_sub(&bu(20), &m), bu(87));
+        assert_eq!(bu(10).mod_neg(&m), bu(87));
+        assert_eq!(BigUint::zero().mod_neg(&m), BigUint::zero());
+    }
+
+    #[test]
+    fn mod_pow_small_cases() {
+        let m = bu(1_000_000_007);
+        assert_eq!(bu(2).mod_pow(&bu(10), &m), bu(1024));
+        assert_eq!(bu(0).mod_pow(&bu(5), &m), bu(0));
+        assert_eq!(bu(5).mod_pow(&bu(0), &m), bu(1));
+        // Fermat's little theorem: a^(p-1) ≡ 1 (mod p).
+        assert_eq!(bu(123456).mod_pow(&bu(1_000_000_006), &m), bu(1));
+    }
+
+    #[test]
+    fn mod_pow_even_modulus() {
+        let m = bu(1 << 20);
+        assert_eq!(bu(3).mod_pow(&bu(7), &m), bu(2187));
+        assert_eq!(bu(3).mod_pow_basic(&bu(7), &m), bu(2187));
+    }
+
+    #[test]
+    fn montgomery_and_basic_agree() {
+        let m = bu(0xFFFF_FFFF_FFFF_FFC5); // a 64-bit prime
+        for (b, e) in [(2u128, 1000u128), (0xDEADBEEF, 0xCAFEBABE), (3, 3)] {
+            assert_eq!(
+                bu(b).mod_pow(&bu(e), &m),
+                bu(b).mod_pow_basic(&bu(e), &m)
+            );
+        }
+    }
+
+    #[test]
+    fn gcd_lcm() {
+        assert_eq!(bu(12).gcd(&bu(18)), bu(6));
+        assert_eq!(bu(0).gcd(&bu(5)), bu(5));
+        assert_eq!(bu(5).gcd(&bu(0)), bu(5));
+        assert_eq!(bu(12).lcm(&bu(18)), bu(36));
+        assert_eq!(bu(0).lcm(&bu(18)), bu(0));
+        assert_eq!(bu(17).gcd(&bu(31)), bu(1));
+    }
+
+    #[test]
+    fn mod_inverse_small() {
+        let m = bu(97);
+        for a in 1u128..97 {
+            let inv = bu(a).mod_inverse(&m).unwrap();
+            assert_eq!(bu(a).mod_mul(&inv, &m), BigUint::one(), "a={a}");
+        }
+        // Non-invertible cases.
+        assert_eq!(bu(6).mod_inverse(&bu(12)), None);
+        assert_eq!(bu(0).mod_inverse(&bu(7)), None);
+        assert_eq!(bu(3).mod_inverse(&BigUint::one()), None);
+    }
+
+    #[test]
+    fn mod_inverse_large() {
+        let m = BigUint::from_hex_str("fffffffffffffffffffffffffffffffeffffffffffffffff").unwrap();
+        let a = BigUint::from_hex_str("123456789abcdef0fedcba9876543210deadbeef").unwrap();
+        if let Some(inv) = a.mod_inverse(&m) {
+            assert_eq!(a.mod_mul(&inv, &m), BigUint::one());
+        } else {
+            panic!("expected invertible");
+        }
+    }
+}

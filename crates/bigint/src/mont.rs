@@ -1,0 +1,258 @@
+//! Montgomery modular multiplication and exponentiation (CIOS variant).
+//!
+//! Paillier spends essentially all of its time in `mod_pow` with a fixed odd
+//! modulus (`N` or `N²`), which is exactly the workload Montgomery arithmetic
+//! is designed for: one up-front inversion of the low limb, then every modular
+//! multiplication costs two schoolbook passes and no division.
+
+use crate::BigUint;
+
+/// A reusable Montgomery context for a fixed odd modulus.
+#[derive(Clone, Debug)]
+pub struct Montgomery {
+    modulus: BigUint,
+    /// Number of limbs in the modulus.
+    limbs: usize,
+    /// `-modulus[0]^{-1} mod 2^64`.
+    n0_inv: u64,
+    /// `R^2 mod modulus` where `R = 2^(64·limbs)`; used to convert into
+    /// Montgomery form with a single `mont_mul`.
+    r2: Vec<u64>,
+    /// `R mod modulus`, i.e. the Montgomery representation of 1.
+    r1: Vec<u64>,
+}
+
+impl Montgomery {
+    /// Creates a context for the given odd modulus.
+    ///
+    /// # Panics
+    /// Panics when the modulus is zero, one, or even.
+    pub fn new(modulus: BigUint) -> Self {
+        assert!(modulus > BigUint::one(), "modulus must be > 1");
+        assert!(modulus.is_odd(), "Montgomery arithmetic requires an odd modulus");
+        let limbs = modulus.limbs().len();
+        let n0_inv = inv64(modulus.limbs()[0]).wrapping_neg();
+
+        // R = 2^(64·limbs);  R mod m and R² mod m via plain division.
+        let r = BigUint::one().shl_bits(64 * limbs);
+        let r1 = pad(&r.rem_ref(&modulus), limbs);
+        let r2 = pad(&r.mul_ref(&r).rem_ref(&modulus), limbs);
+
+        Montgomery {
+            modulus,
+            limbs,
+            n0_inv,
+            r2,
+            r1,
+        }
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.modulus
+    }
+
+    /// Computes `base^exp mod modulus` with a 4-bit fixed window.
+    pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            return BigUint::one().rem_ref(&self.modulus);
+        }
+        let base = base.rem_ref(&self.modulus);
+        let base_m = self.to_mont(&base);
+
+        // Precompute base^0..base^15 in Montgomery form.
+        let mut table = Vec::with_capacity(16);
+        table.push(self.r1.clone());
+        table.push(base_m.clone());
+        for i in 2..16 {
+            table.push(self.mont_mul(&table[i - 1], &base_m));
+        }
+
+        let total_bits = exp.bits();
+        let mut acc = self.r1.clone();
+        let mut started = false;
+        // Process the exponent in 4-bit windows, most-significant first.
+        let windows = total_bits.div_ceil(4);
+        for w in (0..windows).rev() {
+            if started {
+                for _ in 0..4 {
+                    acc = self.mont_mul(&acc, &acc);
+                }
+            }
+            let mut nib = 0usize;
+            for b in 0..4 {
+                let idx = w * 4 + (3 - b);
+                nib = (nib << 1) | exp.bit(idx) as usize;
+            }
+            if nib != 0 {
+                acc = self.mont_mul(&acc, &table[nib]);
+                started = true;
+            } else if started {
+                // squares already applied
+            } else {
+                // still leading zero windows; nothing accumulated yet
+            }
+        }
+        if !started {
+            // exp was zero (handled above), defensive fallback
+            return BigUint::one().rem_ref(&self.modulus);
+        }
+        self.from_mont(&acc)
+    }
+
+    /// Computes `(a * b) mod modulus` through the Montgomery domain.
+    pub fn mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let am = self.to_mont(&a.rem_ref(&self.modulus));
+        let bm = self.to_mont(&b.rem_ref(&self.modulus));
+        self.from_mont(&self.mont_mul(&am, &bm))
+    }
+
+    /// Converts into Montgomery form (`x·R mod m`).
+    fn to_mont(&self, x: &BigUint) -> Vec<u64> {
+        self.mont_mul(&pad(x, self.limbs), &self.r2)
+    }
+
+    /// Converts out of Montgomery form (`x·R^{-1} mod m`).
+    #[allow(clippy::wrong_self_convention)]
+    fn from_mont(&self, x: &[u64]) -> BigUint {
+        let one = pad(&BigUint::one(), self.limbs);
+        let limbs = self.mont_mul(x, &one);
+        BigUint::from_limbs(limbs)
+    }
+
+    /// CIOS Montgomery multiplication of two `limbs`-long values, returning a
+    /// `limbs`-long value `< modulus`.
+    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let l = self.limbs;
+        let n = self.modulus.limbs();
+        debug_assert_eq!(a.len(), l);
+        debug_assert_eq!(b.len(), l);
+
+        let mut t = vec![0u64; l + 2];
+        for &ai in a.iter() {
+            // t += ai * b
+            let mut carry: u128 = 0;
+            for j in 0..l {
+                let sum = t[j] as u128 + ai as u128 * b[j] as u128 + carry;
+                t[j] = sum as u64;
+                carry = sum >> 64;
+            }
+            let sum = t[l] as u128 + carry;
+            t[l] = sum as u64;
+            t[l + 1] = (sum >> 64) as u64;
+
+            // m = t[0] * n0_inv mod 2^64; t += m * n; t >>= 64
+            let m = t[0].wrapping_mul(self.n0_inv);
+            let mut carry: u128 = (t[0] as u128 + m as u128 * n[0] as u128) >> 64;
+            for j in 1..l {
+                let sum = t[j] as u128 + m as u128 * n[j] as u128 + carry;
+                t[j - 1] = sum as u64;
+                carry = sum >> 64;
+            }
+            let sum = t[l] as u128 + carry;
+            t[l - 1] = sum as u64;
+            let sum_hi = t[l + 1] as u128 + (sum >> 64);
+            t[l] = sum_hi as u64;
+            t[l + 1] = (sum_hi >> 64) as u64;
+            debug_assert_eq!(t[l + 1], 0);
+        }
+
+        // Result is t[0..=l]; subtract the modulus once if needed.
+        let mut out: Vec<u64> = t[..l].to_vec();
+        let overflow = t[l] != 0;
+        if overflow || crate::limbs::cmp_limbs(&out, n) != core::cmp::Ordering::Less {
+            // out = out + t[l]·2^(64·l) − n   (the high limb is at most 1)
+            let mut borrow = 0u64;
+            for j in 0..l {
+                let (d, b1) = out[j].overflowing_sub(n[j]);
+                let (d2, b2) = d.overflowing_sub(borrow);
+                out[j] = d2;
+                borrow = (b1 as u64) + (b2 as u64);
+            }
+            debug_assert!(t[l] >= borrow);
+        }
+        out
+    }
+}
+
+/// Returns the inverse of `x` modulo 2^64 (`x` must be odd).
+fn inv64(x: u64) -> u64 {
+    debug_assert!(x & 1 == 1);
+    // Newton–Hensel iteration doubles the number of correct bits each round.
+    let mut inv = x;
+    for _ in 0..6 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(x.wrapping_mul(inv)));
+    }
+    debug_assert_eq!(x.wrapping_mul(inv), 1);
+    inv
+}
+
+/// Pads a value's limbs with zeros up to `len`.
+fn pad(x: &BigUint, len: usize) -> Vec<u64> {
+    let mut v = x.limbs().to_vec();
+    assert!(v.len() <= len, "value longer than modulus");
+    v.resize(len, 0);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bu(v: u128) -> BigUint {
+        BigUint::from_u128(v)
+    }
+
+    #[test]
+    fn inv64_is_inverse() {
+        for x in [1u64, 3, 5, 0xFFFF_FFFF_FFFF_FFFF, 0x1234_5678_9ABC_DEF1] {
+            assert_eq!(x.wrapping_mul(inv64(x)), 1);
+        }
+    }
+
+    #[test]
+    fn mont_mul_matches_naive() {
+        let m = bu(0xFFFF_FFFF_FFFF_FFC5);
+        let ctx = Montgomery::new(m.clone());
+        for (a, b) in [(3u128, 4u128), (0xDEADBEEF, 0xCAFEBABE), (u64::MAX as u128 - 7, 12345)] {
+            assert_eq!(ctx.mul(&bu(a), &bu(b)), bu(a).mod_mul(&bu(b), &m));
+        }
+    }
+
+    #[test]
+    fn mont_pow_matches_basic() {
+        // Multi-limb odd modulus.
+        let m = BigUint::from_hex_str("f000000000000000000000000000000d3").unwrap();
+        let ctx = Montgomery::new(m.clone());
+        let cases = [
+            (bu(2), bu(10)),
+            (bu(0xDEADBEEFCAFEBABE), bu(0x12345)),
+            (BigUint::from_hex_str("abcdef0123456789abcdef").unwrap(), bu(65537)),
+        ];
+        for (b, e) in cases {
+            assert_eq!(ctx.pow(&b, &e), b.mod_pow_basic(&e, &m), "b={b} e={e}");
+        }
+    }
+
+    #[test]
+    fn pow_edge_cases() {
+        let m = bu(1_000_003);
+        let ctx = Montgomery::new(m.clone());
+        assert_eq!(ctx.pow(&bu(5), &BigUint::zero()), BigUint::one());
+        assert_eq!(ctx.pow(&BigUint::zero(), &bu(5)), BigUint::zero());
+        assert_eq!(ctx.pow(&bu(1_000_003 + 2), &bu(3)), bu(8));
+        assert_eq!(ctx.pow(&bu(1), &bu(1u128 << 100)), BigUint::one());
+    }
+
+    #[test]
+    #[should_panic(expected = "odd modulus")]
+    fn even_modulus_rejected() {
+        Montgomery::new(bu(100));
+    }
+
+    #[test]
+    fn modulus_accessor() {
+        let m = bu(97);
+        assert_eq!(Montgomery::new(m.clone()).modulus(), &m);
+    }
+}

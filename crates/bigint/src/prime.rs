@@ -1,0 +1,153 @@
+//! Primality testing (Miller–Rabin) and random prime generation.
+
+use crate::random::{random_below, random_bits_exact};
+use crate::BigUint;
+use rand::RngCore;
+
+/// Number of Miller–Rabin rounds used by [`gen_prime`]; gives a false-positive
+/// probability below 2^-80 even before accounting for the density of strong
+/// pseudoprimes among random candidates.
+pub const DEFAULT_MR_ROUNDS: usize = 40;
+
+/// Small primes used for trial division before running Miller–Rabin.
+const SMALL_PRIMES: [u64; 60] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281,
+];
+
+/// Returns `true` if `n` is probably prime after trial division and `rounds`
+/// rounds of Miller–Rabin with random bases.
+pub fn is_probable_prime<R: RngCore + ?Sized>(n: &BigUint, rounds: usize, rng: &mut R) -> bool {
+    if n < &BigUint::two() {
+        return false;
+    }
+    for &p in SMALL_PRIMES.iter() {
+        let p_big = BigUint::from_u64(p);
+        if *n == p_big {
+            return true;
+        }
+        if n.rem_ref(&p_big).is_zero() {
+            return false;
+        }
+    }
+
+    // Write n − 1 = d · 2^s with d odd.
+    let n_minus_1 = n.sub_ref(&BigUint::one());
+    let s = n_minus_1
+        .trailing_zeros()
+        .expect("n − 1 is non-zero for n ≥ 2");
+    let d = n_minus_1.shr_bits(s);
+
+    let two = BigUint::two();
+    let n_minus_2 = n.sub_ref(&two);
+    'witness: for _ in 0..rounds {
+        // Random base in [2, n − 2].
+        let a = random_below(rng, &n_minus_2.sub_ref(&BigUint::one())).add_ref(&two);
+        let mut x = a.mod_pow(&d, n);
+        if x.is_one() || x == n_minus_1 {
+            continue 'witness;
+        }
+        for _ in 0..s.saturating_sub(1) {
+            x = x.mod_mul(&x, n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates a random probable prime with exactly `bits` bits.
+///
+/// The top bit and the low bit are forced so the result has the requested
+/// size and is odd; candidates are filtered by trial division and then
+/// confirmed with [`DEFAULT_MR_ROUNDS`] Miller–Rabin rounds.
+///
+/// # Panics
+/// Panics when `bits < 2`.
+pub fn gen_prime<R: RngCore + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+    gen_prime_with_bit_exact(rng, bits, DEFAULT_MR_ROUNDS)
+}
+
+/// Like [`gen_prime`], with a caller-chosen number of Miller–Rabin rounds.
+pub fn gen_prime_with_bit_exact<R: RngCore + ?Sized>(
+    rng: &mut R,
+    bits: usize,
+    rounds: usize,
+) -> BigUint {
+    assert!(bits >= 2, "primes need at least 2 bits");
+    loop {
+        let mut candidate = random_bits_exact(rng, bits);
+        candidate.set_bit(0, true); // make it odd
+        if is_probable_prime(&candidate, rounds, rng) {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn small_primes_and_composites() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let primes = [2u64, 3, 5, 7, 11, 13, 97, 65537, 1_000_000_007];
+        for p in primes {
+            assert!(
+                is_probable_prime(&BigUint::from_u64(p), 20, &mut rng),
+                "{p} should be prime"
+            );
+        }
+        let composites = [0u64, 1, 4, 9, 15, 91, 561 /* Carmichael */, 65535, 1_000_000_008];
+        for c in composites {
+            assert!(
+                !is_probable_prime(&BigUint::from_u64(c), 20, &mut rng),
+                "{c} should be composite"
+            );
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // Carmichael numbers fool Fermat but not Miller–Rabin.
+        let mut rng = StdRng::seed_from_u64(2);
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 825265] {
+            assert!(!is_probable_prime(&BigUint::from_u64(c), 20, &mut rng));
+        }
+    }
+
+    #[test]
+    fn known_large_prime_accepted() {
+        // 2^89 − 1 is a Mersenne prime.
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = BigUint::one().shl_bits(89).sub_ref(&BigUint::one());
+        assert!(is_probable_prime(&p, 20, &mut rng));
+        // 2^89 + 1 is composite.
+        let c = BigUint::one().shl_bits(89).add_ref(&BigUint::one());
+        assert!(!is_probable_prime(&c, 20, &mut rng));
+    }
+
+    #[test]
+    fn gen_prime_has_requested_size() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for bits in [16usize, 32, 64, 96] {
+            let p = gen_prime_with_bit_exact(&mut rng, bits, 16);
+            assert_eq!(p.bits(), bits);
+            assert!(p.is_odd());
+            assert!(is_probable_prime(&p, 16, &mut rng));
+        }
+    }
+
+    #[test]
+    fn generated_primes_are_distinct() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = gen_prime_with_bit_exact(&mut rng, 64, 12);
+        let q = gen_prime_with_bit_exact(&mut rng, 64, 12);
+        assert_ne!(p, q);
+    }
+}

@@ -1,0 +1,121 @@
+//! Random value generation.
+
+use crate::BigUint;
+use rand::RngCore;
+
+/// Returns a uniformly random value with exactly `bits` random bits
+/// (the top bit is *not* forced to one; see [`random_bits_exact`] for that).
+pub fn random_bits<R: RngCore + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+    if bits == 0 {
+        return BigUint::zero();
+    }
+    let limbs = bits.div_ceil(64);
+    let mut v: Vec<u64> = (0..limbs).map(|_| rng.next_u64()).collect();
+    let top_bits = bits % 64;
+    if top_bits != 0 {
+        v[limbs - 1] &= (1u64 << top_bits) - 1;
+    }
+    BigUint::from_limbs(v)
+}
+
+/// Returns a uniformly random value in `[0, bound)`.
+///
+/// Uses rejection sampling on the bit-length of the bound, so the expected
+/// number of iterations is below 2.
+///
+/// # Panics
+/// Panics when `bound` is zero.
+pub fn random_below<R: RngCore + ?Sized>(rng: &mut R, bound: &BigUint) -> BigUint {
+    assert!(!bound.is_zero(), "bound must be positive");
+    let bits = bound.bits();
+    loop {
+        let candidate = random_bits(rng, bits);
+        if candidate < *bound {
+            return candidate;
+        }
+    }
+}
+
+/// Returns a uniformly random value in `[low, high)`.
+///
+/// # Panics
+/// Panics when `low >= high`.
+pub fn random_range<R: RngCore + ?Sized>(rng: &mut R, low: &BigUint, high: &BigUint) -> BigUint {
+    assert!(low < high, "empty range");
+    let width = high.sub_ref(low);
+    random_below(rng, &width).add_ref(low)
+}
+
+/// Returns a random value with exactly `bits` bits, i.e. the most significant
+/// bit is guaranteed to be one.
+pub fn random_bits_exact<R: RngCore + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+    assert!(bits > 0, "cannot force the top bit of a 0-bit value");
+    let mut v = random_bits(rng, bits);
+    v.set_bit(bits - 1, true);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_bits_respects_width() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for bits in [0usize, 1, 5, 63, 64, 65, 200] {
+            for _ in 0..20 {
+                let v = random_bits(&mut rng, bits);
+                assert!(v.bits() <= bits);
+            }
+        }
+    }
+
+    #[test]
+    fn random_below_in_range() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let bound = BigUint::from_u64(1000);
+        for _ in 0..200 {
+            assert!(random_below(&mut rng, &bound) < bound);
+        }
+        // Bound that is not a power of two and spans limbs.
+        let bound = BigUint::from_u128((1u128 << 64) + 12345);
+        for _ in 0..50 {
+            assert!(random_below(&mut rng, &bound) < bound);
+        }
+    }
+
+    #[test]
+    fn random_range_in_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let low = BigUint::from_u64(500);
+        let high = BigUint::from_u64(600);
+        for _ in 0..100 {
+            let v = random_range(&mut rng, &low, &high);
+            assert!(v >= low && v < high);
+        }
+    }
+
+    #[test]
+    fn random_bits_exact_sets_top_bit() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for bits in [1usize, 2, 64, 65, 256] {
+            let v = random_bits_exact(&mut rng, bits);
+            assert_eq!(v.bits(), bits);
+        }
+    }
+
+    #[test]
+    fn random_below_covers_small_range() {
+        // With bound 2 we must see both 0 and 1 quickly.
+        let mut rng = StdRng::seed_from_u64(11);
+        let bound = BigUint::two();
+        let mut seen = [false; 2];
+        for _ in 0..100 {
+            let v = random_below(&mut rng, &bound).to_u64().unwrap();
+            seen[v as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+}

@@ -1,0 +1,48 @@
+//! Serde support: values are (de)serialized as big-endian byte strings, which
+//! keeps the wire format independent of the limb width.
+
+use crate::BigUint;
+use serde::de::{self, Visitor};
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use std::fmt;
+
+impl Serialize for BigUint {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bytes(&self.to_bytes_be())
+    }
+}
+
+struct BigUintVisitor;
+
+impl<'de> Visitor<'de> for BigUintVisitor {
+    type Value = BigUint;
+
+    fn expecting(&self, f: &mut fmt::Formatter) -> fmt::Result {
+        f.write_str("big-endian bytes of an unsigned big integer")
+    }
+
+    fn visit_bytes<E: de::Error>(self, v: &[u8]) -> Result<BigUint, E> {
+        Ok(BigUint::from_bytes_be(v))
+    }
+
+    fn visit_byte_buf<E: de::Error>(self, v: Vec<u8>) -> Result<BigUint, E> {
+        Ok(BigUint::from_bytes_be(&v))
+    }
+
+    fn visit_seq<A>(self, mut seq: A) -> Result<BigUint, A::Error>
+    where
+        A: de::SeqAccess<'de>,
+    {
+        let mut bytes = Vec::with_capacity(seq.size_hint().unwrap_or(16));
+        while let Some(b) = seq.next_element::<u8>()? {
+            bytes.push(b);
+        }
+        Ok(BigUint::from_bytes_be(&bytes))
+    }
+}
+
+impl<'de> Deserialize<'de> for BigUint {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_bytes(BigUintVisitor)
+    }
+}

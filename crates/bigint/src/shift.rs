@@ -1,0 +1,119 @@
+//! Bit-shift operations.
+
+use crate::BigUint;
+use core::ops::{Shl, Shr};
+
+impl BigUint {
+    /// Returns `self << bits`.
+    pub fn shl_bits(&self, bits: usize) -> BigUint {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let limb_shift = bits / 64;
+        let bit_shift = (bits % 64) as u32;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Returns `self >> bits`.
+    pub fn shr_bits(&self, bits: usize) -> BigUint {
+        let limb_shift = bits / 64;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = (bits % 64) as u32;
+        let src = &self.limbs[limb_shift..];
+        let mut out = Vec::with_capacity(src.len());
+        if bit_shift == 0 {
+            out.extend_from_slice(src);
+        } else {
+            for i in 0..src.len() {
+                let lo = src[i] >> bit_shift;
+                let hi = if i + 1 < src.len() {
+                    src[i + 1] << (64 - bit_shift)
+                } else {
+                    0
+                };
+                out.push(lo | hi);
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+}
+
+impl Shl<usize> for &BigUint {
+    type Output = BigUint;
+    fn shl(self, rhs: usize) -> BigUint {
+        self.shl_bits(rhs)
+    }
+}
+
+impl Shr<usize> for &BigUint {
+    type Output = BigUint;
+    fn shr(self, rhs: usize) -> BigUint {
+        self.shr_bits(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bu(v: u128) -> BigUint {
+        BigUint::from_u128(v)
+    }
+
+    #[test]
+    fn shift_left_matches_u128() {
+        for v in [1u128, 0xDEADBEEF, u64::MAX as u128] {
+            for s in [0usize, 1, 7, 63, 64, 65] {
+                if v.leading_zeros() as usize >= s {
+                    assert_eq!(bu(v).shl_bits(s), bu(v << s), "v={v} s={s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shift_right_matches_u128() {
+        for v in [1u128, 0xDEADBEEF_CAFEBABE_u128, u128::MAX] {
+            for s in [0usize, 1, 7, 63, 64, 65, 127, 128, 200] {
+                assert_eq!(bu(v).shr_bits(s), bu(v.checked_shr(s as u32).unwrap_or(0)));
+            }
+        }
+    }
+
+    #[test]
+    fn shift_roundtrip() {
+        let a = BigUint::from_limbs(vec![0x0123456789ABCDEF, 0xFEDCBA9876543210, 0xFF]);
+        for s in [0usize, 1, 13, 64, 100, 191] {
+            assert_eq!(a.shl_bits(s).shr_bits(s), a);
+        }
+    }
+
+    #[test]
+    fn operators() {
+        let a = bu(0b1011);
+        assert_eq!(&a << 3, bu(0b1011000));
+        assert_eq!(&a >> 2, bu(0b10));
+    }
+
+    #[test]
+    fn shift_zero() {
+        assert!(BigUint::zero().shl_bits(100).is_zero());
+        assert!(BigUint::zero().shr_bits(100).is_zero());
+        assert!(bu(5).shr_bits(10_000).is_zero());
+    }
+}

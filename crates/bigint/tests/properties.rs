@@ -1,0 +1,186 @@
+//! Property-based tests for the big-integer substrate.
+//!
+//! Every arithmetic operation is checked against `u128` arithmetic on small
+//! operands and against algebraic identities on operands of arbitrary size.
+
+use proptest::prelude::*;
+use sknn_bigint::{BigUint, Montgomery};
+
+fn arb_biguint(max_limbs: usize) -> impl Strategy<Value = BigUint> {
+    prop::collection::vec(any::<u64>(), 0..=max_limbs).prop_map(BigUint::from_limbs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let sum = BigUint::from_u64(a).add_ref(&BigUint::from_u64(b));
+        prop_assert_eq!(sum, BigUint::from_u128(a as u128 + b as u128));
+    }
+
+    #[test]
+    fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let prod = BigUint::from_u64(a).mul_ref(&BigUint::from_u64(b));
+        prop_assert_eq!(prod, BigUint::from_u128(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn div_rem_matches_u128(a in any::<u128>(), b in 1u128..) {
+        let (q, r) = BigUint::from_u128(a).div_rem(&BigUint::from_u128(b));
+        prop_assert_eq!(q, BigUint::from_u128(a / b));
+        prop_assert_eq!(r, BigUint::from_u128(a % b));
+    }
+
+    #[test]
+    fn add_commutative_associative(a in arb_biguint(8), b in arb_biguint(8), c in arb_biguint(8)) {
+        prop_assert_eq!(a.add_ref(&b), b.add_ref(&a));
+        prop_assert_eq!(a.add_ref(&b).add_ref(&c), a.add_ref(&b.add_ref(&c)));
+    }
+
+    #[test]
+    fn mul_commutative_distributive(a in arb_biguint(6), b in arb_biguint(6), c in arb_biguint(6)) {
+        prop_assert_eq!(a.mul_ref(&b), b.mul_ref(&a));
+        prop_assert_eq!(
+            a.mul_ref(&b.add_ref(&c)),
+            a.mul_ref(&b).add_ref(&a.mul_ref(&c))
+        );
+    }
+
+    #[test]
+    fn sub_inverts_add(a in arb_biguint(8), b in arb_biguint(8)) {
+        prop_assert_eq!(a.add_ref(&b).sub_ref(&b), a.clone());
+        prop_assert_eq!(a.add_ref(&b).checked_sub(&a), Some(b));
+    }
+
+    #[test]
+    fn division_reconstruction(a in arb_biguint(10), b in arb_biguint(4)) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(q.mul_ref(&b).add_ref(&r), a);
+    }
+
+    #[test]
+    fn knuth_matches_binary_division(a in arb_biguint(10), b in arb_biguint(5)) {
+        prop_assume!(!b.is_zero());
+        prop_assert_eq!(a.div_rem(&b), a.div_rem_binary(&b));
+    }
+
+    #[test]
+    fn shift_left_is_mul_by_power_of_two(a in arb_biguint(6), s in 0usize..200) {
+        let two_pow = {
+            let mut v = BigUint::one();
+            for _ in 0..s { v = v.mul_u64(2); }
+            v
+        };
+        prop_assert_eq!(a.shl_bits(s), a.mul_ref(&two_pow));
+    }
+
+    #[test]
+    fn shift_roundtrip(a in arb_biguint(6), s in 0usize..200) {
+        prop_assert_eq!(a.shl_bits(s).shr_bits(s), a);
+    }
+
+    #[test]
+    fn bytes_roundtrip(a in arb_biguint(8)) {
+        prop_assert_eq!(BigUint::from_bytes_be(&a.to_bytes_be()), a.clone());
+        prop_assert_eq!(BigUint::from_bytes_le(&a.to_bytes_le()), a);
+    }
+
+    #[test]
+    fn decimal_roundtrip(a in arb_biguint(6)) {
+        prop_assert_eq!(BigUint::from_dec_str(&a.to_dec_string()).unwrap(), a);
+    }
+
+    #[test]
+    fn hex_roundtrip(a in arb_biguint(6)) {
+        prop_assert_eq!(BigUint::from_hex_str(&a.to_hex()).unwrap(), a);
+    }
+
+    #[test]
+    fn bit_decomposition_roundtrip(v in any::<u64>()) {
+        let b = BigUint::from_u64(v);
+        let bits = b.to_bits_msb_first(64);
+        prop_assert_eq!(BigUint::from_bits_msb_first(&bits), b);
+    }
+
+    #[test]
+    fn mod_pow_matches_u128_reference(base in any::<u64>(), exp in 0u64..512, modulus in 3u64..) {
+        let modulus = modulus | 1; // keep it odd so Montgomery is exercised
+        let expected = {
+            let mut acc: u128 = 1;
+            let m = modulus as u128;
+            let b = base as u128 % m;
+            for _ in 0..exp {
+                acc = acc * b % m;
+            }
+            acc
+        };
+        let got = BigUint::from_u64(base).mod_pow(&BigUint::from_u64(exp), &BigUint::from_u64(modulus));
+        prop_assert_eq!(got, BigUint::from_u128(expected));
+    }
+
+    #[test]
+    fn montgomery_pow_matches_basic(a in arb_biguint(4), e in arb_biguint(2), m in arb_biguint(4)) {
+        prop_assume!(m > BigUint::one() && m.is_odd());
+        let ctx = Montgomery::new(m.clone());
+        prop_assert_eq!(ctx.pow(&a, &e), a.mod_pow_basic(&e, &m));
+    }
+
+    #[test]
+    fn mod_inverse_is_inverse(a in any::<u64>(), m in 2u64..) {
+        let a_big = BigUint::from_u64(a);
+        let m_big = BigUint::from_u64(m);
+        match a_big.mod_inverse(&m_big) {
+            Some(inv) => {
+                prop_assert!(inv < m_big);
+                prop_assert_eq!(a_big.mod_mul(&inv, &m_big), BigUint::one());
+            }
+            None => {
+                let g = a_big.gcd(&m_big);
+                prop_assert!(!g.is_one() || a % m == 0);
+            }
+        }
+    }
+
+    #[test]
+    fn gcd_divides_both(a in arb_biguint(4), b in arb_biguint(4)) {
+        let g = a.gcd(&b);
+        if !g.is_zero() {
+            prop_assert!(a.rem_ref(&g).is_zero());
+            prop_assert!(b.rem_ref(&g).is_zero());
+        } else {
+            prop_assert!(a.is_zero() && b.is_zero());
+        }
+    }
+
+    #[test]
+    fn mod_add_sub_are_inverses(a in any::<u64>(), b in any::<u64>(), m in 2u64..) {
+        let m_big = BigUint::from_u64(m);
+        let a_big = BigUint::from_u64(a % m);
+        let b_big = BigUint::from_u64(b % m);
+        let s = a_big.mod_add(&b_big, &m_big);
+        prop_assert_eq!(s.mod_sub(&b_big, &m_big), a_big);
+    }
+}
+
+#[test]
+fn ordering_is_total_on_samples() {
+    let values = [
+        BigUint::zero(),
+        BigUint::one(),
+        BigUint::from_u64(u64::MAX),
+        BigUint::from_u128(u128::MAX),
+        BigUint::from_limbs(vec![0, 0, 1]),
+    ];
+    for a in &values {
+        for b in &values {
+            match a.cmp(b) {
+                std::cmp::Ordering::Less => assert!(b > a),
+                std::cmp::Ordering::Greater => assert!(b < a),
+                std::cmp::Ordering::Equal => assert_eq!(a, b),
+            }
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Access-pattern and leakage auditing.
+//!
+//! The difference between the two protocols is *what the clouds get to see*:
+//! SkNN_b reveals every plaintext distance to C2 and the identities of the k
+//! returned records to both clouds; SkNN_m reveals neither. The audit types in
+//! this module are filled in by the protocol drivers with exactly the
+//! information the respective protocol discloses by design, so examples and
+//! tests can assert the leakage difference instead of taking it on faith.
+
+/// What the two clouds learn about one query's execution, beyond ciphertexts
+/// and protocol-mandated random values.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AccessPatternAudit {
+    /// Record indices whose role as query results became known to cloud C1.
+    /// Empty for SkNN_m (C1 only ever handles encrypted indicator vectors).
+    pub record_indices_revealed_to_c1: Vec<usize>,
+    /// Record indices whose role as query results became known to cloud C2.
+    /// Empty for SkNN_m.
+    pub record_indices_revealed_to_c2: Vec<usize>,
+    /// Whether C2 observed the plaintext distance of every record to the
+    /// query (true for SkNN_b, false for SkNN_m).
+    pub distances_revealed_to_c2: bool,
+    /// Whether either cloud could link the returned result set to specific
+    /// stored records. Equivalent to "access pattern leaked".
+    pub access_pattern_revealed: bool,
+}
+
+impl AccessPatternAudit {
+    /// The audit of a protocol run that revealed nothing (SkNN_m's goal).
+    pub fn nothing_revealed() -> Self {
+        Self::default()
+    }
+
+    /// The audit of an SkNN_b run that revealed the top-k identities and the
+    /// plaintext distances.
+    pub fn basic_protocol(top_k_indices: &[usize]) -> Self {
+        AccessPatternAudit {
+            record_indices_revealed_to_c1: top_k_indices.to_vec(),
+            record_indices_revealed_to_c2: top_k_indices.to_vec(),
+            distances_revealed_to_c2: true,
+            access_pattern_revealed: !top_k_indices.is_empty(),
+        }
+    }
+
+    /// `true` when neither cloud learned anything about which records were
+    /// returned or how far they are from the query.
+    pub fn is_oblivious(&self) -> bool {
+        self.record_indices_revealed_to_c1.is_empty()
+            && self.record_indices_revealed_to_c2.is_empty()
+            && !self.distances_revealed_to_c2
+            && !self.access_pattern_revealed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nothing_revealed_is_oblivious() {
+        assert!(AccessPatternAudit::nothing_revealed().is_oblivious());
+    }
+
+    #[test]
+    fn basic_protocol_leaks() {
+        let audit = AccessPatternAudit::basic_protocol(&[3, 4]);
+        assert!(!audit.is_oblivious());
+        assert!(audit.access_pattern_revealed);
+        assert!(audit.distances_revealed_to_c2);
+        assert_eq!(audit.record_indices_revealed_to_c1, vec![3, 4]);
+        assert_eq!(audit.record_indices_revealed_to_c2, vec![3, 4]);
+    }
+
+    #[test]
+    fn basic_protocol_with_no_results_reveals_no_pattern() {
+        let audit = AccessPatternAudit::basic_protocol(&[]);
+        assert!(!audit.access_pattern_revealed);
+        // Distances are still decrypted by C2 even when k = 0.
+        assert!(audit.distances_revealed_to_c2);
+    }
+}

@@ -1,0 +1,78 @@
+//! Configuration types for the federated-cloud setup and for secure queries.
+
+/// How cloud C1 talks to the key-holding cloud C2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// Direct in-process calls (the configuration matching the paper's
+    /// single-machine evaluation; fastest, no traffic accounting).
+    #[default]
+    InProcess,
+    /// An in-process message channel with byte-accurate traffic accounting
+    /// (see [`sknn_protocols::transport::ChannelKeyHolder`]).
+    Channel,
+}
+
+/// Configuration for [`crate::Federation::setup`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FederationConfig {
+    /// Paillier modulus size in bits (the paper's `K`; 512 and 1024 in the
+    /// evaluation, smaller values are practical for tests).
+    pub key_bits: usize,
+    /// Bit length of the squared-distance domain (the paper's `l`).
+    /// `None` derives the smallest safe value from the outsourced table and
+    /// the expected query domain.
+    pub distance_bits: Option<usize>,
+    /// Largest attribute value queries are expected to contain; only used
+    /// when `distance_bits` is derived automatically.
+    pub max_query_value: u64,
+    /// Transport between the clouds.
+    pub transport: TransportKind,
+    /// Worker threads used by the record-parallel stages (1 = serial,
+    /// reproducing the paper's serial measurements; 6 matches the OpenMP
+    /// configuration of Figure 3).
+    pub threads: usize,
+    /// Seed for cloud C2's internal randomness (kept deterministic so
+    /// experiments are reproducible).
+    pub c2_seed: u64,
+}
+
+impl Default for FederationConfig {
+    fn default() -> Self {
+        FederationConfig {
+            key_bits: 512,
+            distance_bits: None,
+            max_query_value: 0,
+            transport: TransportKind::InProcess,
+            threads: 1,
+            c2_seed: 0x5EC0_0D02,
+        }
+    }
+}
+
+/// Parameters of one SkNN_m (fully secure) query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SecureQueryParams {
+    /// Number of nearest neighbors to retrieve.
+    pub k: usize,
+    /// Bit length of the squared-distance domain (`l`).
+    pub l: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_conventions() {
+        let c = FederationConfig::default();
+        assert_eq!(c.key_bits, 512);
+        assert_eq!(c.transport, TransportKind::InProcess);
+        assert_eq!(c.threads, 1);
+        assert!(c.distance_bits.is_none());
+    }
+
+    #[test]
+    fn transport_default_is_in_process() {
+        assert_eq!(TransportKind::default(), TransportKind::InProcess);
+    }
+}

@@ -1,0 +1,159 @@
+//! Encrypted database, query and result-transfer types.
+
+use sknn_bigint::BigUint;
+use sknn_paillier::{Ciphertext, PublicKey};
+
+/// One attribute-wise encrypted record: `⟨E(t_{i,1}), …, E(t_{i,m})⟩`.
+pub type EncryptedRecord = Vec<Ciphertext>;
+
+/// The attribute-wise encrypted database `E_pk(T)` hosted by cloud C1.
+#[derive(Clone, Debug)]
+pub struct EncryptedDatabase {
+    records: Vec<EncryptedRecord>,
+    attributes: usize,
+    public_key: PublicKey,
+}
+
+impl EncryptedDatabase {
+    /// Assembles an encrypted database. Intended to be called by
+    /// [`crate::DataOwner::encrypt_table`]; exposed for advanced integrations
+    /// that obtain ciphertexts from elsewhere.
+    ///
+    /// # Panics
+    /// Panics when records have inconsistent widths.
+    pub fn from_records(records: Vec<EncryptedRecord>, public_key: PublicKey) -> Self {
+        let attributes = records.first().map_or(0, |r| r.len());
+        assert!(
+            records.iter().all(|r| r.len() == attributes),
+            "encrypted records have inconsistent widths"
+        );
+        EncryptedDatabase {
+            records,
+            attributes,
+            public_key,
+        }
+    }
+
+    /// Number of records (`n`).
+    pub fn num_records(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Number of attributes (`m`).
+    pub fn num_attributes(&self) -> usize {
+        self.attributes
+    }
+
+    /// Borrow one encrypted record.
+    pub fn record(&self, i: usize) -> &EncryptedRecord {
+        &self.records[i]
+    }
+
+    /// Borrow all encrypted records.
+    pub fn records(&self) -> &[EncryptedRecord] {
+        &self.records
+    }
+
+    /// The public key the records are encrypted under.
+    pub fn public_key(&self) -> &PublicKey {
+        &self.public_key
+    }
+}
+
+/// Bob's attribute-wise encrypted query `E_pk(Q) = ⟨E(q_1), …, E(q_m)⟩`.
+#[derive(Clone, Debug)]
+pub struct EncryptedQuery {
+    attributes: Vec<Ciphertext>,
+}
+
+impl EncryptedQuery {
+    /// Wraps the encrypted query attributes.
+    pub fn new(attributes: Vec<Ciphertext>) -> Self {
+        EncryptedQuery { attributes }
+    }
+
+    /// Number of attributes (`m`).
+    pub fn num_attributes(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Borrow the encrypted attributes.
+    pub fn attributes(&self) -> &[Ciphertext] {
+        &self.attributes
+    }
+}
+
+/// The two shares of the final result, produced at the end of either protocol
+/// (steps 4–5 of Algorithm 5):
+///
+/// * `masks` — the random values `r_{j,h}` C1 sends directly to Bob;
+/// * `masked_values` — the decrypted, still-masked attributes `γ′_{j,h}` C2
+///   sends to Bob.
+///
+/// Neither share alone reveals anything about the result records; Bob combines
+/// them with [`crate::QueryUser::recover_records`].
+#[derive(Clone, Debug)]
+pub struct MaskedResult {
+    /// `r_{j,h}` — one mask per returned attribute, indexed `[neighbor][attribute]`.
+    pub masks: Vec<Vec<BigUint>>,
+    /// `γ′_{j,h} = t′_{j,h} + r_{j,h} mod N`, same shape as `masks`.
+    pub masked_values: Vec<Vec<BigUint>>,
+}
+
+impl MaskedResult {
+    /// Number of neighbors contained in the result.
+    pub fn num_neighbors(&self) -> usize {
+        self.masks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sknn_paillier::Keypair;
+
+    #[test]
+    fn database_accessors() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (pk, _) = Keypair::generate(64, &mut rng).split();
+        let records = vec![
+            vec![pk.encrypt_u64(1, &mut rng), pk.encrypt_u64(2, &mut rng)],
+            vec![pk.encrypt_u64(3, &mut rng), pk.encrypt_u64(4, &mut rng)],
+        ];
+        let db = EncryptedDatabase::from_records(records, pk.clone());
+        assert_eq!(db.num_records(), 2);
+        assert_eq!(db.num_attributes(), 2);
+        assert_eq!(db.record(0).len(), 2);
+        assert_eq!(db.records().len(), 2);
+        assert_eq!(db.public_key(), &pk);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent")]
+    fn ragged_records_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (pk, _) = Keypair::generate(64, &mut rng).split();
+        let records = vec![
+            vec![pk.encrypt_u64(1, &mut rng)],
+            vec![pk.encrypt_u64(1, &mut rng), pk.encrypt_u64(2, &mut rng)],
+        ];
+        let _ = EncryptedDatabase::from_records(records, pk);
+    }
+
+    #[test]
+    fn query_and_masked_result_shapes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (pk, _) = Keypair::generate(64, &mut rng).split();
+        let q = EncryptedQuery::new(vec![pk.encrypt_u64(9, &mut rng)]);
+        assert_eq!(q.num_attributes(), 1);
+        assert_eq!(q.attributes().len(), 1);
+
+        let r = MaskedResult {
+            masks: vec![vec![BigUint::one()]; 3],
+            masked_values: vec![vec![BigUint::two()]; 3],
+        };
+        assert_eq!(r.num_neighbors(), 3);
+    }
+}

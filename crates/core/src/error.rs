@@ -1,0 +1,102 @@
+//! Error type for the query-protocol layer.
+
+use core::fmt;
+use sknn_protocols::ProtocolError;
+
+/// Errors surfaced while outsourcing a database or answering a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SknnError {
+    /// The plaintext table is empty or has rows of differing widths.
+    MalformedTable {
+        /// Human-readable description of the defect.
+        reason: &'static str,
+    },
+    /// The query record's dimensionality differs from the table's.
+    QueryDimensionMismatch {
+        /// Number of attributes in the outsourced table.
+        table: usize,
+        /// Number of attributes in the query.
+        query: usize,
+    },
+    /// `k` must satisfy `1 ≤ k ≤ n`.
+    InvalidK {
+        /// The requested number of neighbors.
+        k: usize,
+        /// The number of records in the database.
+        n: usize,
+    },
+    /// The configured distance-domain bit length cannot hold the largest
+    /// possible squared distance for this table.
+    InsufficientDistanceBits {
+        /// The configured `l`.
+        l: usize,
+        /// The minimum `l` that would be safe.
+        required: usize,
+    },
+    /// An error bubbled up from the underlying two-party protocols.
+    Protocol(ProtocolError),
+}
+
+impl fmt::Display for SknnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SknnError::MalformedTable { reason } => write!(f, "malformed table: {reason}"),
+            SknnError::QueryDimensionMismatch { table, query } => write!(
+                f,
+                "query has {query} attributes but the outsourced table has {table}"
+            ),
+            SknnError::InvalidK { k, n } => {
+                write!(f, "k = {k} is outside the valid range 1..={n}")
+            }
+            SknnError::InsufficientDistanceBits { l, required } => write!(
+                f,
+                "distance domain of {l} bits cannot hold the worst-case squared distance ({required} bits required)"
+            ),
+            SknnError::Protocol(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SknnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SknnError::Protocol(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProtocolError> for SknnError {
+    fn from(e: ProtocolError) -> Self {
+        SknnError::Protocol(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e = SknnError::InvalidK { k: 10, n: 5 };
+        assert!(e.to_string().contains("k = 10"));
+        let p: SknnError = ProtocolError::TransportClosed.into();
+        assert!(matches!(p, SknnError::Protocol(_)));
+        assert!(p.to_string().contains("protocol error"));
+        assert!(SknnError::MalformedTable { reason: "empty" }.to_string().contains("empty"));
+        assert!(SknnError::QueryDimensionMismatch { table: 3, query: 2 }
+            .to_string()
+            .contains("2 attributes"));
+        assert!(SknnError::InsufficientDistanceBits { l: 6, required: 9 }
+            .to_string()
+            .contains("9 bits"));
+    }
+
+    #[test]
+    fn protocol_source_is_preserved() {
+        use std::error::Error;
+        let e = SknnError::Protocol(ProtocolError::TransportClosed);
+        assert!(e.source().is_some());
+        assert!(SknnError::InvalidK { k: 1, n: 1 }.source().is_none());
+    }
+}

@@ -1,0 +1,420 @@
+//! The federated-cloud harness: one data owner, one query user, two clouds,
+//! wired together for repeated queries over a single outsourced table.
+//!
+//! This is the high-level entry point used by the examples and by the
+//! benchmark harness; applications embedding the library into a real
+//! deployment would instead instantiate [`crate::DataOwner`],
+//! [`crate::QueryUser`], [`crate::CloudC1`] and a
+//! [`sknn_protocols::KeyHolder`] on their respective machines.
+
+use crate::config::{FederationConfig, SecureQueryParams, TransportKind};
+use crate::parallel::ParallelismConfig;
+use crate::profile::QueryProfile;
+use crate::roles::{CloudC1, DataOwner, QueryUser};
+use crate::{AccessPatternAudit, SknnError, Table};
+use rand::RngCore;
+use sknn_paillier::PublicKey;
+use sknn_protocols::stats::{CommSnapshot, CommStats};
+use sknn_protocols::transport::ChannelKeyHolder;
+use sknn_protocols::{KeyHolder, LocalKeyHolder};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// The result of one query, as seen by Bob plus the measurement artifacts the
+/// evaluation harness needs.
+#[derive(Debug)]
+pub struct QueryResult {
+    /// The k nearest records, nearest first (ties may appear in either order
+    /// for the fully secure protocol).
+    pub records: Vec<Vec<u64>>,
+    /// Wall-clock time per protocol stage.
+    pub profile: QueryProfile,
+    /// What the clouds learned while answering this query.
+    pub audit: AccessPatternAudit,
+    /// Traffic between the clouds during this query (only with
+    /// [`TransportKind::Channel`]).
+    pub comm: Option<CommSnapshot>,
+}
+
+enum C2Handle {
+    Local(Box<LocalKeyHolder>),
+    Channel {
+        client: ChannelKeyHolder,
+        stats: Arc<CommStats>,
+        _server: JoinHandle<()>,
+    },
+}
+
+impl C2Handle {
+    fn key_holder(&self) -> &dyn KeyHolder {
+        match self {
+            C2Handle::Local(holder) => holder.as_ref(),
+            C2Handle::Channel { client, .. } => client,
+        }
+    }
+
+    fn stats(&self) -> Option<&Arc<CommStats>> {
+        match self {
+            C2Handle::Local(_) => None,
+            C2Handle::Channel { stats, .. } => Some(stats),
+        }
+    }
+}
+
+/// A ready-to-query federated deployment of the two clouds.
+pub struct Federation {
+    public_key: PublicKey,
+    user: QueryUser,
+    c1: CloudC1,
+    c2: C2Handle,
+    distance_bits: usize,
+    parallelism: ParallelismConfig,
+}
+
+impl Federation {
+    /// Outsources `table` under a fresh key pair and stands up both clouds.
+    ///
+    /// # Errors
+    /// Returns an error when the table is malformed or the derived/configured
+    /// distance-bit length does not fit the chosen key size.
+    pub fn setup<R: RngCore + ?Sized>(
+        table: &Table,
+        config: FederationConfig,
+        rng: &mut R,
+    ) -> Result<Federation, SknnError> {
+        let owner = DataOwner::new(config.key_bits, rng);
+        Self::setup_with_owner(owner, table, config, rng)
+    }
+
+    /// Like [`Federation::setup`] but with a caller-supplied data owner
+    /// (i.e. a pre-generated key pair), which benchmark code uses to amortize
+    /// key generation across measurements.
+    pub fn setup_with_owner<R: RngCore + ?Sized>(
+        owner: DataOwner,
+        table: &Table,
+        config: FederationConfig,
+        rng: &mut R,
+    ) -> Result<Federation, SknnError> {
+        let required = table.required_distance_bits(config.max_query_value);
+        let distance_bits = config.distance_bits.unwrap_or(required);
+        if distance_bits < required {
+            return Err(SknnError::InsufficientDistanceBits {
+                l: distance_bits,
+                required,
+            });
+        }
+        if distance_bits + 2 >= config.key_bits {
+            return Err(SknnError::InsufficientDistanceBits {
+                l: distance_bits,
+                required: config.key_bits.saturating_sub(2),
+            });
+        }
+
+        let db = owner.encrypt_table(table, rng);
+        let c1 = CloudC1::new(db);
+        let user = QueryUser::new(owner.public_key().clone());
+        let public_key = owner.public_key().clone();
+
+        let holder = LocalKeyHolder::new(owner.private_key().clone(), config.c2_seed);
+        let c2 = match config.transport {
+            TransportKind::InProcess => C2Handle::Local(Box::new(holder)),
+            TransportKind::Channel => {
+                let (client, server) = ChannelKeyHolder::spawn(holder);
+                let stats = client.stats();
+                C2Handle::Channel {
+                    client,
+                    stats,
+                    _server: server,
+                }
+            }
+        };
+
+        Ok(Federation {
+            public_key,
+            user,
+            c1,
+            c2,
+            distance_bits,
+            parallelism: ParallelismConfig {
+                threads: config.threads.max(1),
+            },
+        })
+    }
+
+    /// The public key the deployment operates under.
+    pub fn public_key(&self) -> &PublicKey {
+        &self.public_key
+    }
+
+    /// The query user (Bob) attached to this deployment.
+    pub fn query_user(&self) -> &QueryUser {
+        &self.user
+    }
+
+    /// Cloud C1 (useful for driving the lower-level API directly).
+    pub fn cloud_c1(&self) -> &CloudC1 {
+        &self.c1
+    }
+
+    /// The distance-domain bit length (`l`) used by secure queries.
+    pub fn distance_bits(&self) -> usize {
+        self.distance_bits
+    }
+
+    /// Number of records in the outsourced database.
+    pub fn num_records(&self) -> usize {
+        self.c1.database().num_records()
+    }
+
+    /// Number of attributes per record.
+    pub fn num_attributes(&self) -> usize {
+        self.c1.database().num_attributes()
+    }
+
+    /// Cumulative inter-cloud traffic counters (only with
+    /// [`TransportKind::Channel`]).
+    pub fn comm_stats(&self) -> Option<CommSnapshot> {
+        self.c2.stats().map(|s| s.snapshot())
+    }
+
+    /// Overrides the number of worker threads used by the record-parallel
+    /// stages of both protocols.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.parallelism = ParallelismConfig {
+            threads: threads.max(1),
+        };
+    }
+
+    /// Answers a query with the basic protocol SkNN_b (Algorithm 5).
+    ///
+    /// # Errors
+    /// Propagates validation errors (dimension mismatch, invalid `k`).
+    pub fn query_basic<R: RngCore + ?Sized>(
+        &self,
+        query: &[u64],
+        k: usize,
+        rng: &mut R,
+    ) -> Result<QueryResult, SknnError> {
+        let before = self.comm_stats();
+        let enc_q = self.user.encrypt_query(query, rng);
+        let (masked, profile, audit) =
+            self.c1
+                .process_basic(self.c2.key_holder(), &enc_q, k, self.parallelism, rng)?;
+        let records = self.user.recover_records(&masked);
+        Ok(QueryResult {
+            records,
+            profile,
+            audit,
+            comm: delta(before, self.comm_stats()),
+        })
+    }
+
+    /// Answers a query with the fully secure protocol SkNN_m (Algorithm 6),
+    /// using the deployment's derived distance-bit length.
+    ///
+    /// # Errors
+    /// Propagates validation errors (dimension mismatch, invalid `k`, bad `l`).
+    pub fn query_secure<R: RngCore + ?Sized>(
+        &self,
+        query: &[u64],
+        k: usize,
+        rng: &mut R,
+    ) -> Result<QueryResult, SknnError> {
+        self.query_secure_with_bits(query, k, self.distance_bits, rng)
+    }
+
+    /// [`Federation::query_secure`] with an explicit distance-bit length,
+    /// used by the harness to sweep `l` as in Figures 2(d)–(e).
+    ///
+    /// # Errors
+    /// Propagates validation errors (dimension mismatch, invalid `k`, bad `l`).
+    pub fn query_secure_with_bits<R: RngCore + ?Sized>(
+        &self,
+        query: &[u64],
+        k: usize,
+        l: usize,
+        rng: &mut R,
+    ) -> Result<QueryResult, SknnError> {
+        let before = self.comm_stats();
+        let enc_q = self.user.encrypt_query(query, rng);
+        let (masked, profile, audit) = self.c1.process_secure(
+            self.c2.key_holder(),
+            &enc_q,
+            SecureQueryParams { k, l },
+            self.parallelism,
+            rng,
+        )?;
+        let records = self.user.recover_records(&masked);
+        Ok(QueryResult {
+            records,
+            profile,
+            audit,
+            comm: delta(before, self.comm_stats()),
+        })
+    }
+}
+
+fn delta(before: Option<CommSnapshot>, after: Option<CommSnapshot>) -> Option<CommSnapshot> {
+    match (before, after) {
+        (Some(b), Some(a)) => Some(a.since(&b)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plain_knn_records;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn table() -> Table {
+        // Distances from the query (2, 2) are 68, 29, 18, 98, 2 — all distinct,
+        // so every k has a unique expected result set.
+        Table::new(vec![
+            vec![10, 0],
+            vec![0, 7],
+            vec![5, 5],
+            vec![9, 9],
+            vec![1, 1],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn end_to_end_basic_and_secure_agree_with_plaintext() {
+        let mut rng = StdRng::seed_from_u64(401);
+        let table = table();
+        let config = FederationConfig {
+            key_bits: 96,
+            max_query_value: 10,
+            ..Default::default()
+        };
+        let federation = Federation::setup(&table, config, &mut rng).unwrap();
+        let query = [2u64, 2];
+        let expected = plain_knn_records(&table, &query, 3);
+
+        let basic = federation.query_basic(&query, 3, &mut rng).unwrap();
+        assert_eq!(basic.records, expected);
+        assert!(!basic.audit.is_oblivious());
+        assert!(basic.comm.is_none());
+
+        let secure = federation.query_secure(&query, 3, &mut rng).unwrap();
+        let mut got = secure.records.clone();
+        let mut want = expected.clone();
+        got.sort();
+        want.sort();
+        assert_eq!(got, want);
+        assert!(secure.audit.is_oblivious());
+    }
+
+    #[test]
+    fn channel_transport_reports_traffic() {
+        let mut rng = StdRng::seed_from_u64(402);
+        let table = table();
+        let config = FederationConfig {
+            key_bits: 96,
+            max_query_value: 10,
+            transport: TransportKind::Channel,
+            ..Default::default()
+        };
+        let federation = Federation::setup(&table, config, &mut rng).unwrap();
+        let result = federation.query_basic(&[2, 2], 2, &mut rng).unwrap();
+        let comm = result.comm.expect("channel transport records traffic");
+        assert!(comm.requests > 0);
+        assert!(comm.total_bytes() > 0);
+
+        // The secure protocol moves strictly more data between the clouds.
+        let secure = federation.query_secure(&[2, 2], 2, &mut rng).unwrap();
+        let secure_comm = secure.comm.unwrap();
+        assert!(secure_comm.total_bytes() > comm.total_bytes());
+    }
+
+    #[test]
+    fn distance_bits_are_derived_and_overridable() {
+        let mut rng = StdRng::seed_from_u64(403);
+        let table = table();
+        let auto = Federation::setup(
+            &table,
+            FederationConfig {
+                key_bits: 96,
+                max_query_value: 10,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(auto.distance_bits(), table.required_distance_bits(10));
+        assert_eq!(auto.num_records(), 5);
+        assert_eq!(auto.num_attributes(), 2);
+
+        let custom = Federation::setup(
+            &table,
+            FederationConfig {
+                key_bits: 96,
+                max_query_value: 10,
+                distance_bits: Some(12),
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(custom.distance_bits(), 12);
+
+        let too_small = Federation::setup(
+            &table,
+            FederationConfig {
+                key_bits: 96,
+                max_query_value: 10,
+                distance_bits: Some(3),
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        assert!(matches!(
+            too_small,
+            Err(SknnError::InsufficientDistanceBits { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_l_for_key_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(404);
+        let table = table();
+        let result = Federation::setup(
+            &table,
+            FederationConfig {
+                key_bits: 64,
+                max_query_value: 10,
+                distance_bits: Some(70),
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        assert!(matches!(
+            result,
+            Err(SknnError::InsufficientDistanceBits { .. })
+        ));
+    }
+
+    #[test]
+    fn threads_can_be_adjusted() {
+        let mut rng = StdRng::seed_from_u64(405);
+        let table = table();
+        let mut federation = Federation::setup(
+            &table,
+            FederationConfig {
+                key_bits: 96,
+                max_query_value: 10,
+                threads: 4,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        let a = federation.query_basic(&[2, 2], 2, &mut rng).unwrap();
+        federation.set_threads(1);
+        let b = federation.query_basic(&[2, 2], 2, &mut rng).unwrap();
+        assert_eq!(a.records, b.records);
+    }
+}

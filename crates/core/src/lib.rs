@@ -1,0 +1,80 @@
+//! # sknn-core
+//!
+//! The two secure k-nearest-neighbor query protocols of
+//! *Elmehdwi, Samanthula, Jiang — "Secure k-Nearest Neighbor Query over
+//! Encrypted Data in Outsourced Environments"* (ICDE 2014), together with the
+//! roles that run them:
+//!
+//! * **Alice** — the [`DataOwner`]: encrypts her table attribute-wise and
+//!   outsources the ciphertexts to cloud `C1` and the secret key to cloud `C2`.
+//! * **Bob** — the [`QueryUser`]: encrypts his query record, sends it to `C1`,
+//!   and later combines the masks from `C1` with the masked plaintexts
+//!   decrypted by `C2` to learn exactly the k nearest records and nothing else.
+//! * **C1** — [`CloudC1`]: stores the encrypted database and drives the query
+//!   protocols, interacting with `C2` only through the
+//!   [`sknn_protocols::KeyHolder`] interface.
+//! * **C2** — any [`sknn_protocols::KeyHolder`] implementation
+//!   (in-process or channel-based with traffic accounting).
+//!
+//! Two protocols are provided:
+//!
+//! * [`CloudC1::process_basic`] — **SkNN_b** (Algorithm 5): fast, but reveals
+//!   the plaintext distances to `C2` and the data-access pattern to both
+//!   clouds.
+//! * [`CloudC1::process_secure`] — **SkNN_m** (Algorithm 6): reveals nothing
+//!   beyond ciphertexts and protocol-mandated random values; distances stay
+//!   encrypted, the winning records are selected obliviously, and access
+//!   patterns are hidden.
+//!
+//! The [`Federation`] type wires all four roles together for the common case
+//! (one process, repeated queries over one outsourced table) and is what the
+//! examples and benchmarks use.
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use sknn_core::{Federation, FederationConfig, Table};
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let table = Table::new(vec![
+//!     vec![63, 1, 145],
+//!     vec![56, 1, 130],
+//!     vec![57, 0, 140],
+//!     vec![55, 0, 128],
+//! ]).unwrap();
+//!
+//! let config = FederationConfig { key_bits: 128, ..Default::default() };
+//! let federation = Federation::setup(&table, config, &mut rng).unwrap();
+//! let result = federation.query_secure(&[58, 1, 133], 2, &mut rng).unwrap();
+//! assert_eq!(result.records.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+mod config;
+mod encdb;
+mod error;
+mod federation;
+mod parallel;
+mod plain;
+mod profile;
+mod roles;
+mod sknn_basic;
+mod sknn_secure;
+mod table;
+
+pub use audit::AccessPatternAudit;
+pub use config::{FederationConfig, SecureQueryParams, TransportKind};
+pub use encdb::{EncryptedDatabase, EncryptedQuery, EncryptedRecord, MaskedResult};
+pub use error::SknnError;
+pub use federation::{Federation, QueryResult};
+pub use parallel::ParallelismConfig;
+pub use plain::{plain_knn, plain_knn_records, squared_euclidean_distance};
+pub use profile::{QueryProfile, Stage};
+pub use roles::{CloudC1, DataOwner, QueryUser};
+pub use table::Table;
+
+// Re-export the lower layers so downstream users need a single dependency.
+pub use sknn_paillier::{Ciphertext, Keypair, PrivateKey, PublicKey};
+pub use sknn_protocols::{KeyHolder, LocalKeyHolder};

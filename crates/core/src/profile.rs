@@ -1,0 +1,171 @@
+//! Per-stage timing of a query execution.
+//!
+//! Section 5.2 of the paper reports that SMIN_n accounts for roughly 70–75 %
+//! of SkNN_m's cost; this module lets the benchmark harness reproduce that
+//! breakdown instead of only end-to-end times.
+
+use std::time::Duration;
+
+/// The stages instrumented during query processing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Stage {
+    /// Secure squared-distance computation (SSED over every record).
+    DistanceComputation,
+    /// Secure bit decomposition of every distance (SkNN_m only).
+    BitDecomposition,
+    /// The k SMIN_n tournaments (SkNN_m only).
+    SecureMinimum,
+    /// Locating and extracting the winning record obliviously
+    /// (steps 3(b)–3(d) of Algorithm 6), or the top-k index exchange of SkNN_b.
+    RecordSelection,
+    /// Obliviously saturating the chosen record's distance via SBOR
+    /// (step 3(e) of Algorithm 6).
+    DistanceFreezing,
+    /// Masking, decrypting and handing the k records to Bob.
+    Finalization,
+}
+
+impl Stage {
+    /// All stages in execution order.
+    pub const ALL: [Stage; 6] = [
+        Stage::DistanceComputation,
+        Stage::BitDecomposition,
+        Stage::SecureMinimum,
+        Stage::RecordSelection,
+        Stage::DistanceFreezing,
+        Stage::Finalization,
+    ];
+
+    /// A short human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Stage::DistanceComputation => "SSED",
+            Stage::BitDecomposition => "SBD",
+            Stage::SecureMinimum => "SMIN_n",
+            Stage::RecordSelection => "selection",
+            Stage::DistanceFreezing => "SBOR freeze",
+            Stage::Finalization => "finalize",
+        }
+    }
+}
+
+/// Wall-clock timings of one query, broken down by [`Stage`].
+#[derive(Clone, Debug, Default)]
+pub struct QueryProfile {
+    durations: Vec<(Stage, Duration)>,
+    total: Duration,
+}
+
+impl QueryProfile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `elapsed` to the accumulated time of `stage`.
+    pub fn record(&mut self, stage: Stage, elapsed: Duration) {
+        self.total += elapsed;
+        if let Some(entry) = self.durations.iter_mut().find(|(s, _)| *s == stage) {
+            entry.1 += elapsed;
+        } else {
+            self.durations.push((stage, elapsed));
+        }
+    }
+
+    /// Runs `f`, recording its wall-clock time under `stage`, and returns its
+    /// result.
+    pub fn time<T>(&mut self, stage: Stage, f: impl FnOnce() -> T) -> T {
+        let start = std::time::Instant::now();
+        let out = f();
+        self.record(stage, start.elapsed());
+        out
+    }
+
+    /// Accumulated time of one stage (zero if the stage never ran).
+    pub fn stage(&self, stage: Stage) -> Duration {
+        self.durations
+            .iter()
+            .find(|(s, _)| *s == stage)
+            .map(|(_, d)| *d)
+            .unwrap_or_default()
+    }
+
+    /// Total time across all stages.
+    pub fn total(&self) -> Duration {
+        self.total
+    }
+
+    /// Fraction (0..=1) of the total spent in `stage`; zero when nothing was
+    /// recorded at all.
+    pub fn fraction(&self, stage: Stage) -> f64 {
+        if self.total.is_zero() {
+            0.0
+        } else {
+            self.stage(stage).as_secs_f64() / self.total.as_secs_f64()
+        }
+    }
+
+    /// Stages with non-zero accumulated time, in execution order.
+    pub fn stages(&self) -> Vec<(Stage, Duration)> {
+        let mut v = self.durations.clone();
+        v.sort_by_key(|(s, _)| *s);
+        v
+    }
+
+    /// Merges another profile into this one (used by the parallel executor to
+    /// fold per-thread measurements together).
+    pub fn merge(&mut self, other: &QueryProfile) {
+        for (stage, d) in &other.durations {
+            self.record(*stage, *d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut p = QueryProfile::new();
+        p.record(Stage::DistanceComputation, Duration::from_millis(30));
+        p.record(Stage::SecureMinimum, Duration::from_millis(60));
+        p.record(Stage::SecureMinimum, Duration::from_millis(10));
+        assert_eq!(p.stage(Stage::SecureMinimum), Duration::from_millis(70));
+        assert_eq!(p.stage(Stage::Finalization), Duration::ZERO);
+        assert_eq!(p.total(), Duration::from_millis(100));
+        assert!((p.fraction(Stage::SecureMinimum) - 0.7).abs() < 1e-9);
+        assert_eq!(p.stages().len(), 2);
+    }
+
+    #[test]
+    fn time_closure() {
+        let mut p = QueryProfile::new();
+        let out = p.time(Stage::Finalization, || {
+            std::thread::sleep(Duration::from_millis(5));
+            42
+        });
+        assert_eq!(out, 42);
+        assert!(p.stage(Stage::Finalization) >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = QueryProfile::new();
+        a.record(Stage::DistanceComputation, Duration::from_millis(10));
+        let mut b = QueryProfile::new();
+        b.record(Stage::DistanceComputation, Duration::from_millis(5));
+        b.record(Stage::BitDecomposition, Duration::from_millis(7));
+        a.merge(&b);
+        assert_eq!(a.stage(Stage::DistanceComputation), Duration::from_millis(15));
+        assert_eq!(a.stage(Stage::BitDecomposition), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn labels_and_order() {
+        assert_eq!(Stage::ALL.len(), 6);
+        assert_eq!(Stage::SecureMinimum.label(), "SMIN_n");
+        let empty = QueryProfile::new();
+        assert_eq!(empty.fraction(Stage::SecureMinimum), 0.0);
+    }
+}

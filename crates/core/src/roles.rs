@@ -1,0 +1,286 @@
+//! The four roles of the outsourced-database setting: the data owner (Alice),
+//! the query user (Bob), and the two clouds.
+//!
+//! Cloud C2 is any [`sknn_protocols::KeyHolder`]; cloud C1 is [`CloudC1`],
+//! whose two query-processing entry points live in the `sknn_basic` and
+//! `sknn_secure` modules.
+
+use crate::{EncryptedDatabase, EncryptedQuery, MaskedResult, SknnError, Table};
+use rand::RngCore;
+use sknn_bigint::{random_below, BigUint};
+use sknn_paillier::{Keypair, PrivateKey, PublicKey};
+use sknn_protocols::KeyHolder;
+
+/// Alice: generates the key pair, encrypts her database attribute-wise and
+/// outsources it.
+#[derive(Clone, Debug)]
+pub struct DataOwner {
+    keypair: Keypair,
+}
+
+impl DataOwner {
+    /// Creates a data owner with a fresh key pair of `key_bits` bits.
+    pub fn new<R: RngCore + ?Sized>(key_bits: usize, rng: &mut R) -> Self {
+        DataOwner {
+            keypair: Keypair::generate(key_bits, rng),
+        }
+    }
+
+    /// Wraps an existing key pair (useful for reproducible tests).
+    pub fn from_keypair(keypair: Keypair) -> Self {
+        DataOwner { keypair }
+    }
+
+    /// The public key that Bob and both clouds operate under.
+    pub fn public_key(&self) -> &PublicKey {
+        self.keypair.public_key()
+    }
+
+    /// The secret key Alice hands to cloud C2 when outsourcing.
+    pub fn private_key(&self) -> &PrivateKey {
+        self.keypair.private_key()
+    }
+
+    /// Encrypts a plaintext table attribute-wise, producing the database that
+    /// is outsourced to cloud C1.
+    pub fn encrypt_table<R: RngCore + ?Sized>(
+        &self,
+        table: &Table,
+        rng: &mut R,
+    ) -> EncryptedDatabase {
+        let pk = self.public_key();
+        let records = table
+            .records()
+            .iter()
+            .map(|row| row.iter().map(|&v| pk.encrypt_u64(v, rng)).collect())
+            .collect();
+        EncryptedDatabase::from_records(records, pk.clone())
+    }
+}
+
+/// Bob: encrypts his query, and combines the two result shares at the end.
+#[derive(Clone, Debug)]
+pub struct QueryUser {
+    pk: PublicKey,
+}
+
+impl QueryUser {
+    /// Creates a query user who knows the data owner's public key.
+    pub fn new(pk: PublicKey) -> Self {
+        QueryUser { pk }
+    }
+
+    /// The public key used to encrypt queries.
+    pub fn public_key(&self) -> &PublicKey {
+        &self.pk
+    }
+
+    /// Encrypts a query record attribute-wise. This is the only cryptographic
+    /// work Bob performs before receiving results — the cost the paper reports
+    /// as a few milliseconds.
+    pub fn encrypt_query<R: RngCore + ?Sized>(&self, query: &[u64], rng: &mut R) -> EncryptedQuery {
+        EncryptedQuery::new(query.iter().map(|&v| self.pk.encrypt_u64(v, rng)).collect())
+    }
+
+    /// Combines the masks received from C1 with the masked plaintexts received
+    /// from C2: `t′_{j,h} = γ′_{j,h} − r_{j,h} mod N`.
+    ///
+    /// # Panics
+    /// Panics if a recovered attribute does not fit in a `u64` — this cannot
+    /// happen when both shares come from an honest execution over a table of
+    /// `u64` attributes.
+    pub fn recover_records(&self, result: &MaskedResult) -> Vec<Vec<u64>> {
+        let n = self.pk.n();
+        result
+            .masked_values
+            .iter()
+            .zip(result.masks.iter())
+            .map(|(values, masks)| {
+                values
+                    .iter()
+                    .zip(masks.iter())
+                    .map(|(gamma, r)| {
+                        gamma
+                            .mod_sub(&r.rem_ref(n), n)
+                            .to_u64()
+                            .expect("recovered attribute does not fit in u64")
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Cloud C1: hosts the encrypted database and drives both query protocols.
+#[derive(Clone, Debug)]
+pub struct CloudC1 {
+    db: EncryptedDatabase,
+}
+
+impl CloudC1 {
+    /// Creates the cloud from an outsourced encrypted database.
+    pub fn new(db: EncryptedDatabase) -> Self {
+        CloudC1 { db }
+    }
+
+    /// The hosted encrypted database.
+    pub fn database(&self) -> &EncryptedDatabase {
+        &self.db
+    }
+
+    /// The public key of the hosted database.
+    pub fn public_key(&self) -> &PublicKey {
+        self.db.public_key()
+    }
+
+    /// Validates a query against the hosted database and the requested `k`.
+    pub(crate) fn validate_query(
+        &self,
+        query: &EncryptedQuery,
+        k: usize,
+    ) -> Result<(), SknnError> {
+        let n = self.db.num_records();
+        let m = self.db.num_attributes();
+        if query.num_attributes() != m {
+            return Err(SknnError::QueryDimensionMismatch {
+                table: m,
+                query: query.num_attributes(),
+            });
+        }
+        if k == 0 || k > n {
+            return Err(SknnError::InvalidK { k, n });
+        }
+        Ok(())
+    }
+
+    /// Final step shared by both protocols (steps 4–6 of Algorithm 5): mask
+    /// every result attribute with fresh randomness, let C2 decrypt the masked
+    /// values, and return the two shares Bob needs.
+    pub(crate) fn mask_and_reveal<K: KeyHolder + ?Sized, R: RngCore + ?Sized>(
+        &self,
+        c2: &K,
+        encrypted_results: &[Vec<sknn_paillier::Ciphertext>],
+        rng: &mut R,
+    ) -> MaskedResult {
+        let pk = self.public_key();
+        let mut masks = Vec::with_capacity(encrypted_results.len());
+        let mut gammas_flat = Vec::new();
+        for record in encrypted_results {
+            let mut record_masks = Vec::with_capacity(record.len());
+            for attr in record {
+                let r = random_below(rng, pk.n());
+                // γ_{j,h} = E(t′_{j,h}) · E(r_{j,h}): a fresh encryption of the
+                // mask re-randomizes the ciphertext C2 is about to decrypt.
+                gammas_flat.push(pk.add(attr, &pk.encrypt(&r, rng)));
+                record_masks.push(r);
+            }
+            masks.push(record_masks);
+        }
+
+        let decrypted_flat = c2.decrypt_masked_batch(&gammas_flat);
+
+        let m = encrypted_results.first().map_or(0, |r| r.len());
+        let masked_values: Vec<Vec<BigUint>> = decrypted_flat
+            .chunks(m.max(1))
+            .map(|chunk| chunk.to_vec())
+            .take(encrypted_results.len())
+            .collect();
+
+        MaskedResult {
+            masks,
+            masked_values,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sknn_protocols::LocalKeyHolder;
+
+    fn small_table() -> Table {
+        Table::new(vec![vec![1, 2], vec![3, 4], vec![5, 6]]).unwrap()
+    }
+
+    #[test]
+    fn owner_encrypts_whole_table() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let owner = DataOwner::new(96, &mut rng);
+        let db = owner.encrypt_table(&small_table(), &mut rng);
+        assert_eq!(db.num_records(), 3);
+        assert_eq!(db.num_attributes(), 2);
+        // Every cell decrypts back to the original value.
+        let sk = owner.private_key();
+        assert_eq!(sk.decrypt_u64(&db.record(1)[0]), 3);
+        assert_eq!(sk.decrypt_u64(&db.record(2)[1]), 6);
+    }
+
+    #[test]
+    fn query_user_roundtrip_through_masking() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let owner = DataOwner::new(96, &mut rng);
+        let db = owner.encrypt_table(&small_table(), &mut rng);
+        let c1 = CloudC1::new(db);
+        let c2 = LocalKeyHolder::new(owner.private_key().clone(), 3);
+        let user = QueryUser::new(owner.public_key().clone());
+
+        // Pretend records 2 and 0 are the query results.
+        let results = vec![c1.database().record(2).clone(), c1.database().record(0).clone()];
+        let masked = c1.mask_and_reveal(&c2, &results, &mut rng);
+        assert_eq!(masked.num_neighbors(), 2);
+        let recovered = user.recover_records(&masked);
+        assert_eq!(recovered, vec![vec![5, 6], vec![1, 2]]);
+    }
+
+    #[test]
+    fn masks_and_masked_values_alone_look_random() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let owner = DataOwner::new(96, &mut rng);
+        let db = owner.encrypt_table(&small_table(), &mut rng);
+        let c1 = CloudC1::new(db);
+        let c2 = LocalKeyHolder::new(owner.private_key().clone(), 5);
+
+        let results = vec![c1.database().record(0).clone()];
+        let masked = c1.mask_and_reveal(&c2, &results, &mut rng);
+        // Neither share should equal the plaintext attribute values
+        // (probability of coincidence ≈ 2^-96 per attribute).
+        assert_ne!(masked.masked_values[0][0], BigUint::from_u64(1));
+        assert_ne!(masked.masks[0][0], BigUint::from_u64(1));
+    }
+
+    #[test]
+    fn validation_rejects_bad_queries() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let owner = DataOwner::new(96, &mut rng);
+        let db = owner.encrypt_table(&small_table(), &mut rng);
+        let c1 = CloudC1::new(db);
+        let user = QueryUser::new(owner.public_key().clone());
+
+        let wrong_width = user.encrypt_query(&[1, 2, 3], &mut rng);
+        assert!(matches!(
+            c1.validate_query(&wrong_width, 1),
+            Err(SknnError::QueryDimensionMismatch { .. })
+        ));
+
+        let ok = user.encrypt_query(&[1, 2], &mut rng);
+        assert!(matches!(
+            c1.validate_query(&ok, 0),
+            Err(SknnError::InvalidK { .. })
+        ));
+        assert!(matches!(
+            c1.validate_query(&ok, 4),
+            Err(SknnError::InvalidK { .. })
+        ));
+        assert!(c1.validate_query(&ok, 3).is_ok());
+    }
+
+    #[test]
+    fn from_keypair_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let kp = Keypair::generate(96, &mut rng);
+        let owner = DataOwner::from_keypair(kp.clone());
+        assert_eq!(owner.public_key(), kp.public_key());
+    }
+}

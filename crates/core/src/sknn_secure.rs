@@ -1,0 +1,344 @@
+//! SkNN_m — the fully secure k-nearest-neighbor protocol (Algorithm 6).
+//!
+//! Unlike SkNN_b, distances are never decrypted: each encrypted squared
+//! distance is bit-decomposed (SBD), the global minimum is computed over the
+//! encrypted bit vectors (SMIN_n), the matching record is located with a
+//! randomized, permuted equality test that C2 answers without learning which
+//! record it refers to, the record is extracted through an encrypted
+//! indicator-vector dot product, and its distance is obliviously saturated to
+//! the all-ones maximum (SBOR) so the next iteration finds the next-nearest
+//! record. After `k` iterations the masked records are revealed to Bob exactly
+//! as in the basic protocol.
+//!
+//! Neither cloud learns plaintext distances, which records were returned, or
+//! how the returned set maps to stored records — the hidden-access-pattern
+//! guarantee the paper's Section 4.3 argues for.
+
+use crate::config::SecureQueryParams;
+use crate::parallel::{parallel_map, ParallelismConfig};
+use crate::profile::{QueryProfile, Stage};
+use crate::roles::CloudC1;
+use crate::{AccessPatternAudit, EncryptedQuery, MaskedResult, SknnError};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use sknn_bigint::{random_range, BigUint};
+use sknn_paillier::Ciphertext;
+use sknn_protocols::{
+    recompose_bits, secure_bit_decompose, secure_multiply_batch, secure_squared_distance,
+    KeyHolder, Permutation,
+};
+
+impl CloudC1 {
+    /// Runs SkNN_m for the given encrypted query.
+    ///
+    /// `params.l` is the bit length of the squared-distance domain: every
+    /// genuine squared distance must be strictly smaller than `2^l − 1`
+    /// (the all-ones value is reserved for marking already-selected records).
+    ///
+    /// # Errors
+    /// Returns an error when the query dimensionality does not match the
+    /// database, `k` is out of range, or `l` is invalid for the key in use.
+    pub fn process_secure<K: KeyHolder + ?Sized, R: RngCore + ?Sized>(
+        &self,
+        c2: &K,
+        query: &EncryptedQuery,
+        params: SecureQueryParams,
+        parallelism: ParallelismConfig,
+        rng: &mut R,
+    ) -> Result<(MaskedResult, QueryProfile, AccessPatternAudit), SknnError> {
+        self.validate_query(query, params.k)?;
+        let pk = self.public_key();
+        let n = self.database().num_records();
+        let m = self.database().num_attributes();
+        let l = params.l;
+        let mut profile = QueryProfile::new();
+
+        // ── Step 2a: E(d_i) ← SSED(E(Q), E(t_i)) ───────────────────────────
+        let seeds: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+        let distances = profile.time(Stage::DistanceComputation, || {
+            parallel_map(parallelism.threads, self.database().records(), |i, record| {
+                let mut thread_rng = StdRng::seed_from_u64(seeds[i]);
+                secure_squared_distance(pk, c2, query.attributes(), record, &mut thread_rng)
+                    .expect("database and query dimensions were validated")
+            })
+        });
+
+        // ── Step 2a (cont.): [d_i] ← SBD(E(d_i)) ───────────────────────────
+        let seeds: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+        let mut distance_bits: Vec<Vec<Ciphertext>> = Vec::with_capacity(n);
+        {
+            let decomposed = profile.time(Stage::BitDecomposition, || {
+                parallel_map(parallelism.threads, &distances, |i, dist| {
+                    let mut thread_rng = StdRng::seed_from_u64(seeds[i]);
+                    secure_bit_decompose(pk, c2, dist, l, &mut thread_rng)
+                })
+            });
+            for d in decomposed {
+                distance_bits.push(d?);
+            }
+        }
+
+        // ── Step 3: k oblivious selection rounds ───────────────────────────
+        let one = BigUint::one();
+        let mut results: Vec<Vec<Ciphertext>> = Vec::with_capacity(params.k);
+        for _s in 0..params.k {
+            // 3(a): [d_min] over all records.
+            let dmin_bits = profile.time(Stage::SecureMinimum, || {
+                sknn_protocols::secure_min_n(pk, c2, &distance_bits, rng)
+            })?;
+
+            let (selected_record, indicator) = profile.time(Stage::RecordSelection, || {
+                // 3(b): recompose E(d_min) and every E(d_i) from their bits
+                // (the bits are the authoritative state — they get overwritten
+                // by the freezing step below).
+                let e_dmin = recompose_bits(pk, &dmin_bits);
+                let e_dist: Vec<Ciphertext> = distance_bits
+                    .iter()
+                    .map(|bits| recompose_bits(pk, bits))
+                    .collect();
+
+                // τ_i = E(d_min − d_i), randomized and permuted before C2 sees it.
+                let tau_prime: Vec<Ciphertext> = e_dist
+                    .iter()
+                    .map(|e_di| {
+                        let tau = pk.sub(&e_dmin, e_di);
+                        let r_i = random_range(rng, &one, pk.n());
+                        pk.mul_plain(&tau, &r_i)
+                    })
+                    .collect();
+                let pi = Permutation::random(rng, n);
+                let beta = pi.apply(&tau_prime);
+
+                // 3(c): C2 marks exactly one zero position — obliviously,
+                // because of the permutation and randomization.
+                let u = c2.min_selection(&beta);
+                // 3(d): undo the permutation; V has E(1) at the winning record.
+                let v = pi.apply_inverse(&u);
+
+                // V′_{i,j} = SM(V_i, E(t_{i,j})); E(t′_{s,j}) = Π_i V′_{i,j}.
+                let pairs: Vec<(Ciphertext, Ciphertext)> = (0..n)
+                    .flat_map(|i| {
+                        let v_i = v[i].clone();
+                        self.database()
+                            .record(i)
+                            .iter()
+                            .map(move |attr| (v_i.clone(), attr.clone()))
+                            .collect::<Vec<_>>()
+                    })
+                    .collect();
+                let products = secure_multiply_batch(pk, c2, &pairs, rng);
+                let record: Vec<Ciphertext> = (0..m)
+                    .map(|j| pk.sum((0..n).map(|i| &products[i * m + j])))
+                    .collect();
+                (record, v)
+            });
+            results.push(selected_record);
+
+            // 3(e): freeze the winner's distance at the all-ones maximum via
+            // SBOR so it can never win again. One batched SM round covers all
+            // n·l bit positions.
+            profile.time(Stage::DistanceFreezing, || {
+                let pairs: Vec<(Ciphertext, Ciphertext)> = (0..n)
+                    .flat_map(|i| {
+                        let v_i = indicator[i].clone();
+                        distance_bits[i]
+                            .iter()
+                            .map(move |bit| (v_i.clone(), bit.clone()))
+                            .collect::<Vec<_>>()
+                    })
+                    .collect();
+                let products = secure_multiply_batch(pk, c2, &pairs, rng);
+                for i in 0..n {
+                    for gamma in 0..l {
+                        // o₁ ∨ o₂ = o₁ + o₂ − o₁·o₂ with o₁ = V_i, o₂ = d_{i,γ}.
+                        let sum = pk.add(&indicator[i], &distance_bits[i][gamma]);
+                        distance_bits[i][gamma] = pk.sub(&sum, &products[i * l + gamma]);
+                    }
+                }
+            });
+        }
+
+        // ── Steps 4–6: the same two-share reveal as the basic protocol ─────
+        let masked = profile.time(Stage::Finalization, || {
+            self.mask_and_reveal(c2, &results, rng)
+        });
+
+        Ok((masked, profile, AccessPatternAudit::nothing_revealed()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{plain_knn_records, DataOwner, QueryUser, Table};
+    use sknn_protocols::LocalKeyHolder;
+
+    fn setup(table: &Table) -> (CloudC1, LocalKeyHolder, QueryUser, StdRng) {
+        let mut rng = StdRng::seed_from_u64(301);
+        let owner = DataOwner::new(96, &mut rng);
+        let db = owner.encrypt_table(table, &mut rng);
+        let c1 = CloudC1::new(db);
+        let c2 = LocalKeyHolder::new(owner.private_key().clone(), 302);
+        let user = QueryUser::new(owner.public_key().clone());
+        (c1, c2, user, rng)
+    }
+
+    #[test]
+    fn matches_plaintext_knn_on_small_table() {
+        // Distances from the query (2, 2) are 68, 29, 18, 98, 2 — all distinct,
+        // so the expected result set is unambiguous.
+        let table = Table::new(vec![
+            vec![10, 0],
+            vec![0, 7],
+            vec![5, 5],
+            vec![9, 9],
+            vec![1, 1],
+        ])
+        .unwrap();
+        let l = table.required_distance_bits(10);
+        let (c1, c2, user, mut rng) = setup(&table);
+        let query = [2u64, 2];
+        let enc_q = user.encrypt_query(&query, &mut rng);
+        for k in [1usize, 2, 3, 5] {
+            let (masked, _, audit) = c1
+                .process_secure(
+                    &c2,
+                    &enc_q,
+                    SecureQueryParams { k, l },
+                    ParallelismConfig::serial(),
+                    &mut rng,
+                )
+                .unwrap();
+            let mut records = user.recover_records(&masked);
+            let mut expected = plain_knn_records(&table, &query, k);
+            // SkNN_m hides which stored record each result corresponds to, so
+            // ties may legitimately come back in either order; compare as sets.
+            records.sort();
+            expected.sort();
+            assert_eq!(records, expected, "k = {k}");
+            assert!(audit.is_oblivious());
+        }
+    }
+
+    #[test]
+    fn paper_example_1_returns_t4_and_t5() {
+        let table = Table::new(vec![
+            vec![63, 1, 1, 145, 233, 1, 3, 0, 6, 0],
+            vec![56, 1, 3, 130, 256, 1, 2, 1, 6, 2],
+            vec![57, 0, 3, 140, 241, 0, 2, 0, 7, 1],
+            vec![59, 1, 4, 144, 200, 1, 2, 2, 6, 3],
+            vec![55, 0, 4, 128, 205, 0, 2, 1, 7, 3],
+            vec![77, 1, 4, 125, 304, 0, 1, 3, 3, 4],
+        ])
+        .unwrap();
+        let query = [58u64, 1, 4, 133, 196, 1, 2, 1, 6, 0];
+        let l = table.required_distance_bits(564);
+        let (c1, c2, user, mut rng) = setup(&table);
+        let enc_q = user.encrypt_query(&query, &mut rng);
+        let (masked, profile, audit) = c1
+            .process_secure(
+                &c2,
+                &enc_q,
+                SecureQueryParams { k: 2, l },
+                ParallelismConfig::serial(),
+                &mut rng,
+            )
+            .unwrap();
+        let mut records = user.recover_records(&masked);
+        records.sort();
+        let mut expected = vec![table.record(3).to_vec(), table.record(4).to_vec()];
+        expected.sort();
+        assert_eq!(records, expected);
+        assert!(audit.is_oblivious());
+        // SMIN_n dominates the secure protocol, as Section 5.2 reports.
+        assert!(profile.fraction(Stage::SecureMinimum) > 0.3);
+    }
+
+    #[test]
+    fn duplicate_records_and_ties() {
+        let table = Table::new(vec![vec![4, 4], vec![4, 4], vec![0, 0], vec![7, 7]]).unwrap();
+        let l = table.required_distance_bits(7);
+        let (c1, c2, user, mut rng) = setup(&table);
+        let enc_q = user.encrypt_query(&[4, 4], &mut rng);
+        let (masked, _, _) = c1
+            .process_secure(
+                &c2,
+                &enc_q,
+                SecureQueryParams { k: 2, l },
+                ParallelismConfig::serial(),
+                &mut rng,
+            )
+            .unwrap();
+        let records = user.recover_records(&masked);
+        // Both returned records must be the duplicate (4, 4) rows.
+        assert_eq!(records, vec![vec![4, 4], vec![4, 4]]);
+    }
+
+    #[test]
+    fn parallel_execution_gives_identical_result_set() {
+        let table = Table::new(vec![
+            vec![1, 2],
+            vec![8, 3],
+            vec![4, 4],
+            vec![0, 9],
+            vec![6, 6],
+            vec![2, 2],
+        ])
+        .unwrap();
+        let l = table.required_distance_bits(9);
+        let (c1, c2, user, mut rng) = setup(&table);
+        let enc_q = user.encrypt_query(&[3, 3], &mut rng);
+        let run = |threads: usize, rng: &mut StdRng| {
+            let (masked, _, _) = c1
+                .process_secure(
+                    &c2,
+                    &enc_q,
+                    SecureQueryParams { k: 3, l },
+                    ParallelismConfig { threads },
+                    rng,
+                )
+                .unwrap();
+            let mut r = user.recover_records(&masked);
+            r.sort();
+            r
+        };
+        assert_eq!(run(1, &mut rng), run(4, &mut rng));
+    }
+
+    #[test]
+    fn k_equals_n_returns_whole_table() {
+        let table = Table::new(vec![vec![1], vec![5], vec![3]]).unwrap();
+        let l = table.required_distance_bits(5);
+        let (c1, c2, user, mut rng) = setup(&table);
+        let enc_q = user.encrypt_query(&[2], &mut rng);
+        let (masked, _, _) = c1
+            .process_secure(
+                &c2,
+                &enc_q,
+                SecureQueryParams { k: 3, l },
+                ParallelismConfig::serial(),
+                &mut rng,
+            )
+            .unwrap();
+        let mut records = user.recover_records(&masked);
+        records.sort();
+        assert_eq!(records, vec![vec![1], vec![3], vec![5]]);
+    }
+
+    #[test]
+    fn invalid_l_is_reported() {
+        let table = Table::new(vec![vec![1], vec![2]]).unwrap();
+        let (c1, c2, user, mut rng) = setup(&table);
+        let enc_q = user.encrypt_query(&[1], &mut rng);
+        let err = c1
+            .process_secure(
+                &c2,
+                &enc_q,
+                SecureQueryParams { k: 1, l: 0 },
+                ParallelismConfig::serial(),
+                &mut rng,
+            )
+            .unwrap_err();
+        assert!(matches!(err, SknnError::Protocol(_)));
+    }
+}

@@ -1,0 +1,139 @@
+//! Plaintext relational tables.
+
+use crate::SknnError;
+
+/// A plaintext table of `n` records with `m` non-negative integer attributes,
+/// exactly the shape the paper assumes (attribute values and squared
+/// distances all lie in `[0, 2^l)`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Table {
+    rows: Vec<Vec<u64>>,
+    attributes: usize,
+}
+
+impl Table {
+    /// Builds a table from row-major data.
+    ///
+    /// # Errors
+    /// Returns [`SknnError::MalformedTable`] when the table is empty or the
+    /// rows have inconsistent widths.
+    pub fn new(rows: Vec<Vec<u64>>) -> Result<Self, SknnError> {
+        let attributes = match rows.first() {
+            None => return Err(SknnError::MalformedTable { reason: "no records" }),
+            Some(first) if first.is_empty() => {
+                return Err(SknnError::MalformedTable { reason: "records have no attributes" })
+            }
+            Some(first) => first.len(),
+        };
+        if rows.iter().any(|r| r.len() != attributes) {
+            return Err(SknnError::MalformedTable {
+                reason: "records have inconsistent numbers of attributes",
+            });
+        }
+        Ok(Table { rows, attributes })
+    }
+
+    /// Number of records (`n` in the paper).
+    pub fn num_records(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of attributes (`m` in the paper).
+    pub fn num_attributes(&self) -> usize {
+        self.attributes
+    }
+
+    /// Borrow a record by index.
+    pub fn record(&self, i: usize) -> &[u64] {
+        &self.rows[i]
+    }
+
+    /// Borrow all records.
+    pub fn records(&self) -> &[Vec<u64>] {
+        &self.rows
+    }
+
+    /// The largest attribute value appearing anywhere in the table.
+    pub fn max_attribute_value(&self) -> u64 {
+        self.rows
+            .iter()
+            .flat_map(|r| r.iter().copied())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The smallest `l` such that every squared Euclidean distance between a
+    /// record of this table and any query whose attributes stay within
+    /// `max_query_value` is strictly below `2^l − 1`.
+    ///
+    /// The strict bound matters: SkNN_m marks already-selected records by
+    /// saturating their distance to the all-ones value `2^l − 1`, so genuine
+    /// distances must never reach it.
+    pub fn required_distance_bits(&self, max_query_value: u64) -> usize {
+        let span = self.max_attribute_value().max(max_query_value) as u128;
+        let worst = self.attributes as u128 * span * span;
+        // Need worst < 2^l − 1, i.e. 2^l > worst + 1.
+        let mut l = 1usize;
+        while (1u128 << l) <= worst + 1 {
+            l += 1;
+            if l >= 127 {
+                break;
+            }
+        }
+        l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = Table::new(vec![vec![1, 2, 3], vec![4, 5, 6]]).unwrap();
+        assert_eq!(t.num_records(), 2);
+        assert_eq!(t.num_attributes(), 3);
+        assert_eq!(t.record(1), &[4, 5, 6]);
+        assert_eq!(t.records().len(), 2);
+        assert_eq!(t.max_attribute_value(), 6);
+    }
+
+    #[test]
+    fn malformed_tables_rejected() {
+        assert!(matches!(
+            Table::new(vec![]),
+            Err(SknnError::MalformedTable { .. })
+        ));
+        assert!(matches!(
+            Table::new(vec![vec![]]),
+            Err(SknnError::MalformedTable { .. })
+        ));
+        assert!(matches!(
+            Table::new(vec![vec![1, 2], vec![3]]),
+            Err(SknnError::MalformedTable { .. })
+        ));
+    }
+
+    #[test]
+    fn required_distance_bits_is_safe() {
+        let t = Table::new(vec![vec![3, 3], vec![0, 0]]).unwrap();
+        // Worst case: 2 attributes × 3² = 18 → need 2^l − 1 > 18 → l = 5.
+        let l = t.required_distance_bits(3);
+        assert!( (1u128 << l) - 1 > 18);
+        assert!(l <= 6);
+
+        // A larger query domain dominates.
+        let l2 = t.required_distance_bits(100);
+        assert!((1u128 << l2) - 1 > 2 * 100 * 100);
+    }
+
+    #[test]
+    fn required_distance_bits_heart_disease_scale() {
+        // 10 attributes bounded by ~564 (cholesterol) — the paper's example.
+        let t = Table::new(vec![vec![564; 10]]).unwrap();
+        let l = t.required_distance_bits(564);
+        assert!((1u128 << l) - 1 > 10 * 564 * 564);
+        assert!(l <= 24);
+    }
+}

@@ -1,0 +1,146 @@
+//! The heart-disease running example of the paper (Tables 1 and 2).
+//!
+//! The six-record fixture reproduces Table 1 exactly (without the `record-id`
+//! column); the generator draws additional records from the attribute ranges
+//! documented in Table 2, which lets the medical-records example and the
+//! benchmarks scale the scenario up without shipping the original UCI data.
+
+use rand::Rng;
+use sknn_core::Table;
+
+/// Names of the ten attributes, in column order.
+pub const ATTRIBUTE_NAMES: [&str; 10] = [
+    "age", "sex", "cp", "trestbps", "chol", "fbs", "slope", "ca", "thal", "num",
+];
+
+/// The six sample records of Table 1 (record-id column dropped).
+pub fn heart_disease_fixture() -> Vec<Vec<u64>> {
+    vec![
+        vec![63, 1, 1, 145, 233, 1, 3, 0, 6, 0],
+        vec![56, 1, 3, 130, 256, 1, 2, 1, 6, 2],
+        vec![57, 0, 3, 140, 241, 0, 2, 0, 7, 1],
+        vec![59, 1, 4, 144, 200, 1, 2, 2, 6, 3],
+        vec![55, 0, 4, 128, 205, 0, 2, 1, 7, 3],
+        vec![77, 1, 4, 125, 304, 0, 1, 3, 3, 4],
+    ]
+}
+
+/// The fixture of Table 1 as a ready-to-outsource [`Table`].
+pub fn heart_disease_table() -> Table {
+    Table::new(heart_disease_fixture()).expect("fixture is well-formed")
+}
+
+/// The example query of Example 1: a patient record
+/// `⟨58, 1, 4, 133, 196, 1, 2, 1, 6⟩`, padded with `num = 0` (the attribute
+/// the physician is trying to predict).
+pub fn example_query() -> Vec<u64> {
+    vec![58, 1, 4, 133, 196, 1, 2, 1, 6, 0]
+}
+
+/// Generates heart-disease-shaped records within the ranges of Table 2.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HeartDiseaseGenerator;
+
+impl HeartDiseaseGenerator {
+    /// Samples one record.
+    pub fn record<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<u64> {
+        vec![
+            rng.gen_range(29..=77),   // age
+            rng.gen_range(0..=1),     // sex
+            rng.gen_range(1..=4),     // chest pain type
+            rng.gen_range(94..=200),  // resting blood pressure
+            rng.gen_range(126..=564), // serum cholesterol
+            rng.gen_range(0..=1),     // fasting blood sugar
+            rng.gen_range(1..=3),     // slope
+            rng.gen_range(0..=3),     // major vessels
+            *[3u64, 6, 7].get(rng.gen_range(0..3)).expect("index in range"), // thal
+            rng.gen_range(0..=4),     // diagnosis
+        ]
+    }
+
+    /// Samples a table of `records` rows. The Table 1 fixture is always
+    /// included as the first six rows so the paper's worked example remains a
+    /// subset of every generated dataset.
+    pub fn table<R: Rng + ?Sized>(&self, records: usize, rng: &mut R) -> Table {
+        assert!(records >= 6, "the fixture alone already has 6 records");
+        let mut rows = heart_disease_fixture();
+        while rows.len() < records {
+            rows.push(self.record(rng));
+        }
+        Table::new(rows).expect("generated rows are rectangular")
+    }
+
+    /// Samples a plausible patient query (same ranges as the data records,
+    /// with the to-be-predicted `num` attribute set to zero).
+    pub fn query<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<u64> {
+        let mut q = self.record(rng);
+        q[9] = 0;
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixture_matches_table_1() {
+        let f = heart_disease_fixture();
+        assert_eq!(f.len(), 6);
+        assert_eq!(f[0], vec![63, 1, 1, 145, 233, 1, 3, 0, 6, 0]);
+        assert_eq!(f[5], vec![77, 1, 4, 125, 304, 0, 1, 3, 3, 4]);
+        assert_eq!(heart_disease_table().num_attributes(), ATTRIBUTE_NAMES.len());
+    }
+
+    #[test]
+    fn example_query_matches_example_1() {
+        let q = example_query();
+        assert_eq!(q.len(), 10);
+        assert_eq!(&q[..9], &[58, 1, 4, 133, 196, 1, 2, 1, 6]);
+    }
+
+    #[test]
+    fn generated_records_respect_table_2_ranges() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let gen = HeartDiseaseGenerator;
+        for _ in 0..200 {
+            let r = gen.record(&mut rng);
+            assert!(r[0] >= 29 && r[0] <= 77, "age");
+            assert!(r[1] <= 1, "sex");
+            assert!(r[2] >= 1 && r[2] <= 4, "cp");
+            assert!(r[3] >= 94 && r[3] <= 200, "trestbps");
+            assert!(r[4] >= 126 && r[4] <= 564, "chol");
+            assert!(r[5] <= 1, "fbs");
+            assert!(r[6] >= 1 && r[6] <= 3, "slope");
+            assert!(r[7] <= 3, "ca");
+            assert!(matches!(r[8], 3 | 6 | 7), "thal");
+            assert!(r[9] <= 4, "num");
+        }
+    }
+
+    #[test]
+    fn generated_table_contains_the_fixture() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let table = HeartDiseaseGenerator.table(50, &mut rng);
+        assert_eq!(table.num_records(), 50);
+        assert_eq!(table.record(0), heart_disease_fixture()[0].as_slice());
+        assert_eq!(table.record(5), heart_disease_fixture()[5].as_slice());
+    }
+
+    #[test]
+    fn query_predicts_num() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let q = HeartDiseaseGenerator.query(&mut rng);
+        assert_eq!(q.len(), 10);
+        assert_eq!(q[9], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "6 records")]
+    fn too_small_table_rejected() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let _ = HeartDiseaseGenerator.table(3, &mut rng);
+    }
+}

@@ -1,0 +1,27 @@
+//! # sknn-data
+//!
+//! Dataset and query generators for the `sknn` examples, tests and benchmark
+//! harness.
+//!
+//! The paper's evaluation uses synthetic datasets whose parameters (`n`
+//! records, `m` attributes, squared-distance domain of `l` bits) are swept
+//! across the figures; its motivating example uses the UCI heart-disease
+//! dataset (Tables 1 and 2). This crate provides both:
+//!
+//! * [`synthetic`] — uniform and clustered synthetic tables parameterized the
+//!   same way the paper's experiments are;
+//! * [`heart`] — the six-record fixture of Table 1 plus a generator producing
+//!   records within the attribute ranges documented in Table 2;
+//! * [`query`] — query generators (uniform over the attribute domain, or a
+//!   perturbation of an existing record).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod heart;
+pub mod query;
+pub mod synthetic;
+
+pub use heart::{heart_disease_fixture, heart_disease_table, HeartDiseaseGenerator};
+pub use query::{perturbed_query, uniform_query};
+pub use synthetic::{SyntheticConfig, SyntheticDataset};

@@ -1,0 +1,70 @@
+//! Query generators.
+
+use rand::Rng;
+use sknn_core::Table;
+
+/// A query whose attributes are uniform over `[0, max_value]`, the same
+/// distribution the synthetic tables use.
+pub fn uniform_query<R: Rng + ?Sized>(attributes: usize, max_value: u64, rng: &mut R) -> Vec<u64> {
+    (0..attributes).map(|_| rng.gen_range(0..=max_value)).collect()
+}
+
+/// A query derived from a random record of `table` by perturbing each
+/// attribute by at most `max_offset` (clamped to `[0, max_value]`).
+///
+/// Perturbed queries have non-trivial nearest neighbors by construction,
+/// which makes them better "realistic workload" drivers than uniform ones.
+pub fn perturbed_query<R: Rng + ?Sized>(
+    table: &Table,
+    max_offset: u64,
+    max_value: u64,
+    rng: &mut R,
+) -> Vec<u64> {
+    let base = table.record(rng.gen_range(0..table.num_records()));
+    base.iter()
+        .map(|&v| {
+            let offset = rng.gen_range(0..=2 * max_offset) as i64 - max_offset as i64;
+            (v as i64 + offset).clamp(0, max_value as i64) as u64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_query_shape_and_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let q = uniform_query(8, 100, &mut rng);
+        assert_eq!(q.len(), 8);
+        assert!(q.iter().all(|&v| v <= 100));
+    }
+
+    #[test]
+    fn perturbed_query_stays_near_a_record() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let table = Table::new(vec![vec![50, 50, 50], vec![10, 10, 10]]).unwrap();
+        for _ in 0..50 {
+            let q = perturbed_query(&table, 5, 100, &mut rng);
+            assert_eq!(q.len(), 3);
+            let near_some_record = table.records().iter().any(|r| {
+                r.iter().zip(&q).all(|(&a, &b)| a.abs_diff(b) <= 5)
+            });
+            assert!(near_some_record);
+            assert!(q.iter().all(|&v| v <= 100));
+        }
+    }
+
+    #[test]
+    fn perturbation_clamps_to_domain() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let table = Table::new(vec![vec![0, 100]]).unwrap();
+        for _ in 0..20 {
+            let q = perturbed_query(&table, 10, 100, &mut rng);
+            assert!(q[0] <= 100 && q[1] <= 100);
+        }
+    }
+}

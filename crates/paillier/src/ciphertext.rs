@@ -1,0 +1,59 @@
+//! The ciphertext wrapper type.
+
+use sknn_bigint::BigUint;
+
+/// A Paillier ciphertext: an element of `Z_{N²}`.
+///
+/// The wrapper is deliberately opaque about its numeric value in normal use;
+/// the raw value is only needed when a ciphertext crosses a party boundary
+/// (serialization in the transport layer) or inside the protocol
+/// implementations themselves.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Ciphertext(pub(crate) BigUint);
+
+impl Ciphertext {
+    /// Wraps a raw ciphertext value. The caller is responsible for the value
+    /// being a valid element of `Z_{N²}` for the intended key.
+    pub fn from_raw(value: BigUint) -> Self {
+        Ciphertext(value)
+    }
+
+    /// The raw group element.
+    pub fn as_raw(&self) -> &BigUint {
+        &self.0
+    }
+
+    /// Consumes the wrapper and returns the raw group element.
+    pub fn into_raw(self) -> BigUint {
+        self.0
+    }
+
+    /// Serialized size in bytes (used by the transport layer's traffic
+    /// accounting).
+    pub fn byte_len(&self) -> usize {
+        self.0.to_bytes_be().len()
+    }
+}
+
+impl From<BigUint> for Ciphertext {
+    fn from(value: BigUint) -> Self {
+        Ciphertext(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_roundtrip() {
+        let v = BigUint::from_u64(123456);
+        let c = Ciphertext::from_raw(v.clone());
+        assert_eq!(c.as_raw(), &v);
+        assert_eq!(c.clone().into_raw(), v);
+        assert_eq!(c.byte_len(), 3);
+        let c2: Ciphertext = v.clone().into();
+        assert_eq!(c, c2);
+    }
+}

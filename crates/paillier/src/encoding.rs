@@ -1,0 +1,115 @@
+//! Signed-value encoding into the Paillier message space.
+//!
+//! The protocols frequently produce plaintexts of the form `x − y` which may
+//! be "negative"; arithmetic is carried out modulo `N`, and a value decodes as
+//! negative when it falls in the upper half of the message space. This module
+//! centralizes that convention so the query user (Bob) and the tests agree on
+//! it.
+
+use crate::{PaillierError, PublicKey};
+use sknn_bigint::BigUint;
+
+/// Encodes a signed integer into `Z_N`: non-negative values map to themselves
+/// and negative values to `N − |v|`.
+///
+/// # Errors
+/// Returns [`PaillierError::SignedOutOfRange`] when `|v|` exceeds `⌊N/2⌋`.
+pub fn encode_signed(pk: &PublicKey, v: i64) -> Result<BigUint, PaillierError> {
+    let magnitude = BigUint::from_u64(v.unsigned_abs());
+    if magnitude > *pk.half_n() {
+        return Err(PaillierError::SignedOutOfRange);
+    }
+    if v >= 0 {
+        Ok(magnitude)
+    } else {
+        Ok(pk.n().sub_ref(&magnitude))
+    }
+}
+
+/// Decodes an element of `Z_N` into a signed integer using the half-`N`
+/// threshold convention.
+///
+/// # Errors
+/// Returns [`PaillierError::SignedOutOfRange`] when the magnitude does not fit
+/// in an `i64`.
+pub fn decode_signed(pk: &PublicKey, value: &BigUint) -> Result<i64, PaillierError> {
+    let (negative, magnitude) = if value > pk.half_n() {
+        (true, pk.n().sub_ref(value))
+    } else {
+        (false, value.clone())
+    };
+    let raw = magnitude
+        .to_u64()
+        .ok_or(PaillierError::SignedOutOfRange)?;
+    if negative {
+        if raw > i64::MAX as u64 {
+            return Err(PaillierError::SignedOutOfRange);
+        }
+        Ok(-(raw as i64))
+    } else {
+        if raw > i64::MAX as u64 {
+            return Err(PaillierError::SignedOutOfRange);
+        }
+        Ok(raw as i64)
+    }
+}
+
+/// Decodes an element of `Z_N` that is known to be a small non-negative value
+/// (for instance an attribute of a k-nearest-neighbor result after the
+/// masking by `C1` has been removed).
+///
+/// # Errors
+/// Returns [`PaillierError::SignedOutOfRange`] when the value exceeds `u64`.
+pub fn decode_unsigned(value: &BigUint) -> Result<u64, PaillierError> {
+    value.to_u64().ok_or(PaillierError::SignedOutOfRange)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Keypair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (crate::PublicKey, crate::PrivateKey, StdRng) {
+        let mut rng = StdRng::seed_from_u64(51);
+        let (pk, sk) = Keypair::generate(128, &mut rng).split();
+        (pk, sk, rng)
+    }
+
+    #[test]
+    fn signed_roundtrip() {
+        let (pk, _, _) = setup();
+        for v in [0i64, 1, -1, 42, -42, i32::MAX as i64, -(i32::MAX as i64)] {
+            let enc = encode_signed(&pk, v).unwrap();
+            assert_eq!(decode_signed(&pk, &enc).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn signed_arithmetic_through_encryption() {
+        let (pk, sk, mut rng) = setup();
+        // (5 − 9) should decode as −4 after homomorphic subtraction.
+        let a = pk.encrypt_u64(5, &mut rng);
+        let b = pk.encrypt_u64(9, &mut rng);
+        let diff = sk.decrypt(&pk.sub(&a, &b));
+        assert_eq!(decode_signed(&pk, &diff).unwrap(), -4);
+    }
+
+    #[test]
+    fn unsigned_decode() {
+        let (pk, sk, mut rng) = setup();
+        let c = pk.encrypt_u64(123456, &mut rng);
+        assert_eq!(decode_unsigned(&sk.decrypt(&c)).unwrap(), 123456);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let kp = Keypair::from_primes(BigUint::from_u64(7), BigUint::from_u64(11));
+        let pk = kp.public_key();
+        // N = 77, half = 38; 50 is too large in magnitude.
+        assert_eq!(encode_signed(pk, 50), Err(PaillierError::SignedOutOfRange));
+        assert_eq!(encode_signed(pk, -50), Err(PaillierError::SignedOutOfRange));
+        assert!(encode_signed(pk, 38).is_ok());
+    }
+}

@@ -1,0 +1,130 @@
+//! Encryption.
+
+use crate::{Ciphertext, PaillierError, PublicKey};
+use rand::RngCore;
+use sknn_bigint::{random_below, BigUint};
+
+impl PublicKey {
+    /// Encrypts `m ∈ [0, N)` with fresh randomness.
+    ///
+    /// Uses the `g = N + 1` optimization:
+    /// `E(m, r) = (1 + m·N) · r^N mod N²`, costing one modular exponentiation.
+    ///
+    /// # Panics
+    /// Panics when `m ≥ N`; use [`PublicKey::try_encrypt`] for a fallible variant.
+    pub fn encrypt<R: RngCore + ?Sized>(&self, m: &BigUint, rng: &mut R) -> Ciphertext {
+        self.try_encrypt(m, rng)
+            .expect("plaintext outside the message space [0, N)")
+    }
+
+    /// Fallible variant of [`PublicKey::encrypt`].
+    pub fn try_encrypt<R: RngCore + ?Sized>(
+        &self,
+        m: &BigUint,
+        rng: &mut R,
+    ) -> Result<Ciphertext, PaillierError> {
+        if !self.is_valid_plaintext(m) {
+            return Err(PaillierError::PlaintextOutOfRange);
+        }
+        let r = self.sample_randomness(rng);
+        Ok(self.encrypt_with_randomness(m, &r))
+    }
+
+    /// Encrypts a `u64` convenience value.
+    pub fn encrypt_u64<R: RngCore + ?Sized>(&self, m: u64, rng: &mut R) -> Ciphertext {
+        self.encrypt(&BigUint::from_u64(m), rng)
+    }
+
+    /// Deterministic encryption with caller-supplied randomness `r ∈ Z_N^*`.
+    ///
+    /// Exposed for tests and for reproducing the paper's worked examples;
+    /// normal callers should use [`PublicKey::encrypt`].
+    pub fn encrypt_with_randomness(&self, m: &BigUint, r: &BigUint) -> Ciphertext {
+        debug_assert!(self.is_valid_plaintext(m));
+        // (1 + m·N) mod N²
+        let gm = BigUint::one().add_ref(&m.mul_ref(&self.n)).rem_ref(&self.n_squared);
+        // r^N mod N²
+        let rn = r.mod_pow(&self.n, &self.n_squared);
+        Ciphertext(gm.mod_mul(&rn, &self.n_squared))
+    }
+
+    /// Encrypts zero; multiplying by this re-randomizes any ciphertext.
+    pub fn encrypt_zero<R: RngCore + ?Sized>(&self, rng: &mut R) -> Ciphertext {
+        self.encrypt(&BigUint::zero(), rng)
+    }
+
+    /// Samples encryption randomness `r` uniformly from the units of `Z_N`,
+    /// for use with [`PublicKey::encrypt_with_randomness`].
+    ///
+    /// For honestly generated keys the probability of hitting a non-unit
+    /// (a multiple of `p` or `q`) is ≈ 2/√N, i.e. negligible; we still retry
+    /// in that case to keep the ciphertext distribution exactly right.
+    ///
+    /// Sampling is cheap (no modular exponentiation), which lets callers that
+    /// serve many parallel clients draw the randomness under a short lock and
+    /// perform the expensive encryption outside it.
+    pub fn sample_randomness<R: RngCore + ?Sized>(&self, rng: &mut R) -> BigUint {
+        loop {
+            let r = random_below(rng, &self.n);
+            if r.is_zero() {
+                continue;
+            }
+            if r.gcd(&self.n).is_one() {
+                return r;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Keypair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn encryption_is_probabilistic() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let (pk, _) = Keypair::generate(96, &mut rng).split();
+        let m = BigUint::from_u64(7);
+        let c1 = pk.encrypt(&m, &mut rng);
+        let c2 = pk.encrypt(&m, &mut rng);
+        assert_ne!(c1, c2, "two encryptions of the same value must differ");
+    }
+
+    #[test]
+    fn ciphertext_in_range() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let (pk, _) = Keypair::generate(96, &mut rng).split();
+        for v in [0u64, 1, 12345] {
+            let c = pk.encrypt_u64(v, &mut rng);
+            assert!(c.as_raw() < pk.n_squared());
+        }
+    }
+
+    #[test]
+    fn plaintext_out_of_range_rejected() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let (pk, _) = Keypair::generate(96, &mut rng).split();
+        assert_eq!(
+            pk.try_encrypt(pk.n(), &mut rng),
+            Err(PaillierError::PlaintextOutOfRange)
+        );
+    }
+
+    #[test]
+    fn deterministic_encryption_with_fixed_randomness() {
+        let kp = Keypair::from_primes(BigUint::from_u64(7), BigUint::from_u64(11));
+        let pk = kp.public_key();
+        // E(m, r) with m = 42, r = 23, N = 77:
+        // (1 + 42·77) · 23^77 mod 77².
+        let c = pk.encrypt_with_randomness(&BigUint::from_u64(42), &BigUint::from_u64(23));
+        let expected = BigUint::from_u64(1 + 42 * 77)
+            .mod_mul(
+                &BigUint::from_u64(23).mod_pow(&BigUint::from_u64(77), &BigUint::from_u64(5929)),
+                &BigUint::from_u64(5929),
+            );
+        assert_eq!(c.as_raw(), &expected);
+    }
+}

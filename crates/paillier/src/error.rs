@@ -1,0 +1,61 @@
+//! Error type for the Paillier layer.
+
+use core::fmt;
+
+/// Errors produced by key generation, encryption or decryption.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PaillierError {
+    /// The requested key size is below [`crate::MIN_KEY_BITS`].
+    KeyTooSmall {
+        /// Requested modulus size in bits.
+        requested: usize,
+        /// Minimum accepted modulus size in bits.
+        minimum: usize,
+    },
+    /// A plaintext was not in the message space `[0, N)`.
+    PlaintextOutOfRange,
+    /// A ciphertext was not in the ciphertext space `[0, N²)` or shared a
+    /// factor with `N` (which never happens for honestly generated values).
+    MalformedCiphertext,
+    /// A signed value was outside the encodable range `(−N/2, N/2]`.
+    SignedOutOfRange,
+}
+
+impl fmt::Display for PaillierError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PaillierError::KeyTooSmall { requested, minimum } => write!(
+                f,
+                "requested Paillier modulus of {requested} bits is below the minimum of {minimum} bits"
+            ),
+            PaillierError::PlaintextOutOfRange => {
+                write!(f, "plaintext is outside the message space [0, N)")
+            }
+            PaillierError::MalformedCiphertext => {
+                write!(f, "ciphertext is outside the ciphertext space [0, N²)")
+            }
+            PaillierError::SignedOutOfRange => {
+                write!(f, "signed value cannot be encoded in (−N/2, N/2]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PaillierError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = PaillierError::KeyTooSmall {
+            requested: 32,
+            minimum: 64,
+        };
+        assert!(e.to_string().contains("32"));
+        assert!(PaillierError::PlaintextOutOfRange.to_string().contains("message space"));
+        assert!(PaillierError::MalformedCiphertext.to_string().contains("ciphertext"));
+        assert!(PaillierError::SignedOutOfRange.to_string().contains("signed"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Homomorphic operations on ciphertexts.
+//!
+//! These are exactly the operations the paper's protocols rely on
+//! (Section 2.3):
+//!
+//! * `E(a + b) ← E(a) · E(b) mod N²`
+//! * `E(a · k) ← E(a)^k mod N²`
+//! * `E(−a)   ← E(a)^{N−1} mod N²` ("N − x is equivalent to −x under Z_N")
+
+use crate::{Ciphertext, PublicKey};
+use rand::RngCore;
+use sknn_bigint::BigUint;
+
+impl PublicKey {
+    /// Homomorphic addition: returns an encryption of `a + b mod N`.
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        Ciphertext(a.as_raw().mod_mul(b.as_raw(), &self.n_squared))
+    }
+
+    /// Adds a plaintext constant: returns an encryption of `a + k mod N`.
+    pub fn add_plain(&self, a: &Ciphertext, k: &BigUint) -> Ciphertext {
+        // E(k) with randomness 1 = (1 + k·N) mod N²; multiplying by it adds k.
+        let gk = BigUint::one()
+            .add_ref(&k.rem_ref(&self.n).mul_ref(&self.n))
+            .rem_ref(&self.n_squared);
+        Ciphertext(a.as_raw().mod_mul(&gk, &self.n_squared))
+    }
+
+    /// Plaintext multiplication: returns an encryption of `a · k mod N`.
+    pub fn mul_plain(&self, a: &Ciphertext, k: &BigUint) -> Ciphertext {
+        Ciphertext(a.as_raw().mod_pow(&k.rem_ref(&self.n), &self.n_squared))
+    }
+
+    /// Plaintext multiplication by a `u64` constant.
+    pub fn mul_plain_u64(&self, a: &Ciphertext, k: u64) -> Ciphertext {
+        self.mul_plain(a, &BigUint::from_u64(k))
+    }
+
+    /// Homomorphic negation: returns an encryption of `−a mod N`,
+    /// computed as `E(a)^{N−1}`.
+    pub fn negate(&self, a: &Ciphertext) -> Ciphertext {
+        let n_minus_1 = self.n.sub_ref(&BigUint::one());
+        self.mul_plain(a, &n_minus_1)
+    }
+
+    /// Homomorphic subtraction: returns an encryption of `a − b mod N`.
+    pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        self.add(a, &self.negate(b))
+    }
+
+    /// Subtracts a plaintext constant: returns an encryption of `a − k mod N`.
+    pub fn sub_plain(&self, a: &Ciphertext, k: &BigUint) -> Ciphertext {
+        let neg_k = k.rem_ref(&self.n).mod_neg(&self.n);
+        self.add_plain(a, &neg_k)
+    }
+
+    /// Re-randomizes a ciphertext so it is unlinkable to its input while
+    /// encrypting the same plaintext (multiplication by a fresh `E(0)`).
+    pub fn rerandomize<R: RngCore + ?Sized>(&self, a: &Ciphertext, rng: &mut R) -> Ciphertext {
+        let r = self.sample_randomness(rng);
+        let rn = r.mod_pow(&self.n, &self.n_squared);
+        Ciphertext(a.as_raw().mod_mul(&rn, &self.n_squared))
+    }
+
+    /// Sums an iterator of ciphertexts homomorphically; returns an encryption
+    /// of zero (with randomness 1) for an empty iterator.
+    pub fn sum<'a, I: IntoIterator<Item = &'a Ciphertext>>(&self, iter: I) -> Ciphertext {
+        let mut acc = BigUint::one(); // E(0) with randomness 1
+        for c in iter {
+            acc = acc.mod_mul(c.as_raw(), &self.n_squared);
+        }
+        Ciphertext(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Keypair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (crate::PublicKey, crate::PrivateKey, StdRng) {
+        let mut rng = StdRng::seed_from_u64(41);
+        let (pk, sk) = Keypair::generate(128, &mut rng).split();
+        (pk, sk, rng)
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let (pk, sk, mut rng) = setup();
+        let a = pk.encrypt_u64(1234, &mut rng);
+        let b = pk.encrypt_u64(4321, &mut rng);
+        assert_eq!(sk.decrypt_u64(&pk.add(&a, &b)), 5555);
+        assert_eq!(sk.decrypt_u64(&pk.add_plain(&a, &BigUint::from_u64(6))), 1240);
+    }
+
+    #[test]
+    fn homomorphic_scalar_multiplication() {
+        let (pk, sk, mut rng) = setup();
+        let a = pk.encrypt_u64(111, &mut rng);
+        assert_eq!(sk.decrypt_u64(&pk.mul_plain_u64(&a, 9)), 999);
+        assert_eq!(sk.decrypt_u64(&pk.mul_plain(&a, &BigUint::zero())), 0);
+    }
+
+    #[test]
+    fn negation_and_subtraction_wrap_mod_n() {
+        let (pk, sk, mut rng) = setup();
+        let a = pk.encrypt_u64(10, &mut rng);
+        let b = pk.encrypt_u64(3, &mut rng);
+        assert_eq!(sk.decrypt_u64(&pk.sub(&a, &b)), 7);
+        // 3 − 10 ≡ N − 7 (mod N)
+        let neg = sk.decrypt(&pk.sub(&b, &a));
+        assert_eq!(neg, pk.n().sub_ref(&BigUint::from_u64(7)));
+        let negated = sk.decrypt(&pk.negate(&a));
+        assert_eq!(negated, pk.n().sub_ref(&BigUint::from_u64(10)));
+        assert_eq!(sk.decrypt_u64(&pk.sub_plain(&a, &BigUint::from_u64(4))), 6);
+    }
+
+    #[test]
+    fn rerandomization_preserves_plaintext() {
+        let (pk, sk, mut rng) = setup();
+        let a = pk.encrypt_u64(77, &mut rng);
+        let b = pk.rerandomize(&a, &mut rng);
+        assert_ne!(a, b);
+        assert_eq!(sk.decrypt_u64(&b), 77);
+    }
+
+    #[test]
+    fn sum_of_many() {
+        let (pk, sk, mut rng) = setup();
+        let cts: Vec<_> = (1u64..=10).map(|v| pk.encrypt_u64(v, &mut rng)).collect();
+        assert_eq!(sk.decrypt_u64(&pk.sum(&cts)), 55);
+        assert_eq!(sk.decrypt_u64(&pk.sum(std::iter::empty())), 0);
+    }
+
+    #[test]
+    fn paper_example_2_secure_multiplication_identity() {
+        // Example 2 of the paper: a = 59, b = 58, ra = 1, rb = 3.
+        // (a + ra)(b + rb) − a·rb − b·ra − ra·rb = a·b.
+        let (pk, sk, mut rng) = setup();
+        let a = 59u64;
+        let b = 58u64;
+        let (ra, rb) = (1u64, 3u64);
+        let e_sum = pk.encrypt_u64((a + ra) * (b + rb), &mut rng); // h = 3660
+        let minus_a_rb = pk.negate(&pk.mul_plain_u64(&pk.encrypt_u64(a, &mut rng), rb));
+        let minus_b_ra = pk.negate(&pk.mul_plain_u64(&pk.encrypt_u64(b, &mut rng), ra));
+        let step1 = pk.add(&e_sum, &minus_a_rb); // 3483
+        let step2 = pk.add(&step1, &minus_b_ra); // 3425
+        let result = pk.add_plain(&step2, &pk.n().sub_ref(&BigUint::from_u64(ra * rb))); // 3422
+        assert_eq!(sk.decrypt_u64(&result), a * b);
+    }
+}

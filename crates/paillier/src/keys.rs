@@ -1,0 +1,112 @@
+//! Public and private key types.
+
+use sknn_bigint::BigUint;
+
+/// A Paillier public key.
+///
+/// The generator is fixed to `g = N + 1`, the standard choice that makes
+/// encryption cost a single modular exponentiation:
+/// `E(m, r) = (1 + m·N) · r^N mod N²`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PublicKey {
+    pub(crate) n: BigUint,
+    pub(crate) n_squared: BigUint,
+    /// `⌊N/2⌋`, the threshold used by the signed-value encoding.
+    pub(crate) half_n: BigUint,
+    /// Modulus size in bits (the paper's parameter `K`).
+    pub(crate) bits: usize,
+}
+
+impl PublicKey {
+    pub(crate) fn from_n(n: BigUint) -> Self {
+        let n_squared = n.mul_ref(&n);
+        let half_n = n.shr_bits(1);
+        let bits = n.bits();
+        PublicKey {
+            n,
+            n_squared,
+            half_n,
+            bits,
+        }
+    }
+
+    /// The modulus `N`.
+    pub fn n(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// The ciphertext modulus `N²`.
+    pub fn n_squared(&self) -> &BigUint {
+        &self.n_squared
+    }
+
+    /// `⌊N/2⌋` — values above this decode as negative in the signed encoding.
+    pub fn half_n(&self) -> &BigUint {
+        &self.half_n
+    }
+
+    /// The key size in bits (the paper's `K` parameter).
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Returns `true` when `m` lies in the message space `[0, N)`.
+    pub fn is_valid_plaintext(&self, m: &BigUint) -> bool {
+        m < &self.n
+    }
+}
+
+/// A Paillier private key.
+///
+/// Holds the factorization of `N` and the precomputed CRT constants so that
+/// decryption costs two half-size exponentiations instead of one full-size
+/// one (≈4× faster; see the `paillier` benchmark's `decrypt_direct` ablation).
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PrivateKey {
+    pub(crate) public: PublicKey,
+    pub(crate) p: BigUint,
+    pub(crate) q: BigUint,
+    pub(crate) p_squared: BigUint,
+    pub(crate) q_squared: BigUint,
+    /// `hp = L_p(g^{p−1} mod p²)^{-1} mod p`
+    pub(crate) hp: BigUint,
+    /// `hq = L_q(g^{q−1} mod q²)^{-1} mod q`
+    pub(crate) hq: BigUint,
+    /// `p^{-1} mod q`, used for the CRT recombination.
+    pub(crate) p_inv_q: BigUint,
+    /// `λ = lcm(p−1, q−1)`, kept for the non-CRT decryption ablation.
+    pub(crate) lambda: BigUint,
+    /// `µ = L(g^λ mod N²)^{-1} mod N`, kept for the non-CRT decryption ablation.
+    pub(crate) mu: BigUint,
+}
+
+impl PrivateKey {
+    /// The public half of this key.
+    pub fn public_key(&self) -> &PublicKey {
+        &self.public
+    }
+
+    /// The modulus `N` (convenience accessor).
+    pub fn n(&self) -> &BigUint {
+        &self.public.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_key_accessors() {
+        let n = BigUint::from_u64(15);
+        let pk = PublicKey::from_n(n.clone());
+        assert_eq!(pk.n(), &n);
+        assert_eq!(pk.n_squared(), &BigUint::from_u64(225));
+        assert_eq!(pk.half_n(), &BigUint::from_u64(7));
+        assert_eq!(pk.bits(), 4);
+        assert!(pk.is_valid_plaintext(&BigUint::from_u64(14)));
+        assert!(!pk.is_valid_plaintext(&BigUint::from_u64(15)));
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the Paillier layer.
+//!
+//! Key generation is expensive, so a small set of key pairs is generated once
+//! and shared across all property cases.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sknn_bigint::BigUint;
+use sknn_paillier::{encoding, Keypair, PrivateKey, PublicKey};
+use std::sync::OnceLock;
+
+fn shared_keys() -> &'static (PublicKey, PrivateKey) {
+    static KEYS: OnceLock<(PublicKey, PrivateKey)> = OnceLock::new();
+    KEYS.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        Keypair::generate(128, &mut rng).split()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn encrypt_decrypt_roundtrip(m in any::<u64>(), seed in any::<u64>()) {
+        let (pk, sk) = shared_keys();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = BigUint::from_u64(m);
+        let c = pk.encrypt(&m, &mut rng);
+        prop_assert_eq!(sk.decrypt(&c), m.clone());
+        prop_assert_eq!(sk.decrypt_direct(&c), m);
+    }
+
+    #[test]
+    fn addition_homomorphism(a in any::<u64>(), b in any::<u64>(), seed in any::<u64>()) {
+        let (pk, sk) = shared_keys();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ca = pk.encrypt_u64(a, &mut rng);
+        let cb = pk.encrypt_u64(b, &mut rng);
+        let sum = sk.decrypt(&pk.add(&ca, &cb));
+        let expected = BigUint::from_u128(a as u128 + b as u128).rem_ref(pk.n());
+        prop_assert_eq!(sum, expected);
+    }
+
+    #[test]
+    fn scalar_multiplication_homomorphism(a in any::<u32>(), k in any::<u32>(), seed in any::<u64>()) {
+        let (pk, sk) = shared_keys();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ca = pk.encrypt_u64(a as u64, &mut rng);
+        let prod = sk.decrypt(&pk.mul_plain_u64(&ca, k as u64));
+        let expected = BigUint::from_u128(a as u128 * k as u128).rem_ref(pk.n());
+        prop_assert_eq!(prod, expected);
+    }
+
+    #[test]
+    fn subtraction_matches_signed_arithmetic(a in 0i64..1_000_000, b in 0i64..1_000_000, seed in any::<u64>()) {
+        let (pk, sk) = shared_keys();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ca = pk.encrypt_u64(a as u64, &mut rng);
+        let cb = pk.encrypt_u64(b as u64, &mut rng);
+        let diff = sk.decrypt(&pk.sub(&ca, &cb));
+        prop_assert_eq!(encoding::decode_signed(pk, &diff).unwrap(), a - b);
+    }
+
+    #[test]
+    fn rerandomization_is_plaintext_preserving(m in any::<u64>(), seed in any::<u64>()) {
+        let (pk, sk) = shared_keys();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = pk.encrypt_u64(m, &mut rng);
+        let c2 = pk.rerandomize(&c, &mut rng);
+        prop_assert_ne!(&c, &c2);
+        prop_assert_eq!(sk.decrypt(&c2), BigUint::from_u64(m));
+    }
+
+    #[test]
+    fn signed_encoding_roundtrip(v in any::<i32>()) {
+        let (pk, _) = shared_keys();
+        let enc = encoding::encode_signed(pk, v as i64).unwrap();
+        prop_assert_eq!(encoding::decode_signed(pk, &enc).unwrap(), v as i64);
+    }
+
+    #[test]
+    fn secure_multiplication_masking_identity(a in any::<u32>(), b in any::<u32>(), ra in any::<u32>(), rb in any::<u32>(), seed in any::<u64>()) {
+        // The algebraic identity the SM protocol relies on (Equation 1 of the
+        // paper), executed entirely through homomorphic operations.
+        let (pk, sk) = shared_keys();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (a, b, ra, rb) = (a as u64, b as u64, ra as u64, rb as u64);
+        let h = BigUint::from_u128((a as u128 + ra as u128) * (b as u128 + rb as u128))
+            .rem_ref(pk.n());
+        let e_h = pk.encrypt(&h, &mut rng);
+        let e_a = pk.encrypt_u64(a, &mut rng);
+        let e_b = pk.encrypt_u64(b, &mut rng);
+        let s = pk.sub(&e_h, &pk.mul_plain(&e_a, &BigUint::from_u64(rb)));
+        let s = pk.sub(&s, &pk.mul_plain(&e_b, &BigUint::from_u64(ra)));
+        let s = pk.sub_plain(&s, &BigUint::from_u128(ra as u128 * rb as u128).rem_ref(pk.n()));
+        let expected = BigUint::from_u128(a as u128 * b as u128).rem_ref(pk.n());
+        prop_assert_eq!(sk.decrypt(&s), expected);
+    }
+}
+
+#[test]
+fn different_keypairs_do_not_interoperate() {
+    let mut rng = StdRng::seed_from_u64(99);
+    let (pk1, _sk1) = Keypair::generate(96, &mut rng).split();
+    let (_pk2, sk2) = Keypair::generate(96, &mut rng).split();
+    let c = pk1.encrypt_u64(5, &mut rng);
+    // Decrypting under the wrong key yields garbage (with overwhelming probability).
+    assert_ne!(sk2.decrypt(&c), BigUint::from_u64(5));
+}
+
+#[cfg(feature = "serde")]
+#[test]
+fn ciphertext_byte_len_reasonable() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let (pk, _) = Keypair::generate(128, &mut rng).split();
+    let c = pk.encrypt_u64(1, &mut rng);
+    // Ciphertexts live in Z_{N²}: at most 2·128 bits = 32 bytes.
+    assert!(c.byte_len() <= 32);
+}

@@ -1,0 +1,64 @@
+//! Error type for the protocol layer.
+
+use core::fmt;
+
+/// Errors surfaced by the protocol drivers.
+///
+/// Most protocol-level misuse (mismatched vector lengths, an `l` that cannot
+/// hold the values involved) is a programming error and panics with a clear
+/// message instead; this error type covers conditions a caller can reasonably
+/// hit at run time and may want to handle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The two encrypted vectors handed to SSED/SMIN have different lengths.
+    DimensionMismatch {
+        /// Length of the first operand.
+        left: usize,
+        /// Length of the second operand.
+        right: usize,
+    },
+    /// A bit-length parameter was zero or absurdly large for the key in use.
+    InvalidBitLength {
+        /// The requested bit length `l`.
+        l: usize,
+        /// The key size in bits.
+        key_bits: usize,
+    },
+    /// The transport to the key-holding party disconnected.
+    TransportClosed,
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::DimensionMismatch { left, right } => {
+                write!(f, "encrypted vectors have mismatched dimensions: {left} vs {right}")
+            }
+            ProtocolError::InvalidBitLength { l, key_bits } => write!(
+                f,
+                "bit length l = {l} is invalid for a {key_bits}-bit Paillier key"
+            ),
+            ProtocolError::TransportClosed => {
+                write!(f, "the channel to the key-holding cloud was closed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ProtocolError::DimensionMismatch { left: 3, right: 4 }
+            .to_string()
+            .contains("3 vs 4"));
+        assert!(ProtocolError::InvalidBitLength { l: 0, key_bits: 512 }
+            .to_string()
+            .contains("512"));
+        assert!(ProtocolError::TransportClosed.to_string().contains("closed"));
+    }
+}

@@ -1,0 +1,367 @@
+//! The key-holding party (P2 / cloud C2).
+//!
+//! The [`KeyHolder`] trait is the complete interface P1 (cloud C1) has to the
+//! party holding the Paillier secret key. Each method corresponds to exactly
+//! one message exchange in the paper's algorithms — nothing beyond those
+//! messages is observable by C2, which is what the semi-honest security
+//! argument of Section 4.3 relies on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use parking_lot::Mutex;
+use sknn_bigint::BigUint;
+use sknn_paillier::{Ciphertext, PrivateKey, PublicKey};
+
+/// The response to one SMIN evaluation round (Algorithm 3, step 2).
+#[derive(Clone, Debug)]
+pub struct SminRoundResponse {
+    /// `M′_i = Γ′_i^α` — the (still permuted) randomized bit differences,
+    /// exponentiated by the comparison outcome.
+    pub m_prime: Vec<Ciphertext>,
+    /// `E(α)` — the encrypted, functionality-oblivious comparison outcome.
+    pub alpha: Ciphertext,
+}
+
+/// The operations cloud C2 (holder of the Paillier secret key) performs on
+/// behalf of cloud C1.
+///
+/// All methods take `&self` so a single key holder can serve concurrent
+/// protocol executions (the parallel SkNN variants of Figure 3 rely on this);
+/// implementations use interior mutability for their randomness.
+pub trait KeyHolder: Send + Sync {
+    /// The public key both clouds operate under.
+    fn public_key(&self) -> &PublicKey;
+
+    /// SM, step 2 (Algorithm 1): for each pair `(a′, b′)` of masked
+    /// ciphertexts, decrypt both, multiply the plaintexts modulo `N` and
+    /// return a fresh encryption of the product.
+    fn sm_mask_multiply_batch(&self, pairs: &[(Ciphertext, Ciphertext)]) -> Vec<Ciphertext>;
+
+    /// SBD's Encrypted-LSB oracle: for each masked ciphertext `E(z + r)`,
+    /// decrypt and return a fresh encryption of the least-significant bit of
+    /// the plaintext.
+    fn lsb_of_masked_batch(&self, masked: &[Ciphertext]) -> Vec<Ciphertext>;
+
+    /// SMIN, step 2 (Algorithm 3): decrypt the permuted `L′` vector, decide
+    /// `α` (1 if any entry decrypts to exactly 1), exponentiate the permuted
+    /// `Γ′` vector by `α` and return it together with `E(α)`.
+    fn smin_round(&self, gamma_permuted: &[Ciphertext], l_permuted: &[Ciphertext])
+        -> SminRoundResponse;
+
+    /// SkNN_m, step 3(c) (Algorithm 6): decrypt the permuted, randomized
+    /// distance differences `β` and return the indicator vector `U` with
+    /// `U_i = E(1)` for exactly one position where the plaintext is zero
+    /// (chosen uniformly when several are zero) and `E(0)` elsewhere.
+    fn min_selection(&self, beta: &[Ciphertext]) -> Vec<Ciphertext>;
+
+    /// SkNN_b, step 3 (Algorithm 5): decrypt every distance and return the
+    /// indices of the `k` smallest (ties broken by index). This deliberately
+    /// leaks the distances and the access pattern — that is the documented
+    /// weakness of the basic protocol.
+    fn top_k_indices(&self, distances: &[Ciphertext], k: usize) -> Vec<usize>;
+
+    /// Final step of both protocols (steps 5 of Algorithm 5): decrypt the
+    /// masked result attributes `γ` so they can be forwarded to Bob. The
+    /// plaintexts are uniformly random values masked by C1, so nothing about
+    /// the real records is revealed to the key holder.
+    fn decrypt_masked_batch(&self, masked: &[Ciphertext]) -> Vec<BigUint>;
+
+    /// Single-pair convenience wrapper over [`KeyHolder::sm_mask_multiply_batch`].
+    fn sm_mask_multiply(&self, a_masked: &Ciphertext, b_masked: &Ciphertext) -> Ciphertext {
+        self.sm_mask_multiply_batch(std::slice::from_ref(&(a_masked.clone(), b_masked.clone())))
+            .pop()
+            .expect("batch of one returns one result")
+    }
+
+    /// Single-item convenience wrapper over [`KeyHolder::lsb_of_masked_batch`].
+    fn lsb_of_masked(&self, masked: &Ciphertext) -> Ciphertext {
+        self.lsb_of_masked_batch(std::slice::from_ref(masked))
+            .pop()
+            .expect("batch of one returns one result")
+    }
+}
+
+/// An in-process key holder: executes C2's side of every protocol directly.
+///
+/// This is the implementation used when both "clouds" run in the same process
+/// (the configuration the paper's own single-machine evaluation corresponds
+/// to). The [`crate::transport::ChannelKeyHolder`] wraps the same logic behind
+/// a message channel with traffic accounting.
+pub struct LocalKeyHolder {
+    sk: PrivateKey,
+    pk: PublicKey,
+    rng: Mutex<StdRng>,
+}
+
+impl LocalKeyHolder {
+    /// Creates a key holder from the secret key, seeding its internal
+    /// randomness from `seed` (deterministic for reproducible experiments).
+    pub fn new(sk: PrivateKey, seed: u64) -> Self {
+        let pk = sk.public_key().clone();
+        LocalKeyHolder {
+            sk,
+            pk,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// Creates a key holder seeded from the operating-system entropy source.
+    pub fn from_entropy(sk: PrivateKey) -> Self {
+        let pk = sk.public_key().clone();
+        LocalKeyHolder {
+            sk,
+            pk,
+            rng: Mutex::new(StdRng::from_entropy()),
+        }
+    }
+
+    /// Decrypts a ciphertext — **test and audit helper only**. Real
+    /// deployments never expose raw decryption of protocol intermediates;
+    /// the method exists so tests and the leakage auditor can check
+    /// plaintext-level invariants.
+    pub fn debug_decrypt(&self, c: &Ciphertext) -> BigUint {
+        self.sk.decrypt(c)
+    }
+
+    /// [`LocalKeyHolder::debug_decrypt`] narrowed to `u64`.
+    pub fn debug_decrypt_u64(&self, c: &Ciphertext) -> u64 {
+        self.sk
+            .decrypt(c)
+            .to_u64()
+            .expect("plaintext does not fit in u64")
+    }
+
+    /// Access to the private key for composition into higher-level roles
+    /// (the `sknn-core` crate's cloud C2 wrapper re-uses it for the final
+    /// result decryption step).
+    pub fn private_key(&self) -> &PrivateKey {
+        &self.sk
+    }
+
+    /// Draws `count` encryption-randomness values under a short lock so the
+    /// expensive cryptographic work in the trait methods can run without
+    /// serializing concurrent callers.
+    fn sample_randomness_batch(&self, count: usize) -> Vec<BigUint> {
+        let mut rng = self.rng.lock();
+        (0..count)
+            .map(|_| self.pk.sample_randomness(&mut *rng))
+            .collect()
+    }
+}
+
+impl KeyHolder for LocalKeyHolder {
+    fn public_key(&self) -> &PublicKey {
+        &self.pk
+    }
+
+    fn sm_mask_multiply_batch(&self, pairs: &[(Ciphertext, Ciphertext)]) -> Vec<Ciphertext> {
+        // Draw all randomness under a short lock so concurrent protocol
+        // executions (the record-parallel stages of Figure 3) are not
+        // serialized behind the expensive decrypt/encrypt work.
+        let randomness = self.sample_randomness_batch(pairs.len());
+        pairs
+            .iter()
+            .zip(randomness)
+            .map(|((a, b), r)| {
+                let ha = self.sk.decrypt(a);
+                let hb = self.sk.decrypt(b);
+                let h = ha.mod_mul(&hb, self.pk.n());
+                self.pk.encrypt_with_randomness(&h, &r)
+            })
+            .collect()
+    }
+
+    fn lsb_of_masked_batch(&self, masked: &[Ciphertext]) -> Vec<Ciphertext> {
+        let randomness = self.sample_randomness_batch(masked.len());
+        masked
+            .iter()
+            .zip(randomness)
+            .map(|(y, r)| {
+                let plain = self.sk.decrypt(y);
+                let bit = if plain.is_odd() {
+                    BigUint::one()
+                } else {
+                    BigUint::zero()
+                };
+                self.pk.encrypt_with_randomness(&bit, &r)
+            })
+            .collect()
+    }
+
+    fn smin_round(
+        &self,
+        gamma_permuted: &[Ciphertext],
+        l_permuted: &[Ciphertext],
+    ) -> SminRoundResponse {
+        assert_eq!(gamma_permuted.len(), l_permuted.len());
+        let one = BigUint::one();
+        // α = 1 iff some decrypted L′ entry equals exactly 1.
+        let alpha_is_one = l_permuted.iter().any(|c| self.sk.decrypt(c) == one);
+        let alpha_plain = if alpha_is_one { BigUint::one() } else { BigUint::zero() };
+
+        let m_prime = gamma_permuted
+            .iter()
+            .map(|g| {
+                if alpha_is_one {
+                    g.clone()
+                } else {
+                    // Γ′^0 = a trivial encryption of zero.
+                    self.pk.mul_plain(g, &BigUint::zero())
+                }
+            })
+            .collect();
+
+        let r = self
+            .sample_randomness_batch(1)
+            .pop()
+            .expect("one randomness value requested");
+        SminRoundResponse {
+            m_prime,
+            alpha: self.pk.encrypt_with_randomness(&alpha_plain, &r),
+        }
+    }
+
+    fn min_selection(&self, beta: &[Ciphertext]) -> Vec<Ciphertext> {
+        let zero_positions: Vec<usize> = beta
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| self.sk.decrypt(c).is_zero())
+            .map(|(i, _)| i)
+            .collect();
+        // The protocol guarantees at least one zero (the global minimum always
+        // matches itself); if several records tie, pick one uniformly.
+        let (chosen, randomness) = {
+            let mut rng = self.rng.lock();
+            let chosen = zero_positions
+                .get(rng.gen_range(0..zero_positions.len().max(1)))
+                .copied();
+            let randomness: Vec<BigUint> = (0..beta.len())
+                .map(|_| self.pk.sample_randomness(&mut *rng))
+                .collect();
+            (chosen, randomness)
+        };
+        beta.iter()
+            .enumerate()
+            .zip(randomness)
+            .map(|((i, _), r)| {
+                let bit = if Some(i) == chosen {
+                    BigUint::one()
+                } else {
+                    BigUint::zero()
+                };
+                self.pk.encrypt_with_randomness(&bit, &r)
+            })
+            .collect()
+    }
+
+    fn top_k_indices(&self, distances: &[Ciphertext], k: usize) -> Vec<usize> {
+        let mut decrypted: Vec<(BigUint, usize)> = distances
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (self.sk.decrypt(c), i))
+            .collect();
+        decrypted.sort();
+        decrypted.into_iter().take(k).map(|(_, i)| i).collect()
+    }
+
+    fn decrypt_masked_batch(&self, masked: &[Ciphertext]) -> Vec<BigUint> {
+        masked.iter().map(|c| self.sk.decrypt(c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sknn_paillier::Keypair;
+
+    fn setup() -> (PublicKey, LocalKeyHolder, StdRng) {
+        let mut rng = StdRng::seed_from_u64(61);
+        let (pk, sk) = Keypair::generate(128, &mut rng).split();
+        (pk, LocalKeyHolder::new(sk, 62), rng)
+    }
+
+    #[test]
+    fn sm_mask_multiply_multiplies_plaintexts() {
+        let (pk, holder, mut rng) = setup();
+        let a = pk.encrypt_u64(60, &mut rng); // a + ra from Example 2
+        let b = pk.encrypt_u64(61, &mut rng); // b + rb from Example 2
+        let h = holder.sm_mask_multiply(&a, &b);
+        assert_eq!(holder.debug_decrypt_u64(&h), 3660);
+    }
+
+    #[test]
+    fn lsb_oracle() {
+        let (pk, holder, mut rng) = setup();
+        let evens = pk.encrypt_u64(44, &mut rng);
+        let odds = pk.encrypt_u64(45, &mut rng);
+        let bits = holder.lsb_of_masked_batch(&[evens, odds]);
+        assert_eq!(holder.debug_decrypt_u64(&bits[0]), 0);
+        assert_eq!(holder.debug_decrypt_u64(&bits[1]), 1);
+    }
+
+    #[test]
+    fn smin_round_detects_a_one() {
+        let (pk, holder, mut rng) = setup();
+        let gamma: Vec<_> = (0..4).map(|v| pk.encrypt_u64(v + 10, &mut rng)).collect();
+        // L decrypts to random-looking values with a single 1 present.
+        let l_with_one = vec![
+            pk.encrypt_u64(923, &mut rng),
+            pk.encrypt_u64(1, &mut rng),
+            pk.encrypt_u64(77, &mut rng),
+            pk.encrypt_u64(0, &mut rng),
+        ];
+        let resp = holder.smin_round(&gamma, &l_with_one);
+        assert_eq!(holder.debug_decrypt_u64(&resp.alpha), 1);
+        // M′ = Γ′^1 keeps the plaintexts.
+        assert_eq!(holder.debug_decrypt_u64(&resp.m_prime[2]), 12);
+
+        let l_without_one = vec![
+            pk.encrypt_u64(923, &mut rng),
+            pk.encrypt_u64(5, &mut rng),
+            pk.encrypt_u64(77, &mut rng),
+            pk.encrypt_u64(0, &mut rng),
+        ];
+        let resp = holder.smin_round(&gamma, &l_without_one);
+        assert_eq!(holder.debug_decrypt_u64(&resp.alpha), 0);
+        // M′ = Γ′^0 wipes the plaintexts to zero.
+        assert!(resp
+            .m_prime
+            .iter()
+            .all(|c| holder.debug_decrypt(c).is_zero()));
+    }
+
+    #[test]
+    fn min_selection_marks_exactly_one_zero() {
+        let (pk, holder, mut rng) = setup();
+        let beta = vec![
+            pk.encrypt_u64(17, &mut rng),
+            pk.encrypt_u64(0, &mut rng),
+            pk.encrypt_u64(23, &mut rng),
+            pk.encrypt_u64(0, &mut rng),
+        ];
+        let u = holder.min_selection(&beta);
+        let plain: Vec<u64> = u.iter().map(|c| holder.debug_decrypt_u64(c)).collect();
+        assert_eq!(plain.iter().sum::<u64>(), 1);
+        let marked = plain.iter().position(|&b| b == 1).unwrap();
+        assert!(marked == 1 || marked == 3, "must mark one of the zero positions");
+    }
+
+    #[test]
+    fn top_k_orders_by_distance() {
+        let (pk, holder, mut rng) = setup();
+        let dists: Vec<_> = [50u64, 10, 40, 10, 30]
+            .iter()
+            .map(|&d| pk.encrypt_u64(d, &mut rng))
+            .collect();
+        assert_eq!(holder.top_k_indices(&dists, 3), vec![1, 3, 4]);
+        assert_eq!(holder.top_k_indices(&dists, 1), vec![1]);
+    }
+
+    #[test]
+    fn decrypt_masked_batch_roundtrip() {
+        let (pk, holder, mut rng) = setup();
+        let masked: Vec<_> = [5u64, 7, 11].iter().map(|&v| pk.encrypt_u64(v, &mut rng)).collect();
+        let plain = holder.decrypt_masked_batch(&masked);
+        assert_eq!(plain, vec![BigUint::from_u64(5), BigUint::from_u64(7), BigUint::from_u64(11)]);
+    }
+}

@@ -1,0 +1,149 @@
+//! SMIN_n — Secure Minimum of n bit-decomposed values (Algorithm 4).
+//!
+//! P1 holds `[d₁], …, [d_n]`; the protocol outputs `[min(d₁, …, d_n)]` to P1
+//! by running SMIN pairwise in a binary tournament (`⌈log₂ n⌉` levels), so the
+//! number of SMIN instantiations is `n − 1` and the round depth is
+//! logarithmic.
+
+use crate::{secure_min, KeyHolder, ProtocolError};
+use rand::RngCore;
+use sknn_paillier::{Ciphertext, PublicKey};
+
+/// Computes `[min(d₁, …, d_n)]`.
+///
+/// # Errors
+/// Returns [`ProtocolError::DimensionMismatch`] when the input is empty or
+/// the bit vectors do not all have the same length.
+pub fn secure_min_n<K: KeyHolder + ?Sized, R: RngCore + ?Sized>(
+    pk: &PublicKey,
+    key_holder: &K,
+    values: &[Vec<Ciphertext>],
+    rng: &mut R,
+) -> Result<Vec<Ciphertext>, ProtocolError> {
+    if values.is_empty() {
+        return Err(ProtocolError::DimensionMismatch { left: 0, right: 0 });
+    }
+    let l = values[0].len();
+    if let Some(bad) = values.iter().find(|v| v.len() != l) {
+        return Err(ProtocolError::DimensionMismatch {
+            left: l,
+            right: bad.len(),
+        });
+    }
+
+    // Binary tournament, bottom-up: each level halves the number of
+    // contenders; an odd leftover is carried to the next level unchanged.
+    let mut current: Vec<Vec<Ciphertext>> = values.to_vec();
+    while current.len() > 1 {
+        let mut next = Vec::with_capacity(current.len().div_ceil(2));
+        let mut iter = current.chunks(2);
+        for chunk in &mut iter {
+            match chunk {
+                [a, b] => next.push(secure_min(pk, key_holder, a, b, rng)?),
+                [a] => next.push(a.clone()),
+                _ => unreachable!("chunks(2) yields chunks of length 1 or 2"),
+            }
+        }
+        current = next;
+    }
+    Ok(current.pop().expect("at least one value remains"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LocalKeyHolder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sknn_paillier::Keypair;
+
+    fn setup() -> (PublicKey, LocalKeyHolder, StdRng) {
+        let mut rng = StdRng::seed_from_u64(111);
+        let (pk, sk) = Keypair::generate(128, &mut rng).split();
+        (pk, LocalKeyHolder::new(sk, 112), rng)
+    }
+
+    fn encrypt_bits(pk: &PublicKey, value: u64, l: usize, rng: &mut StdRng) -> Vec<Ciphertext> {
+        (0..l)
+            .rev()
+            .map(|i| pk.encrypt_u64((value >> i) & 1, rng))
+            .collect()
+    }
+
+    fn decrypt_value(holder: &LocalKeyHolder, bits: &[Ciphertext]) -> u64 {
+        bits.iter()
+            .fold(0u64, |acc, b| (acc << 1) | holder.debug_decrypt_u64(b))
+    }
+
+    #[test]
+    fn six_values_like_figure_1() {
+        // The paper's Figure 1 walks through n = 6.
+        let (pk, holder, mut rng) = setup();
+        let values = [23u64, 17, 52, 9, 41, 30];
+        let enc: Vec<_> = values
+            .iter()
+            .map(|&v| encrypt_bits(&pk, v, 6, &mut rng))
+            .collect();
+        let min = secure_min_n(&pk, &holder, &enc, &mut rng).unwrap();
+        assert_eq!(decrypt_value(&holder, &min), 9);
+    }
+
+    #[test]
+    fn various_sizes_including_non_powers_of_two() {
+        let (pk, holder, mut rng) = setup();
+        let l = 5;
+        for n in [1usize, 2, 3, 5, 7, 8] {
+            let values: Vec<u64> = (0..n as u64).map(|i| (i * 7 + 3) % 32).collect();
+            let enc: Vec<_> = values
+                .iter()
+                .map(|&v| encrypt_bits(&pk, v, l, &mut rng))
+                .collect();
+            let min = secure_min_n(&pk, &holder, &enc, &mut rng).unwrap();
+            assert_eq!(
+                decrypt_value(&holder, &min),
+                *values.iter().min().unwrap(),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicates_and_ties() {
+        let (pk, holder, mut rng) = setup();
+        let values = [12u64, 12, 31, 12, 31];
+        let enc: Vec<_> = values
+            .iter()
+            .map(|&v| encrypt_bits(&pk, v, 5, &mut rng))
+            .collect();
+        let min = secure_min_n(&pk, &holder, &enc, &mut rng).unwrap();
+        assert_eq!(decrypt_value(&holder, &min), 12);
+    }
+
+    #[test]
+    fn single_value_passthrough() {
+        let (pk, holder, mut rng) = setup();
+        let enc = vec![encrypt_bits(&pk, 19, 5, &mut rng)];
+        let min = secure_min_n(&pk, &holder, &enc, &mut rng).unwrap();
+        assert_eq!(decrypt_value(&holder, &min), 19);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let (pk, holder, mut rng) = setup();
+        assert!(matches!(
+            secure_min_n(&pk, &holder, &[], &mut rng),
+            Err(ProtocolError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn ragged_bit_lengths_rejected() {
+        let (pk, holder, mut rng) = setup();
+        let a = encrypt_bits(&pk, 3, 4, &mut rng);
+        let b = encrypt_bits(&pk, 3, 6, &mut rng);
+        assert!(matches!(
+            secure_min_n(&pk, &holder, &[a, b], &mut rng),
+            Err(ProtocolError::DimensionMismatch { .. })
+        ));
+    }
+}

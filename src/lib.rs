@@ -1,0 +1,65 @@
+//! # sknn — Secure k-Nearest Neighbor Queries over Encrypted Data
+//!
+//! A Rust implementation of
+//! *Elmehdwi, Samanthula, Jiang — "Secure k-Nearest Neighbor Query over
+//! Encrypted Data in Outsourced Environments"* (ICDE 2014, arXiv:1307.4824),
+//! from the Paillier cryptosystem up to the two query protocols SkNN_b and
+//! SkNN_m, including the synthetic-workload generators and the experiment
+//! harness that regenerates every figure of the paper's evaluation.
+//!
+//! This facade crate re-exports the public API of the workspace crates so an
+//! application needs a single dependency:
+//!
+//! | Layer | Crate | What it provides |
+//! |-------|-------|------------------|
+//! | [`bigint`] | `sknn-bigint` | From-scratch arbitrary-precision arithmetic (Montgomery exponentiation, Miller–Rabin, …) |
+//! | [`paillier`] | `sknn-paillier` | The Paillier additively homomorphic cryptosystem |
+//! | [`protocols`] | `sknn-protocols` | The SM, SSED, SBD, SMIN, SMIN_n and SBOR two-party primitives, the key-holder trait, and the channel transport |
+//! | [`core`] | `sknn-core` | The SkNN_b / SkNN_m protocols, the Alice/Bob/C1/C2 roles and the [`Federation`] harness |
+//! | [`data`] | `sknn-data` | Synthetic and heart-disease workload generators |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use sknn::{Federation, FederationConfig, Table};
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//!
+//! // Alice's plaintext table: rows are records, columns are attributes.
+//! let table = Table::new(vec![
+//!     vec![63, 1, 145],
+//!     vec![56, 1, 130],
+//!     vec![57, 0, 140],
+//!     vec![55, 0, 128],
+//! ]).unwrap();
+//!
+//! // Outsource it: encrypt attribute-wise, hand ciphertexts to cloud C1 and
+//! // the secret key to cloud C2.
+//! let config = FederationConfig { key_bits: 128, ..Default::default() };
+//! let federation = Federation::setup(&table, config, &mut rng).unwrap();
+//!
+//! // Bob asks for the 2 records nearest to his (encrypted) query. With
+//! // `query_secure`, neither cloud learns the distances, the result records,
+//! // or the access pattern.
+//! let result = federation.query_secure(&[58, 1, 133], 2, &mut rng).unwrap();
+//! assert_eq!(result.records.len(), 2);
+//! assert!(result.audit.is_oblivious());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sknn_bigint as bigint;
+pub use sknn_core as core;
+pub use sknn_data as data;
+pub use sknn_paillier as paillier;
+pub use sknn_protocols as protocols;
+
+// The most commonly used types, flattened for convenience.
+pub use sknn_core::{
+    plain_knn, plain_knn_records, squared_euclidean_distance, AccessPatternAudit, CloudC1,
+    DataOwner, Federation, FederationConfig, KeyHolder, LocalKeyHolder, ParallelismConfig,
+    QueryProfile, QueryResult, QueryUser, SknnError, Stage, Table, TransportKind,
+};
+pub use sknn_paillier::{Ciphertext, Keypair, PrivateKey, PublicKey};
