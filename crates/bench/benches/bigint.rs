@@ -43,9 +43,11 @@ fn bench_modexp(c: &mut Criterion) {
             bench.iter(|| black_box(base.mod_pow_basic(&exponent, &modulus)))
         });
         let ctx = Montgomery::new(modulus.clone());
-        group.bench_with_input(BenchmarkId::new("montgomery_reused_ctx", bits), &bits, |bench, _| {
-            bench.iter(|| black_box(ctx.pow(&base, &exponent)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("montgomery_reused_ctx", bits),
+            &bits,
+            |bench, _| bench.iter(|| black_box(ctx.pow(&base, &exponent))),
+        );
     }
     group.finish();
 }
@@ -74,5 +76,10 @@ fn bench_modinv_and_primes(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_mul_div, bench_modexp, bench_modinv_and_primes);
+criterion_group!(
+    benches,
+    bench_mul_div,
+    bench_modexp,
+    bench_modinv_and_primes
+);
 criterion_main!(benches);

@@ -15,11 +15,9 @@ fn bench_sknnb_vs_records(c: &mut Criterion) {
     for &m in &[6usize, 12] {
         for &n in &[10usize, 20, 40] {
             let instance = build_instance(InstanceSpec::new(n, m, 10, 128));
-            group.bench_with_input(
-                BenchmarkId::new(format!("m{m}"), n),
-                &n,
-                |bench, _| bench.iter(|| black_box(time_basic(&instance, 5.min(n)))),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("m{m}"), n), &n, |bench, _| {
+                bench.iter(|| black_box(time_basic(&instance, 5.min(n))))
+            });
         }
     }
     group.finish();

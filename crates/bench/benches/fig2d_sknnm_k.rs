@@ -14,11 +14,9 @@ fn bench_sknnm_vs_k_and_l(c: &mut Criterion) {
     for &l in &[6usize, 12] {
         let instance = build_instance(InstanceSpec::new(10, 6, l, 128));
         for &k in &[1usize, 2, 4] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("l{l}"), k),
-                &k,
-                |bench, _| bench.iter(|| black_box(time_secure(&instance, k, l))),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("l{l}"), k), &k, |bench, _| {
+                bench.iter(|| black_box(time_secure(&instance, k, l)))
+            });
         }
     }
     group.finish();

@@ -19,9 +19,11 @@ fn bench_encrypt_decrypt(c: &mut Criterion) {
             b.iter(|| black_box(pk.encrypt(&m, &mut rng)))
         });
         let c1 = pk.encrypt(&m, &mut rng);
-        group.bench_with_input(BenchmarkId::new("decrypt_crt", key_bits), &key_bits, |b, _| {
-            b.iter(|| black_box(sk.decrypt(&c1)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("decrypt_crt", key_bits),
+            &key_bits,
+            |b, _| b.iter(|| black_box(sk.decrypt(&c1))),
+        );
         group.bench_with_input(
             BenchmarkId::new("decrypt_direct", key_bits),
             &key_bits,

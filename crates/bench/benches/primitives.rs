@@ -60,8 +60,12 @@ fn bench_ssed(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     group.warm_up_time(std::time::Duration::from_millis(500));
     for m in [6usize, 12, 18] {
-        let x: Vec<_> = (0..m as u64).map(|v| pk.encrypt_u64(v * 3, &mut rng)).collect();
-        let y: Vec<_> = (0..m as u64).map(|v| pk.encrypt_u64(v + 7, &mut rng)).collect();
+        let x: Vec<_> = (0..m as u64)
+            .map(|v| pk.encrypt_u64(v * 3, &mut rng))
+            .collect();
+        let y: Vec<_> = (0..m as u64)
+            .map(|v| pk.encrypt_u64(v + 7, &mut rng))
+            .collect();
         group.bench_with_input(BenchmarkId::new("m", m), &m, |bench, _| {
             bench.iter(|| {
                 black_box(secure_squared_distance(&pk, &holder, &x, &y, &mut rng).unwrap())
@@ -80,9 +84,7 @@ fn bench_sbd(c: &mut Criterion) {
     for l in [6usize, 12] {
         let z = pk.encrypt_u64(41 % (1 << l), &mut rng);
         group.bench_with_input(BenchmarkId::new("l", l), &l, |bench, _| {
-            bench.iter(|| {
-                black_box(secure_bit_decompose(&pk, &holder, &z, l, &mut rng).unwrap())
-            })
+            bench.iter(|| black_box(secure_bit_decompose(&pk, &holder, &z, l, &mut rng).unwrap()))
         });
     }
     group.finish();
@@ -113,5 +115,11 @@ fn bench_smin(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sm_and_sbor, bench_ssed, bench_sbd, bench_smin);
+criterion_group!(
+    benches,
+    bench_sm_and_sbor,
+    bench_ssed,
+    bench_sbd,
+    bench_smin
+);
 criterion_main!(benches);

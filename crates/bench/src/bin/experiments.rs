@@ -163,7 +163,10 @@ fn fig3(scale: Scale) {
     let k = 5.min(scale.record_sweep()[0]);
     let threads = 6;
     println!("## Figure 3: SkNN_b serial vs parallel ({threads} threads), m = 6, k = {k}, K = {small} bits");
-    println!("{:>8} {:>12} {:>12} {:>9}", "n", "serial_s", "parallel_s", "speedup");
+    println!(
+        "{:>8} {:>12} {:>12} {:>9}",
+        "n", "serial_s", "parallel_s", "speedup"
+    );
     for &n in &scale.record_sweep() {
         let serial = build_instance(InstanceSpec::new(n, 6, 12, small));
         let serial_time = time_basic(&serial, k);
@@ -188,13 +191,18 @@ fn breakdown(scale: Scale) {
     let (small, _) = scale.key_sizes();
     let n = scale.secure_records();
     let l = scale.distance_bit_sweep()[0];
-    println!("## Cost breakdown of SkNN_m (Section 5.2), m = 6, n = {n}, l = {l}, K = {small} bits");
+    println!(
+        "## Cost breakdown of SkNN_m (Section 5.2), m = 6, n = {n}, l = {l}, K = {small} bits"
+    );
     println!(
         "{:>8} {:>12} {:>10} {:>10} {:>10} {:>10}",
         "k", "total_s", "smin_n_%", "ssed_%", "sbd_%", "other_%"
     );
     let ks = scale.k_sweep();
-    let endpoints = [*ks.first().expect("non-empty sweep"), *ks.last().expect("non-empty sweep")];
+    let endpoints = [
+        *ks.first().expect("non-empty sweep"),
+        *ks.last().expect("non-empty sweep"),
+    ];
     for &k in &endpoints {
         let k = k.min(n);
         let instance = build_instance(InstanceSpec::new(n, 6, l, small));

@@ -13,7 +13,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sknn_core::{DataOwner, Federation, FederationConfig, Keypair};
+use sknn_core::{DataOwner, Federation, FederationConfig, Keypair, TransportKind};
 use sknn_data::{uniform_query, SyntheticDataset};
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -132,10 +132,14 @@ pub struct InstanceSpec {
     pub key_bits: usize,
     /// Worker threads for the record-parallel stages.
     pub threads: usize,
+    /// Transport between the clouds.
+    pub transport: TransportKind,
+    /// Whether the remote transports coalesce concurrent small batches.
+    pub coalesce: bool,
 }
 
 impl InstanceSpec {
-    /// A serial instance spec.
+    /// A serial, in-process instance spec.
     pub fn new(records: usize, attributes: usize, distance_bits: usize, key_bits: usize) -> Self {
         InstanceSpec {
             records,
@@ -143,6 +147,8 @@ impl InstanceSpec {
             distance_bits,
             key_bits,
             threads: 1,
+            transport: TransportKind::InProcess,
+            coalesce: true,
         }
     }
 }
@@ -177,7 +183,8 @@ pub fn build_instance(spec: InstanceSpec) -> Instance {
             .wrapping_add((spec.attributes as u64) << 20)
             .wrapping_add((spec.distance_bits as u64) << 40),
     );
-    let dataset = SyntheticDataset::uniform(spec.records, spec.attributes, spec.distance_bits, &mut rng);
+    let dataset =
+        SyntheticDataset::uniform(spec.records, spec.attributes, spec.distance_bits, &mut rng);
     let query = uniform_query(spec.attributes, dataset.max_value, &mut rng);
     let owner = DataOwner::from_keypair(cached_keypair(spec.key_bits));
     let federation = Federation::setup_with_owner(
@@ -188,6 +195,8 @@ pub fn build_instance(spec: InstanceSpec) -> Instance {
             distance_bits: Some(spec.distance_bits),
             max_query_value: dataset.max_value,
             threads: spec.threads,
+            transport: spec.transport,
+            coalesce: spec.coalesce,
             ..Default::default()
         },
         &mut rng,
@@ -258,7 +267,10 @@ mod tests {
         let basic = time_basic(&instance, 2);
         let secure = time_secure(&instance, 2, 8);
         assert!(basic > Duration::ZERO);
-        assert!(secure > basic, "the secure protocol costs more than the basic one");
+        assert!(
+            secure > basic,
+            "the secure protocol costs more than the basic one"
+        );
     }
 
     #[test]

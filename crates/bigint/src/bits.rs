@@ -17,9 +17,7 @@ impl BigUint {
     pub fn bit(&self, i: usize) -> bool {
         let limb = i / 64;
         let bit = i % 64;
-        self.limbs
-            .get(limb)
-            .is_some_and(|l| (l >> bit) & 1 == 1)
+        self.limbs.get(limb).is_some_and(|l| (l >> bit) & 1 == 1)
     }
 
     /// Sets bit `i` to `value`, growing the limb vector if needed.

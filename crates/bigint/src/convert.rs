@@ -68,13 +68,15 @@ impl BigUint {
     /// Parses a hexadecimal string (no `0x` prefix, case-insensitive).
     pub fn from_hex_str(s: &str) -> Result<BigUint, ParseBigUintError> {
         if s.is_empty() {
-            return Err(ParseBigUintError { kind: "empty string" });
+            return Err(ParseBigUintError {
+                kind: "empty string",
+            });
         }
         let mut out = BigUint::zero();
         for c in s.chars() {
-            let d = c
-                .to_digit(16)
-                .ok_or(ParseBigUintError { kind: "non-hex digit" })?;
+            let d = c.to_digit(16).ok_or(ParseBigUintError {
+                kind: "non-hex digit",
+            })?;
             out = out.shl_bits(4).add_u64(d as u64);
         }
         Ok(out)
@@ -99,13 +101,15 @@ impl BigUint {
     /// Parses a decimal string.
     pub fn from_dec_str(s: &str) -> Result<BigUint, ParseBigUintError> {
         if s.is_empty() {
-            return Err(ParseBigUintError { kind: "empty string" });
+            return Err(ParseBigUintError {
+                kind: "empty string",
+            });
         }
         let mut out = BigUint::zero();
         for c in s.chars() {
-            let d = c
-                .to_digit(10)
-                .ok_or(ParseBigUintError { kind: "non-decimal digit" })?;
+            let d = c.to_digit(10).ok_or(ParseBigUintError {
+                kind: "non-decimal digit",
+            })?;
             out = out.mul_u64(10).add_u64(d as u64);
         }
         Ok(out)
@@ -149,7 +153,12 @@ impl fmt::Debug for BigUint {
         if self.bits() <= 128 {
             write!(f, "BigUint({})", self.to_dec_string())
         } else {
-            write!(f, "BigUint(0x{}…, {} bits)", &self.to_hex()[..16], self.bits())
+            write!(
+                f,
+                "BigUint(0x{}…, {} bits)",
+                &self.to_hex()[..16],
+                self.bits()
+            )
         }
     }
 }
@@ -216,19 +225,34 @@ mod tests {
 
     #[test]
     fn hex_roundtrip() {
-        for s in ["0", "1", "ff", "deadbeefcafebabe", "123456789abcdef0123456789abcdef"] {
+        for s in [
+            "0",
+            "1",
+            "ff",
+            "deadbeefcafebabe",
+            "123456789abcdef0123456789abcdef",
+        ] {
             let v = BigUint::from_hex_str(s).unwrap();
             assert_eq!(v.to_hex(), s);
         }
         assert_eq!(BigUint::from_hex_str("00ff").unwrap().to_hex(), "ff");
-        assert_eq!(BigUint::from_hex_str("DEADBEEF").unwrap().to_hex(), "deadbeef");
+        assert_eq!(
+            BigUint::from_hex_str("DEADBEEF").unwrap().to_hex(),
+            "deadbeef"
+        );
         assert!(BigUint::from_hex_str("xyz").is_err());
         assert!(BigUint::from_hex_str("").is_err());
     }
 
     #[test]
     fn decimal_roundtrip() {
-        for s in ["0", "1", "42", "18446744073709551616", "340282366920938463463374607431768211455123456789"] {
+        for s in [
+            "0",
+            "1",
+            "42",
+            "18446744073709551616",
+            "340282366920938463463374607431768211455123456789",
+        ] {
             let v = BigUint::from_dec_str(s).unwrap();
             assert_eq!(v.to_dec_string(), s);
             assert_eq!(v.to_string(), s);

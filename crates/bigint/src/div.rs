@@ -92,9 +92,7 @@ fn div_rem_knuth(u: &[u64], v: &[u64]) -> (Vec<u64>, Vec<u64>) {
         let mut rhat = numhi % vn[n - 1] as u128;
         loop {
             // Short-circuiting keeps every product below 2^128.
-            if qhat >= B
-                || qhat * vn[n - 2] as u128 > (rhat << 64) | un[j + n - 2] as u128
-            {
+            if qhat >= B || qhat * vn[n - 2] as u128 > (rhat << 64) | un[j + n - 2] as u128 {
                 qhat -= 1;
                 rhat += vn[n - 1] as u128;
                 if rhat < B {

@@ -108,7 +108,9 @@ impl BigUint {
         if hi == 0 {
             Self::from_u64(lo)
         } else {
-            BigUint { limbs: vec![lo, hi] }
+            BigUint {
+                limbs: vec![lo, hi],
+            }
         }
     }
 
@@ -141,7 +143,7 @@ impl BigUint {
     /// Returns `true` if this value is even (including zero).
     #[inline]
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Returns `true` if this value is odd.

@@ -13,7 +13,9 @@ pub(crate) fn adc(a: u64, b: u64, carry: u64) -> (u64, u64) {
 /// Subtracts `a - b - borrow`, returning the low limb and the borrow out (0 or 1).
 #[inline(always)]
 pub(crate) fn sbb(a: u64, b: u64, borrow: u64) -> (u64, u64) {
-    let diff = (a as u128).wrapping_sub(b as u128).wrapping_sub(borrow as u128);
+    let diff = (a as u128)
+        .wrapping_sub(b as u128)
+        .wrapping_sub(borrow as u128);
     (diff as u64, (diff >> 127) as u64)
 }
 
@@ -110,7 +112,10 @@ mod tests {
     #[test]
     fn mac_full_width() {
         // (2^64-1)^2 + (2^64-1) + (2^64-1) = 2^128 - 1
-        assert_eq!(mac(u64::MAX, u64::MAX, u64::MAX, u64::MAX), (u64::MAX, u64::MAX));
+        assert_eq!(
+            mac(u64::MAX, u64::MAX, u64::MAX, u64::MAX),
+            (u64::MAX, u64::MAX)
+        );
         assert_eq!(mac(3, 4, 5, 6), (23, 0));
     }
 

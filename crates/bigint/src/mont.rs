@@ -29,7 +29,10 @@ impl Montgomery {
     /// Panics when the modulus is zero, one, or even.
     pub fn new(modulus: BigUint) -> Self {
         assert!(modulus > BigUint::one(), "modulus must be > 1");
-        assert!(modulus.is_odd(), "Montgomery arithmetic requires an odd modulus");
+        assert!(
+            modulus.is_odd(),
+            "Montgomery arithmetic requires an odd modulus"
+        );
         let limbs = modulus.limbs().len();
         let n0_inv = inv64(modulus.limbs()[0]).wrapping_neg();
 
@@ -214,7 +217,11 @@ mod tests {
     fn mont_mul_matches_naive() {
         let m = bu(0xFFFF_FFFF_FFFF_FFC5);
         let ctx = Montgomery::new(m.clone());
-        for (a, b) in [(3u128, 4u128), (0xDEADBEEF, 0xCAFEBABE), (u64::MAX as u128 - 7, 12345)] {
+        for (a, b) in [
+            (3u128, 4u128),
+            (0xDEADBEEF, 0xCAFEBABE),
+            (u64::MAX as u128 - 7, 12345),
+        ] {
             assert_eq!(ctx.mul(&bu(a), &bu(b)), bu(a).mod_mul(&bu(b), &m));
         }
     }
@@ -227,7 +234,10 @@ mod tests {
         let cases = [
             (bu(2), bu(10)),
             (bu(0xDEADBEEFCAFEBABE), bu(0x12345)),
-            (BigUint::from_hex_str("abcdef0123456789abcdef").unwrap(), bu(65537)),
+            (
+                BigUint::from_hex_str("abcdef0123456789abcdef").unwrap(),
+                bu(65537),
+            ),
         ];
         for (b, e) in cases {
             assert_eq!(ctx.pow(&b, &e), b.mod_pow_basic(&e, &m), "b={b} e={e}");

@@ -173,7 +173,11 @@ mod tests {
             state ^= state << 17;
             state
         };
-        for len in [KARATSUBA_THRESHOLD, KARATSUBA_THRESHOLD + 5, 3 * KARATSUBA_THRESHOLD] {
+        for len in [
+            KARATSUBA_THRESHOLD,
+            KARATSUBA_THRESHOLD + 5,
+            3 * KARATSUBA_THRESHOLD,
+        ] {
             let a: Vec<u64> = (0..len).map(|_| next()).collect();
             let b: Vec<u64> = (0..len + 3).map(|_| next()).collect();
             assert_eq!(schoolbook(&a, &b), {

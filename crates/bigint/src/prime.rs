@@ -11,9 +11,9 @@ pub const DEFAULT_MR_ROUNDS: usize = 40;
 
 /// Small primes used for trial division before running Miller–Rabin.
 const SMALL_PRIMES: [u64; 60] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
-    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281,
 ];
 
 /// Returns `true` if `n` is probably prime after trial division and `rounds`
@@ -103,7 +103,17 @@ mod tests {
                 "{p} should be prime"
             );
         }
-        let composites = [0u64, 1, 4, 9, 15, 91, 561 /* Carmichael */, 65535, 1_000_000_008];
+        let composites = [
+            0u64,
+            1,
+            4,
+            9,
+            15,
+            91,
+            561, /* Carmichael */
+            65535,
+            1_000_000_008,
+        ];
         for c in composites {
             assert!(
                 !is_probable_prime(&BigUint::from_u64(c), 20, &mut rng),

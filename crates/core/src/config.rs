@@ -1,15 +1,33 @@
 //! Configuration types for the federated-cloud setup and for secure queries.
 
 /// How cloud C1 talks to the key-holding cloud C2.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+///
+/// Every remote variant goes through the same pluggable transport stack
+/// ([`sknn_protocols::transport`]): a pipelined, correlation-ID-framed
+/// session client over a swappable frame transport, with byte-accurate
+/// traffic accounting. The protocol code is identical in all cases — only
+/// the wire underneath changes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
 pub enum TransportKind {
     /// Direct in-process calls (the configuration matching the paper's
     /// single-machine evaluation; fastest, no traffic accounting).
     #[default]
     InProcess,
-    /// An in-process message channel with byte-accurate traffic accounting
-    /// (see [`sknn_protocols::transport::ChannelKeyHolder`]).
+    /// An in-process frame channel
+    /// ([`sknn_protocols::transport::ChannelTransport`]): real wire bytes
+    /// and round-trip counts without sockets.
     Channel,
+    /// A real TCP socket over loopback
+    /// ([`sknn_protocols::transport::TcpTransport`]); the key-holder server
+    /// runs in a background thread of this process.
+    Tcp,
+}
+
+impl TransportKind {
+    /// Whether this transport reports [`crate::QueryResult::comm`] traffic.
+    pub fn has_accounting(&self) -> bool {
+        !matches!(self, TransportKind::InProcess)
+    }
 }
 
 /// Configuration for [`crate::Federation::setup`].
@@ -27,10 +45,20 @@ pub struct FederationConfig {
     pub max_query_value: u64,
     /// Transport between the clouds.
     pub transport: TransportKind,
-    /// Worker threads used by the record-parallel stages (1 = serial,
+    /// Worker threads used by C1's record-parallel stages (1 = serial,
     /// reproducing the paper's serial measurements; 6 matches the OpenMP
-    /// configuration of Figure 3).
+    /// configuration of Figure 3). The key-holder server uses the same
+    /// number of request-handling workers, so C2 keeps up with a parallel
+    /// C1.
     pub threads: usize,
+    /// Merge small concurrent `SmBatch`/`LsbBatch` requests into one round
+    /// trip (remote transports only; see
+    /// [`sknn_protocols::transport::CoalesceConfig`]). The paper's dominant
+    /// communication cost is round trips, so this is on by default. Only
+    /// effective with `threads > 1` — a serial C1 never issues concurrent
+    /// requests, so the setup skips the coalescing window entirely rather
+    /// than taxing every round trip with it.
+    pub coalesce: bool,
     /// Seed for cloud C2's internal randomness (kept deterministic so
     /// experiments are reproducible).
     pub c2_seed: u64,
@@ -44,6 +72,7 @@ impl Default for FederationConfig {
             max_query_value: 0,
             transport: TransportKind::InProcess,
             threads: 1,
+            coalesce: true,
             c2_seed: 0x5EC0_0D02,
         }
     }
@@ -68,11 +97,15 @@ mod tests {
         assert_eq!(c.key_bits, 512);
         assert_eq!(c.transport, TransportKind::InProcess);
         assert_eq!(c.threads, 1);
+        assert!(c.coalesce);
         assert!(c.distance_bits.is_none());
     }
 
     #[test]
     fn transport_default_is_in_process() {
         assert_eq!(TransportKind::default(), TransportKind::InProcess);
+        assert!(!TransportKind::InProcess.has_accounting());
+        assert!(TransportKind::Channel.has_accounting());
+        assert!(TransportKind::Tcp.has_accounting());
     }
 }

@@ -83,7 +83,9 @@ mod tests {
         let p: SknnError = ProtocolError::TransportClosed.into();
         assert!(matches!(p, SknnError::Protocol(_)));
         assert!(p.to_string().contains("protocol error"));
-        assert!(SknnError::MalformedTable { reason: "empty" }.to_string().contains("empty"));
+        assert!(SknnError::MalformedTable { reason: "empty" }
+            .to_string()
+            .contains("empty"));
         assert!(SknnError::QueryDimensionMismatch { table: 3, query: 2 }
             .to_string()
             .contains("2 attributes"));

@@ -77,4 +77,5 @@ pub use table::Table;
 
 // Re-export the lower layers so downstream users need a single dependency.
 pub use sknn_paillier::{Ciphertext, Keypair, PrivateKey, PublicKey};
-pub use sknn_protocols::{KeyHolder, LocalKeyHolder};
+pub use sknn_protocols::transport::{CoalesceConfig, SessionKeyHolder, Transport, TransportError};
+pub use sknn_protocols::{KeyHolder, LocalKeyHolder, ProtocolError};

@@ -157,7 +157,10 @@ mod tests {
         b.record(Stage::DistanceComputation, Duration::from_millis(5));
         b.record(Stage::BitDecomposition, Duration::from_millis(7));
         a.merge(&b);
-        assert_eq!(a.stage(Stage::DistanceComputation), Duration::from_millis(15));
+        assert_eq!(
+            a.stage(Stage::DistanceComputation),
+            Duration::from_millis(15)
+        );
         assert_eq!(a.stage(Stage::BitDecomposition), Duration::from_millis(7));
     }
 

@@ -134,11 +134,7 @@ impl CloudC1 {
     }
 
     /// Validates a query against the hosted database and the requested `k`.
-    pub(crate) fn validate_query(
-        &self,
-        query: &EncryptedQuery,
-        k: usize,
-    ) -> Result<(), SknnError> {
+    pub(crate) fn validate_query(&self, query: &EncryptedQuery, k: usize) -> Result<(), SknnError> {
         let n = self.db.num_records();
         let m = self.db.num_attributes();
         if query.num_attributes() != m {
@@ -227,7 +223,10 @@ mod tests {
         let user = QueryUser::new(owner.public_key().clone());
 
         // Pretend records 2 and 0 are the query results.
-        let results = vec![c1.database().record(2).clone(), c1.database().record(0).clone()];
+        let results = vec![
+            c1.database().record(2).clone(),
+            c1.database().record(0).clone(),
+        ];
         let masked = c1.mask_and_reveal(&c2, &results, &mut rng);
         assert_eq!(masked.num_neighbors(), 2);
         let recovered = user.recover_records(&masked);

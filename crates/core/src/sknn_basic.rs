@@ -156,7 +156,10 @@ mod tests {
         let (parallel, _, _) = c1
             .process_basic(&c2, &enc_q, 3, ParallelismConfig { threads: 4 }, &mut rng)
             .unwrap();
-        assert_eq!(user.recover_records(&serial), user.recover_records(&parallel));
+        assert_eq!(
+            user.recover_records(&serial),
+            user.recover_records(&parallel)
+        );
     }
 
     #[test]
@@ -169,7 +172,10 @@ mod tests {
             .unwrap();
         assert!(profile.stage(Stage::DistanceComputation) > std::time::Duration::ZERO);
         assert!(profile.stage(Stage::Finalization) > std::time::Duration::ZERO);
-        assert_eq!(profile.stage(Stage::BitDecomposition), std::time::Duration::ZERO);
+        assert_eq!(
+            profile.stage(Stage::BitDecomposition),
+            std::time::Duration::ZERO
+        );
         // SSED dominates SkNN_b.
         assert!(profile.fraction(Stage::DistanceComputation) > 0.5);
     }

@@ -56,11 +56,15 @@ impl CloudC1 {
         // ── Step 2a: E(d_i) ← SSED(E(Q), E(t_i)) ───────────────────────────
         let seeds: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
         let distances = profile.time(Stage::DistanceComputation, || {
-            parallel_map(parallelism.threads, self.database().records(), |i, record| {
-                let mut thread_rng = StdRng::seed_from_u64(seeds[i]);
-                secure_squared_distance(pk, c2, query.attributes(), record, &mut thread_rng)
-                    .expect("database and query dimensions were validated")
-            })
+            parallel_map(
+                parallelism.threads,
+                self.database().records(),
+                |i, record| {
+                    let mut thread_rng = StdRng::seed_from_u64(seeds[i]);
+                    secure_squared_distance(pk, c2, query.attributes(), record, &mut thread_rng)
+                        .expect("database and query dimensions were validated")
+                },
+            )
         });
 
         // ── Step 2a (cont.): [d_i] ← SBD(E(d_i)) ───────────────────────────
@@ -87,7 +91,7 @@ impl CloudC1 {
                 sknn_protocols::secure_min_n(pk, c2, &distance_bits, rng)
             })?;
 
-            let (selected_record, indicator) = profile.time(Stage::RecordSelection, || {
+            let selection = profile.time(Stage::RecordSelection, || {
                 // 3(b): recompose E(d_min) and every E(d_i) from their bits
                 // (the bits are the authoritative state — they get overwritten
                 // by the freezing step below).
@@ -110,8 +114,10 @@ impl CloudC1 {
                 let beta = pi.apply(&tau_prime);
 
                 // 3(c): C2 marks exactly one zero position — obliviously,
-                // because of the permutation and randomization.
-                let u = c2.min_selection(&beta);
+                // because of the permutation and randomization. A missing
+                // zero violates the protocol invariant and surfaces as a
+                // typed error instead of a silent all-zero indicator.
+                let u = c2.min_selection(&beta)?;
                 // 3(d): undo the permutation; V has E(1) at the winning record.
                 let v = pi.apply_inverse(&u);
 
@@ -130,8 +136,9 @@ impl CloudC1 {
                 let record: Vec<Ciphertext> = (0..m)
                     .map(|j| pk.sum((0..n).map(|i| &products[i * m + j])))
                     .collect();
-                (record, v)
+                Ok::<_, SknnError>((record, v))
             });
+            let (selected_record, indicator) = selection?;
             results.push(selected_record);
 
             // 3(e): freeze the winner's distance at the all-ones maximum via

@@ -20,9 +20,15 @@ impl Table {
     /// rows have inconsistent widths.
     pub fn new(rows: Vec<Vec<u64>>) -> Result<Self, SknnError> {
         let attributes = match rows.first() {
-            None => return Err(SknnError::MalformedTable { reason: "no records" }),
+            None => {
+                return Err(SknnError::MalformedTable {
+                    reason: "no records",
+                })
+            }
             Some(first) if first.is_empty() => {
-                return Err(SknnError::MalformedTable { reason: "records have no attributes" })
+                return Err(SknnError::MalformedTable {
+                    reason: "records have no attributes",
+                })
             }
             Some(first) => first.len(),
         };
@@ -120,7 +126,7 @@ mod tests {
         let t = Table::new(vec![vec![3, 3], vec![0, 0]]).unwrap();
         // Worst case: 2 attributes × 3² = 18 → need 2^l − 1 > 18 → l = 5.
         let l = t.required_distance_bits(3);
-        assert!( (1u128 << l) - 1 > 18);
+        assert!((1u128 << l) - 1 > 18);
         assert!(l <= 6);
 
         // A larger query domain dominates.

@@ -53,7 +53,9 @@ impl HeartDiseaseGenerator {
             rng.gen_range(0..=1),     // fasting blood sugar
             rng.gen_range(1..=3),     // slope
             rng.gen_range(0..=3),     // major vessels
-            *[3u64, 6, 7].get(rng.gen_range(0..3)).expect("index in range"), // thal
+            *[3u64, 6, 7]
+                .get(rng.gen_range(0..3))
+                .expect("index in range"), // thal
             rng.gen_range(0..=4),     // diagnosis
         ]
     }
@@ -91,7 +93,10 @@ mod tests {
         assert_eq!(f.len(), 6);
         assert_eq!(f[0], vec![63, 1, 1, 145, 233, 1, 3, 0, 6, 0]);
         assert_eq!(f[5], vec![77, 1, 4, 125, 304, 0, 1, 3, 3, 4]);
-        assert_eq!(heart_disease_table().num_attributes(), ATTRIBUTE_NAMES.len());
+        assert_eq!(
+            heart_disease_table().num_attributes(),
+            ATTRIBUTE_NAMES.len()
+        );
     }
 
     #[test]

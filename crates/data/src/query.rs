@@ -6,7 +6,9 @@ use sknn_core::Table;
 /// A query whose attributes are uniform over `[0, max_value]`, the same
 /// distribution the synthetic tables use.
 pub fn uniform_query<R: Rng + ?Sized>(attributes: usize, max_value: u64, rng: &mut R) -> Vec<u64> {
-    (0..attributes).map(|_| rng.gen_range(0..=max_value)).collect()
+    (0..attributes)
+        .map(|_| rng.gen_range(0..=max_value))
+        .collect()
 }
 
 /// A query derived from a random record of `table` by perturbing each
@@ -50,9 +52,10 @@ mod tests {
         for _ in 0..50 {
             let q = perturbed_query(&table, 5, 100, &mut rng);
             assert_eq!(q.len(), 3);
-            let near_some_record = table.records().iter().any(|r| {
-                r.iter().zip(&q).all(|(&a, &b)| a.abs_diff(b) <= 5)
-            });
+            let near_some_record = table
+                .records()
+                .iter()
+                .any(|r| r.iter().zip(&q).all(|(&a, &b)| a.abs_diff(b) <= 5));
             assert!(near_some_record);
             assert!(q.iter().all(|&v| v <= 100));
         }

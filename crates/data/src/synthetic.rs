@@ -113,7 +113,10 @@ impl SyntheticDataset {
         distance_bits: usize,
         rng: &mut R,
     ) -> Self {
-        Self::generate(SyntheticConfig::uniform(records, attributes, distance_bits), rng)
+        Self::generate(
+            SyntheticConfig::uniform(records, attributes, distance_bits),
+            rng,
+        )
     }
 }
 
@@ -182,7 +185,10 @@ mod tests {
         for (m, l) in [(1usize, 6usize), (6, 6), (6, 12), (18, 12), (10, 24)] {
             let v = max_value_for(m, l);
             let budget = (1u128 << l) - 2;
-            assert!(m as u128 * (v as u128) * (v as u128) <= budget, "m={m} l={l}");
+            assert!(
+                m as u128 * (v as u128) * (v as u128) <= budget,
+                "m={m} l={l}"
+            );
             assert!(
                 m as u128 * (v as u128 + 1) * (v as u128 + 1) > budget,
                 "m={m} l={l} not tight"
@@ -226,7 +232,10 @@ mod tests {
             .min()
             .unwrap();
         let span = ds.max_value as u128;
-        assert!(nearest < span * span, "some record should be reasonably close");
+        assert!(
+            nearest < span * span,
+            "some record should be reasonably close"
+        );
     }
 
     #[test]

@@ -38,9 +38,7 @@ pub fn decode_signed(pk: &PublicKey, value: &BigUint) -> Result<i64, PaillierErr
     } else {
         (false, value.clone())
     };
-    let raw = magnitude
-        .to_u64()
-        .ok_or(PaillierError::SignedOutOfRange)?;
+    let raw = magnitude.to_u64().ok_or(PaillierError::SignedOutOfRange)?;
     if negative {
         if raw > i64::MAX as u64 {
             return Err(PaillierError::SignedOutOfRange);

@@ -42,7 +42,9 @@ impl PublicKey {
     pub fn encrypt_with_randomness(&self, m: &BigUint, r: &BigUint) -> Ciphertext {
         debug_assert!(self.is_valid_plaintext(m));
         // (1 + m·N) mod N²
-        let gm = BigUint::one().add_ref(&m.mul_ref(&self.n)).rem_ref(&self.n_squared);
+        let gm = BigUint::one()
+            .add_ref(&m.mul_ref(&self.n))
+            .rem_ref(&self.n_squared);
         // r^N mod N²
         let rn = r.mod_pow(&self.n, &self.n_squared);
         Ciphertext(gm.mod_mul(&rn, &self.n_squared))
@@ -120,11 +122,10 @@ mod tests {
         // E(m, r) with m = 42, r = 23, N = 77:
         // (1 + 42·77) · 23^77 mod 77².
         let c = pk.encrypt_with_randomness(&BigUint::from_u64(42), &BigUint::from_u64(23));
-        let expected = BigUint::from_u64(1 + 42 * 77)
-            .mod_mul(
-                &BigUint::from_u64(23).mod_pow(&BigUint::from_u64(77), &BigUint::from_u64(5929)),
-                &BigUint::from_u64(5929),
-            );
+        let expected = BigUint::from_u64(1 + 42 * 77).mod_mul(
+            &BigUint::from_u64(23).mod_pow(&BigUint::from_u64(77), &BigUint::from_u64(5929)),
+            &BigUint::from_u64(5929),
+        );
         assert_eq!(c.as_raw(), &expected);
     }
 }

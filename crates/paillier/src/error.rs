@@ -54,8 +54,14 @@ mod tests {
             minimum: 64,
         };
         assert!(e.to_string().contains("32"));
-        assert!(PaillierError::PlaintextOutOfRange.to_string().contains("message space"));
-        assert!(PaillierError::MalformedCiphertext.to_string().contains("ciphertext"));
-        assert!(PaillierError::SignedOutOfRange.to_string().contains("signed"));
+        assert!(PaillierError::PlaintextOutOfRange
+            .to_string()
+            .contains("message space"));
+        assert!(PaillierError::MalformedCiphertext
+            .to_string()
+            .contains("ciphertext"));
+        assert!(PaillierError::SignedOutOfRange
+            .to_string()
+            .contains("signed"));
     }
 }

@@ -92,7 +92,10 @@ mod tests {
         let a = pk.encrypt_u64(1234, &mut rng);
         let b = pk.encrypt_u64(4321, &mut rng);
         assert_eq!(sk.decrypt_u64(&pk.add(&a, &b)), 5555);
-        assert_eq!(sk.decrypt_u64(&pk.add_plain(&a, &BigUint::from_u64(6))), 1240);
+        assert_eq!(
+            sk.decrypt_u64(&pk.add_plain(&a, &BigUint::from_u64(6))),
+            1240
+        );
     }
 
     #[test]

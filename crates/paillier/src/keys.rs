@@ -19,7 +19,10 @@ pub struct PublicKey {
 }
 
 impl PublicKey {
-    pub(crate) fn from_n(n: BigUint) -> Self {
+    /// Reconstructs a public key from its modulus `N` (the generator is
+    /// fixed to `g = N + 1`, so `N` fully determines the key). This is how
+    /// a transport client bootstraps from a key holder's handshake reply.
+    pub fn from_n(n: BigUint) -> Self {
         let n_squared = n.mul_ref(&n);
         let half_n = n.shr_bits(1);
         let bits = n.bits();

@@ -26,13 +26,30 @@ pub enum ProtocolError {
     },
     /// The transport to the key-holding party disconnected.
     TransportClosed,
+    /// The transport to the key-holding party failed for a reason other than
+    /// a clean disconnect (I/O failure, malformed peer frame, …).
+    Transport {
+        /// Human-readable description of the underlying transport failure.
+        message: String,
+    },
+    /// C2's min-selection step (SkNN_m, Algorithm 6 step 3(c)) found no zero
+    /// among the decrypted `β` values. The protocol guarantees at least one
+    /// zero (the global minimum always matches itself), so this indicates a
+    /// corrupted input vector or a protocol-logic bug — never a valid state.
+    MinSelectionFailed {
+        /// Number of candidate values that were inspected.
+        candidates: usize,
+    },
 }
 
 impl fmt::Display for ProtocolError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ProtocolError::DimensionMismatch { left, right } => {
-                write!(f, "encrypted vectors have mismatched dimensions: {left} vs {right}")
+                write!(
+                    f,
+                    "encrypted vectors have mismatched dimensions: {left} vs {right}"
+                )
             }
             ProtocolError::InvalidBitLength { l, key_bits } => write!(
                 f,
@@ -41,6 +58,14 @@ impl fmt::Display for ProtocolError {
             ProtocolError::TransportClosed => {
                 write!(f, "the channel to the key-holding cloud was closed")
             }
+            ProtocolError::Transport { message } => {
+                write!(f, "transport to the key-holding cloud failed: {message}")
+            }
+            ProtocolError::MinSelectionFailed { candidates } => write!(
+                f,
+                "min-selection invariant violated: none of the {candidates} randomized \
+                 distance differences decrypted to zero"
+            ),
         }
     }
 }
@@ -56,9 +81,22 @@ mod tests {
         assert!(ProtocolError::DimensionMismatch { left: 3, right: 4 }
             .to_string()
             .contains("3 vs 4"));
-        assert!(ProtocolError::InvalidBitLength { l: 0, key_bits: 512 }
+        assert!(ProtocolError::InvalidBitLength {
+            l: 0,
+            key_bits: 512
+        }
+        .to_string()
+        .contains("512"));
+        assert!(ProtocolError::TransportClosed
             .to_string()
-            .contains("512"));
-        assert!(ProtocolError::TransportClosed.to_string().contains("closed"));
+            .contains("closed"));
+        assert!(ProtocolError::Transport {
+            message: "oops".into()
+        }
+        .to_string()
+        .contains("oops"));
+        assert!(ProtocolError::MinSelectionFailed { candidates: 9 }
+            .to_string()
+            .contains('9'));
     }
 }

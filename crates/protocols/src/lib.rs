@@ -21,9 +21,10 @@
 //!   protocol. In this crate, P1's logic is the free functions listed above.
 //! * **P2** (the cloud `C2`) holds the Paillier secret key and answers a small
 //!   set of well-defined requests. P2's logic is the [`KeyHolder`] trait; the
-//!   in-process implementation is [`LocalKeyHolder`] and a message-channel
-//!   implementation with traffic accounting is
-//!   [`transport::ChannelKeyHolder`].
+//!   in-process implementation is [`LocalKeyHolder`], and
+//!   [`transport::SessionKeyHolder`] speaks the same interface over any
+//!   [`transport::Transport`] (in-process channel or TCP) with pipelining,
+//!   request coalescing and traffic accounting.
 //!
 //! The [`KeyHolder`] trait deliberately exposes **only** the messages the
 //! paper's algorithms send to P2, so any implementation sees exactly the view
@@ -70,7 +71,7 @@ pub mod transport;
 pub use error::ProtocolError;
 pub use party::{KeyHolder, LocalKeyHolder, SminRoundResponse};
 pub use permutation::Permutation;
-pub use sbd::{secure_bit_decompose, secure_bit_decompose_batch, recompose_bits};
+pub use sbd::{recompose_bits, secure_bit_decompose, secure_bit_decompose_batch};
 pub use sbor::{secure_bit_and, secure_bit_or};
 pub use sm::{secure_multiply, secure_multiply_batch};
 pub use smin::secure_min;

@@ -6,9 +6,10 @@
 //! messages is observable by C2, which is what the semi-honest security
 //! argument of Section 4.3 relies on.
 
+use crate::error::ProtocolError;
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use parking_lot::Mutex;
 use sknn_bigint::BigUint;
 use sknn_paillier::{Ciphertext, PrivateKey, PublicKey};
 
@@ -45,14 +46,25 @@ pub trait KeyHolder: Send + Sync {
     /// SMIN, step 2 (Algorithm 3): decrypt the permuted `L′` vector, decide
     /// `α` (1 if any entry decrypts to exactly 1), exponentiate the permuted
     /// `Γ′` vector by `α` and return it together with `E(α)`.
-    fn smin_round(&self, gamma_permuted: &[Ciphertext], l_permuted: &[Ciphertext])
-        -> SminRoundResponse;
+    fn smin_round(
+        &self,
+        gamma_permuted: &[Ciphertext],
+        l_permuted: &[Ciphertext],
+    ) -> SminRoundResponse;
 
     /// SkNN_m, step 3(c) (Algorithm 6): decrypt the permuted, randomized
     /// distance differences `β` and return the indicator vector `U` with
     /// `U_i = E(1)` for exactly one position where the plaintext is zero
     /// (chosen uniformly when several are zero) and `E(0)` elsewhere.
-    fn min_selection(&self, beta: &[Ciphertext]) -> Vec<Ciphertext>;
+    ///
+    /// # Errors
+    /// Returns [`ProtocolError::MinSelectionFailed`] when *no* entry
+    /// decrypts to zero. The protocol guarantees at least one zero (the
+    /// global minimum always matches itself), so this signals corrupted
+    /// input or a protocol-logic bug — returning an all-zero indicator
+    /// instead would silently extract a zero record and violate the
+    /// protocol invariant.
+    fn min_selection(&self, beta: &[Ciphertext]) -> Result<Vec<Ciphertext>, ProtocolError>;
 
     /// SkNN_b, step 3 (Algorithm 5): decrypt every distance and return the
     /// indices of the `k` smallest (ties broken by index). This deliberately
@@ -85,8 +97,9 @@ pub trait KeyHolder: Send + Sync {
 ///
 /// This is the implementation used when both "clouds" run in the same process
 /// (the configuration the paper's own single-machine evaluation corresponds
-/// to). The [`crate::transport::ChannelKeyHolder`] wraps the same logic behind
-/// a message channel with traffic accounting.
+/// to). The [`crate::transport::SessionKeyHolder`] client and
+/// [`crate::transport::serve`] loop put the same logic behind a pluggable
+/// frame transport with traffic accounting.
 pub struct LocalKeyHolder {
     sk: PrivateKey,
     pk: PublicKey,
@@ -197,7 +210,11 @@ impl KeyHolder for LocalKeyHolder {
         let one = BigUint::one();
         // α = 1 iff some decrypted L′ entry equals exactly 1.
         let alpha_is_one = l_permuted.iter().any(|c| self.sk.decrypt(c) == one);
-        let alpha_plain = if alpha_is_one { BigUint::one() } else { BigUint::zero() };
+        let alpha_plain = if alpha_is_one {
+            BigUint::one()
+        } else {
+            BigUint::zero()
+        };
 
         let m_prime = gamma_permuted
             .iter()
@@ -221,7 +238,7 @@ impl KeyHolder for LocalKeyHolder {
         }
     }
 
-    fn min_selection(&self, beta: &[Ciphertext]) -> Vec<Ciphertext> {
+    fn min_selection(&self, beta: &[Ciphertext]) -> Result<Vec<Ciphertext>, ProtocolError> {
         let zero_positions: Vec<usize> = beta
             .iter()
             .enumerate()
@@ -229,29 +246,35 @@ impl KeyHolder for LocalKeyHolder {
             .map(|(i, _)| i)
             .collect();
         // The protocol guarantees at least one zero (the global minimum always
-        // matches itself); if several records tie, pick one uniformly.
+        // matches itself). No zero means the input is corrupt; an all-zero
+        // indicator would silently extract a garbage record downstream.
+        if zero_positions.is_empty() {
+            return Err(ProtocolError::MinSelectionFailed {
+                candidates: beta.len(),
+            });
+        }
+        // If several records tie, pick one uniformly.
         let (chosen, randomness) = {
             let mut rng = self.rng.lock();
-            let chosen = zero_positions
-                .get(rng.gen_range(0..zero_positions.len().max(1)))
-                .copied();
+            let chosen = zero_positions[rng.gen_range(0..zero_positions.len())];
             let randomness: Vec<BigUint> = (0..beta.len())
                 .map(|_| self.pk.sample_randomness(&mut *rng))
                 .collect();
             (chosen, randomness)
         };
-        beta.iter()
+        Ok(beta
+            .iter()
             .enumerate()
             .zip(randomness)
             .map(|((i, _), r)| {
-                let bit = if Some(i) == chosen {
+                let bit = if i == chosen {
                     BigUint::one()
                 } else {
                     BigUint::zero()
                 };
                 self.pk.encrypt_with_randomness(&bit, &r)
             })
-            .collect()
+            .collect())
     }
 
     fn top_k_indices(&self, distances: &[Ciphertext], k: usize) -> Vec<usize> {
@@ -339,11 +362,32 @@ mod tests {
             pk.encrypt_u64(23, &mut rng),
             pk.encrypt_u64(0, &mut rng),
         ];
-        let u = holder.min_selection(&beta);
+        let u = holder.min_selection(&beta).expect("a zero is present");
         let plain: Vec<u64> = u.iter().map(|c| holder.debug_decrypt_u64(c)).collect();
         assert_eq!(plain.iter().sum::<u64>(), 1);
         let marked = plain.iter().position(|&b| b == 1).unwrap();
-        assert!(marked == 1 || marked == 3, "must mark one of the zero positions");
+        assert!(
+            marked == 1 || marked == 3,
+            "must mark one of the zero positions"
+        );
+    }
+
+    #[test]
+    fn min_selection_without_a_zero_is_a_typed_error() {
+        let (pk, holder, mut rng) = setup();
+        let beta: Vec<_> = [17u64, 3, 23]
+            .iter()
+            .map(|&v| pk.encrypt_u64(v, &mut rng))
+            .collect();
+        assert_eq!(
+            holder.min_selection(&beta),
+            Err(ProtocolError::MinSelectionFailed { candidates: 3 })
+        );
+        // The degenerate empty input is also an error, not an empty vector.
+        assert_eq!(
+            holder.min_selection(&[]),
+            Err(ProtocolError::MinSelectionFailed { candidates: 0 })
+        );
     }
 
     #[test]
@@ -360,8 +404,18 @@ mod tests {
     #[test]
     fn decrypt_masked_batch_roundtrip() {
         let (pk, holder, mut rng) = setup();
-        let masked: Vec<_> = [5u64, 7, 11].iter().map(|&v| pk.encrypt_u64(v, &mut rng)).collect();
+        let masked: Vec<_> = [5u64, 7, 11]
+            .iter()
+            .map(|&v| pk.encrypt_u64(v, &mut rng))
+            .collect();
         let plain = holder.decrypt_masked_batch(&masked);
-        assert_eq!(plain, vec![BigUint::from_u64(5), BigUint::from_u64(7), BigUint::from_u64(11)]);
+        assert_eq!(
+            plain,
+            vec![
+                BigUint::from_u64(5),
+                BigUint::from_u64(7),
+                BigUint::from_u64(11)
+            ]
+        );
     }
 }

@@ -47,7 +47,11 @@ impl Permutation {
     /// # Panics
     /// Panics when `items.len()` differs from the permutation length.
     pub fn apply<T: Clone>(&self, items: &[T]) -> Vec<T> {
-        assert_eq!(items.len(), self.forward.len(), "permutation length mismatch");
+        assert_eq!(
+            items.len(),
+            self.forward.len(),
+            "permutation length mismatch"
+        );
         self.forward.iter().map(|&src| items[src].clone()).collect()
     }
 
@@ -56,7 +60,11 @@ impl Permutation {
     /// # Panics
     /// Panics when `items.len()` differs from the permutation length.
     pub fn apply_inverse<T: Clone>(&self, items: &[T]) -> Vec<T> {
-        assert_eq!(items.len(), self.forward.len(), "permutation length mismatch");
+        assert_eq!(
+            items.len(),
+            self.forward.len(),
+            "permutation length mismatch"
+        );
         let mut out: Vec<Option<T>> = vec![None; items.len()];
         for (dest, &src) in self.forward.iter().enumerate() {
             out[src] = Some(items[dest].clone());

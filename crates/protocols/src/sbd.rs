@@ -186,7 +186,10 @@ mod tests {
     fn batch_matches_individual() {
         let (pk, holder, mut rng) = setup();
         let values = [0u64, 1, 31, 42, 63];
-        let cts: Vec<_> = values.iter().map(|&v| pk.encrypt_u64(v, &mut rng)).collect();
+        let cts: Vec<_> = values
+            .iter()
+            .map(|&v| pk.encrypt_u64(v, &mut rng))
+            .collect();
         let batched = secure_bit_decompose_batch(&pk, &holder, &cts, 6, &mut rng).unwrap();
         for (i, &v) in values.iter().enumerate() {
             let plain = decrypt_bits(&holder, &batched[i]);

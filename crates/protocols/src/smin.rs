@@ -77,10 +77,7 @@ pub fn secure_min<K: KeyHolder + ?Sized, R: RngCore + ?Sized>(
         let gamma_i = pk.add_plain(&diff, &r_hat);
 
         // Gᵢ = E(uᵢ ⊕ vᵢ) = E(uᵢ + vᵢ − 2·uᵢ·vᵢ)
-        let g_i = pk.add(
-            &pk.add(e_u, e_v),
-            &pk.mul_plain(e_uv, &n_minus_2),
-        );
+        let g_i = pk.add(&pk.add(e_u, e_v), &pk.mul_plain(e_uv, &n_minus_2));
 
         // Hᵢ = H_{i−1}^{rᵢ} · Gᵢ with rᵢ ∈ [1, N): preserves the first 1 in G.
         let r_i = random_range(rng, &one, n);
@@ -222,6 +219,8 @@ mod tests {
     #[test]
     fn empty_inputs() {
         let (pk, holder, mut rng) = setup();
-        assert!(secure_min(&pk, &holder, &[], &[], &mut rng).unwrap().is_empty());
+        assert!(secure_min(&pk, &holder, &[], &[], &mut rng)
+            .unwrap()
+            .is_empty());
     }
 }

@@ -27,13 +27,15 @@ impl CommStats {
     /// Records one C1→C2 request of `bytes` serialized bytes.
     pub fn record_request(&self, bytes: usize) {
         self.requests.fetch_add(1, Ordering::Relaxed);
-        self.request_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.request_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     /// Records one C2→C1 response of `bytes` serialized bytes.
     pub fn record_response(&self, bytes: usize) {
         self.responses.fetch_add(1, Ordering::Relaxed);
-        self.response_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.response_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     /// Number of C1→C2 messages so far.

@@ -1,0 +1,217 @@
+//! In-process channel transport.
+//!
+//! [`channel_pair`] returns two connected [`ChannelTransport`] endpoints
+//! backed by a pair of MPMC frame queues. Frames cross the boundary as
+//! encoded bytes — the exact bytes a socket would carry — so the traffic
+//! accounting matches a real deployment byte for byte while staying in one
+//! process (the configuration the paper's single-machine evaluation
+//! corresponds to).
+//!
+//! The queues are multi-consumer so a key-holder server can run several
+//! worker threads against one endpoint, and [`super::Transport::close`]
+//! wakes every blocked reader on both sides.
+
+use super::wire::{Frame, TransportError};
+use super::{record_frame, Transport};
+use crate::stats::CommStats;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A blocking MPMC queue of encoded frames with close semantics.
+struct FrameQueue {
+    state: Mutex<QueueState>,
+    readable: Condvar,
+}
+
+struct QueueState {
+    frames: VecDeque<Vec<u8>>,
+    closed: bool,
+}
+
+impl FrameQueue {
+    fn new() -> Arc<FrameQueue> {
+        Arc::new(FrameQueue {
+            state: Mutex::new(QueueState {
+                frames: VecDeque::new(),
+                closed: false,
+            }),
+            readable: Condvar::new(),
+        })
+    }
+
+    fn push(&self, frame: Vec<u8>) -> Result<(), TransportError> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.closed {
+            return Err(TransportError::Closed);
+        }
+        state.frames.push_back(frame);
+        drop(state);
+        self.readable.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a frame is available. Frames queued before a close are
+    /// still delivered; afterwards every call returns [`TransportError::Closed`].
+    fn pop(&self) -> Result<Vec<u8>, TransportError> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(frame) = state.frames.pop_front() {
+                return Ok(frame);
+            }
+            if state.closed {
+                return Err(TransportError::Closed);
+            }
+            state = self.readable.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn close(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.closed = true;
+        drop(state);
+        self.readable.notify_all();
+    }
+}
+
+/// One endpoint of an in-process frame connection.
+pub struct ChannelTransport {
+    outgoing: Arc<FrameQueue>,
+    incoming: Arc<FrameQueue>,
+    stats: Arc<CommStats>,
+}
+
+/// Creates a connected pair of endpoints. By convention the first is given
+/// to the client (C1) and the second to the key-holder server (C2), but the
+/// endpoints are symmetric.
+pub fn channel_pair() -> (ChannelTransport, ChannelTransport) {
+    let a_to_b = FrameQueue::new();
+    let b_to_a = FrameQueue::new();
+    let a = ChannelTransport {
+        outgoing: Arc::clone(&a_to_b),
+        incoming: Arc::clone(&b_to_a),
+        stats: CommStats::new_shared(),
+    };
+    let b = ChannelTransport {
+        outgoing: b_to_a,
+        incoming: a_to_b,
+        stats: CommStats::new_shared(),
+    };
+    (a, b)
+}
+
+impl Transport for ChannelTransport {
+    fn send_frame(&self, frame: &Frame) -> Result<(), TransportError> {
+        let encoded = frame.encode()?;
+        let bytes = encoded.len();
+        self.outgoing.push(encoded)?;
+        // Recorded only after the frame is actually queued, so both
+        // endpoints' counters stay byte-for-byte identical even across
+        // failed sends.
+        record_frame(&self.stats, frame.kind, bytes);
+        Ok(())
+    }
+
+    fn recv_frame(&self) -> Result<Frame, TransportError> {
+        let encoded = self.incoming.pop()?;
+        let frame = Frame::decode(&encoded)?;
+        record_frame(&self.stats, frame.kind, encoded.len());
+        Ok(frame)
+    }
+
+    fn stats(&self) -> Arc<CommStats> {
+        Arc::clone(&self.stats)
+    }
+
+    fn close(&self) {
+        self.outgoing.close();
+        self.incoming.close();
+    }
+}
+
+impl Drop for ChannelTransport {
+    fn drop(&mut self) {
+        // Dropping one endpoint hangs up the connection, like a socket.
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::wire::Request;
+    use super::*;
+
+    #[test]
+    fn frames_cross_the_pair_in_order() {
+        let (a, b) = channel_pair();
+        for id in 0..10u64 {
+            a.send_frame(&Frame::request(id, Request::PublicKey.encode()))
+                .unwrap();
+        }
+        for id in 0..10u64 {
+            assert_eq!(b.recv_frame().unwrap().correlation_id, id);
+        }
+    }
+
+    #[test]
+    fn both_directions_work() {
+        let (a, b) = channel_pair();
+        a.send_frame(&Frame::request(1, Request::PublicKey.encode()))
+            .unwrap();
+        let got = b.recv_frame().unwrap();
+        b.send_frame(&Frame::response(got.correlation_id, got.payload))
+            .unwrap();
+        assert_eq!(a.recv_frame().unwrap().correlation_id, 1);
+    }
+
+    #[test]
+    fn close_unblocks_and_poisons_both_sides() {
+        let (a, b) = channel_pair();
+        let waiter = std::thread::spawn(move || b.recv_frame());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        a.close();
+        assert_eq!(waiter.join().unwrap(), Err(TransportError::Closed));
+        assert_eq!(
+            a.send_frame(&Frame::request(1, Request::PublicKey.encode())),
+            Err(TransportError::Closed)
+        );
+    }
+
+    #[test]
+    fn dropping_an_endpoint_hangs_up() {
+        let (a, b) = channel_pair();
+        drop(a);
+        assert_eq!(b.recv_frame(), Err(TransportError::Closed));
+    }
+
+    #[test]
+    fn queued_frames_survive_close() {
+        let (a, b) = channel_pair();
+        a.send_frame(&Frame::request(5, Request::PublicKey.encode()))
+            .unwrap();
+        a.close();
+        // The frame sent before the close is still delivered.
+        assert_eq!(b.recv_frame().unwrap().correlation_id, 5);
+        assert_eq!(b.recv_frame(), Err(TransportError::Closed));
+    }
+
+    #[test]
+    fn stats_count_by_frame_kind() {
+        let (a, b) = channel_pair();
+        a.send_frame(&Frame::request(1, Request::PublicKey.encode()))
+            .unwrap();
+        let got = b.recv_frame().unwrap();
+        b.send_frame(&Frame::response(got.correlation_id, got.payload))
+            .unwrap();
+        a.recv_frame().unwrap();
+
+        // Each endpoint saw one request and one response.
+        for t in [&a, &b] {
+            let stats = t.stats();
+            assert_eq!(stats.requests(), 1);
+            assert_eq!(stats.responses(), 1);
+            assert!(stats.request_bytes() > 0);
+        }
+        // And they agree byte for byte.
+        assert_eq!(a.stats().snapshot(), b.stats().snapshot());
+    }
+}

@@ -1,0 +1,254 @@
+//! The pluggable C1↔C2 transport stack.
+//!
+//! The paper assumes C1 and C2 are separate cloud providers exchanging
+//! protocol messages over a network. This module layers that boundary so
+//! the protocol logic above it never cares which wire is underneath:
+//!
+//! ```text
+//!   protocol drivers (SM, SBD, SMIN, SkNN_b/m)     crate::KeyHolder trait
+//!        │
+//!   SessionKeyHolder        pipelining (correlation ids) + request
+//!        │                  coalescing (merge small concurrent batches)
+//!   Transport trait         send_frame / recv_frame / stats / close
+//!        │
+//!   ChannelTransport        in-process MPMC frame queues (byte-accurate
+//!        │                  traffic accounting without sockets)
+//!   TcpTransport            one real socket via std::net
+//! ```
+//!
+//! On the other side, [`serve`] runs the key-holder server loop — over any
+//! [`Transport`] — against a [`crate::LocalKeyHolder`], with a configurable
+//! number of worker threads so concurrent pipelined requests are also
+//! *served* concurrently.
+//!
+//! The wire format ([`wire`]) is versioned, length-prefixed, and tagged
+//! with correlation ids; malformed peer input surfaces as a typed
+//! [`TransportError`], never a panic in the server loop.
+
+pub mod wire;
+
+mod channel;
+mod server;
+mod session;
+mod tcp;
+
+pub use channel::{channel_pair, ChannelTransport};
+pub use server::serve;
+pub use session::{CoalesceConfig, SessionKeyHolder};
+pub use tcp::TcpTransport;
+pub use wire::{Frame, FrameKind, TransportError, WIRE_VERSION};
+
+use crate::stats::CommStats;
+use sknn_bigint::BigUint;
+use sknn_paillier::Ciphertext;
+use std::sync::Arc;
+
+/// Records one frame in `stats` by its kind: requests count as C1→C2
+/// traffic, responses and error replies as C2→C1. Both endpoints use this
+/// same rule, so client- and server-side counters agree byte for byte.
+pub(crate) fn record_frame(stats: &CommStats, kind: FrameKind, bytes: usize) {
+    match kind {
+        FrameKind::Request => stats.record_request(bytes),
+        FrameKind::Response | FrameKind::Error => stats.record_response(bytes),
+    }
+}
+
+/// Restores typed ciphertexts from the raw wire values.
+pub(crate) fn to_ciphertexts(values: Vec<BigUint>) -> Vec<Ciphertext> {
+    values.into_iter().map(Ciphertext::from_raw).collect()
+}
+
+/// Strips typed ciphertexts down to the raw values the wire carries.
+pub(crate) fn to_raw(values: &[Ciphertext]) -> Vec<BigUint> {
+    values.iter().map(|c| c.as_raw().clone()).collect()
+}
+
+/// A bidirectional, concurrently usable frame connection between the clouds.
+///
+/// Implementations must allow `send_frame` and `recv_frame` from many
+/// threads at once (internal locking is fine; the session layer keeps one
+/// receiver — the demux thread — and many senders, while the server side
+/// runs many receivers). [`Transport::close`] must unblock every thread
+/// parked in `recv_frame` on **both** endpoints, after which all operations
+/// return [`TransportError::Closed`].
+pub trait Transport: Send + Sync {
+    /// Sends one frame.
+    ///
+    /// # Errors
+    /// [`TransportError::Closed`] after a hang-up, [`TransportError::Io`]
+    /// on socket failure.
+    fn send_frame(&self, frame: &Frame) -> Result<(), TransportError>;
+
+    /// Receives the next frame, blocking until one arrives or the
+    /// connection dies.
+    ///
+    /// # Errors
+    /// [`TransportError::Closed`] on clean hang-up; other variants on
+    /// corruption or I/O failure.
+    fn recv_frame(&self) -> Result<Frame, TransportError>;
+
+    /// This endpoint's traffic counters. Frames are recorded by kind
+    /// (request vs response) regardless of direction, so client and server
+    /// endpoints report identical numbers.
+    fn stats(&self) -> Arc<CommStats>;
+
+    /// Hangs up: wakes all blocked receivers on both endpoints.
+    fn close(&self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::party::{KeyHolder, LocalKeyHolder};
+    use crate::{secure_bit_decompose, secure_multiply, secure_squared_distance};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sknn_bigint::BigUint;
+    use sknn_paillier::{Keypair, PublicKey};
+    use std::thread::JoinHandle;
+
+    fn setup() -> (
+        PublicKey,
+        LocalKeyHolder,
+        SessionKeyHolder,
+        JoinHandle<Result<(), TransportError>>,
+        StdRng,
+    ) {
+        let mut rng = StdRng::seed_from_u64(131);
+        let (pk, sk) = Keypair::generate(128, &mut rng).split();
+        let oracle = LocalKeyHolder::new(sk.clone(), 132);
+        let (client, handle) = SessionKeyHolder::spawn_in_process(
+            LocalKeyHolder::new(sk, 133),
+            1,
+            CoalesceConfig::disabled(),
+        );
+        (pk, oracle, client, handle, rng)
+    }
+
+    #[test]
+    fn protocols_work_over_the_channel() {
+        let (pk, oracle, client, _handle, mut rng) = setup();
+
+        let e_a = pk.encrypt_u64(59, &mut rng);
+        let e_b = pk.encrypt_u64(58, &mut rng);
+        let prod = secure_multiply(&pk, &client, &e_a, &e_b, &mut rng);
+        assert_eq!(oracle.debug_decrypt_u64(&prod), 3422);
+
+        let e_x: Vec<_> = [1u64, 2, 3]
+            .iter()
+            .map(|&v| pk.encrypt_u64(v, &mut rng))
+            .collect();
+        let e_y: Vec<_> = [4u64, 6, 8]
+            .iter()
+            .map(|&v| pk.encrypt_u64(v, &mut rng))
+            .collect();
+        let d = secure_squared_distance(&pk, &client, &e_x, &e_y, &mut rng).unwrap();
+        assert_eq!(oracle.debug_decrypt_u64(&d), 9 + 16 + 25);
+
+        let bits =
+            secure_bit_decompose(&pk, &client, &pk.encrypt_u64(55, &mut rng), 6, &mut rng).unwrap();
+        let plain: Vec<u64> = bits.iter().map(|b| oracle.debug_decrypt_u64(b)).collect();
+        assert_eq!(plain, vec![1, 1, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn traffic_is_counted() {
+        let (pk, _oracle, client, _handle, mut rng) = setup();
+        let stats = client.stats();
+        assert_eq!(stats.requests(), 0);
+
+        let e_a = pk.encrypt_u64(3, &mut rng);
+        let e_b = pk.encrypt_u64(4, &mut rng);
+        let _ = secure_multiply(&pk, &client, &e_a, &e_b, &mut rng);
+
+        // SM is a single round trip.
+        assert_eq!(stats.requests(), 1);
+        assert_eq!(stats.responses(), 1);
+        // Two masked ciphertexts went out, one came back; all are ≤ 32 bytes
+        // (128-bit N ⇒ 256-bit N²) plus framing.
+        assert!(stats.request_bytes() > stats.response_bytes());
+        assert!(stats.total_bytes() < 300);
+    }
+
+    #[test]
+    fn server_exits_when_client_dropped() {
+        let (_pk, _oracle, client, handle, _rng) = setup();
+        drop(client);
+        let result = handle.join().expect("server thread exits cleanly");
+        assert_eq!(result, Ok(()));
+    }
+
+    #[test]
+    fn top_k_and_decrypt_over_channel() {
+        let (pk, _oracle, client, _handle, mut rng) = setup();
+        let dists: Vec<_> = [30u64, 10, 20]
+            .iter()
+            .map(|&v| pk.encrypt_u64(v, &mut rng))
+            .collect();
+        assert_eq!(client.top_k_indices(&dists, 2), vec![1, 2]);
+        let masked: Vec<_> = [7u64, 8]
+            .iter()
+            .map(|&v| pk.encrypt_u64(v, &mut rng))
+            .collect();
+        assert_eq!(
+            client.decrypt_masked_batch(&masked),
+            vec![BigUint::from_u64(7), BigUint::from_u64(8)]
+        );
+    }
+
+    #[test]
+    fn handshake_fetches_the_public_key() {
+        let mut rng = StdRng::seed_from_u64(135);
+        let (pk, sk) = Keypair::generate(128, &mut rng).split();
+        let (client_end, server_end) = channel_pair();
+        let holder = LocalKeyHolder::new(sk, 136);
+        let server = std::thread::spawn(move || serve(&server_end, &holder, 1));
+        let client =
+            SessionKeyHolder::connect_handshake(Arc::new(client_end), CoalesceConfig::disabled())
+                .expect("handshake succeeds");
+        assert_eq!(client.public_key().n(), pk.n());
+        drop(client);
+        assert_eq!(server.join().unwrap(), Ok(()));
+    }
+
+    #[test]
+    fn min_selection_error_is_typed_across_the_wire() {
+        let (pk, _oracle, client, _handle, mut rng) = setup();
+        // No zero anywhere: the protocol invariant is violated.
+        let beta: Vec<_> = [5u64, 6, 7]
+            .iter()
+            .map(|&v| pk.encrypt_u64(v, &mut rng))
+            .collect();
+        let err = client.min_selection(&beta).unwrap_err();
+        assert_eq!(
+            err,
+            crate::ProtocolError::MinSelectionFailed { candidates: 3 }
+        );
+    }
+
+    #[test]
+    fn malformed_request_payload_gets_an_error_reply_not_a_crash() {
+        let mut rng = StdRng::seed_from_u64(137);
+        let (_pk, sk) = Keypair::generate(128, &mut rng).split();
+        let (client_end, server_end) = channel_pair();
+        let holder = LocalKeyHolder::new(sk, 138);
+        let server = std::thread::spawn(move || serve(&server_end, &holder, 1));
+
+        // Hand-roll a frame whose payload has an unassigned request tag.
+        client_end
+            .send_frame(&Frame::request(1, bytes::Bytes::from(vec![0xEEu8])))
+            .unwrap();
+        let reply = client_end.recv_frame().unwrap();
+        assert_eq!(reply.kind, FrameKind::Error);
+        assert_eq!(reply.correlation_id, 1);
+
+        // The server survived and still answers well-formed requests.
+        client_end
+            .send_frame(&Frame::request(2, wire::Request::PublicKey.encode()))
+            .unwrap();
+        let reply = client_end.recv_frame().unwrap();
+        assert_eq!(reply.kind, FrameKind::Response);
+        drop(client_end);
+        assert_eq!(server.join().unwrap(), Ok(()));
+    }
+}

@@ -1,0 +1,538 @@
+//! The client side of a key-holder connection: pipelining and coalescing.
+//!
+//! [`SessionKeyHolder`] implements [`KeyHolder`] over any [`Transport`]. Two
+//! mechanisms let many concurrent protocol executions share one connection —
+//! the capability the paper's record-parallel evaluation (Figure 3) needs
+//! from a real two-cloud deployment:
+//!
+//! * **Pipelining.** Every request carries a fresh correlation id; a
+//!   background demultiplexer thread routes each response to the waiting
+//!   caller. Callers never serialize on a request/response lock, so six
+//!   worker threads keep six requests in flight on one connection.
+//!
+//! * **Coalescing.** The record-parallel stages issue many *small*
+//!   `SmBatch`/`LsbBatch` requests concurrently (one per record). Since the
+//!   dominant cost of the protocols is round trips, not bytes, a
+//!   [`CoalesceLane`] merges requests submitted within a short window into
+//!   one wire round trip and splits the response back per caller. The
+//!   merged plaintext results are identical to the unmerged ones — the key
+//!   holder is stateless across batch boundaries — so coalescing is purely a
+//!   round-trip optimization.
+
+use super::server::serve;
+use super::wire::{Frame, FrameKind, Request, Response, TransportError, WireError};
+use super::{channel_pair, to_ciphertexts, to_raw, Transport};
+use crate::error::ProtocolError;
+use crate::party::{KeyHolder, LocalKeyHolder, SminRoundResponse};
+use crate::stats::CommStats;
+use parking_lot::Mutex;
+use sknn_bigint::BigUint;
+use sknn_paillier::{Ciphertext, PublicKey};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Policy for merging concurrent small batch requests into one round trip.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoalesceConfig {
+    /// Whether coalescing is active at all.
+    pub enabled: bool,
+    /// How long the first submitter of a batch waits for concurrent
+    /// submitters to join before flushing. Zero flushes immediately (still
+    /// merging whatever arrived while the previous flush was in flight).
+    pub window: Duration,
+}
+
+impl CoalesceConfig {
+    /// Coalescing disabled: every batch is its own round trip.
+    pub fn disabled() -> CoalesceConfig {
+        CoalesceConfig {
+            enabled: false,
+            window: Duration::ZERO,
+        }
+    }
+
+    /// Coalescing with the default 100 µs collection window — much shorter
+    /// than one Paillier decryption, so serial callers lose almost nothing
+    /// and parallel callers merge reliably.
+    pub fn enabled() -> CoalesceConfig {
+        CoalesceConfig {
+            enabled: true,
+            window: Duration::from_micros(100),
+        }
+    }
+}
+
+impl Default for CoalesceConfig {
+    fn default() -> Self {
+        CoalesceConfig::disabled()
+    }
+}
+
+type PendingSender = mpsc::Sender<Result<Response, TransportError>>;
+
+/// Correlation-id → waiting caller map, shared with the demux thread.
+struct PendingMap {
+    state: Mutex<PendingState>,
+}
+
+struct PendingState {
+    waiters: HashMap<u64, PendingSender>,
+    /// Set once the demux thread exits; all further round trips fail fast.
+    dead: Option<TransportError>,
+}
+
+impl PendingMap {
+    fn new() -> Arc<PendingMap> {
+        Arc::new(PendingMap {
+            state: Mutex::new(PendingState {
+                waiters: HashMap::new(),
+                dead: None,
+            }),
+        })
+    }
+
+    fn register(&self, id: u64, tx: PendingSender) -> Result<(), TransportError> {
+        let mut state = self.state.lock();
+        if let Some(err) = &state.dead {
+            return Err(err.clone());
+        }
+        state.waiters.insert(id, tx);
+        Ok(())
+    }
+
+    fn forget(&self, id: u64) {
+        self.state.lock().waiters.remove(&id);
+    }
+
+    fn complete(&self, id: u64, result: Result<Response, TransportError>) {
+        let waiter = self.state.lock().waiters.remove(&id);
+        if let Some(tx) = waiter {
+            // The caller may have given up; a dead receiver is fine.
+            let _ = tx.send(result);
+        }
+    }
+
+    fn fail_all(&self, err: TransportError) {
+        let mut state = self.state.lock();
+        state.dead = Some(err.clone());
+        for (_, tx) in state.waiters.drain() {
+            let _ = tx.send(Err(err.clone()));
+        }
+    }
+}
+
+/// The connection state shared by callers and the demux thread.
+struct SessionCore {
+    transport: Arc<dyn Transport>,
+    next_id: AtomicU64,
+    pending: Arc<PendingMap>,
+}
+
+impl SessionCore {
+    /// One pipelined round trip: register, send, block for the routed reply.
+    fn round_trip(&self, request: &Request) -> Result<Response, TransportError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        self.pending.register(id, tx)?;
+        let frame = Frame::request(id, request.encode());
+        if let Err(e) = self.transport.send_frame(&frame) {
+            self.pending.forget(id);
+            return Err(e);
+        }
+        match rx.recv() {
+            Ok(result) => result,
+            // The demux thread dropped the sender without answering.
+            Err(_) => Err(TransportError::Closed),
+        }
+    }
+}
+
+fn demux_loop(transport: &dyn Transport, pending: &PendingMap) {
+    let exit_error = loop {
+        match transport.recv_frame() {
+            Ok(frame) => match frame.kind {
+                FrameKind::Response => {
+                    let result = Response::decode(frame.payload);
+                    pending.complete(frame.correlation_id, result);
+                }
+                FrameKind::Error => {
+                    let result = match WireError::decode(frame.payload) {
+                        Ok(wire_err) => Err(wire_err.into_transport_error()),
+                        Err(decode_err) => Err(decode_err),
+                    };
+                    pending.complete(frame.correlation_id, result);
+                }
+                // A client never receives requests; drop the frame rather
+                // than tearing the session down over a confused peer.
+                FrameKind::Request => continue,
+            },
+            Err(e) => break e,
+        }
+    };
+    pending.fail_all(exit_error);
+}
+
+/// One lane of the coalescer: accumulates items of one request shape.
+struct CoalesceLane<Item> {
+    state: Mutex<LaneState<Item>>,
+}
+
+struct LaneState<Item> {
+    items: Vec<Item>,
+    waiters: Vec<LaneWaiter>,
+    leader_active: bool,
+}
+
+struct LaneWaiter {
+    start: usize,
+    len: usize,
+    tx: mpsc::Sender<Result<Vec<BigUint>, TransportError>>,
+}
+
+impl<Item: Send> CoalesceLane<Item> {
+    fn new() -> CoalesceLane<Item> {
+        CoalesceLane {
+            state: Mutex::new(LaneState {
+                items: Vec::new(),
+                waiters: Vec::new(),
+                leader_active: false,
+            }),
+        }
+    }
+
+    /// Submits `items`, returning their slice of the merged response.
+    ///
+    /// The first submitter while no flush is pending becomes the *leader*:
+    /// it waits `window`, takes everything accumulated (its own items plus
+    /// whatever other threads added meanwhile), performs one round trip via
+    /// `send_merged`, and distributes the result slices.
+    fn submit(
+        &self,
+        items: Vec<Item>,
+        window: Duration,
+        send_merged: impl Fn(Vec<Item>) -> Result<Vec<BigUint>, TransportError>,
+    ) -> Result<Vec<BigUint>, TransportError> {
+        if items.is_empty() {
+            return Ok(Vec::new());
+        }
+        let (tx, rx) = mpsc::channel();
+        let is_leader = {
+            let mut state = self.state.lock();
+            let start = state.items.len();
+            let len = items.len();
+            state.items.extend(items);
+            state.waiters.push(LaneWaiter { start, len, tx });
+            if state.leader_active {
+                false
+            } else {
+                state.leader_active = true;
+                true
+            }
+        };
+
+        if is_leader {
+            if !window.is_zero() {
+                std::thread::sleep(window);
+            }
+            let (batch, waiters) = {
+                let mut state = self.state.lock();
+                state.leader_active = false;
+                (
+                    std::mem::take(&mut state.items),
+                    std::mem::take(&mut state.waiters),
+                )
+            };
+            let sent = batch.len();
+            let result = send_merged(batch).and_then(|values| {
+                if values.len() == sent {
+                    Ok(values)
+                } else {
+                    Err(TransportError::BatchMismatch {
+                        sent,
+                        received: values.len(),
+                    })
+                }
+            });
+            match result {
+                Ok(values) => {
+                    for w in waiters {
+                        let slice = values[w.start..w.start + w.len].to_vec();
+                        let _ = w.tx.send(Ok(slice));
+                    }
+                }
+                Err(e) => {
+                    for w in waiters {
+                        let _ = w.tx.send(Err(e.clone()));
+                    }
+                }
+            }
+        }
+
+        match rx.recv() {
+            Ok(result) => result,
+            Err(_) => Err(TransportError::Closed),
+        }
+    }
+}
+
+/// A [`KeyHolder`] client multiplexing concurrent protocol executions over
+/// one [`Transport`] connection.
+///
+/// Construction: [`SessionKeyHolder::connect`] when the public key is known
+/// out of band, [`SessionKeyHolder::connect_handshake`] to fetch it from the
+/// server (the TCP bootstrap path), or
+/// [`SessionKeyHolder::spawn_in_process`] to stand up a connected in-process
+/// server in one call.
+///
+/// # Failure behavior
+///
+/// [`KeyHolder`]'s batch methods return plain values; when the transport
+/// fails mid-call they **panic** with the underlying [`TransportError`] —
+/// C1 cannot make progress without its key holder. The exception is
+/// [`KeyHolder::min_selection`], whose signature carries a typed
+/// [`ProtocolError`], so both remote protocol errors and transport failures
+/// surface as values there.
+pub struct SessionKeyHolder {
+    pk: PublicKey,
+    core: Arc<SessionCore>,
+    demux: Mutex<Option<JoinHandle<()>>>,
+    coalesce: CoalesceConfig,
+    sm_lane: CoalesceLane<(BigUint, BigUint)>,
+    lsb_lane: CoalesceLane<BigUint>,
+}
+
+/// Builds the shared connection state and starts the demux thread — the
+/// common bootstrap of every session constructor.
+fn bootstrap(transport: Arc<dyn Transport>) -> (Arc<SessionCore>, JoinHandle<()>) {
+    let core = Arc::new(SessionCore {
+        transport,
+        next_id: AtomicU64::new(1),
+        pending: PendingMap::new(),
+    });
+    let demux = {
+        let core = Arc::clone(&core);
+        std::thread::Builder::new()
+            .name("sknn-session-demux".into())
+            .spawn(move || demux_loop(core.transport.as_ref(), &core.pending))
+            .expect("spawn demux thread")
+    };
+    (core, demux)
+}
+
+impl SessionKeyHolder {
+    fn assemble(
+        pk: PublicKey,
+        core: Arc<SessionCore>,
+        demux: JoinHandle<()>,
+        coalesce: CoalesceConfig,
+    ) -> SessionKeyHolder {
+        SessionKeyHolder {
+            pk,
+            core,
+            demux: Mutex::new(Some(demux)),
+            coalesce,
+            sm_lane: CoalesceLane::new(),
+            lsb_lane: CoalesceLane::new(),
+        }
+    }
+
+    /// Attaches to `transport` with a locally known public key.
+    pub fn connect(
+        pk: PublicKey,
+        transport: Arc<dyn Transport>,
+        coalesce: CoalesceConfig,
+    ) -> SessionKeyHolder {
+        let (core, demux) = bootstrap(transport);
+        SessionKeyHolder::assemble(pk, core, demux, coalesce)
+    }
+
+    /// Attaches to `transport` and fetches the public key from the server
+    /// with a [`Request::PublicKey`] round trip.
+    ///
+    /// # Errors
+    /// Returns the transport error when the handshake round trip fails.
+    pub fn connect_handshake(
+        transport: Arc<dyn Transport>,
+        coalesce: CoalesceConfig,
+    ) -> Result<SessionKeyHolder, TransportError> {
+        let (core, demux) = bootstrap(transport);
+        let pk = match core.round_trip(&Request::PublicKey) {
+            Ok(Response::PublicKey(n)) => PublicKey::from_n(n),
+            Ok(other) => {
+                core.transport.close();
+                return Err(TransportError::ResponseMismatch {
+                    expected: "PublicKey",
+                    got: other.name(),
+                });
+            }
+            Err(e) => {
+                core.transport.close();
+                return Err(e);
+            }
+        };
+        Ok(SessionKeyHolder::assemble(pk, core, demux, coalesce))
+    }
+
+    /// Stands up an in-process key-holder server around `holder` (with
+    /// `workers` request-handling threads) and returns the connected client
+    /// plus the server's join handle. The server exits when the client is
+    /// dropped.
+    pub fn spawn_in_process(
+        holder: LocalKeyHolder,
+        workers: usize,
+        coalesce: CoalesceConfig,
+    ) -> (SessionKeyHolder, JoinHandle<Result<(), TransportError>>) {
+        let (client_end, server_end) = channel_pair();
+        let pk = holder.public_key().clone();
+        let server = std::thread::Builder::new()
+            .name("sknn-keyholder-server".into())
+            .spawn(move || serve(&server_end, &holder, workers))
+            .expect("spawn key-holder server thread");
+        let client = SessionKeyHolder::connect(pk, Arc::new(client_end), coalesce);
+        (client, server)
+    }
+
+    /// Traffic counters of the underlying transport (this endpoint's view).
+    pub fn stats(&self) -> Arc<CommStats> {
+        self.core.transport.stats()
+    }
+
+    /// The coalescing policy this session was built with.
+    pub fn coalesce_config(&self) -> CoalesceConfig {
+        self.coalesce
+    }
+
+    fn round_trip(&self, request: &Request) -> Result<Response, TransportError> {
+        self.core.round_trip(request)
+    }
+
+    /// Narrows a round-trip result to the expected response variant;
+    /// `extract` returns `None` for any other variant.
+    fn expect<T>(
+        expected: &'static str,
+        result: Result<Response, TransportError>,
+        extract: impl FnOnce(Response) -> Option<T>,
+    ) -> Result<T, TransportError> {
+        let response = result?;
+        let got = response.name();
+        extract(response).ok_or(TransportError::ResponseMismatch { expected, got })
+    }
+
+    fn expect_ciphertexts(
+        result: Result<Response, TransportError>,
+    ) -> Result<Vec<BigUint>, TransportError> {
+        Self::expect("Ciphertexts", result, |r| match r {
+            Response::Ciphertexts(values) => Some(values),
+            _ => None,
+        })
+    }
+}
+
+/// Unwraps a session result inside a `KeyHolder` method whose signature has
+/// no error channel — see the "Failure behavior" section of
+/// [`SessionKeyHolder`]'s docs.
+fn unwrap_or_die<T>(operation: &'static str, result: Result<T, TransportError>) -> T {
+    result.unwrap_or_else(|e| panic!("key-holder {operation} failed: {e}"))
+}
+
+impl Drop for SessionKeyHolder {
+    fn drop(&mut self) {
+        self.core.transport.close();
+        if let Some(handle) = self.demux.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl KeyHolder for SessionKeyHolder {
+    fn public_key(&self) -> &PublicKey {
+        &self.pk
+    }
+
+    fn sm_mask_multiply_batch(&self, pairs: &[(Ciphertext, Ciphertext)]) -> Vec<Ciphertext> {
+        let raw: Vec<(BigUint, BigUint)> = pairs
+            .iter()
+            .map(|(a, b)| (a.as_raw().clone(), b.as_raw().clone()))
+            .collect();
+        let result = if self.coalesce.enabled {
+            self.sm_lane.submit(raw, self.coalesce.window, |merged| {
+                Self::expect_ciphertexts(self.round_trip(&Request::SmBatch(merged)))
+            })
+        } else {
+            Self::expect_ciphertexts(self.round_trip(&Request::SmBatch(raw)))
+        };
+        to_ciphertexts(unwrap_or_die("SmBatch", result))
+    }
+
+    fn lsb_of_masked_batch(&self, masked: &[Ciphertext]) -> Vec<Ciphertext> {
+        let raw = to_raw(masked);
+        let result = if self.coalesce.enabled {
+            self.lsb_lane.submit(raw, self.coalesce.window, |merged| {
+                Self::expect_ciphertexts(self.round_trip(&Request::LsbBatch(merged)))
+            })
+        } else {
+            Self::expect_ciphertexts(self.round_trip(&Request::LsbBatch(raw)))
+        };
+        to_ciphertexts(unwrap_or_die("LsbBatch", result))
+    }
+
+    fn smin_round(
+        &self,
+        gamma_permuted: &[Ciphertext],
+        l_permuted: &[Ciphertext],
+    ) -> SminRoundResponse {
+        let result = self.round_trip(&Request::SminRound {
+            gamma: to_raw(gamma_permuted),
+            l_vec: to_raw(l_permuted),
+        });
+        unwrap_or_die(
+            "SminRound",
+            Self::expect("SminRound", result, |r| match r {
+                Response::SminRound { m_prime, alpha } => Some(SminRoundResponse {
+                    m_prime: to_ciphertexts(m_prime),
+                    alpha: Ciphertext::from_raw(alpha),
+                }),
+                _ => None,
+            }),
+        )
+    }
+
+    fn min_selection(&self, beta: &[Ciphertext]) -> Result<Vec<Ciphertext>, ProtocolError> {
+        let result =
+            Self::expect_ciphertexts(self.round_trip(&Request::MinSelection(to_raw(beta))));
+        match result {
+            Ok(values) => Ok(to_ciphertexts(values)),
+            Err(e) => Err(ProtocolError::from(e)),
+        }
+    }
+
+    fn top_k_indices(&self, distances: &[Ciphertext], k: usize) -> Vec<usize> {
+        let result = self.round_trip(&Request::TopK {
+            distances: to_raw(distances),
+            k: k as u32,
+        });
+        unwrap_or_die(
+            "TopK",
+            Self::expect("Indices", result, |r| match r {
+                Response::Indices(indices) => {
+                    Some(indices.into_iter().map(|i| i as usize).collect())
+                }
+                _ => None,
+            }),
+        )
+    }
+
+    fn decrypt_masked_batch(&self, masked: &[Ciphertext]) -> Vec<BigUint> {
+        let result = self.round_trip(&Request::DecryptBatch(to_raw(masked)));
+        unwrap_or_die(
+            "DecryptBatch",
+            Self::expect("Plaintexts", result, |r| match r {
+                Response::Plaintexts(values) => Some(values),
+                _ => None,
+            }),
+        )
+    }
+}

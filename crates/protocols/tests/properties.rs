@@ -7,8 +7,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sknn_paillier::{Ciphertext, Keypair, PrivateKey, PublicKey};
 use sknn_protocols::{
-    recompose_bits, secure_bit_decompose, secure_bit_or, secure_min, secure_min_n,
-    secure_multiply, secure_squared_distance, LocalKeyHolder,
+    recompose_bits, secure_bit_decompose, secure_bit_or, secure_min, secure_min_n, secure_multiply,
+    secure_squared_distance, LocalKeyHolder,
 };
 use std::sync::OnceLock;
 

@@ -1,0 +1,258 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset the workspace's wire codec uses: [`BytesMut`] as a
+//! growable write buffer with big-endian `put_*` methods, [`Bytes`] as a
+//! cheaply sliceable read cursor with big-endian `get_*` methods, and the
+//! [`Buf`] / [`BufMut`] traits carrying those methods.
+//!
+//! `get_*` methods panic when the buffer is exhausted, matching upstream
+//! `bytes`; codecs that must reject malformed input check [`Buf::remaining`]
+//! first (see `sknn-protocols`' `transport::wire`).
+
+#![forbid(unsafe_code)]
+
+use std::sync::Arc;
+
+/// Read access to a contiguous byte cursor.
+pub trait Buf {
+    /// Number of bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Reads `n` bytes, advancing the cursor.
+    ///
+    /// # Panics
+    /// Panics when fewer than `n` bytes remain.
+    fn copy_to_slice(&mut self, dest: &mut [u8]);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+}
+
+/// Write access to a growable byte buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+/// A growable write buffer.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with room for `cap` bytes.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Freezes the buffer into an immutable, sliceable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.inner)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+/// An immutable byte buffer with a read cursor; clones share the allocation.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Number of readable bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the cursor is exhausted.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Splits off and returns the first `n` bytes, advancing `self` past
+    /// them.
+    ///
+    /// # Panics
+    /// Panics when fewer than `n` bytes remain.
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len(), "split_to out of range");
+        let head = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + n,
+        };
+        self.start += n;
+        head
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        let end = data.len();
+        Bytes {
+            data: Arc::new(data),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Bytes::from(data.to_vec())
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for Bytes {}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dest: &mut [u8]) {
+        assert!(dest.len() <= self.len(), "buffer exhausted");
+        dest.copy_from_slice(&self.data[self.start..self.start + dest.len()]);
+        self.start += dest.len();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(7);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_u64(u64::MAX - 1);
+        buf.put_slice(b"abc");
+        let mut bytes = buf.freeze();
+        assert_eq!(bytes.len(), 1 + 4 + 8 + 3);
+        assert_eq!(bytes.get_u8(), 7);
+        assert_eq!(bytes.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(bytes.get_u64(), u64::MAX - 1);
+        let tail = bytes.split_to(3);
+        assert_eq!(&*tail, b"abc");
+        assert!(bytes.is_empty());
+    }
+
+    #[test]
+    fn split_to_shares_allocation() {
+        let mut b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let head = b.split_to(2);
+        assert_eq!(&*head, &[1, 2]);
+        assert_eq!(&*b, &[3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer exhausted")]
+    fn reading_past_end_panics() {
+        let mut b = Bytes::from(vec![1u8]);
+        let _ = b.get_u32();
+    }
+
+    #[test]
+    fn big_endian_layout() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(1);
+        assert_eq!(buf.as_ref(), &[0, 0, 0, 1]);
+    }
+}

@@ -1,0 +1,296 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the `criterion` 0.5 API this workspace's
+//! benchmarks use — [`Criterion::benchmark_group`], group configuration,
+//! [`BenchmarkId`], [`Bencher::iter`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — over a simple wall-clock measurement loop.
+//!
+//! Statistical machinery (outlier detection, regression analysis, HTML
+//! reports) is intentionally absent: each benchmark runs a short warm-up,
+//! then samples until the measurement-time budget or the sample count is
+//! exhausted, and prints min/mean/max per sample. Passing `--test` (as
+//! `cargo test --benches` does) runs every benchmark exactly once.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+            test_mode: self.test_mode,
+            _criterion: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs one stand-alone benchmark (an implicit single-entry group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        let mut group = self.benchmark_group(id.to_string());
+        group.bench_function("", f);
+        group.finish();
+    }
+
+    /// Prints the closing summary (no-op in this shim).
+    pub fn final_summary(&self) {}
+}
+
+/// A named collection of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+    _criterion: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples to collect.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps the total time spent collecting samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        self.run(&id.to_string(), f);
+    }
+
+    /// Benchmarks `f` with a borrowed input.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) {
+        self.run(&id.to_string(), |b| f(b, input));
+    }
+
+    /// Ends the group (no-op beyond dropping it; mirrors criterion's API).
+    pub fn finish(self) {}
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let label = if id.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            budget: if self.test_mode {
+                BenchBudget::SingleIteration
+            } else {
+                BenchBudget::Timed {
+                    warm_up: self.warm_up_time,
+                    measurement: self.measurement_time,
+                    samples: self.sample_size,
+                }
+            },
+        };
+        f(&mut bencher);
+        report(&label, &bencher.samples, self.test_mode);
+    }
+}
+
+enum BenchBudget {
+    /// `--test`: one iteration, correctness only.
+    SingleIteration,
+    /// Normal run: warm up, then sample within the time budget.
+    Timed {
+        warm_up: Duration,
+        measurement: Duration,
+        samples: usize,
+    },
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code to
+/// measure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: BenchBudget,
+}
+
+impl Bencher {
+    /// Measures `f`, storing one duration per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.budget {
+            BenchBudget::SingleIteration => {
+                let start = Instant::now();
+                std::hint::black_box(f());
+                self.samples.push(start.elapsed());
+            }
+            BenchBudget::Timed {
+                warm_up,
+                measurement,
+                samples,
+            } => {
+                let warm_start = Instant::now();
+                while warm_start.elapsed() < warm_up {
+                    std::hint::black_box(f());
+                }
+                let run_start = Instant::now();
+                for _ in 0..samples {
+                    let start = Instant::now();
+                    std::hint::black_box(f());
+                    self.samples.push(start.elapsed());
+                    if run_start.elapsed() >= measurement {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn report(label: &str, samples: &[Duration], test_mode: bool) {
+    if samples.is_empty() {
+        println!("{label:<50} no samples (closure never called iter)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let max = samples.iter().max().copied().unwrap_or_default();
+    if test_mode {
+        println!("{label:<50} ok ({} in test mode)", fmt_duration(mean));
+    } else {
+        println!(
+            "{label:<50} time: [{} {} {}]  ({} samples)",
+            fmt_duration(min),
+            fmt_duration(mean),
+            fmt_duration(max),
+            samples.len()
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// A benchmark identifier combining a function name and a parameter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (for groups where the function is implied).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Re-export of `std::hint::black_box`, criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into a callable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Generates `main` running the listed groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formatting() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter(6).to_string(), "6");
+    }
+
+    #[test]
+    fn group_runs_closures() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut calls = 0;
+        group.bench_function("count", |b| b.iter(|| calls += 1));
+        group.bench_with_input(BenchmarkId::from_parameter(5), &5, |b, &x| b.iter(|| x * 2));
+        group.finish();
+        assert!(calls >= 1);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(10)), "10 ns");
+        assert!(fmt_duration(Duration::from_micros(15)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(15)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with('s'));
+    }
+}

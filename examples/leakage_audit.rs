@@ -26,7 +26,11 @@ fn describe(label: &str, result: &QueryResult) {
     let audit = &result.audit;
     println!(
         "  distances visible to C2 : {}",
-        if audit.distances_revealed_to_c2 { "YES (all n plaintext distances)" } else { "no" }
+        if audit.distances_revealed_to_c2 {
+            "YES (all n plaintext distances)"
+        } else {
+            "no"
+        }
     );
     println!(
         "  result identities at C1 : {}",
@@ -46,7 +50,11 @@ fn describe(label: &str, result: &QueryResult) {
     );
     println!(
         "  access pattern hidden   : {}",
-        if audit.is_oblivious() { "yes ✓" } else { "NO" }
+        if audit.is_oblivious() {
+            "yes ✓"
+        } else {
+            "NO"
+        }
     );
     if let Some(comm) = result.comm {
         println!(
@@ -85,7 +93,9 @@ fn main() {
     let basic = federation.query_basic(&query, k, &mut rng).expect("SkNN_b");
     describe("SkNN_b — basic protocol", &basic);
 
-    let secure = federation.query_secure(&query, k, &mut rng).expect("SkNN_m");
+    let secure = federation
+        .query_secure(&query, k, &mut rng)
+        .expect("SkNN_m");
     describe("SkNN_m — fully secure protocol", &secure);
 
     // The two protocols return equally-near neighbor sets (ties between

@@ -10,7 +10,9 @@
 //! ```
 
 use rand::SeedableRng;
-use sknn::data::heart::{example_query, heart_disease_table, HeartDiseaseGenerator, ATTRIBUTE_NAMES};
+use sknn::data::heart::{
+    example_query, heart_disease_table, HeartDiseaseGenerator, ATTRIBUTE_NAMES,
+};
 use sknn::{Federation, FederationConfig};
 
 fn main() {
@@ -79,7 +81,9 @@ fn main() {
     let federation = Federation::setup(&big_table, config, &mut rng).expect("setup");
     let query = HeartDiseaseGenerator.query(&mut rng);
     let k = 5;
-    let result = federation.query_basic(&query, k, &mut rng).expect("basic query");
+    let result = federation
+        .query_basic(&query, k, &mut rng)
+        .expect("basic query");
     println!(
         "basic-protocol query over {} patients took {:?}; {k} nearest diagnoses (num attribute): {:?}",
         big_table.num_records(),

@@ -1,8 +1,12 @@
-//! Record-level parallelism (the Figure 3 experiment, at laptop scale).
+//! Record-level parallelism (the Figure 3 experiment, at laptop scale) —
+//! including over the real C1↔C2 transport boundary.
 //!
 //! The per-record work of both protocols is embarrassingly parallel; the paper
 //! demonstrates a ~6× speedup of SkNN_b with 6 OpenMP threads. This example
-//! measures the same effect with scoped threads on a synthetic dataset.
+//! measures the same effect with scoped threads on a synthetic dataset, first
+//! against the in-process key holder, then over the pipelined channel and TCP
+//! transports where every parallel worker multiplexes onto one connection and
+//! small concurrent requests are coalesced into shared round trips.
 //!
 //! Run with:
 //! ```text
@@ -11,7 +15,7 @@
 
 use rand::SeedableRng;
 use sknn::data::{uniform_query, SyntheticDataset};
-use sknn::{Federation, FederationConfig};
+use sknn::{Federation, FederationConfig, TransportKind};
 use std::time::Instant;
 
 fn main() {
@@ -26,39 +30,58 @@ fn main() {
     let query = uniform_query(m, dataset.max_value, &mut rng);
     let k = 5;
 
-    let mut federation = Federation::setup(
-        &dataset.table,
-        FederationConfig {
-            key_bits: 256,
-            max_query_value: dataset.max_value,
-            ..Default::default()
-        },
-        &mut rng,
-    )
-    .expect("setup");
-
-    println!("SkNN_b over n = {n}, m = {m}, k = {k}, K = 256 bits\n");
-    println!("{:>8}  {:>12}  {:>8}", "threads", "time", "speedup");
-
-    let mut baseline = None;
     let mut reference_records = None;
-    for threads in [1usize, 2, 4, 6, 8] {
-        federation.set_threads(threads);
-        let start = Instant::now();
-        let result = federation.query_basic(&query, k, &mut rng).expect("query");
-        let elapsed = start.elapsed();
-        let base = *baseline.get_or_insert(elapsed);
+    for (label, transport) in [
+        ("in-process", TransportKind::InProcess),
+        ("channel", TransportKind::Channel),
+        ("tcp", TransportKind::Tcp),
+    ] {
+        let mut federation = Federation::setup(
+            &dataset.table,
+            FederationConfig {
+                key_bits: 256,
+                max_query_value: dataset.max_value,
+                transport,
+                // Sizes C2's request-serving pool for the widest sweep point
+                // below; set_threads() then only rescales C1's workers.
+                threads: 8,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .expect("setup");
+
+        println!("SkNN_b over n = {n}, m = {m}, k = {k}, K = 256 bits — {label} transport\n");
         println!(
-            "{threads:>8}  {elapsed:>12.2?}  {:>7.2}x",
-            base.as_secs_f64() / elapsed.as_secs_f64()
+            "{:>8}  {:>12}  {:>8}  {:>12}",
+            "threads", "time", "speedup", "round trips"
         );
 
-        // Parallelism must never change the answer.
-        match &reference_records {
-            None => reference_records = Some(result.records),
-            Some(reference) => assert_eq!(&result.records, reference),
+        let mut baseline = None;
+        for threads in [1usize, 2, 4, 6, 8] {
+            federation.set_threads(threads);
+            let before = federation.comm_stats();
+            let start = Instant::now();
+            let result = federation.query_basic(&query, k, &mut rng).expect("query");
+            let elapsed = start.elapsed();
+            let base = *baseline.get_or_insert(elapsed);
+            let round_trips = match (before, federation.comm_stats()) {
+                (Some(b), Some(a)) => format!("{}", a.since(&b).requests),
+                _ => "-".to_string(),
+            };
+            println!(
+                "{threads:>8}  {elapsed:>12.2?}  {:>7.2}x  {round_trips:>12}",
+                base.as_secs_f64() / elapsed.as_secs_f64()
+            );
+
+            // Neither parallelism nor the transport may change the answer.
+            match &reference_records {
+                None => reference_records = Some(result.records),
+                Some(reference) => assert_eq!(&result.records, reference),
+            }
         }
+        println!();
     }
 
-    println!("\nresults are identical across thread counts ✓");
+    println!("results are identical across thread counts and transports ✓");
 }

@@ -56,8 +56,13 @@ fn main() {
         basic.audit.distances_revealed_to_c2, basic.audit.access_pattern_revealed
     );
 
-    let secure = federation.query_secure(&query, k, &mut rng).expect("SkNN_m");
-    println!("\nSkNN_m (fully secure protocol) — {:?}", secure.profile.total());
+    let secure = federation
+        .query_secure(&query, k, &mut rng)
+        .expect("SkNN_m");
+    println!(
+        "\nSkNN_m (fully secure protocol) — {:?}",
+        secure.profile.total()
+    );
     for (rank, record) in secure.records.iter().enumerate() {
         println!("  #{rank}: {record:?}");
     }

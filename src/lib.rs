@@ -14,9 +14,57 @@
 //! |-------|-------|------------------|
 //! | [`bigint`] | `sknn-bigint` | From-scratch arbitrary-precision arithmetic (Montgomery exponentiation, Miller–Rabin, …) |
 //! | [`paillier`] | `sknn-paillier` | The Paillier additively homomorphic cryptosystem |
-//! | [`protocols`] | `sknn-protocols` | The SM, SSED, SBD, SMIN, SMIN_n and SBOR two-party primitives, the key-holder trait, and the channel transport |
+//! | [`protocols`] | `sknn-protocols` | The SM, SSED, SBD, SMIN, SMIN_n and SBOR two-party primitives, the key-holder trait, and the pluggable transport stack |
 //! | [`core`] | `sknn-core` | The SkNN_b / SkNN_m protocols, the Alice/Bob/C1/C2 roles and the [`Federation`] harness |
 //! | [`data`] | `sknn-data` | Synthetic and heart-disease workload generators |
+//!
+//! ## Architecture: the C1↔C2 transport stack
+//!
+//! The paper's setting has two non-colluding clouds: C1 holds the encrypted
+//! database and drives the query protocols; C2 holds the Paillier secret key
+//! and answers a small, fixed set of requests (the
+//! [`KeyHolder`] trait — exactly the
+//! messages the Section 4.3 security argument reasons about). Everything
+//! between the two is the *transport stack*, layered so protocol logic never
+//! depends on the wire underneath:
+//!
+//! ```text
+//!  SkNN_b / SkNN_m, SM, SBD, SMIN_n, …        work against &dyn KeyHolder
+//!       │
+//!  SessionKeyHolder                           protocols::transport::SessionKeyHolder
+//!       │   · pipelining: every request gets a correlation id; a demux
+//!       │     thread routes responses, so N worker threads keep N
+//!       │     requests in flight on ONE connection
+//!       │   · coalescing: concurrent small SmBatch/LsbBatch requests
+//!       │     merge into one round trip (CoalesceConfig); the paper's
+//!       │     dominant cost is round trips, not bytes
+//!       │
+//!  Transport trait                            protocols::transport::Transport
+//!       │   send_frame / recv_frame / stats / close
+//!       │
+//!       ├─ ChannelTransport                   in-process MPMC frame queues:
+//!       │                                     real wire bytes + traffic
+//!       │                                     accounting without sockets
+//!       └─ TcpTransport                       one TCP socket (std::net),
+//!                                             TCP_NODELAY, same framing
+//! ```
+//!
+//! Frames are versioned and length-prefixed (`protocols::transport::wire`);
+//! malformed peer input surfaces as a typed
+//! [`protocols::transport::TransportError`] — the key-holder server loop
+//! ([`protocols::transport::serve`], which runs a configurable worker pool
+//! so pipelined requests are also *served* concurrently) answers a broken
+//! request with an error frame instead of crashing.
+//!
+//! [`FederationConfig`] selects the deployment shape: `transport` picks
+//! [`TransportKind::InProcess`] (direct calls, the paper's single-machine
+//! evaluation), [`TransportKind::Channel`] (in-process frames with
+//! byte-accurate accounting) or [`TransportKind::Tcp`] (a real loopback
+//! socket with the key-holder server on a background thread); `threads`
+//! sets both C1's record-parallel workers and C2's serving workers; and
+//! `coalesce` toggles request coalescing on the remote transports.
+//! [`QueryResult::comm`] then reports per-query round trips and bytes for
+//! any remote transport.
 //!
 //! ## Quickstart
 //!

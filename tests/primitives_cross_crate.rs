@@ -6,8 +6,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sknn::bigint::BigUint;
 use sknn::protocols::{
-    recompose_bits, secure_bit_decompose_batch, secure_bit_or, secure_min_n,
-    secure_multiply_batch, secure_squared_distance, LocalKeyHolder,
+    recompose_bits, secure_bit_decompose_batch, secure_bit_or, secure_min_n, secure_multiply_batch,
+    secure_squared_distance, LocalKeyHolder,
 };
 use sknn::Keypair;
 
@@ -51,7 +51,10 @@ fn full_primitive_pipeline_mirrors_algorithm_6_inner_loop() {
     // SBD of every distance, then the encrypted tournament minimum.
     let bits = secure_bit_decompose_batch(&pk, &holder, &distances, l, &mut rng).unwrap();
     let dmin_bits = secure_min_n(&pk, &holder, &bits, &mut rng).unwrap();
-    let dmin = sk.decrypt(&recompose_bits(&pk, &dmin_bits)).to_u64().unwrap();
+    let dmin = sk
+        .decrypt(&recompose_bits(&pk, &dmin_bits))
+        .to_u64()
+        .unwrap();
     assert_eq!(dmin, *plain_distances.iter().min().unwrap());
 
     // The SBOR-based freeze: OR-ing the winner's bits with 1 saturates them.

@@ -31,14 +31,13 @@ fn sorted_distances(records: &[Vec<u64>], query: &[u64]) -> Vec<u128> {
 
 fn arb_instance() -> impl Strategy<Value = (Vec<Vec<u64>>, Vec<u64>, usize)> {
     // Between 2 and 8 records, 1–3 attributes, values below 16, k ≤ n.
-    (2usize..=8, 1usize..=3)
-        .prop_flat_map(|(n, m)| {
-            (
-                prop::collection::vec(prop::collection::vec(0u64..16, m), n),
-                prop::collection::vec(0u64..16, m),
-                1usize..=n,
-            )
-        })
+    (2usize..=8, 1usize..=3).prop_flat_map(|(n, m)| {
+        (
+            prop::collection::vec(prop::collection::vec(0u64..16, m), n),
+            prop::collection::vec(0u64..16, m),
+            1usize..=n,
+        )
+    })
 }
 
 proptest! {
