@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bigint-0d3b49813fde9e5e.d: crates/bench/benches/bigint.rs
+
+/root/repo/target/debug/deps/bigint-0d3b49813fde9e5e: crates/bench/benches/bigint.rs
+
+crates/bench/benches/bigint.rs:

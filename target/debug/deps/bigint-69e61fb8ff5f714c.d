@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bigint-69e61fb8ff5f714c.d: crates/bench/benches/bigint.rs
+
+/root/repo/target/debug/deps/libbigint-69e61fb8ff5f714c.rmeta: crates/bench/benches/bigint.rs
+
+crates/bench/benches/bigint.rs:

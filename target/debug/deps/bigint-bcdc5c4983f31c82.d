@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bigint-bcdc5c4983f31c82.d: crates/bench/benches/bigint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbigint-bcdc5c4983f31c82.rmeta: crates/bench/benches/bigint.rs Cargo.toml
+
+crates/bench/benches/bigint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bytes-0424ef6654710b31.d: crates/shims/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbytes-0424ef6654710b31.rmeta: crates/shims/bytes/src/lib.rs Cargo.toml
+
+crates/shims/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bytes-359007a505328ac7.d: crates/shims/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbytes-359007a505328ac7.rmeta: crates/shims/bytes/src/lib.rs Cargo.toml
+
+crates/shims/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-53d04c49ba896420.d: crates/shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-53d04c49ba896420.rmeta: crates/shims/bytes/src/lib.rs
+
+crates/shims/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-a412811ca8f3c243.d: crates/shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-a412811ca8f3c243: crates/shims/bytes/src/lib.rs
+
+crates/shims/bytes/src/lib.rs:

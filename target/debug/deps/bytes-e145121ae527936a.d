@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-e145121ae527936a.d: crates/shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-e145121ae527936a.rmeta: crates/shims/bytes/src/lib.rs
+
+crates/shims/bytes/src/lib.rs:

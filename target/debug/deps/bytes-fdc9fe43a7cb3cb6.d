@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-fdc9fe43a7cb3cb6.d: crates/shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-fdc9fe43a7cb3cb6.rlib: crates/shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-fdc9fe43a7cb3cb6.rmeta: crates/shims/bytes/src/lib.rs
+
+crates/shims/bytes/src/lib.rs:

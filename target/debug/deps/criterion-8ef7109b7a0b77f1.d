@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-8ef7109b7a0b77f1.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-8ef7109b7a0b77f1.rmeta: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-9438cb2c48bdaee2.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-9438cb2c48bdaee2: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

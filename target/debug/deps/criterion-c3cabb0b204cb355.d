@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-c3cabb0b204cb355.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-c3cabb0b204cb355.rmeta: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-e1a25e92e36e7b6b.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-e1a25e92e36e7b6b.rlib: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-e1a25e92e36e7b6b.rmeta: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_basic-614cfdf76df55cab.d: tests/end_to_end_basic.rs
+
+/root/repo/target/debug/deps/end_to_end_basic-614cfdf76df55cab: tests/end_to_end_basic.rs
+
+tests/end_to_end_basic.rs:

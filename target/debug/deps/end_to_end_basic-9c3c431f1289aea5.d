@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_basic-9c3c431f1289aea5.d: tests/end_to_end_basic.rs
+
+/root/repo/target/debug/deps/libend_to_end_basic-9c3c431f1289aea5.rmeta: tests/end_to_end_basic.rs
+
+tests/end_to_end_basic.rs:

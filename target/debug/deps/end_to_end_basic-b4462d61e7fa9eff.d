@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end_basic-b4462d61e7fa9eff.d: tests/end_to_end_basic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end_basic-b4462d61e7fa9eff.rmeta: tests/end_to_end_basic.rs Cargo.toml
+
+tests/end_to_end_basic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_secure-3017a9c1f7220aa7.d: tests/end_to_end_secure.rs
+
+/root/repo/target/debug/deps/end_to_end_secure-3017a9c1f7220aa7: tests/end_to_end_secure.rs
+
+tests/end_to_end_secure.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_secure-b7dad488ed0722a9.d: tests/end_to_end_secure.rs
+
+/root/repo/target/debug/deps/libend_to_end_secure-b7dad488ed0722a9.rmeta: tests/end_to_end_secure.rs
+
+tests/end_to_end_secure.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-076387b8a1a3d2c7.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-076387b8a1a3d2c7: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-1e5682c68b436a69.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/libexperiments-1e5682c68b436a69.rmeta: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-5aa0b904a5febbda.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-5aa0b904a5febbda: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

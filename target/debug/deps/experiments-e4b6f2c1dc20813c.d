@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-e4b6f2c1dc20813c.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/libexperiments-e4b6f2c1dc20813c.rmeta: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

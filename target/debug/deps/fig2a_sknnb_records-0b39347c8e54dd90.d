@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2a_sknnb_records-0b39347c8e54dd90.d: crates/bench/benches/fig2a_sknnb_records.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2a_sknnb_records-0b39347c8e54dd90.rmeta: crates/bench/benches/fig2a_sknnb_records.rs Cargo.toml
+
+crates/bench/benches/fig2a_sknnb_records.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

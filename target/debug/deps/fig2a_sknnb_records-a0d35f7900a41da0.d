@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2a_sknnb_records-a0d35f7900a41da0.d: crates/bench/benches/fig2a_sknnb_records.rs
+
+/root/repo/target/debug/deps/libfig2a_sknnb_records-a0d35f7900a41da0.rmeta: crates/bench/benches/fig2a_sknnb_records.rs
+
+crates/bench/benches/fig2a_sknnb_records.rs:

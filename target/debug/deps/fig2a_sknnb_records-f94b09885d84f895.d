@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2a_sknnb_records-f94b09885d84f895.d: crates/bench/benches/fig2a_sknnb_records.rs
+
+/root/repo/target/debug/deps/fig2a_sknnb_records-f94b09885d84f895: crates/bench/benches/fig2a_sknnb_records.rs
+
+crates/bench/benches/fig2a_sknnb_records.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2c_sknnb_k-04f36bd3e8f8ebae.d: crates/bench/benches/fig2c_sknnb_k.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2c_sknnb_k-04f36bd3e8f8ebae.rmeta: crates/bench/benches/fig2c_sknnb_k.rs Cargo.toml
+
+crates/bench/benches/fig2c_sknnb_k.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

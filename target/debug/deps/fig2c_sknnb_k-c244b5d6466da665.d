@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2c_sknnb_k-c244b5d6466da665.d: crates/bench/benches/fig2c_sknnb_k.rs
+
+/root/repo/target/debug/deps/libfig2c_sknnb_k-c244b5d6466da665.rmeta: crates/bench/benches/fig2c_sknnb_k.rs
+
+crates/bench/benches/fig2c_sknnb_k.rs:

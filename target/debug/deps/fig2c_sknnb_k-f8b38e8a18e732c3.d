@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2c_sknnb_k-f8b38e8a18e732c3.d: crates/bench/benches/fig2c_sknnb_k.rs
+
+/root/repo/target/debug/deps/fig2c_sknnb_k-f8b38e8a18e732c3: crates/bench/benches/fig2c_sknnb_k.rs
+
+crates/bench/benches/fig2c_sknnb_k.rs:

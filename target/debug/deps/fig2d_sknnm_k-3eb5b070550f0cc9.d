@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2d_sknnm_k-3eb5b070550f0cc9.d: crates/bench/benches/fig2d_sknnm_k.rs
+
+/root/repo/target/debug/deps/libfig2d_sknnm_k-3eb5b070550f0cc9.rmeta: crates/bench/benches/fig2d_sknnm_k.rs
+
+crates/bench/benches/fig2d_sknnm_k.rs:

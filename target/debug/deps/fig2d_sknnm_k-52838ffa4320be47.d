@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2d_sknnm_k-52838ffa4320be47.d: crates/bench/benches/fig2d_sknnm_k.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2d_sknnm_k-52838ffa4320be47.rmeta: crates/bench/benches/fig2d_sknnm_k.rs Cargo.toml
+
+crates/bench/benches/fig2d_sknnm_k.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2d_sknnm_k-bdd91320cf832ff7.d: crates/bench/benches/fig2d_sknnm_k.rs
+
+/root/repo/target/debug/deps/fig2d_sknnm_k-bdd91320cf832ff7: crates/bench/benches/fig2d_sknnm_k.rs
+
+crates/bench/benches/fig2d_sknnm_k.rs:

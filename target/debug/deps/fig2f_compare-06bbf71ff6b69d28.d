@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2f_compare-06bbf71ff6b69d28.d: crates/bench/benches/fig2f_compare.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2f_compare-06bbf71ff6b69d28.rmeta: crates/bench/benches/fig2f_compare.rs Cargo.toml
+
+crates/bench/benches/fig2f_compare.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

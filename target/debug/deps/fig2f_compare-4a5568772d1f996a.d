@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2f_compare-4a5568772d1f996a.d: crates/bench/benches/fig2f_compare.rs
+
+/root/repo/target/debug/deps/fig2f_compare-4a5568772d1f996a: crates/bench/benches/fig2f_compare.rs
+
+crates/bench/benches/fig2f_compare.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2f_compare-b8ee22e3d2574843.d: crates/bench/benches/fig2f_compare.rs
+
+/root/repo/target/debug/deps/libfig2f_compare-b8ee22e3d2574843.rmeta: crates/bench/benches/fig2f_compare.rs
+
+crates/bench/benches/fig2f_compare.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_parallel-352e60cd94b5e0af.d: crates/bench/benches/fig3_parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_parallel-352e60cd94b5e0af.rmeta: crates/bench/benches/fig3_parallel.rs Cargo.toml
+
+crates/bench/benches/fig3_parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_parallel-7e20883c8ea33da8.d: crates/bench/benches/fig3_parallel.rs
+
+/root/repo/target/debug/deps/libfig3_parallel-7e20883c8ea33da8.rmeta: crates/bench/benches/fig3_parallel.rs
+
+crates/bench/benches/fig3_parallel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_parallel-9931ef7d374229d6.d: crates/bench/benches/fig3_parallel.rs
+
+/root/repo/target/debug/deps/fig3_parallel-9931ef7d374229d6: crates/bench/benches/fig3_parallel.rs
+
+crates/bench/benches/fig3_parallel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paillier-4a8f330521b5dafd.d: crates/bench/benches/paillier.rs
+
+/root/repo/target/debug/deps/paillier-4a8f330521b5dafd: crates/bench/benches/paillier.rs
+
+crates/bench/benches/paillier.rs:

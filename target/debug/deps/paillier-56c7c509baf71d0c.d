@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paillier-56c7c509baf71d0c.d: crates/bench/benches/paillier.rs
+
+/root/repo/target/debug/deps/libpaillier-56c7c509baf71d0c.rmeta: crates/bench/benches/paillier.rs
+
+crates/bench/benches/paillier.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paillier-8e1bf83485e14355.d: crates/bench/benches/paillier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaillier-8e1bf83485e14355.rmeta: crates/bench/benches/paillier.rs Cargo.toml
+
+crates/bench/benches/paillier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

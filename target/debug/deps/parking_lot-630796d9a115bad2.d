@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-630796d9a115bad2.d: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-630796d9a115bad2.rmeta: crates/shims/parking_lot/src/lib.rs
+
+crates/shims/parking_lot/src/lib.rs:

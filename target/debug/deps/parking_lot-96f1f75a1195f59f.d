@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-96f1f75a1195f59f.d: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-96f1f75a1195f59f.rlib: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-96f1f75a1195f59f.rmeta: crates/shims/parking_lot/src/lib.rs
+
+crates/shims/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-d18b72185a77167c.d: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-d18b72185a77167c.rmeta: crates/shims/parking_lot/src/lib.rs
+
+crates/shims/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-d84579170dae3738.d: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-d84579170dae3738: crates/shims/parking_lot/src/lib.rs
+
+crates/shims/parking_lot/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/primitives-46d062268aafdfaf.d: crates/bench/benches/primitives.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprimitives-46d062268aafdfaf.rmeta: crates/bench/benches/primitives.rs Cargo.toml
+
+crates/bench/benches/primitives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

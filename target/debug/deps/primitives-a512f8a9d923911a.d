@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/primitives-a512f8a9d923911a.d: crates/bench/benches/primitives.rs
+
+/root/repo/target/debug/deps/libprimitives-a512f8a9d923911a.rmeta: crates/bench/benches/primitives.rs
+
+crates/bench/benches/primitives.rs:

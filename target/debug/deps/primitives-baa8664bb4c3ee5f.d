@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/primitives-baa8664bb4c3ee5f.d: crates/bench/benches/primitives.rs
+
+/root/repo/target/debug/deps/primitives-baa8664bb4c3ee5f: crates/bench/benches/primitives.rs
+
+crates/bench/benches/primitives.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/primitives_cross_crate-723bfe1fb91674a0.d: tests/primitives_cross_crate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprimitives_cross_crate-723bfe1fb91674a0.rmeta: tests/primitives_cross_crate.rs Cargo.toml
+
+tests/primitives_cross_crate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/primitives_cross_crate-90c34bb91da04e11.d: tests/primitives_cross_crate.rs
+
+/root/repo/target/debug/deps/libprimitives_cross_crate-90c34bb91da04e11.rmeta: tests/primitives_cross_crate.rs
+
+tests/primitives_cross_crate.rs:

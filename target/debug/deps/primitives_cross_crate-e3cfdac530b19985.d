@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/primitives_cross_crate-e3cfdac530b19985.d: tests/primitives_cross_crate.rs
+
+/root/repo/target/debug/deps/primitives_cross_crate-e3cfdac530b19985: tests/primitives_cross_crate.rs
+
+tests/primitives_cross_crate.rs:

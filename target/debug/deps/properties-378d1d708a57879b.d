@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-378d1d708a57879b.d: crates/paillier/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-378d1d708a57879b.rmeta: crates/paillier/tests/properties.rs Cargo.toml
+
+crates/paillier/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-412051a1f4c9f6f3.d: crates/paillier/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-412051a1f4c9f6f3: crates/paillier/tests/properties.rs
+
+crates/paillier/tests/properties.rs:

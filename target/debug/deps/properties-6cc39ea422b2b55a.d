@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-6cc39ea422b2b55a.d: crates/bigint/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-6cc39ea422b2b55a.rmeta: crates/bigint/tests/properties.rs
+
+crates/bigint/tests/properties.rs:

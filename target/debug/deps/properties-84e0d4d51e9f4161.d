@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-84e0d4d51e9f4161.d: crates/protocols/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-84e0d4d51e9f4161.rmeta: crates/protocols/tests/properties.rs Cargo.toml
+
+crates/protocols/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-91b095401ed1c537.d: crates/bigint/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-91b095401ed1c537.rmeta: crates/bigint/tests/properties.rs Cargo.toml
+
+crates/bigint/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b1ce5ce8cbe63501.d: crates/protocols/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-b1ce5ce8cbe63501.rmeta: crates/protocols/tests/properties.rs
+
+crates/protocols/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b9f8d84c37077be1.d: crates/paillier/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-b9f8d84c37077be1.rmeta: crates/paillier/tests/properties.rs
+
+crates/paillier/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-bdb4ba714ef9fa08.d: crates/protocols/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-bdb4ba714ef9fa08: crates/protocols/tests/properties.rs
+
+crates/protocols/tests/properties.rs:

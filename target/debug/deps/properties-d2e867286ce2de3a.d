@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d2e867286ce2de3a.d: crates/bigint/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d2e867286ce2de3a: crates/bigint/tests/properties.rs
+
+crates/bigint/tests/properties.rs:

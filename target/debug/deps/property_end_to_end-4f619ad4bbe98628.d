@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_end_to_end-4f619ad4bbe98628.d: tests/property_end_to_end.rs
+
+/root/repo/target/debug/deps/libproperty_end_to_end-4f619ad4bbe98628.rmeta: tests/property_end_to_end.rs
+
+tests/property_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_end_to_end-758244b091d722c8.d: tests/property_end_to_end.rs
+
+/root/repo/target/debug/deps/property_end_to_end-758244b091d722c8: tests/property_end_to_end.rs
+
+tests/property_end_to_end.rs:

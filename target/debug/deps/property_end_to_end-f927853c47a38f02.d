@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_end_to_end-f927853c47a38f02.d: tests/property_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_end_to_end-f927853c47a38f02.rmeta: tests/property_end_to_end.rs Cargo.toml
+
+tests/property_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-729af1224715738c.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-729af1224715738c.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

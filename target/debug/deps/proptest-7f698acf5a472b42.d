@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-7f698acf5a472b42.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-7f698acf5a472b42.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-8b1709fd12c25104.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-8b1709fd12c25104: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-c985f37872e0cf3a.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-c985f37872e0cf3a.rlib: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-c985f37872e0cf3a.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

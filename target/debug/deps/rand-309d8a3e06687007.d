@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-309d8a3e06687007.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-309d8a3e06687007.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-437a4540d5b9f991.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-437a4540d5b9f991.rlib: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-437a4540d5b9f991.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-8dd86425d67e4702.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-8dd86425d67e4702.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

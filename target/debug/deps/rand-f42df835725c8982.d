@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-f42df835725c8982.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-f42df835725c8982: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sknn-2d1481a0a8f9e51f.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsknn-2d1481a0a8f9e51f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

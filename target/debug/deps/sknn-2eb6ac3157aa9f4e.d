@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sknn-2eb6ac3157aa9f4e.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsknn-2eb6ac3157aa9f4e.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

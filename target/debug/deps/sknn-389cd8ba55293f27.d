@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sknn-389cd8ba55293f27.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsknn-389cd8ba55293f27.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sknn-7c19251658de2272.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsknn-7c19251658de2272.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsknn-7c19251658de2272.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sknn-876c6a4f92cb212b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsknn-876c6a4f92cb212b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sknn-d1423239aab16c47.d: src/lib.rs
+
+/root/repo/target/debug/deps/sknn-d1423239aab16c47: src/lib.rs
+
+src/lib.rs:

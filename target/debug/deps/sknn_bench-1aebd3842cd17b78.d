@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sknn_bench-1aebd3842cd17b78.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsknn_bench-1aebd3842cd17b78.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

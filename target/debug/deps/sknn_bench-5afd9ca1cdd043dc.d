@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sknn_bench-5afd9ca1cdd043dc.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/sknn_bench-5afd9ca1cdd043dc: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/sknn_bench-b5a40be2a8fa530d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsknn_bench-b5a40be2a8fa530d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsknn_bench-b5a40be2a8fa530d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sknn_bench-e108193ccf05573c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsknn_bench-e108193ccf05573c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

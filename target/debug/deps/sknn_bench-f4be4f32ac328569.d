@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sknn_bench-f4be4f32ac328569.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libsknn_bench-f4be4f32ac328569.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

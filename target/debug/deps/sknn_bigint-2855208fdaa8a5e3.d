@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/sknn_bigint-2855208fdaa8a5e3.d: crates/bigint/src/lib.rs crates/bigint/src/add_sub.rs crates/bigint/src/bits.rs crates/bigint/src/cmp.rs crates/bigint/src/convert.rs crates/bigint/src/div.rs crates/bigint/src/limbs.rs crates/bigint/src/modular.rs crates/bigint/src/mont.rs crates/bigint/src/mul.rs crates/bigint/src/prime.rs crates/bigint/src/random.rs crates/bigint/src/shift.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsknn_bigint-2855208fdaa8a5e3.rmeta: crates/bigint/src/lib.rs crates/bigint/src/add_sub.rs crates/bigint/src/bits.rs crates/bigint/src/cmp.rs crates/bigint/src/convert.rs crates/bigint/src/div.rs crates/bigint/src/limbs.rs crates/bigint/src/modular.rs crates/bigint/src/mont.rs crates/bigint/src/mul.rs crates/bigint/src/prime.rs crates/bigint/src/random.rs crates/bigint/src/shift.rs Cargo.toml
+
+crates/bigint/src/lib.rs:
+crates/bigint/src/add_sub.rs:
+crates/bigint/src/bits.rs:
+crates/bigint/src/cmp.rs:
+crates/bigint/src/convert.rs:
+crates/bigint/src/div.rs:
+crates/bigint/src/limbs.rs:
+crates/bigint/src/modular.rs:
+crates/bigint/src/mont.rs:
+crates/bigint/src/mul.rs:
+crates/bigint/src/prime.rs:
+crates/bigint/src/random.rs:
+crates/bigint/src/shift.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/sknn_bigint-9ed7359ba7375351.d: crates/bigint/src/lib.rs crates/bigint/src/add_sub.rs crates/bigint/src/bits.rs crates/bigint/src/cmp.rs crates/bigint/src/convert.rs crates/bigint/src/div.rs crates/bigint/src/limbs.rs crates/bigint/src/modular.rs crates/bigint/src/mont.rs crates/bigint/src/mul.rs crates/bigint/src/prime.rs crates/bigint/src/random.rs crates/bigint/src/shift.rs
+
+/root/repo/target/debug/deps/libsknn_bigint-9ed7359ba7375351.rlib: crates/bigint/src/lib.rs crates/bigint/src/add_sub.rs crates/bigint/src/bits.rs crates/bigint/src/cmp.rs crates/bigint/src/convert.rs crates/bigint/src/div.rs crates/bigint/src/limbs.rs crates/bigint/src/modular.rs crates/bigint/src/mont.rs crates/bigint/src/mul.rs crates/bigint/src/prime.rs crates/bigint/src/random.rs crates/bigint/src/shift.rs
+
+/root/repo/target/debug/deps/libsknn_bigint-9ed7359ba7375351.rmeta: crates/bigint/src/lib.rs crates/bigint/src/add_sub.rs crates/bigint/src/bits.rs crates/bigint/src/cmp.rs crates/bigint/src/convert.rs crates/bigint/src/div.rs crates/bigint/src/limbs.rs crates/bigint/src/modular.rs crates/bigint/src/mont.rs crates/bigint/src/mul.rs crates/bigint/src/prime.rs crates/bigint/src/random.rs crates/bigint/src/shift.rs
+
+crates/bigint/src/lib.rs:
+crates/bigint/src/add_sub.rs:
+crates/bigint/src/bits.rs:
+crates/bigint/src/cmp.rs:
+crates/bigint/src/convert.rs:
+crates/bigint/src/div.rs:
+crates/bigint/src/limbs.rs:
+crates/bigint/src/modular.rs:
+crates/bigint/src/mont.rs:
+crates/bigint/src/mul.rs:
+crates/bigint/src/prime.rs:
+crates/bigint/src/random.rs:
+crates/bigint/src/shift.rs:

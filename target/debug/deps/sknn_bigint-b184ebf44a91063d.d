@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/sknn_bigint-b184ebf44a91063d.d: crates/bigint/src/lib.rs crates/bigint/src/add_sub.rs crates/bigint/src/bits.rs crates/bigint/src/cmp.rs crates/bigint/src/convert.rs crates/bigint/src/div.rs crates/bigint/src/limbs.rs crates/bigint/src/modular.rs crates/bigint/src/mont.rs crates/bigint/src/mul.rs crates/bigint/src/prime.rs crates/bigint/src/random.rs crates/bigint/src/shift.rs
+
+/root/repo/target/debug/deps/libsknn_bigint-b184ebf44a91063d.rmeta: crates/bigint/src/lib.rs crates/bigint/src/add_sub.rs crates/bigint/src/bits.rs crates/bigint/src/cmp.rs crates/bigint/src/convert.rs crates/bigint/src/div.rs crates/bigint/src/limbs.rs crates/bigint/src/modular.rs crates/bigint/src/mont.rs crates/bigint/src/mul.rs crates/bigint/src/prime.rs crates/bigint/src/random.rs crates/bigint/src/shift.rs
+
+crates/bigint/src/lib.rs:
+crates/bigint/src/add_sub.rs:
+crates/bigint/src/bits.rs:
+crates/bigint/src/cmp.rs:
+crates/bigint/src/convert.rs:
+crates/bigint/src/div.rs:
+crates/bigint/src/limbs.rs:
+crates/bigint/src/modular.rs:
+crates/bigint/src/mont.rs:
+crates/bigint/src/mul.rs:
+crates/bigint/src/prime.rs:
+crates/bigint/src/random.rs:
+crates/bigint/src/shift.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sknn_data-0f144af004543fe7.d: crates/data/src/lib.rs crates/data/src/heart.rs crates/data/src/query.rs crates/data/src/synthetic.rs
+
+/root/repo/target/debug/deps/libsknn_data-0f144af004543fe7.rmeta: crates/data/src/lib.rs crates/data/src/heart.rs crates/data/src/query.rs crates/data/src/synthetic.rs
+
+crates/data/src/lib.rs:
+crates/data/src/heart.rs:
+crates/data/src/query.rs:
+crates/data/src/synthetic.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/sknn_data-35d47c2a59ebdca1.d: crates/data/src/lib.rs crates/data/src/heart.rs crates/data/src/query.rs crates/data/src/synthetic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsknn_data-35d47c2a59ebdca1.rmeta: crates/data/src/lib.rs crates/data/src/heart.rs crates/data/src/query.rs crates/data/src/synthetic.rs Cargo.toml
+
+crates/data/src/lib.rs:
+crates/data/src/heart.rs:
+crates/data/src/query.rs:
+crates/data/src/synthetic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/sknn_data-aa9ce3bf50574dbe.d: crates/data/src/lib.rs crates/data/src/heart.rs crates/data/src/query.rs crates/data/src/synthetic.rs
+
+/root/repo/target/debug/deps/sknn_data-aa9ce3bf50574dbe: crates/data/src/lib.rs crates/data/src/heart.rs crates/data/src/query.rs crates/data/src/synthetic.rs
+
+crates/data/src/lib.rs:
+crates/data/src/heart.rs:
+crates/data/src/query.rs:
+crates/data/src/synthetic.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/sknn_data-e55fb51f4e915a23.d: crates/data/src/lib.rs crates/data/src/heart.rs crates/data/src/query.rs crates/data/src/synthetic.rs
+
+/root/repo/target/debug/deps/libsknn_data-e55fb51f4e915a23.rlib: crates/data/src/lib.rs crates/data/src/heart.rs crates/data/src/query.rs crates/data/src/synthetic.rs
+
+/root/repo/target/debug/deps/libsknn_data-e55fb51f4e915a23.rmeta: crates/data/src/lib.rs crates/data/src/heart.rs crates/data/src/query.rs crates/data/src/synthetic.rs
+
+crates/data/src/lib.rs:
+crates/data/src/heart.rs:
+crates/data/src/query.rs:
+crates/data/src/synthetic.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/sknn_paillier-068846a50488ed6a.d: crates/paillier/src/lib.rs crates/paillier/src/ciphertext.rs crates/paillier/src/decrypt.rs crates/paillier/src/encoding.rs crates/paillier/src/encrypt.rs crates/paillier/src/error.rs crates/paillier/src/homomorphic.rs crates/paillier/src/keygen.rs crates/paillier/src/keys.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsknn_paillier-068846a50488ed6a.rmeta: crates/paillier/src/lib.rs crates/paillier/src/ciphertext.rs crates/paillier/src/decrypt.rs crates/paillier/src/encoding.rs crates/paillier/src/encrypt.rs crates/paillier/src/error.rs crates/paillier/src/homomorphic.rs crates/paillier/src/keygen.rs crates/paillier/src/keys.rs Cargo.toml
+
+crates/paillier/src/lib.rs:
+crates/paillier/src/ciphertext.rs:
+crates/paillier/src/decrypt.rs:
+crates/paillier/src/encoding.rs:
+crates/paillier/src/encrypt.rs:
+crates/paillier/src/error.rs:
+crates/paillier/src/homomorphic.rs:
+crates/paillier/src/keygen.rs:
+crates/paillier/src/keys.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/sknn_paillier-24ec041122b1f18c.d: crates/paillier/src/lib.rs crates/paillier/src/ciphertext.rs crates/paillier/src/decrypt.rs crates/paillier/src/encoding.rs crates/paillier/src/encrypt.rs crates/paillier/src/error.rs crates/paillier/src/homomorphic.rs crates/paillier/src/keygen.rs crates/paillier/src/keys.rs
+
+/root/repo/target/debug/deps/libsknn_paillier-24ec041122b1f18c.rmeta: crates/paillier/src/lib.rs crates/paillier/src/ciphertext.rs crates/paillier/src/decrypt.rs crates/paillier/src/encoding.rs crates/paillier/src/encrypt.rs crates/paillier/src/error.rs crates/paillier/src/homomorphic.rs crates/paillier/src/keygen.rs crates/paillier/src/keys.rs
+
+crates/paillier/src/lib.rs:
+crates/paillier/src/ciphertext.rs:
+crates/paillier/src/decrypt.rs:
+crates/paillier/src/encoding.rs:
+crates/paillier/src/encrypt.rs:
+crates/paillier/src/error.rs:
+crates/paillier/src/homomorphic.rs:
+crates/paillier/src/keygen.rs:
+crates/paillier/src/keys.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/sknn_protocols-366125d83894eb7a.d: crates/protocols/src/lib.rs crates/protocols/src/error.rs crates/protocols/src/party.rs crates/protocols/src/permutation.rs crates/protocols/src/sbd.rs crates/protocols/src/sbor.rs crates/protocols/src/sm.rs crates/protocols/src/smin.rs crates/protocols/src/smin_n.rs crates/protocols/src/ssed.rs crates/protocols/src/stats.rs crates/protocols/src/transport/mod.rs crates/protocols/src/transport/wire.rs crates/protocols/src/transport/channel.rs crates/protocols/src/transport/server.rs crates/protocols/src/transport/session.rs crates/protocols/src/transport/tcp.rs
+
+/root/repo/target/debug/deps/libsknn_protocols-366125d83894eb7a.rlib: crates/protocols/src/lib.rs crates/protocols/src/error.rs crates/protocols/src/party.rs crates/protocols/src/permutation.rs crates/protocols/src/sbd.rs crates/protocols/src/sbor.rs crates/protocols/src/sm.rs crates/protocols/src/smin.rs crates/protocols/src/smin_n.rs crates/protocols/src/ssed.rs crates/protocols/src/stats.rs crates/protocols/src/transport/mod.rs crates/protocols/src/transport/wire.rs crates/protocols/src/transport/channel.rs crates/protocols/src/transport/server.rs crates/protocols/src/transport/session.rs crates/protocols/src/transport/tcp.rs
+
+/root/repo/target/debug/deps/libsknn_protocols-366125d83894eb7a.rmeta: crates/protocols/src/lib.rs crates/protocols/src/error.rs crates/protocols/src/party.rs crates/protocols/src/permutation.rs crates/protocols/src/sbd.rs crates/protocols/src/sbor.rs crates/protocols/src/sm.rs crates/protocols/src/smin.rs crates/protocols/src/smin_n.rs crates/protocols/src/ssed.rs crates/protocols/src/stats.rs crates/protocols/src/transport/mod.rs crates/protocols/src/transport/wire.rs crates/protocols/src/transport/channel.rs crates/protocols/src/transport/server.rs crates/protocols/src/transport/session.rs crates/protocols/src/transport/tcp.rs
+
+crates/protocols/src/lib.rs:
+crates/protocols/src/error.rs:
+crates/protocols/src/party.rs:
+crates/protocols/src/permutation.rs:
+crates/protocols/src/sbd.rs:
+crates/protocols/src/sbor.rs:
+crates/protocols/src/sm.rs:
+crates/protocols/src/smin.rs:
+crates/protocols/src/smin_n.rs:
+crates/protocols/src/ssed.rs:
+crates/protocols/src/stats.rs:
+crates/protocols/src/transport/mod.rs:
+crates/protocols/src/transport/wire.rs:
+crates/protocols/src/transport/channel.rs:
+crates/protocols/src/transport/server.rs:
+crates/protocols/src/transport/session.rs:
+crates/protocols/src/transport/tcp.rs:

@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/sknn_protocols-51ebf5a891a692ba.d: crates/protocols/src/lib.rs crates/protocols/src/error.rs crates/protocols/src/party.rs crates/protocols/src/permutation.rs crates/protocols/src/sbd.rs crates/protocols/src/sbor.rs crates/protocols/src/sm.rs crates/protocols/src/smin.rs crates/protocols/src/smin_n.rs crates/protocols/src/ssed.rs crates/protocols/src/stats.rs crates/protocols/src/transport/mod.rs crates/protocols/src/transport/wire.rs crates/protocols/src/transport/channel.rs crates/protocols/src/transport/server.rs crates/protocols/src/transport/session.rs crates/protocols/src/transport/tcp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsknn_protocols-51ebf5a891a692ba.rmeta: crates/protocols/src/lib.rs crates/protocols/src/error.rs crates/protocols/src/party.rs crates/protocols/src/permutation.rs crates/protocols/src/sbd.rs crates/protocols/src/sbor.rs crates/protocols/src/sm.rs crates/protocols/src/smin.rs crates/protocols/src/smin_n.rs crates/protocols/src/ssed.rs crates/protocols/src/stats.rs crates/protocols/src/transport/mod.rs crates/protocols/src/transport/wire.rs crates/protocols/src/transport/channel.rs crates/protocols/src/transport/server.rs crates/protocols/src/transport/session.rs crates/protocols/src/transport/tcp.rs Cargo.toml
+
+crates/protocols/src/lib.rs:
+crates/protocols/src/error.rs:
+crates/protocols/src/party.rs:
+crates/protocols/src/permutation.rs:
+crates/protocols/src/sbd.rs:
+crates/protocols/src/sbor.rs:
+crates/protocols/src/sm.rs:
+crates/protocols/src/smin.rs:
+crates/protocols/src/smin_n.rs:
+crates/protocols/src/ssed.rs:
+crates/protocols/src/stats.rs:
+crates/protocols/src/transport/mod.rs:
+crates/protocols/src/transport/wire.rs:
+crates/protocols/src/transport/channel.rs:
+crates/protocols/src/transport/server.rs:
+crates/protocols/src/transport/session.rs:
+crates/protocols/src/transport/tcp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/transport_compare-3dda9bc62ed1c0e0.d: crates/bench/benches/transport_compare.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtransport_compare-3dda9bc62ed1c0e0.rmeta: crates/bench/benches/transport_compare.rs Cargo.toml
+
+crates/bench/benches/transport_compare.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

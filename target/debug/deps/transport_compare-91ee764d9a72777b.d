@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transport_compare-91ee764d9a72777b.d: crates/bench/benches/transport_compare.rs
+
+/root/repo/target/debug/deps/transport_compare-91ee764d9a72777b: crates/bench/benches/transport_compare.rs
+
+crates/bench/benches/transport_compare.rs:

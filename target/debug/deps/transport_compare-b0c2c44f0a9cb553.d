@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transport_compare-b0c2c44f0a9cb553.d: crates/bench/benches/transport_compare.rs
+
+/root/repo/target/debug/deps/libtransport_compare-b0c2c44f0a9cb553.rmeta: crates/bench/benches/transport_compare.rs
+
+crates/bench/benches/transport_compare.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transport_concurrency-93a85e34d6e26b49.d: crates/protocols/tests/transport_concurrency.rs
+
+/root/repo/target/debug/deps/libtransport_concurrency-93a85e34d6e26b49.rmeta: crates/protocols/tests/transport_concurrency.rs
+
+crates/protocols/tests/transport_concurrency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/transport_concurrency-b5594b3af1ad50d0.d: crates/protocols/tests/transport_concurrency.rs
+
+/root/repo/target/debug/deps/transport_concurrency-b5594b3af1ad50d0: crates/protocols/tests/transport_concurrency.rs
+
+crates/protocols/tests/transport_concurrency.rs:

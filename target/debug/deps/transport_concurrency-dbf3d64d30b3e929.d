@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/transport_concurrency-dbf3d64d30b3e929.d: crates/protocols/tests/transport_concurrency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtransport_concurrency-dbf3d64d30b3e929.rmeta: crates/protocols/tests/transport_concurrency.rs Cargo.toml
+
+crates/protocols/tests/transport_concurrency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/leakage_audit-25551007613ec746.d: examples/leakage_audit.rs
+
+/root/repo/target/debug/examples/leakage_audit-25551007613ec746: examples/leakage_audit.rs
+
+examples/leakage_audit.rs:

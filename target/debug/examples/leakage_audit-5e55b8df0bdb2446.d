@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/leakage_audit-5e55b8df0bdb2446.d: examples/leakage_audit.rs
+
+/root/repo/target/debug/examples/libleakage_audit-5e55b8df0bdb2446.rmeta: examples/leakage_audit.rs
+
+examples/leakage_audit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/leakage_audit-72b96f1101f88223.d: examples/leakage_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libleakage_audit-72b96f1101f88223.rmeta: examples/leakage_audit.rs Cargo.toml
+
+examples/leakage_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/medical_records-47383d45f0e143c5.d: examples/medical_records.rs
+
+/root/repo/target/debug/examples/medical_records-47383d45f0e143c5: examples/medical_records.rs
+
+examples/medical_records.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/medical_records-61be84fb8911303a.d: examples/medical_records.rs
+
+/root/repo/target/debug/examples/libmedical_records-61be84fb8911303a.rmeta: examples/medical_records.rs
+
+examples/medical_records.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/medical_records-d94a475058e92e79.d: examples/medical_records.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmedical_records-d94a475058e92e79.rmeta: examples/medical_records.rs Cargo.toml
+
+examples/medical_records.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

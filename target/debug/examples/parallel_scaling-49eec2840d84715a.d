@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parallel_scaling-49eec2840d84715a.d: examples/parallel_scaling.rs
+
+/root/repo/target/debug/examples/parallel_scaling-49eec2840d84715a: examples/parallel_scaling.rs
+
+examples/parallel_scaling.rs:

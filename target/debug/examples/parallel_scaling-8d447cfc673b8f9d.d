@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parallel_scaling-8d447cfc673b8f9d.d: examples/parallel_scaling.rs
+
+/root/repo/target/debug/examples/libparallel_scaling-8d447cfc673b8f9d.rmeta: examples/parallel_scaling.rs
+
+examples/parallel_scaling.rs:

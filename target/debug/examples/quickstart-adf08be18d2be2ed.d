@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-adf08be18d2be2ed.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-adf08be18d2be2ed: examples/quickstart.rs
+
+examples/quickstart.rs:

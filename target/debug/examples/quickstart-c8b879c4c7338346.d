@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c8b879c4c7338346.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-c8b879c4c7338346.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

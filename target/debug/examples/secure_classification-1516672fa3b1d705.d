@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/secure_classification-1516672fa3b1d705.d: examples/secure_classification.rs
+
+/root/repo/target/debug/examples/secure_classification-1516672fa3b1d705: examples/secure_classification.rs
+
+examples/secure_classification.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/secure_classification-75ef52f06172adeb.d: examples/secure_classification.rs
+
+/root/repo/target/debug/examples/libsecure_classification-75ef52f06172adeb.rmeta: examples/secure_classification.rs
+
+examples/secure_classification.rs:

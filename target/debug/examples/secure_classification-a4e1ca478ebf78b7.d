@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/secure_classification-a4e1ca478ebf78b7.d: examples/secure_classification.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsecure_classification-a4e1ca478ebf78b7.rmeta: examples/secure_classification.rs Cargo.toml
+
+examples/secure_classification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bigint-ddaefbfb7daa0f63.d: crates/bench/benches/bigint.rs
+
+/root/repo/target/release/deps/bigint-ddaefbfb7daa0f63: crates/bench/benches/bigint.rs
+
+crates/bench/benches/bigint.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-56a9aa5a6ed2c2f6.d: crates/shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-56a9aa5a6ed2c2f6.rlib: crates/shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-56a9aa5a6ed2c2f6.rmeta: crates/shims/bytes/src/lib.rs
+
+crates/shims/bytes/src/lib.rs:

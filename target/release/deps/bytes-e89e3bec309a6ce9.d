@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bytes-e89e3bec309a6ce9.d: crates/shims/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libbytes-e89e3bec309a6ce9.rmeta: crates/shims/bytes/src/lib.rs Cargo.toml
+
+crates/shims/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-541823fcecda09d7.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-541823fcecda09d7: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end_basic-d286a94898a15c76.d: tests/end_to_end_basic.rs
+
+/root/repo/target/release/deps/end_to_end_basic-d286a94898a15c76: tests/end_to_end_basic.rs
+
+tests/end_to_end_basic.rs:

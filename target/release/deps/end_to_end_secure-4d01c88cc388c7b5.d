@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end_secure-4d01c88cc388c7b5.d: tests/end_to_end_secure.rs
+
+/root/repo/target/release/deps/end_to_end_secure-4d01c88cc388c7b5: tests/end_to_end_secure.rs
+
+tests/end_to_end_secure.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-381268a7cf76418c.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-381268a7cf76418c: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

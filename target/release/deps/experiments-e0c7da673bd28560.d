@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-e0c7da673bd28560.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-e0c7da673bd28560: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

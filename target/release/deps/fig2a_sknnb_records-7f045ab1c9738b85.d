@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2a_sknnb_records-7f045ab1c9738b85.d: crates/bench/benches/fig2a_sknnb_records.rs
+
+/root/repo/target/release/deps/fig2a_sknnb_records-7f045ab1c9738b85: crates/bench/benches/fig2a_sknnb_records.rs
+
+crates/bench/benches/fig2a_sknnb_records.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2c_sknnb_k-550c655816731e9d.d: crates/bench/benches/fig2c_sknnb_k.rs
+
+/root/repo/target/release/deps/fig2c_sknnb_k-550c655816731e9d: crates/bench/benches/fig2c_sknnb_k.rs
+
+crates/bench/benches/fig2c_sknnb_k.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2d_sknnm_k-15df6f5a6c13c37f.d: crates/bench/benches/fig2d_sknnm_k.rs
+
+/root/repo/target/release/deps/fig2d_sknnm_k-15df6f5a6c13c37f: crates/bench/benches/fig2d_sknnm_k.rs
+
+crates/bench/benches/fig2d_sknnm_k.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2f_compare-040f6349d9aa552b.d: crates/bench/benches/fig2f_compare.rs
+
+/root/repo/target/release/deps/fig2f_compare-040f6349d9aa552b: crates/bench/benches/fig2f_compare.rs
+
+crates/bench/benches/fig2f_compare.rs:

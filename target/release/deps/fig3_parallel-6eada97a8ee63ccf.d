@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_parallel-6eada97a8ee63ccf.d: crates/bench/benches/fig3_parallel.rs
+
+/root/repo/target/release/deps/fig3_parallel-6eada97a8ee63ccf: crates/bench/benches/fig3_parallel.rs
+
+crates/bench/benches/fig3_parallel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paillier-0f439448528be9a5.d: crates/bench/benches/paillier.rs
+
+/root/repo/target/release/deps/paillier-0f439448528be9a5: crates/bench/benches/paillier.rs
+
+crates/bench/benches/paillier.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/parking_lot-b64f3ecda9fdcdc3.d: crates/shims/parking_lot/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libparking_lot-b64f3ecda9fdcdc3.rmeta: crates/shims/parking_lot/src/lib.rs Cargo.toml
+
+crates/shims/parking_lot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-e21878c51bdfd364.d: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-e21878c51bdfd364.rlib: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-e21878c51bdfd364.rmeta: crates/shims/parking_lot/src/lib.rs
+
+crates/shims/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/primitives-96dda83cddb02f4b.d: crates/bench/benches/primitives.rs
+
+/root/repo/target/release/deps/primitives-96dda83cddb02f4b: crates/bench/benches/primitives.rs
+
+crates/bench/benches/primitives.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/primitives_cross_crate-1d5145e74c9f8f12.d: tests/primitives_cross_crate.rs
+
+/root/repo/target/release/deps/primitives_cross_crate-1d5145e74c9f8f12: tests/primitives_cross_crate.rs
+
+tests/primitives_cross_crate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-8f73bdbc921b0f4c.d: crates/bigint/tests/properties.rs
+
+/root/repo/target/release/deps/properties-8f73bdbc921b0f4c: crates/bigint/tests/properties.rs
+
+crates/bigint/tests/properties.rs:

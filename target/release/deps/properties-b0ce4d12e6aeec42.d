@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-b0ce4d12e6aeec42.d: crates/paillier/tests/properties.rs
+
+/root/repo/target/release/deps/properties-b0ce4d12e6aeec42: crates/paillier/tests/properties.rs
+
+crates/paillier/tests/properties.rs:

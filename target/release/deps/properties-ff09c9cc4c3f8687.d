@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-ff09c9cc4c3f8687.d: crates/protocols/tests/properties.rs
+
+/root/repo/target/release/deps/properties-ff09c9cc4c3f8687: crates/protocols/tests/properties.rs
+
+crates/protocols/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/property_end_to_end-6764485fae62841d.d: tests/property_end_to_end.rs
+
+/root/repo/target/release/deps/property_end_to_end-6764485fae62841d: tests/property_end_to_end.rs
+
+tests/property_end_to_end.rs:

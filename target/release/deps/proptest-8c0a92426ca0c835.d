@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-8c0a92426ca0c835.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-8c0a92426ca0c835: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-f2cc49e962449cc7.d: crates/shims/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-f2cc49e962449cc7.rmeta: crates/shims/rand/src/lib.rs Cargo.toml
+
+crates/shims/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-f2ecc49bc5ec6916.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-f2ecc49bc5ec6916: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sknn-55a431da8eddc151.d: src/lib.rs
+
+/root/repo/target/release/deps/libsknn-55a431da8eddc151.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsknn-55a431da8eddc151.rmeta: src/lib.rs
+
+src/lib.rs:

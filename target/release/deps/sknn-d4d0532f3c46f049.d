@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sknn-d4d0532f3c46f049.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libsknn-d4d0532f3c46f049.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

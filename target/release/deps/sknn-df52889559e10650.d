@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sknn-df52889559e10650.d: src/lib.rs
+
+/root/repo/target/release/deps/sknn-df52889559e10650: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/sknn_bench-20a639390d55ec0f.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsknn_bench-20a639390d55ec0f.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libsknn_bench-20a639390d55ec0f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sknn_bench-8423aba650ad402a.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/sknn_bench-8423aba650ad402a: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

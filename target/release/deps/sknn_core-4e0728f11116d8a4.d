@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/sknn_core-4e0728f11116d8a4.d: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/config.rs crates/core/src/encdb.rs crates/core/src/error.rs crates/core/src/federation.rs crates/core/src/parallel.rs crates/core/src/plain.rs crates/core/src/profile.rs crates/core/src/roles.rs crates/core/src/sknn_basic.rs crates/core/src/sknn_secure.rs crates/core/src/table.rs Cargo.toml
+
+/root/repo/target/release/deps/libsknn_core-4e0728f11116d8a4.rmeta: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/config.rs crates/core/src/encdb.rs crates/core/src/error.rs crates/core/src/federation.rs crates/core/src/parallel.rs crates/core/src/plain.rs crates/core/src/profile.rs crates/core/src/roles.rs crates/core/src/sknn_basic.rs crates/core/src/sknn_secure.rs crates/core/src/table.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/audit.rs:
+crates/core/src/config.rs:
+crates/core/src/encdb.rs:
+crates/core/src/error.rs:
+crates/core/src/federation.rs:
+crates/core/src/parallel.rs:
+crates/core/src/plain.rs:
+crates/core/src/profile.rs:
+crates/core/src/roles.rs:
+crates/core/src/sknn_basic.rs:
+crates/core/src/sknn_secure.rs:
+crates/core/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/sknn_core-5d85a2b68adbd929.d: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/config.rs crates/core/src/encdb.rs crates/core/src/error.rs crates/core/src/federation.rs crates/core/src/parallel.rs crates/core/src/plain.rs crates/core/src/profile.rs crates/core/src/roles.rs crates/core/src/sknn_basic.rs crates/core/src/sknn_secure.rs crates/core/src/table.rs
+
+/root/repo/target/release/deps/sknn_core-5d85a2b68adbd929: crates/core/src/lib.rs crates/core/src/audit.rs crates/core/src/config.rs crates/core/src/encdb.rs crates/core/src/error.rs crates/core/src/federation.rs crates/core/src/parallel.rs crates/core/src/plain.rs crates/core/src/profile.rs crates/core/src/roles.rs crates/core/src/sknn_basic.rs crates/core/src/sknn_secure.rs crates/core/src/table.rs
+
+crates/core/src/lib.rs:
+crates/core/src/audit.rs:
+crates/core/src/config.rs:
+crates/core/src/encdb.rs:
+crates/core/src/error.rs:
+crates/core/src/federation.rs:
+crates/core/src/parallel.rs:
+crates/core/src/plain.rs:
+crates/core/src/profile.rs:
+crates/core/src/roles.rs:
+crates/core/src/sknn_basic.rs:
+crates/core/src/sknn_secure.rs:
+crates/core/src/table.rs:

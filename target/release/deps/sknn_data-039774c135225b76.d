@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/sknn_data-039774c135225b76.d: crates/data/src/lib.rs crates/data/src/heart.rs crates/data/src/query.rs crates/data/src/synthetic.rs
+
+/root/repo/target/release/deps/sknn_data-039774c135225b76: crates/data/src/lib.rs crates/data/src/heart.rs crates/data/src/query.rs crates/data/src/synthetic.rs
+
+crates/data/src/lib.rs:
+crates/data/src/heart.rs:
+crates/data/src/query.rs:
+crates/data/src/synthetic.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/sknn_data-fd9aa25e233de07b.d: crates/data/src/lib.rs crates/data/src/heart.rs crates/data/src/query.rs crates/data/src/synthetic.rs
+
+/root/repo/target/release/deps/libsknn_data-fd9aa25e233de07b.rlib: crates/data/src/lib.rs crates/data/src/heart.rs crates/data/src/query.rs crates/data/src/synthetic.rs
+
+/root/repo/target/release/deps/libsknn_data-fd9aa25e233de07b.rmeta: crates/data/src/lib.rs crates/data/src/heart.rs crates/data/src/query.rs crates/data/src/synthetic.rs
+
+crates/data/src/lib.rs:
+crates/data/src/heart.rs:
+crates/data/src/query.rs:
+crates/data/src/synthetic.rs:

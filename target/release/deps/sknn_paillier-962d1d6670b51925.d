@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/sknn_paillier-962d1d6670b51925.d: crates/paillier/src/lib.rs crates/paillier/src/ciphertext.rs crates/paillier/src/decrypt.rs crates/paillier/src/encoding.rs crates/paillier/src/encrypt.rs crates/paillier/src/error.rs crates/paillier/src/homomorphic.rs crates/paillier/src/keygen.rs crates/paillier/src/keys.rs
+
+/root/repo/target/release/deps/libsknn_paillier-962d1d6670b51925.rlib: crates/paillier/src/lib.rs crates/paillier/src/ciphertext.rs crates/paillier/src/decrypt.rs crates/paillier/src/encoding.rs crates/paillier/src/encrypt.rs crates/paillier/src/error.rs crates/paillier/src/homomorphic.rs crates/paillier/src/keygen.rs crates/paillier/src/keys.rs
+
+/root/repo/target/release/deps/libsknn_paillier-962d1d6670b51925.rmeta: crates/paillier/src/lib.rs crates/paillier/src/ciphertext.rs crates/paillier/src/decrypt.rs crates/paillier/src/encoding.rs crates/paillier/src/encrypt.rs crates/paillier/src/error.rs crates/paillier/src/homomorphic.rs crates/paillier/src/keygen.rs crates/paillier/src/keys.rs
+
+crates/paillier/src/lib.rs:
+crates/paillier/src/ciphertext.rs:
+crates/paillier/src/decrypt.rs:
+crates/paillier/src/encoding.rs:
+crates/paillier/src/encrypt.rs:
+crates/paillier/src/error.rs:
+crates/paillier/src/homomorphic.rs:
+crates/paillier/src/keygen.rs:
+crates/paillier/src/keys.rs:

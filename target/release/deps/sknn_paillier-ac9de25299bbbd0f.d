@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/sknn_paillier-ac9de25299bbbd0f.d: crates/paillier/src/lib.rs crates/paillier/src/ciphertext.rs crates/paillier/src/decrypt.rs crates/paillier/src/encoding.rs crates/paillier/src/encrypt.rs crates/paillier/src/error.rs crates/paillier/src/homomorphic.rs crates/paillier/src/keygen.rs crates/paillier/src/keys.rs Cargo.toml
+
+/root/repo/target/release/deps/libsknn_paillier-ac9de25299bbbd0f.rmeta: crates/paillier/src/lib.rs crates/paillier/src/ciphertext.rs crates/paillier/src/decrypt.rs crates/paillier/src/encoding.rs crates/paillier/src/encrypt.rs crates/paillier/src/error.rs crates/paillier/src/homomorphic.rs crates/paillier/src/keygen.rs crates/paillier/src/keys.rs Cargo.toml
+
+crates/paillier/src/lib.rs:
+crates/paillier/src/ciphertext.rs:
+crates/paillier/src/decrypt.rs:
+crates/paillier/src/encoding.rs:
+crates/paillier/src/encrypt.rs:
+crates/paillier/src/error.rs:
+crates/paillier/src/homomorphic.rs:
+crates/paillier/src/keygen.rs:
+crates/paillier/src/keys.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

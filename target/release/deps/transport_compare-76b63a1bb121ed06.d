@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/transport_compare-76b63a1bb121ed06.d: crates/bench/benches/transport_compare.rs
+
+/root/repo/target/release/deps/transport_compare-76b63a1bb121ed06: crates/bench/benches/transport_compare.rs
+
+crates/bench/benches/transport_compare.rs:

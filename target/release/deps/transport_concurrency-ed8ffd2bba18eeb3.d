@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/transport_concurrency-ed8ffd2bba18eeb3.d: crates/protocols/tests/transport_concurrency.rs
+
+/root/repo/target/release/deps/transport_concurrency-ed8ffd2bba18eeb3: crates/protocols/tests/transport_concurrency.rs
+
+crates/protocols/tests/transport_concurrency.rs:

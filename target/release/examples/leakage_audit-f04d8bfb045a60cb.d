@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/leakage_audit-f04d8bfb045a60cb.d: examples/leakage_audit.rs
+
+/root/repo/target/release/examples/leakage_audit-f04d8bfb045a60cb: examples/leakage_audit.rs
+
+examples/leakage_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/medical_records-054095d13573c705.d: examples/medical_records.rs
+
+/root/repo/target/release/examples/medical_records-054095d13573c705: examples/medical_records.rs
+
+examples/medical_records.rs:

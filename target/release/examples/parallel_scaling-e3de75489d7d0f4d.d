@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/parallel_scaling-e3de75489d7d0f4d.d: examples/parallel_scaling.rs
+
+/root/repo/target/release/examples/parallel_scaling-e3de75489d7d0f4d: examples/parallel_scaling.rs
+
+examples/parallel_scaling.rs:

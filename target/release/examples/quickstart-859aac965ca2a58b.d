@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-859aac965ca2a58b.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-859aac965ca2a58b: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/secure_classification-6b738373da4870ef.d: examples/secure_classification.rs
+
+/root/repo/target/release/examples/secure_classification-6b738373da4870ef: examples/secure_classification.rs
+
+examples/secure_classification.rs:
