@@ -1,0 +1,114 @@
+//! Offline/online precomputation ablation: cold (direct) Paillier encryption
+//! pays the full `r^N mod N²` exponentiation per call, warm-pool encryption
+//! pays one modular multiplication. The `offline/` entries price the work
+//! that moved off the query path (per-entry precompute cost).
+//!
+//! The acceptance bar — warm online encryption ≥ 3× faster than cold on the
+//! same key — is asserted by `crates/paillier/tests/pool.rs`; this benchmark
+//! reports the actual ratio at realistic key sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sknn_bench::cached_keypair;
+use sknn_bigint::BigUint;
+use sknn_paillier::{PoolConfig, PooledEncryptor, RandomnessPool};
+use std::hint::black_box;
+
+/// A warm encryptor whose pool is large enough that measured draws never
+/// fall back to the synchronous path (background refill stays on, topping
+/// the pool up between samples).
+fn warm_encryptor(key_bits: usize, capacity: usize) -> PooledEncryptor {
+    let (pk, _) = cached_keypair(key_bits).split();
+    let pool = RandomnessPool::new(
+        pk,
+        PoolConfig {
+            capacity,
+            refill_batch: 64,
+            background_refill: true,
+            seed: Some(0xBE7C),
+        },
+    );
+    pool.prewarm(capacity);
+    PooledEncryptor::new(pool)
+}
+
+fn bench_cold_vs_warm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paillier_precompute");
+    group.sample_size(30);
+    for key_bits in [256usize, 512] {
+        let (pk, _) = cached_keypair(key_bits).split();
+        let mut rng = StdRng::seed_from_u64(0xC01D);
+        let m = BigUint::from_u64(123_456_789);
+        let ct = pk.encrypt(&m, &mut rng);
+
+        group.bench_with_input(
+            BenchmarkId::new("cold_encrypt", key_bits),
+            &key_bits,
+            |b, _| b.iter(|| black_box(pk.encrypt(&m, &mut rng))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("cold_rerandomize", key_bits),
+            &key_bits,
+            |b, _| b.iter(|| black_box(pk.rerandomize(&ct, &mut rng))),
+        );
+
+        let enc = warm_encryptor(key_bits, 4096);
+        group.bench_with_input(
+            BenchmarkId::new("warm_encrypt", key_bits),
+            &key_bits,
+            |b, _| b.iter(|| black_box(enc.encrypt(&m).expect("m < N"))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("warm_encrypt_zero", key_bits),
+            &key_bits,
+            |b, _| b.iter(|| black_box(enc.encrypt_zero())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("warm_rerandomize", key_bits),
+            &key_bits,
+            |b, _| b.iter(|| black_box(enc.rerandomize(&ct))),
+        );
+
+        let stats = enc.pool().stats();
+        println!(
+            "paillier_precompute/pool_stats/{key_bits}          hits: {}, fallbacks: {} \
+             (fallbacks > 0 means the refill thread fell behind on this machine)",
+            stats.hits, stats.fallbacks
+        );
+    }
+    group.finish();
+}
+
+fn bench_offline_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paillier_precompute/offline");
+    group.sample_size(20);
+    for key_bits in [256usize, 512] {
+        let (pk, _) = cached_keypair(key_bits).split();
+        // Per-entry offline cost: what each pool entry costs to precompute
+        // (sample + one exponentiation under the reused Montgomery context).
+        let pool = RandomnessPool::new(
+            pk,
+            PoolConfig {
+                capacity: 1,
+                background_refill: false,
+                seed: Some(0x0FF1),
+                ..Default::default()
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("precompute_entry", key_bits),
+            &key_bits,
+            |b, _| {
+                b.iter(|| {
+                    black_box(pool.prewarm(1));
+                    black_box(pool.draw());
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cold_vs_warm, bench_offline_cost);
+criterion_main!(benches);

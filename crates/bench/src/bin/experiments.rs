@@ -240,7 +240,10 @@ fn bob_cost(scale: Scale) {
         let reps = 10;
         let start = Instant::now();
         for _ in 0..reps {
-            let _ = user.encrypt_query(&query, &mut rng);
+            // A failed encryption would make the timing figure meaningless;
+            // fail loudly rather than timing 10 instant error returns.
+            user.encrypt_query(&query, &mut rng)
+                .expect("query values fit the key's message space");
         }
         let per_query = start.elapsed() / reps;
         println!("{key_bits:>8} {:>14.2}", per_query.as_secs_f64() * 1000.0);

@@ -18,8 +18,6 @@ pub struct Montgomery {
     /// `R^2 mod modulus` where `R = 2^(64·limbs)`; used to convert into
     /// Montgomery form with a single `mont_mul`.
     r2: Vec<u64>,
-    /// `R mod modulus`, i.e. the Montgomery representation of 1.
-    r1: Vec<u64>,
 }
 
 impl Montgomery {
@@ -36,9 +34,8 @@ impl Montgomery {
         let limbs = modulus.limbs().len();
         let n0_inv = inv64(modulus.limbs()[0]).wrapping_neg();
 
-        // R = 2^(64·limbs);  R mod m and R² mod m via plain division.
+        // R = 2^(64·limbs);  R² mod m via plain division.
         let r = BigUint::one().shl_bits(64 * limbs);
-        let r1 = pad(&r.rem_ref(&modulus), limbs);
         let r2 = pad(&r.mul_ref(&r).rem_ref(&modulus), limbs);
 
         Montgomery {
@@ -46,7 +43,6 @@ impl Montgomery {
             limbs,
             n0_inv,
             r2,
-            r1,
         }
     }
 
@@ -55,7 +51,15 @@ impl Montgomery {
         &self.modulus
     }
 
-    /// Computes `base^exp mod modulus` with a 4-bit fixed window.
+    /// Computes `base^exp mod modulus` with a left-to-right sliding window.
+    ///
+    /// The window width adapts to the exponent size (2–6 bits), and only the
+    /// odd powers `base^1, base^3, …` are tabulated, so compared to a fixed
+    /// window the precomputation is halved and runs of zero exponent bits
+    /// cost squarings only. Contexts are reusable: callers that exponentiate
+    /// repeatedly modulo the same value (Paillier's `N²` in particular)
+    /// should construct one [`Montgomery`] and call `pow` on it, skipping
+    /// the per-call `R²`/limb-inverse setup that [`BigUint::mod_pow`] pays.
     pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
         if exp.is_zero() {
             return BigUint::one().rem_ref(&self.modulus);
@@ -63,44 +67,54 @@ impl Montgomery {
         let base = base.rem_ref(&self.modulus);
         let base_m = self.to_mont(&base);
 
-        // Precompute base^0..base^15 in Montgomery form.
-        let mut table = Vec::with_capacity(16);
-        table.push(self.r1.clone());
-        table.push(base_m.clone());
-        for i in 2..16 {
-            table.push(self.mont_mul(&table[i - 1], &base_m));
+        let total_bits = exp.bits();
+        let w = sliding_window_width(total_bits);
+        // table[k] = base^(2k+1) in Montgomery form (odd powers only).
+        let base_sq = self.mont_mul(&base_m, &base_m);
+        let mut table = Vec::with_capacity(1 << (w - 1));
+        table.push(base_m);
+        for k in 1..(1usize << (w - 1)) {
+            let next = self.mont_mul(&table[k - 1], &base_sq);
+            table.push(next);
         }
 
-        let total_bits = exp.bits();
-        let mut acc = self.r1.clone();
-        let mut started = false;
-        // Process the exponent in 4-bit windows, most-significant first.
-        let windows = total_bits.div_ceil(4);
-        for w in (0..windows).rev() {
-            if started {
-                for _ in 0..4 {
-                    acc = self.mont_mul(&acc, &acc);
+        let mut acc: Option<Vec<u64>> = None;
+        let mut i = total_bits as isize - 1;
+        while i >= 0 {
+            if !exp.bit(i as usize) {
+                if let Some(a) = acc.as_mut() {
+                    *a = self.mont_mul(a, a);
                 }
+                i -= 1;
+                continue;
             }
-            let mut nib = 0usize;
-            for b in 0..4 {
-                let idx = w * 4 + (3 - b);
-                nib = (nib << 1) | exp.bit(idx) as usize;
+            // Widest window [s, i] of at most w bits whose lowest bit is set,
+            // so the tabulated power is odd.
+            let mut s = (i - (w as isize - 1)).max(0);
+            while !exp.bit(s as usize) {
+                s += 1;
             }
-            if nib != 0 {
-                acc = self.mont_mul(&acc, &table[nib]);
-                started = true;
-            } else if started {
-                // squares already applied
-            } else {
-                // still leading zero windows; nothing accumulated yet
+            let width = (i - s + 1) as usize;
+            let mut value = 0usize;
+            for j in (s..=i).rev() {
+                value = (value << 1) | exp.bit(j as usize) as usize;
             }
+            acc = Some(match acc {
+                Some(mut a) => {
+                    for _ in 0..width {
+                        a = self.mont_mul(&a, &a);
+                    }
+                    self.mont_mul(&a, &table[value >> 1])
+                }
+                None => table[value >> 1].clone(),
+            });
+            i = s - 1;
         }
-        if !started {
-            // exp was zero (handled above), defensive fallback
-            return BigUint::one().rem_ref(&self.modulus);
+        match acc {
+            Some(a) => self.from_mont(&a),
+            // Unreachable: exp != 0 guarantees at least one set bit.
+            None => BigUint::one().rem_ref(&self.modulus),
         }
-        self.from_mont(&acc)
     }
 
     /// Computes `(a * b) mod modulus` through the Montgomery domain.
@@ -178,6 +192,19 @@ impl Montgomery {
     }
 }
 
+/// Window width for sliding-window exponentiation, chosen by the classical
+/// break-even points (precomputation of `2^(w−1)` entries vs one multiply
+/// saved per window).
+fn sliding_window_width(exp_bits: usize) -> usize {
+    match exp_bits {
+        0..=23 => 2,
+        24..=79 => 3,
+        80..=239 => 4,
+        240..=671 => 5,
+        _ => 6,
+    }
+}
+
 /// Returns the inverse of `x` modulo 2^64 (`x` must be odd).
 fn inv64(x: u64) -> u64 {
     debug_assert!(x & 1 == 1);
@@ -252,6 +279,30 @@ mod tests {
         assert_eq!(ctx.pow(&BigUint::zero(), &bu(5)), BigUint::zero());
         assert_eq!(ctx.pow(&bu(1_000_003 + 2), &bu(3)), bu(8));
         assert_eq!(ctx.pow(&bu(1), &bu(1u128 << 100)), BigUint::one());
+    }
+
+    #[test]
+    fn sliding_window_matches_basic_across_widths() {
+        // Exponent sizes straddling every window-width break-even point.
+        let m = BigUint::from_hex_str("f000000000000000000000000000000d3").unwrap();
+        let ctx = Montgomery::new(m.clone());
+        let base = BigUint::from_hex_str("abcdef0123456789abcdef").unwrap();
+        for bits in [1usize, 3, 23, 24, 79, 80, 120] {
+            // An exponent of exactly `bits` bits: top bit set, mixed pattern
+            // below it (reduced mod 2^(bits−1) so no carry past the width).
+            let exp = BigUint::one()
+                .shl_bits(bits - 1)
+                .add_ref(&BigUint::from_u64(0xB5).rem_ref(&BigUint::one().shl_bits(bits - 1)));
+            assert_eq!(exp.bits(), bits);
+            assert_eq!(
+                ctx.pow(&base, &exp),
+                base.mod_pow_basic(&exp, &m),
+                "bits = {bits}"
+            );
+        }
+        // Runs of zeros inside the exponent (stresses the window slide).
+        let sparse = BigUint::one().shl_bits(100).add_ref(&BigUint::one());
+        assert_eq!(ctx.pow(&base, &sparse), base.mod_pow_basic(&sparse, &m));
     }
 
     #[test]

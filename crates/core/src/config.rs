@@ -1,5 +1,7 @@
 //! Configuration types for the federated-cloud setup and for secure queries.
 
+use sknn_paillier::PoolConfig;
+
 /// How cloud C1 talks to the key-holding cloud C2.
 ///
 /// Every remote variant goes through the same pluggable transport stack
@@ -62,6 +64,20 @@ pub struct FederationConfig {
     /// Seed for cloud C2's internal randomness (kept deterministic so
     /// experiments are reproducible).
     pub c2_seed: u64,
+    /// Offline Paillier randomness precomputation
+    /// ([`sknn_paillier::RandomnessPool`]): each cloud gets its own pool of
+    /// precomputed `(r, r^N mod N²)` pairs so online encryption and
+    /// re-randomization cost one modular multiplication. `capacity: 0`
+    /// disables pooling entirely (every encryption pays its exponentiation
+    /// inline). `seed: None` (the default) draws pool randomness from OS
+    /// entropy; an explicit seed — for reproducible experiments — is
+    /// combined with a per-cloud salt so the two pools never replay the
+    /// same `r` sequence.
+    pub pool: PoolConfig,
+    /// Entries [`crate::Federation::setup`] precomputes synchronously per
+    /// cloud before the first query (clamped to `pool.capacity`); the
+    /// background refill thread tops the pools up from there.
+    pub pool_prewarm: usize,
 }
 
 impl Default for FederationConfig {
@@ -74,6 +90,8 @@ impl Default for FederationConfig {
             threads: 1,
             coalesce: true,
             c2_seed: 0x5EC0_0D02,
+            pool: PoolConfig::default(),
+            pool_prewarm: 64,
         }
     }
 }
@@ -99,6 +117,8 @@ mod tests {
         assert_eq!(c.threads, 1);
         assert!(c.coalesce);
         assert!(c.distance_bits.is_none());
+        assert!(c.pool.capacity > 0, "pooling is on by default");
+        assert!(c.pool_prewarm <= c.pool.capacity);
     }
 
     #[test]

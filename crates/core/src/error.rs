@@ -1,6 +1,7 @@
 //! Error type for the query-protocol layer.
 
 use core::fmt;
+use sknn_paillier::PaillierError;
 use sknn_protocols::ProtocolError;
 
 /// Errors surfaced while outsourcing a database or answering a query.
@@ -35,6 +36,10 @@ pub enum SknnError {
     },
     /// An error bubbled up from the underlying two-party protocols.
     Protocol(ProtocolError),
+    /// An error bubbled up from the Paillier layer — typically a plaintext
+    /// outside `[0, N)`, reachable when a table or query value is too large
+    /// for the configured key size.
+    Paillier(PaillierError),
 }
 
 impl fmt::Display for SknnError {
@@ -53,6 +58,7 @@ impl fmt::Display for SknnError {
                 "distance domain of {l} bits cannot hold the worst-case squared distance ({required} bits required)"
             ),
             SknnError::Protocol(e) => write!(f, "protocol error: {e}"),
+            SknnError::Paillier(e) => write!(f, "encryption error: {e}"),
         }
     }
 }
@@ -61,6 +67,7 @@ impl std::error::Error for SknnError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SknnError::Protocol(e) => Some(e),
+            SknnError::Paillier(e) => Some(e),
             _ => None,
         }
     }
@@ -69,6 +76,12 @@ impl std::error::Error for SknnError {
 impl From<ProtocolError> for SknnError {
     fn from(e: ProtocolError) -> Self {
         SknnError::Protocol(e)
+    }
+}
+
+impl From<PaillierError> for SknnError {
+    fn from(e: PaillierError) -> Self {
+        SknnError::Paillier(e)
     }
 }
 
@@ -100,5 +113,14 @@ mod tests {
         let e = SknnError::Protocol(ProtocolError::TransportClosed);
         assert!(e.source().is_some());
         assert!(SknnError::InvalidK { k: 1, n: 1 }.source().is_none());
+    }
+
+    #[test]
+    fn paillier_errors_convert_and_display() {
+        use std::error::Error;
+        let e: SknnError = PaillierError::PlaintextOutOfRange.into();
+        assert!(matches!(e, SknnError::Paillier(_)));
+        assert!(e.to_string().contains("encryption error"));
+        assert!(e.source().is_some());
     }
 }

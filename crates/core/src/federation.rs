@@ -16,11 +16,11 @@
 
 use crate::config::{FederationConfig, SecureQueryParams, TransportKind};
 use crate::parallel::ParallelismConfig;
-use crate::profile::QueryProfile;
+use crate::profile::{PoolActivity, QueryProfile};
 use crate::roles::{CloudC1, DataOwner, QueryUser};
 use crate::{AccessPatternAudit, SknnError, Table};
 use rand::RngCore;
-use sknn_paillier::PublicKey;
+use sknn_paillier::{PoolConfig, PoolStats, PooledEncryptor, PublicKey, RandomnessPool};
 use sknn_protocols::stats::CommSnapshot;
 use sknn_protocols::transport::{
     serve, CoalesceConfig, SessionKeyHolder, TcpTransport, TransportError,
@@ -83,6 +83,9 @@ pub struct Federation {
     c2: C2Handle,
     distance_bits: usize,
     parallelism: ParallelismConfig,
+    /// Offline randomness pools (C1's, C2's), kept for per-query hit/fallback
+    /// accounting; empty when pooling is disabled (`pool.capacity == 0`).
+    pools: Vec<Arc<RandomnessPool>>,
 }
 
 impl Federation {
@@ -128,12 +131,40 @@ impl Federation {
             });
         }
 
-        let db = owner.encrypt_table(table, rng);
-        let c1 = CloudC1::new(db);
+        let db = owner.encrypt_table(table, rng)?;
         let user = QueryUser::new(owner.public_key().clone());
         let public_key = owner.public_key().clone();
 
-        let holder = LocalKeyHolder::new(owner.private_key().clone(), config.c2_seed);
+        // Offline/online split: one randomness pool per cloud, pre-warmed so
+        // the first query already encrypts with one multiplication per unit.
+        // `seed: None` keeps the PoolConfig contract — OS entropy, the right
+        // default for anything security-relevant. An explicit seed (for
+        // reproducible experiments) is derived per cloud, because two pools
+        // replaying the same `r` sequence would produce correlated
+        // ciphertexts across the clouds.
+        let mut pools = Vec::new();
+        let mut pool_for = |salt: u64| -> Arc<RandomnessPool> {
+            let pool = RandomnessPool::new(
+                public_key.clone(),
+                PoolConfig {
+                    seed: config.pool.seed.map(|s| s ^ salt),
+                    ..config.pool
+                },
+            );
+            pool.prewarm(config.pool_prewarm);
+            pools.push(Arc::clone(&pool));
+            pool
+        };
+        let pooling = config.pool.capacity > 0;
+
+        let mut c1 = CloudC1::new(db);
+        if pooling {
+            c1 = c1.with_encryptor(PooledEncryptor::new(pool_for(0xC1)));
+        }
+        let mut holder = LocalKeyHolder::new(owner.private_key().clone(), config.c2_seed);
+        if pooling {
+            holder = holder.with_pool(pool_for(0xC2));
+        }
         let workers = config.threads.max(1);
         // A serial C1 has nothing to merge with: coalescing would only add
         // the collection-window latency to every round trip.
@@ -191,6 +222,7 @@ impl Federation {
             parallelism: ParallelismConfig {
                 threads: config.threads.max(1),
             },
+            pools,
         })
     }
 
@@ -235,6 +267,19 @@ impl Federation {
         self.c2.comm_snapshot()
     }
 
+    /// Cumulative offline-randomness-pool counters, summed over both clouds'
+    /// pools (all zero when pooling is disabled).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pools.iter().fold(PoolStats::default(), |acc, pool| {
+            let s = pool.stats();
+            PoolStats {
+                hits: acc.hits + s.hits,
+                fallbacks: acc.fallbacks + s.fallbacks,
+                precomputed: acc.precomputed + s.precomputed,
+            }
+        })
+    }
+
     /// Overrides the number of worker threads used by C1's record-parallel
     /// stages of both protocols.
     ///
@@ -261,10 +306,12 @@ impl Federation {
         rng: &mut R,
     ) -> Result<QueryResult, SknnError> {
         let before = self.comm_stats();
-        let enc_q = self.user.encrypt_query(query, rng);
-        let (masked, profile, audit) =
+        let pool_before = self.pool_stats();
+        let enc_q = self.user.encrypt_query(query, rng)?;
+        let (masked, mut profile, audit) =
             self.c1
                 .process_basic(self.c2.key_holder(), &enc_q, k, self.parallelism, rng)?;
+        profile.record_pool(pool_delta(&pool_before, &self.pool_stats()));
         let records = self.user.recover_records(&masked);
         Ok(QueryResult {
             records,
@@ -301,14 +348,16 @@ impl Federation {
         rng: &mut R,
     ) -> Result<QueryResult, SknnError> {
         let before = self.comm_stats();
-        let enc_q = self.user.encrypt_query(query, rng);
-        let (masked, profile, audit) = self.c1.process_secure(
+        let pool_before = self.pool_stats();
+        let enc_q = self.user.encrypt_query(query, rng)?;
+        let (masked, mut profile, audit) = self.c1.process_secure(
             self.c2.key_holder(),
             &enc_q,
             SecureQueryParams { k, l },
             self.parallelism,
             rng,
         )?;
+        profile.record_pool(pool_delta(&pool_before, &self.pool_stats()));
         let records = self.user.recover_records(&masked);
         Ok(QueryResult {
             records,
@@ -316,6 +365,14 @@ impl Federation {
             audit,
             comm: delta(before, self.comm_stats()),
         })
+    }
+}
+
+fn pool_delta(before: &PoolStats, after: &PoolStats) -> PoolActivity {
+    let d = after.since(before);
+    PoolActivity {
+        hits: d.hits,
+        fallbacks: d.fallbacks,
     }
 }
 
@@ -495,6 +552,74 @@ mod tests {
                  ({with} vs {without} round trips)"
             );
         }
+    }
+
+    #[test]
+    fn pooled_randomness_serves_queries_and_is_accounted() {
+        let mut rng = StdRng::seed_from_u64(409);
+        let table = table();
+        let config = FederationConfig {
+            key_bits: 96,
+            max_query_value: 10,
+            pool: sknn_paillier::PoolConfig {
+                capacity: 64,
+                background_refill: false,
+                ..Default::default()
+            },
+            pool_prewarm: 64,
+            ..Default::default()
+        };
+        let federation = Federation::setup(&table, config, &mut rng).unwrap();
+        assert!(
+            federation.pool_stats().precomputed >= 128,
+            "both pools pre-warmed"
+        );
+
+        let query = [2u64, 2];
+        let basic = federation.query_basic(&query, 2, &mut rng).unwrap();
+        assert_eq!(basic.records, plain_knn_records(&table, &query, 2));
+        let activity = basic.profile.pool();
+        assert!(
+            activity.hits > 0,
+            "C2's response encryptions must hit the pool"
+        );
+
+        // A secure query drains far more units than the prewarm supplied;
+        // with refill off, hits can never exceed what was precomputed, and
+        // the overflow must show up as synchronous fallbacks.
+        let secure = federation.query_secure(&query, 2, &mut rng).unwrap();
+        let activity = secure.profile.pool();
+        assert!(activity.hits + activity.fallbacks > 0);
+        let totals = federation.pool_stats();
+        assert!(totals.hits <= totals.precomputed);
+        assert!(
+            totals.fallbacks > 0,
+            "draining 2×64 prewarmed entries without refill must fall back"
+        );
+    }
+
+    #[test]
+    fn disabled_pool_still_answers_queries() {
+        let mut rng = StdRng::seed_from_u64(410);
+        let table = table();
+        let config = FederationConfig {
+            key_bits: 96,
+            max_query_value: 10,
+            pool: sknn_paillier::PoolConfig {
+                capacity: 0,
+                ..Default::default()
+            },
+            pool_prewarm: 0,
+            ..Default::default()
+        };
+        let federation = Federation::setup(&table, config, &mut rng).unwrap();
+        let result = federation.query_basic(&[2, 2], 3, &mut rng).unwrap();
+        assert_eq!(result.records, plain_knn_records(&table, &[2, 2], 3));
+        assert_eq!(
+            result.profile.pool(),
+            crate::profile::PoolActivity::default()
+        );
+        assert_eq!(federation.pool_stats(), sknn_paillier::PoolStats::default());
     }
 
     #[test]

@@ -71,11 +71,14 @@ pub use error::SknnError;
 pub use federation::{Federation, QueryResult};
 pub use parallel::ParallelismConfig;
 pub use plain::{plain_knn, plain_knn_records, squared_euclidean_distance};
-pub use profile::{QueryProfile, Stage};
+pub use profile::{PoolActivity, QueryProfile, Stage};
 pub use roles::{CloudC1, DataOwner, QueryUser};
 pub use table::Table;
 
 // Re-export the lower layers so downstream users need a single dependency.
-pub use sknn_paillier::{Ciphertext, Keypair, PrivateKey, PublicKey};
+pub use sknn_paillier::{
+    Ciphertext, Keypair, PoolConfig, PoolStats, PooledEncryptor, PrivateKey, PublicKey,
+    RandomnessPool,
+};
 pub use sknn_protocols::transport::{CoalesceConfig, SessionKeyHolder, Transport, TransportError};
 pub use sknn_protocols::{KeyHolder, LocalKeyHolder, ProtocolError};

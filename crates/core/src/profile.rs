@@ -49,11 +49,43 @@ impl Stage {
     }
 }
 
+/// Offline-randomness pool activity during one query: how many encryption
+/// units came from the precomputed pools (`hits`) versus how many had to be
+/// exponentiated synchronously because a pool was drained or absent
+/// (`fallbacks`). Aggregated across both clouds' pools.
+///
+/// The per-query numbers are deltas of the deployment-wide pool counters,
+/// so when several queries run concurrently on one `Federation` their
+/// windows overlap and each profile may include draws issued by the others;
+/// `Federation::pool_stats` totals stay exact. Use serial queries when a
+/// per-query attribution must be precise.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolActivity {
+    /// Encryption units served from a precomputed pool.
+    pub hits: u64,
+    /// Encryption units computed synchronously (pool drained or disabled).
+    pub fallbacks: u64,
+}
+
+impl PoolActivity {
+    /// Fraction (0..=1) of units served from the pools; zero when no unit
+    /// was drawn at all.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.fallbacks;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// Wall-clock timings of one query, broken down by [`Stage`].
 #[derive(Clone, Debug, Default)]
 pub struct QueryProfile {
     durations: Vec<(Stage, Duration)>,
     total: Duration,
+    pool: PoolActivity,
 }
 
 impl QueryProfile {
@@ -112,12 +144,26 @@ impl QueryProfile {
         v
     }
 
+    /// Adds offline-pool counters (hits vs synchronous fallbacks) observed
+    /// during this query.
+    pub fn record_pool(&mut self, activity: PoolActivity) {
+        self.pool.hits += activity.hits;
+        self.pool.fallbacks += activity.fallbacks;
+    }
+
+    /// Offline-pool activity during this query (zero when pooling is
+    /// disabled or the deployment does not track it).
+    pub fn pool(&self) -> PoolActivity {
+        self.pool
+    }
+
     /// Merges another profile into this one (used by the parallel executor to
     /// fold per-thread measurements together).
     pub fn merge(&mut self, other: &QueryProfile) {
         for (stage, d) in &other.durations {
             self.record(*stage, *d);
         }
+        self.record_pool(other.pool);
     }
 }
 
@@ -162,6 +208,31 @@ mod tests {
             Duration::from_millis(15)
         );
         assert_eq!(a.stage(Stage::BitDecomposition), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn pool_activity_accumulates_and_merges() {
+        let mut a = QueryProfile::new();
+        assert_eq!(a.pool(), PoolActivity::default());
+        assert_eq!(a.pool().hit_rate(), 0.0);
+        a.record_pool(PoolActivity {
+            hits: 3,
+            fallbacks: 1,
+        });
+        let mut b = QueryProfile::new();
+        b.record_pool(PoolActivity {
+            hits: 5,
+            fallbacks: 1,
+        });
+        a.merge(&b);
+        assert_eq!(
+            a.pool(),
+            PoolActivity {
+                hits: 8,
+                fallbacks: 2
+            }
+        );
+        assert!((a.pool().hit_rate() - 0.8).abs() < 1e-9);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use crate::{EncryptedDatabase, EncryptedQuery, MaskedResult, SknnError, Table};
 use rand::RngCore;
 use sknn_bigint::{random_below, BigUint};
-use sknn_paillier::{Keypair, PrivateKey, PublicKey};
+use sknn_paillier::{Keypair, PooledEncryptor, PrivateKey, PublicKey};
 use sknn_protocols::KeyHolder;
 
 /// Alice: generates the key pair, encrypts her database attribute-wise and
@@ -43,18 +43,28 @@ impl DataOwner {
 
     /// Encrypts a plaintext table attribute-wise, producing the database that
     /// is outsourced to cloud C1.
+    ///
+    /// # Errors
+    /// Returns [`SknnError::Paillier`] when an attribute does not fit the
+    /// key's message space `[0, N)` — reachable with a very small key and
+    /// large attribute values, and a configuration mistake rather than a
+    /// reason to panic.
     pub fn encrypt_table<R: RngCore + ?Sized>(
         &self,
         table: &Table,
         rng: &mut R,
-    ) -> EncryptedDatabase {
+    ) -> Result<EncryptedDatabase, SknnError> {
         let pk = self.public_key();
         let records = table
             .records()
             .iter()
-            .map(|row| row.iter().map(|&v| pk.encrypt_u64(v, rng)).collect())
-            .collect();
-        EncryptedDatabase::from_records(records, pk.clone())
+            .map(|row| {
+                row.iter()
+                    .map(|&v| pk.try_encrypt_u64(v, rng).map_err(SknnError::from))
+                    .collect::<Result<Vec<_>, _>>()
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(EncryptedDatabase::from_records(records, pk.clone()))
     }
 }
 
@@ -78,8 +88,20 @@ impl QueryUser {
     /// Encrypts a query record attribute-wise. This is the only cryptographic
     /// work Bob performs before receiving results — the cost the paper reports
     /// as a few milliseconds.
-    pub fn encrypt_query<R: RngCore + ?Sized>(&self, query: &[u64], rng: &mut R) -> EncryptedQuery {
-        EncryptedQuery::new(query.iter().map(|&v| self.pk.encrypt_u64(v, rng)).collect())
+    ///
+    /// # Errors
+    /// Returns [`SknnError::Paillier`] when a query attribute does not fit
+    /// the key's message space `[0, N)` (too-small key + large coordinate).
+    pub fn encrypt_query<R: RngCore + ?Sized>(
+        &self,
+        query: &[u64],
+        rng: &mut R,
+    ) -> Result<EncryptedQuery, SknnError> {
+        let attrs = query
+            .iter()
+            .map(|&v| self.pk.try_encrypt_u64(v, rng).map_err(SknnError::from))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(EncryptedQuery::new(attrs))
     }
 
     /// Combines the masks received from C1 with the masked plaintexts received
@@ -115,12 +137,41 @@ impl QueryUser {
 #[derive(Clone, Debug)]
 pub struct CloudC1 {
     db: EncryptedDatabase,
+    /// Offline-randomness-backed encryptor for C1's own fresh encryptions
+    /// (SBD masks, result-mask re-randomization); `None` pays each
+    /// exponentiation inline.
+    encryptor: Option<PooledEncryptor>,
 }
 
 impl CloudC1 {
     /// Creates the cloud from an outsourced encrypted database.
     pub fn new(db: EncryptedDatabase) -> Self {
-        CloudC1 { db }
+        CloudC1 {
+            db,
+            encryptor: None,
+        }
+    }
+
+    /// Attaches a pooled encryptor: C1's fresh encryptions (the SBD round
+    /// masks and the final result-masking step) consume precomputed
+    /// `r^N mod N²` units instead of exponentiating online.
+    ///
+    /// # Panics
+    /// Panics when the encryptor was built for a different public key — a
+    /// deployment wiring error, not a runtime condition.
+    pub fn with_encryptor(mut self, encryptor: PooledEncryptor) -> Self {
+        assert_eq!(
+            encryptor.public_key().n(),
+            self.db.public_key().n(),
+            "pooled encryptor belongs to a different Paillier key"
+        );
+        self.encryptor = Some(encryptor);
+        self
+    }
+
+    /// The attached pooled encryptor, if any.
+    pub fn encryptor(&self) -> Option<&PooledEncryptor> {
+        self.encryptor.as_ref()
     }
 
     /// The hosted encrypted database.
@@ -167,7 +218,12 @@ impl CloudC1 {
                 let r = random_below(rng, pk.n());
                 // γ_{j,h} = E(t′_{j,h}) · E(r_{j,h}): a fresh encryption of the
                 // mask re-randomizes the ciphertext C2 is about to decrypt.
-                gammas_flat.push(pk.add(attr, &pk.encrypt(&r, rng)));
+                // r < N by construction, so pooled encryption cannot fail.
+                let e_r = match &self.encryptor {
+                    Some(enc) => enc.encrypt(&r).expect("mask is below N"),
+                    None => pk.encrypt(&r, rng),
+                };
+                gammas_flat.push(pk.add(attr, &e_r));
                 record_masks.push(r);
             }
             masks.push(record_masks);
@@ -204,7 +260,7 @@ mod tests {
     fn owner_encrypts_whole_table() {
         let mut rng = StdRng::seed_from_u64(1);
         let owner = DataOwner::new(96, &mut rng);
-        let db = owner.encrypt_table(&small_table(), &mut rng);
+        let db = owner.encrypt_table(&small_table(), &mut rng).unwrap();
         assert_eq!(db.num_records(), 3);
         assert_eq!(db.num_attributes(), 2);
         // Every cell decrypts back to the original value.
@@ -217,7 +273,7 @@ mod tests {
     fn query_user_roundtrip_through_masking() {
         let mut rng = StdRng::seed_from_u64(2);
         let owner = DataOwner::new(96, &mut rng);
-        let db = owner.encrypt_table(&small_table(), &mut rng);
+        let db = owner.encrypt_table(&small_table(), &mut rng).unwrap();
         let c1 = CloudC1::new(db);
         let c2 = LocalKeyHolder::new(owner.private_key().clone(), 3);
         let user = QueryUser::new(owner.public_key().clone());
@@ -237,7 +293,7 @@ mod tests {
     fn masks_and_masked_values_alone_look_random() {
         let mut rng = StdRng::seed_from_u64(4);
         let owner = DataOwner::new(96, &mut rng);
-        let db = owner.encrypt_table(&small_table(), &mut rng);
+        let db = owner.encrypt_table(&small_table(), &mut rng).unwrap();
         let c1 = CloudC1::new(db);
         let c2 = LocalKeyHolder::new(owner.private_key().clone(), 5);
 
@@ -253,17 +309,17 @@ mod tests {
     fn validation_rejects_bad_queries() {
         let mut rng = StdRng::seed_from_u64(6);
         let owner = DataOwner::new(96, &mut rng);
-        let db = owner.encrypt_table(&small_table(), &mut rng);
+        let db = owner.encrypt_table(&small_table(), &mut rng).unwrap();
         let c1 = CloudC1::new(db);
         let user = QueryUser::new(owner.public_key().clone());
 
-        let wrong_width = user.encrypt_query(&[1, 2, 3], &mut rng);
+        let wrong_width = user.encrypt_query(&[1, 2, 3], &mut rng).unwrap();
         assert!(matches!(
             c1.validate_query(&wrong_width, 1),
             Err(SknnError::QueryDimensionMismatch { .. })
         ));
 
-        let ok = user.encrypt_query(&[1, 2], &mut rng);
+        let ok = user.encrypt_query(&[1, 2], &mut rng).unwrap();
         assert!(matches!(
             c1.validate_query(&ok, 0),
             Err(SknnError::InvalidK { .. })
@@ -273,6 +329,24 @@ mod tests {
             Err(SknnError::InvalidK { .. })
         ));
         assert!(c1.validate_query(&ok, 3).is_ok());
+    }
+
+    #[test]
+    fn oversized_values_error_instead_of_panicking() {
+        // A 64-bit modulus N < 2^64 cannot hold u64::MAX: outsourcing or
+        // querying such a value must surface a typed error, not a panic.
+        let mut rng = StdRng::seed_from_u64(8);
+        let owner = DataOwner::new(64, &mut rng);
+        let table = Table::new(vec![vec![u64::MAX]]).unwrap();
+        assert!(matches!(
+            owner.encrypt_table(&table, &mut rng),
+            Err(SknnError::Paillier(_))
+        ));
+        let user = QueryUser::new(owner.public_key().clone());
+        assert!(matches!(
+            user.encrypt_query(&[u64::MAX], &mut rng),
+            Err(SknnError::Paillier(_))
+        ));
     }
 
     #[test]

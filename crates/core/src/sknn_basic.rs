@@ -84,7 +84,7 @@ mod tests {
     fn setup(table: &Table) -> (CloudC1, LocalKeyHolder, QueryUser, StdRng) {
         let mut rng = StdRng::seed_from_u64(201);
         let owner = DataOwner::new(96, &mut rng);
-        let db = owner.encrypt_table(table, &mut rng);
+        let db = owner.encrypt_table(table, &mut rng).unwrap();
         let c1 = CloudC1::new(db);
         let c2 = LocalKeyHolder::new(owner.private_key().clone(), 202);
         let user = QueryUser::new(owner.public_key().clone());
@@ -108,7 +108,7 @@ mod tests {
         let table = heart_disease_table();
         let (c1, c2, user, mut rng) = setup(&table);
         let query = [58u64, 1, 4, 133, 196, 1, 2, 1, 6, 0];
-        let enc_q = user.encrypt_query(&query, &mut rng);
+        let enc_q = user.encrypt_query(&query, &mut rng).unwrap();
         let (masked, _profile, audit) = c1
             .process_basic(&c2, &enc_q, 2, ParallelismConfig::serial(), &mut rng)
             .unwrap();
@@ -134,7 +134,7 @@ mod tests {
         .unwrap();
         let (c1, c2, user, mut rng) = setup(&table);
         let query = [2u64, 2];
-        let enc_q = user.encrypt_query(&query, &mut rng);
+        let enc_q = user.encrypt_query(&query, &mut rng).unwrap();
         for k in 1..=5 {
             let (masked, _, _) = c1
                 .process_basic(&c2, &enc_q, k, ParallelismConfig::serial(), &mut rng)
@@ -149,7 +149,7 @@ mod tests {
         let table = heart_disease_table();
         let (c1, c2, user, mut rng) = setup(&table);
         let query = [58u64, 1, 4, 133, 196, 1, 2, 1, 6, 0];
-        let enc_q = user.encrypt_query(&query, &mut rng);
+        let enc_q = user.encrypt_query(&query, &mut rng).unwrap();
         let (serial, _, _) = c1
             .process_basic(&c2, &enc_q, 3, ParallelismConfig::serial(), &mut rng)
             .unwrap();
@@ -166,7 +166,9 @@ mod tests {
     fn profile_covers_the_expected_stages() {
         let table = heart_disease_table();
         let (c1, c2, user, mut rng) = setup(&table);
-        let enc_q = user.encrypt_query(&[58, 1, 4, 133, 196, 1, 2, 1, 6, 0], &mut rng);
+        let enc_q = user
+            .encrypt_query(&[58, 1, 4, 133, 196, 1, 2, 1, 6, 0], &mut rng)
+            .unwrap();
         let (_, profile, _) = c1
             .process_basic(&c2, &enc_q, 2, ParallelismConfig::serial(), &mut rng)
             .unwrap();
@@ -184,12 +186,14 @@ mod tests {
     fn invalid_parameters_rejected() {
         let table = heart_disease_table();
         let (c1, c2, user, mut rng) = setup(&table);
-        let enc_q = user.encrypt_query(&[1, 2, 3], &mut rng);
+        let enc_q = user.encrypt_query(&[1, 2, 3], &mut rng).unwrap();
         assert!(matches!(
             c1.process_basic(&c2, &enc_q, 1, ParallelismConfig::serial(), &mut rng),
             Err(SknnError::QueryDimensionMismatch { .. })
         ));
-        let ok_q = user.encrypt_query(&[58, 1, 4, 133, 196, 1, 2, 1, 6, 0], &mut rng);
+        let ok_q = user
+            .encrypt_query(&[58, 1, 4, 133, 196, 1, 2, 1, 6, 0], &mut rng)
+            .unwrap();
         assert!(matches!(
             c1.process_basic(&c2, &ok_q, 0, ParallelismConfig::serial(), &mut rng),
             Err(SknnError::InvalidK { .. })

@@ -24,7 +24,7 @@ use rand::{Rng, RngCore, SeedableRng};
 use sknn_bigint::{random_range, BigUint};
 use sknn_paillier::Ciphertext;
 use sknn_protocols::{
-    recompose_bits, secure_bit_decompose, secure_multiply_batch, secure_squared_distance,
+    recompose_bits, secure_bit_decompose_with, secure_multiply_batch, secure_squared_distance,
     KeyHolder, Permutation,
 };
 
@@ -74,7 +74,9 @@ impl CloudC1 {
             let decomposed = profile.time(Stage::BitDecomposition, || {
                 parallel_map(parallelism.threads, &distances, |i, dist| {
                     let mut thread_rng = StdRng::seed_from_u64(seeds[i]);
-                    secure_bit_decompose(pk, c2, dist, l, &mut thread_rng)
+                    // The per-round mask encryptions draw from C1's offline
+                    // randomness pool when one is attached.
+                    secure_bit_decompose_with(pk, c2, dist, l, &mut thread_rng, self.encryptor())
                 })
             });
             for d in decomposed {
@@ -183,7 +185,7 @@ mod tests {
     fn setup(table: &Table) -> (CloudC1, LocalKeyHolder, QueryUser, StdRng) {
         let mut rng = StdRng::seed_from_u64(301);
         let owner = DataOwner::new(96, &mut rng);
-        let db = owner.encrypt_table(table, &mut rng);
+        let db = owner.encrypt_table(table, &mut rng).unwrap();
         let c1 = CloudC1::new(db);
         let c2 = LocalKeyHolder::new(owner.private_key().clone(), 302);
         let user = QueryUser::new(owner.public_key().clone());
@@ -205,7 +207,7 @@ mod tests {
         let l = table.required_distance_bits(10);
         let (c1, c2, user, mut rng) = setup(&table);
         let query = [2u64, 2];
-        let enc_q = user.encrypt_query(&query, &mut rng);
+        let enc_q = user.encrypt_query(&query, &mut rng).unwrap();
         for k in [1usize, 2, 3, 5] {
             let (masked, _, audit) = c1
                 .process_secure(
@@ -241,7 +243,7 @@ mod tests {
         let query = [58u64, 1, 4, 133, 196, 1, 2, 1, 6, 0];
         let l = table.required_distance_bits(564);
         let (c1, c2, user, mut rng) = setup(&table);
-        let enc_q = user.encrypt_query(&query, &mut rng);
+        let enc_q = user.encrypt_query(&query, &mut rng).unwrap();
         let (masked, profile, audit) = c1
             .process_secure(
                 &c2,
@@ -266,7 +268,7 @@ mod tests {
         let table = Table::new(vec![vec![4, 4], vec![4, 4], vec![0, 0], vec![7, 7]]).unwrap();
         let l = table.required_distance_bits(7);
         let (c1, c2, user, mut rng) = setup(&table);
-        let enc_q = user.encrypt_query(&[4, 4], &mut rng);
+        let enc_q = user.encrypt_query(&[4, 4], &mut rng).unwrap();
         let (masked, _, _) = c1
             .process_secure(
                 &c2,
@@ -294,7 +296,7 @@ mod tests {
         .unwrap();
         let l = table.required_distance_bits(9);
         let (c1, c2, user, mut rng) = setup(&table);
-        let enc_q = user.encrypt_query(&[3, 3], &mut rng);
+        let enc_q = user.encrypt_query(&[3, 3], &mut rng).unwrap();
         let run = |threads: usize, rng: &mut StdRng| {
             let (masked, _, _) = c1
                 .process_secure(
@@ -317,7 +319,7 @@ mod tests {
         let table = Table::new(vec![vec![1], vec![5], vec![3]]).unwrap();
         let l = table.required_distance_bits(5);
         let (c1, c2, user, mut rng) = setup(&table);
-        let enc_q = user.encrypt_query(&[2], &mut rng);
+        let enc_q = user.encrypt_query(&[2], &mut rng).unwrap();
         let (masked, _, _) = c1
             .process_secure(
                 &c2,
@@ -336,7 +338,7 @@ mod tests {
     fn invalid_l_is_reported() {
         let table = Table::new(vec![vec![1], vec![2]]).unwrap();
         let (c1, c2, user, mut rng) = setup(&table);
-        let enc_q = user.encrypt_query(&[1], &mut rng);
+        let enc_q = user.encrypt_query(&[1], &mut rng).unwrap();
         let err = c1
             .process_secure(
                 &c2,

@@ -35,6 +35,48 @@ impl PublicKey {
         self.encrypt(&BigUint::from_u64(m), rng)
     }
 
+    /// Fallible variant of [`PublicKey::encrypt_u64`].
+    pub fn try_encrypt_u64<R: RngCore + ?Sized>(
+        &self,
+        m: u64,
+        rng: &mut R,
+    ) -> Result<Ciphertext, PaillierError> {
+        self.try_encrypt(&BigUint::from_u64(m), rng)
+    }
+
+    /// Encrypts `m` with a *precomputed randomness unit* `unit = r^N mod N²`
+    /// for some fresh `r ∈ Z_N^*`: `E(m, r) = (1 + m·N) · unit mod N²`.
+    ///
+    /// This is the online half of the offline/online split implemented by
+    /// [`crate::RandomnessPool`]: with `unit` precomputed, encryption costs a
+    /// single modular multiplication instead of a full exponentiation. The
+    /// ciphertext distribution is identical to [`PublicKey::encrypt`] as long
+    /// as each unit is used at most once.
+    ///
+    /// # Errors
+    /// Returns [`PaillierError::PlaintextOutOfRange`] when `m ≥ N`.
+    pub fn encrypt_with_unit(
+        &self,
+        m: &BigUint,
+        unit: &BigUint,
+    ) -> Result<Ciphertext, PaillierError> {
+        if !self.is_valid_plaintext(m) {
+            return Err(PaillierError::PlaintextOutOfRange);
+        }
+        // (1 + m·N) mod N²
+        let gm = BigUint::one()
+            .add_ref(&m.mul_ref(&self.n))
+            .rem_ref(&self.n_squared);
+        Ok(Ciphertext(gm.mod_mul(unit, &self.n_squared)))
+    }
+
+    /// Re-randomizes `a` with a precomputed randomness unit (multiplication
+    /// by `unit = r^N mod N²`, a fresh encryption of zero). The online cost
+    /// is one modular multiplication.
+    pub fn rerandomize_with_unit(&self, a: &Ciphertext, unit: &BigUint) -> Ciphertext {
+        Ciphertext(a.as_raw().mod_mul(unit, &self.n_squared))
+    }
+
     /// Deterministic encryption with caller-supplied randomness `r ∈ Z_N^*`.
     ///
     /// Exposed for tests and for reproducing the paper's worked examples;

@@ -21,6 +21,15 @@
 //! * re-randomization — [`PublicKey::rerandomize`]
 //! * signed-value encoding in `(−N/2, N/2]` — [`encoding`]
 //!
+//! ## Offline/online precomputation
+//!
+//! The `r^N mod N²` exponentiation inside every encryption depends only on
+//! the randomness, so it can be computed ahead of time: [`RandomnessPool`]
+//! maintains a thread-safe queue of precomputed `(r, r^N)` pairs (with an
+//! optional background refill thread) and [`PooledEncryptor`] consumes them,
+//! reducing the online cost of `encrypt`/`encrypt_zero`/`rerandomize` to a
+//! single modular multiplication with an unchanged ciphertext distribution.
+//!
 //! ## Example
 //!
 //! ```
@@ -49,11 +58,13 @@ mod error;
 mod homomorphic;
 mod keygen;
 mod keys;
+mod pool;
 
 pub use ciphertext::Ciphertext;
 pub use error::PaillierError;
 pub use keygen::Keypair;
 pub use keys::{PrivateKey, PublicKey};
+pub use pool::{PoolConfig, PoolStats, PooledEncryptor, PrecomputedRandomness, RandomnessPool};
 
 /// Minimum key size accepted by [`Keypair::generate`]. Anything smaller makes
 /// the two prime factors so small that the scheme is trivially breakable and,

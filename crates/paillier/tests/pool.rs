@@ -1,0 +1,123 @@
+//! Acceptance tests for the offline/online precomputation subsystem:
+//! pooled encryption is semantically identical to direct encryption, and the
+//! warm-pool online path is decisively faster than the cold path.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sknn_bigint::{random_below, BigUint};
+use sknn_paillier::{Keypair, PoolConfig, PooledEncryptor, RandomnessPool};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+fn keypair(bits: usize) -> &'static Keypair {
+    static KEY128: OnceLock<Keypair> = OnceLock::new();
+    static KEY256: OnceLock<Keypair> = OnceLock::new();
+    let (cell, seed) = match bits {
+        128 => (&KEY128, 0x9001u64),
+        256 => (&KEY256, 0x9002u64),
+        _ => panic!("unsupported test key size"),
+    };
+    cell.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Keypair::generate(bits, &mut rng)
+    })
+}
+
+fn warm_encryptor(bits: usize, capacity: usize, seed: u64) -> PooledEncryptor {
+    let pool = RandomnessPool::new(
+        keypair(bits).public_key().clone(),
+        PoolConfig {
+            capacity,
+            background_refill: false,
+            seed: Some(seed),
+            ..Default::default()
+        },
+    );
+    pool.prewarm(capacity);
+    PooledEncryptor::new(pool)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Equivalence: for random plaintexts, decrypting `PooledEncryptor`
+    /// output matches direct `encrypt` semantics — same message recovered,
+    /// same homomorphic behavior, probabilistic ciphertexts.
+    #[test]
+    fn pooled_encryption_matches_direct_semantics(values in prop::collection::vec(any::<u64>(), 1..8), seed in any::<u64>()) {
+        let kp = keypair(128);
+        let (pk, sk) = (kp.public_key().clone(), kp.private_key().clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let enc = warm_encryptor(128, 32, seed ^ 0xF00);
+
+        for &v in &values {
+            let m = BigUint::from_u64(v).rem_ref(pk.n());
+            let pooled = enc.encrypt(&m).unwrap();
+            let direct = pk.encrypt(&m, &mut rng);
+            // Identical plaintext semantics...
+            prop_assert_eq!(sk.decrypt(&pooled), sk.decrypt(&direct));
+            // ...and still probabilistic encryption.
+            prop_assert_ne!(&pooled, &direct);
+            // Pooled ciphertexts compose homomorphically with direct ones.
+            let sum = pk.add(&pooled, &direct);
+            prop_assert_eq!(sk.decrypt(&sum), m.mod_add(&m, pk.n()));
+        }
+
+        // Full-range plaintext drawn from Z_N, plus pooled rerandomization.
+        let m = random_below(&mut rng, pk.n());
+        let pooled = enc.encrypt(&m).unwrap();
+        prop_assert_eq!(sk.decrypt(&pooled), m.clone());
+        let rr = enc.rerandomize(&pooled);
+        prop_assert_ne!(&rr, &pooled);
+        prop_assert_eq!(sk.decrypt(&rr), m);
+    }
+}
+
+/// The headline number of the offline/online split: with a warm pool, online
+/// encryption must be at least 3× faster than the cold (direct) path on the
+/// same key. The true ratio is one modular multiplication vs a full
+/// `r^N mod N²` exponentiation (hundreds of multiplications), so 3× leaves a
+/// wide margin for noisy CI machines.
+#[test]
+fn warm_pool_online_encryption_is_at_least_3x_faster() {
+    let kp = keypair(256);
+    let (pk, sk) = (kp.public_key().clone(), kp.private_key().clone());
+    let mut rng = StdRng::seed_from_u64(0x5FEED);
+    const OPS: usize = 64;
+    let enc = warm_encryptor(256, OPS, 0x5FEED);
+    let m = BigUint::from_u64(123_456_789);
+
+    // Warm-up both paths once so neither pays first-touch costs.
+    let _ = pk.encrypt(&m, &mut rng);
+    let _ = enc.encrypt(&m).unwrap();
+
+    let warm_start = Instant::now();
+    let mut warm_last = None;
+    for _ in 0..OPS - 1 {
+        warm_last = Some(enc.encrypt(&m).unwrap());
+    }
+    let warm = warm_start.elapsed();
+
+    let cold_start = Instant::now();
+    let mut cold_last = None;
+    for _ in 0..OPS - 1 {
+        cold_last = Some(pk.encrypt(&m, &mut rng));
+    }
+    let cold = cold_start.elapsed();
+
+    // Both paths computed real ciphertexts.
+    assert_eq!(sk.decrypt(&warm_last.unwrap()), m);
+    assert_eq!(sk.decrypt(&cold_last.unwrap()), m);
+    // All warm draws were pool hits (the pool held exactly enough entries).
+    let stats = enc.pool().stats();
+    assert_eq!(
+        stats.fallbacks, 0,
+        "pool must not have drained mid-measurement"
+    );
+
+    assert!(
+        warm * 3 <= cold,
+        "warm-pool encryption must be ≥ 3× faster: warm = {warm:?}, cold = {cold:?}"
+    );
+}

@@ -10,8 +10,9 @@ use crate::error::ProtocolError;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sknn_bigint::BigUint;
-use sknn_paillier::{Ciphertext, PrivateKey, PublicKey};
+use sknn_bigint::{BigUint, Montgomery};
+use sknn_paillier::{Ciphertext, PrivateKey, PublicKey, RandomnessPool};
+use std::sync::Arc;
 
 /// The response to one SMIN evaluation round (Algorithm 3, step 2).
 #[derive(Clone, Debug)]
@@ -104,6 +105,12 @@ pub struct LocalKeyHolder {
     sk: PrivateKey,
     pk: PublicKey,
     rng: Mutex<StdRng>,
+    /// Reusable Montgomery context for `N²`, so unpooled fresh encryptions
+    /// skip the per-exponentiation setup.
+    mont_n2: Montgomery,
+    /// Precomputed `r^N mod N²` units for the fresh encryptions in every
+    /// response; `None` pays the exponentiation inline on each reply.
+    pool: Option<Arc<RandomnessPool>>,
 }
 
 impl LocalKeyHolder {
@@ -111,21 +118,50 @@ impl LocalKeyHolder {
     /// randomness from `seed` (deterministic for reproducible experiments).
     pub fn new(sk: PrivateKey, seed: u64) -> Self {
         let pk = sk.public_key().clone();
+        let mont_n2 = Montgomery::new(pk.n_squared().clone());
         LocalKeyHolder {
             sk,
             pk,
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            mont_n2,
+            pool: None,
         }
     }
 
     /// Creates a key holder seeded from the operating-system entropy source.
     pub fn from_entropy(sk: PrivateKey) -> Self {
         let pk = sk.public_key().clone();
+        let mont_n2 = Montgomery::new(pk.n_squared().clone());
         LocalKeyHolder {
             sk,
             pk,
             rng: Mutex::new(StdRng::from_entropy()),
+            mont_n2,
+            pool: None,
         }
+    }
+
+    /// Attaches an offline randomness pool: every fresh encryption in this
+    /// key holder's responses (SM products, LSB replies, `E(α)`, indicator
+    /// vectors) consumes one precomputed `r^N mod N²` unit instead of paying
+    /// the exponentiation online.
+    ///
+    /// # Panics
+    /// Panics when the pool was built for a different public key — a
+    /// deployment wiring error, not a runtime condition.
+    pub fn with_pool(mut self, pool: Arc<RandomnessPool>) -> Self {
+        assert_eq!(
+            pool.public_key().n(),
+            self.pk.n(),
+            "randomness pool belongs to a different Paillier key"
+        );
+        self.pool = Some(pool);
+        self
+    }
+
+    /// The attached randomness pool, if any.
+    pub fn pool(&self) -> Option<&Arc<RandomnessPool>> {
+        self.pool.as_ref()
     }
 
     /// Decrypts a ciphertext — **test and audit helper only**. Real
@@ -151,14 +187,37 @@ impl LocalKeyHolder {
         &self.sk
     }
 
-    /// Draws `count` encryption-randomness values under a short lock so the
-    /// expensive cryptographic work in the trait methods can run without
-    /// serializing concurrent callers.
-    fn sample_randomness_batch(&self, count: usize) -> Vec<BigUint> {
-        let mut rng = self.rng.lock();
-        (0..count)
-            .map(|_| self.pk.sample_randomness(&mut *rng))
+    /// Produces `count` fresh encryption units (`r^N mod N²`). With a pool
+    /// attached this is one queue lock (precomputed entries, synchronous
+    /// fallback only when drained); without one, randomness is drawn under a
+    /// short lock and the exponentiations run outside it, so concurrent
+    /// protocol executions are never serialized behind the expensive work.
+    fn fresh_units(&self, count: usize) -> Vec<BigUint> {
+        if let Some(pool) = &self.pool {
+            return pool
+                .draw_batch(count)
+                .into_iter()
+                .map(|entry| entry.unit)
+                .collect();
+        }
+        let randomness: Vec<BigUint> = {
+            let mut rng = self.rng.lock();
+            (0..count)
+                .map(|_| self.pk.sample_randomness(&mut *rng))
+                .collect()
+        };
+        randomness
+            .into_iter()
+            .map(|r| self.mont_n2.pow(&r, self.pk.n()))
             .collect()
+    }
+
+    /// Fresh encryption of a value this key holder itself computed (a
+    /// decryption result or a protocol bit, hence always `< N`).
+    fn encrypt_own(&self, m: &BigUint, unit: &BigUint) -> Ciphertext {
+        self.pk
+            .encrypt_with_unit(m, unit)
+            .expect("key-holder plaintexts are reduced mod N by construction")
     }
 }
 
@@ -168,35 +227,36 @@ impl KeyHolder for LocalKeyHolder {
     }
 
     fn sm_mask_multiply_batch(&self, pairs: &[(Ciphertext, Ciphertext)]) -> Vec<Ciphertext> {
-        // Draw all randomness under a short lock so concurrent protocol
-        // executions (the record-parallel stages of Figure 3) are not
-        // serialized behind the expensive decrypt/encrypt work.
-        let randomness = self.sample_randomness_batch(pairs.len());
+        // Draw all encryption units up front (one queue lock with a pool, a
+        // short rng lock without) so concurrent protocol executions (the
+        // record-parallel stages of Figure 3) are not serialized behind the
+        // expensive decrypt/encrypt work.
+        let units = self.fresh_units(pairs.len());
         pairs
             .iter()
-            .zip(randomness)
-            .map(|((a, b), r)| {
+            .zip(units)
+            .map(|((a, b), unit)| {
                 let ha = self.sk.decrypt(a);
                 let hb = self.sk.decrypt(b);
                 let h = ha.mod_mul(&hb, self.pk.n());
-                self.pk.encrypt_with_randomness(&h, &r)
+                self.encrypt_own(&h, &unit)
             })
             .collect()
     }
 
     fn lsb_of_masked_batch(&self, masked: &[Ciphertext]) -> Vec<Ciphertext> {
-        let randomness = self.sample_randomness_batch(masked.len());
+        let units = self.fresh_units(masked.len());
         masked
             .iter()
-            .zip(randomness)
-            .map(|(y, r)| {
+            .zip(units)
+            .map(|(y, unit)| {
                 let plain = self.sk.decrypt(y);
                 let bit = if plain.is_odd() {
                     BigUint::one()
                 } else {
                     BigUint::zero()
                 };
-                self.pk.encrypt_with_randomness(&bit, &r)
+                self.encrypt_own(&bit, &unit)
             })
             .collect()
     }
@@ -228,13 +288,13 @@ impl KeyHolder for LocalKeyHolder {
             })
             .collect();
 
-        let r = self
-            .sample_randomness_batch(1)
+        let unit = self
+            .fresh_units(1)
             .pop()
-            .expect("one randomness value requested");
+            .expect("one encryption unit requested");
         SminRoundResponse {
             m_prime,
-            alpha: self.pk.encrypt_with_randomness(&alpha_plain, &r),
+            alpha: self.encrypt_own(&alpha_plain, &unit),
         }
     }
 
@@ -254,25 +314,21 @@ impl KeyHolder for LocalKeyHolder {
             });
         }
         // If several records tie, pick one uniformly.
-        let (chosen, randomness) = {
+        let chosen = {
             let mut rng = self.rng.lock();
-            let chosen = zero_positions[rng.gen_range(0..zero_positions.len())];
-            let randomness: Vec<BigUint> = (0..beta.len())
-                .map(|_| self.pk.sample_randomness(&mut *rng))
-                .collect();
-            (chosen, randomness)
+            zero_positions[rng.gen_range(0..zero_positions.len())]
         };
-        Ok(beta
+        let units = self.fresh_units(beta.len());
+        Ok(units
             .iter()
             .enumerate()
-            .zip(randomness)
-            .map(|((i, _), r)| {
+            .map(|(i, unit)| {
                 let bit = if i == chosen {
                     BigUint::one()
                 } else {
                     BigUint::zero()
                 };
-                self.pk.encrypt_with_randomness(&bit, &r)
+                self.encrypt_own(&bit, unit)
             })
             .collect())
     }
@@ -399,6 +455,44 @@ mod tests {
             .collect();
         assert_eq!(holder.top_k_indices(&dists, 3), vec![1, 3, 4]);
         assert_eq!(holder.top_k_indices(&dists, 1), vec![1]);
+    }
+
+    #[test]
+    fn pooled_key_holder_matches_direct_semantics() {
+        use sknn_paillier::{PoolConfig, RandomnessPool};
+        let mut rng = StdRng::seed_from_u64(63);
+        let (pk, sk) = Keypair::generate(128, &mut rng).split();
+        let pool = RandomnessPool::new(
+            pk.clone(),
+            PoolConfig {
+                capacity: 32,
+                background_refill: false,
+                seed: Some(64),
+                ..Default::default()
+            },
+        );
+        pool.prewarm(32);
+        let holder = LocalKeyHolder::new(sk, 65).with_pool(Arc::clone(&pool));
+        assert!(holder.pool().is_some());
+
+        // SM products, LSB replies and min-selection all come back with the
+        // same plaintext semantics as the unpooled path.
+        let a = pk.encrypt_u64(60, &mut rng);
+        let b = pk.encrypt_u64(61, &mut rng);
+        assert_eq!(
+            holder.debug_decrypt_u64(&holder.sm_mask_multiply(&a, &b)),
+            3660
+        );
+        let odd = pk.encrypt_u64(45, &mut rng);
+        assert_eq!(holder.debug_decrypt_u64(&holder.lsb_of_masked(&odd)), 1);
+        let beta = vec![pk.encrypt_u64(5, &mut rng), pk.encrypt_u64(0, &mut rng)];
+        let u = holder.min_selection(&beta).unwrap();
+        assert_eq!(holder.debug_decrypt_u64(&u[0]), 0);
+        assert_eq!(holder.debug_decrypt_u64(&u[1]), 1);
+
+        let stats = pool.stats();
+        assert!(stats.hits >= 4, "responses must consume pool entries");
+        assert_eq!(stats.fallbacks, 0);
     }
 
     #[test]

@@ -25,7 +25,7 @@
 use crate::{KeyHolder, ProtocolError};
 use rand::RngCore;
 use sknn_bigint::{random_below, BigUint};
-use sknn_paillier::{Ciphertext, PublicKey};
+use sknn_paillier::{Ciphertext, PooledEncryptor, PublicKey};
 
 /// Securely bit-decomposes `E(z)` into `l` encrypted bits, most-significant
 /// bit first (the paper's `[z]` notation).
@@ -40,7 +40,25 @@ pub fn secure_bit_decompose<K: KeyHolder + ?Sized, R: RngCore + ?Sized>(
     l: usize,
     rng: &mut R,
 ) -> Result<Vec<Ciphertext>, ProtocolError> {
-    secure_bit_decompose_batch(pk, key_holder, std::slice::from_ref(e_z), l, rng)
+    secure_bit_decompose_with(pk, key_holder, e_z, l, rng, None)
+}
+
+/// [`secure_bit_decompose`] with an optional [`PooledEncryptor`]: each of
+/// the `l` rounds encrypts one fresh mask per value, which is P1's hottest
+/// online exponentiation — with a pool it becomes one modular
+/// multiplication per mask.
+///
+/// # Errors
+/// See [`secure_bit_decompose`].
+pub fn secure_bit_decompose_with<K: KeyHolder + ?Sized, R: RngCore + ?Sized>(
+    pk: &PublicKey,
+    key_holder: &K,
+    e_z: &Ciphertext,
+    l: usize,
+    rng: &mut R,
+    enc: Option<&PooledEncryptor>,
+) -> Result<Vec<Ciphertext>, ProtocolError> {
+    secure_bit_decompose_batch_with(pk, key_holder, std::slice::from_ref(e_z), l, rng, enc)
         .map(|mut v| v.pop().expect("batch of one returns one result"))
 }
 
@@ -54,6 +72,22 @@ pub fn secure_bit_decompose_batch<K: KeyHolder + ?Sized, R: RngCore + ?Sized>(
     e_zs: &[Ciphertext],
     l: usize,
     rng: &mut R,
+) -> Result<Vec<Vec<Ciphertext>>, ProtocolError> {
+    secure_bit_decompose_batch_with(pk, key_holder, e_zs, l, rng, None)
+}
+
+/// [`secure_bit_decompose_batch`] with an optional [`PooledEncryptor`] for
+/// the per-round mask encryptions.
+///
+/// # Errors
+/// See [`secure_bit_decompose_batch`].
+pub fn secure_bit_decompose_batch_with<K: KeyHolder + ?Sized, R: RngCore + ?Sized>(
+    pk: &PublicKey,
+    key_holder: &K,
+    e_zs: &[Ciphertext],
+    l: usize,
+    rng: &mut R,
+    enc: Option<&PooledEncryptor>,
 ) -> Result<Vec<Vec<Ciphertext>>, ProtocolError> {
     // 2^l must be far below N for the masking argument (and for the paper's
     // own premise that squared distances fit in l bits).
@@ -82,7 +116,12 @@ pub fn secure_bit_decompose_batch<K: KeyHolder + ?Sized, R: RngCore + ?Sized>(
         let mut masked = Vec::with_capacity(current.len());
         for c in &current {
             let r = random_below(rng, &mask_bound);
-            masked.push(pk.add(c, &pk.encrypt(&r, rng)));
+            // r < mask_bound < N, so pooled encryption cannot be out of range.
+            let e_r = match enc {
+                Some(enc) => enc.encrypt(&r).expect("mask is below N by construction"),
+                None => pk.encrypt(&r, rng),
+            };
+            masked.push(pk.add(c, &e_r));
             masks.push(r);
         }
         let parities = key_holder.lsb_of_masked_batch(&masked);
@@ -207,6 +246,34 @@ mod tests {
             let recomposed = recompose_bits(&pk, &bits);
             assert_eq!(holder.debug_decrypt_u64(&recomposed), z);
         }
+    }
+
+    #[test]
+    fn pooled_decomposition_matches_direct() {
+        use sknn_paillier::{PoolConfig, PooledEncryptor, RandomnessPool};
+        let (pk, holder, mut rng) = setup();
+        let pool = RandomnessPool::new(
+            pk.clone(),
+            PoolConfig {
+                capacity: 64,
+                background_refill: false,
+                seed: Some(93),
+                ..Default::default()
+            },
+        );
+        pool.prewarm(64);
+        let enc = PooledEncryptor::new(pool);
+        for z in [0u64, 55, 255] {
+            let e_z = pk.encrypt_u64(z, &mut rng);
+            let bits =
+                secure_bit_decompose_with(&pk, &holder, &e_z, 8, &mut rng, Some(&enc)).unwrap();
+            let plain = decrypt_bits(&holder, &bits);
+            assert_eq!(plain.iter().fold(0u64, |acc, &b| (acc << 1) | b), z);
+        }
+        assert!(
+            enc.pool().stats().draws() >= 24,
+            "masks must draw from the pool"
+        );
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Error-frame relay: a protocol-level failure on the key-holder server
+//! (C2) must cross the wire as a typed error frame — the server answers, the
+//! client surfaces the typed [`ProtocolError`], nothing panics or hangs, and
+//! the session stays usable for subsequent requests.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sknn_bigint::BigUint;
+use sknn_paillier::{Ciphertext, Keypair, PrivateKey, PublicKey};
+use sknn_protocols::transport::{serve, CoalesceConfig, SessionKeyHolder, TcpTransport};
+use sknn_protocols::{secure_multiply, KeyHolder, LocalKeyHolder, ProtocolError};
+use std::sync::{Arc, OnceLock};
+
+struct Fixture {
+    pk: PublicKey,
+    sk: PrivateKey,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIX: OnceLock<Fixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xE44);
+        let (pk, sk) = Keypair::generate(128, &mut rng).split();
+        Fixture { pk, sk }
+    })
+}
+
+/// Encrypts values none of which is zero, so C2's min-selection invariant
+/// ("at least one randomized distance difference decrypts to zero") fails.
+fn beta_without_zero(rng: &mut StdRng) -> Vec<Ciphertext> {
+    [17u64, 3, 23]
+        .iter()
+        .map(|&v| fixture().pk.encrypt_u64(v, rng))
+        .collect()
+}
+
+/// Asserts the full relay contract against an already-connected client:
+/// typed error surfaced, session alive afterwards.
+fn assert_min_selection_relay(client: &SessionKeyHolder, rng: &mut StdRng) {
+    let f = fixture();
+    let beta = beta_without_zero(rng);
+    assert_eq!(
+        client.min_selection(&beta),
+        Err(ProtocolError::MinSelectionFailed { candidates: 3 }),
+        "the server's typed failure must come back as the same typed error"
+    );
+
+    // The error fails only that one request: the very same session must keep
+    // answering (no hang, no torn-down connection, no poisoned server).
+    let e_a = f.pk.encrypt_u64(6, rng);
+    let e_b = f.pk.encrypt_u64(7, rng);
+    let product = secure_multiply(&f.pk, client, &e_a, &e_b, rng);
+    assert_eq!(f.sk.decrypt(&product), BigUint::from_u64(42));
+
+    // And a well-formed min-selection still succeeds afterwards.
+    let mut beta = beta_without_zero(rng);
+    beta.push(f.pk.encrypt_u64(0, rng));
+    let u = client.min_selection(&beta).expect("a zero is present");
+    assert_eq!(u.len(), 4);
+}
+
+#[test]
+fn min_selection_failure_relays_over_channel_transport() {
+    let f = fixture();
+    let mut rng = StdRng::seed_from_u64(1);
+    let (client, server) = SessionKeyHolder::spawn_in_process(
+        LocalKeyHolder::new(f.sk.clone(), 0xBAD0),
+        2,
+        CoalesceConfig::disabled(),
+    );
+    assert_min_selection_relay(&client, &mut rng);
+    drop(client);
+    assert_eq!(server.join().unwrap(), Ok(()), "server exits cleanly");
+}
+
+#[test]
+fn min_selection_failure_relays_over_tcp_transport() {
+    let f = fixture();
+    let mut rng = StdRng::seed_from_u64(2);
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let holder = LocalKeyHolder::new(f.sk.clone(), 0xBAD1);
+    let server = std::thread::spawn(move || {
+        let transport = TcpTransport::accept(&listener)?;
+        serve(&transport, &holder, 2)
+    });
+
+    let transport = TcpTransport::connect(addr).expect("connect");
+    let client = SessionKeyHolder::connect(
+        f.pk.clone(),
+        Arc::new(transport),
+        CoalesceConfig::disabled(),
+    );
+    assert_min_selection_relay(&client, &mut rng);
+    drop(client);
+    assert_eq!(server.join().unwrap(), Ok(()), "server exits cleanly");
+}

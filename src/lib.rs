@@ -66,6 +66,35 @@
 //! [`QueryResult::comm`] then reports per-query round trips and bytes for
 //! any remote transport.
 //!
+//! ## Architecture: offline/online Paillier precomputation
+//!
+//! Query cost is dominated by the `r^N mod N²` exponentiation inside every
+//! fresh Paillier encryption (SSED masking, SBD rounds, every key-holder
+//! response). That exponentiation depends only on the randomness, so it
+//! moves *offline*:
+//!
+//! ```text
+//!  offline                                 online (query path)
+//!  ───────                                 ───────────────────
+//!  RandomnessPool                          PooledEncryptor
+//!    · queue of precomputed (r, r^N mod N²)  · encrypt      = 1 mod-mul
+//!    · background refill thread              · encrypt_zero = queue pop
+//!    · synchronous fallback when drained     · rerandomize  = 1 mod-mul
+//!    · reusable sliding-window Montgomery
+//!      context for N² (bigint layer)
+//! ```
+//!
+//! [`Federation`] stands up one pool per cloud at setup and pre-warms both
+//! ([`FederationConfig`]'s `pool` / `pool_prewarm` knobs; `capacity: 0`
+//! disables pooling). C2's pool backs every fresh encryption in a
+//! key-holder response — locally or behind the transport server — and C1's
+//! pool backs the SBD round masks and result masking. Per-query pool hits
+//! vs synchronous fallbacks are reported by [`QueryProfile::pool`]
+//! ([`PoolActivity`]). Pool entries are sampled exactly like direct
+//! encryption randomness and consumed at most once, so the ciphertext
+//! distribution — and with it the paper's security argument — is unchanged
+//! (see `DESIGN.md`).
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -108,6 +137,9 @@ pub use sknn_protocols as protocols;
 pub use sknn_core::{
     plain_knn, plain_knn_records, squared_euclidean_distance, AccessPatternAudit, CloudC1,
     DataOwner, Federation, FederationConfig, KeyHolder, LocalKeyHolder, ParallelismConfig,
-    QueryProfile, QueryResult, QueryUser, SknnError, Stage, Table, TransportKind,
+    PoolActivity, QueryProfile, QueryResult, QueryUser, SknnError, Stage, Table, TransportKind,
 };
-pub use sknn_paillier::{Ciphertext, Keypair, PrivateKey, PublicKey};
+pub use sknn_paillier::{
+    Ciphertext, Keypair, PoolConfig, PoolStats, PooledEncryptor, PrivateKey, PublicKey,
+    RandomnessPool,
+};
