@@ -1,0 +1,136 @@
+//! Scalar vs slot-packed SM/SBD at packing factors σ ∈ {1, 4, 8, 16}.
+//!
+//! The packed paths trade C1-side Horner packing work for σ× fewer C2
+//! decryptions and σ× fewer request ciphertexts; this bench shows the
+//! end-to-end (single-process) effect of that trade per primitive. The
+//! `packing_end_to_end` integration test pins the ciphertext/decryption
+//! ratios; this file tracks the wall-clock side.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sknn_bench::cached_keypair;
+use sknn_bigint::BigUint;
+use sknn_paillier::{Ciphertext, PublicKey};
+use sknn_protocols::{
+    packed_bit_decompose, packed_squared_distances, secure_bit_decompose_batch,
+    secure_squared_distance, LocalKeyHolder, PackedParams,
+};
+use std::hint::black_box;
+use std::time::Duration;
+
+const KEY_BITS: usize = 512;
+/// 6-bit attribute values and κ = 7 keep the 16-slot layout inside a
+/// 512-bit plaintext (stride 30 → 480 bits).
+const VALUE_BITS: usize = 6;
+const BLIND_BITS: usize = 7;
+const SIGMAS: [usize; 4] = [1, 4, 8, 16];
+
+fn setup() -> (PublicKey, LocalKeyHolder, StdRng) {
+    let (pk, sk) = cached_keypair(KEY_BITS).split();
+    let holder = LocalKeyHolder::new(sk, 41);
+    (pk, holder, StdRng::seed_from_u64(42))
+}
+
+fn encrypt_vec(pk: &PublicKey, values: &[u64], rng: &mut StdRng) -> Vec<Ciphertext> {
+    values.iter().map(|&v| pk.encrypt_u64(v, rng)).collect()
+}
+
+/// SSED over 16 records of 6 attributes: one scalar baseline, then the
+/// packed path at each σ.
+fn bench_ssed_packing(c: &mut Criterion) {
+    let (pk, holder, mut rng) = setup();
+    let mut group = c.benchmark_group("packing/ssed");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+
+    let n = 16usize;
+    let m = 6usize;
+    let query: Vec<u64> = (0..m as u64).map(|j| (j * 13 + 7) % 63).collect();
+    let records: Vec<Vec<u64>> = (0..n as u64)
+        .map(|i| (0..m as u64).map(|j| (i * 17 + j * 5) % 63).collect())
+        .collect();
+    let e_query = encrypt_vec(&pk, &query, &mut rng);
+    let e_records: Vec<Vec<Ciphertext>> = records
+        .iter()
+        .map(|r| encrypt_vec(&pk, r, &mut rng))
+        .collect();
+
+    group.bench_function("scalar", |bench| {
+        bench.iter(|| {
+            for record in &e_records {
+                black_box(
+                    secure_squared_distance(&pk, &holder, &e_query, record, &mut rng).unwrap(),
+                );
+            }
+        })
+    });
+
+    for sigma in SIGMAS {
+        let params = PackedParams::derive(KEY_BITS, VALUE_BITS, BLIND_BITS, sigma).unwrap();
+        assert_eq!(params.slots(), sigma);
+        group.bench_with_input(BenchmarkId::new("packed", sigma), &sigma, |bench, _| {
+            bench.iter(|| {
+                for chunk in e_records.chunks(sigma) {
+                    let refs: Vec<&[Ciphertext]> = chunk.iter().map(|r| r.as_slice()).collect();
+                    black_box(
+                        packed_squared_distances(
+                            &pk, &holder, &e_query, &refs, &params, &mut rng, None,
+                        )
+                        .unwrap(),
+                    );
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// SBD of 16 eight-bit values: scalar batch vs packed state at each σ.
+fn bench_sbd_packing(c: &mut Criterion) {
+    let (pk, holder, mut rng) = setup();
+    let mut group = c.benchmark_group("packing/sbd");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+
+    let n = 16usize;
+    let l = 8usize;
+    let values: Vec<u64> = (0..n as u64).map(|i| (i * 37 + 11) % 256).collect();
+    let cts = encrypt_vec(&pk, &values, &mut rng);
+
+    group.bench_function("scalar", |bench| {
+        bench.iter(|| {
+            black_box(secure_bit_decompose_batch(&pk, &holder, &cts, l, &mut rng).unwrap())
+        })
+    });
+
+    for sigma in SIGMAS {
+        // SBD slots only need l + 2 bits of stride; the product-safe layout
+        // derived for SSED gives plenty.
+        let params = PackedParams::derive(KEY_BITS, VALUE_BITS, BLIND_BITS, sigma).unwrap();
+        assert!(params.supports_bit_length(l));
+        let mut packed = Vec::new();
+        let mut counts = Vec::new();
+        for chunk in values.chunks(sigma) {
+            let slots: Vec<BigUint> = chunk.iter().map(|&v| BigUint::from_u64(v)).collect();
+            packed.push(pk.encrypt(&params.layout.pack_wide(&slots).unwrap(), &mut rng));
+            counts.push(chunk.len());
+        }
+        group.bench_with_input(BenchmarkId::new("packed", sigma), &sigma, |bench, _| {
+            bench.iter(|| {
+                black_box(
+                    packed_bit_decompose(
+                        &pk, &holder, &packed, &counts, l, &params, &mut rng, None,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ssed_packing, bench_sbd_packing);
+criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Regenerates every figure of the paper's evaluation (Section 5).
 //!
 //! ```text
-//! cargo run --release -p sknn-bench --bin experiments -- <experiment> [--scale smoke|paper-shape|paper]
+//! cargo run --release -p sknn-bench --bin experiments -- <experiment> [--scale smoke|paper-shape|paper] [--json PATH]
 //!
 //! experiments:
 //!   fig2a      SkNN_b time vs n for m ∈ {6,12,18}        (k = 5, small key)
@@ -18,15 +18,18 @@
 //! ```
 //!
 //! Output is a whitespace-aligned table per experiment (one row per plotted
-//! point), matching the series of the corresponding figure. The `--scale`
-//! presets are described in `sknn-bench`'s crate documentation and in
-//! EXPERIMENTS.md.
+//! point), matching the series of the corresponding figure. In addition,
+//! every measured point — per-stage wall time, ciphertexts on the wire, C2
+//! decryption counts — is collected into a machine-readable JSON document
+//! (default `BENCH_results.json`, override with `--json PATH`), so the perf
+//! trajectory can be tracked across PRs. The `--scale` presets are described
+//! in `sknn-bench`'s crate documentation and in EXPERIMENTS.md.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sknn_bench::report::BenchReport;
 use sknn_bench::{
-    build_instance, cached_keypair, secs, time_basic, time_secure, InstanceSpec, Scale,
-    HARNESS_SEED,
+    build_instance, cached_keypair, run_basic, run_secure, secs, InstanceSpec, Scale, HARNESS_SEED,
 };
 use sknn_core::{QueryUser, Stage};
 use std::time::Instant;
@@ -35,6 +38,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut experiment = String::from("all");
     let mut scale = Scale::PaperShape;
+    let mut json_path = String::from("BENCH_results.json");
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -42,6 +46,12 @@ fn main() {
                 let value = iter.next().map(String::as_str).unwrap_or("");
                 scale = Scale::parse(value).unwrap_or_else(|| {
                     eprintln!("unknown scale '{value}' (expected smoke | paper-shape | paper)");
+                    std::process::exit(2);
+                });
+            }
+            "--json" => {
+                json_path = iter.next().cloned().unwrap_or_else(|| {
+                    eprintln!("--json requires a path argument");
                     std::process::exit(2);
                 });
             }
@@ -56,48 +66,67 @@ fn main() {
     println!("# sknn experiment harness — scale: {scale:?}");
     println!("# (times in seconds; series match the figures of Elmehdwi et al., ICDE 2014)\n");
 
+    let mut report = BenchReport::new(format!("{scale:?}"));
     match experiment.as_str() {
-        "fig2a" => fig2ab(scale, false),
-        "fig2b" => fig2ab(scale, true),
-        "fig2c" => fig2c(scale),
-        "fig2d" => fig2de(scale, false),
-        "fig2e" => fig2de(scale, true),
-        "fig2f" => fig2f(scale),
-        "fig3" => fig3(scale),
-        "breakdown" => breakdown(scale),
-        "bob-cost" => bob_cost(scale),
-        "keysize" => keysize(scale),
+        "fig2a" => fig2ab(scale, false, &mut report),
+        "fig2b" => fig2ab(scale, true, &mut report),
+        "fig2c" => fig2c(scale, &mut report),
+        "fig2d" => fig2de(scale, false, &mut report),
+        "fig2e" => fig2de(scale, true, &mut report),
+        "fig2f" => fig2f(scale, &mut report),
+        "fig3" => fig3(scale, &mut report),
+        "breakdown" => breakdown(scale, &mut report),
+        "bob-cost" => bob_cost(scale, &mut report),
+        "keysize" => keysize(scale, &mut report),
         "all" => {
-            fig2ab(scale, false);
-            fig2ab(scale, true);
-            fig2c(scale);
-            fig2de(scale, false);
-            fig2de(scale, true);
-            fig2f(scale);
-            fig3(scale);
-            breakdown(scale);
-            bob_cost(scale);
-            keysize(scale);
+            fig2ab(scale, false, &mut report);
+            fig2ab(scale, true, &mut report);
+            fig2c(scale, &mut report);
+            fig2de(scale, false, &mut report);
+            fig2de(scale, true, &mut report);
+            fig2f(scale, &mut report);
+            fig3(scale, &mut report);
+            breakdown(scale, &mut report);
+            bob_cost(scale, &mut report);
+            keysize(scale, &mut report);
         }
         other => {
             eprintln!("unknown experiment '{other}'");
             std::process::exit(2);
         }
     }
+
+    match report.write(&json_path) {
+        Ok(()) => println!("# wrote {} entries to {json_path}", report.len()),
+        Err(e) => eprintln!("# failed to write {json_path}: {e}"),
+    }
+}
+
+/// Standard parameter set recorded with every query entry.
+fn params(n: usize, m: usize, k: usize, l: usize, key_bits: usize) -> Vec<(&'static str, String)> {
+    vec![
+        ("n", n.to_string()),
+        ("m", m.to_string()),
+        ("k", k.to_string()),
+        ("l", l.to_string()),
+        ("K", key_bits.to_string()),
+    ]
 }
 
 /// Figures 2(a) and 2(b): SkNN_b time vs number of records, one series per m.
-fn fig2ab(scale: Scale, large_key: bool) {
+fn fig2ab(scale: Scale, large_key: bool, report: &mut BenchReport) {
     let (small, large) = scale.key_sizes();
     let key_bits = if large_key { large } else { small };
     let fig = if large_key { "2(b)" } else { "2(a)" };
+    let name = if large_key { "fig2b" } else { "fig2a" };
     let k = 5.min(scale.record_sweep()[0]);
     println!("## Figure {fig}: SkNN_b, k = {k}, K = {key_bits} bits");
     println!("{:>8} {:>6} {:>12}", "n", "m", "time_s");
     for &m in &scale.attribute_sweep() {
         for &n in &scale.record_sweep() {
             let instance = build_instance(InstanceSpec::new(n, m, 12, key_bits));
-            let elapsed = time_basic(&instance, k);
+            let (elapsed, result) = run_basic(&instance, k);
+            report.push_query(name, &params(n, m, k, 12, key_bits), elapsed, &result);
             println!("{n:>8} {m:>6} {:>12}", secs(elapsed));
         }
     }
@@ -105,7 +134,7 @@ fn fig2ab(scale: Scale, large_key: bool) {
 }
 
 /// Figure 2(c): SkNN_b time vs k, one series per key size.
-fn fig2c(scale: Scale) {
+fn fig2c(scale: Scale, report: &mut BenchReport) {
     let (small, large) = scale.key_sizes();
     let n = scale.basic_k_sweep_records();
     println!("## Figure 2(c): SkNN_b, m = 6, n = {n}");
@@ -114,7 +143,8 @@ fn fig2c(scale: Scale) {
         let instance = build_instance(InstanceSpec::new(n, 6, 12, key_bits));
         for &k in &scale.k_sweep() {
             let k = k.min(n);
-            let elapsed = time_basic(&instance, k);
+            let (elapsed, result) = run_basic(&instance, k);
+            report.push_query("fig2c", &params(n, 6, k, 12, key_bits), elapsed, &result);
             println!("{k:>8} {key_bits:>6} {:>12}", secs(elapsed));
         }
     }
@@ -122,10 +152,11 @@ fn fig2c(scale: Scale) {
 }
 
 /// Figures 2(d) and 2(e): SkNN_m time vs k, one series per l.
-fn fig2de(scale: Scale, large_key: bool) {
+fn fig2de(scale: Scale, large_key: bool, report: &mut BenchReport) {
     let (small, large) = scale.key_sizes();
     let key_bits = if large_key { large } else { small };
     let fig = if large_key { "2(e)" } else { "2(d)" };
+    let name = if large_key { "fig2e" } else { "fig2d" };
     let n = scale.secure_records();
     println!("## Figure {fig}: SkNN_m, m = 6, n = {n}, K = {key_bits} bits");
     println!("{:>8} {:>6} {:>12}", "k", "l", "time_s");
@@ -133,7 +164,8 @@ fn fig2de(scale: Scale, large_key: bool) {
         let instance = build_instance(InstanceSpec::new(n, 6, l, key_bits));
         for &k in &scale.k_sweep() {
             let k = k.min(n);
-            let elapsed = time_secure(&instance, k, l);
+            let (elapsed, result) = run_secure(&instance, k, l);
+            report.push_query(name, &params(n, 6, k, l, key_bits), elapsed, &result);
             println!("{k:>8} {l:>6} {:>12}", secs(elapsed));
         }
     }
@@ -141,7 +173,7 @@ fn fig2de(scale: Scale, large_key: bool) {
 }
 
 /// Figure 2(f): SkNN_b vs SkNN_m time vs k.
-fn fig2f(scale: Scale) {
+fn fig2f(scale: Scale, report: &mut BenchReport) {
     let (small, _) = scale.key_sizes();
     let n = scale.secure_records();
     let l = scale.distance_bit_sweep()[0];
@@ -150,15 +182,27 @@ fn fig2f(scale: Scale) {
     let instance = build_instance(InstanceSpec::new(n, 6, l, small));
     for &k in &scale.k_sweep() {
         let k = k.min(n);
-        let basic = time_basic(&instance, k);
-        let secure = time_secure(&instance, k, l);
+        let (basic, basic_result) = run_basic(&instance, k);
+        let (secure, secure_result) = run_secure(&instance, k, l);
+        report.push_query(
+            "fig2f-basic",
+            &params(n, 6, k, l, small),
+            basic,
+            &basic_result,
+        );
+        report.push_query(
+            "fig2f-secure",
+            &params(n, 6, k, l, small),
+            secure,
+            &secure_result,
+        );
         println!("{k:>8} {:>12} {:>12}", secs(basic), secs(secure));
     }
     println!();
 }
 
 /// Figure 3: serial vs parallel SkNN_b time vs n.
-fn fig3(scale: Scale) {
+fn fig3(scale: Scale, report: &mut BenchReport) {
     let (small, _) = scale.key_sizes();
     let k = 5.min(scale.record_sweep()[0]);
     let threads = 6;
@@ -169,12 +213,18 @@ fn fig3(scale: Scale) {
     );
     for &n in &scale.record_sweep() {
         let serial = build_instance(InstanceSpec::new(n, 6, 12, small));
-        let serial_time = time_basic(&serial, k);
+        let (serial_time, serial_result) = run_basic(&serial, k);
         let parallel = build_instance(InstanceSpec {
             threads,
             ..InstanceSpec::new(n, 6, 12, small)
         });
-        let parallel_time = time_basic(&parallel, k);
+        let (parallel_time, parallel_result) = run_basic(&parallel, k);
+        let mut serial_params = params(n, 6, k, 12, small);
+        serial_params.push(("threads", "1".to_string()));
+        report.push_query("fig3", &serial_params, serial_time, &serial_result);
+        let mut parallel_params = params(n, 6, k, 12, small);
+        parallel_params.push(("threads", threads.to_string()));
+        report.push_query("fig3", &parallel_params, parallel_time, &parallel_result);
         println!(
             "{n:>8} {:>12} {:>12} {:>8.2}x",
             secs(serial_time),
@@ -187,7 +237,7 @@ fn fig3(scale: Scale) {
 
 /// Section 5.2: the share of SkNN_m's cost spent inside SMIN_n grows from
 /// ≈70% to ≈75% as k grows from 5 to 25.
-fn breakdown(scale: Scale) {
+fn breakdown(scale: Scale, report: &mut BenchReport) {
     let (small, _) = scale.key_sizes();
     let n = scale.secure_records();
     let l = scale.distance_bit_sweep()[0];
@@ -207,10 +257,13 @@ fn breakdown(scale: Scale) {
         let k = k.min(n);
         let instance = build_instance(InstanceSpec::new(n, 6, l, small));
         let mut rng = StdRng::seed_from_u64(HARNESS_SEED ^ 0xBD);
+        let start = Instant::now();
         let result = instance
             .federation
             .query_secure_with_bits(&instance.query, k, l, &mut rng)
             .expect("secure query");
+        let elapsed = start.elapsed();
+        report.push_query("breakdown", &params(n, 6, k, l, small), elapsed, &result);
         let p = &result.profile;
         let smin = p.fraction(Stage::SecureMinimum) * 100.0;
         let ssed = p.fraction(Stage::DistanceComputation) * 100.0;
@@ -226,7 +279,7 @@ fn breakdown(scale: Scale) {
 
 /// Section 5.2: Bob's only cost is encrypting his query (≈4 ms at K = 512,
 /// ≈17 ms at K = 1024 for m = 6 in the paper).
-fn bob_cost(scale: Scale) {
+fn bob_cost(scale: Scale, report: &mut BenchReport) {
     let (small, large) = scale.key_sizes();
     let m = 6;
     println!("## Bob's query-encryption cost (Section 5.2), m = {m}");
@@ -246,23 +299,40 @@ fn bob_cost(scale: Scale) {
                 .expect("query values fit the key's message space");
         }
         let per_query = start.elapsed() / reps;
+        report.push_duration(
+            "bob-cost",
+            &[("m", m.to_string()), ("K", key_bits.to_string())],
+            per_query,
+        );
         println!("{key_bits:>8} {:>14.2}", per_query.as_secs_f64() * 1000.0);
     }
     println!();
 }
 
 /// Section 5.1: doubling the key size multiplies SkNN_b's cost by ≈7.
-fn keysize(scale: Scale) {
+fn keysize(scale: Scale, report: &mut BenchReport) {
     let (small, large) = scale.key_sizes();
     let n = scale.basic_k_sweep_records();
     let k = 5.min(n);
     println!("## Key-size scaling of SkNN_b (Section 5.1), n = {n}, m = 6, k = {k}");
     println!("{:>8} {:>12}", "K", "time_s");
     let small_instance = build_instance(InstanceSpec::new(n, 6, 12, small));
-    let small_time = time_basic(&small_instance, k);
+    let (small_time, small_result) = run_basic(&small_instance, k);
+    report.push_query(
+        "keysize",
+        &params(n, 6, k, 12, small),
+        small_time,
+        &small_result,
+    );
     println!("{small:>8} {:>12}", secs(small_time));
     let large_instance = build_instance(InstanceSpec::new(n, 6, 12, large));
-    let large_time = time_basic(&large_instance, k);
+    let (large_time, large_result) = run_basic(&large_instance, k);
+    report.push_query(
+        "keysize",
+        &params(n, 6, k, 12, large),
+        large_time,
+        &large_result,
+    );
     println!("{large:>8} {:>12}", secs(large_time));
     println!(
         "# ratio when K doubles: {:.2}x (paper reports ≈7x)",

@@ -212,31 +212,282 @@ pub fn build_instance(spec: InstanceSpec) -> Instance {
     }
 }
 
-/// Times one SkNN_b query on the instance.
-pub fn time_basic(instance: &Instance, k: usize) -> Duration {
+/// Runs one SkNN_b query on the instance, returning the full result (the
+/// profile carries per-stage wall time and ciphertext/decryption counts).
+pub fn run_basic(instance: &Instance, k: usize) -> (Duration, sknn_core::QueryResult) {
     let mut rng = StdRng::seed_from_u64(HARNESS_SEED ^ 0xB);
     let start = Instant::now();
-    instance
+    let result = instance
         .federation
         .query_basic(&instance.query, k, &mut rng)
         .expect("basic query");
-    start.elapsed()
+    (start.elapsed(), result)
+}
+
+/// Runs one SkNN_m query on the instance with an explicit `l`.
+pub fn run_secure(instance: &Instance, k: usize, l: usize) -> (Duration, sknn_core::QueryResult) {
+    let mut rng = StdRng::seed_from_u64(HARNESS_SEED ^ 0x5);
+    let start = Instant::now();
+    let result = instance
+        .federation
+        .query_secure_with_bits(&instance.query, k, l, &mut rng)
+        .expect("secure query");
+    (start.elapsed(), result)
+}
+
+/// Times one SkNN_b query on the instance.
+pub fn time_basic(instance: &Instance, k: usize) -> Duration {
+    run_basic(instance, k).0
 }
 
 /// Times one SkNN_m query on the instance with an explicit `l`.
 pub fn time_secure(instance: &Instance, k: usize, l: usize) -> Duration {
-    let mut rng = StdRng::seed_from_u64(HARNESS_SEED ^ 0x5);
-    let start = Instant::now();
-    instance
-        .federation
-        .query_secure_with_bits(&instance.query, k, l, &mut rng)
-        .expect("secure query");
-    start.elapsed()
+    run_secure(instance, k, l).0
 }
 
 /// Formats a duration as fractional seconds for the experiment tables.
 pub fn secs(d: Duration) -> String {
     format!("{:.3}", d.as_secs_f64())
+}
+
+pub mod report {
+    //! Machine-readable experiment output (`BENCH_results.json`).
+    //!
+    //! The experiments binary has always printed human-readable tables;
+    //! this module additionally collects every measured point — per-stage
+    //! wall time, ciphertexts on the wire, and C2 decryption counts — into
+    //! a JSON document, so the perf trajectory can be tracked across PRs
+    //! by diffing/plotting a single artifact. The writer is hand-rolled
+    //! (the build environment has no serde); the format is flat and
+    //! stable: one `entries` array of `{experiment, params, total_s,
+    //! stages[]}` objects.
+
+    use sknn_core::{QueryResult, Stage};
+    use std::io::Write;
+    use std::time::Duration;
+
+    /// One measured stage of one experiment point.
+    #[derive(Clone, Debug)]
+    pub struct StageRow {
+        /// Stage label (`SSED`, `SBD`, …).
+        pub stage: &'static str,
+        /// Wall-clock seconds spent in the stage.
+        pub seconds: f64,
+        /// Ciphertexts C1 sent to C2 during the stage.
+        pub ciphertexts_to_c2: u64,
+        /// Ciphertexts C2 sent back during the stage.
+        pub ciphertexts_from_c2: u64,
+        /// Paillier decryptions C2 performed during the stage.
+        pub c2_decryptions: u64,
+    }
+
+    /// One measured point: an experiment name, its parameters, the total
+    /// wall time, and the per-stage breakdown (empty for duration-only
+    /// measurements like Bob's encryption cost).
+    #[derive(Clone, Debug)]
+    pub struct Entry {
+        /// Which experiment produced the point (`fig2a`, `breakdown`, …).
+        pub experiment: String,
+        /// `(name, value)` parameter pairs (`n`, `m`, `k`, `K`, …).
+        pub params: Vec<(String, String)>,
+        /// End-to-end wall time in seconds.
+        pub total_seconds: f64,
+        /// Per-stage breakdown, in execution order.
+        pub stages: Vec<StageRow>,
+    }
+
+    /// Collects experiment points and serializes them to JSON.
+    #[derive(Clone, Debug, Default)]
+    pub struct BenchReport {
+        /// The scale preset the run used.
+        pub scale: String,
+        entries: Vec<Entry>,
+    }
+
+    impl BenchReport {
+        /// Creates an empty report for one harness run.
+        pub fn new(scale: impl Into<String>) -> BenchReport {
+            BenchReport {
+                scale: scale.into(),
+                entries: Vec::new(),
+            }
+        }
+
+        /// Number of collected points.
+        pub fn len(&self) -> usize {
+            self.entries.len()
+        }
+
+        /// Whether no point has been collected yet.
+        pub fn is_empty(&self) -> bool {
+            self.entries.is_empty()
+        }
+
+        /// Records a full query result: total time plus the per-stage wall
+        /// time / ciphertext / decryption breakdown from its profile.
+        pub fn push_query(
+            &mut self,
+            experiment: &str,
+            params: &[(&str, String)],
+            elapsed: Duration,
+            result: &QueryResult,
+        ) {
+            let stages = Stage::ALL
+                .iter()
+                .filter(|s| {
+                    result.profile.stage(**s) > Duration::ZERO
+                        || result.profile.ops(**s).ciphertexts_on_wire() > 0
+                })
+                .map(|s| {
+                    let ops = result.profile.ops(*s);
+                    StageRow {
+                        stage: s.label(),
+                        seconds: result.profile.stage(*s).as_secs_f64(),
+                        ciphertexts_to_c2: ops.ciphertexts_to_c2,
+                        ciphertexts_from_c2: ops.ciphertexts_from_c2,
+                        c2_decryptions: ops.c2_decryptions,
+                    }
+                })
+                .collect();
+            self.entries.push(Entry {
+                experiment: experiment.to_string(),
+                params: params
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect(),
+                total_seconds: elapsed.as_secs_f64(),
+                stages,
+            });
+        }
+
+        /// Records a duration-only point (no query profile available).
+        pub fn push_duration(
+            &mut self,
+            experiment: &str,
+            params: &[(&str, String)],
+            elapsed: Duration,
+        ) {
+            self.entries.push(Entry {
+                experiment: experiment.to_string(),
+                params: params
+                    .iter()
+                    .map(|(k, v)| (k.to_string(), v.clone()))
+                    .collect(),
+                total_seconds: elapsed.as_secs_f64(),
+                stages: Vec::new(),
+            });
+        }
+
+        /// Serializes the report as a JSON document.
+        pub fn to_json(&self) -> String {
+            let mut out = String::from("{\n");
+            out.push_str("  \"generator\": \"sknn-bench experiments\",\n");
+            out.push_str(&format!("  \"scale\": {},\n", json_string(&self.scale)));
+            out.push_str("  \"entries\": [\n");
+            for (i, e) in self.entries.iter().enumerate() {
+                out.push_str("    {");
+                out.push_str(&format!("\"experiment\": {}, ", json_string(&e.experiment)));
+                out.push_str("\"params\": {");
+                for (j, (k, v)) in e.params.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!("{}: {}", json_string(k), json_string(v)));
+                }
+                out.push_str("}, ");
+                out.push_str(&format!("\"total_s\": {:.6}, ", e.total_seconds));
+                out.push_str("\"stages\": [");
+                for (j, s) in e.stages.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!(
+                        "{{\"stage\": {}, \"seconds\": {:.6}, \"ciphertexts_to_c2\": {}, \
+                         \"ciphertexts_from_c2\": {}, \"c2_decryptions\": {}}}",
+                        json_string(s.stage),
+                        s.seconds,
+                        s.ciphertexts_to_c2,
+                        s.ciphertexts_from_c2,
+                        s.c2_decryptions
+                    ));
+                }
+                out.push_str("]}");
+                out.push_str(if i + 1 < self.entries.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                });
+            }
+            out.push_str("  ]\n}\n");
+            out
+        }
+
+        /// Writes the JSON document to `path`.
+        ///
+        /// # Errors
+        /// Propagates filesystem errors.
+        pub fn write(&self, path: &str) -> std::io::Result<()> {
+            let mut file = std::fs::File::create(path)?;
+            file.write_all(self.to_json().as_bytes())
+        }
+    }
+
+    /// Minimal JSON string escaping (quotes, backslashes, control chars) —
+    /// sufficient for the identifiers and numbers this report contains.
+    fn json_string(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn report_serializes_and_escapes() {
+            let mut report = BenchReport::new("smoke");
+            assert!(report.is_empty());
+            report.push_duration(
+                "bob-cost",
+                &[("K", "256".to_string()), ("note", "a\"b".to_string())],
+                Duration::from_millis(1500),
+            );
+            assert_eq!(report.len(), 1);
+            let json = report.to_json();
+            assert!(json.contains("\"scale\": \"smoke\""));
+            assert!(json.contains("\"experiment\": \"bob-cost\""));
+            assert!(json.contains("\"total_s\": 1.500000"));
+            assert!(json.contains("a\\\"b"));
+            assert!(json.contains("\"stages\": []"));
+        }
+
+        #[test]
+        fn query_entries_carry_stage_counters() {
+            let spec = crate::InstanceSpec::new(8, 2, 8, 128);
+            let instance = crate::build_instance(spec);
+            let (elapsed, result) = crate::run_basic(&instance, 2);
+            let mut report = BenchReport::new("smoke");
+            report.push_query("fig2a", &[("n", "8".into())], elapsed, &result);
+            let json = report.to_json();
+            assert!(json.contains("\"stage\": \"SSED\""));
+            assert!(json.contains("\"c2_decryptions\""));
+            // SSED of 8 records × 2 attributes: 32 decryptions scalar.
+            assert!(json.contains("\"c2_decryptions\": 32"));
+        }
+    }
 }
 
 #[cfg(test)]

@@ -56,10 +56,13 @@ impl Montgomery {
     /// The window width adapts to the exponent size (2–6 bits), and only the
     /// odd powers `base^1, base^3, …` are tabulated, so compared to a fixed
     /// window the precomputation is halved and runs of zero exponent bits
-    /// cost squarings only. Contexts are reusable: callers that exponentiate
-    /// repeatedly modulo the same value (Paillier's `N²` in particular)
-    /// should construct one [`Montgomery`] and call `pow` on it, skipping
-    /// the per-call `R²`/limb-inverse setup that [`BigUint::mod_pow`] pays.
+    /// cost squarings only. All square steps go through the dedicated
+    /// [`Montgomery::sqr`] path, which skips the duplicated cross products a
+    /// general multiplication would compute. Contexts are reusable: callers
+    /// that exponentiate repeatedly modulo the same value (Paillier's `N²`
+    /// in particular) should construct one [`Montgomery`] and call `pow` on
+    /// it, skipping the per-call `R²`/limb-inverse setup that
+    /// [`BigUint::mod_pow`] pays.
     pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
         if exp.is_zero() {
             return BigUint::one().rem_ref(&self.modulus);
@@ -70,7 +73,7 @@ impl Montgomery {
         let total_bits = exp.bits();
         let w = sliding_window_width(total_bits);
         // table[k] = base^(2k+1) in Montgomery form (odd powers only).
-        let base_sq = self.mont_mul(&base_m, &base_m);
+        let base_sq = self.mont_sqr(&base_m);
         let mut table = Vec::with_capacity(1 << (w - 1));
         table.push(base_m);
         for k in 1..(1usize << (w - 1)) {
@@ -83,7 +86,7 @@ impl Montgomery {
         while i >= 0 {
             if !exp.bit(i as usize) {
                 if let Some(a) = acc.as_mut() {
-                    *a = self.mont_mul(a, a);
+                    *a = self.mont_sqr(a);
                 }
                 i -= 1;
                 continue;
@@ -102,7 +105,7 @@ impl Montgomery {
             acc = Some(match acc {
                 Some(mut a) => {
                     for _ in 0..width {
-                        a = self.mont_mul(&a, &a);
+                        a = self.mont_sqr(&a);
                     }
                     self.mont_mul(&a, &table[value >> 1])
                 }
@@ -122,6 +125,13 @@ impl Montgomery {
         let am = self.to_mont(&a.rem_ref(&self.modulus));
         let bm = self.to_mont(&b.rem_ref(&self.modulus));
         self.from_mont(&self.mont_mul(&am, &bm))
+    }
+
+    /// Computes `a² mod modulus` through the Montgomery domain, using the
+    /// dedicated squaring path.
+    pub fn sqr(&self, a: &BigUint) -> BigUint {
+        let am = self.to_mont(&a.rem_ref(&self.modulus));
+        self.from_mont(&self.mont_sqr(&am))
     }
 
     /// Converts into Montgomery form (`x·R mod m`).
@@ -187,6 +197,90 @@ impl Montgomery {
                 borrow = (b1 as u64) + (b2 as u64);
             }
             debug_assert!(t[l] >= borrow);
+        }
+        out
+    }
+
+    /// Montgomery squaring of a `limbs`-long value, returning a `limbs`-long
+    /// value `< modulus`.
+    ///
+    /// A square's cross products are symmetric (`aᵢ·aⱼ` appears twice), so
+    /// instead of CIOS's interleaved `l²` multiplications this computes the
+    /// upper-triangle product once, doubles it with a one-bit shift, adds the
+    /// `l` diagonal squares, and finishes with a separated Montgomery
+    /// reduction pass — `l(l+1)/2 + l` word multiplications for the product
+    /// phase instead of `l²`, which is what makes the square steps inside
+    /// [`Montgomery::pow`]'s window loop (the bulk of every exponentiation)
+    /// ~1.3× cheaper than going through [`Montgomery::mont_mul`].
+    fn mont_sqr(&self, a: &[u64]) -> Vec<u64> {
+        let l = self.limbs;
+        let n = self.modulus.limbs();
+        debug_assert_eq!(a.len(), l);
+
+        // Phase 1a: upper-triangle products t += aᵢ·aⱼ for j > i.
+        let mut t = vec![0u64; 2 * l + 1];
+        for i in 0..l {
+            let mut carry: u128 = 0;
+            for j in (i + 1)..l {
+                let sum = t[i + j] as u128 + a[i] as u128 * a[j] as u128 + carry;
+                t[i + j] = sum as u64;
+                carry = sum >> 64;
+            }
+            t[i + l] = carry as u64; // slot untouched so far; carry < 2^64
+        }
+
+        // Phase 1b: double the cross products (shift left by one bit), then
+        // add the diagonal squares aᵢ². The total is exactly a² < R², so it
+        // fits the 2l limbs; the extra limb only absorbs reduction carries.
+        let mut top_bit = 0u64;
+        for limb in t.iter_mut().take(2 * l) {
+            let new_top = *limb >> 63;
+            *limb = (*limb << 1) | top_bit;
+            top_bit = new_top;
+        }
+        debug_assert_eq!(top_bit, 0, "a² overflows 2l limbs");
+        let mut carry: u128 = 0;
+        for i in 0..l {
+            let sq = a[i] as u128 * a[i] as u128;
+            let lo = t[2 * i] as u128 + (sq as u64) as u128 + carry;
+            t[2 * i] = lo as u64;
+            let hi = t[2 * i + 1] as u128 + (sq >> 64) + (lo >> 64);
+            t[2 * i + 1] = hi as u64;
+            carry = hi >> 64;
+        }
+        debug_assert_eq!(carry, 0, "a² overflows 2l limbs");
+
+        // Phase 2: Montgomery reduction, one limb per round. Input < N·R, so
+        // the reduced result is < 2N and a single subtraction suffices —
+        // identical to the mont_mul tail.
+        for i in 0..l {
+            let m = t[i].wrapping_mul(self.n0_inv);
+            let mut carry: u128 = 0;
+            for j in 0..l {
+                let sum = t[i + j] as u128 + m as u128 * n[j] as u128 + carry;
+                t[i + j] = sum as u64;
+                carry = sum >> 64;
+            }
+            let mut k = i + l;
+            while carry > 0 {
+                let sum = t[k] as u128 + carry;
+                t[k] = sum as u64;
+                carry = sum >> 64;
+                k += 1;
+            }
+        }
+
+        let mut out: Vec<u64> = t[l..2 * l].to_vec();
+        let overflow = t[2 * l] != 0;
+        if overflow || crate::limbs::cmp_limbs(&out, n) != core::cmp::Ordering::Less {
+            let mut borrow = 0u64;
+            for j in 0..l {
+                let (d, b1) = out[j].overflowing_sub(n[j]);
+                let (d2, b2) = d.overflowing_sub(borrow);
+                out[j] = d2;
+                borrow = (b1 as u64) + (b2 as u64);
+            }
+            debug_assert!(t[2 * l] as u128 >= borrow as u128);
         }
         out
     }
@@ -303,6 +397,39 @@ mod tests {
         // Runs of zeros inside the exponent (stresses the window slide).
         let sparse = BigUint::one().shl_bits(100).add_ref(&BigUint::one());
         assert_eq!(ctx.pow(&base, &sparse), base.mod_pow_basic(&sparse, &m));
+    }
+
+    #[test]
+    fn sqr_matches_mul_single_limb() {
+        let m = bu(0xFFFF_FFFF_FFFF_FFC5);
+        let ctx = Montgomery::new(m.clone());
+        for a in [0u128, 1, 2, 0xDEADBEEF, u64::MAX as u128 - 7] {
+            assert_eq!(ctx.sqr(&bu(a)), bu(a).mod_mul(&bu(a), &m), "a = {a}");
+        }
+    }
+
+    #[test]
+    fn sqr_matches_mul_multi_limb() {
+        // Moduli of 2, 3 and 5 limbs; bases straddling the limb boundaries.
+        for m_hex in [
+            "f000000000000000000000000000000d3",
+            "c0000000000000000000000000000000000000000000000035",
+            "a0000000000000000000000000000000000000000000000000000000000000000000000000000077",
+        ] {
+            let m = BigUint::from_hex_str(m_hex).unwrap();
+            let ctx = Montgomery::new(m.clone());
+            let mut a = BigUint::from_hex_str("abcdef0123456789abcdef0123456789").unwrap();
+            for _ in 0..8 {
+                assert_eq!(ctx.sqr(&a), a.mod_mul(&a, &m), "m = {m_hex}");
+                // Walk through pseudo-random residues (squaring chain).
+                a = ctx.sqr(&a).add_ref(&BigUint::one());
+            }
+            // Values already ≥ m are reduced first, like `mul`.
+            let big = m.mul_ref(&BigUint::two()).add_ref(&BigUint::from_u64(9));
+            assert_eq!(ctx.sqr(&big), big.mod_mul(&big, &m));
+            assert_eq!(ctx.sqr(&BigUint::zero()), BigUint::zero());
+            assert_eq!(ctx.sqr(&BigUint::one()), BigUint::one());
+        }
     }
 
     #[test]

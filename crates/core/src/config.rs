@@ -32,6 +32,42 @@ impl TransportKind {
     }
 }
 
+/// Slot-packed Paillier batching for the SSED and SBD stages (see
+/// [`sknn_paillier::packing`] and `DESIGN.md`).
+///
+/// Packing puts σ guard-banded values into one plaintext, dividing the
+/// C1↔C2 ciphertext volume and C2's decryption count for those stages by
+/// ~σ. It requires a key large enough to hold σ product-safe slots and a
+/// key holder that speaks the packed requests (feature revision ≥ 2);
+/// otherwise the queries fall back to — or [`PackingKind::Fixed`] refuses
+/// at setup instead of silently degrading — the scalar paths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum PackingKind {
+    /// Scalar paths only (one value per ciphertext).
+    #[default]
+    Off,
+    /// Pack up to σ values per ciphertext, silently clamping to what the
+    /// key supports and falling back to scalar when packing is infeasible
+    /// or the key holder lacks the fast path. The deployment-friendly
+    /// choice.
+    Auto(usize),
+    /// Pack exactly σ values per ciphertext; [`crate::Federation::setup`]
+    /// fails with [`crate::SknnError::PackingInfeasible`] when the key
+    /// cannot hold σ slots. For experiments where the packing factor is
+    /// part of the measurement.
+    Fixed(usize),
+}
+
+impl PackingKind {
+    /// The requested packing factor, if packing is requested at all.
+    pub fn requested_slots(&self) -> Option<usize> {
+        match self {
+            PackingKind::Off => None,
+            PackingKind::Auto(s) | PackingKind::Fixed(s) => Some(*s),
+        }
+    }
+}
+
 /// Configuration for [`crate::Federation::setup`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FederationConfig {
@@ -78,6 +114,17 @@ pub struct FederationConfig {
     /// cloud before the first query (clamped to `pool.capacity`); the
     /// background refill thread tops the pools up from there.
     pub pool_prewarm: usize,
+    /// Slot-packed batching for the SSED and SBD stages. Off by default —
+    /// packing trades the scalar paths' full-domain masking for `κ`-bit
+    /// statistical blinding ([`FederationConfig::packing_blind_bits`]), a
+    /// deployment decision the operator should make explicitly.
+    pub packing: PackingKind,
+    /// The statistical blinding parameter κ of the packed paths: slot
+    /// masks carry κ more bits of entropy than the values they hide, so
+    /// C2's view is within statistical distance `2^{−κ}` of simulatable.
+    /// 40 is the conventional default; tests with tiny keys lower it to
+    /// make room for slots.
+    pub packing_blind_bits: usize,
 }
 
 impl Default for FederationConfig {
@@ -92,6 +139,8 @@ impl Default for FederationConfig {
             c2_seed: 0x5EC0_0D02,
             pool: PoolConfig::default(),
             pool_prewarm: 64,
+            packing: PackingKind::Off,
+            packing_blind_bits: 40,
         }
     }
 }
@@ -119,6 +168,16 @@ mod tests {
         assert!(c.distance_bits.is_none());
         assert!(c.pool.capacity > 0, "pooling is on by default");
         assert!(c.pool_prewarm <= c.pool.capacity);
+        assert_eq!(c.packing, PackingKind::Off);
+        assert_eq!(c.packing_blind_bits, 40);
+    }
+
+    #[test]
+    fn packing_kind_requested_slots() {
+        assert_eq!(PackingKind::Off.requested_slots(), None);
+        assert_eq!(PackingKind::Auto(8).requested_slots(), Some(8));
+        assert_eq!(PackingKind::Fixed(4).requested_slots(), Some(4));
+        assert_eq!(PackingKind::default(), PackingKind::Off);
     }
 
     #[test]

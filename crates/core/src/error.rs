@@ -34,6 +34,15 @@ pub enum SknnError {
         /// The minimum `l` that would be safe.
         required: usize,
     },
+    /// `FederationConfig.packing` demanded a fixed packing factor the key
+    /// size and distance domain cannot hold.
+    PackingInfeasible {
+        /// The requested slots-per-ciphertext σ.
+        requested: usize,
+        /// The largest σ the key's plaintext space supports (0 when not
+        /// even one slot fits).
+        supported: usize,
+    },
     /// An error bubbled up from the underlying two-party protocols.
     Protocol(ProtocolError),
     /// An error bubbled up from the Paillier layer — typically a plaintext
@@ -56,6 +65,14 @@ impl fmt::Display for SknnError {
             SknnError::InsufficientDistanceBits { l, required } => write!(
                 f,
                 "distance domain of {l} bits cannot hold the worst-case squared distance ({required} bits required)"
+            ),
+            SknnError::PackingInfeasible {
+                requested,
+                supported,
+            } => write!(
+                f,
+                "fixed packing factor {requested} is infeasible for this key and distance \
+                 domain (at most {supported} slots fit)"
             ),
             SknnError::Protocol(e) => write!(f, "protocol error: {e}"),
             SknnError::Paillier(e) => write!(f, "encryption error: {e}"),

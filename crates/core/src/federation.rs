@@ -14,7 +14,7 @@
 //! [`SessionKeyHolder`] client, so the record-parallel stages of both
 //! protocols keep multiple requests in flight over one connection.
 
-use crate::config::{FederationConfig, SecureQueryParams, TransportKind};
+use crate::config::{FederationConfig, PackingKind, SecureQueryParams, TransportKind};
 use crate::parallel::ParallelismConfig;
 use crate::profile::{PoolActivity, QueryProfile};
 use crate::roles::{CloudC1, DataOwner, QueryUser};
@@ -25,7 +25,7 @@ use sknn_protocols::stats::CommSnapshot;
 use sknn_protocols::transport::{
     serve, CoalesceConfig, SessionKeyHolder, TcpTransport, TransportError,
 };
-use sknn_protocols::{KeyHolder, LocalKeyHolder};
+use sknn_protocols::{KeyHolder, LocalKeyHolder, PackedParams};
 use std::net::TcpListener;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -135,6 +135,39 @@ impl Federation {
         let user = QueryUser::new(owner.public_key().clone());
         let public_key = owner.public_key().clone();
 
+        // Slot packing: derive the product-safe layout from the key size
+        // and the distance domain. The attribute differences SSED blinds
+        // satisfy |d| < 2^⌈l/2⌉ because every squared distance fits l bits.
+        let packing = match config.packing.requested_slots() {
+            None => None,
+            Some(requested) => {
+                let value_bits = distance_bits.div_ceil(2);
+                let derived = PackedParams::derive(
+                    config.key_bits,
+                    value_bits,
+                    config.packing_blind_bits,
+                    requested,
+                );
+                match (config.packing, derived) {
+                    (PackingKind::Fixed(_), Ok(p)) if p.slots() < requested => {
+                        return Err(SknnError::PackingInfeasible {
+                            requested,
+                            supported: p.slots(),
+                        });
+                    }
+                    (PackingKind::Fixed(_), Err(_)) => {
+                        return Err(SknnError::PackingInfeasible {
+                            requested,
+                            supported: 0,
+                        });
+                    }
+                    // Auto: clamp to what fits, or fall back to scalar.
+                    (_, Ok(p)) => Some(p),
+                    (_, Err(_)) => None,
+                }
+            }
+        };
+
         // Offline/online split: one randomness pool per cloud, pre-warmed so
         // the first query already encrypts with one multiplication per unit.
         // `seed: None` keeps the PoolConfig contract — OS entropy, the right
@@ -160,6 +193,9 @@ impl Federation {
         let mut c1 = CloudC1::new(db);
         if pooling {
             c1 = c1.with_encryptor(PooledEncryptor::new(pool_for(0xC1)));
+        }
+        if let Some(params) = packing {
+            c1 = c1.with_packing(params);
         }
         let mut holder = LocalKeyHolder::new(owner.private_key().clone(), config.c2_seed);
         if pooling {
@@ -249,6 +285,12 @@ impl Federation {
     /// The distance-domain bit length (`l`) used by secure queries.
     pub fn distance_bits(&self) -> usize {
         self.distance_bits
+    }
+
+    /// The slot-packing parameters in effect (`None` when packing is off or
+    /// was infeasible under [`crate::PackingKind::Auto`]).
+    pub fn packing(&self) -> Option<&PackedParams> {
+        self.c1.packing()
     }
 
     /// Number of records in the outsourced database.
@@ -620,6 +662,118 @@ mod tests {
             crate::profile::PoolActivity::default()
         );
         assert_eq!(federation.pool_stats(), sknn_paillier::PoolStats::default());
+    }
+
+    #[test]
+    fn packed_queries_match_scalar_results() {
+        use crate::config::PackingKind;
+        let mut rng = StdRng::seed_from_u64(420);
+        let table = table();
+        let query = [2u64, 2];
+        // Heart-sized small table; key big enough for a few slots at a
+        // reduced statistical parameter.
+        let run = |packing: PackingKind, rng: &mut StdRng| {
+            let config = FederationConfig {
+                key_bits: 192,
+                max_query_value: 10,
+                packing,
+                packing_blind_bits: 10,
+                ..Default::default()
+            };
+            let federation = Federation::setup(&table, config, rng).unwrap();
+            let basic = federation.query_basic(&query, 3, rng).unwrap();
+            let mut secure = federation.query_secure(&query, 2, rng).unwrap().records;
+            secure.sort();
+            (federation, basic, secure)
+        };
+        let (scalar_fed, scalar_basic, scalar_secure) = run(PackingKind::Off, &mut rng);
+        let (packed_fed, packed_basic, packed_secure) = run(PackingKind::Auto(8), &mut rng);
+        let sigma = packed_fed.packing().expect("packing derived").slots();
+        assert!(sigma >= 2, "192-bit key must fit at least two slots");
+        assert!(scalar_fed.packing().is_none());
+
+        // Identical results on both protocols.
+        assert_eq!(packed_basic.records, scalar_basic.records);
+        assert_eq!(packed_basic.records, plain_knn_records(&table, &query, 3));
+        assert_eq!(packed_secure, scalar_secure);
+
+        // The packed SSED stage moves ~σ× fewer ciphertexts and decrypts
+        // ~σ× less (square form also halves the scalar path's 2-per-pair
+        // decryptions, hence strictly more than σ).
+        let scalar_ops = scalar_basic
+            .profile
+            .ops(crate::profile::Stage::DistanceComputation);
+        let packed_ops = packed_basic
+            .profile
+            .ops(crate::profile::Stage::DistanceComputation);
+        assert!(
+            packed_ops.ciphertexts_on_wire() * (sigma as u64) <= scalar_ops.ciphertexts_on_wire(),
+            "packed SSED wire: {packed_ops:?} vs scalar {scalar_ops:?} at σ = {sigma}"
+        );
+        assert!(packed_ops.c2_decryptions * 2 * (sigma as u64) <= scalar_ops.c2_decryptions);
+    }
+
+    #[test]
+    fn fixed_packing_that_does_not_fit_is_rejected() {
+        use crate::config::PackingKind;
+        let mut rng = StdRng::seed_from_u64(421);
+        let table = table();
+        let config = FederationConfig {
+            key_bits: 96,
+            max_query_value: 10,
+            packing: PackingKind::Fixed(64),
+            ..Default::default()
+        };
+        assert!(matches!(
+            Federation::setup(&table, config, &mut rng),
+            Err(SknnError::PackingInfeasible { requested: 64, .. })
+        ));
+        // Auto degrades to scalar instead of failing (the default κ = 40
+        // cannot fit a single slot in a 64-bit key).
+        let config = FederationConfig {
+            key_bits: 64,
+            max_query_value: 10,
+            packing: PackingKind::Auto(64),
+            ..Default::default()
+        };
+        let federation = Federation::setup(&table, config, &mut rng).unwrap();
+        assert!(federation.packing().is_none());
+        let result = federation.query_basic(&[2, 2], 2, &mut rng).unwrap();
+        assert_eq!(result.records, plain_knn_records(&table, &[2, 2], 2));
+    }
+
+    #[test]
+    fn packed_queries_work_over_remote_transports() {
+        use crate::config::PackingKind;
+        let mut rng = StdRng::seed_from_u64(422);
+        let table = table();
+        let query = [2u64, 2];
+        for transport in [TransportKind::Channel, TransportKind::Tcp] {
+            let config = FederationConfig {
+                key_bits: 192,
+                max_query_value: 10,
+                transport,
+                packing: PackingKind::Fixed(2),
+                packing_blind_bits: 10,
+                ..Default::default()
+            };
+            let federation = Federation::setup(&table, config, &mut rng).unwrap();
+            assert_eq!(federation.packing().unwrap().slots(), 2, "{transport:?}");
+            let basic = federation.query_basic(&query, 3, &mut rng).unwrap();
+            assert_eq!(
+                basic.records,
+                plain_knn_records(&table, &query, 3),
+                "{transport:?}"
+            );
+            let mut secure = federation
+                .query_secure(&query, 2, &mut rng)
+                .unwrap()
+                .records;
+            secure.sort();
+            let mut want = plain_knn_records(&table, &query, 2);
+            want.sort();
+            assert_eq!(secure, want, "{transport:?}");
+        }
     }
 
     #[test]

@@ -56,6 +56,7 @@ mod config;
 mod encdb;
 mod error;
 mod federation;
+mod meter;
 mod parallel;
 mod plain;
 mod profile;
@@ -65,20 +66,20 @@ mod sknn_secure;
 mod table;
 
 pub use audit::AccessPatternAudit;
-pub use config::{FederationConfig, SecureQueryParams, TransportKind};
+pub use config::{FederationConfig, PackingKind, SecureQueryParams, TransportKind};
 pub use encdb::{EncryptedDatabase, EncryptedQuery, EncryptedRecord, MaskedResult};
 pub use error::SknnError;
 pub use federation::{Federation, QueryResult};
 pub use parallel::ParallelismConfig;
 pub use plain::{plain_knn, plain_knn_records, squared_euclidean_distance};
-pub use profile::{PoolActivity, QueryProfile, Stage};
+pub use profile::{OpCounters, PoolActivity, QueryProfile, Stage};
 pub use roles::{CloudC1, DataOwner, QueryUser};
 pub use table::Table;
 
 // Re-export the lower layers so downstream users need a single dependency.
 pub use sknn_paillier::{
-    Ciphertext, Keypair, PoolConfig, PoolStats, PooledEncryptor, PrivateKey, PublicKey,
-    RandomnessPool,
+    Ciphertext, Keypair, PackingError, PoolConfig, PoolStats, PooledEncryptor, PrivateKey,
+    PublicKey, RandomnessPool, SlotLayout,
 };
 pub use sknn_protocols::transport::{CoalesceConfig, SessionKeyHolder, Transport, TransportError};
-pub use sknn_protocols::{KeyHolder, LocalKeyHolder, ProtocolError};
+pub use sknn_protocols::{KeyHolder, LocalKeyHolder, PackedParams, ProtocolError};

@@ -80,12 +80,47 @@ impl PoolActivity {
     }
 }
 
+/// Protocol-operation counters of one stage: how many ciphertexts crossed
+/// the C1↔C2 boundary (in either direction) and how many decryptions the
+/// key-holding cloud performed on this stage's behalf.
+///
+/// The counts are derived from the shape of each [`sknn_protocols::KeyHolder`]
+/// call — not from a particular transport — so they are identical for
+/// in-process, channel and TCP deployments and directly comparable across
+/// configurations (scalar vs slot-packed in particular: packing divides
+/// `ciphertexts_to_c2`, SSED's `ciphertexts_from_c2`, and `c2_decryptions`
+/// by the packing factor σ).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCounters {
+    /// Ciphertexts C1 sent to C2.
+    pub ciphertexts_to_c2: u64,
+    /// Ciphertexts C2 sent back to C1 (index/plaintext replies count zero).
+    pub ciphertexts_from_c2: u64,
+    /// Paillier decryptions C2 performed.
+    pub c2_decryptions: u64,
+}
+
+impl OpCounters {
+    /// Ciphertexts on the wire in both directions.
+    pub fn ciphertexts_on_wire(&self) -> u64 {
+        self.ciphertexts_to_c2 + self.ciphertexts_from_c2
+    }
+
+    /// Component-wise sum.
+    pub fn add(&mut self, other: OpCounters) {
+        self.ciphertexts_to_c2 += other.ciphertexts_to_c2;
+        self.ciphertexts_from_c2 += other.ciphertexts_from_c2;
+        self.c2_decryptions += other.c2_decryptions;
+    }
+}
+
 /// Wall-clock timings of one query, broken down by [`Stage`].
 #[derive(Clone, Debug, Default)]
 pub struct QueryProfile {
     durations: Vec<(Stage, Duration)>,
     total: Duration,
     pool: PoolActivity,
+    ops: Vec<(Stage, OpCounters)>,
 }
 
 impl QueryProfile {
@@ -157,11 +192,42 @@ impl QueryProfile {
         self.pool
     }
 
+    /// Adds protocol-operation counters observed during `stage`.
+    pub fn record_ops(&mut self, stage: Stage, counters: OpCounters) {
+        if let Some(entry) = self.ops.iter_mut().find(|(s, _)| *s == stage) {
+            entry.1.add(counters);
+        } else {
+            self.ops.push((stage, counters));
+        }
+    }
+
+    /// Protocol-operation counters of one stage (zero if the stage never
+    /// talked to C2).
+    pub fn ops(&self, stage: Stage) -> OpCounters {
+        self.ops
+            .iter()
+            .find(|(s, _)| *s == stage)
+            .map(|(_, c)| *c)
+            .unwrap_or_default()
+    }
+
+    /// Protocol-operation counters summed across all stages.
+    pub fn total_ops(&self) -> OpCounters {
+        let mut total = OpCounters::default();
+        for (_, c) in &self.ops {
+            total.add(*c);
+        }
+        total
+    }
+
     /// Merges another profile into this one (used by the parallel executor to
     /// fold per-thread measurements together).
     pub fn merge(&mut self, other: &QueryProfile) {
         for (stage, d) in &other.durations {
             self.record(*stage, *d);
+        }
+        for (stage, c) in &other.ops {
+            self.record_ops(*stage, *c);
         }
         self.record_pool(other.pool);
     }
@@ -233,6 +299,43 @@ mod tests {
             }
         );
         assert!((a.pool().hit_rate() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn op_counters_accumulate_and_merge() {
+        let mut a = QueryProfile::new();
+        assert_eq!(a.ops(Stage::DistanceComputation), OpCounters::default());
+        a.record_ops(
+            Stage::DistanceComputation,
+            OpCounters {
+                ciphertexts_to_c2: 10,
+                ciphertexts_from_c2: 5,
+                c2_decryptions: 10,
+            },
+        );
+        a.record_ops(
+            Stage::DistanceComputation,
+            OpCounters {
+                ciphertexts_to_c2: 2,
+                ciphertexts_from_c2: 1,
+                c2_decryptions: 2,
+            },
+        );
+        let mut b = QueryProfile::new();
+        b.record_ops(
+            Stage::BitDecomposition,
+            OpCounters {
+                ciphertexts_to_c2: 3,
+                ciphertexts_from_c2: 3,
+                c2_decryptions: 3,
+            },
+        );
+        a.merge(&b);
+        assert_eq!(a.ops(Stage::DistanceComputation).ciphertexts_to_c2, 12);
+        assert_eq!(a.ops(Stage::DistanceComputation).ciphertexts_on_wire(), 18);
+        assert_eq!(a.ops(Stage::BitDecomposition).c2_decryptions, 3);
+        assert_eq!(a.total_ops().ciphertexts_on_wire(), 24);
+        assert_eq!(a.total_ops().c2_decryptions, 15);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use crate::{EncryptedDatabase, EncryptedQuery, MaskedResult, SknnError, Table};
 use rand::RngCore;
 use sknn_bigint::{random_below, BigUint};
 use sknn_paillier::{Keypair, PooledEncryptor, PrivateKey, PublicKey};
-use sknn_protocols::KeyHolder;
+use sknn_protocols::{KeyHolder, PackedParams};
 
 /// Alice: generates the key pair, encrypts her database attribute-wise and
 /// outsources it.
@@ -141,6 +141,9 @@ pub struct CloudC1 {
     /// (SBD masks, result-mask re-randomization); `None` pays each
     /// exponentiation inline.
     encryptor: Option<PooledEncryptor>,
+    /// Slot-packing parameters for the SSED/SBD fast paths; `None` keeps
+    /// every exchange on the scalar paths.
+    packing: Option<PackedParams>,
 }
 
 impl CloudC1 {
@@ -149,6 +152,7 @@ impl CloudC1 {
         CloudC1 {
             db,
             encryptor: None,
+            packing: None,
         }
     }
 
@@ -172,6 +176,35 @@ impl CloudC1 {
     /// The attached pooled encryptor, if any.
     pub fn encryptor(&self) -> Option<&PooledEncryptor> {
         self.encryptor.as_ref()
+    }
+
+    /// Routes the SSED and SBD stages of both protocols through the
+    /// slot-packed fast paths (see [`sknn_protocols::PackedParams`]).
+    /// Queries still fall back to the scalar paths when the key holder does
+    /// not speak the packed requests or a query's bit length exceeds the
+    /// layout.
+    pub fn with_packing(mut self, params: PackedParams) -> Self {
+        self.packing = Some(params);
+        self
+    }
+
+    /// The slot-packing parameters, if packing is enabled.
+    pub fn packing(&self) -> Option<&PackedParams> {
+        self.packing.as_ref()
+    }
+
+    /// The packing parameters to use against a concrete key holder: `None`
+    /// when packing is off, the key holder lacks the fast path, or (for the
+    /// secure protocol, which passes its distance bit length) the layout
+    /// cannot hold `l`-bit values.
+    pub(crate) fn effective_packing<K: KeyHolder + ?Sized>(
+        &self,
+        c2: &K,
+        l: Option<usize>,
+    ) -> Option<&PackedParams> {
+        self.packing
+            .as_ref()
+            .filter(|p| c2.supports_packing() && l.is_none_or(|l| p.supports_bit_length(l)))
     }
 
     /// The hosted encrypted database.
@@ -265,8 +298,8 @@ mod tests {
         assert_eq!(db.num_attributes(), 2);
         // Every cell decrypts back to the original value.
         let sk = owner.private_key();
-        assert_eq!(sk.decrypt_u64(&db.record(1)[0]), 3);
-        assert_eq!(sk.decrypt_u64(&db.record(2)[1]), 6);
+        assert_eq!(sk.try_decrypt_u64(&db.record(1)[0]), Ok(3));
+        assert_eq!(sk.try_decrypt_u64(&db.record(2)[1]), Ok(6));
     }
 
     #[test]

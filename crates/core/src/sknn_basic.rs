@@ -11,20 +11,99 @@
 //! learns every plaintext distance, and both clouds learn which records were
 //! returned (the data-access pattern).
 
+use crate::meter::OpMeter;
 use crate::parallel::{parallel_map, ParallelismConfig};
 use crate::profile::{QueryProfile, Stage};
 use crate::roles::CloudC1;
 use crate::{AccessPatternAudit, EncryptedQuery, MaskedResult, SknnError};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
-use sknn_protocols::{secure_squared_distance, KeyHolder};
+use sknn_paillier::Ciphertext;
+use sknn_protocols::{packed_squared_distances, secure_squared_distance, KeyHolder, PackedParams};
+
+/// The encrypted distances of all records, in the representation the
+/// configured path produced: one ciphertext per record (scalar) or one per
+/// σ-record group (packed).
+pub(crate) enum Distances {
+    /// `distances[i] = E(dᵢ)`.
+    Scalar(Vec<Ciphertext>),
+    /// `groups[g]` packs the distances of records `g·σ .. g·σ + counts[g]`.
+    Packed {
+        /// One packed ciphertext per record group.
+        groups: Vec<Ciphertext>,
+        /// Used slots per group (all σ except possibly the last).
+        counts: Vec<usize>,
+    },
+}
+
+/// Computes every record's encrypted squared distance, routing through the
+/// packed SSED when `packing` is set. Record groups (packed) or records
+/// (scalar) are independent, so both paths are parallel (Figure 3).
+pub(crate) fn compute_distances<K: KeyHolder + ?Sized, R: RngCore + ?Sized>(
+    c1: &CloudC1,
+    c2: &K,
+    query: &EncryptedQuery,
+    packing: Option<&PackedParams>,
+    parallelism: ParallelismConfig,
+    rng: &mut R,
+) -> Result<Distances, SknnError> {
+    let pk = c1.public_key();
+    let n = c1.database().num_records();
+    match packing {
+        Some(params) => {
+            let sigma = params.slots();
+            let group_ranges: Vec<(usize, usize)> = (0..n.div_ceil(sigma))
+                .map(|g| (g * sigma, n.min((g + 1) * sigma)))
+                .collect();
+            let seeds: Vec<u64> = (0..group_ranges.len()).map(|_| rng.gen()).collect();
+            let groups = parallel_map(parallelism.threads, &group_ranges, |g, &(lo, hi)| {
+                let mut thread_rng = StdRng::seed_from_u64(seeds[g]);
+                let records: Vec<&[Ciphertext]> = (lo..hi)
+                    .map(|i| c1.database().record(i).as_slice())
+                    .collect();
+                packed_squared_distances(
+                    pk,
+                    c2,
+                    query.attributes(),
+                    &records,
+                    params,
+                    &mut thread_rng,
+                    c1.encryptor(),
+                )
+            })
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?;
+            Ok(Distances::Packed {
+                groups,
+                counts: group_ranges.iter().map(|&(lo, hi)| hi - lo).collect(),
+            })
+        }
+        None => {
+            let seeds: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+            Ok(Distances::Scalar(parallel_map(
+                parallelism.threads,
+                c1.database().records(),
+                |i, record| {
+                    let mut thread_rng = StdRng::seed_from_u64(seeds[i]);
+                    secure_squared_distance(pk, c2, query.attributes(), record, &mut thread_rng)
+                        .expect("database and query dimensions were validated")
+                },
+            )))
+        }
+    }
+}
 
 impl CloudC1 {
     /// Runs SkNN_b for the given encrypted query.
     ///
     /// Returns the two-share [`MaskedResult`] destined for Bob, the per-stage
-    /// timing profile, and an audit of what the clouds learned (for SkNN_b:
-    /// the distances and the top-k identities).
+    /// timing profile (including per-stage ciphertext and C2-decryption
+    /// counts), and an audit of what the clouds learned (for SkNN_b: the
+    /// distances and the top-k identities).
+    ///
+    /// With packing configured (and a key holder that supports it) the SSED
+    /// stage and the distance shipment of the selection step run σ values
+    /// per ciphertext; results are identical to the scalar path.
     ///
     /// # Errors
     /// Returns an error when the query dimensionality does not match the
@@ -38,28 +117,26 @@ impl CloudC1 {
         rng: &mut R,
     ) -> Result<(MaskedResult, QueryProfile, AccessPatternAudit), SknnError> {
         self.validate_query(query, k)?;
-        let pk = self.public_key();
         let mut profile = QueryProfile::new();
+        let packing = self.effective_packing(c2, None);
+        let meter = OpMeter::new(c2);
 
-        // Step 2: E(d_i) ← SSED(E(Q), E(t_i)) for every record. Records are
-        // independent, so this stage is record-parallel (Figure 3).
-        let seeds: Vec<u64> = (0..self.database().num_records())
-            .map(|_| rng.gen())
-            .collect();
+        // Step 2: E(d_i) ← SSED(E(Q), E(t_i)) for every record.
         let distances = profile.time(Stage::DistanceComputation, || {
-            parallel_map(
-                parallelism.threads,
-                self.database().records(),
-                |i, record| {
-                    let mut thread_rng = StdRng::seed_from_u64(seeds[i]);
-                    secure_squared_distance(pk, c2, query.attributes(), record, &mut thread_rng)
-                        .expect("database and query dimensions were validated")
-                },
-            )
-        });
+            compute_distances(self, &meter, query, packing, parallelism, rng)
+        })?;
+        profile.record_ops(Stage::DistanceComputation, meter.take());
 
         // Step 3: C2 decrypts the distances and returns the top-k index list δ.
-        let top_k = profile.time(Stage::RecordSelection, || c2.top_k_indices(&distances, k));
+        let top_k = profile.time(Stage::RecordSelection, || match &distances {
+            Distances::Scalar(cts) => Ok(meter.top_k_indices(cts, k)),
+            Distances::Packed { groups, counts } => {
+                let params = packing.expect("packed distances imply packing parameters");
+                let count: usize = counts.iter().sum();
+                meter.top_k_indices_packed(&params.layout, groups, count, k)
+            }
+        })?;
+        profile.record_ops(Stage::RecordSelection, meter.take());
 
         // Steps 4–6: mask the chosen records and produce Bob's two shares.
         let chosen: Vec<_> = top_k
@@ -67,8 +144,9 @@ impl CloudC1 {
             .map(|&i| self.database().record(i).clone())
             .collect();
         let masked = profile.time(Stage::Finalization, || {
-            self.mask_and_reveal(c2, &chosen, rng)
+            self.mask_and_reveal(&meter, &chosen, rng)
         });
+        profile.record_ops(Stage::Finalization, meter.take());
 
         let audit = AccessPatternAudit::basic_protocol(&top_k);
         Ok((masked, profile, audit))

@@ -15,16 +15,18 @@
 //! guarantee the paper's Section 4.3 argues for.
 
 use crate::config::SecureQueryParams;
+use crate::meter::OpMeter;
 use crate::parallel::{parallel_map, ParallelismConfig};
 use crate::profile::{QueryProfile, Stage};
 use crate::roles::CloudC1;
+use crate::sknn_basic::{compute_distances, Distances};
 use crate::{AccessPatternAudit, EncryptedQuery, MaskedResult, SknnError};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 use sknn_bigint::{random_range, BigUint};
 use sknn_paillier::Ciphertext;
 use sknn_protocols::{
-    recompose_bits, secure_bit_decompose_with, secure_multiply_batch, secure_squared_distance,
+    packed_bit_decompose, recompose_bits, secure_bit_decompose_with, secure_multiply_batch,
     KeyHolder, Permutation,
 };
 
@@ -52,37 +54,47 @@ impl CloudC1 {
         let m = self.database().num_attributes();
         let l = params.l;
         let mut profile = QueryProfile::new();
+        let packing = self.effective_packing(c2, Some(l));
+        let meter = OpMeter::new(c2);
 
         // ── Step 2a: E(d_i) ← SSED(E(Q), E(t_i)) ───────────────────────────
-        let seeds: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
         let distances = profile.time(Stage::DistanceComputation, || {
-            parallel_map(
-                parallelism.threads,
-                self.database().records(),
-                |i, record| {
-                    let mut thread_rng = StdRng::seed_from_u64(seeds[i]);
-                    secure_squared_distance(pk, c2, query.attributes(), record, &mut thread_rng)
-                        .expect("database and query dimensions were validated")
-                },
-            )
-        });
+            compute_distances(self, &meter, query, packing, parallelism, rng)
+        })?;
+        profile.record_ops(Stage::DistanceComputation, meter.take());
 
         // ── Step 2a (cont.): [d_i] ← SBD(E(d_i)) ───────────────────────────
-        let seeds: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
-        let mut distance_bits: Vec<Vec<Ciphertext>> = Vec::with_capacity(n);
-        {
-            let decomposed = profile.time(Stage::BitDecomposition, || {
-                parallel_map(parallelism.threads, &distances, |i, dist| {
-                    let mut thread_rng = StdRng::seed_from_u64(seeds[i]);
-                    // The per-round mask encryptions draw from C1's offline
-                    // randomness pool when one is attached.
-                    secure_bit_decompose_with(pk, c2, dist, l, &mut thread_rng, self.encryptor())
-                })
-            });
-            for d in decomposed {
-                distance_bits.push(d?);
-            }
-        }
+        let mut distance_bits: Vec<Vec<Ciphertext>> =
+            profile.time(Stage::BitDecomposition, || match &distances {
+                // Packed state: all groups advance in lockstep, one packed
+                // request per group per round.
+                Distances::Packed { groups, counts } => {
+                    let p = packing.expect("packed distances imply packing parameters");
+                    packed_bit_decompose(pk, &meter, groups, counts, l, p, rng, self.encryptor())
+                        .map_err(SknnError::from)
+                }
+                Distances::Scalar(distances) => {
+                    let seeds: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+                    let decomposed = parallel_map(parallelism.threads, distances, |i, dist| {
+                        let mut thread_rng = StdRng::seed_from_u64(seeds[i]);
+                        // The per-round mask encryptions draw from C1's
+                        // offline randomness pool when one is attached.
+                        secure_bit_decompose_with(
+                            pk,
+                            &meter,
+                            dist,
+                            l,
+                            &mut thread_rng,
+                            self.encryptor(),
+                        )
+                    });
+                    decomposed
+                        .into_iter()
+                        .collect::<Result<Vec<_>, _>>()
+                        .map_err(SknnError::from)
+                }
+            })?;
+        profile.record_ops(Stage::BitDecomposition, meter.take());
 
         // ── Step 3: k oblivious selection rounds ───────────────────────────
         let one = BigUint::one();
@@ -90,8 +102,9 @@ impl CloudC1 {
         for _s in 0..params.k {
             // 3(a): [d_min] over all records.
             let dmin_bits = profile.time(Stage::SecureMinimum, || {
-                sknn_protocols::secure_min_n(pk, c2, &distance_bits, rng)
+                sknn_protocols::secure_min_n(pk, &meter, &distance_bits, rng)
             })?;
+            profile.record_ops(Stage::SecureMinimum, meter.take());
 
             let selection = profile.time(Stage::RecordSelection, || {
                 // 3(b): recompose E(d_min) and every E(d_i) from their bits
@@ -119,7 +132,7 @@ impl CloudC1 {
                 // because of the permutation and randomization. A missing
                 // zero violates the protocol invariant and surfaces as a
                 // typed error instead of a silent all-zero indicator.
-                let u = c2.min_selection(&beta)?;
+                let u = meter.min_selection(&beta)?;
                 // 3(d): undo the permutation; V has E(1) at the winning record.
                 let v = pi.apply_inverse(&u);
 
@@ -134,12 +147,13 @@ impl CloudC1 {
                             .collect::<Vec<_>>()
                     })
                     .collect();
-                let products = secure_multiply_batch(pk, c2, &pairs, rng);
+                let products = secure_multiply_batch(pk, &meter, &pairs, rng);
                 let record: Vec<Ciphertext> = (0..m)
                     .map(|j| pk.sum((0..n).map(|i| &products[i * m + j])))
                     .collect();
                 Ok::<_, SknnError>((record, v))
             });
+            profile.record_ops(Stage::RecordSelection, meter.take());
             let (selected_record, indicator) = selection?;
             results.push(selected_record);
 
@@ -156,7 +170,7 @@ impl CloudC1 {
                             .collect::<Vec<_>>()
                     })
                     .collect();
-                let products = secure_multiply_batch(pk, c2, &pairs, rng);
+                let products = secure_multiply_batch(pk, &meter, &pairs, rng);
                 for i in 0..n {
                     for gamma in 0..l {
                         // o₁ ∨ o₂ = o₁ + o₂ − o₁·o₂ with o₁ = V_i, o₂ = d_{i,γ}.
@@ -165,12 +179,14 @@ impl CloudC1 {
                     }
                 }
             });
+            profile.record_ops(Stage::DistanceFreezing, meter.take());
         }
 
         // ── Steps 4–6: the same two-share reveal as the basic protocol ─────
         let masked = profile.time(Stage::Finalization, || {
-            self.mask_and_reveal(c2, &results, rng)
+            self.mask_and_reveal(&meter, &results, rng)
         });
+        profile.record_ops(Stage::Finalization, meter.take());
 
         Ok((masked, profile, AccessPatternAudit::nothing_revealed()))
     }

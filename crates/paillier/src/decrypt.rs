@@ -1,7 +1,7 @@
 //! Decryption (CRT-accelerated and direct).
 
 use crate::keygen::l_function;
-use crate::{Ciphertext, PrivateKey};
+use crate::{Ciphertext, PaillierError, PrivateKey};
 use sknn_bigint::BigUint;
 
 impl PrivateKey {
@@ -42,11 +42,28 @@ impl PrivateKey {
 
     /// Decrypts and converts to `u64`.
     ///
-    /// # Panics
-    /// Panics when the plaintext does not fit in a `u64`.
+    /// # Errors
+    /// Returns [`PaillierError::PlaintextTooLarge`] when the plaintext does
+    /// not fit in a `u64` — which, for honestly produced ciphertexts of
+    /// `u64` inputs, signals a corrupted or mis-routed ciphertext and is a
+    /// condition callers may want to handle rather than die on (matching
+    /// the typed-error treatment of `encrypt_table`/`encrypt_query`).
+    pub fn try_decrypt_u64(&self, c: &Ciphertext) -> Result<u64, PaillierError> {
+        let m = self.decrypt(c);
+        m.to_u64().ok_or(PaillierError::PlaintextTooLarge {
+            bits: m.bits(),
+            target_bits: 64,
+        })
+    }
+
+    /// Decrypts and converts to `u64`, panicking on overflow.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `try_decrypt_u64`, which surfaces an oversized plaintext as a typed error \
+                instead of panicking"
+    )]
     pub fn decrypt_u64(&self, c: &Ciphertext) -> u64 {
-        self.decrypt(c)
-            .to_u64()
+        self.try_decrypt_u64(c)
             .expect("plaintext does not fit in u64")
     }
 }
@@ -78,7 +95,7 @@ mod tests {
         let (pk, sk) = (kp.public_key(), kp.private_key());
         for v in [0u64, 1, 77, 999_999, 123_456_789] {
             let c = pk.encrypt_u64(v, &mut rng);
-            assert_eq!(sk.decrypt_u64(&c), v);
+            assert_eq!(sk.try_decrypt_u64(&c).unwrap(), v);
             assert_eq!(sk.decrypt_direct(&c).to_u64().unwrap(), v);
         }
     }
@@ -93,12 +110,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "fit in u64")]
-    fn decrypt_u64_panics_on_large_plaintext() {
+    fn oversized_plaintext_is_a_typed_error() {
         let mut rng = StdRng::seed_from_u64(34);
         let (pk, sk) = Keypair::generate(160, &mut rng).split();
         let big = BigUint::one().shl_bits(100);
         let c = pk.encrypt(&big, &mut rng);
-        let _ = sk.decrypt_u64(&c);
+        assert_eq!(
+            sk.try_decrypt_u64(&c),
+            Err(PaillierError::PlaintextTooLarge {
+                bits: 101,
+                target_bits: 64
+            })
+        );
+    }
+
+    #[test]
+    fn deprecated_wrapper_still_works() {
+        let mut rng = StdRng::seed_from_u64(35);
+        let (pk, sk) = Keypair::generate(96, &mut rng).split();
+        let c = pk.encrypt_u64(77, &mut rng);
+        #[allow(deprecated)]
+        let v = sk.decrypt_u64(&c);
+        assert_eq!(v, 77);
     }
 }

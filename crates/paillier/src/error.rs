@@ -19,6 +19,13 @@ pub enum PaillierError {
     MalformedCiphertext,
     /// A signed value was outside the encodable range `(−N/2, N/2]`.
     SignedOutOfRange,
+    /// A decrypted plaintext did not fit the requested narrow integer type.
+    PlaintextTooLarge {
+        /// Bit length of the decrypted plaintext.
+        bits: usize,
+        /// Bit width of the requested integer type.
+        target_bits: usize,
+    },
 }
 
 impl fmt::Display for PaillierError {
@@ -37,6 +44,10 @@ impl fmt::Display for PaillierError {
             PaillierError::SignedOutOfRange => {
                 write!(f, "signed value cannot be encoded in (−N/2, N/2]")
             }
+            PaillierError::PlaintextTooLarge { bits, target_bits } => write!(
+                f,
+                "decrypted plaintext is {bits} bits wide and does not fit a u{target_bits}"
+            ),
         }
     }
 }
@@ -63,5 +74,11 @@ mod tests {
         assert!(PaillierError::SignedOutOfRange
             .to_string()
             .contains("signed"));
+        assert!(PaillierError::PlaintextTooLarge {
+            bits: 100,
+            target_bits: 64
+        }
+        .to_string()
+        .contains("u64"));
     }
 }

@@ -91,10 +91,10 @@ mod tests {
         let (pk, sk, mut rng) = setup();
         let a = pk.encrypt_u64(1234, &mut rng);
         let b = pk.encrypt_u64(4321, &mut rng);
-        assert_eq!(sk.decrypt_u64(&pk.add(&a, &b)), 5555);
+        assert_eq!(sk.try_decrypt_u64(&pk.add(&a, &b)), Ok(5555));
         assert_eq!(
-            sk.decrypt_u64(&pk.add_plain(&a, &BigUint::from_u64(6))),
-            1240
+            sk.try_decrypt_u64(&pk.add_plain(&a, &BigUint::from_u64(6))),
+            Ok(1240)
         );
     }
 
@@ -102,8 +102,11 @@ mod tests {
     fn homomorphic_scalar_multiplication() {
         let (pk, sk, mut rng) = setup();
         let a = pk.encrypt_u64(111, &mut rng);
-        assert_eq!(sk.decrypt_u64(&pk.mul_plain_u64(&a, 9)), 999);
-        assert_eq!(sk.decrypt_u64(&pk.mul_plain(&a, &BigUint::zero())), 0);
+        assert_eq!(sk.try_decrypt_u64(&pk.mul_plain_u64(&a, 9)), Ok(999));
+        assert_eq!(
+            sk.try_decrypt_u64(&pk.mul_plain(&a, &BigUint::zero())),
+            Ok(0)
+        );
     }
 
     #[test]
@@ -111,13 +114,16 @@ mod tests {
         let (pk, sk, mut rng) = setup();
         let a = pk.encrypt_u64(10, &mut rng);
         let b = pk.encrypt_u64(3, &mut rng);
-        assert_eq!(sk.decrypt_u64(&pk.sub(&a, &b)), 7);
+        assert_eq!(sk.try_decrypt_u64(&pk.sub(&a, &b)), Ok(7));
         // 3 − 10 ≡ N − 7 (mod N)
         let neg = sk.decrypt(&pk.sub(&b, &a));
         assert_eq!(neg, pk.n().sub_ref(&BigUint::from_u64(7)));
         let negated = sk.decrypt(&pk.negate(&a));
         assert_eq!(negated, pk.n().sub_ref(&BigUint::from_u64(10)));
-        assert_eq!(sk.decrypt_u64(&pk.sub_plain(&a, &BigUint::from_u64(4))), 6);
+        assert_eq!(
+            sk.try_decrypt_u64(&pk.sub_plain(&a, &BigUint::from_u64(4))),
+            Ok(6)
+        );
     }
 
     #[test]
@@ -126,15 +132,15 @@ mod tests {
         let a = pk.encrypt_u64(77, &mut rng);
         let b = pk.rerandomize(&a, &mut rng);
         assert_ne!(a, b);
-        assert_eq!(sk.decrypt_u64(&b), 77);
+        assert_eq!(sk.try_decrypt_u64(&b).unwrap(), 77);
     }
 
     #[test]
     fn sum_of_many() {
         let (pk, sk, mut rng) = setup();
         let cts: Vec<_> = (1u64..=10).map(|v| pk.encrypt_u64(v, &mut rng)).collect();
-        assert_eq!(sk.decrypt_u64(&pk.sum(&cts)), 55);
-        assert_eq!(sk.decrypt_u64(&pk.sum(std::iter::empty())), 0);
+        assert_eq!(sk.try_decrypt_u64(&pk.sum(&cts)), Ok(55));
+        assert_eq!(sk.try_decrypt_u64(&pk.sum(std::iter::empty())), Ok(0));
     }
 
     #[test]
@@ -151,6 +157,6 @@ mod tests {
         let step1 = pk.add(&e_sum, &minus_a_rb); // 3483
         let step2 = pk.add(&step1, &minus_b_ra); // 3425
         let result = pk.add_plain(&step2, &pk.n().sub_ref(&BigUint::from_u64(ra * rb))); // 3422
-        assert_eq!(sk.decrypt_u64(&result), a * b);
+        assert_eq!(sk.try_decrypt_u64(&result).unwrap(), a * b);
     }
 }

@@ -30,6 +30,15 @@
 //! reducing the online cost of `encrypt`/`encrypt_zero`/`rerandomize` to a
 //! single modular multiplication with an unchanged ciphertext distribution.
 //!
+//! ## Slot packing (SIMD)
+//!
+//! A plaintext holds a full `Z_N` element while protocol values are a few
+//! dozen bits wide, so [`packing::SlotLayout`] packs σ guard-banded values
+//! into one plaintext — one ciphertext, one decryption and one fresh
+//! encryption then stand in for σ of each. The module documents the
+//! overflow-proof composition rules (slot-wise addition, scaling, blinded
+//! products, halving) the protocols build on.
+//!
 //! ## Example
 //!
 //! ```
@@ -44,7 +53,7 @@
 //! let c1 = pk.encrypt_u64(20, &mut rng);
 //! let c2 = pk.encrypt_u64(22, &mut rng);
 //! let sum = pk.add(&c1, &c2);
-//! assert_eq!(sk.decrypt_u64(&sum), 42);
+//! assert_eq!(sk.try_decrypt_u64(&sum).unwrap(), 42);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -58,12 +67,14 @@ mod error;
 mod homomorphic;
 mod keygen;
 mod keys;
+pub mod packing;
 mod pool;
 
 pub use ciphertext::Ciphertext;
 pub use error::PaillierError;
 pub use keygen::Keypair;
 pub use keys::{PrivateKey, PublicKey};
+pub use packing::{PackingError, SlotLayout};
 pub use pool::{PoolConfig, PoolStats, PooledEncryptor, PrecomputedRandomness, RandomnessPool};
 
 /// Minimum key size accepted by [`Keypair::generate`]. Anything smaller makes
@@ -84,7 +95,7 @@ mod tests {
         let (pk, sk) = Keypair::generate(128, &mut rng).split();
         for v in [0u64, 1, 42, 1 << 40] {
             let c = pk.encrypt_u64(v, &mut rng);
-            assert_eq!(sk.decrypt_u64(&c), v);
+            assert_eq!(sk.try_decrypt_u64(&c).unwrap(), v);
         }
     }
 }

@@ -1,0 +1,484 @@
+//! Slot-packed plaintext batching (Paillier "SIMD").
+//!
+//! A Paillier plaintext is a full `Z_N` element — 1023 usable bits at a
+//! 1024-bit key — while the SkNN protocols move values of a few dozen bits.
+//! Packing places σ guard-banded values into one plaintext,
+//!
+//! ```text
+//! P = Σ_{i<σ} xᵢ · 2^{stride·i},   stride = slot_bits + guard_bits
+//! ```
+//!
+//! so one ciphertext, one decryption and one fresh encryption stand in for σ
+//! of each — the additively-homomorphic analogue of batched-FHE SIMD slots.
+//!
+//! ## Composition rules (what keeps slots independent)
+//!
+//! Packed values compose under exactly the operations whose per-slot results
+//! stay below `2^stride` — then no slot ever carries into its neighbour and
+//! `unpack` recovers every slot exactly:
+//!
+//! * **add**: `pack(x) + pack(y)` is slot-wise addition as long as every
+//!   `xᵢ + yᵢ < 2^stride`.
+//! * **scalar-mul**: `k · pack(x)` is slot-wise scaling as long as every
+//!   `k·xᵢ < 2^stride`.
+//! * **blinded product** (the SM pattern): operands bounded by
+//!   `2^slot_bits` have products below `2^{2·slot_bits}`, so a layout with
+//!   `guard_bits ≥ slot_bits` makes slot-wise *multiplication of two packed
+//!   operand vectors* carry-free. [`SlotLayout::for_blinded_products`]
+//!   constructs exactly that shape: `stride = 2·slot_bits`, sized so the
+//!   blinded operands of SM/SSED (`value + statistical mask`) fit
+//!   `slot_bits` and their pairwise products fit the stride.
+//! * **halving**: when every slot is even, dividing the packed integer by
+//!   two (homomorphically: multiplying by `2^{-1} mod N`) halves each slot —
+//!   division by two cannot borrow across a slot boundary. This is what the
+//!   packed bit-decomposition's shift-right step relies on.
+//!
+//! The layout capacity rule `stride · slots_per_ct ≤ key_bits − 1` keeps
+//! every packed value strictly below `2^{key_bits−1} ≤ N`, so packed
+//! plaintexts never wrap modulo `N`.
+
+use crate::PublicKey;
+use core::fmt;
+use sknn_bigint::BigUint;
+
+/// Errors raised by the packing codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PackingError {
+    /// The layout parameters are degenerate (zero slots or zero-width slots).
+    InvalidLayout {
+        /// Human-readable description of the violated constraint.
+        reason: &'static str,
+    },
+    /// The layout does not fit the key's plaintext space.
+    LayoutTooWide {
+        /// Total packed width `stride · slots_per_ct` in bits.
+        packed_bits: usize,
+        /// Usable plaintext bits (`key_bits − 1`).
+        available_bits: usize,
+    },
+    /// More values were supplied than the layout has slots.
+    TooManyValues {
+        /// Number of values supplied.
+        given: usize,
+        /// Number of slots in the layout.
+        slots: usize,
+    },
+    /// A value does not fit the width the operation permits.
+    ValueTooWide {
+        /// Index of the offending value.
+        index: usize,
+        /// Its bit length.
+        bits: usize,
+        /// The permitted bit length.
+        max_bits: usize,
+    },
+    /// A packed value is wider than `count` slots — slots must have carried,
+    /// or the value was not produced by this layout.
+    PackedTooWide {
+        /// Bit length of the packed value.
+        bits: usize,
+        /// Maximum representable width `stride · count`.
+        max_bits: usize,
+    },
+}
+
+impl fmt::Display for PackingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PackingError::InvalidLayout { reason } => write!(f, "invalid slot layout: {reason}"),
+            PackingError::LayoutTooWide {
+                packed_bits,
+                available_bits,
+            } => write!(
+                f,
+                "slot layout needs {packed_bits} plaintext bits but the key offers {available_bits}"
+            ),
+            PackingError::TooManyValues { given, slots } => {
+                write!(f, "{given} values supplied for a {slots}-slot layout")
+            }
+            PackingError::ValueTooWide {
+                index,
+                bits,
+                max_bits,
+            } => write!(
+                f,
+                "value {index} is {bits} bits wide, exceeding the {max_bits}-bit slot"
+            ),
+            PackingError::PackedTooWide { bits, max_bits } => write!(
+                f,
+                "packed value is {bits} bits wide, exceeding the {max_bits}-bit capacity"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PackingError {}
+
+/// The shape of a packed plaintext: σ slots of `slot_bits` payload plus
+/// `guard_bits` of headroom each.
+///
+/// `slot_bits` bounds the *operands* written into a slot; `guard_bits` is
+/// the growth budget for homomorphic composition (sums, scalings, and —
+/// with `guard_bits ≥ slot_bits` — slot-wise products of two operands).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SlotLayout {
+    /// Payload width of one slot in bits (operands must stay below
+    /// `2^slot_bits`).
+    pub slot_bits: usize,
+    /// Headroom above the payload; one slot occupies
+    /// `slot_bits + guard_bits` bits of the plaintext.
+    pub guard_bits: usize,
+    /// Number of slots per ciphertext (the packing factor σ).
+    pub slots_per_ct: usize,
+}
+
+impl SlotLayout {
+    /// Creates a layout after validating its shape (the fit against a
+    /// concrete key is checked separately by [`SlotLayout::fits_key`] /
+    /// [`SlotLayout::require_fits`]).
+    ///
+    /// # Errors
+    /// Returns [`PackingError::InvalidLayout`] for zero-width slots, zero
+    /// slot counts, or fields beyond `u16::MAX` — the wire codec carries
+    /// each field as a `u16`, and no real key holds a 65535-bit slot, so
+    /// the bound costs nothing and makes every constructed layout
+    /// wire-representable without truncation.
+    pub fn new(
+        slot_bits: usize,
+        guard_bits: usize,
+        slots_per_ct: usize,
+    ) -> Result<SlotLayout, PackingError> {
+        if slot_bits == 0 {
+            return Err(PackingError::InvalidLayout {
+                reason: "slot_bits must be at least 1",
+            });
+        }
+        if slots_per_ct == 0 {
+            return Err(PackingError::InvalidLayout {
+                reason: "slots_per_ct must be at least 1",
+            });
+        }
+        if slot_bits > u16::MAX as usize
+            || guard_bits > u16::MAX as usize
+            || slots_per_ct > u16::MAX as usize
+        {
+            return Err(PackingError::InvalidLayout {
+                reason: "layout fields must fit a u16 (the wire representation)",
+            });
+        }
+        Ok(SlotLayout {
+            slot_bits,
+            guard_bits,
+            slots_per_ct,
+        })
+    }
+
+    /// Derives the widest product-safe layout for a key: slots hold
+    /// (blinded) operands of `operand_bits`, guards equal the payload so
+    /// slot-wise products of two packed operands cannot carry, and the slot
+    /// count is the largest `σ ≤ max_slots` the plaintext space can hold.
+    ///
+    /// # Errors
+    /// Returns [`PackingError::LayoutTooWide`] when not even a single slot
+    /// fits (the caller should fall back to the scalar path), or
+    /// [`PackingError::InvalidLayout`] for a zero `operand_bits`/`max_slots`.
+    pub fn for_blinded_products(
+        key_bits: usize,
+        operand_bits: usize,
+        max_slots: usize,
+    ) -> Result<SlotLayout, PackingError> {
+        if operand_bits == 0 || max_slots == 0 {
+            return Err(PackingError::InvalidLayout {
+                reason: "operand_bits and max_slots must be at least 1",
+            });
+        }
+        let stride = 2 * operand_bits;
+        let available = key_bits.saturating_sub(1);
+        let fit = available / stride;
+        if fit == 0 {
+            return Err(PackingError::LayoutTooWide {
+                packed_bits: stride,
+                available_bits: available,
+            });
+        }
+        SlotLayout::new(operand_bits, operand_bits, fit.min(max_slots))
+    }
+
+    /// Width of one slot including its guard band.
+    pub fn stride_bits(&self) -> usize {
+        self.slot_bits + self.guard_bits
+    }
+
+    /// Total plaintext bits a fully packed value occupies.
+    pub fn packed_bits(&self) -> usize {
+        self.stride_bits() * self.slots_per_ct
+    }
+
+    /// Whether a fully packed value stays below `2^{key_bits−1} ≤ N`.
+    pub fn fits_key(&self, key_bits: usize) -> bool {
+        self.packed_bits() <= key_bits.saturating_sub(1)
+    }
+
+    /// [`SlotLayout::fits_key`] as a checked operation.
+    ///
+    /// # Errors
+    /// Returns [`PackingError::LayoutTooWide`] when the layout overflows the
+    /// key's plaintext space.
+    pub fn require_fits(&self, key_bits: usize) -> Result<(), PackingError> {
+        if self.fits_key(key_bits) {
+            Ok(())
+        } else {
+            Err(PackingError::LayoutTooWide {
+                packed_bits: self.packed_bits(),
+                available_bits: key_bits.saturating_sub(1),
+            })
+        }
+    }
+
+    /// Convenience form of [`SlotLayout::require_fits`] for a concrete key.
+    ///
+    /// # Errors
+    /// See [`SlotLayout::require_fits`].
+    pub fn require_fits_pk(&self, pk: &PublicKey) -> Result<(), PackingError> {
+        self.require_fits(pk.bits())
+    }
+
+    /// `2^{stride·i}` — the weight of slot `i`. The homomorphic layer uses
+    /// this as a plaintext multiplier to move a ciphertext into a slot.
+    pub fn slot_shift(&self, i: usize) -> BigUint {
+        BigUint::one().shl_bits(self.stride_bits() * i)
+    }
+
+    /// Packs *operands*: every value must fit the `slot_bits` payload.
+    ///
+    /// # Errors
+    /// Returns [`PackingError::TooManyValues`] / [`PackingError::ValueTooWide`].
+    pub fn pack(&self, values: &[BigUint]) -> Result<BigUint, PackingError> {
+        self.pack_with_limit(values, self.slot_bits)
+    }
+
+    /// Packs *composed* slot contents (masked sums, products): every value
+    /// must fit the full stride, the hard carry-freedom bound.
+    ///
+    /// # Errors
+    /// Returns [`PackingError::TooManyValues`] / [`PackingError::ValueTooWide`].
+    pub fn pack_wide(&self, values: &[BigUint]) -> Result<BigUint, PackingError> {
+        self.pack_with_limit(values, self.stride_bits())
+    }
+
+    fn pack_with_limit(
+        &self,
+        values: &[BigUint],
+        max_bits: usize,
+    ) -> Result<BigUint, PackingError> {
+        if values.len() > self.slots_per_ct {
+            return Err(PackingError::TooManyValues {
+                given: values.len(),
+                slots: self.slots_per_ct,
+            });
+        }
+        let stride = self.stride_bits();
+        let mut packed = BigUint::zero();
+        // Horner from the highest slot down: packed = Σ vᵢ·2^{stride·i}.
+        for (index, v) in values.iter().enumerate().rev() {
+            if v.bits() > max_bits {
+                return Err(PackingError::ValueTooWide {
+                    index,
+                    bits: v.bits(),
+                    max_bits,
+                });
+            }
+            packed = packed.shl_bits(stride).add_ref(v);
+        }
+        Ok(packed)
+    }
+
+    /// Splits a packed value back into its first `count` slots.
+    ///
+    /// # Errors
+    /// Returns [`PackingError::TooManyValues`] when `count` exceeds the slot
+    /// count, or [`PackingError::PackedTooWide`] when the value is wider
+    /// than `count` slots (a carry or a foreign value — never silently
+    /// truncated).
+    pub fn unpack(&self, packed: &BigUint, count: usize) -> Result<Vec<BigUint>, PackingError> {
+        if count > self.slots_per_ct {
+            return Err(PackingError::TooManyValues {
+                given: count,
+                slots: self.slots_per_ct,
+            });
+        }
+        let stride = self.stride_bits();
+        if packed.bits() > stride * count {
+            return Err(PackingError::PackedTooWide {
+                bits: packed.bits(),
+                max_bits: stride * count,
+            });
+        }
+        // Slot extraction is `x mod 2^stride` then a shift — the bigint
+        // substrate has no bitwise AND, and none is needed.
+        let slot_modulus = BigUint::one().shl_bits(stride);
+        let mut out = Vec::with_capacity(count);
+        let mut rest = packed.clone();
+        for _ in 0..count {
+            out.push(rest.rem_ref(&slot_modulus));
+            rest = rest.shr_bits(stride);
+        }
+        debug_assert!(rest.is_zero());
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout(slot: usize, guard: usize, slots: usize) -> SlotLayout {
+        SlotLayout::new(slot, guard, slots).unwrap()
+    }
+
+    fn values(vs: &[u64]) -> Vec<BigUint> {
+        vs.iter().map(|&v| BigUint::from_u64(v)).collect()
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        let l = layout(8, 8, 4);
+        let xs = values(&[1, 255, 0, 42]);
+        let packed = l.pack(&xs).unwrap();
+        assert_eq!(l.unpack(&packed, 4).unwrap(), xs);
+        // Slot order: slot 0 is the least-significant chunk.
+        assert_eq!(
+            packed.rem_ref(&BigUint::from_u64(1 << 16)),
+            BigUint::from_u64(1)
+        );
+    }
+
+    #[test]
+    fn partial_fill_and_empty() {
+        let l = layout(8, 8, 4);
+        let xs = values(&[7, 9]);
+        let packed = l.pack(&xs).unwrap();
+        assert_eq!(l.unpack(&packed, 2).unwrap(), xs);
+        // Asking for more slots than were packed yields zeros.
+        assert_eq!(l.unpack(&packed, 4).unwrap(), values(&[7, 9, 0, 0]));
+        assert_eq!(l.pack(&[]).unwrap(), BigUint::zero());
+        assert_eq!(
+            l.unpack(&BigUint::zero(), 0).unwrap(),
+            Vec::<BigUint>::new()
+        );
+    }
+
+    #[test]
+    fn slotwise_add_and_product_compose() {
+        let l = layout(8, 8, 3);
+        let a = values(&[10, 200, 3]);
+        let b = values(&[5, 55, 250]);
+        let pa = l.pack(&a).unwrap();
+        let pb = l.pack(&b).unwrap();
+        // Addition composes slot-wise.
+        let sum = pa.add_ref(&pb);
+        assert_eq!(l.unpack(&sum, 3).unwrap(), values(&[15, 255, 253]));
+        // Slot-wise products of two operand vectors fit the stride when
+        // guard ≥ slot (the blinded-product rule).
+        let prods: Vec<BigUint> = a.iter().zip(&b).map(|(x, y)| x.mul_ref(y)).collect();
+        let packed_prods = l.pack_wide(&prods).unwrap();
+        assert_eq!(l.unpack(&packed_prods, 3).unwrap(), prods);
+    }
+
+    #[test]
+    fn width_violations_are_typed() {
+        let l = layout(8, 8, 2);
+        assert!(matches!(
+            l.pack(&values(&[256])),
+            Err(PackingError::ValueTooWide { index: 0, .. })
+        ));
+        assert!(matches!(
+            l.pack(&values(&[1, 2, 3])),
+            Err(PackingError::TooManyValues { given: 3, slots: 2 })
+        ));
+        // pack_wide admits up to stride bits, not more.
+        assert!(l.pack_wide(&values(&[65535])).is_ok());
+        assert!(matches!(
+            l.pack_wide(&values(&[65536])),
+            Err(PackingError::ValueTooWide { .. })
+        ));
+        // unpack refuses values wider than the requested slot span.
+        let packed = l.pack(&values(&[1, 1])).unwrap();
+        assert!(matches!(
+            l.unpack(&packed, 1),
+            Err(PackingError::PackedTooWide { .. })
+        ));
+        assert!(matches!(
+            l.unpack(&packed, 3),
+            Err(PackingError::TooManyValues { .. })
+        ));
+    }
+
+    #[test]
+    fn derived_product_layouts() {
+        // 1024-bit key, 51-bit blinded operands → stride 102 → 10 slots.
+        let l = SlotLayout::for_blinded_products(1024, 51, 16).unwrap();
+        assert_eq!(l.slot_bits, 51);
+        assert_eq!(l.guard_bits, 51);
+        assert_eq!(l.slots_per_ct, 10);
+        assert!(l.fits_key(1024));
+        // Requesting fewer slots clamps to the request.
+        let l = SlotLayout::for_blinded_products(1024, 51, 8).unwrap();
+        assert_eq!(l.slots_per_ct, 8);
+        // A key too small for even one slot is a typed error.
+        assert!(matches!(
+            SlotLayout::for_blinded_products(64, 51, 8),
+            Err(PackingError::LayoutTooWide { .. })
+        ));
+        // σ = 1 degenerates to scalar-per-ciphertext but is still valid.
+        let l = SlotLayout::for_blinded_products(128, 51, 1).unwrap();
+        assert_eq!(l.slots_per_ct, 1);
+    }
+
+    #[test]
+    fn fit_checks() {
+        let l = layout(8, 8, 4); // 64 packed bits
+        assert!(l.fits_key(65));
+        assert!(!l.fits_key(64));
+        assert!(l.require_fits(80).is_ok());
+        assert!(matches!(
+            l.require_fits(64),
+            Err(PackingError::LayoutTooWide {
+                packed_bits: 64,
+                available_bits: 63
+            })
+        ));
+    }
+
+    #[test]
+    fn degenerate_layouts_rejected() {
+        assert!(matches!(
+            SlotLayout::new(0, 8, 4),
+            Err(PackingError::InvalidLayout { .. })
+        ));
+        assert!(matches!(
+            SlotLayout::new(8, 0, 0),
+            Err(PackingError::InvalidLayout { .. })
+        ));
+        // Zero guard is legal (pure concatenation, no product headroom).
+        assert!(SlotLayout::new(8, 0, 4).is_ok());
+    }
+
+    #[test]
+    fn slot_shift_weights() {
+        let l = layout(4, 4, 3);
+        assert_eq!(l.slot_shift(0), BigUint::one());
+        assert_eq!(l.slot_shift(2), BigUint::from_u64(1 << 16));
+    }
+
+    #[test]
+    fn max_slot_values_roundtrip() {
+        let l = layout(16, 16, 5);
+        let max = BigUint::from_u64((1 << 16) - 1);
+        let xs = vec![max.clone(); 5];
+        assert_eq!(l.unpack(&l.pack(&xs).unwrap(), 5).unwrap(), xs);
+        let wide_max = BigUint::from_u64((1u64 << 32) - 1);
+        let ws = vec![wide_max.clone(); 5];
+        assert_eq!(l.unpack(&l.pack_wide(&ws).unwrap(), 5).unwrap(), ws);
+    }
+}

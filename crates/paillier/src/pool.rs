@@ -29,7 +29,7 @@
 //! pool.prewarm(8);
 //! let enc = PooledEncryptor::new(pool);
 //! let c = enc.encrypt_u64(42).unwrap();
-//! assert_eq!(sk.decrypt_u64(&c), 42);
+//! assert_eq!(sk.try_decrypt_u64(&c).unwrap(), 42);
 //! ```
 
 use crate::{Ciphertext, PaillierError, PublicKey};
@@ -490,7 +490,7 @@ mod tests {
         pool.prewarm(8);
         let enc = PooledEncryptor::new(pool);
         for v in [0u64, 1, 42, 1 << 40] {
-            assert_eq!(sk.decrypt_u64(&enc.encrypt_u64(v).unwrap()), v);
+            assert_eq!(sk.try_decrypt_u64(&enc.encrypt_u64(v).unwrap()), Ok(v));
         }
         assert!(sk.decrypt(&enc.encrypt_zero()).is_zero());
         assert_eq!(enc.encrypt(pk.n()), Err(PaillierError::PlaintextOutOfRange));
@@ -506,10 +506,10 @@ mod tests {
         let c = pk.encrypt_u64(77, &mut rng);
         let c2 = enc.rerandomize(&c);
         assert_ne!(c, c2);
-        assert_eq!(sk.decrypt_u64(&c2), 77);
+        assert_eq!(sk.try_decrypt_u64(&c2).unwrap(), 77);
         let batch = enc.rerandomize_batch(&[c.clone(), c2.clone()]);
-        assert_eq!(sk.decrypt_u64(&batch[0]), 77);
-        assert_eq!(sk.decrypt_u64(&batch[1]), 77);
+        assert_eq!(sk.try_decrypt_u64(&batch[0]).unwrap(), 77);
+        assert_eq!(sk.try_decrypt_u64(&batch[1]).unwrap(), 77);
         assert_ne!(batch[0], c);
     }
 

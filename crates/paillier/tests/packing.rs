@@ -1,0 +1,118 @@
+//! Property-based tests for the slot-packing codec: `unpack(pack(xs)) ==
+//! xs` across random layouts, fill levels and edge values, plus the
+//! composition rules the protocols rely on.
+
+use proptest::prelude::*;
+use sknn_bigint::BigUint;
+use sknn_paillier::{PackingError, SlotLayout};
+
+/// Builds a value of exactly the requested bit width (all ones).
+fn max_value(bits: usize) -> BigUint {
+    BigUint::one().shl_bits(bits).sub_ref(&BigUint::one())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pack_unpack_roundtrip(
+        slot_bits in 1usize..48,
+        guard_bits in 0usize..48,
+        slots in 1usize..16,
+        fill in 0usize..16,
+        seed in any::<u64>(),
+    ) {
+        let layout = SlotLayout::new(slot_bits, guard_bits, slots).unwrap();
+        let fill = fill.min(slots);
+        // Deterministic pseudo-random slot values below 2^slot_bits.
+        let cap = max_value(slot_bits);
+        let values: Vec<BigUint> = (0..fill)
+            .map(|i| {
+                let v = seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(i as u64);
+                BigUint::from_u64(v).rem_ref(&cap.add_ref(&BigUint::one()))
+            })
+            .collect();
+        let packed = layout.pack(&values).unwrap();
+        prop_assert_eq!(layout.unpack(&packed, fill).unwrap(), values);
+        prop_assert!(packed.bits() <= layout.stride_bits() * slots);
+    }
+
+    #[test]
+    fn roundtrip_edge_values(slot_bits in 1usize..32, slots in 1usize..12) {
+        // Guard = slot (the product-safe shape used by the protocols).
+        let layout = SlotLayout::new(slot_bits, slot_bits, slots).unwrap();
+
+        // All-zero.
+        let zeros = vec![BigUint::zero(); slots];
+        prop_assert_eq!(
+            layout.unpack(&layout.pack(&zeros).unwrap(), slots).unwrap(),
+            zeros
+        );
+
+        // Max-slot everywhere (the adjacency stress case).
+        let maxed = vec![max_value(slot_bits); slots];
+        prop_assert_eq!(
+            layout.unpack(&layout.pack(&maxed).unwrap(), slots).unwrap(),
+            maxed.clone()
+        );
+
+        // Max wide values through pack_wide.
+        let wide = vec![max_value(layout.stride_bits()); slots];
+        prop_assert_eq!(
+            layout
+                .unpack(&layout.pack_wide(&wide).unwrap(), slots)
+                .unwrap(),
+            wide
+        );
+
+        // σ = 1 degenerates to the identity.
+        let single = SlotLayout::new(slot_bits, slot_bits, 1).unwrap();
+        let v = vec![max_value(slot_bits)];
+        prop_assert_eq!(
+            single.unpack(&single.pack(&v).unwrap(), 1).unwrap(),
+            v
+        );
+    }
+
+    #[test]
+    fn slotwise_products_never_carry(
+        slot_bits in 1usize..28,
+        slots in 1usize..10,
+        seed in any::<u64>(),
+    ) {
+        // The blinded-product rule: guard ≥ slot means aᵢ·bᵢ < 2^stride,
+        // so a packed product vector unpacks to exactly the products.
+        let layout = SlotLayout::new(slot_bits, slot_bits, slots).unwrap();
+        let modulus = BigUint::one().shl_bits(slot_bits);
+        let gen = |salt: u64, i: usize| {
+            BigUint::from_u64(
+                seed.wrapping_mul(salt)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(i as u64),
+            )
+            .rem_ref(&modulus)
+        };
+        let a: Vec<BigUint> = (0..slots).map(|i| gen(3, i)).collect();
+        let b: Vec<BigUint> = (0..slots).map(|i| gen(7, i)).collect();
+        let products: Vec<BigUint> = a.iter().zip(&b).map(|(x, y)| x.mul_ref(y)).collect();
+        let packed = layout.pack_wide(&products).unwrap();
+        prop_assert_eq!(layout.unpack(&packed, slots).unwrap(), products);
+    }
+
+    #[test]
+    fn oversized_values_are_rejected(slot_bits in 1usize..32, slots in 1usize..8) {
+        let layout = SlotLayout::new(slot_bits, slot_bits, slots).unwrap();
+        let too_wide = BigUint::one().shl_bits(slot_bits);
+        prop_assert!(matches!(
+            layout.pack(&[too_wide]),
+            Err(PackingError::ValueTooWide { .. })
+        ));
+        let beyond_stride = BigUint::one().shl_bits(layout.stride_bits());
+        prop_assert!(matches!(
+            layout.pack_wide(&[beyond_stride]),
+            Err(PackingError::ValueTooWide { .. })
+        ));
+    }
+}

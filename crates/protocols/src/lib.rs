@@ -57,6 +57,7 @@
 #![warn(missing_docs)]
 
 mod error;
+mod packed;
 mod party;
 mod permutation;
 mod sbd;
@@ -69,6 +70,7 @@ pub mod stats;
 pub mod transport;
 
 pub use error::ProtocolError;
+pub use packed::{pack_ciphertexts, packed_bit_decompose, packed_squared_distances, PackedParams};
 pub use party::{KeyHolder, LocalKeyHolder, SminRoundResponse};
 pub use permutation::Permutation;
 pub use sbd::{

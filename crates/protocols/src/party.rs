@@ -11,7 +11,7 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sknn_bigint::{BigUint, Montgomery};
-use sknn_paillier::{Ciphertext, PrivateKey, PublicKey, RandomnessPool};
+use sknn_paillier::{Ciphertext, PrivateKey, PublicKey, RandomnessPool, SlotLayout};
 use std::sync::Arc;
 
 /// The response to one SMIN evaluation round (Algorithm 3, step 2).
@@ -91,6 +91,95 @@ pub trait KeyHolder: Send + Sync {
         self.lsb_of_masked_batch(std::slice::from_ref(masked))
             .pop()
             .expect("batch of one returns one result")
+    }
+
+    // ── Slot-packed fast paths ──────────────────────────────────────────
+    //
+    // The packed methods carry σ values per ciphertext (see
+    // `sknn_paillier::packing`), cutting C2's decryption count and the
+    // C1↔C2 ciphertext volume by the packing factor. They have scalar
+    // semantics — the decrypted results are bit-identical to the unpacked
+    // methods above — and default to `PackingUnsupported` so existing
+    // `KeyHolder` implementations (and pre-packing peers behind a
+    // transport) keep working: callers probe `supports_packing` and fall
+    // back to the scalar paths.
+
+    /// Whether this key holder serves the packed methods below. Transports
+    /// report the *negotiated* capability of the remote peer.
+    fn supports_packing(&self) -> bool {
+        false
+    }
+
+    /// Packed SM, square form (the SSED pattern where both operands of each
+    /// product are equal): each input ciphertext packs blinded operands
+    /// `xᵢ < 2^slot_bits`; C2 decrypts it once, squares every slot in
+    /// plaintext, and returns one fresh ciphertext packing the `xᵢ²`.
+    ///
+    /// # Errors
+    /// [`ProtocolError::PackingUnsupported`] without a packed
+    /// implementation; [`ProtocolError::Packing`] when a decrypted value
+    /// violates the layout.
+    fn sm_packed_square_batch(
+        &self,
+        layout: &SlotLayout,
+        packed: &[Ciphertext],
+    ) -> Result<Vec<Ciphertext>, ProtocolError> {
+        let _ = (layout, packed);
+        Err(ProtocolError::PackingUnsupported)
+    }
+
+    /// Packed SM, general form: for each pair of packed-operand ciphertexts
+    /// C2 returns one fresh ciphertext packing the slot-wise products
+    /// `aᵢ·bᵢ`.
+    ///
+    /// # Errors
+    /// See [`KeyHolder::sm_packed_square_batch`].
+    fn sm_packed_multiply_batch(
+        &self,
+        layout: &SlotLayout,
+        pairs: &[(Ciphertext, Ciphertext)],
+    ) -> Result<Vec<Ciphertext>, ProtocolError> {
+        let _ = (layout, pairs);
+        Err(ProtocolError::PackingUnsupported)
+    }
+
+    /// Packed SBD round oracle: each input ciphertext packs masked values
+    /// `yᵢ = xᵢ + rᵢ` (slot-aligned, no inter-slot carries);
+    /// `slot_counts[g]` says how many slots of input `g` are in use. C2
+    /// decrypts each input once and returns a fresh encryption of the
+    /// least-significant bit of **every used slot**, flattened in slot
+    /// order (the per-bit ciphertexts are what SMIN consumes downstream,
+    /// which is why the response side stays scalar — see `DESIGN.md`).
+    ///
+    /// # Errors
+    /// See [`KeyHolder::sm_packed_square_batch`].
+    fn lsb_packed_batch(
+        &self,
+        layout: &SlotLayout,
+        masked: &[Ciphertext],
+        slot_counts: &[usize],
+    ) -> Result<Vec<Ciphertext>, ProtocolError> {
+        let _ = (layout, masked, slot_counts);
+        Err(ProtocolError::PackingUnsupported)
+    }
+
+    /// Packed SkNN_b top-k: the `count` encrypted distances arrive packed σ
+    /// per ciphertext; C2 decrypts ⌈count/σ⌉ ciphertexts instead of
+    /// `count`, unpacks, and returns the indices of the `k` smallest (ties
+    /// by index) — the same deliberate distance leak as
+    /// [`KeyHolder::top_k_indices`], at a fraction of the traffic.
+    ///
+    /// # Errors
+    /// See [`KeyHolder::sm_packed_square_batch`].
+    fn top_k_indices_packed(
+        &self,
+        layout: &SlotLayout,
+        packed: &[Ciphertext],
+        count: usize,
+        k: usize,
+    ) -> Result<Vec<usize>, ProtocolError> {
+        let _ = (layout, packed, count, k);
+        Err(ProtocolError::PackingUnsupported)
     }
 }
 
@@ -345,6 +434,132 @@ impl KeyHolder for LocalKeyHolder {
 
     fn decrypt_masked_batch(&self, masked: &[Ciphertext]) -> Vec<BigUint> {
         masked.iter().map(|c| self.sk.decrypt(c)).collect()
+    }
+
+    fn supports_packing(&self) -> bool {
+        true
+    }
+
+    fn sm_packed_square_batch(
+        &self,
+        layout: &SlotLayout,
+        packed: &[Ciphertext],
+    ) -> Result<Vec<Ciphertext>, ProtocolError> {
+        layout
+            .require_fits_pk(&self.pk)
+            .map_err(ProtocolError::from)?;
+        let units = self.fresh_units(packed.len());
+        packed
+            .iter()
+            .zip(units)
+            .map(|(ct, unit)| {
+                let slots = layout.unpack(&self.sk.decrypt(ct), layout.slots_per_ct)?;
+                // Slot-wise squares; `pack_wide` re-checks the carry-freedom
+                // bound, so an operand wider than the layout promised
+                // surfaces as a typed error rather than corrupting a
+                // neighbouring slot.
+                let squares: Vec<BigUint> = slots.iter().map(|x| x.mul_ref(x)).collect();
+                let repacked = layout.pack_wide(&squares)?;
+                Ok(self.encrypt_own(&repacked, &unit))
+            })
+            .collect()
+    }
+
+    fn sm_packed_multiply_batch(
+        &self,
+        layout: &SlotLayout,
+        pairs: &[(Ciphertext, Ciphertext)],
+    ) -> Result<Vec<Ciphertext>, ProtocolError> {
+        layout
+            .require_fits_pk(&self.pk)
+            .map_err(ProtocolError::from)?;
+        let units = self.fresh_units(pairs.len());
+        pairs
+            .iter()
+            .zip(units)
+            .map(|((a, b), unit)| {
+                let xs = layout.unpack(&self.sk.decrypt(a), layout.slots_per_ct)?;
+                let ys = layout.unpack(&self.sk.decrypt(b), layout.slots_per_ct)?;
+                let products: Vec<BigUint> =
+                    xs.iter().zip(&ys).map(|(x, y)| x.mul_ref(y)).collect();
+                let repacked = layout.pack_wide(&products)?;
+                Ok(self.encrypt_own(&repacked, &unit))
+            })
+            .collect()
+    }
+
+    fn lsb_packed_batch(
+        &self,
+        layout: &SlotLayout,
+        masked: &[Ciphertext],
+        slot_counts: &[usize],
+    ) -> Result<Vec<Ciphertext>, ProtocolError> {
+        layout
+            .require_fits_pk(&self.pk)
+            .map_err(ProtocolError::from)?;
+        if masked.len() != slot_counts.len() {
+            return Err(ProtocolError::DimensionMismatch {
+                left: masked.len(),
+                right: slot_counts.len(),
+            });
+        }
+        let total: usize = slot_counts.iter().sum();
+        let units = self.fresh_units(total);
+        let mut out = Vec::with_capacity(total);
+        let mut unit_iter = units.into_iter();
+        for (ct, &count) in masked.iter().zip(slot_counts) {
+            let slots = layout.unpack(&self.sk.decrypt(ct), layout.slots_per_ct)?;
+            if count > slots.len() {
+                return Err(ProtocolError::Packing(
+                    sknn_paillier::PackingError::TooManyValues {
+                        given: count,
+                        slots: slots.len(),
+                    },
+                ));
+            }
+            for y in slots.iter().take(count) {
+                let bit = if y.is_odd() {
+                    BigUint::one()
+                } else {
+                    BigUint::zero()
+                };
+                let unit = unit_iter.next().expect("one unit per used slot");
+                out.push(self.encrypt_own(&bit, &unit));
+            }
+        }
+        Ok(out)
+    }
+
+    fn top_k_indices_packed(
+        &self,
+        layout: &SlotLayout,
+        packed: &[Ciphertext],
+        count: usize,
+        k: usize,
+    ) -> Result<Vec<usize>, ProtocolError> {
+        layout
+            .require_fits_pk(&self.pk)
+            .map_err(ProtocolError::from)?;
+        if count > packed.len() * layout.slots_per_ct {
+            return Err(ProtocolError::Packing(
+                sknn_paillier::PackingError::TooManyValues {
+                    given: count,
+                    slots: packed.len() * layout.slots_per_ct,
+                },
+            ));
+        }
+        let mut decrypted: Vec<(BigUint, usize)> = Vec::with_capacity(count);
+        for (g, ct) in packed.iter().enumerate() {
+            let slots = layout.unpack(&self.sk.decrypt(ct), layout.slots_per_ct)?;
+            for (s, value) in slots.into_iter().enumerate() {
+                let index = g * layout.slots_per_ct + s;
+                if index < count {
+                    decrypted.push((value, index));
+                }
+            }
+        }
+        decrypted.sort();
+        Ok(decrypted.into_iter().take(k).map(|(_, i)| i).collect())
     }
 }
 

@@ -33,10 +33,12 @@ mod session;
 mod tcp;
 
 pub use channel::{channel_pair, ChannelTransport};
-pub use server::serve;
+pub use server::{serve, serve_with_features};
 pub use session::{CoalesceConfig, SessionKeyHolder};
 pub use tcp::TcpTransport;
-pub use wire::{Frame, FrameKind, TransportError, WIRE_VERSION};
+pub use wire::{
+    Frame, FrameKind, TransportError, FEATURE_VERSION, FEATURE_VERSION_SCALAR, WIRE_VERSION,
+};
 
 use crate::stats::CommStats;
 use sknn_bigint::BigUint;
@@ -155,19 +157,23 @@ mod tests {
     fn traffic_is_counted() {
         let (pk, _oracle, client, _handle, mut rng) = setup();
         let stats = client.stats();
-        assert_eq!(stats.requests(), 0);
+        // Connecting costs exactly one round trip: the feature probe.
+        assert_eq!(stats.requests(), 1);
+        assert_eq!(client.features(), FEATURE_VERSION);
+        let baseline = stats.snapshot();
 
         let e_a = pk.encrypt_u64(3, &mut rng);
         let e_b = pk.encrypt_u64(4, &mut rng);
         let _ = secure_multiply(&pk, &client, &e_a, &e_b, &mut rng);
 
         // SM is a single round trip.
-        assert_eq!(stats.requests(), 1);
-        assert_eq!(stats.responses(), 1);
+        let delta = stats.snapshot().since(&baseline);
+        assert_eq!(delta.requests, 1);
+        assert_eq!(delta.responses, 1);
         // Two masked ciphertexts went out, one came back; all are ≤ 32 bytes
         // (128-bit N ⇒ 256-bit N²) plus framing.
-        assert!(stats.request_bytes() > stats.response_bytes());
-        assert!(stats.total_bytes() < 300);
+        assert!(delta.request_bytes > delta.response_bytes);
+        assert!(delta.total_bytes() < 300);
     }
 
     #[test]
@@ -207,6 +213,119 @@ mod tests {
             SessionKeyHolder::connect_handshake(Arc::new(client_end), CoalesceConfig::disabled())
                 .expect("handshake succeeds");
         assert_eq!(client.public_key().n(), pk.n());
+        drop(client);
+        assert_eq!(server.join().unwrap(), Ok(()));
+    }
+
+    #[test]
+    fn packed_requests_work_over_the_channel() {
+        use crate::packed::{packed_bit_decompose, PackedParams};
+        let (pk, oracle, client, _handle, mut rng) = setup();
+        assert!(client.supports_packing());
+        // 128-bit key, 14-bit operands → 28-bit stride → 4 slots.
+        let params = PackedParams::derive(pk.bits(), 6, 6, 4).unwrap();
+        assert_eq!(params.slots(), 4);
+
+        // Packed squares: one ciphertext for four operands.
+        let xs: Vec<sknn_bigint::BigUint> = [3u64, 7, 0, 63]
+            .iter()
+            .map(|&v| sknn_bigint::BigUint::from_u64(v))
+            .collect();
+        let packed = pk.encrypt(&params.layout.pack(&xs).unwrap(), &mut rng);
+        let squares = client
+            .sm_packed_square_batch(&params.layout, &[packed])
+            .unwrap();
+        let slots = params
+            .layout
+            .unpack(&oracle.debug_decrypt(&squares[0]), 4)
+            .unwrap();
+        assert_eq!(
+            slots
+                .iter()
+                .map(|s| s.to_u64().unwrap())
+                .collect::<Vec<_>>(),
+            vec![9, 49, 0, 3969]
+        );
+
+        // Packed SBD round-trips through the session too.
+        let values = [55u64, 0, 127];
+        let vs: Vec<sknn_bigint::BigUint> = values
+            .iter()
+            .map(|&v| sknn_bigint::BigUint::from_u64(v))
+            .collect();
+        let state = pk.encrypt(&params.layout.pack_wide(&vs).unwrap(), &mut rng);
+        let bits = packed_bit_decompose(
+            &pk,
+            &client,
+            &[state],
+            &[values.len()],
+            7,
+            &params,
+            &mut rng,
+            None,
+        )
+        .unwrap();
+        for (i, &v) in values.iter().enumerate() {
+            let plain: Vec<u64> = bits[i]
+                .iter()
+                .map(|b| oracle.debug_decrypt_u64(b))
+                .collect();
+            assert_eq!(plain.iter().fold(0u64, |acc, &b| (acc << 1) | b), v);
+        }
+
+        // Packed top-k.
+        let dists: Vec<sknn_bigint::BigUint> = [40u64, 10, 20]
+            .iter()
+            .map(|&v| sknn_bigint::BigUint::from_u64(v))
+            .collect();
+        let packed_dists = pk.encrypt(&params.layout.pack_wide(&dists).unwrap(), &mut rng);
+        assert_eq!(
+            client
+                .top_k_indices_packed(&params.layout, &[packed_dists], 3, 2)
+                .unwrap(),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn old_server_negotiates_down_to_scalar() {
+        use crate::packed::PackedParams;
+        let mut rng = StdRng::seed_from_u64(141);
+        let (pk, sk) = Keypair::generate(128, &mut rng).split();
+        let (client_end, server_end) = channel_pair();
+        let holder = LocalKeyHolder::new(sk, 142);
+        // A server pinned to the pre-packing feature revision answers the
+        // probe like an old build: with an unknown-tag error reply.
+        let server = std::thread::spawn(move || {
+            serve_with_features(&server_end, &holder, 1, FEATURE_VERSION_SCALAR)
+        });
+        let client =
+            SessionKeyHolder::connect(pk.clone(), Arc::new(client_end), CoalesceConfig::disabled());
+        assert_eq!(client.features(), FEATURE_VERSION_SCALAR);
+        assert!(!client.supports_packing());
+
+        // Packed calls surface the typed fallback error without touching
+        // the wire…
+        let params = PackedParams::derive(pk.bits(), 6, 8, 4).unwrap();
+        let e = pk.encrypt_u64(5, &mut rng);
+        assert_eq!(
+            client
+                .sm_packed_square_batch(&params.layout, std::slice::from_ref(&e))
+                .unwrap_err(),
+            crate::ProtocolError::PackingUnsupported
+        );
+
+        // …while every scalar protocol still works against the old peer.
+        let e_a = pk.encrypt_u64(59, &mut rng);
+        let e_b = pk.encrypt_u64(58, &mut rng);
+        let prod = secure_multiply(&pk, &client, &e_a, &e_b, &mut rng);
+        let oracle = LocalKeyHolder::new(
+            Keypair::generate(128, &mut StdRng::seed_from_u64(141))
+                .split()
+                .1,
+            143,
+        );
+        assert_eq!(oracle.debug_decrypt_u64(&prod), 3422);
         drop(client);
         assert_eq!(server.join().unwrap(), Ok(()));
     }

@@ -11,14 +11,23 @@
 //! corruption (bad version byte, oversized frame) tears the connection down
 //! with an error return value instead.
 
-use super::wire::{Frame, FrameKind, Request, Response, TransportError, WireError};
+use super::wire::{
+    Frame, FrameKind, Request, Response, TransportError, WireError, FEATURE_VERSION,
+};
 use super::{to_ciphertexts, to_raw, Transport};
 use crate::error::ProtocolError;
 use crate::party::{KeyHolder, LocalKeyHolder};
 use sknn_paillier::Ciphertext;
 
 /// Dispatches one decoded request against the local key holder.
-fn handle(holder: &LocalKeyHolder, request: Request) -> Result<Response, ProtocolError> {
+/// `features` is the highest request revision this server admits — a
+/// request beyond it is answered exactly like an unknown tag, which is
+/// what a genuinely old server would do.
+fn handle(
+    holder: &LocalKeyHolder,
+    request: Request,
+    features: u8,
+) -> Result<Response, ProtocolError> {
     Ok(match request {
         Request::SmBatch(pairs) => {
             let pairs: Vec<(Ciphertext, Ciphertext)> = pairs
@@ -51,10 +60,51 @@ fn handle(holder: &LocalKeyHolder, request: Request) -> Result<Response, Protoco
             Response::Plaintexts(holder.decrypt_masked_batch(&to_ciphertexts(values)))
         }
         Request::PublicKey => Response::PublicKey(holder.public_key().n().clone()),
+        Request::SmPackedSquares { layout, packed } => Response::Ciphertexts(to_raw(
+            &holder.sm_packed_square_batch(&layout, &to_ciphertexts(packed))?,
+        )),
+        Request::SmPackedPairs { layout, pairs } => {
+            let pairs: Vec<(Ciphertext, Ciphertext)> = pairs
+                .into_iter()
+                .map(|(a, b)| (Ciphertext::from_raw(a), Ciphertext::from_raw(b)))
+                .collect();
+            Response::Ciphertexts(to_raw(&holder.sm_packed_multiply_batch(&layout, &pairs)?))
+        }
+        Request::LsbPacked {
+            layout,
+            masked,
+            slot_counts,
+        } => {
+            let counts: Vec<usize> = slot_counts.iter().map(|&c| c as usize).collect();
+            Response::Ciphertexts(to_raw(&holder.lsb_packed_batch(
+                &layout,
+                &to_ciphertexts(masked),
+                &counts,
+            )?))
+        }
+        Request::TopKPacked {
+            layout,
+            packed,
+            count,
+            k,
+        } => Response::Indices(
+            holder
+                .top_k_indices_packed(&layout, &to_ciphertexts(packed), count as usize, k as usize)?
+                .into_iter()
+                .map(|i| i as u32)
+                .collect(),
+        ),
+        Request::Features { max } => Response::Features {
+            version: max.min(features),
+        },
     })
 }
 
-fn worker_loop(transport: &dyn Transport, holder: &LocalKeyHolder) -> Result<(), TransportError> {
+fn worker_loop(
+    transport: &dyn Transport,
+    holder: &LocalKeyHolder,
+    features: u8,
+) -> Result<(), TransportError> {
     loop {
         let frame = match transport.recv_frame() {
             Ok(frame) => frame,
@@ -69,7 +119,18 @@ fn worker_loop(transport: &dyn Transport, holder: &LocalKeyHolder) -> Result<(),
         };
         let reply = match frame.kind {
             FrameKind::Request => match Request::decode(frame.payload) {
-                Ok(request) => match handle(holder, request) {
+                // A request beyond this server's feature revision is
+                // answered exactly like an unknown tag — the reply a
+                // genuinely old build would send — so capability probes
+                // degrade gracefully instead of killing the connection.
+                Ok(request) if request.required_features() > features => Frame::error(
+                    frame.correlation_id,
+                    WireError::malformed_request(&TransportError::UnknownRequestTag {
+                        tag: request.wire_tag(),
+                    })
+                    .encode(),
+                ),
+                Ok(request) => match handle(holder, request, features) {
                     Ok(response) => Frame::response(frame.correlation_id, response.encode()),
                     Err(protocol_err) => Frame::error(
                         frame.correlation_id,
@@ -98,7 +159,7 @@ fn worker_loop(transport: &dyn Transport, holder: &LocalKeyHolder) -> Result<(),
 
 /// Serves requests from `transport` against `holder` until the peer hangs
 /// up, using `workers` concurrent request-handling threads (clamped to at
-/// least 1).
+/// least 1). Speaks the full current feature set ([`FEATURE_VERSION`]).
 ///
 /// # Errors
 /// Returns the first transport-level error a worker hit; a clean peer
@@ -108,13 +169,30 @@ pub fn serve(
     holder: &LocalKeyHolder,
     workers: usize,
 ) -> Result<(), TransportError> {
+    serve_with_features(transport, holder, workers, FEATURE_VERSION)
+}
+
+/// [`serve`] pinned to an explicit feature revision. Passing
+/// [`super::wire::FEATURE_VERSION_SCALAR`] makes the server behave like a
+/// pre-packing build — packed requests and capability probes get
+/// unknown-tag error replies — which is how the interop tests exercise the
+/// new-client/old-server path without an actual old binary.
+///
+/// # Errors
+/// See [`serve`].
+pub fn serve_with_features(
+    transport: &dyn Transport,
+    holder: &LocalKeyHolder,
+    workers: usize,
+    features: u8,
+) -> Result<(), TransportError> {
     let workers = workers.max(1);
     if workers == 1 {
-        return worker_loop(transport, holder);
+        return worker_loop(transport, holder, features);
     }
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| scope.spawn(|| worker_loop(transport, holder)))
+            .map(|_| scope.spawn(|| worker_loop(transport, holder, features)))
             .collect();
         let mut result = Ok(());
         for handle in handles {

@@ -20,14 +20,17 @@
 //!   round-trip optimization.
 
 use super::server::serve;
-use super::wire::{Frame, FrameKind, Request, Response, TransportError, WireError};
+use super::wire::{
+    Frame, FrameKind, Request, Response, TransportError, WireError, FEATURE_VERSION,
+    FEATURE_VERSION_PACKED, FEATURE_VERSION_SCALAR,
+};
 use super::{channel_pair, to_ciphertexts, to_raw, Transport};
 use crate::error::ProtocolError;
 use crate::party::{KeyHolder, LocalKeyHolder, SminRoundResponse};
 use crate::stats::CommStats;
 use parking_lot::Mutex;
 use sknn_bigint::BigUint;
-use sknn_paillier::{Ciphertext, PublicKey};
+use sknn_paillier::{Ciphertext, PublicKey, SlotLayout};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
@@ -302,6 +305,23 @@ pub struct SessionKeyHolder {
     coalesce: CoalesceConfig,
     sm_lane: CoalesceLane<(BigUint, BigUint)>,
     lsb_lane: CoalesceLane<BigUint>,
+    /// Feature revision negotiated with the peer at connect time
+    /// ([`FEATURE_VERSION_SCALAR`] for peers that predate negotiation).
+    features: u8,
+}
+
+/// Probes the peer's feature revision with one [`Request::Features`] round
+/// trip. A peer from before capability negotiation answers with an
+/// unknown-tag error reply, which reads as "scalar requests only"; genuine
+/// transport failures also degrade to scalar — the next real request will
+/// surface them properly.
+fn negotiate_features(core: &SessionCore) -> u8 {
+    match core.round_trip(&Request::Features {
+        max: FEATURE_VERSION,
+    }) {
+        Ok(Response::Features { version }) => version.min(FEATURE_VERSION),
+        _ => FEATURE_VERSION_SCALAR,
+    }
 }
 
 /// Builds the shared connection state and starts the demux thread — the
@@ -328,6 +348,7 @@ impl SessionKeyHolder {
         core: Arc<SessionCore>,
         demux: JoinHandle<()>,
         coalesce: CoalesceConfig,
+        features: u8,
     ) -> SessionKeyHolder {
         SessionKeyHolder {
             pk,
@@ -336,17 +357,20 @@ impl SessionKeyHolder {
             coalesce,
             sm_lane: CoalesceLane::new(),
             lsb_lane: CoalesceLane::new(),
+            features,
         }
     }
 
-    /// Attaches to `transport` with a locally known public key.
+    /// Attaches to `transport` with a locally known public key, probing the
+    /// peer's feature revision with one extra round trip.
     pub fn connect(
         pk: PublicKey,
         transport: Arc<dyn Transport>,
         coalesce: CoalesceConfig,
     ) -> SessionKeyHolder {
         let (core, demux) = bootstrap(transport);
-        SessionKeyHolder::assemble(pk, core, demux, coalesce)
+        let features = negotiate_features(&core);
+        SessionKeyHolder::assemble(pk, core, demux, coalesce, features)
     }
 
     /// Attaches to `transport` and fetches the public key from the server
@@ -373,7 +397,10 @@ impl SessionKeyHolder {
                 return Err(e);
             }
         };
-        Ok(SessionKeyHolder::assemble(pk, core, demux, coalesce))
+        let features = negotiate_features(&core);
+        Ok(SessionKeyHolder::assemble(
+            pk, core, demux, coalesce, features,
+        ))
     }
 
     /// Stands up an in-process key-holder server around `holder` (with
@@ -403,6 +430,11 @@ impl SessionKeyHolder {
     /// The coalescing policy this session was built with.
     pub fn coalesce_config(&self) -> CoalesceConfig {
         self.coalesce
+    }
+
+    /// The feature revision negotiated with the peer.
+    pub fn features(&self) -> u8 {
+        self.features
     }
 
     fn round_trip(&self, request: &Request) -> Result<Response, TransportError> {
@@ -534,5 +566,101 @@ impl KeyHolder for SessionKeyHolder {
                 _ => None,
             }),
         )
+    }
+
+    fn supports_packing(&self) -> bool {
+        self.features >= FEATURE_VERSION_PACKED
+    }
+
+    fn sm_packed_square_batch(
+        &self,
+        layout: &SlotLayout,
+        packed: &[Ciphertext],
+    ) -> Result<Vec<Ciphertext>, ProtocolError> {
+        if !self.supports_packing() {
+            return Err(ProtocolError::PackingUnsupported);
+        }
+        let sent = packed.len();
+        let result = Self::expect_ciphertexts(self.round_trip(&Request::SmPackedSquares {
+            layout: *layout,
+            packed: to_raw(packed),
+        }))
+        .and_then(|values| check_batch(sent, values));
+        result.map(to_ciphertexts).map_err(ProtocolError::from)
+    }
+
+    fn sm_packed_multiply_batch(
+        &self,
+        layout: &SlotLayout,
+        pairs: &[(Ciphertext, Ciphertext)],
+    ) -> Result<Vec<Ciphertext>, ProtocolError> {
+        if !self.supports_packing() {
+            return Err(ProtocolError::PackingUnsupported);
+        }
+        let raw: Vec<(BigUint, BigUint)> = pairs
+            .iter()
+            .map(|(a, b)| (a.as_raw().clone(), b.as_raw().clone()))
+            .collect();
+        let sent = pairs.len();
+        let result = Self::expect_ciphertexts(self.round_trip(&Request::SmPackedPairs {
+            layout: *layout,
+            pairs: raw,
+        }))
+        .and_then(|values| check_batch(sent, values));
+        result.map(to_ciphertexts).map_err(ProtocolError::from)
+    }
+
+    fn lsb_packed_batch(
+        &self,
+        layout: &SlotLayout,
+        masked: &[Ciphertext],
+        slot_counts: &[usize],
+    ) -> Result<Vec<Ciphertext>, ProtocolError> {
+        if !self.supports_packing() {
+            return Err(ProtocolError::PackingUnsupported);
+        }
+        let expected: usize = slot_counts.iter().sum();
+        let result = Self::expect_ciphertexts(self.round_trip(&Request::LsbPacked {
+            layout: *layout,
+            masked: to_raw(masked),
+            slot_counts: slot_counts.iter().map(|&c| c as u32).collect(),
+        }))
+        .and_then(|values| check_batch(expected, values));
+        result.map(to_ciphertexts).map_err(ProtocolError::from)
+    }
+
+    fn top_k_indices_packed(
+        &self,
+        layout: &SlotLayout,
+        packed: &[Ciphertext],
+        count: usize,
+        k: usize,
+    ) -> Result<Vec<usize>, ProtocolError> {
+        if !self.supports_packing() {
+            return Err(ProtocolError::PackingUnsupported);
+        }
+        let result = self.round_trip(&Request::TopKPacked {
+            layout: *layout,
+            packed: to_raw(packed),
+            count: count as u32,
+            k: k as u32,
+        });
+        Self::expect("Indices", result, |r| match r {
+            Response::Indices(indices) => Some(indices.into_iter().map(|i| i as usize).collect()),
+            _ => None,
+        })
+        .map_err(ProtocolError::from)
+    }
+}
+
+/// Verifies a batched reply has one result per request item.
+fn check_batch(sent: usize, values: Vec<BigUint>) -> Result<Vec<BigUint>, TransportError> {
+    if values.len() == sent {
+        Ok(values)
+    } else {
+        Err(TransportError::BatchMismatch {
+            sent,
+            received: values.len(),
+        })
     }
 }

@@ -26,10 +26,37 @@
 use crate::error::ProtocolError;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use sknn_bigint::BigUint;
+use sknn_paillier::SlotLayout;
 use std::fmt;
 
 /// Version byte stamped on every frame. Bump when the encoding changes.
+///
+/// Note the two-level versioning scheme: this byte covers the frame
+/// *envelope* (header layout, error frames) and is deliberately frozen —
+/// a peer that rejects an unknown envelope version tears the connection
+/// down, so bumping it would strand every older peer. New *capabilities*
+/// (the slot-packed request tags) are negotiated per connection at the
+/// request level instead: see [`Request::Features`] and
+/// [`FEATURE_VERSION`]. An old server answers the probe with an
+/// unknown-tag error reply, which the client reads as "feature version 1,
+/// scalar requests only" — old and new peers interoperate in both
+/// directions.
 pub const WIRE_VERSION: u8 = 1;
+
+/// Highest request-level feature revision this build speaks.
+///
+/// * `1` — the scalar request set (SmBatch … PublicKey).
+/// * `2` — adds the slot-packed requests ([`Request::SmPackedSquares`],
+///   [`Request::SmPackedPairs`], [`Request::LsbPacked`],
+///   [`Request::TopKPacked`]) and the [`Request::Features`] probe itself.
+pub const FEATURE_VERSION: u8 = 2;
+
+/// The feature revision of peers that predate negotiation (scalar only).
+pub const FEATURE_VERSION_SCALAR: u8 = 1;
+
+/// The feature revision that introduced the slot-packed request tags —
+/// the gate [`super::SessionKeyHolder`] checks before sending them.
+pub const FEATURE_VERSION_PACKED: u8 = 2;
 
 /// Frame header size in bytes (version + kind + correlation id + length).
 pub const FRAME_HEADER_LEN: usize = 1 + 1 + 8 + 4;
@@ -82,6 +109,12 @@ pub enum TransportError {
         /// The announced payload length.
         len: u64,
     },
+    /// A structured payload field held a value its invariants forbid
+    /// (e.g. a slot layout with zero-width slots).
+    InvalidField {
+        /// Which field was malformed.
+        field: &'static str,
+    },
     /// A batched response carried a different number of results than the
     /// request had items.
     BatchMismatch {
@@ -133,6 +166,9 @@ impl fmt::Display for TransportError {
                 f,
                 "frame payload of {len} bytes exceeds the {MAX_FRAME_PAYLOAD}-byte limit"
             ),
+            TransportError::InvalidField { field } => {
+                write!(f, "malformed payload field: {field}")
+            }
             TransportError::BatchMismatch { sent, received } => write!(
                 f,
                 "batched response size mismatch: sent {sent} items, received {received}"
@@ -401,6 +437,37 @@ fn put_vec(buf: &mut BytesMut, values: &[BigUint]) {
     }
 }
 
+fn put_layout(buf: &mut BytesMut, layout: &SlotLayout) {
+    // `SlotLayout::new` bounds every field to u16 (no real key holds a
+    // 65535-bit slot), so these casts cannot truncate for any layout built
+    // through the constructor; the assertions catch hand-rolled struct
+    // literals that bypass it.
+    debug_assert!(layout.slot_bits <= u16::MAX as usize);
+    debug_assert!(layout.guard_bits <= u16::MAX as usize);
+    debug_assert!(layout.slots_per_ct <= u16::MAX as usize);
+    buf.put_u16(layout.slot_bits as u16);
+    buf.put_u16(layout.guard_bits as u16);
+    buf.put_u16(layout.slots_per_ct as u16);
+}
+
+impl Reader {
+    fn u16(&mut self) -> Result<u16, TransportError> {
+        self.need(2)?;
+        Ok(self.buf.get_u16())
+    }
+
+    fn layout(&mut self) -> Result<SlotLayout, TransportError> {
+        let slot_bits = self.u16()? as usize;
+        let guard_bits = self.u16()? as usize;
+        let slots_per_ct = self.u16()? as usize;
+        SlotLayout::new(slot_bits, guard_bits, slots_per_ct).map_err(|_| {
+            TransportError::InvalidField {
+                field: "SlotLayout",
+            }
+        })
+    }
+}
+
 /// Requests C1 sends to C2. Mirrors the [`crate::KeyHolder`] methods
 /// one-to-one, plus a [`Request::PublicKey`] bootstrap for transports (TCP)
 /// where the client has no out-of-band copy of the key.
@@ -433,6 +500,50 @@ pub enum Request {
     DecryptBatch(Vec<BigUint>),
     /// Bootstrap: ask the key holder for the public key's modulus `N`.
     PublicKey,
+    /// Packed SM in square form: each ciphertext packs blinded operands;
+    /// C2 squares every slot and repacks. Feature revision ≥ 2.
+    SmPackedSquares {
+        /// The slot layout both ends must agree on.
+        layout: SlotLayout,
+        /// The packed-operand ciphertexts.
+        packed: Vec<BigUint>,
+    },
+    /// Packed SM over pairs: slot-wise products `aᵢ·bᵢ`. Feature ≥ 2.
+    SmPackedPairs {
+        /// The slot layout both ends must agree on.
+        layout: SlotLayout,
+        /// Packed-operand ciphertext pairs.
+        pairs: Vec<(BigUint, BigUint)>,
+    },
+    /// Packed SBD round oracle: per-slot LSBs of the masked packed state.
+    /// Feature ≥ 2.
+    LsbPacked {
+        /// The slot layout both ends must agree on.
+        layout: SlotLayout,
+        /// One masked packed ciphertext per value group.
+        masked: Vec<BigUint>,
+        /// Used slots per group (the reply carries one bit ciphertext per
+        /// used slot, flattened).
+        slot_counts: Vec<u32>,
+    },
+    /// Packed SkNN_b top-k over packed distances. Feature ≥ 2.
+    TopKPacked {
+        /// The slot layout both ends must agree on.
+        layout: SlotLayout,
+        /// The packed distance ciphertexts.
+        packed: Vec<BigUint>,
+        /// Total number of distances across the packed ciphertexts.
+        count: u32,
+        /// How many indices to return.
+        k: u32,
+    },
+    /// Capability probe: the client's highest feature revision. A peer that
+    /// predates negotiation answers with an unknown-tag error, which the
+    /// client reads as [`FEATURE_VERSION_SCALAR`].
+    Features {
+        /// The sender's [`FEATURE_VERSION`].
+        max: u8,
+    },
 }
 
 impl Request {
@@ -446,6 +557,42 @@ impl Request {
             Request::TopK { .. } => "TopK",
             Request::DecryptBatch(_) => "DecryptBatch",
             Request::PublicKey => "PublicKey",
+            Request::SmPackedSquares { .. } => "SmPackedSquares",
+            Request::SmPackedPairs { .. } => "SmPackedPairs",
+            Request::LsbPacked { .. } => "LsbPacked",
+            Request::TopKPacked { .. } => "TopKPacked",
+            Request::Features { .. } => "Features",
+        }
+    }
+
+    /// The feature revision a peer must speak to serve this request.
+    pub fn required_features(&self) -> u8 {
+        match self {
+            Request::SmPackedSquares { .. }
+            | Request::SmPackedPairs { .. }
+            | Request::LsbPacked { .. }
+            | Request::TopKPacked { .. }
+            | Request::Features { .. } => FEATURE_VERSION_PACKED,
+            _ => FEATURE_VERSION_SCALAR,
+        }
+    }
+
+    /// The tag byte this request serializes with (the first payload byte
+    /// [`Request::encode`] writes).
+    pub fn wire_tag(&self) -> u8 {
+        match self {
+            Request::SmBatch(_) => 1,
+            Request::LsbBatch(_) => 2,
+            Request::SminRound { .. } => 3,
+            Request::MinSelection(_) => 4,
+            Request::TopK { .. } => 5,
+            Request::DecryptBatch(_) => 6,
+            Request::PublicKey => 7,
+            Request::SmPackedSquares { .. } => 8,
+            Request::SmPackedPairs { .. } => 9,
+            Request::LsbPacked { .. } => 10,
+            Request::TopKPacked { .. } => 11,
+            Request::Features { .. } => 12,
         }
     }
 
@@ -486,6 +633,49 @@ impl Request {
             Request::PublicKey => {
                 buf.put_u8(7);
             }
+            Request::SmPackedSquares { layout, packed } => {
+                buf.put_u8(8);
+                put_layout(&mut buf, layout);
+                put_vec(&mut buf, packed);
+            }
+            Request::SmPackedPairs { layout, pairs } => {
+                buf.put_u8(9);
+                put_layout(&mut buf, layout);
+                buf.put_u32(pairs.len() as u32);
+                for (a, b) in pairs {
+                    put_biguint(&mut buf, a);
+                    put_biguint(&mut buf, b);
+                }
+            }
+            Request::LsbPacked {
+                layout,
+                masked,
+                slot_counts,
+            } => {
+                buf.put_u8(10);
+                put_layout(&mut buf, layout);
+                put_vec(&mut buf, masked);
+                buf.put_u32(slot_counts.len() as u32);
+                for &c in slot_counts {
+                    buf.put_u32(c);
+                }
+            }
+            Request::TopKPacked {
+                layout,
+                packed,
+                count,
+                k,
+            } => {
+                buf.put_u8(11);
+                put_layout(&mut buf, layout);
+                buf.put_u32(*count);
+                buf.put_u32(*k);
+                put_vec(&mut buf, packed);
+            }
+            Request::Features { max } => {
+                buf.put_u8(12);
+                buf.put_u8(*max);
+            }
         }
         buf.freeze()
     }
@@ -521,6 +711,43 @@ impl Request {
             }
             6 => Request::DecryptBatch(r.biguint_vec()?),
             7 => Request::PublicKey,
+            8 => Request::SmPackedSquares {
+                layout: r.layout()?,
+                packed: r.biguint_vec()?,
+            },
+            9 => {
+                let layout = r.layout()?;
+                let count = r.u32()? as usize;
+                r.need(count.saturating_mul(8))?;
+                let pairs = (0..count)
+                    .map(|_| Ok((r.biguint()?, r.biguint()?)))
+                    .collect::<Result<Vec<_>, TransportError>>()?;
+                Request::SmPackedPairs { layout, pairs }
+            }
+            10 => {
+                let layout = r.layout()?;
+                let masked = r.biguint_vec()?;
+                let count = r.u32()? as usize;
+                r.need(count.saturating_mul(4))?;
+                let slot_counts = (0..count).map(|_| r.u32()).collect::<Result<_, _>>()?;
+                Request::LsbPacked {
+                    layout,
+                    masked,
+                    slot_counts,
+                }
+            }
+            11 => {
+                let layout = r.layout()?;
+                let count = r.u32()?;
+                let k = r.u32()?;
+                Request::TopKPacked {
+                    layout,
+                    packed: r.biguint_vec()?,
+                    count,
+                    k,
+                }
+            }
+            12 => Request::Features { max: r.u8()? },
             tag => return Err(TransportError::UnknownRequestTag { tag }),
         };
         r.finish()?;
@@ -546,6 +773,12 @@ pub enum Response {
     Plaintexts(Vec<BigUint>),
     /// The public key's modulus `N`.
     PublicKey(BigUint),
+    /// The feature revision the server agrees to speak (the minimum of the
+    /// client's probe and the server's own [`FEATURE_VERSION`]).
+    Features {
+        /// The negotiated feature revision.
+        version: u8,
+    },
 }
 
 impl Response {
@@ -557,6 +790,7 @@ impl Response {
             Response::Indices(_) => "Indices",
             Response::Plaintexts(_) => "Plaintexts",
             Response::PublicKey(_) => "PublicKey",
+            Response::Features { .. } => "Features",
         }
     }
 
@@ -588,6 +822,10 @@ impl Response {
                 buf.put_u8(5);
                 put_biguint(&mut buf, n);
             }
+            Response::Features { version } => {
+                buf.put_u8(6);
+                buf.put_u8(*version);
+            }
         }
         buf.freeze()
     }
@@ -612,6 +850,7 @@ impl Response {
             }
             4 => Response::Plaintexts(r.biguint_vec()?),
             5 => Response::PublicKey(r.biguint()?),
+            6 => Response::Features { version: r.u8()? },
             tag => return Err(TransportError::UnknownResponseTag { tag }),
         };
         r.finish()?;
@@ -625,6 +864,8 @@ pub const ERR_CODE_GENERIC: u8 = 0;
 pub const ERR_CODE_MIN_SELECTION: u8 = 1;
 /// Error code for a request the server could not decode.
 pub const ERR_CODE_MALFORMED_REQUEST: u8 = 2;
+/// Error code for [`ProtocolError::PackingUnsupported`].
+pub const ERR_CODE_PACKING_UNSUPPORTED: u8 = 3;
 
 /// The payload of a [`FrameKind::Error`] frame: a stable error code, an
 /// optional numeric detail, and a human-readable message.
@@ -645,6 +886,11 @@ impl WireError {
             ProtocolError::MinSelectionFailed { candidates } => WireError {
                 code: ERR_CODE_MIN_SELECTION,
                 detail: *candidates as u64,
+                message: e.to_string(),
+            },
+            ProtocolError::PackingUnsupported => WireError {
+                code: ERR_CODE_PACKING_UNSUPPORTED,
+                detail: 0,
                 message: e.to_string(),
             },
             other => WireError {
@@ -695,6 +941,9 @@ impl WireError {
             ERR_CODE_MIN_SELECTION => TransportError::Protocol(ProtocolError::MinSelectionFailed {
                 candidates: self.detail as usize,
             }),
+            ERR_CODE_PACKING_UNSUPPORTED => {
+                TransportError::Protocol(ProtocolError::PackingUnsupported)
+            }
             code => TransportError::Remote {
                 code,
                 message: self.message,
@@ -746,6 +995,128 @@ mod tests {
         roundtrip_response(Response::Indices(vec![0, 5, 2]));
         roundtrip_response(Response::Plaintexts(vec![BigUint::zero(), b.clone()]));
         roundtrip_response(Response::PublicKey(b.clone()));
+        roundtrip_response(Response::Features { version: 2 });
+    }
+
+    #[test]
+    fn packed_request_codecs_roundtrip() {
+        let a = BigUint::from_u64(12345);
+        let b = BigUint::from_u128(u128::MAX);
+        let layout = SlotLayout::new(51, 51, 8).unwrap();
+        roundtrip_request(Request::SmPackedSquares {
+            layout,
+            packed: vec![a.clone(), b.clone()],
+        });
+        roundtrip_request(Request::SmPackedPairs {
+            layout,
+            pairs: vec![(a.clone(), b.clone())],
+        });
+        roundtrip_request(Request::LsbPacked {
+            layout,
+            masked: vec![b.clone()],
+            slot_counts: vec![8, 3],
+        });
+        roundtrip_request(Request::TopKPacked {
+            layout,
+            packed: vec![a.clone(), b.clone()],
+            count: 13,
+            k: 4,
+        });
+        roundtrip_request(Request::Features {
+            max: FEATURE_VERSION,
+        });
+    }
+
+    #[test]
+    fn wire_tag_matches_encoded_first_byte() {
+        let layout = SlotLayout::new(8, 8, 2).unwrap();
+        let requests = [
+            Request::SmBatch(vec![]),
+            Request::LsbBatch(vec![]),
+            Request::SminRound {
+                gamma: vec![],
+                l_vec: vec![],
+            },
+            Request::MinSelection(vec![]),
+            Request::TopK {
+                distances: vec![],
+                k: 1,
+            },
+            Request::DecryptBatch(vec![]),
+            Request::PublicKey,
+            Request::SmPackedSquares {
+                layout,
+                packed: vec![],
+            },
+            Request::SmPackedPairs {
+                layout,
+                pairs: vec![],
+            },
+            Request::LsbPacked {
+                layout,
+                masked: vec![],
+                slot_counts: vec![],
+            },
+            Request::TopKPacked {
+                layout,
+                packed: vec![],
+                count: 0,
+                k: 0,
+            },
+            Request::Features { max: 2 },
+        ];
+        for request in requests {
+            assert_eq!(
+                request.encode()[0],
+                request.wire_tag(),
+                "{} encodes a different tag than wire_tag reports",
+                request.name()
+            );
+        }
+    }
+
+    #[test]
+    fn required_features_split_scalar_from_packed() {
+        assert_eq!(Request::PublicKey.required_features(), 1);
+        assert_eq!(Request::LsbBatch(vec![]).required_features(), 1);
+        let layout = SlotLayout::new(8, 8, 2).unwrap();
+        assert_eq!(
+            Request::SmPackedSquares {
+                layout,
+                packed: vec![]
+            }
+            .required_features(),
+            2
+        );
+        assert_eq!(Request::Features { max: 2 }.required_features(), 2);
+    }
+
+    #[test]
+    fn degenerate_wire_layout_is_rejected() {
+        // A hand-rolled SmPackedSquares frame with a zero-slot layout.
+        let mut buf = BytesMut::new();
+        buf.put_u8(8);
+        buf.put_u16(0); // slot_bits = 0: invalid
+        buf.put_u16(8);
+        buf.put_u16(4);
+        buf.put_u32(0);
+        assert_eq!(
+            Request::decode(buf.freeze()),
+            Err(TransportError::InvalidField {
+                field: "SlotLayout"
+            })
+        );
+    }
+
+    #[test]
+    fn packing_unsupported_survives_the_wire() {
+        let wire = WireError::from_protocol(&ProtocolError::PackingUnsupported);
+        assert_eq!(wire.code, ERR_CODE_PACKING_UNSUPPORTED);
+        let back = WireError::decode(wire.encode()).expect("decodes");
+        assert_eq!(
+            back.into_transport_error(),
+            TransportError::Protocol(ProtocolError::PackingUnsupported)
+        );
     }
 
     #[test]

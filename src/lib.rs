@@ -95,6 +95,37 @@
 //! distribution — and with it the paper's security argument — is unchanged
 //! (see `DESIGN.md`).
 //!
+//! ## Architecture: slot-packed Paillier batching (SIMD)
+//!
+//! A Paillier plaintext holds a full `Z_N` element while protocol values
+//! are a few dozen bits wide, so the hot C1↔C2 exchanges can pack σ
+//! guard-banded values into one ciphertext (`paillier::packing::SlotLayout`,
+//! stride = payload + guard so slot-wise products never carry):
+//!
+//! ```text
+//!  scalar SSED (per record, m attributes)   packed SSED (σ records/group)
+//!  ───────────────────────────────────────  ─────────────────────────────
+//!  2·m ciphertexts  →  C2: 2·m decrypts     m ciphertexts → C2: m decrypts
+//!  m ciphertexts    ←  (squares)            m ciphertexts ← (slot squares)
+//!     …× σ records                             per GROUP of σ records
+//!
+//!  scalar SBD round: n masked cts → n decrypts → n bit cts
+//!  packed SBD round: ⌈n/σ⌉ packed cts → ⌈n/σ⌉ decrypts → n bit cts
+//! ```
+//!
+//! C1 merges ciphertexts into slots with a homomorphic Horner walk (~one
+//! full exponentiation per group) and strips the blinding slot-wise; C2
+//! decrypts once per group. The per-bit SBD responses stay scalar — SMIN
+//! consumes bits individually and an additively homomorphic ciphertext
+//! cannot be split by the party that cannot decrypt it — which is the one
+//! floor on the response side (see `DESIGN.md`). [`FederationConfig`]'s
+//! `packing` knob (`Off` / `Auto(σ)` / `Fixed(σ)`) routes the SSED and SBD
+//! stages of both protocols through the packed paths;
+//! [`QueryProfile`]`::ops` reports per-stage ciphertexts-on-wire and C2
+//! decryption counts, and new wire request tags are negotiated per
+//! connection (`Features` probe) so pre-packing peers interoperate
+//! untouched.
+//!
 //! ## Quickstart
 //!
 //! ```
