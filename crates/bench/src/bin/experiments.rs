@@ -14,6 +14,8 @@
 //!   breakdown  SMIN_n share of SkNN_m cost vs k           (Section 5.2 claim)
 //!   bob-cost   Bob's query-encryption cost vs key size    (Section 5.2 claim)
 //!   keysize    SkNN_b cost ratio when the key size doubles (Section 5.1 claim)
+//!   batch      SkNN_b queries/sec through SknnEngine::run_batch
+//!              at batch sizes 1 / 4 / 16                  (beyond the paper)
 //!   all        every experiment above, in order
 //! ```
 //!
@@ -78,6 +80,7 @@ fn main() {
         "breakdown" => breakdown(scale, &mut report),
         "bob-cost" => bob_cost(scale, &mut report),
         "keysize" => keysize(scale, &mut report),
+        "batch" => batch_throughput(scale, &mut report),
         "all" => {
             fig2ab(scale, false, &mut report);
             fig2ab(scale, true, &mut report);
@@ -89,6 +92,7 @@ fn main() {
             breakdown(scale, &mut report);
             bob_cost(scale, &mut report);
             keysize(scale, &mut report);
+            batch_throughput(scale, &mut report);
         }
         other => {
             eprintln!("unknown experiment '{other}'");
@@ -256,13 +260,7 @@ fn breakdown(scale: Scale, report: &mut BenchReport) {
     for &k in &endpoints {
         let k = k.min(n);
         let instance = build_instance(InstanceSpec::new(n, 6, l, small));
-        let mut rng = StdRng::seed_from_u64(HARNESS_SEED ^ 0xBD);
-        let start = Instant::now();
-        let result = instance
-            .federation
-            .query_secure_with_bits(&instance.query, k, l, &mut rng)
-            .expect("secure query");
-        let elapsed = start.elapsed();
+        let (elapsed, result) = run_secure(&instance, k, l);
         report.push_query("breakdown", &params(n, 6, k, l, small), elapsed, &result);
         let p = &result.profile;
         let smin = p.fraction(Stage::SecureMinimum) * 100.0;
@@ -305,6 +303,86 @@ fn bob_cost(scale: Scale, report: &mut BenchReport) {
             per_query,
         );
         println!("{key_bits:>8} {:>14.2}", per_query.as_secs_f64() * 1000.0);
+    }
+    println!();
+}
+
+/// Beyond the paper: aggregate throughput of `SknnEngine::run_batch` —
+/// whole SkNN_b queries fanned out across worker threads over the one
+/// shared key-holder session, reported as queries/sec per batch size.
+fn batch_throughput(scale: Scale, report: &mut BenchReport) {
+    use sknn_core::{DataOwner, DatasetOptions, FederationConfig, Protocol, SknnEngine};
+    use sknn_data::{uniform_query, SyntheticDataset};
+
+    let (small, _) = scale.key_sizes();
+    let n = scale.basic_k_sweep_records();
+    let k = 5.min(n);
+    let threads = 4;
+    println!(
+        "## Batch throughput: SkNN_b via SknnEngine::run_batch, n = {n}, m = 6, k = {k}, \
+         K = {small} bits, {threads} worker threads"
+    );
+    println!("{:>8} {:>12} {:>12}", "batch", "time_s", "queries/s");
+
+    let mut rng = StdRng::seed_from_u64(HARNESS_SEED ^ 0xBA7C);
+    let dataset = SyntheticDataset::uniform(n, 6, 12, &mut rng);
+    let owner = DataOwner::from_keypair(cached_keypair(small));
+    let mut engine = SknnEngine::setup_with_owner(
+        owner,
+        FederationConfig {
+            key_bits: small,
+            threads,
+            ..Default::default()
+        },
+    )
+    .expect("engine setup");
+    engine
+        .register_dataset_with(
+            "batch",
+            &dataset.table,
+            DatasetOptions {
+                distance_bits: Some(12),
+                max_query_value: dataset.max_value,
+            },
+            &mut rng,
+        )
+        .expect("register dataset");
+
+    for &batch in &[1usize, 4, 16] {
+        let queries: Vec<_> = (0..batch)
+            .map(|_| {
+                let q = uniform_query(6, dataset.max_value, &mut rng);
+                engine
+                    .query("batch")
+                    .k(k)
+                    .point(&q)
+                    .protocol(Protocol::Basic)
+                    .build()
+                    .expect("validated query")
+            })
+            .collect();
+        let start = Instant::now();
+        let outcomes = engine.run_batch(&queries, &mut rng);
+        let elapsed = start.elapsed();
+        assert!(
+            outcomes.iter().all(Result::is_ok),
+            "every batch query succeeds"
+        );
+        let qps = batch as f64 / elapsed.as_secs_f64();
+        report.push_duration(
+            "batch-throughput",
+            &[
+                ("n", n.to_string()),
+                ("m", "6".to_string()),
+                ("k", k.to_string()),
+                ("K", small.to_string()),
+                ("threads", threads.to_string()),
+                ("batch", batch.to_string()),
+                ("queries_per_sec", format!("{qps:.3}")),
+            ],
+            elapsed,
+        );
+        println!("{batch:>8} {:>12} {qps:>12.3}", secs(elapsed));
     }
     println!();
 }

@@ -224,13 +224,22 @@ pub fn run_basic(instance: &Instance, k: usize) -> (Duration, sknn_core::QueryRe
     (start.elapsed(), result)
 }
 
-/// Runs one SkNN_m query on the instance with an explicit `l`.
+/// Runs one SkNN_m query on the instance with an explicit `l` (the
+/// engine builder's `distance_bits` knob, sweeping `l` as in Figures
+/// 2(d)–(e)).
 pub fn run_secure(instance: &Instance, k: usize, l: usize) -> (Duration, sknn_core::QueryResult) {
     let mut rng = StdRng::seed_from_u64(HARNESS_SEED ^ 0x5);
     let start = Instant::now();
     let result = instance
         .federation
-        .query_secure_with_bits(&instance.query, k, l, &mut rng)
+        .engine()
+        .query(Federation::DATASET)
+        .k(k)
+        .point(&instance.query)
+        .protocol(sknn_core::Protocol::Secure)
+        .distance_bits(l)
+        .run(&mut rng)
+        .map(sknn_core::QueryResult::from)
         .expect("secure query");
     (start.elapsed(), result)
 }

@@ -63,7 +63,7 @@ pub fn is_probable_prime<R: RngCore + ?Sized>(n: &BigUint, rounds: usize, rng: &
 ///
 /// The top bit and the low bit are forced so the result has the requested
 /// size and is odd; candidates are filtered by trial division and then
-/// confirmed with [`DEFAULT_MR_ROUNDS`] Miller–Rabin rounds.
+/// confirmed with `DEFAULT_MR_ROUNDS` (40) Miller–Rabin rounds.
 ///
 /// # Panics
 /// Panics when `bits < 2`.

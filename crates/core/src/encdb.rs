@@ -1,5 +1,6 @@
 //! Encrypted database, query and result-transfer types.
 
+use crate::error::UpdateRejected;
 use sknn_bigint::BigUint;
 use sknn_paillier::{Ciphertext, PublicKey};
 
@@ -7,9 +8,20 @@ use sknn_paillier::{Ciphertext, PublicKey};
 pub type EncryptedRecord = Vec<Ciphertext>;
 
 /// The attribute-wise encrypted database `E_pk(T)` hosted by cloud C1.
+///
+/// Unlike the paper's static outsourced table, the database supports
+/// *dynamic updates*: the data owner can [`append`](Self::append_record)
+/// freshly encrypted records and [`tombstone`](Self::tombstone) retired
+/// ones without re-outsourcing the table. Tombstoned records keep their
+/// physical index (so indices stay stable for the owner) but are skipped
+/// by every query protocol; see `DESIGN.md` ("Engine façade & dataset
+/// lifecycle") for why this leaks nothing beyond the update event itself.
 #[derive(Clone, Debug)]
 pub struct EncryptedDatabase {
     records: Vec<EncryptedRecord>,
+    /// `live[i]` is false once record `i` has been tombstoned.
+    live: Vec<bool>,
+    tombstones: usize,
     attributes: usize,
     public_key: PublicKey,
 }
@@ -27,16 +39,26 @@ impl EncryptedDatabase {
             records.iter().all(|r| r.len() == attributes),
             "encrypted records have inconsistent widths"
         );
+        let live = vec![true; records.len()];
         EncryptedDatabase {
             records,
+            live,
+            tombstones: 0,
             attributes,
             public_key,
         }
     }
 
-    /// Number of records (`n`).
+    /// Number of physical records, live and tombstoned (`n` plus retired
+    /// history).
     pub fn num_records(&self) -> usize {
         self.records.len()
+    }
+
+    /// Number of live (queryable) records — the `n` the protocols operate
+    /// over.
+    pub fn num_live(&self) -> usize {
+        self.records.len() - self.tombstones
     }
 
     /// Number of attributes (`m`).
@@ -44,14 +66,70 @@ impl EncryptedDatabase {
         self.attributes
     }
 
-    /// Borrow one encrypted record.
+    /// Borrow one encrypted record (live or tombstoned).
     pub fn record(&self, i: usize) -> &EncryptedRecord {
         &self.records[i]
     }
 
-    /// Borrow all encrypted records.
+    /// Borrow all physical records, including tombstoned ones.
     pub fn records(&self) -> &[EncryptedRecord] {
         &self.records
+    }
+
+    /// Whether record `i` is live (not tombstoned). Out-of-range indices
+    /// are not live.
+    pub fn is_live(&self, i: usize) -> bool {
+        self.live.get(i).copied().unwrap_or(false)
+    }
+
+    /// Physical indices of the live records, in storage order. The query
+    /// protocols iterate exactly this view, so tombstoned records can never
+    /// appear in a result.
+    pub fn live_indices(&self) -> Vec<usize> {
+        (0..self.records.len()).filter(|&i| self.live[i]).collect()
+    }
+
+    /// Appends one already-encrypted record, returning its physical index.
+    ///
+    /// The ciphertexts are assumed to be encryptions under
+    /// [`Self::public_key`] of values within the domain bound the hosting
+    /// dataset was registered with — C1 cannot inspect them (that is the
+    /// point of the encryption), so the data owner is responsible for both,
+    /// exactly as at initial outsourcing.
+    ///
+    /// # Errors
+    /// Rejects records whose width differs from the database's.
+    pub fn append_record(&mut self, record: EncryptedRecord) -> Result<usize, UpdateRejected> {
+        if record.len() != self.attributes {
+            return Err(UpdateRejected::WrongArity {
+                expected: self.attributes,
+                got: record.len(),
+            });
+        }
+        self.records.push(record);
+        self.live.push(true);
+        Ok(self.records.len() - 1)
+    }
+
+    /// Tombstones the record at physical index `i`: it keeps its index but
+    /// is skipped by all subsequent queries.
+    ///
+    /// # Errors
+    /// Rejects out-of-range indices and records that are already
+    /// tombstoned.
+    pub fn tombstone(&mut self, i: usize) -> Result<(), UpdateRejected> {
+        if i >= self.records.len() {
+            return Err(UpdateRejected::IndexOutOfRange {
+                index: i,
+                records: self.records.len(),
+            });
+        }
+        if !self.live[i] {
+            return Err(UpdateRejected::AlreadyTombstoned { index: i });
+        }
+        self.live[i] = false;
+        self.tombstones += 1;
+        Ok(())
     }
 
     /// The public key the records are encrypted under.
@@ -128,6 +206,52 @@ mod tests {
         assert_eq!(db.record(0).len(), 2);
         assert_eq!(db.records().len(), 2);
         assert_eq!(db.public_key(), &pk);
+    }
+
+    #[test]
+    fn append_and_tombstone_maintain_the_live_view() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let (pk, _) = Keypair::generate(64, &mut rng).split();
+        let enc = |v: u64, rng: &mut StdRng| vec![pk.encrypt_u64(v, rng)];
+        let mut db =
+            EncryptedDatabase::from_records(vec![enc(1, &mut rng), enc(2, &mut rng)], pk.clone());
+        assert_eq!(db.num_live(), 2);
+        assert_eq!(db.live_indices(), vec![0, 1]);
+
+        let idx = db.append_record(enc(3, &mut rng)).unwrap();
+        assert_eq!(idx, 2);
+        assert_eq!(db.num_records(), 3);
+        assert_eq!(db.num_live(), 3);
+
+        db.tombstone(1).unwrap();
+        assert_eq!(db.num_records(), 3, "tombstoning keeps physical indices");
+        assert_eq!(db.num_live(), 2);
+        assert!(db.is_live(0) && !db.is_live(1) && db.is_live(2));
+        assert!(!db.is_live(99));
+        assert_eq!(db.live_indices(), vec![0, 2]);
+
+        // Typed rejections, never panics.
+        assert_eq!(
+            db.tombstone(1),
+            Err(crate::error::UpdateRejected::AlreadyTombstoned { index: 1 })
+        );
+        assert_eq!(
+            db.tombstone(3),
+            Err(crate::error::UpdateRejected::IndexOutOfRange {
+                index: 3,
+                records: 3
+            })
+        );
+        assert_eq!(
+            db.append_record(vec![
+                pk.encrypt_u64(1, &mut rng),
+                pk.encrypt_u64(2, &mut rng)
+            ]),
+            Err(crate::error::UpdateRejected::WrongArity {
+                expected: 1,
+                got: 2
+            })
+        );
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! Batch query submission.
+//!
+//! The paper's evaluation times one query at a time; a deployment serving
+//! many users wants to push *batches* through the machinery PRs 1–3 built:
+//! the pipelined session client keeps every worker's requests in flight on
+//! one C2 connection, request coalescing merges small concurrent batches
+//! into shared round trips, and the offline randomness pools absorb the
+//! encryption spikes. [`SknnEngine::run_batch`] fans whole queries out
+//! across the engine's [`crate::ParallelismConfig`] threads, preferring
+//! inter-query parallelism (higher aggregate throughput) and handing any
+//! leftover thread budget to the queries' own record-parallel stages when
+//! the batch is smaller than the thread count.
+
+use super::{PreparedQuery, SknnEngine};
+use crate::parallel::{parallel_map, ParallelismConfig};
+use crate::profile::QueryProfile;
+use crate::{AccessPatternAudit, SknnError};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use sknn_protocols::stats::CommSnapshot;
+
+/// The result of one engine query — what [`crate::QueryResult`] is to the
+/// legacy `Federation` façade.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// The k nearest records, nearest first (ties may appear in either
+    /// order for the fully secure protocol).
+    pub result: Vec<Vec<u64>>,
+    /// Wall-clock time and protocol-operation counters per stage.
+    pub profile: QueryProfile,
+    /// What the clouds learned while answering this query.
+    pub audit: AccessPatternAudit,
+    /// Traffic between the clouds during this query. `None` for
+    /// [`crate::TransportKind::InProcess`]. The counters are deltas of the
+    /// shared session's totals, so when queries of one batch run
+    /// concurrently their windows overlap and each outcome may include
+    /// traffic issued by the others; [`SknnEngine::comm_stats`] totals stay
+    /// exact (the same caveat as [`crate::PoolActivity`]).
+    pub comm: Option<CommSnapshot>,
+}
+
+impl SknnEngine {
+    /// Runs a batch of prepared queries, fanned out across the engine's
+    /// configured threads over the one shared key-holder session, and
+    /// returns one outcome per query, in input order.
+    ///
+    /// Each query draws its C1-side randomness from a seed derived from
+    /// `rng` up front, so the records a batch returns match what the same
+    /// queries return one at a time. One caveat: when *distinct* records
+    /// tie at the same distance, C2's tie-breaking randomness (a single
+    /// per-session stream) is consumed in scheduling order, so which of
+    /// the equidistant records wins may differ between a batch and a
+    /// sequential run — both answers are correct kNN sets.
+    ///
+    /// When the batch has fewer queries than configured threads, the
+    /// leftover budget goes to the queries' own record-parallel stages
+    /// (`threads / batch` each), so a batch of one performs like
+    /// [`SknnEngine::run`].
+    ///
+    /// Per-query failures (e.g. a dataset removed after the query was
+    /// built, or a protocol-level transport error) are reported in the
+    /// query's own slot without aborting the rest of the batch.
+    pub fn run_batch<R: RngCore + ?Sized>(
+        &self,
+        queries: &[PreparedQuery],
+        rng: &mut R,
+    ) -> Vec<Result<QueryOutcome, SknnError>> {
+        let seeds: Vec<u64> = queries.iter().map(|_| rng.gen()).collect();
+        let threads = self.parallelism().threads;
+        let inner = ParallelismConfig {
+            threads: (threads / queries.len().max(1)).max(1),
+        };
+        parallel_map(threads, queries, |i, query| {
+            let mut query_rng = StdRng::seed_from_u64(seeds[i]);
+            self.run_with_parallelism(query, inner, &mut query_rng)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Protocol;
+    use crate::{plain_knn_records, FederationConfig, Table, TransportKind};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn table() -> Table {
+        // Distances from (2, 2): 68, 29, 18, 98, 2 — all distinct, so every
+        // result set (and its order) is deterministic for both protocols.
+        Table::new(vec![
+            vec![10, 0],
+            vec![0, 7],
+            vec![5, 5],
+            vec![9, 9],
+            vec![1, 1],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn batch_matches_sequential_runs() {
+        let mut rng = StdRng::seed_from_u64(561);
+        let mut engine = SknnEngine::setup(
+            FederationConfig {
+                key_bits: 96,
+                max_query_value: 10,
+                threads: 4,
+                transport: TransportKind::Channel,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        let t = table();
+        engine.register_dataset("d", &t, &mut rng).unwrap();
+
+        let queries: Vec<PreparedQuery> = [
+            (1usize, Protocol::Basic),
+            (3, Protocol::Basic),
+            (2, Protocol::Secure),
+        ]
+        .iter()
+        .map(|&(k, protocol)| {
+            engine
+                .query("d")
+                .k(k)
+                .point(&[2, 2])
+                .protocol(protocol)
+                .build()
+                .unwrap()
+        })
+        .collect();
+
+        let outcomes = engine.run_batch(&queries, &mut rng);
+        assert_eq!(outcomes.len(), 3);
+        for (query, outcome) in queries.iter().zip(&outcomes) {
+            let outcome = outcome.as_ref().expect("batch query succeeds");
+            let sequential = engine.run(query, &mut rng).unwrap();
+            assert_eq!(outcome.result, sequential.result, "k = {}", query.k());
+            assert_eq!(outcome.result, plain_knn_records(&t, &[2, 2], query.k()));
+        }
+    }
+
+    #[test]
+    fn batch_reports_per_query_failures_without_aborting() {
+        let mut rng = StdRng::seed_from_u64(562);
+        let mut engine = SknnEngine::setup(
+            FederationConfig {
+                key_bits: 96,
+                max_query_value: 10,
+                threads: 2,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        engine.register_dataset("d", &table(), &mut rng).unwrap();
+        let good = engine
+            .query("d")
+            .k(1)
+            .point(&[2, 2])
+            .protocol(Protocol::Basic)
+            .build()
+            .unwrap();
+        // A query staled by an update: built while 5 records were live,
+        // invalidated by tombstoning down to 4.
+        let staled = engine
+            .query("d")
+            .k(5)
+            .point(&[2, 2])
+            .protocol(Protocol::Basic)
+            .build()
+            .unwrap();
+        engine.tombstone_record("d", 0).unwrap();
+
+        let outcomes = engine.run_batch(&[good, staled], &mut rng);
+        assert_eq!(outcomes[0].as_ref().unwrap().result, vec![vec![1, 1]]);
+        assert!(matches!(
+            outcomes[1],
+            Err(SknnError::InvalidK { k: 5, n: 4 })
+        ));
+    }
+}

@@ -1,0 +1,904 @@
+//! The multi-dataset query-engine façade.
+//!
+//! The paper's SkNN_b/SkNN_m protocols assume one static outsourced table
+//! and one query at a time; [`SknnEngine`] is the front door for the
+//! deployment the ROADMAP aims at — one pair of non-colluding clouds
+//! hosting **many named encrypted datasets**, answering **validated**
+//! queries built through a typed [`QueryBuilder`], running **batches** of
+//! them concurrently over one shared key-holder session, and absorbing
+//! **dynamic updates** (appends and tombstones) without re-outsourcing a
+//! table:
+//!
+//! ```text
+//!  SknnEngine
+//!    ├─ dataset registry      name → { EncryptedDatabase, packing, l }
+//!    ├─ QueryBuilder          engine.query("heart").k(5).point(&q).build()?
+//!    ├─ run / run_batch       fan-out across ParallelismConfig threads,
+//!    │                        one shared (pipelined) C2 session
+//!    └─ append / tombstone    DataOwner::encrypt_record → C1 grows/shrinks
+//! ```
+//!
+//! All datasets live under one Paillier key pair (one data owner per
+//! deployment — the paper's Alice), so cloud C2 still holds exactly one
+//! secret key and sees exactly the request set the Section 4.3 security
+//! argument reasons about. Each dataset keeps its own distance-bit sizing
+//! `l` and its own slot-packing parameters, derived from its value domain
+//! at registration.
+//!
+//! The legacy [`crate::Federation`] façade is a thin shim over a
+//! one-dataset engine; new code should use [`SknnEngine`] directly.
+
+mod batch;
+mod builder;
+
+pub use batch::QueryOutcome;
+pub use builder::{PreparedQuery, Protocol, QueryBuilder};
+
+use crate::config::{FederationConfig, PackingKind, SecureQueryParams, TransportKind};
+use crate::parallel::ParallelismConfig;
+use crate::profile::PoolActivity;
+use crate::roles::{CloudC1, DataOwner, QueryUser};
+use crate::{EncryptedRecord, SknnError, Table};
+use rand::RngCore;
+use sknn_paillier::{PoolConfig, PoolStats, PooledEncryptor, PublicKey, RandomnessPool};
+use sknn_protocols::stats::CommSnapshot;
+use sknn_protocols::transport::{
+    serve, CoalesceConfig, SessionKeyHolder, TcpTransport, TransportError,
+};
+use sknn_protocols::{KeyHolder, LocalKeyHolder, PackedParams};
+use std::collections::BTreeMap;
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// The deployment's handle on cloud C2.
+pub(crate) enum C2Handle {
+    /// C2 runs in-process and is called directly.
+    Local(Box<LocalKeyHolder>),
+    /// C2 runs behind a transport (channel or TCP). Dropping the client
+    /// hangs up the connection, which makes the (detached) server thread
+    /// exit on its own.
+    Session {
+        client: Box<SessionKeyHolder>,
+        _server: JoinHandle<Result<(), TransportError>>,
+    },
+}
+
+impl C2Handle {
+    pub(crate) fn key_holder(&self) -> &dyn KeyHolder {
+        match self {
+            C2Handle::Local(holder) => holder.as_ref(),
+            C2Handle::Session { client, .. } => client.as_ref(),
+        }
+    }
+
+    pub(crate) fn comm_snapshot(&self) -> Option<CommSnapshot> {
+        match self {
+            C2Handle::Local(_) => None,
+            C2Handle::Session { client, .. } => Some(client.stats().snapshot()),
+        }
+    }
+}
+
+/// Per-dataset registration options for
+/// [`SknnEngine::register_dataset_with`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DatasetOptions {
+    /// Bit length of the squared-distance domain (the paper's `l`).
+    /// `None` derives the smallest safe value from the table and
+    /// `max_query_value`.
+    pub distance_bits: Option<usize>,
+    /// Largest attribute value queries against this dataset may contain.
+    /// Together with the table's own maximum it fixes the dataset's value
+    /// bound, which the [`QueryBuilder`] enforces up front.
+    pub max_query_value: u64,
+}
+
+/// One hosted dataset: an encrypted database plus the query-domain
+/// parameters it was registered with.
+pub struct Dataset {
+    pub(crate) c1: CloudC1,
+    distance_bits: usize,
+    value_bound: u64,
+}
+
+impl Dataset {
+    /// Number of live (queryable) records.
+    pub fn num_records(&self) -> usize {
+        self.c1.database().num_live()
+    }
+
+    /// Number of physical records, including tombstoned ones.
+    pub fn num_physical_records(&self) -> usize {
+        self.c1.database().num_records()
+    }
+
+    /// Number of attributes per record.
+    pub fn num_attributes(&self) -> usize {
+        self.c1.database().num_attributes()
+    }
+
+    /// The distance-domain bit length (`l`) secure queries default to.
+    pub fn distance_bits(&self) -> usize {
+        self.distance_bits
+    }
+
+    /// The per-attribute value bound the dataset was registered with (the
+    /// larger of the table's maximum and `max_query_value`). Queries with
+    /// attributes above it are rejected by [`QueryBuilder::build`] because
+    /// they could overflow the `l`-bit distance domain.
+    pub fn value_bound(&self) -> u64 {
+        self.value_bound
+    }
+
+    /// The slot-packing parameters in effect for this dataset (`None` when
+    /// packing is off or infeasible under [`PackingKind::Auto`]).
+    pub fn packing(&self) -> Option<&PackedParams> {
+        self.c1.packing()
+    }
+
+    /// Cloud C1's view of this dataset (for driving the lower-level API
+    /// directly).
+    pub fn cloud(&self) -> &CloudC1 {
+        &self.c1
+    }
+}
+
+/// A two-cloud SkNN deployment hosting many named encrypted datasets.
+///
+/// See the [module docs](self) for the architecture. Typical use:
+///
+/// ```
+/// use rand::SeedableRng;
+/// use sknn_core::{Protocol, SknnEngine, FederationConfig, Table};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+/// let mut engine = SknnEngine::setup(
+///     FederationConfig { key_bits: 96, ..Default::default() },
+///     &mut rng,
+/// ).unwrap();
+///
+/// let table = Table::new(vec![vec![2, 2], vec![9, 1], vec![4, 7]]).unwrap();
+/// engine.register_dataset("demo", &table, &mut rng).unwrap();
+///
+/// let outcome = engine
+///     .query("demo")
+///     .k(1)
+///     .point(&[3, 2])
+///     .protocol(Protocol::Basic)
+///     .run(&mut rng)
+///     .unwrap();
+/// assert_eq!(outcome.result, vec![vec![2, 2]]);
+/// ```
+pub struct SknnEngine {
+    owner: DataOwner,
+    user: QueryUser,
+    c2: C2Handle,
+    /// Offline randomness pools (C1's, C2's), kept for hit/fallback
+    /// accounting; empty when pooling is disabled.
+    pools: Vec<Arc<RandomnessPool>>,
+    /// C1's pool, attached to every registered dataset's encryptor.
+    c1_pool: Option<Arc<RandomnessPool>>,
+    datasets: BTreeMap<String, Dataset>,
+    parallelism: ParallelismConfig,
+    config: FederationConfig,
+}
+
+impl SknnEngine {
+    /// Stands up both clouds under a fresh key pair. Datasets are
+    /// registered afterwards with [`SknnEngine::register_dataset`].
+    ///
+    /// # Errors
+    /// Returns an error when the configured transport cannot be
+    /// established.
+    pub fn setup<R: RngCore + ?Sized>(
+        config: FederationConfig,
+        rng: &mut R,
+    ) -> Result<SknnEngine, SknnError> {
+        let owner = DataOwner::new(config.key_bits, rng);
+        Self::setup_with_owner(owner, config)
+    }
+
+    /// Like [`SknnEngine::setup`] but with a caller-supplied data owner
+    /// (i.e. a pre-generated key pair), which benchmark code uses to
+    /// amortize key generation across measurements.
+    ///
+    /// The owner's actual modulus size supersedes `config.key_bits` for
+    /// every size-dependent derivation (distance-bit headroom, slot
+    /// packing): those guards protect against overflow in the *real*
+    /// message space, so sizing them from a config value that disagrees
+    /// with the key would corrupt results silently.
+    ///
+    /// # Errors
+    /// See [`SknnEngine::setup`].
+    pub fn setup_with_owner(
+        owner: DataOwner,
+        mut config: FederationConfig,
+    ) -> Result<SknnEngine, SknnError> {
+        config.key_bits = owner.public_key().bits();
+        let public_key = owner.public_key().clone();
+        let user = QueryUser::new(public_key.clone());
+
+        // Offline/online split: one randomness pool per cloud, pre-warmed so
+        // the first query already encrypts with one multiplication per unit.
+        // `seed: None` keeps the PoolConfig contract — OS entropy, the right
+        // default for anything security-relevant. An explicit seed (for
+        // reproducible experiments) is derived per cloud, because two pools
+        // replaying the same `r` sequence would produce correlated
+        // ciphertexts across the clouds.
+        let mut pools = Vec::new();
+        let mut pool_for = |salt: u64| -> Arc<RandomnessPool> {
+            let pool = RandomnessPool::new(
+                public_key.clone(),
+                PoolConfig {
+                    seed: config.pool.seed.map(|s| s ^ salt),
+                    ..config.pool
+                },
+            );
+            pool.prewarm(config.pool_prewarm);
+            pools.push(Arc::clone(&pool));
+            pool
+        };
+        let pooling = config.pool.capacity > 0;
+        let c1_pool = pooling.then(|| pool_for(0xC1));
+
+        let mut holder = LocalKeyHolder::new(owner.private_key().clone(), config.c2_seed);
+        if pooling {
+            holder = holder.with_pool(pool_for(0xC2));
+        }
+        let workers = config.threads.max(1);
+        // A serial C1 has nothing to merge with: coalescing would only add
+        // the collection-window latency to every round trip.
+        let coalesce = if config.coalesce && workers > 1 {
+            CoalesceConfig::enabled()
+        } else {
+            CoalesceConfig::disabled()
+        };
+        let c2 = match config.transport {
+            TransportKind::InProcess => C2Handle::Local(Box::new(holder)),
+            TransportKind::Channel => {
+                let (client, server) =
+                    SessionKeyHolder::spawn_in_process(holder, workers, coalesce);
+                C2Handle::Session {
+                    client: Box::new(client),
+                    _server: server,
+                }
+            }
+            TransportKind::Tcp => {
+                let listener = TcpListener::bind("127.0.0.1:0")
+                    .map_err(|e| transport_setup_error(&e.to_string()))?;
+                let addr = listener
+                    .local_addr()
+                    .map_err(|e| transport_setup_error(&e.to_string()))?;
+                let server = std::thread::Builder::new()
+                    .name("sknn-c2-tcp".into())
+                    .spawn(move || {
+                        let server_end = TcpTransport::accept(&listener)?;
+                        serve(&server_end, &holder, workers)
+                    })
+                    .expect("spawn key-holder server thread");
+                let transport = TcpTransport::connect(addr).map_err(|e| {
+                    // Unblock the accept() so the server thread (and its
+                    // copy of the private key) does not leak: a throwaway
+                    // connection that drops immediately reads as a clean
+                    // hang-up in serve().
+                    let _ = std::net::TcpStream::connect(addr);
+                    transport_setup_error(&e.to_string())
+                })?;
+                let client =
+                    SessionKeyHolder::connect(public_key.clone(), Arc::new(transport), coalesce);
+                C2Handle::Session {
+                    client: Box::new(client),
+                    _server: server,
+                }
+            }
+        };
+
+        Ok(SknnEngine {
+            owner,
+            user,
+            c2,
+            pools,
+            c1_pool,
+            datasets: BTreeMap::new(),
+            parallelism: ParallelismConfig {
+                threads: config.threads.max(1),
+            },
+            config,
+        })
+    }
+
+    /// Encrypts `table` under the deployment's key and registers it as the
+    /// dataset `name`, using the engine-wide defaults from
+    /// [`FederationConfig`]: `distance_bits` (derived from the table when
+    /// `None`) and `max_query_value` — exactly what the one-dataset
+    /// [`crate::Federation`] shim applies to its table.
+    ///
+    /// # Errors
+    /// See [`SknnEngine::register_dataset_with`].
+    pub fn register_dataset<R: RngCore + ?Sized>(
+        &mut self,
+        name: &str,
+        table: &Table,
+        rng: &mut R,
+    ) -> Result<(), SknnError> {
+        let opts = DatasetOptions {
+            distance_bits: self.config.distance_bits,
+            max_query_value: self.config.max_query_value,
+        };
+        self.register_dataset_with(name, table, opts, rng)
+    }
+
+    /// [`SknnEngine::register_dataset`] with explicit per-dataset options.
+    ///
+    /// # Errors
+    /// Returns [`SknnError::DatasetAlreadyRegistered`] for a duplicate
+    /// name, [`SknnError::InsufficientDistanceBits`] when the requested or
+    /// derived `l` cannot hold this table's worst-case squared distance (or
+    /// does not fit the key), [`SknnError::PackingInfeasible`] when a fixed
+    /// packing factor cannot be honored for this dataset's domain, and
+    /// [`SknnError::Paillier`] when a table value does not fit the key's
+    /// message space.
+    pub fn register_dataset_with<R: RngCore + ?Sized>(
+        &mut self,
+        name: &str,
+        table: &Table,
+        opts: DatasetOptions,
+        rng: &mut R,
+    ) -> Result<(), SknnError> {
+        if self.datasets.contains_key(name) {
+            return Err(SknnError::DatasetAlreadyRegistered {
+                name: name.to_string(),
+            });
+        }
+        let required = table.required_distance_bits(opts.max_query_value);
+        let distance_bits = opts.distance_bits.unwrap_or(required);
+        if distance_bits < required {
+            return Err(SknnError::InsufficientDistanceBits {
+                l: distance_bits,
+                required,
+            });
+        }
+        if distance_bits + 2 >= self.config.key_bits {
+            return Err(SknnError::InsufficientDistanceBits {
+                l: distance_bits,
+                required: self.config.key_bits.saturating_sub(2),
+            });
+        }
+        let packing = derive_packing(&self.config, distance_bits)?;
+
+        let db = self.owner.encrypt_table(table, rng)?;
+        let mut c1 = CloudC1::new(db);
+        if let Some(pool) = &self.c1_pool {
+            c1 = c1.with_encryptor(PooledEncryptor::new(Arc::clone(pool)));
+        }
+        if let Some(params) = packing {
+            c1 = c1.with_packing(params);
+        }
+        self.datasets.insert(
+            name.to_string(),
+            Dataset {
+                c1,
+                distance_bits,
+                value_bound: table.max_attribute_value().max(opts.max_query_value),
+            },
+        );
+        Ok(())
+    }
+
+    /// Retires the dataset `name`: its ciphertexts are dropped from C1 and
+    /// subsequent queries against the name fail with
+    /// [`SknnError::UnknownDataset`].
+    ///
+    /// # Errors
+    /// Returns [`SknnError::UnknownDataset`] when no such dataset exists.
+    pub fn remove_dataset(&mut self, name: &str) -> Result<Dataset, SknnError> {
+        self.datasets
+            .remove(name)
+            .ok_or_else(|| SknnError::UnknownDataset {
+                name: name.to_string(),
+            })
+    }
+
+    /// Borrows a registered dataset.
+    pub fn dataset(&self, name: &str) -> Option<&Dataset> {
+        self.datasets.get(name)
+    }
+
+    /// The registered dataset names, in sorted order.
+    pub fn dataset_names(&self) -> Vec<&str> {
+        self.datasets.keys().map(String::as_str).collect()
+    }
+
+    /// Starts building a query against the dataset `name`. Validation
+    /// (including whether the dataset exists) happens at
+    /// [`QueryBuilder::build`].
+    pub fn query(&self, name: &str) -> QueryBuilder<'_> {
+        QueryBuilder::new(self, name)
+    }
+
+    /// Appends already-encrypted records (from
+    /// [`DataOwner::encrypt_record`]) to the dataset `name`, returning the
+    /// physical indices they were stored at. The records become visible to
+    /// the very next query.
+    ///
+    /// # Errors
+    /// Returns [`SknnError::UnknownDataset`] for an unregistered name and
+    /// [`SknnError::InvalidUpdate`] when a record's width differs from the
+    /// dataset's (nothing is appended in that case).
+    pub fn append_records(
+        &mut self,
+        name: &str,
+        records: Vec<EncryptedRecord>,
+    ) -> Result<Vec<usize>, SknnError> {
+        let dataset = self
+            .datasets
+            .get_mut(name)
+            .ok_or_else(|| SknnError::UnknownDataset {
+                name: name.to_string(),
+            })?;
+        let expected = dataset.c1.database().num_attributes();
+        // Validate the whole batch first so a mid-batch arity error cannot
+        // leave a partial append behind.
+        if let Some(bad) = records.iter().find(|r| r.len() != expected) {
+            return Err(SknnError::InvalidUpdate {
+                dataset: name.to_string(),
+                rejected: crate::error::UpdateRejected::WrongArity {
+                    expected,
+                    got: bad.len(),
+                },
+            });
+        }
+        let mut indices = Vec::with_capacity(records.len());
+        for record in records {
+            let index = dataset
+                .c1
+                .database_mut()
+                .append_record(record)
+                .map_err(|rejected| SknnError::InvalidUpdate {
+                    dataset: name.to_string(),
+                    rejected,
+                })?;
+            indices.push(index);
+        }
+        Ok(indices)
+    }
+
+    /// Tombstones the record at physical `index` in dataset `name`: it
+    /// keeps its index but no subsequent query can return it.
+    ///
+    /// # Errors
+    /// Returns [`SknnError::UnknownDataset`] for an unregistered name and
+    /// [`SknnError::InvalidUpdate`] for an out-of-range or already
+    /// tombstoned index.
+    pub fn tombstone_record(&mut self, name: &str, index: usize) -> Result<(), SknnError> {
+        let dataset = self
+            .datasets
+            .get_mut(name)
+            .ok_or_else(|| SknnError::UnknownDataset {
+                name: name.to_string(),
+            })?;
+        dataset
+            .c1
+            .database_mut()
+            .tombstone(index)
+            .map_err(|rejected| SknnError::InvalidUpdate {
+                dataset: name.to_string(),
+                rejected,
+            })
+    }
+
+    /// Runs one prepared query with the engine's configured parallelism.
+    ///
+    /// # Errors
+    /// Returns [`SknnError::UnknownDataset`] when the query's dataset has
+    /// been removed since it was built, and propagates protocol errors.
+    /// Validation performed by [`QueryBuilder::build`] is not repeated
+    /// in full, but the protocol layer re-checks `k` and the arity against
+    /// the dataset's *current* state, so a query staled by updates surfaces
+    /// a typed error rather than a panic.
+    pub fn run<R: RngCore + ?Sized>(
+        &self,
+        query: &PreparedQuery,
+        rng: &mut R,
+    ) -> Result<QueryOutcome, SknnError> {
+        self.run_with_parallelism(query, self.parallelism, rng)
+    }
+
+    pub(crate) fn run_with_parallelism<R: RngCore + ?Sized>(
+        &self,
+        query: &PreparedQuery,
+        parallelism: ParallelismConfig,
+        rng: &mut R,
+    ) -> Result<QueryOutcome, SknnError> {
+        let dataset = self
+            .dataset(query.dataset())
+            .ok_or_else(|| SknnError::UnknownDataset {
+                name: query.dataset().to_string(),
+            })?;
+        let comm_before = self.comm_stats();
+        let pool_before = self.pool_stats();
+        let enc_q = self.user.encrypt_query(query.point(), rng)?;
+        let (masked, mut profile, audit) = match query.protocol() {
+            Protocol::Basic => dataset.c1.process_basic(
+                self.c2.key_holder(),
+                &enc_q,
+                query.k(),
+                parallelism,
+                rng,
+            )?,
+            Protocol::Secure => dataset.c1.process_secure(
+                self.c2.key_holder(),
+                &enc_q,
+                SecureQueryParams {
+                    k: query.k(),
+                    l: query
+                        .requested_distance_bits()
+                        .unwrap_or(dataset.distance_bits),
+                },
+                parallelism,
+                rng,
+            )?,
+        };
+        profile.record_pool(pool_delta(&pool_before, &self.pool_stats()));
+        let result = self.user.recover_records(&masked);
+        Ok(QueryOutcome {
+            result,
+            profile,
+            audit,
+            comm: comm_delta(comm_before, self.comm_stats()),
+        })
+    }
+
+    /// The data owner (Alice) the deployment was stood up by — the party
+    /// that encrypts new datasets and records.
+    pub fn owner(&self) -> &DataOwner {
+        &self.owner
+    }
+
+    /// The query user (Bob) attached to this deployment.
+    pub fn query_user(&self) -> &QueryUser {
+        &self.user
+    }
+
+    /// The public key the deployment operates under.
+    pub fn public_key(&self) -> &PublicKey {
+        self.owner.public_key()
+    }
+
+    /// Cloud C2 as the protocol drivers see it: any [`KeyHolder`].
+    pub fn key_holder(&self) -> &dyn KeyHolder {
+        self.c2.key_holder()
+    }
+
+    /// Cumulative inter-cloud traffic counters (`None` for
+    /// [`TransportKind::InProcess`]).
+    pub fn comm_stats(&self) -> Option<CommSnapshot> {
+        self.c2.comm_snapshot()
+    }
+
+    /// Cumulative offline-randomness-pool counters, summed over both
+    /// clouds' pools (all zero when pooling is disabled).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pools.iter().fold(PoolStats::default(), |acc, pool| {
+            let s = pool.stats();
+            PoolStats {
+                hits: acc.hits + s.hits,
+                fallbacks: acc.fallbacks + s.fallbacks,
+                precomputed: acc.precomputed + s.precomputed,
+            }
+        })
+    }
+
+    /// The parallelism configuration queries currently run with.
+    pub fn parallelism(&self) -> ParallelismConfig {
+        self.parallelism
+    }
+
+    /// Overrides the number of worker threads used by C1's record-parallel
+    /// stages and by [`SknnEngine::run_batch`]'s query fan-out.
+    ///
+    /// Note that C2's request-serving worker pool is sized once, at
+    /// [`SknnEngine::setup`], from [`FederationConfig::threads`]. To
+    /// exercise a parallel C1 against a remote transport, configure
+    /// `threads` at setup (the server pool matches it) rather than scaling
+    /// up afterwards — otherwise the pipelined requests serialize behind
+    /// fewer C2 workers.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.parallelism = ParallelismConfig {
+            threads: threads.max(1),
+        };
+    }
+}
+
+/// Derives the slot-packing parameters for a dataset with the given
+/// distance-bit length, honoring the engine-wide [`PackingKind`] policy.
+/// The attribute differences SSED blinds satisfy `|d| < 2^⌈l/2⌉` because
+/// every squared distance fits `l` bits.
+fn derive_packing(
+    config: &FederationConfig,
+    distance_bits: usize,
+) -> Result<Option<PackedParams>, SknnError> {
+    let requested = match config.packing.requested_slots() {
+        None => return Ok(None),
+        Some(requested) => requested,
+    };
+    let value_bits = distance_bits.div_ceil(2);
+    let derived = PackedParams::derive(
+        config.key_bits,
+        value_bits,
+        config.packing_blind_bits,
+        requested,
+    );
+    match (config.packing, derived) {
+        (PackingKind::Fixed(_), Ok(p)) if p.slots() < requested => {
+            Err(SknnError::PackingInfeasible {
+                requested,
+                supported: p.slots(),
+            })
+        }
+        (PackingKind::Fixed(_), Err(_)) => Err(SknnError::PackingInfeasible {
+            requested,
+            supported: 0,
+        }),
+        // Auto: clamp to what fits, or fall back to scalar.
+        (_, Ok(p)) => Ok(Some(p)),
+        (_, Err(_)) => Ok(None),
+    }
+}
+
+pub(crate) fn pool_delta(before: &PoolStats, after: &PoolStats) -> PoolActivity {
+    let d = after.since(before);
+    PoolActivity {
+        hits: d.hits,
+        fallbacks: d.fallbacks,
+    }
+}
+
+pub(crate) fn comm_delta(
+    before: Option<CommSnapshot>,
+    after: Option<CommSnapshot>,
+) -> Option<CommSnapshot> {
+    match (before, after) {
+        (Some(b), Some(a)) => Some(a.since(&b)),
+        _ => None,
+    }
+}
+
+fn transport_setup_error(message: &str) -> SknnError {
+    SknnError::Protocol(sknn_protocols::ProtocolError::Transport {
+        message: message.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plain_knn_records;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn table() -> Table {
+        // Distances from the query (2, 2) are 68, 29, 18, 98, 2 — all
+        // distinct, so every k has a unique expected result set.
+        Table::new(vec![
+            vec![10, 0],
+            vec![0, 7],
+            vec![5, 5],
+            vec![9, 9],
+            vec![1, 1],
+        ])
+        .unwrap()
+    }
+
+    fn engine(config: FederationConfig, rng: &mut StdRng) -> SknnEngine {
+        SknnEngine::setup(config, rng).unwrap()
+    }
+
+    #[test]
+    fn registry_hosts_and_retires_datasets() {
+        let mut rng = StdRng::seed_from_u64(501);
+        let mut engine = engine(
+            FederationConfig {
+                key_bits: 96,
+                max_query_value: 10,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        assert!(engine.dataset_names().is_empty());
+        engine
+            .register_dataset("alpha", &table(), &mut rng)
+            .unwrap();
+        engine
+            .register_dataset(
+                "beta",
+                &Table::new(vec![vec![1], vec![4]]).unwrap(),
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(engine.dataset_names(), vec!["alpha", "beta"]);
+        assert_eq!(engine.dataset("alpha").unwrap().num_records(), 5);
+        assert_eq!(engine.dataset("beta").unwrap().num_attributes(), 1);
+        assert!(engine.dataset("gamma").is_none());
+
+        // Duplicate names are rejected, not silently replaced.
+        assert!(matches!(
+            engine.register_dataset("alpha", &table(), &mut rng),
+            Err(SknnError::DatasetAlreadyRegistered { .. })
+        ));
+
+        let removed = engine.remove_dataset("beta").unwrap();
+        assert_eq!(removed.num_records(), 2);
+        assert!(matches!(
+            engine.remove_dataset("beta"),
+            Err(SknnError::UnknownDataset { .. })
+        ));
+        assert_eq!(engine.dataset_names(), vec!["alpha"]);
+    }
+
+    #[test]
+    fn queries_run_against_the_named_dataset() {
+        let mut rng = StdRng::seed_from_u64(502);
+        let mut engine = engine(
+            FederationConfig {
+                key_bits: 96,
+                max_query_value: 10,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let t = table();
+        let shifted = Table::new(vec![vec![7, 7], vec![3, 3]]).unwrap();
+        engine.register_dataset("near", &t, &mut rng).unwrap();
+        engine.register_dataset("far", &shifted, &mut rng).unwrap();
+
+        let near = engine
+            .query("near")
+            .k(3)
+            .point(&[2, 2])
+            .protocol(Protocol::Basic)
+            .run(&mut rng)
+            .unwrap();
+        assert_eq!(near.result, plain_knn_records(&t, &[2, 2], 3));
+        assert!(!near.audit.is_oblivious());
+
+        let far = engine
+            .query("far")
+            .k(1)
+            .point(&[2, 2])
+            .run(&mut rng)
+            .unwrap();
+        assert_eq!(far.result, vec![vec![3, 3]]);
+        assert!(far.audit.is_oblivious(), "default protocol is SkNN_m");
+    }
+
+    #[test]
+    fn append_and_tombstone_are_reflected_in_queries() {
+        let mut rng = StdRng::seed_from_u64(503);
+        let mut engine = engine(
+            FederationConfig {
+                key_bits: 96,
+                max_query_value: 10,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        engine.register_dataset("d", &table(), &mut rng).unwrap();
+
+        // Append a record nearer to the query than everything else.
+        let record = engine.owner().encrypt_record(&[2, 2], &mut rng).unwrap();
+        let indices = engine.append_records("d", vec![record]).unwrap();
+        assert_eq!(indices, vec![5]);
+        assert_eq!(engine.dataset("d").unwrap().num_records(), 6);
+        let nearest = engine
+            .query("d")
+            .k(1)
+            .point(&[2, 2])
+            .protocol(Protocol::Basic)
+            .run(&mut rng)
+            .unwrap();
+        assert_eq!(nearest.result, vec![vec![2, 2]]);
+
+        // Tombstone it again: it must never be returned, even with k = n.
+        engine.tombstone_record("d", 5).unwrap();
+        assert_eq!(engine.dataset("d").unwrap().num_records(), 5);
+        assert_eq!(engine.dataset("d").unwrap().num_physical_records(), 6);
+        let all = engine
+            .query("d")
+            .k(5)
+            .point(&[2, 2])
+            .protocol(Protocol::Basic)
+            .run(&mut rng)
+            .unwrap();
+        assert!(!all.result.contains(&vec![2, 2]));
+        assert_eq!(all.result, plain_knn_records(&table(), &[2, 2], 5));
+
+        // Typed errors for bad updates.
+        assert!(matches!(
+            engine.tombstone_record("d", 5),
+            Err(SknnError::InvalidUpdate { .. })
+        ));
+        assert!(matches!(
+            engine.tombstone_record("nope", 0),
+            Err(SknnError::UnknownDataset { .. })
+        ));
+        let short = engine.owner().encrypt_record(&[1], &mut rng).unwrap();
+        assert!(matches!(
+            engine.append_records("d", vec![short]),
+            Err(SknnError::InvalidUpdate { .. })
+        ));
+    }
+
+    #[test]
+    fn registration_validates_distance_bits_and_packing() {
+        let mut rng = StdRng::seed_from_u64(504);
+        let mut engine = engine(
+            FederationConfig {
+                key_bits: 96,
+                max_query_value: 10,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        assert!(matches!(
+            engine.register_dataset_with(
+                "tiny-l",
+                &table(),
+                DatasetOptions {
+                    distance_bits: Some(3),
+                    max_query_value: 10,
+                },
+                &mut rng,
+            ),
+            Err(SknnError::InsufficientDistanceBits { .. })
+        ));
+        assert!(matches!(
+            engine.register_dataset_with(
+                "huge-l",
+                &table(),
+                DatasetOptions {
+                    distance_bits: Some(95),
+                    max_query_value: 10,
+                },
+                &mut rng,
+            ),
+            Err(SknnError::InsufficientDistanceBits { .. })
+        ));
+
+        let mut fixed = SknnEngine::setup(
+            FederationConfig {
+                key_bits: 96,
+                max_query_value: 10,
+                packing: PackingKind::Fixed(64),
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert!(matches!(
+            fixed.register_dataset("d", &table(), &mut rng),
+            Err(SknnError::PackingInfeasible { requested: 64, .. })
+        ));
+    }
+
+    #[test]
+    fn run_after_remove_is_a_typed_error() {
+        let mut rng = StdRng::seed_from_u64(505);
+        let mut engine = engine(
+            FederationConfig {
+                key_bits: 96,
+                max_query_value: 10,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        engine.register_dataset("d", &table(), &mut rng).unwrap();
+        let prepared = engine.query("d").k(1).point(&[2, 2]).build().unwrap();
+        engine.remove_dataset("d").unwrap();
+        assert!(matches!(
+            engine.run(&prepared, &mut rng),
+            Err(SknnError::UnknownDataset { .. })
+        ));
+    }
+}

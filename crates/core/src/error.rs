@@ -43,12 +43,158 @@ pub enum SknnError {
         /// even one slot fits).
         supported: usize,
     },
+    /// A query or update named a dataset the engine does not host.
+    UnknownDataset {
+        /// The dataset name as given.
+        name: String,
+    },
+    /// `SknnEngine::register_dataset` was called with a name that is already
+    /// registered. Remove the old dataset first (or pick a new name) — silent
+    /// replacement of an encrypted table is exactly the kind of operational
+    /// surprise a multi-dataset deployment cannot afford.
+    DatasetAlreadyRegistered {
+        /// The conflicting dataset name.
+        name: String,
+    },
+    /// A query failed up-front validation against the dataset it targets
+    /// (produced by `QueryBuilder::build`, never mid-protocol).
+    InvalidQuery {
+        /// The dataset the query was aimed at.
+        dataset: String,
+        /// Why the query was rejected.
+        reason: InvalidQueryReason,
+    },
+    /// A dynamic update (append / tombstone) was rejected.
+    InvalidUpdate {
+        /// The dataset the update was aimed at.
+        dataset: String,
+        /// Why the update was rejected.
+        rejected: UpdateRejected,
+    },
     /// An error bubbled up from the underlying two-party protocols.
     Protocol(ProtocolError),
     /// An error bubbled up from the Paillier layer — typically a plaintext
     /// outside `[0, N)`, reachable when a table or query value is too large
     /// for the configured key size.
     Paillier(PaillierError),
+}
+
+/// Why `QueryBuilder::build` rejected a query before any protocol message
+/// was sent. Every variant corresponds to a condition that previously
+/// surfaced mid-protocol (or not at all); the builder turns them into
+/// up-front, typed rejections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvalidQueryReason {
+    /// No query point was supplied before `build()`.
+    MissingPoint,
+    /// `k` must satisfy `1 ≤ k ≤ n` over the dataset's *live* records.
+    KOutOfRange {
+        /// The requested number of neighbors.
+        k: usize,
+        /// The number of live records in the dataset.
+        n: usize,
+    },
+    /// The query point's dimensionality differs from the dataset's.
+    WrongArity {
+        /// Attributes per record in the dataset.
+        expected: usize,
+        /// Attributes in the query point.
+        got: usize,
+    },
+    /// A query attribute exceeds the value bound the dataset's
+    /// distance-bit sizing was derived from; running it could overflow the
+    /// `l`-bit distance domain and silently corrupt the ranking.
+    ValueOutOfRange {
+        /// Index of the offending attribute.
+        attribute: usize,
+        /// The offending value.
+        value: u64,
+        /// The dataset's registered per-attribute bound.
+        bound: u64,
+    },
+    /// `distance_bits` was set on a basic-protocol query. SkNN_b never
+    /// bit-decomposes distances, so the knob would be silently ignored —
+    /// rejected instead, per the builder's validate-up-front contract.
+    DistanceBitsWithBasicProtocol {
+        /// The requested distance-bit length.
+        l: usize,
+    },
+}
+
+impl fmt::Display for InvalidQueryReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvalidQueryReason::MissingPoint => write!(f, "no query point was provided"),
+            InvalidQueryReason::KOutOfRange { k, n } => {
+                write!(f, "k = {k} is outside the valid range 1..={n}")
+            }
+            InvalidQueryReason::WrongArity { expected, got } => {
+                write!(
+                    f,
+                    "query has {got} attributes but the dataset has {expected}"
+                )
+            }
+            InvalidQueryReason::ValueOutOfRange {
+                attribute,
+                value,
+                bound,
+            } => write!(
+                f,
+                "attribute {attribute} is {value}, above the dataset's value bound {bound}"
+            ),
+            InvalidQueryReason::DistanceBitsWithBasicProtocol { l } => write!(
+                f,
+                "distance_bits({l}) only applies to the secure protocol; SkNN_b never \
+                 bit-decomposes distances"
+            ),
+        }
+    }
+}
+
+/// Why a dynamic update (append / tombstone) was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateRejected {
+    /// An appended record's width differs from the dataset's.
+    WrongArity {
+        /// Attributes per record in the dataset.
+        expected: usize,
+        /// Attributes in the appended record.
+        got: usize,
+    },
+    /// The record index does not exist in the dataset.
+    IndexOutOfRange {
+        /// The requested index.
+        index: usize,
+        /// The number of records (live or tombstoned) in the dataset.
+        records: usize,
+    },
+    /// The record at this index is already tombstoned.
+    AlreadyTombstoned {
+        /// The requested index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for UpdateRejected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateRejected::WrongArity { expected, got } => {
+                write!(
+                    f,
+                    "record has {got} attributes but the dataset has {expected}"
+                )
+            }
+            UpdateRejected::IndexOutOfRange { index, records } => {
+                write!(
+                    f,
+                    "record index {index} is out of range for {records} records"
+                )
+            }
+            UpdateRejected::AlreadyTombstoned { index } => {
+                write!(f, "record {index} is already tombstoned")
+            }
+        }
+    }
 }
 
 impl fmt::Display for SknnError {
@@ -74,6 +220,18 @@ impl fmt::Display for SknnError {
                 "fixed packing factor {requested} is infeasible for this key and distance \
                  domain (at most {supported} slots fit)"
             ),
+            SknnError::UnknownDataset { name } => {
+                write!(f, "no dataset named {name:?} is registered")
+            }
+            SknnError::DatasetAlreadyRegistered { name } => {
+                write!(f, "a dataset named {name:?} is already registered")
+            }
+            SknnError::InvalidQuery { dataset, reason } => {
+                write!(f, "invalid query against dataset {dataset:?}: {reason}")
+            }
+            SknnError::InvalidUpdate { dataset, rejected } => {
+                write!(f, "invalid update to dataset {dataset:?}: {rejected}")
+            }
             SknnError::Protocol(e) => write!(f, "protocol error: {e}"),
             SknnError::Paillier(e) => write!(f, "encryption error: {e}"),
         }
@@ -130,6 +288,56 @@ mod tests {
         let e = SknnError::Protocol(ProtocolError::TransportClosed);
         assert!(e.source().is_some());
         assert!(SknnError::InvalidK { k: 1, n: 1 }.source().is_none());
+    }
+
+    #[test]
+    fn engine_error_variants_display() {
+        let e = SknnError::UnknownDataset {
+            name: "heart".into(),
+        };
+        assert!(e.to_string().contains("heart"));
+        let e = SknnError::DatasetAlreadyRegistered {
+            name: "heart".into(),
+        };
+        assert!(e.to_string().contains("already registered"));
+        let e = SknnError::InvalidQuery {
+            dataset: "heart".into(),
+            reason: InvalidQueryReason::KOutOfRange { k: 9, n: 4 },
+        };
+        assert!(e.to_string().contains("k = 9"));
+        assert!(InvalidQueryReason::MissingPoint
+            .to_string()
+            .contains("no query point"));
+        assert!(InvalidQueryReason::WrongArity {
+            expected: 3,
+            got: 2
+        }
+        .to_string()
+        .contains("2 attributes"));
+        assert!(InvalidQueryReason::ValueOutOfRange {
+            attribute: 1,
+            value: 900,
+            bound: 564
+        }
+        .to_string()
+        .contains("900"));
+        let e = SknnError::InvalidUpdate {
+            dataset: "heart".into(),
+            rejected: UpdateRejected::AlreadyTombstoned { index: 2 },
+        };
+        assert!(e.to_string().contains("already tombstoned"));
+        assert!(UpdateRejected::WrongArity {
+            expected: 3,
+            got: 1
+        }
+        .to_string()
+        .contains("1 attributes"));
+        assert!(UpdateRejected::IndexOutOfRange {
+            index: 7,
+            records: 4
+        }
+        .to_string()
+        .contains("index 7"));
     }
 
     #[test]

@@ -1,34 +1,24 @@
-//! The federated-cloud harness: one data owner, one query user, two clouds,
-//! wired together for repeated queries over a single outsourced table.
+//! The legacy single-dataset façade: one data owner, one query user, two
+//! clouds, wired together for repeated queries over a single outsourced
+//! table.
 //!
-//! This is the high-level entry point used by the examples and by the
-//! benchmark harness; applications embedding the library into a real
-//! deployment would instead instantiate [`crate::DataOwner`],
-//! [`crate::QueryUser`], [`crate::CloudC1`] and a
-//! [`sknn_protocols::KeyHolder`] on their respective machines —
-//! [`Federation::setup_with_owner`] shows exactly which pieces go where.
-//!
-//! The C1↔C2 boundary is pluggable ([`TransportKind`]): direct in-process
-//! calls, an in-process frame channel with byte-accurate accounting, or a
-//! real TCP socket. All remote transports use the pipelined
-//! [`SessionKeyHolder`] client, so the record-parallel stages of both
-//! protocols keep multiple requests in flight over one connection.
+//! `Federation` predates the multi-dataset [`SknnEngine`] and is kept as a
+//! thin shim over a one-dataset engine so existing embedders, examples and
+//! benchmarks keep working unchanged. New code should use [`SknnEngine`]
+//! directly — it hosts many named datasets behind one deployment, validates
+//! queries up front through [`crate::QueryBuilder`], runs batches, and
+//! accepts dynamic appends/tombstones. [`Federation::engine`] exposes the
+//! underlying engine so a deployment can migrate incrementally.
 
-use crate::config::{FederationConfig, PackingKind, SecureQueryParams, TransportKind};
-use crate::parallel::ParallelismConfig;
-use crate::profile::{PoolActivity, QueryProfile};
+use crate::config::FederationConfig;
+use crate::engine::{DatasetOptions, PreparedQuery, Protocol, QueryOutcome, SknnEngine};
+use crate::profile::QueryProfile;
 use crate::roles::{CloudC1, DataOwner, QueryUser};
 use crate::{AccessPatternAudit, SknnError, Table};
 use rand::RngCore;
-use sknn_paillier::{PoolConfig, PoolStats, PooledEncryptor, PublicKey, RandomnessPool};
+use sknn_paillier::{PoolStats, PublicKey};
 use sknn_protocols::stats::CommSnapshot;
-use sknn_protocols::transport::{
-    serve, CoalesceConfig, SessionKeyHolder, TcpTransport, TransportError,
-};
-use sknn_protocols::{KeyHolder, LocalKeyHolder, PackedParams};
-use std::net::TcpListener;
-use std::sync::Arc;
-use std::thread::JoinHandle;
+use sknn_protocols::{KeyHolder, PackedParams};
 
 /// The result of one query, as seen by Bob plus the measurement artifacts the
 /// evaluation harness needs.
@@ -42,53 +32,33 @@ pub struct QueryResult {
     /// What the clouds learned while answering this query.
     pub audit: AccessPatternAudit,
     /// Traffic between the clouds during this query. `None` for
-    /// [`TransportKind::InProcess`], which has no wire to account.
+    /// [`crate::TransportKind::InProcess`], which has no wire to account.
     pub comm: Option<CommSnapshot>,
 }
 
-/// The deployment's handle on cloud C2.
-enum C2Handle {
-    /// C2 runs in-process and is called directly.
-    Local(Box<LocalKeyHolder>),
-    /// C2 runs behind a transport (channel or TCP). Dropping the client
-    /// hangs up the connection, which makes the (detached) server thread
-    /// exit on its own.
-    Session {
-        client: Box<SessionKeyHolder>,
-        _server: JoinHandle<Result<(), TransportError>>,
-    },
-}
-
-impl C2Handle {
-    fn key_holder(&self) -> &dyn KeyHolder {
-        match self {
-            C2Handle::Local(holder) => holder.as_ref(),
-            C2Handle::Session { client, .. } => client.as_ref(),
-        }
-    }
-
-    fn comm_snapshot(&self) -> Option<CommSnapshot> {
-        match self {
-            C2Handle::Local(_) => None,
-            C2Handle::Session { client, .. } => Some(client.stats().snapshot()),
+impl From<QueryOutcome> for QueryResult {
+    fn from(outcome: QueryOutcome) -> QueryResult {
+        QueryResult {
+            records: outcome.result,
+            profile: outcome.profile,
+            audit: outcome.audit,
+            comm: outcome.comm,
         }
     }
 }
 
-/// A ready-to-query federated deployment of the two clouds.
+/// A ready-to-query federated deployment of the two clouds over exactly one
+/// outsourced table — a shim over a one-dataset [`SknnEngine`] (see the
+/// module docs).
 pub struct Federation {
-    public_key: PublicKey,
-    user: QueryUser,
-    c1: CloudC1,
-    c2: C2Handle,
-    distance_bits: usize,
-    parallelism: ParallelismConfig,
-    /// Offline randomness pools (C1's, C2's), kept for per-query hit/fallback
-    /// accounting; empty when pooling is disabled (`pool.capacity == 0`).
-    pools: Vec<Arc<RandomnessPool>>,
+    engine: SknnEngine,
 }
 
 impl Federation {
+    /// The name the shim registers its single dataset under in the wrapped
+    /// engine.
+    pub const DATASET: &'static str = "default";
+
     /// Outsources `table` under a fresh key pair and stands up both clouds.
     ///
     /// # Errors
@@ -116,210 +86,89 @@ impl Federation {
         config: FederationConfig,
         rng: &mut R,
     ) -> Result<Federation, SknnError> {
-        let required = table.required_distance_bits(config.max_query_value);
-        let distance_bits = config.distance_bits.unwrap_or(required);
-        if distance_bits < required {
-            return Err(SknnError::InsufficientDistanceBits {
-                l: distance_bits,
-                required,
-            });
-        }
-        if distance_bits + 2 >= config.key_bits {
-            return Err(SknnError::InsufficientDistanceBits {
-                l: distance_bits,
-                required: config.key_bits.saturating_sub(2),
-            });
-        }
-
-        let db = owner.encrypt_table(table, rng)?;
-        let user = QueryUser::new(owner.public_key().clone());
-        let public_key = owner.public_key().clone();
-
-        // Slot packing: derive the product-safe layout from the key size
-        // and the distance domain. The attribute differences SSED blinds
-        // satisfy |d| < 2^⌈l/2⌉ because every squared distance fits l bits.
-        let packing = match config.packing.requested_slots() {
-            None => None,
-            Some(requested) => {
-                let value_bits = distance_bits.div_ceil(2);
-                let derived = PackedParams::derive(
-                    config.key_bits,
-                    value_bits,
-                    config.packing_blind_bits,
-                    requested,
-                );
-                match (config.packing, derived) {
-                    (PackingKind::Fixed(_), Ok(p)) if p.slots() < requested => {
-                        return Err(SknnError::PackingInfeasible {
-                            requested,
-                            supported: p.slots(),
-                        });
-                    }
-                    (PackingKind::Fixed(_), Err(_)) => {
-                        return Err(SknnError::PackingInfeasible {
-                            requested,
-                            supported: 0,
-                        });
-                    }
-                    // Auto: clamp to what fits, or fall back to scalar.
-                    (_, Ok(p)) => Some(p),
-                    (_, Err(_)) => None,
-                }
-            }
+        let opts = DatasetOptions {
+            distance_bits: config.distance_bits,
+            max_query_value: config.max_query_value,
         };
+        let mut engine = SknnEngine::setup_with_owner(owner, config)?;
+        engine.register_dataset_with(Self::DATASET, table, opts, rng)?;
+        Ok(Federation { engine })
+    }
 
-        // Offline/online split: one randomness pool per cloud, pre-warmed so
-        // the first query already encrypts with one multiplication per unit.
-        // `seed: None` keeps the PoolConfig contract — OS entropy, the right
-        // default for anything security-relevant. An explicit seed (for
-        // reproducible experiments) is derived per cloud, because two pools
-        // replaying the same `r` sequence would produce correlated
-        // ciphertexts across the clouds.
-        let mut pools = Vec::new();
-        let mut pool_for = |salt: u64| -> Arc<RandomnessPool> {
-            let pool = RandomnessPool::new(
-                public_key.clone(),
-                PoolConfig {
-                    seed: config.pool.seed.map(|s| s ^ salt),
-                    ..config.pool
-                },
-            );
-            pool.prewarm(config.pool_prewarm);
-            pools.push(Arc::clone(&pool));
-            pool
-        };
-        let pooling = config.pool.capacity > 0;
+    /// The wrapped multi-dataset engine (the table lives under
+    /// [`Federation::DATASET`]) — the migration path off this shim.
+    pub fn engine(&self) -> &SknnEngine {
+        &self.engine
+    }
 
-        let mut c1 = CloudC1::new(db);
-        if pooling {
-            c1 = c1.with_encryptor(PooledEncryptor::new(pool_for(0xC1)));
-        }
-        if let Some(params) = packing {
-            c1 = c1.with_packing(params);
-        }
-        let mut holder = LocalKeyHolder::new(owner.private_key().clone(), config.c2_seed);
-        if pooling {
-            holder = holder.with_pool(pool_for(0xC2));
-        }
-        let workers = config.threads.max(1);
-        // A serial C1 has nothing to merge with: coalescing would only add
-        // the collection-window latency to every round trip.
-        let coalesce = if config.coalesce && workers > 1 {
-            CoalesceConfig::enabled()
-        } else {
-            CoalesceConfig::disabled()
-        };
-        let c2 = match config.transport {
-            TransportKind::InProcess => C2Handle::Local(Box::new(holder)),
-            TransportKind::Channel => {
-                let (client, server) =
-                    SessionKeyHolder::spawn_in_process(holder, workers, coalesce);
-                C2Handle::Session {
-                    client: Box::new(client),
-                    _server: server,
-                }
-            }
-            TransportKind::Tcp => {
-                let listener = TcpListener::bind("127.0.0.1:0")
-                    .map_err(|e| transport_setup_error(&e.to_string()))?;
-                let addr = listener
-                    .local_addr()
-                    .map_err(|e| transport_setup_error(&e.to_string()))?;
-                let server = std::thread::Builder::new()
-                    .name("sknn-c2-tcp".into())
-                    .spawn(move || {
-                        let server_end = TcpTransport::accept(&listener)?;
-                        serve(&server_end, &holder, workers)
-                    })
-                    .expect("spawn key-holder server thread");
-                let transport = TcpTransport::connect(addr).map_err(|e| {
-                    // Unblock the accept() so the server thread (and its
-                    // copy of the private key) does not leak: a throwaway
-                    // connection that drops immediately reads as a clean
-                    // hang-up in serve().
-                    let _ = std::net::TcpStream::connect(addr);
-                    transport_setup_error(&e.to_string())
-                })?;
-                let client =
-                    SessionKeyHolder::connect(public_key.clone(), Arc::new(transport), coalesce);
-                C2Handle::Session {
-                    client: Box::new(client),
-                    _server: server,
-                }
-            }
-        };
+    /// Mutable access to the wrapped engine, e.g. for dynamic updates or
+    /// registering further datasets beside the shim's own.
+    ///
+    /// Do not remove the [`Federation::DATASET`] dataset through this
+    /// handle: the shim's accessors assume it exists and panic once it is
+    /// gone. A deployment ready to retire the shim's table should drop the
+    /// `Federation` and keep only the engine.
+    pub fn engine_mut(&mut self) -> &mut SknnEngine {
+        &mut self.engine
+    }
 
-        Ok(Federation {
-            public_key,
-            user,
-            c1,
-            c2,
-            distance_bits,
-            parallelism: ParallelismConfig {
-                threads: config.threads.max(1),
-            },
-            pools,
-        })
+    fn dataset(&self) -> &crate::engine::Dataset {
+        self.engine
+            .dataset(Self::DATASET)
+            .expect("the shim's dataset is registered at setup and never removed")
     }
 
     /// The public key the deployment operates under.
     pub fn public_key(&self) -> &PublicKey {
-        &self.public_key
+        self.engine.public_key()
     }
 
     /// The query user (Bob) attached to this deployment.
     pub fn query_user(&self) -> &QueryUser {
-        &self.user
+        self.engine.query_user()
     }
 
     /// Cloud C1 (useful for driving the lower-level API directly).
     pub fn cloud_c1(&self) -> &CloudC1 {
-        &self.c1
+        self.dataset().cloud()
     }
 
     /// Cloud C2 as the protocol drivers see it: any [`KeyHolder`].
     pub fn key_holder(&self) -> &dyn KeyHolder {
-        self.c2.key_holder()
+        self.engine.key_holder()
     }
 
     /// The distance-domain bit length (`l`) used by secure queries.
     pub fn distance_bits(&self) -> usize {
-        self.distance_bits
+        self.dataset().distance_bits()
     }
 
     /// The slot-packing parameters in effect (`None` when packing is off or
     /// was infeasible under [`crate::PackingKind::Auto`]).
     pub fn packing(&self) -> Option<&PackedParams> {
-        self.c1.packing()
+        self.dataset().packing()
     }
 
-    /// Number of records in the outsourced database.
+    /// Number of (live) records in the outsourced database.
     pub fn num_records(&self) -> usize {
-        self.c1.database().num_records()
+        self.dataset().num_records()
     }
 
     /// Number of attributes per record.
     pub fn num_attributes(&self) -> usize {
-        self.c1.database().num_attributes()
+        self.dataset().num_attributes()
     }
 
     /// Cumulative inter-cloud traffic counters (`None` for
-    /// [`TransportKind::InProcess`]).
+    /// [`crate::TransportKind::InProcess`]).
     pub fn comm_stats(&self) -> Option<CommSnapshot> {
-        self.c2.comm_snapshot()
+        self.engine.comm_stats()
     }
 
     /// Cumulative offline-randomness-pool counters, summed over both clouds'
     /// pools (all zero when pooling is disabled).
     pub fn pool_stats(&self) -> PoolStats {
-        self.pools.iter().fold(PoolStats::default(), |acc, pool| {
-            let s = pool.stats();
-            PoolStats {
-                hits: acc.hits + s.hits,
-                fallbacks: acc.fallbacks + s.fallbacks,
-                precomputed: acc.precomputed + s.precomputed,
-            }
-        })
+        self.engine.pool_stats()
     }
 
     /// Overrides the number of worker threads used by C1's record-parallel
@@ -332,9 +181,28 @@ impl Federation {
     /// up afterwards — otherwise the pipelined requests serialize behind
     /// fewer C2 workers.
     pub fn set_threads(&mut self, threads: usize) {
-        self.parallelism = ParallelismConfig {
-            threads: threads.max(1),
-        };
+        self.engine.set_threads(threads);
+    }
+
+    /// Runs one query through the shim, preserving the historical contract
+    /// that all validation (dimension mismatch, invalid `k`) happens in the
+    /// protocol layer with the original error variants.
+    fn run(
+        &self,
+        point: &[u64],
+        k: usize,
+        protocol: Protocol,
+        distance_bits: Option<usize>,
+        rng: &mut (impl RngCore + ?Sized),
+    ) -> Result<QueryResult, SknnError> {
+        let query = PreparedQuery::unvalidated(
+            Self::DATASET.to_string(),
+            point.to_vec(),
+            k,
+            protocol,
+            distance_bits,
+        );
+        self.engine.run(&query, rng).map(QueryResult::from)
     }
 
     /// Answers a query with the basic protocol SkNN_b (Algorithm 5).
@@ -347,20 +215,7 @@ impl Federation {
         k: usize,
         rng: &mut R,
     ) -> Result<QueryResult, SknnError> {
-        let before = self.comm_stats();
-        let pool_before = self.pool_stats();
-        let enc_q = self.user.encrypt_query(query, rng)?;
-        let (masked, mut profile, audit) =
-            self.c1
-                .process_basic(self.c2.key_holder(), &enc_q, k, self.parallelism, rng)?;
-        profile.record_pool(pool_delta(&pool_before, &self.pool_stats()));
-        let records = self.user.recover_records(&masked);
-        Ok(QueryResult {
-            records,
-            profile,
-            audit,
-            comm: delta(before, self.comm_stats()),
-        })
+        self.run(query, k, Protocol::Basic, None, rng)
     }
 
     /// Answers a query with the fully secure protocol SkNN_m (Algorithm 6),
@@ -374,7 +229,7 @@ impl Federation {
         k: usize,
         rng: &mut R,
     ) -> Result<QueryResult, SknnError> {
-        self.query_secure_with_bits(query, k, self.distance_bits, rng)
+        self.run(query, k, Protocol::Secure, None, rng)
     }
 
     /// [`Federation::query_secure`] with an explicit distance-bit length,
@@ -382,6 +237,12 @@ impl Federation {
     ///
     /// # Errors
     /// Propagates validation errors (dimension mismatch, invalid `k`, bad `l`).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the engine's QueryBuilder with .distance_bits(l) instead: \
+                federation.engine().query(Federation::DATASET).k(k).point(q)\
+                .distance_bits(l).run(rng)"
+    )]
     pub fn query_secure_with_bits<R: RngCore + ?Sized>(
         &self,
         query: &[u64],
@@ -389,51 +250,14 @@ impl Federation {
         l: usize,
         rng: &mut R,
     ) -> Result<QueryResult, SknnError> {
-        let before = self.comm_stats();
-        let pool_before = self.pool_stats();
-        let enc_q = self.user.encrypt_query(query, rng)?;
-        let (masked, mut profile, audit) = self.c1.process_secure(
-            self.c2.key_holder(),
-            &enc_q,
-            SecureQueryParams { k, l },
-            self.parallelism,
-            rng,
-        )?;
-        profile.record_pool(pool_delta(&pool_before, &self.pool_stats()));
-        let records = self.user.recover_records(&masked);
-        Ok(QueryResult {
-            records,
-            profile,
-            audit,
-            comm: delta(before, self.comm_stats()),
-        })
-    }
-}
-
-fn pool_delta(before: &PoolStats, after: &PoolStats) -> PoolActivity {
-    let d = after.since(before);
-    PoolActivity {
-        hits: d.hits,
-        fallbacks: d.fallbacks,
-    }
-}
-
-fn transport_setup_error(message: &str) -> SknnError {
-    SknnError::Protocol(sknn_protocols::ProtocolError::Transport {
-        message: message.to_string(),
-    })
-}
-
-fn delta(before: Option<CommSnapshot>, after: Option<CommSnapshot>) -> Option<CommSnapshot> {
-    match (before, after) {
-        (Some(b), Some(a)) => Some(a.since(&b)),
-        _ => None,
+        self.run(query, k, Protocol::Secure, Some(l), rng)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::{PackingKind, TransportKind};
     use crate::plain_knn_records;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -666,7 +490,6 @@ mod tests {
 
     #[test]
     fn packed_queries_match_scalar_results() {
-        use crate::config::PackingKind;
         let mut rng = StdRng::seed_from_u64(420);
         let table = table();
         let query = [2u64, 2];
@@ -715,7 +538,6 @@ mod tests {
 
     #[test]
     fn fixed_packing_that_does_not_fit_is_rejected() {
-        use crate::config::PackingKind;
         let mut rng = StdRng::seed_from_u64(421);
         let table = table();
         let config = FederationConfig {
@@ -744,7 +566,6 @@ mod tests {
 
     #[test]
     fn packed_queries_work_over_remote_transports() {
-        use crate::config::PackingKind;
         let mut rng = StdRng::seed_from_u64(422);
         let table = table();
         let query = [2u64, 2];
@@ -862,5 +683,71 @@ mod tests {
         federation.set_threads(1);
         let b = federation.query_basic(&[2, 2], 2, &mut rng).unwrap();
         assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn deprecated_distance_bit_override_matches_builder_path() {
+        let mut rng = StdRng::seed_from_u64(411);
+        let table = table();
+        let federation = Federation::setup(
+            &table,
+            FederationConfig {
+                key_bits: 96,
+                max_query_value: 10,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        let l = federation.distance_bits() + 2;
+        #[allow(deprecated)]
+        let legacy = federation
+            .query_secure_with_bits(&[2, 2], 2, l, &mut rng)
+            .unwrap();
+        let modern = federation
+            .engine()
+            .query(Federation::DATASET)
+            .k(2)
+            .point(&[2, 2])
+            .distance_bits(l)
+            .run(&mut rng)
+            .unwrap();
+        let mut a = legacy.records;
+        let mut b = modern.result;
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shim_accepts_queries_beyond_the_registered_bound() {
+        // Historical contract: Federation never enforced max_query_value on
+        // queries; the shim must not start rejecting them.
+        let mut rng = StdRng::seed_from_u64(412);
+        let table = table();
+        let federation = Federation::setup(
+            &table,
+            FederationConfig {
+                key_bits: 96,
+                max_query_value: 10,
+                distance_bits: Some(16),
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        // 20 > max_query_value = 10, but l = 16 has headroom; the legacy
+        // API answers it (the engine's builder would reject it up front).
+        let result = federation.query_basic(&[20, 20], 2, &mut rng).unwrap();
+        assert_eq!(result.records, plain_knn_records(&table, &[20, 20], 2));
+        assert!(matches!(
+            federation
+                .engine()
+                .query(Federation::DATASET)
+                .k(2)
+                .point(&[20, 20])
+                .build(),
+            Err(SknnError::InvalidQuery { .. })
+        ));
     }
 }

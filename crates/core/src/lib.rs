@@ -26,13 +26,17 @@
 //!   encrypted, the winning records are selected obliviously, and access
 //!   patterns are hidden.
 //!
-//! The [`Federation`] type wires all four roles together for the common case
-//! (one process, repeated queries over one outsourced table) and is what the
-//! examples and benchmarks use.
+//! The [`SknnEngine`] façade ([`engine`]) wires all four roles together for
+//! a deployment: it hosts many named encrypted datasets behind one pair of
+//! clouds, validates queries up front through a typed [`QueryBuilder`],
+//! runs [batches](SknnEngine::run_batch) of them over one shared key-holder
+//! session, and accepts dynamic appends and tombstones. The single-table
+//! [`Federation`] façade is kept as a thin shim over a one-dataset engine
+//! for existing embedders.
 //!
 //! ```
 //! use rand::SeedableRng;
-//! use sknn_core::{Federation, FederationConfig, Table};
+//! use sknn_core::{SknnEngine, FederationConfig, Table};
 //!
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
 //! let table = Table::new(vec![
@@ -43,9 +47,15 @@
 //! ]).unwrap();
 //!
 //! let config = FederationConfig { key_bits: 128, ..Default::default() };
-//! let federation = Federation::setup(&table, config, &mut rng).unwrap();
-//! let result = federation.query_secure(&[58, 1, 133], 2, &mut rng).unwrap();
-//! assert_eq!(result.records.len(), 2);
+//! let mut engine = SknnEngine::setup(config, &mut rng).unwrap();
+//! engine.register_dataset("heart", &table, &mut rng).unwrap();
+//! let outcome = engine
+//!     .query("heart")
+//!     .k(2)
+//!     .point(&[58, 1, 133])
+//!     .run(&mut rng)
+//!     .unwrap();
+//! assert_eq!(outcome.result.len(), 2);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -54,6 +64,7 @@
 pub mod audit;
 mod config;
 mod encdb;
+pub mod engine;
 mod error;
 mod federation;
 mod meter;
@@ -68,7 +79,10 @@ mod table;
 pub use audit::AccessPatternAudit;
 pub use config::{FederationConfig, PackingKind, SecureQueryParams, TransportKind};
 pub use encdb::{EncryptedDatabase, EncryptedQuery, EncryptedRecord, MaskedResult};
-pub use error::SknnError;
+pub use engine::{
+    Dataset, DatasetOptions, PreparedQuery, Protocol, QueryBuilder, QueryOutcome, SknnEngine,
+};
+pub use error::{InvalidQueryReason, SknnError, UpdateRejected};
 pub use federation::{Federation, QueryResult};
 pub use parallel::ParallelismConfig;
 pub use plain::{plain_knn, plain_knn_records, squared_euclidean_distance};

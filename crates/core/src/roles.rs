@@ -58,13 +58,29 @@ impl DataOwner {
         let records = table
             .records()
             .iter()
-            .map(|row| {
-                row.iter()
-                    .map(|&v| pk.try_encrypt_u64(v, rng).map_err(SknnError::from))
-                    .collect::<Result<Vec<_>, _>>()
-            })
+            .map(|row| self.encrypt_record(row, rng))
             .collect::<Result<Vec<_>, _>>()?;
         Ok(EncryptedDatabase::from_records(records, pk.clone()))
+    }
+
+    /// Encrypts one record attribute-wise — the owner-side half of a dynamic
+    /// append: the resulting ciphertexts are what the owner ships to cloud C1
+    /// (`SknnEngine::append_records`) to grow an already-outsourced dataset
+    /// without re-encrypting the table.
+    ///
+    /// # Errors
+    /// Returns [`SknnError::Paillier`] when an attribute does not fit the
+    /// key's message space `[0, N)`.
+    pub fn encrypt_record<R: RngCore + ?Sized>(
+        &self,
+        record: &[u64],
+        rng: &mut R,
+    ) -> Result<crate::EncryptedRecord, SknnError> {
+        let pk = self.public_key();
+        record
+            .iter()
+            .map(|&v| pk.try_encrypt_u64(v, rng).map_err(SknnError::from))
+            .collect()
     }
 }
 
@@ -212,14 +228,22 @@ impl CloudC1 {
         &self.db
     }
 
+    /// Mutable access to the hosted database, for dynamic updates (appends
+    /// and tombstones). The engine façade is the usual caller.
+    pub fn database_mut(&mut self) -> &mut EncryptedDatabase {
+        &mut self.db
+    }
+
     /// The public key of the hosted database.
     pub fn public_key(&self) -> &PublicKey {
         self.db.public_key()
     }
 
     /// Validates a query against the hosted database and the requested `k`.
+    /// `n` is the number of *live* records: tombstoned records cannot be
+    /// returned, so they cannot be counted toward the valid `k` range either.
     pub(crate) fn validate_query(&self, query: &EncryptedQuery, k: usize) -> Result<(), SknnError> {
-        let n = self.db.num_records();
+        let n = self.db.num_live();
         let m = self.db.num_attributes();
         if query.num_attributes() != m {
             return Err(SknnError::QueryDimensionMismatch {

@@ -36,19 +36,22 @@ pub(crate) enum Distances {
     },
 }
 
-/// Computes every record's encrypted squared distance, routing through the
-/// packed SSED when `packing` is set. Record groups (packed) or records
-/// (scalar) are independent, so both paths are parallel (Figure 3).
+/// Computes the encrypted squared distance of every *live* record (`live`
+/// holds their physical indices), routing through the packed SSED when
+/// `packing` is set. Record groups (packed) or records (scalar) are
+/// independent, so both paths are parallel (Figure 3). Distance `i` of the
+/// output corresponds to the record at physical index `live[i]`.
 pub(crate) fn compute_distances<K: KeyHolder + ?Sized, R: RngCore + ?Sized>(
     c1: &CloudC1,
     c2: &K,
     query: &EncryptedQuery,
     packing: Option<&PackedParams>,
     parallelism: ParallelismConfig,
+    live: &[usize],
     rng: &mut R,
 ) -> Result<Distances, SknnError> {
     let pk = c1.public_key();
-    let n = c1.database().num_records();
+    let n = live.len();
     match packing {
         Some(params) => {
             let sigma = params.slots();
@@ -58,8 +61,9 @@ pub(crate) fn compute_distances<K: KeyHolder + ?Sized, R: RngCore + ?Sized>(
             let seeds: Vec<u64> = (0..group_ranges.len()).map(|_| rng.gen()).collect();
             let groups = parallel_map(parallelism.threads, &group_ranges, |g, &(lo, hi)| {
                 let mut thread_rng = StdRng::seed_from_u64(seeds[g]);
-                let records: Vec<&[Ciphertext]> = (lo..hi)
-                    .map(|i| c1.database().record(i).as_slice())
+                let records: Vec<&[Ciphertext]> = live[lo..hi]
+                    .iter()
+                    .map(|&i| c1.database().record(i).as_slice())
                     .collect();
                 packed_squared_distances(
                     pk,
@@ -82,9 +86,10 @@ pub(crate) fn compute_distances<K: KeyHolder + ?Sized, R: RngCore + ?Sized>(
             let seeds: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
             Ok(Distances::Scalar(parallel_map(
                 parallelism.threads,
-                c1.database().records(),
-                |i, record| {
+                live,
+                |i, &physical| {
                     let mut thread_rng = StdRng::seed_from_u64(seeds[i]);
+                    let record = c1.database().record(physical);
                     secure_squared_distance(pk, c2, query.attributes(), record, &mut thread_rng)
                         .expect("database and query dimensions were validated")
                 },
@@ -120,10 +125,14 @@ impl CloudC1 {
         let mut profile = QueryProfile::new();
         let packing = self.effective_packing(c2, None);
         let meter = OpMeter::new(c2);
+        // Tombstoned records are excluded before any protocol message is
+        // formed: the protocol run is indistinguishable from one over a
+        // database that never contained them.
+        let live = self.database().live_indices();
 
-        // Step 2: E(d_i) ← SSED(E(Q), E(t_i)) for every record.
+        // Step 2: E(d_i) ← SSED(E(Q), E(t_i)) for every live record.
         let distances = profile.time(Stage::DistanceComputation, || {
-            compute_distances(self, &meter, query, packing, parallelism, rng)
+            compute_distances(self, &meter, query, packing, parallelism, &live, rng)
         })?;
         profile.record_ops(Stage::DistanceComputation, meter.take());
 
@@ -139,7 +148,9 @@ impl CloudC1 {
         profile.record_ops(Stage::RecordSelection, meter.take());
 
         // Steps 4–6: mask the chosen records and produce Bob's two shares.
-        let chosen: Vec<_> = top_k
+        // `top_k` indexes the live view; map back to physical indices.
+        let top_k_physical: Vec<usize> = top_k.iter().map(|&i| live[i]).collect();
+        let chosen: Vec<_> = top_k_physical
             .iter()
             .map(|&i| self.database().record(i).clone())
             .collect();
@@ -148,7 +159,7 @@ impl CloudC1 {
         });
         profile.record_ops(Stage::Finalization, meter.take());
 
-        let audit = AccessPatternAudit::basic_protocol(&top_k);
+        let audit = AccessPatternAudit::basic_protocol(&top_k_physical);
         Ok((masked, profile, audit))
     }
 }

@@ -50,7 +50,10 @@ impl CloudC1 {
     ) -> Result<(MaskedResult, QueryProfile, AccessPatternAudit), SknnError> {
         self.validate_query(query, params.k)?;
         let pk = self.public_key();
-        let n = self.database().num_records();
+        // Tombstoned records are excluded up front; every protocol stage
+        // below operates on the live view only.
+        let live = self.database().live_indices();
+        let n = live.len();
         let m = self.database().num_attributes();
         let l = params.l;
         let mut profile = QueryProfile::new();
@@ -59,7 +62,7 @@ impl CloudC1 {
 
         // ── Step 2a: E(d_i) ← SSED(E(Q), E(t_i)) ───────────────────────────
         let distances = profile.time(Stage::DistanceComputation, || {
-            compute_distances(self, &meter, query, packing, parallelism, rng)
+            compute_distances(self, &meter, query, packing, parallelism, &live, rng)
         })?;
         profile.record_ops(Stage::DistanceComputation, meter.take());
 
@@ -141,7 +144,7 @@ impl CloudC1 {
                     .flat_map(|i| {
                         let v_i = v[i].clone();
                         self.database()
-                            .record(i)
+                            .record(live[i])
                             .iter()
                             .map(move |attr| (v_i.clone(), attr.clone()))
                             .collect::<Vec<_>>()

@@ -139,6 +139,78 @@ fn concurrent_clients_with_coalescing_stay_correct() {
     }
 }
 
+/// Session sharing across concurrent *whole queries* (the engine's
+/// `run_batch` shape): threads drive heterogeneous request mixes — SM
+/// batches, LSB extraction, masked decryption, top-k index exchanges —
+/// through one pipelined session simultaneously. Correlation ids must keep
+/// every response with its caller even when the in-flight requests have
+/// different types, sizes and latencies.
+#[test]
+fn heterogeneous_concurrent_workloads_share_one_session() {
+    let f = fixture();
+    let (client, server) = spawn_session(4, CoalesceConfig::enabled());
+    let client = Arc::new(client);
+    let mismatches = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for t in 0..6usize {
+            let client = Arc::clone(&client);
+            let mismatches = &mismatches;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(3000 + t as u64);
+                for i in 0..6usize {
+                    let ok = match (t + i) % 4 {
+                        // SM product.
+                        0 => {
+                            let (a, b) = ((t * 31 + i + 2) as u64, (i * 17 + t + 3) as u64);
+                            let e_a = f.pk.encrypt_u64(a, &mut rng);
+                            let e_b = f.pk.encrypt_u64(b, &mut rng);
+                            let p = secure_multiply(&f.pk, client.as_ref(), &e_a, &e_b, &mut rng);
+                            f.sk.decrypt(&p) == BigUint::from_u64(a * b)
+                        }
+                        // LSB of a masked value.
+                        1 => {
+                            let v = (t * 7 + i) as u64;
+                            let masked = f.pk.encrypt_u64(v, &mut rng);
+                            let bits = client.lsb_of_masked_batch(std::slice::from_ref(&masked));
+                            f.sk.decrypt(&bits[0]) == BigUint::from_u64(v & 1)
+                        }
+                        // Masked decryption (the finalization exchange).
+                        2 => {
+                            let v = (t * 1009 + i * 13) as u64;
+                            let ct = f.pk.encrypt_u64(v, &mut rng);
+                            let plain = client.decrypt_masked_batch(std::slice::from_ref(&ct));
+                            plain[0] == BigUint::from_u64(v)
+                        }
+                        // Top-k index exchange (the SkNN_b selection step).
+                        _ => {
+                            let vals = [(t + 9) as u64, (t + 1) as u64, (t + 5) as u64];
+                            let cts: Vec<Ciphertext> = vals
+                                .iter()
+                                .map(|&v| f.pk.encrypt_u64(v, &mut rng))
+                                .collect();
+                            client.top_k_indices(&cts, 2) == vec![1, 2]
+                        }
+                    };
+                    if !ok {
+                        mismatches.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(
+        mismatches.load(Ordering::Relaxed),
+        0,
+        "a misrouted response crossed request types"
+    );
+    let stats = client.stats();
+    assert_eq!(stats.responses(), stats.requests());
+
+    drop(client);
+    assert_eq!(server.join().unwrap(), Ok(()));
+}
+
 /// The full KeyHolder surface over a real TCP socket, including the
 /// public-key handshake and both endpoints' traffic agreeing byte for byte.
 #[test]

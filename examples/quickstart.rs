@@ -1,4 +1,6 @@
-//! Quickstart: outsource a tiny table and answer one query with each protocol.
+//! Quickstart: stand up an engine, register a dataset, answer one query
+//! with each protocol, then grow and shrink the encrypted table without
+//! re-outsourcing it.
 //!
 //! Run with:
 //! ```text
@@ -6,13 +8,54 @@
 //! ```
 
 use rand::SeedableRng;
-use sknn::{Federation, FederationConfig, Table, TransportKind};
+use sknn::{FederationConfig, Protocol, QueryOutcome, SknnEngine, Table, TransportKind};
+
+/// Per-stage wall time plus the transport-independent operation counters
+/// (`QueryProfile::ops`): ciphertexts over the C1↔C2 wire and C2
+/// decryptions, the two quantities slot packing shrinks.
+fn print_stages(outcome: &QueryOutcome) {
+    println!(
+        "  {:<12} {:>10} {:>8} {:>8} {:>8}",
+        "stage", "time", "cts→C2", "cts←C2", "C2 dec"
+    );
+    for (stage, duration) in outcome.profile.stages() {
+        let ops = outcome.profile.ops(stage);
+        println!(
+            "  {:<12} {:>10.1?} {:>8} {:>8} {:>8}",
+            stage.label(),
+            duration,
+            ops.ciphertexts_to_c2,
+            ops.ciphertexts_from_c2,
+            ops.c2_decryptions
+        );
+    }
+    let total = outcome.profile.total_ops();
+    println!(
+        "  {:<12} {:>10.1?} {:>8} {:>8} {:>8}",
+        "total",
+        outcome.profile.total(),
+        total.ciphertexts_to_c2,
+        total.ciphertexts_from_c2,
+        total.c2_decryptions
+    );
+}
 
 fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(42);
 
+    // ── The deployment ──────────────────────────────────────────────────────
+    // 256-bit keys keep the example fast; the paper evaluates 512 and 1024.
+    let config = FederationConfig {
+        key_bits: 256,
+        max_query_value: 200,
+        transport: TransportKind::Channel, // count inter-cloud traffic too
+        ..Default::default()
+    };
+    let mut engine = SknnEngine::setup(config, &mut rng).expect("setup");
+
     // ── Alice's data ────────────────────────────────────────────────────────
-    // A toy table of 8 records with 3 attributes each.
+    // A toy table of 8 records with 3 attributes each, registered as one
+    // named dataset (an engine can host many).
     let table = Table::new(vec![
         vec![63, 1, 145],
         vec![56, 1, 130],
@@ -24,54 +67,57 @@ fn main() {
         vec![61, 1, 150],
     ])
     .expect("well-formed table");
-
-    // ── Outsourcing ─────────────────────────────────────────────────────────
-    // 256-bit keys keep the example fast; the paper evaluates 512 and 1024.
-    let config = FederationConfig {
-        key_bits: 256,
-        max_query_value: 200,
-        transport: TransportKind::Channel, // count inter-cloud traffic too
-        ..Default::default()
-    };
-    let federation = Federation::setup(&table, config, &mut rng).expect("setup");
+    engine
+        .register_dataset("vitals", &table, &mut rng)
+        .expect("register");
+    let dataset = engine.dataset("vitals").expect("registered");
     println!(
-        "outsourced {} records × {} attributes under a {}-bit Paillier key (l = {} distance bits)",
-        federation.num_records(),
-        federation.num_attributes(),
-        federation.public_key().bits(),
-        federation.distance_bits()
+        "registered \"vitals\": {} records × {} attributes under a {}-bit Paillier key (l = {} distance bits)",
+        dataset.num_records(),
+        dataset.num_attributes(),
+        engine.public_key().bits(),
+        dataset.distance_bits()
     );
 
-    // ── Bob's query ─────────────────────────────────────────────────────────
+    // ── Bob's query, through the typed builder ──────────────────────────────
     let query = [58u64, 1, 133];
     let k = 3;
 
-    let basic = federation.query_basic(&query, k, &mut rng).expect("SkNN_b");
-    println!("\nSkNN_b (basic protocol) — {:?}", basic.profile.total());
-    for (rank, record) in basic.records.iter().enumerate() {
+    let basic = engine
+        .query("vitals")
+        .k(k)
+        .point(&query)
+        .protocol(Protocol::Basic)
+        .run(&mut rng)
+        .expect("SkNN_b");
+    println!("\nSkNN_b (basic protocol)");
+    for (rank, record) in basic.result.iter().enumerate() {
         println!("  #{rank}: {record:?}");
     }
+    print_stages(&basic);
     println!(
         "  leakage: distances revealed to C2 = {}, access pattern revealed = {}",
         basic.audit.distances_revealed_to_c2, basic.audit.access_pattern_revealed
     );
 
-    let secure = federation
-        .query_secure(&query, k, &mut rng)
+    let secure = engine
+        .query("vitals")
+        .k(k)
+        .point(&query)
+        .protocol(Protocol::Secure)
+        .run(&mut rng)
         .expect("SkNN_m");
-    println!(
-        "\nSkNN_m (fully secure protocol) — {:?}",
-        secure.profile.total()
-    );
-    for (rank, record) in secure.records.iter().enumerate() {
+    println!("\nSkNN_m (fully secure protocol)");
+    for (rank, record) in secure.result.iter().enumerate() {
         println!("  #{rank}: {record:?}");
     }
+    print_stages(&secure);
     println!(
         "  leakage: distances revealed to C2 = {}, access pattern revealed = {}",
         secure.audit.distances_revealed_to_c2, secure.audit.access_pattern_revealed
     );
 
-    if let (Some(b), Some(s)) = (basic.comm, secure.comm) {
+    if let (Some(b), Some(s)) = (&basic.comm, &secure.comm) {
         println!(
             "\ninter-cloud traffic: SkNN_b = {} msgs / {} bytes, SkNN_m = {} msgs / {} bytes",
             b.requests + b.responses,
@@ -84,11 +130,44 @@ fn main() {
     // Both protocols return the same set of nearest neighbors; the plaintext
     // baseline confirms it.
     let expected = sknn::plain_knn_records(&table, &query, k);
-    assert_eq!(basic.records, expected);
-    let mut secure_sorted = secure.records.clone();
+    assert_eq!(basic.result, expected);
+    let mut secure_sorted = secure.result.clone();
     let mut expected_sorted = expected;
     secure_sorted.sort();
     expected_sorted.sort();
     assert_eq!(secure_sorted, expected_sorted);
     println!("\nboth protocols agree with the plaintext kNN baseline ✓");
+
+    // ── Dynamic updates: grow and shrink without re-outsourcing ─────────────
+    // Alice appends a patient record identical to Bob's query point …
+    let appended = engine
+        .owner()
+        .encrypt_record(&[58, 1, 133], &mut rng)
+        .expect("encrypt record");
+    let indices = engine
+        .append_records("vitals", vec![appended])
+        .expect("append");
+    let nearest = engine
+        .query("vitals")
+        .k(1)
+        .point(&query)
+        .protocol(Protocol::Basic)
+        .run(&mut rng)
+        .expect("query after append");
+    assert_eq!(nearest.result, vec![vec![58, 1, 133]]);
+    println!("appended record found at distance 0 after a dynamic append ✓");
+
+    // … and tombstones it again; no later query can return it.
+    engine
+        .tombstone_record("vitals", indices[0])
+        .expect("tombstone");
+    let after = engine
+        .query("vitals")
+        .k(engine.dataset("vitals").expect("registered").num_records())
+        .point(&query)
+        .protocol(Protocol::Basic)
+        .run(&mut rng)
+        .expect("query after tombstone");
+    assert!(!after.result.contains(&vec![58, 1, 133]));
+    println!("tombstoned record excluded from every subsequent query ✓");
 }

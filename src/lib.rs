@@ -15,8 +15,45 @@
 //! | [`bigint`] | `sknn-bigint` | From-scratch arbitrary-precision arithmetic (Montgomery exponentiation, Miller–Rabin, …) |
 //! | [`paillier`] | `sknn-paillier` | The Paillier additively homomorphic cryptosystem |
 //! | [`protocols`] | `sknn-protocols` | The SM, SSED, SBD, SMIN, SMIN_n and SBOR two-party primitives, the key-holder trait, and the pluggable transport stack |
-//! | [`core`] | `sknn-core` | The SkNN_b / SkNN_m protocols, the Alice/Bob/C1/C2 roles and the [`Federation`] harness |
+//! | [`core`] | `sknn-core` | The SkNN_b / SkNN_m protocols, the Alice/Bob/C1/C2 roles and the [`SknnEngine`] query-engine façade |
 //! | [`data`] | `sknn-data` | Synthetic and heart-disease workload generators |
+//!
+//! ## Architecture: the `SknnEngine` query-engine façade
+//!
+//! The paper's protocols assume one static outsourced table and one query
+//! at a time. The engine layer generalizes that into a deployment front
+//! door — one pair of non-colluding clouds hosting many workloads:
+//!
+//! ```text
+//!  SknnEngine                                 core::engine
+//!    │
+//!    ├─ dataset registry                      register_dataset / remove_dataset
+//!    │    name → { EncryptedDatabase,         one Paillier key pair per
+//!    │             distance bits l,           deployment; per-dataset l and
+//!    │             packing params }           slot-packing derivation
+//!    │
+//!    ├─ QueryBuilder                          engine.query("heart").k(5)
+//!    │    typed, validates up front:            .point(&q)
+//!    │    unknown dataset, k ∉ 1..=n,           .protocol(Protocol::Secure)
+//!    │    arity mismatch, value bound →         .build()?
+//!    │    SknnError::{UnknownDataset,
+//!    │                InvalidQuery}
+//!    │
+//!    ├─ run / run_batch                       whole queries fan out across
+//!    │    per-query QueryOutcome              ParallelismConfig threads over
+//!    │    { result, profile, audit, comm }    ONE shared pipelined session
+//!    │
+//!    └─ dynamic updates                       DataOwner::encrypt_record →
+//!         append_records / tombstone_record   C1's table grows and shrinks
+//!                                             between queries; protocols
+//!                                             skip tombstones
+//! ```
+//!
+//! The legacy [`Federation`] single-table façade is a thin shim over a
+//! one-dataset engine (its table lives under `Federation::DATASET`), so
+//! existing embedders keep working; `Federation::engine()` is the
+//! incremental migration path. See `DESIGN.md` ("Engine façade & dataset
+//! lifecycle") for what dynamic updates do and do not leak to the clouds.
 //!
 //! ## Architecture: the C1↔C2 transport stack
 //!
@@ -84,7 +121,7 @@
 //!      context for N² (bigint layer)
 //! ```
 //!
-//! [`Federation`] stands up one pool per cloud at setup and pre-warms both
+//! [`SknnEngine`] stands up one pool per cloud at setup and pre-warms both
 //! ([`FederationConfig`]'s `pool` / `pool_prewarm` knobs; `capacity: 0`
 //! disables pooling). C2's pool backs every fresh encryption in a
 //! key-holder response — locally or behind the transport server — and C1's
@@ -130,29 +167,43 @@
 //!
 //! ```
 //! use rand::SeedableRng;
-//! use sknn::{Federation, FederationConfig, Table};
+//! use sknn::{Protocol, SknnEngine, FederationConfig, Table};
 //!
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
 //!
+//! // Stand up the two clouds under one fresh Paillier key pair.
+//! let config = FederationConfig { key_bits: 128, ..Default::default() };
+//! let mut engine = SknnEngine::setup(config, &mut rng).unwrap();
+//!
 //! // Alice's plaintext table: rows are records, columns are attributes.
+//! // Outsourcing encrypts it attribute-wise; ciphertexts go to cloud C1,
+//! // the secret key went to cloud C2 at setup.
 //! let table = Table::new(vec![
 //!     vec![63, 1, 145],
 //!     vec![56, 1, 130],
 //!     vec![57, 0, 140],
 //!     vec![55, 0, 128],
 //! ]).unwrap();
-//!
-//! // Outsource it: encrypt attribute-wise, hand ciphertexts to cloud C1 and
-//! // the secret key to cloud C2.
-//! let config = FederationConfig { key_bits: 128, ..Default::default() };
-//! let federation = Federation::setup(&table, config, &mut rng).unwrap();
+//! engine.register_dataset("heart", &table, &mut rng).unwrap();
 //!
 //! // Bob asks for the 2 records nearest to his (encrypted) query. With
-//! // `query_secure`, neither cloud learns the distances, the result records,
-//! // or the access pattern.
-//! let result = federation.query_secure(&[58, 1, 133], 2, &mut rng).unwrap();
-//! assert_eq!(result.records.len(), 2);
-//! assert!(result.audit.is_oblivious());
+//! // `Protocol::Secure` (the default), neither cloud learns the distances,
+//! // the result records, or the access pattern.
+//! let outcome = engine
+//!     .query("heart")
+//!     .k(2)
+//!     .point(&[58, 1, 133])
+//!     .protocol(Protocol::Secure)
+//!     .run(&mut rng)
+//!     .unwrap();
+//! assert_eq!(outcome.result.len(), 2);
+//! assert!(outcome.audit.is_oblivious());
+//!
+//! // The data owner can append and retire records without re-outsourcing.
+//! let record = engine.owner().encrypt_record(&[58, 1, 133], &mut rng).unwrap();
+//! engine.append_records("heart", vec![record]).unwrap();
+//! let nearest = engine.query("heart").k(1).point(&[58, 1, 133]).run(&mut rng).unwrap();
+//! assert_eq!(nearest.result, vec![vec![58, 1, 133]]);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -167,8 +218,10 @@ pub use sknn_protocols as protocols;
 // The most commonly used types, flattened for convenience.
 pub use sknn_core::{
     plain_knn, plain_knn_records, squared_euclidean_distance, AccessPatternAudit, CloudC1,
-    DataOwner, Federation, FederationConfig, KeyHolder, LocalKeyHolder, ParallelismConfig,
-    PoolActivity, QueryProfile, QueryResult, QueryUser, SknnError, Stage, Table, TransportKind,
+    DataOwner, Dataset, DatasetOptions, Federation, FederationConfig, InvalidQueryReason,
+    KeyHolder, LocalKeyHolder, ParallelismConfig, PoolActivity, PreparedQuery, Protocol,
+    QueryBuilder, QueryOutcome, QueryProfile, QueryResult, QueryUser, SknnEngine, SknnError, Stage,
+    Table, TransportKind, UpdateRejected,
 };
 pub use sknn_paillier::{
     Ciphertext, Keypair, PoolConfig, PoolStats, PooledEncryptor, PrivateKey, PublicKey,
