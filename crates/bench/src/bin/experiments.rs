@@ -16,6 +16,10 @@
 //!   keysize    SkNN_b cost ratio when the key size doubles (Section 5.1 claim)
 //!   batch      SkNN_b queries/sec through SknnEngine::run_batch
 //!              at batch sizes 1 / 4 / 16                  (beyond the paper)
+//!   shard-scaling
+//!              SkNN_b queries/sec and per-stage/per-shard ciphertext
+//!              counts over the sharded data plane, at shards ∈ {1,2,4}
+//!              × sessions ∈ {1,2}                         (beyond the paper)
 //!   all        every experiment above, in order
 //! ```
 //!
@@ -81,6 +85,7 @@ fn main() {
         "bob-cost" => bob_cost(scale, &mut report),
         "keysize" => keysize(scale, &mut report),
         "batch" => batch_throughput(scale, &mut report),
+        "shard-scaling" => shard_scaling(scale, &mut report),
         "all" => {
             fig2ab(scale, false, &mut report);
             fig2ab(scale, true, &mut report);
@@ -93,6 +98,7 @@ fn main() {
             bob_cost(scale, &mut report);
             keysize(scale, &mut report);
             batch_throughput(scale, &mut report);
+            shard_scaling(scale, &mut report);
         }
         other => {
             eprintln!("unknown experiment '{other}'");
@@ -361,6 +367,11 @@ fn batch_throughput(scale: Scale, report: &mut BenchReport) {
                     .expect("validated query")
             })
             .collect();
+        // Every configuration starts from the same warm-pool state:
+        // without this, batch 1 ran against freshly prewarmed pools while
+        // batch 16 inherited whatever the previous configuration drained,
+        // making the queries/sec numbers incomparable.
+        engine.prewarm_pools(FederationConfig::default().pool_prewarm);
         let start = Instant::now();
         let outcomes = engine.run_batch(&queries, &mut rng);
         let elapsed = start.elapsed();
@@ -383,6 +394,139 @@ fn batch_throughput(scale: Scale, report: &mut BenchReport) {
             elapsed,
         );
         println!("{batch:>8} {:>12} {qps:>12.3}", secs(elapsed));
+    }
+    println!();
+}
+
+/// Beyond the paper: the sharded data plane. SkNN_b batch throughput and
+/// per-stage/per-shard ciphertext counts at shards ∈ {1, 2, 4} ×
+/// sessions ∈ {1, 2}, over the Channel transport so multiple sessions are
+/// real independent wires with traffic accounting.
+fn shard_scaling(scale: Scale, report: &mut BenchReport) {
+    use sknn_core::{
+        DataOwner, DatasetOptions, FederationConfig, Protocol, QueryResult, ShardingConfig,
+        SknnEngine, TransportKind,
+    };
+    use sknn_data::{uniform_query, SyntheticDataset};
+
+    let (small, _) = scale.key_sizes();
+    let n = scale.basic_k_sweep_records();
+    let k = 5.min(n);
+    let threads = 4;
+    let batch = match scale {
+        Scale::Smoke => 4,
+        _ => 16,
+    };
+    println!(
+        "## Shard scaling: SkNN_b over the sharded data plane, n = {n}, m = 6, k = {k}, \
+         K = {small} bits, {threads} threads, batch = {batch}, Channel transport"
+    );
+    println!(
+        "{:>8} {:>10} {:>12} {:>12}",
+        "shards", "sessions", "time_s", "queries/s"
+    );
+
+    let mut rng = StdRng::seed_from_u64(HARNESS_SEED ^ 0x5A4D);
+    let dataset = SyntheticDataset::uniform(n, 6, 12, &mut rng);
+    let prewarm = FederationConfig::default().pool_prewarm;
+
+    for &shards in &[1usize, 2, 4] {
+        for &sessions in &[1usize, 2] {
+            let owner = DataOwner::from_keypair(cached_keypair(small));
+            let mut engine = SknnEngine::setup_with_owner(
+                owner,
+                FederationConfig {
+                    key_bits: small,
+                    threads,
+                    transport: TransportKind::Channel,
+                    sharding: ShardingConfig { shards, sessions },
+                    ..Default::default()
+                },
+            )
+            .expect("engine setup");
+            engine
+                .register_dataset_with(
+                    "shard",
+                    &dataset.table,
+                    DatasetOptions {
+                        distance_bits: Some(12),
+                        max_query_value: dataset.max_value,
+                    },
+                    &mut rng,
+                )
+                .expect("register dataset");
+
+            let config_params = |extra: &[(&'static str, String)]| {
+                let mut p = vec![
+                    ("n", n.to_string()),
+                    ("m", "6".to_string()),
+                    ("k", k.to_string()),
+                    ("K", small.to_string()),
+                    ("threads", threads.to_string()),
+                    ("shards", shards.to_string()),
+                    ("sessions", sessions.to_string()),
+                ];
+                p.extend(extra.iter().cloned());
+                p
+            };
+
+            // One profiled query: per-stage wall time plus the per-stage
+            // and per-shard ciphertext counters (scatter vs gather volume).
+            engine.prewarm_pools(prewarm);
+            let q = uniform_query(6, dataset.max_value, &mut rng);
+            let prepared = engine
+                .query("shard")
+                .k(k)
+                .point(&q)
+                .protocol(Protocol::Basic)
+                .build()
+                .expect("validated query");
+            let start = Instant::now();
+            let outcome = engine.run(&prepared, &mut rng).expect("profiled query");
+            let profile_elapsed = start.elapsed();
+            report.push_query(
+                "shard-scaling-profile",
+                &config_params(&[]),
+                profile_elapsed,
+                &QueryResult::from(outcome),
+            );
+
+            // Batch throughput over the shard-stage scheduler, from the
+            // same warm-pool state in every configuration.
+            let queries: Vec<_> = (0..batch)
+                .map(|_| {
+                    let q = uniform_query(6, dataset.max_value, &mut rng);
+                    engine
+                        .query("shard")
+                        .k(k)
+                        .point(&q)
+                        .protocol(Protocol::Basic)
+                        .build()
+                        .expect("validated query")
+                })
+                .collect();
+            engine.prewarm_pools(prewarm);
+            let start = Instant::now();
+            let outcomes = engine.run_batch(&queries, &mut rng);
+            let elapsed = start.elapsed();
+            assert!(
+                outcomes.iter().all(Result::is_ok),
+                "every shard-scaling query succeeds"
+            );
+            let qps = batch as f64 / elapsed.as_secs_f64();
+            report.push_duration(
+                "shard-scaling",
+                &config_params(&[
+                    ("batch", batch.to_string()),
+                    ("queries_per_sec", format!("{qps:.3}")),
+                ]),
+                elapsed,
+            );
+            println!(
+                "{shards:>8} {sessions:>10} {:>12} {qps:>12.3}",
+                secs(elapsed)
+            );
+        }
     }
     println!();
 }

@@ -290,6 +290,22 @@ pub mod report {
         pub c2_decryptions: u64,
     }
 
+    /// Per-shard attribution of one stage's operation counters (populated
+    /// by sharded scatter–gather plans; empty otherwise).
+    #[derive(Clone, Debug)]
+    pub struct ShardStageRow {
+        /// Shard id.
+        pub shard: usize,
+        /// Stage label (`SSED`, `shard top-k`, …).
+        pub stage: &'static str,
+        /// Ciphertexts C1 sent to C2 on this shard's behalf.
+        pub ciphertexts_to_c2: u64,
+        /// Ciphertexts C2 sent back on this shard's behalf.
+        pub ciphertexts_from_c2: u64,
+        /// Paillier decryptions C2 performed on this shard's behalf.
+        pub c2_decryptions: u64,
+    }
+
     /// One measured point: an experiment name, its parameters, the total
     /// wall time, and the per-stage breakdown (empty for duration-only
     /// measurements like Bob's encryption cost).
@@ -303,6 +319,8 @@ pub mod report {
         pub total_seconds: f64,
         /// Per-stage breakdown, in execution order.
         pub stages: Vec<StageRow>,
+        /// Per-shard stage attribution (sharded plans only).
+        pub shard_stages: Vec<ShardStageRow>,
     }
 
     /// Collects experiment points and serializes them to JSON.
@@ -358,6 +376,24 @@ pub mod report {
                     }
                 })
                 .collect();
+            let shard_stages = result
+                .profile
+                .shards()
+                .into_iter()
+                .flat_map(|shard| {
+                    Stage::ALL
+                        .iter()
+                        .map(move |s| (shard, *s, result.profile.shard_stage_ops(shard, *s)))
+                })
+                .filter(|(_, _, ops)| ops.ciphertexts_on_wire() > 0 || ops.c2_decryptions > 0)
+                .map(|(shard, s, ops)| ShardStageRow {
+                    shard,
+                    stage: s.label(),
+                    ciphertexts_to_c2: ops.ciphertexts_to_c2,
+                    ciphertexts_from_c2: ops.ciphertexts_from_c2,
+                    c2_decryptions: ops.c2_decryptions,
+                })
+                .collect();
             self.entries.push(Entry {
                 experiment: experiment.to_string(),
                 params: params
@@ -366,6 +402,7 @@ pub mod report {
                     .collect(),
                 total_seconds: elapsed.as_secs_f64(),
                 stages,
+                shard_stages,
             });
         }
 
@@ -384,6 +421,7 @@ pub mod report {
                     .collect(),
                 total_seconds: elapsed.as_secs_f64(),
                 stages: Vec::new(),
+                shard_stages: Vec::new(),
             });
         }
 
@@ -420,7 +458,26 @@ pub mod report {
                         s.c2_decryptions
                     ));
                 }
-                out.push_str("]}");
+                out.push(']');
+                if !e.shard_stages.is_empty() {
+                    out.push_str(", \"shard_stages\": [");
+                    for (j, s) in e.shard_stages.iter().enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        out.push_str(&format!(
+                            "{{\"shard\": {}, \"stage\": {}, \"ciphertexts_to_c2\": {}, \
+                             \"ciphertexts_from_c2\": {}, \"c2_decryptions\": {}}}",
+                            s.shard,
+                            json_string(s.stage),
+                            s.ciphertexts_to_c2,
+                            s.ciphertexts_from_c2,
+                            s.c2_decryptions
+                        ));
+                    }
+                    out.push(']');
+                }
+                out.push('}');
                 out.push_str(if i + 1 < self.entries.len() {
                     ",\n"
                 } else {
@@ -495,6 +552,55 @@ pub mod report {
             assert!(json.contains("\"c2_decryptions\""));
             // SSED of 8 records × 2 attributes: 32 decryptions scalar.
             assert!(json.contains("\"c2_decryptions\": 32"));
+            // An unsharded query has no per-shard attribution to report.
+            assert!(!json.contains("shard_stages"));
+        }
+
+        #[test]
+        fn sharded_query_entries_carry_per_shard_counters() {
+            use rand::rngs::StdRng;
+            use rand::SeedableRng;
+            use sknn_core::{
+                DataOwner, FederationConfig, Protocol, QueryResult, ShardingConfig, SknnEngine,
+                Table,
+            };
+
+            let mut rng = StdRng::seed_from_u64(42);
+            let owner = DataOwner::from_keypair(crate::cached_keypair(128));
+            let mut engine = SknnEngine::setup_with_owner(
+                owner,
+                FederationConfig {
+                    key_bits: 128,
+                    max_query_value: 9,
+                    sharding: ShardingConfig {
+                        shards: 2,
+                        sessions: 1,
+                    },
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let table = Table::new(vec![vec![1, 1], vec![5, 5], vec![9, 9], vec![2, 3]]).unwrap();
+            engine.register_dataset("d", &table, &mut rng).unwrap();
+            let outcome = engine
+                .query("d")
+                .k(1)
+                .point(&[2, 2])
+                .protocol(Protocol::Basic)
+                .run(&mut rng)
+                .unwrap();
+            let mut report = BenchReport::new("smoke");
+            report.push_query(
+                "shard-scaling",
+                &[("shards", "2".into())],
+                Duration::from_millis(1),
+                &QueryResult::from(outcome),
+            );
+            let json = report.to_json();
+            assert!(json.contains("\"shard_stages\": ["));
+            assert!(json.contains("\"shard\": 0"));
+            assert!(json.contains("\"shard\": 1"));
+            assert!(json.contains("\"stage\": \"shard top-k\""));
         }
     }
 }

@@ -68,6 +68,45 @@ impl PackingKind {
     }
 }
 
+/// Shape of the sharded encrypted data plane (see `DESIGN.md`, "Sharded
+/// data plane").
+///
+/// `shards` partitions every dataset's records round-robin into that many
+/// [`crate::EncryptedDatabase`] shards; a query then runs as a *scatter*
+/// (per-shard distance computation and candidate selection) followed by a
+/// *gather* (a merge over the ≤ k·S surviving candidates). `sessions`
+/// controls how many independent C2 key-holder sessions the engine stands
+/// up; shards are pinned to sessions round-robin (shard `s` → session
+/// `s mod sessions`), so with `sessions > 1` the scatter stages of one
+/// query genuinely overlap on the wire instead of pipelining through one
+/// connection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ShardingConfig {
+    /// Shards per dataset (clamped to ≥ 1). `1` reproduces the paper's
+    /// monolithic single-scan protocols exactly.
+    pub shards: usize,
+    /// Independent C2 key-holder sessions (clamped to ≥ 1). Only remote
+    /// transports gain from extra sessions; an in-process C2 is called
+    /// directly either way.
+    pub sessions: usize,
+}
+
+impl ShardingConfig {
+    /// The unsharded, single-session configuration (the paper's shape).
+    pub fn monolithic() -> Self {
+        ShardingConfig {
+            shards: 1,
+            sessions: 1,
+        }
+    }
+}
+
+impl Default for ShardingConfig {
+    fn default() -> Self {
+        ShardingConfig::monolithic()
+    }
+}
+
 /// Configuration for [`crate::Federation::setup`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FederationConfig {
@@ -125,6 +164,10 @@ pub struct FederationConfig {
     /// 40 is the conventional default; tests with tiny keys lower it to
     /// make room for slots.
     pub packing_blind_bits: usize,
+    /// The sharded data plane: how many shards each dataset is partitioned
+    /// into and how many independent C2 sessions serve them. The default
+    /// ([`ShardingConfig::monolithic`]) reproduces the paper exactly.
+    pub sharding: ShardingConfig,
 }
 
 impl Default for FederationConfig {
@@ -141,6 +184,7 @@ impl Default for FederationConfig {
             pool_prewarm: 64,
             packing: PackingKind::Off,
             packing_blind_bits: 40,
+            sharding: ShardingConfig::default(),
         }
     }
 }
@@ -170,6 +214,9 @@ mod tests {
         assert!(c.pool_prewarm <= c.pool.capacity);
         assert_eq!(c.packing, PackingKind::Off);
         assert_eq!(c.packing_blind_bits, 40);
+        assert_eq!(c.sharding, ShardingConfig::monolithic());
+        assert_eq!(c.sharding.shards, 1);
+        assert_eq!(c.sharding.sessions, 1);
     }
 
     #[test]

@@ -16,6 +16,19 @@ pub type EncryptedRecord = Vec<Ciphertext>;
 /// physical index (so indices stay stable for the owner) but are skipped
 /// by every query protocol; see `DESIGN.md` ("Engine façade & dataset
 /// lifecycle") for why this leaks nothing beyond the update event itself.
+///
+/// # Sharding
+///
+/// The database is partitioned into `shards` **shards** so the staged
+/// query executor ([`crate::exec`]) can scatter per-shard work across
+/// independent C2 sessions. Placement is round-robin over the physical
+/// index — record `i` belongs to shard `i mod shards` — which keeps
+/// placement a pure function of the index: appends route to the owning
+/// shard automatically, shards stay balanced (sizes differ by at most
+/// one), and no per-record placement table has to be stored or shipped.
+/// Each shard exposes its own live/tombstone view through [`ShardView`];
+/// with `shards == 1` (the default) the single shard *is* the whole
+/// database and the query path is exactly the paper's.
 #[derive(Clone, Debug)]
 pub struct EncryptedDatabase {
     records: Vec<EncryptedRecord>,
@@ -23,6 +36,8 @@ pub struct EncryptedDatabase {
     live: Vec<bool>,
     tombstones: usize,
     attributes: usize,
+    /// Number of shards the records are partitioned into (≥ 1).
+    shards: usize,
     public_key: PublicKey,
 }
 
@@ -45,8 +60,53 @@ impl EncryptedDatabase {
             live,
             tombstones: 0,
             attributes,
+            shards: 1,
             public_key,
         }
+    }
+
+    /// Re-partitions the database into `shards` shards (clamped to at
+    /// least 1). Placement is derived from the physical index alone
+    /// (`i mod shards`), so resharding is free — no ciphertext moves.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.set_shards(shards);
+        self
+    }
+
+    /// In-place form of [`EncryptedDatabase::with_shards`].
+    pub fn set_shards(&mut self, shards: usize) {
+        self.shards = shards.max(1);
+    }
+
+    /// Number of shards the records are partitioned into.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard that owns physical index `i` (round-robin placement).
+    pub fn shard_of(&self, i: usize) -> usize {
+        i % self.shards
+    }
+
+    /// Borrows one shard's view of the database.
+    ///
+    /// # Panics
+    /// Panics when `shard >= self.shard_count()`.
+    pub fn shard(&self, shard: usize) -> ShardView<'_> {
+        assert!(
+            shard < self.shards,
+            "shard {shard} out of range for {} shards",
+            self.shards
+        );
+        ShardView { db: self, shard }
+    }
+
+    /// All shard views, in shard order.
+    pub fn shard_views(&self) -> Vec<ShardView<'_>> {
+        (0..self.shards)
+            .map(|s| ShardView { db: self, shard: s })
+            .collect()
     }
 
     /// Number of physical records, live and tombstoned (`n` plus retired
@@ -135,6 +195,57 @@ impl EncryptedDatabase {
     /// The public key the records are encrypted under.
     pub fn public_key(&self) -> &PublicKey {
         &self.public_key
+    }
+}
+
+/// One shard's read view of an [`EncryptedDatabase`] — the unit of work
+/// the staged executor ([`crate::exec`]) scatters across C2 sessions.
+///
+/// A view exposes exactly the shard's *live* records (tombstoned records
+/// are filtered here, before any protocol message is formed), always in
+/// ascending physical-index order so per-shard results merge back into the
+/// database's global ordering deterministically.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardView<'a> {
+    db: &'a EncryptedDatabase,
+    shard: usize,
+}
+
+impl<'a> ShardView<'a> {
+    /// This view's shard id.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// The database this view is over.
+    pub fn database(&self) -> &'a EncryptedDatabase {
+        self.db
+    }
+
+    /// The one definition of "this shard's live records": physical indices
+    /// in ascending order. Every accessor below derives from it.
+    fn live_iter(&self) -> impl Iterator<Item = usize> + 'a {
+        let db = self.db;
+        (self.shard..db.records.len())
+            .step_by(db.shards)
+            .filter(move |&i| db.live[i])
+    }
+
+    /// Physical indices of this shard's live records, ascending.
+    pub fn live_indices(&self) -> Vec<usize> {
+        self.live_iter().collect()
+    }
+
+    /// Number of live records in this shard.
+    pub fn num_live(&self) -> usize {
+        self.live_iter().count()
+    }
+
+    /// Iterates this shard's live records as `(physical index, record)`,
+    /// in ascending physical-index order.
+    pub fn records(&self) -> impl Iterator<Item = (usize, &'a EncryptedRecord)> + 'a {
+        let db = self.db;
+        self.live_iter().map(move |i| (i, &db.records[i]))
     }
 }
 
@@ -252,6 +363,67 @@ mod tests {
                 got: 2
             })
         );
+    }
+
+    #[test]
+    fn round_robin_sharding_partitions_the_live_view() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let (pk, _) = Keypair::generate(64, &mut rng).split();
+        let enc = |v: u64, rng: &mut StdRng| vec![pk.encrypt_u64(v, rng)];
+        let records: Vec<_> = (0..7).map(|v| enc(v, &mut rng)).collect();
+        let mut db = EncryptedDatabase::from_records(records, pk.clone()).with_shards(3);
+        assert_eq!(db.shard_count(), 3);
+        assert_eq!(db.shard_of(0), 0);
+        assert_eq!(db.shard_of(4), 1);
+        assert_eq!(db.shard(0).live_indices(), vec![0, 3, 6]);
+        assert_eq!(db.shard(1).live_indices(), vec![1, 4]);
+        assert_eq!(db.shard(2).live_indices(), vec![2, 5]);
+
+        // The shard views partition the global live view exactly.
+        let mut union: Vec<usize> = db
+            .shard_views()
+            .iter()
+            .flat_map(|v| v.live_indices())
+            .collect();
+        union.sort_unstable();
+        assert_eq!(union, db.live_indices());
+
+        // Appends land in the owning shard (7 mod 3 = 1); tombstones are
+        // reflected in that shard's view only.
+        let idx = db.append_record(enc(7, &mut rng)).unwrap();
+        assert_eq!(db.shard_of(idx), 1);
+        assert_eq!(db.shard(1).live_indices(), vec![1, 4, 7]);
+        db.tombstone(4).unwrap();
+        assert_eq!(db.shard(1).live_indices(), vec![1, 7]);
+        assert_eq!(db.shard(1).num_live(), 2);
+        assert_eq!(db.shard(0).live_indices(), vec![0, 3, 6]);
+
+        // Iteration yields (physical index, record) pairs in order.
+        let pairs: Vec<usize> = db
+            .shard(1)
+            .records()
+            .map(|(i, r)| {
+                assert_eq!(r.len(), 1);
+                i
+            })
+            .collect();
+        assert_eq!(pairs, vec![1, 7]);
+        assert_eq!(db.shard(1).database().num_records(), 8);
+
+        // Degenerate shard counts clamp to one shard spanning everything.
+        let db = db.with_shards(0);
+        assert_eq!(db.shard_count(), 1);
+        assert_eq!(db.shard(0).live_indices(), db.live_indices());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_shard_panics() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let (pk, _) = Keypair::generate(64, &mut rng).split();
+        let db =
+            EncryptedDatabase::from_records(vec![vec![pk.encrypt_u64(1, &mut rng)]], pk.clone());
+        let _ = db.shard(1);
     }
 
     #[test]

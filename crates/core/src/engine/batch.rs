@@ -1,15 +1,18 @@
 //! Batch query submission.
 //!
 //! The paper's evaluation times one query at a time; a deployment serving
-//! many users wants to push *batches* through the machinery PRs 1–3 built:
-//! the pipelined session client keeps every worker's requests in flight on
-//! one C2 connection, request coalescing merges small concurrent batches
-//! into shared round trips, and the offline randomness pools absorb the
-//! encryption spikes. [`SknnEngine::run_batch`] fans whole queries out
-//! across the engine's [`crate::ParallelismConfig`] threads, preferring
-//! inter-query parallelism (higher aggregate throughput) and handing any
-//! leftover thread budget to the queries' own record-parallel stages when
-//! the batch is smaller than the thread count.
+//! many users wants to push *batches* through the machinery the earlier
+//! PRs built: the pipelined session clients keep every worker's requests
+//! in flight, request coalescing merges small concurrent batches into
+//! shared round trips, and the offline randomness pools absorb the
+//! encryption spikes. [`SknnEngine::run_batch`] schedules **shard-stage
+//! tasks**, not whole queries: the outer fan-out runs queries
+//! concurrently, and each query's scatter half ([`crate::exec`]) fans its
+//! per-shard SSED/candidate stages across the remaining thread budget and
+//! onto the shard-pinned C2 sessions. With `b` queries over `S` shards the
+//! pool therefore schedules up to `b·S` independent scatter tasks — a
+//! batch of one over a sharded dataset saturates the thread pool just
+//! like a large batch over an unsharded one.
 
 use super::{PreparedQuery, SknnEngine};
 use crate::parallel::{parallel_map, ParallelismConfig};
@@ -53,9 +56,11 @@ impl SknnEngine {
     /// sequential run — both answers are correct kNN sets.
     ///
     /// When the batch has fewer queries than configured threads, the
-    /// leftover budget goes to the queries' own record-parallel stages
-    /// (`threads / batch` each), so a batch of one performs like
-    /// [`SknnEngine::run`].
+    /// leftover budget (`⌈threads / batch⌉` per query) goes to each
+    /// query's own shard-stage fan-out — per-shard scatter tasks first,
+    /// then the record-parallel loops within a shard — so a batch of one
+    /// performs like [`SknnEngine::run`] and a sharded dataset keeps every
+    /// thread busy even at batch size one.
     ///
     /// Per-query failures (e.g. a dataset removed after the query was
     /// built, or a protocol-level transport error) are reported in the
@@ -67,8 +72,12 @@ impl SknnEngine {
     ) -> Vec<Result<QueryOutcome, SknnError>> {
         let seeds: Vec<u64> = queries.iter().map(|_| rng.gen()).collect();
         let threads = self.parallelism().threads;
+        // Ceiling, not floor: with e.g. 4 threads and 3 queries a floor
+        // would strand a thread while sharded scatter tasks queue behind
+        // serial queries. Mild oversubscription is cheap — the shard tasks
+        // spend most of their wall time waiting on C2 round trips.
         let inner = ParallelismConfig {
-            threads: (threads / queries.len().max(1)).max(1),
+            threads: threads.div_ceil(queries.len().max(1)).max(1),
         };
         parallel_map(threads, queries, |i, query| {
             let mut query_rng = StdRng::seed_from_u64(seeds[i]);

@@ -11,12 +11,19 @@
 //!
 //! ```text
 //!  SknnEngine
-//!    ├─ dataset registry      name → { EncryptedDatabase, packing, l }
+//!    ├─ dataset registry      name → { EncryptedDatabase (sharded), packing, l }
 //!    ├─ QueryBuilder          engine.query("heart").k(5).point(&q).build()?
-//!    ├─ run / run_batch       fan-out across ParallelismConfig threads,
-//!    │                        one shared (pipelined) C2 session
+//!    ├─ run / run_batch       scatter–gather plans over ShardingConfig.shards
+//!    │                        shards, pinned round-robin onto
+//!    │                        ShardingConfig.sessions independent C2 sessions
 //!    └─ append / tombstone    DataOwner::encrypt_record → C1 grows/shrinks
 //! ```
+//!
+//! [`crate::ShardingConfig`] selects the data-plane shape: every dataset
+//! is partitioned into `shards` round-robin shards at registration, and
+//! the engine stands up `sessions` independent C2 key-holder sessions so a
+//! query's per-shard scatter stages overlap on the wire. The default
+//! (1 shard, 1 session) reproduces the paper's monolithic scan exactly.
 //!
 //! All datasets live under one Paillier key pair (one data owner per
 //! deployment — the paper's Alice), so cloud C2 still holds exactly one
@@ -35,6 +42,7 @@ pub use batch::QueryOutcome;
 pub use builder::{PreparedQuery, Protocol, QueryBuilder};
 
 use crate::config::{FederationConfig, PackingKind, SecureQueryParams, TransportKind};
+use crate::exec::SessionSet;
 use crate::parallel::ParallelismConfig;
 use crate::profile::PoolActivity;
 use crate::roles::{CloudC1, DataOwner, QueryUser};
@@ -43,39 +51,51 @@ use rand::RngCore;
 use sknn_paillier::{PoolConfig, PoolStats, PooledEncryptor, PublicKey, RandomnessPool};
 use sknn_protocols::stats::CommSnapshot;
 use sknn_protocols::transport::{
-    serve, CoalesceConfig, SessionKeyHolder, TcpTransport, TransportError,
+    serve, CoalesceConfig, SessionKeyHolder, SessionPool, TcpTransport,
 };
 use sknn_protocols::{KeyHolder, LocalKeyHolder, PackedParams};
 use std::collections::BTreeMap;
 use std::net::TcpListener;
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
-/// The deployment's handle on cloud C2.
+/// The deployment's handle on cloud C2: one or more independent key-holder
+/// sessions (shards are pinned to sessions round-robin by the executor).
 pub(crate) enum C2Handle {
-    /// C2 runs in-process and is called directly.
-    Local(Box<LocalKeyHolder>),
-    /// C2 runs behind a transport (channel or TCP). Dropping the client
-    /// hangs up the connection, which makes the (detached) server thread
-    /// exit on its own.
-    Session {
-        client: Box<SessionKeyHolder>,
-        _server: JoinHandle<Result<(), TransportError>>,
-    },
+    /// C2 runs in-process and is called directly — one holder per
+    /// configured session (they share the secret key and the randomness
+    /// pool, so extra holders only decorrelate C2-side tie-breaking).
+    Local(Vec<LocalKeyHolder>),
+    /// C2 runs behind a transport (channel or TCP): a pool of independent
+    /// connections. Dropping the pool hangs up every session and reaps the
+    /// server threads.
+    Pool(SessionPool),
 }
 
 impl C2Handle {
+    /// The primary session (unsharded queries, gather and finalize).
     pub(crate) fn key_holder(&self) -> &dyn KeyHolder {
         match self {
-            C2Handle::Local(holder) => holder.as_ref(),
-            C2Handle::Session { client, .. } => client.as_ref(),
+            C2Handle::Local(holders) => &holders[0],
+            C2Handle::Pool(pool) => pool.session(0),
+        }
+    }
+
+    /// Every session, in shard-pinning order.
+    pub(crate) fn key_holders(&self) -> Vec<&dyn KeyHolder> {
+        match self {
+            C2Handle::Local(holders) => holders.iter().map(|h| h as &dyn KeyHolder).collect(),
+            C2Handle::Pool(pool) => pool
+                .sessions()
+                .iter()
+                .map(|s| s as &dyn KeyHolder)
+                .collect(),
         }
     }
 
     pub(crate) fn comm_snapshot(&self) -> Option<CommSnapshot> {
         match self {
             C2Handle::Local(_) => None,
-            C2Handle::Session { client, .. } => Some(client.stats().snapshot()),
+            C2Handle::Pool(pool) => Some(pool.comm_snapshot()),
         }
     }
 }
@@ -135,6 +155,12 @@ impl Dataset {
     /// packing is off or infeasible under [`PackingKind::Auto`]).
     pub fn packing(&self) -> Option<&PackedParams> {
         self.c1.packing()
+    }
+
+    /// Number of shards this dataset's records are partitioned into
+    /// (from [`crate::ShardingConfig`] at registration time).
+    pub fn shards(&self) -> usize {
+        self.c1.database().shard_count()
     }
 
     /// Cloud C1's view of this dataset (for driving the lower-level API
@@ -241,11 +267,29 @@ impl SknnEngine {
         };
         let pooling = config.pool.capacity > 0;
         let c1_pool = pooling.then(|| pool_for(0xC1));
+        // One offline pool serves every C2 session: the holders share the
+        // secret key, so sharing the precomputed `r^N` units is safe and
+        // keeps the prewarm cost independent of the session count.
+        let c2_pool = pooling.then(|| pool_for(0xC2));
 
-        let mut holder = LocalKeyHolder::new(owner.private_key().clone(), config.c2_seed);
-        if pooling {
-            holder = holder.with_pool(pool_for(0xC2));
-        }
+        let sessions = config.sharding.sessions.max(1);
+        // Session 0 keeps the configured seed exactly (bit-compatible with
+        // single-session deployments); extra sessions derive distinct
+        // streams so their tie-breaking randomness is uncorrelated.
+        let holder_for = |i: usize| {
+            let seed = if i == 0 {
+                config.c2_seed
+            } else {
+                config
+                    .c2_seed
+                    .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64))
+            };
+            let mut holder = LocalKeyHolder::new(owner.private_key().clone(), seed);
+            if let Some(pool) = &c2_pool {
+                holder = holder.with_pool(Arc::clone(pool));
+            }
+            holder
+        };
         let workers = config.threads.max(1);
         // A serial C1 has nothing to merge with: coalescing would only add
         // the collection-window latency to every round trip.
@@ -255,42 +299,48 @@ impl SknnEngine {
             CoalesceConfig::disabled()
         };
         let c2 = match config.transport {
-            TransportKind::InProcess => C2Handle::Local(Box::new(holder)),
-            TransportKind::Channel => {
-                let (client, server) =
-                    SessionKeyHolder::spawn_in_process(holder, workers, coalesce);
-                C2Handle::Session {
-                    client: Box::new(client),
-                    _server: server,
-                }
-            }
+            TransportKind::InProcess => C2Handle::Local((0..sessions).map(holder_for).collect()),
+            TransportKind::Channel => C2Handle::Pool(SessionPool::spawn_in_process(
+                holder_for, sessions, workers, coalesce,
+            )),
             TransportKind::Tcp => {
-                let listener = TcpListener::bind("127.0.0.1:0")
-                    .map_err(|e| transport_setup_error(&e.to_string()))?;
-                let addr = listener
-                    .local_addr()
-                    .map_err(|e| transport_setup_error(&e.to_string()))?;
-                let server = std::thread::Builder::new()
-                    .name("sknn-c2-tcp".into())
-                    .spawn(move || {
-                        let server_end = TcpTransport::accept(&listener)?;
-                        serve(&server_end, &holder, workers)
-                    })
-                    .expect("spawn key-holder server thread");
-                let transport = TcpTransport::connect(addr).map_err(|e| {
-                    // Unblock the accept() so the server thread (and its
-                    // copy of the private key) does not leak: a throwaway
-                    // connection that drops immediately reads as a clean
-                    // hang-up in serve().
-                    let _ = std::net::TcpStream::connect(addr);
-                    transport_setup_error(&e.to_string())
-                })?;
-                let client =
-                    SessionKeyHolder::connect(public_key.clone(), Arc::new(transport), coalesce);
-                C2Handle::Session {
-                    client: Box::new(client),
-                    _server: server,
+                // One listener (and server thread) per session: the
+                // connections are fully independent wires, which is the
+                // point of a multi-session deployment.
+                let mut clients = Vec::with_capacity(sessions);
+                let mut servers = Vec::with_capacity(sessions);
+                for i in 0..sessions {
+                    let holder = holder_for(i);
+                    let listener = TcpListener::bind("127.0.0.1:0")
+                        .map_err(|e| transport_setup_error(&e.to_string()))?;
+                    let addr = listener
+                        .local_addr()
+                        .map_err(|e| transport_setup_error(&e.to_string()))?;
+                    let server = std::thread::Builder::new()
+                        .name(format!("sknn-c2-tcp-{i}"))
+                        .spawn(move || {
+                            let server_end = TcpTransport::accept(&listener)?;
+                            serve(&server_end, &holder, workers)
+                        })
+                        .expect("spawn key-holder server thread");
+                    servers.push(server);
+                    let transport = TcpTransport::connect(addr).map_err(|e| {
+                        // Unblock every pending accept() so no server
+                        // thread (each holding a copy of the private key)
+                        // leaks: a throwaway connection that drops
+                        // immediately reads as a clean hang-up in serve().
+                        // Already-connected sessions hang up when `clients`
+                        // drops below.
+                        let _ = std::net::TcpStream::connect(addr);
+                        transport_setup_error(&e.to_string())
+                    })?;
+                    clients.push(SessionKeyHolder::connect(
+                        public_key.clone(),
+                        Arc::new(transport),
+                        coalesce,
+                    ));
                 }
+                C2Handle::Pool(SessionPool::from_parts(clients, servers))
             }
         };
 
@@ -367,7 +417,10 @@ impl SknnEngine {
         }
         let packing = derive_packing(&self.config, distance_bits)?;
 
-        let db = self.owner.encrypt_table(table, rng)?;
+        let db = self
+            .owner
+            .encrypt_table(table, rng)?
+            .with_shards(self.config.sharding.shards);
         let mut c1 = CloudC1::new(db);
         if let Some(pool) = &self.c1_pool {
             c1 = c1.with_encryptor(PooledEncryptor::new(Arc::clone(pool)));
@@ -519,16 +572,15 @@ impl SknnEngine {
         let comm_before = self.comm_stats();
         let pool_before = self.pool_stats();
         let enc_q = self.user.encrypt_query(query.point(), rng)?;
+        let sessions = SessionSet::new(self.c2.key_holders());
         let (masked, mut profile, audit) = match query.protocol() {
-            Protocol::Basic => dataset.c1.process_basic(
-                self.c2.key_holder(),
-                &enc_q,
-                query.k(),
-                parallelism,
-                rng,
-            )?,
-            Protocol::Secure => dataset.c1.process_secure(
-                self.c2.key_holder(),
+            Protocol::Basic => {
+                dataset
+                    .c1
+                    .process_basic_sharded(&sessions, &enc_q, query.k(), parallelism, rng)?
+            }
+            Protocol::Secure => dataset.c1.process_secure_sharded(
+                &sessions,
                 &enc_q,
                 SecureQueryParams {
                     k: query.k(),
@@ -575,6 +627,27 @@ impl SknnEngine {
     /// [`TransportKind::InProcess`]).
     pub fn comm_stats(&self) -> Option<CommSnapshot> {
         self.c2.comm_snapshot()
+    }
+
+    /// The sharding shape this deployment was stood up with.
+    pub fn sharding(&self) -> crate::ShardingConfig {
+        self.config.sharding
+    }
+
+    /// Number of independent C2 key-holder sessions this deployment runs.
+    pub fn num_sessions(&self) -> usize {
+        self.c2.key_holders().len()
+    }
+
+    /// Synchronously tops up both clouds' offline randomness pools to
+    /// `entries` precomputed units each (a no-op when pooling is
+    /// disabled). Benchmarks call this between configurations so every
+    /// measurement starts from the same warm-pool state instead of the
+    /// drained state the previous configuration left behind.
+    pub fn prewarm_pools(&self, entries: usize) {
+        for pool in &self.pools {
+            pool.prewarm(entries);
+        }
     }
 
     /// Cumulative offline-randomness-pool counters, summed over both

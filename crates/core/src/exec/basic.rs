@@ -1,0 +1,142 @@
+//! SkNN_b as a staged plan (Algorithm 5, scatter–gather form).
+//!
+//! The paper's protocol ships every encrypted distance to C2 in one
+//! exchange; the sharded plan scatters SSED and a per-shard top-k exchange
+//! across the shard-pinned sessions, then gathers: one more top-k over the
+//! ≤ k·S surviving candidates' *scalar* distance ciphertexts on the
+//! primary session. Because C2 decrypts the same distance values either
+//! way and both the per-shard and the merge selections order by
+//! (distance, physical index), the result — including tie-breaks — is
+//! identical to the monolithic scan.
+
+use super::stages::{BasicCandidate, FinalizeStage, SsedStage, TopKStage};
+use super::SessionSet;
+use crate::meter::OpMeter;
+use crate::parallel::{parallel_map, ParallelismConfig};
+use crate::profile::{QueryProfile, Stage};
+use crate::roles::CloudC1;
+use crate::{AccessPatternAudit, EncryptedQuery, MaskedResult, SknnError};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use sknn_paillier::Ciphertext;
+use sknn_protocols::KeyHolder;
+
+/// Runs the full SkNN_b plan over the given sessions (see the module
+/// docs): monolithic when at most one shard holds live records,
+/// scatter–gather otherwise.
+pub(crate) fn execute_basic<R: RngCore + ?Sized>(
+    c1: &CloudC1,
+    sessions: &SessionSet<'_>,
+    query: &EncryptedQuery,
+    k: usize,
+    parallelism: ParallelismConfig,
+    rng: &mut R,
+) -> Result<(MaskedResult, QueryProfile, AccessPatternAudit), SknnError> {
+    c1.validate_query(query, k)?;
+    let db = c1.database();
+    let mut profile = QueryProfile::new();
+
+    // Tombstoned records are excluded before any protocol message is
+    // formed: the protocol run is indistinguishable from one over a
+    // database that never contained them. Shards tombstoning emptied drop
+    // out of the plan.
+    let views: Vec<_> = db
+        .shard_views()
+        .into_iter()
+        .filter(|v| v.num_live() > 0)
+        .collect();
+
+    // ── Monolithic plan: one populated shard is the paper's Algorithm 5 ──
+    if views.len() <= 1 {
+        let c2 = sessions.primary();
+        let meter = OpMeter::new(c2);
+        let live = db.live_indices();
+
+        // Step 2: E(d_i) ← SSED(E(Q), E(t_i)) for every live record.
+        let distances = profile.time(Stage::DistanceComputation, || {
+            SsedStage::for_basic(c1, parallelism).run(&meter, query, live, rng)
+        })?;
+        profile.record_ops(Stage::DistanceComputation, meter.take());
+
+        // Step 3: C2 decrypts the distances and returns the top-k index
+        // list δ.
+        let top_k = profile.time(Stage::RecordSelection, || {
+            TopKStage::new(k).run(c1, &meter, &distances)
+        })?;
+        profile.record_ops(Stage::RecordSelection, meter.take());
+
+        // Steps 4–6: mask the chosen records and produce Bob's two shares.
+        // `top_k` indexes the live view; map back to physical indices.
+        let top_k_physical: Vec<usize> = top_k.iter().map(|&i| distances.live[i]).collect();
+        let chosen: Vec<Vec<Ciphertext>> = top_k_physical
+            .iter()
+            .map(|&i| db.record(i).clone())
+            .collect();
+        let masked = profile.time(Stage::Finalization, || {
+            FinalizeStage.run(c1, &meter, &chosen, rng)
+        });
+        profile.record_ops(Stage::Finalization, meter.take());
+
+        let audit = AccessPatternAudit::basic_protocol(&top_k_physical);
+        return Ok((masked, profile, audit));
+    }
+
+    // ── Scatter: per-shard SSED + top-k candidates on pinned sessions ──
+    let seeds: Vec<u64> = views.iter().map(|_| rng.gen()).collect();
+    // Ceiling for the same reason run_batch uses it: floor would strand
+    // threads whenever shards don't divide the budget evenly.
+    let inner = ParallelismConfig {
+        threads: parallelism.threads.div_ceil(views.len()).max(1),
+    };
+    let shard_outs = parallel_map(parallelism.threads, &views, |i, view| {
+        let mut shard_rng = StdRng::seed_from_u64(seeds[i]);
+        let shard = view.shard();
+        let c2 = sessions.for_shard(shard);
+        let meter = OpMeter::new(c2);
+        let mut p = QueryProfile::new();
+
+        let distances = p.time(Stage::DistanceComputation, || {
+            SsedStage::for_basic(c1, inner).run(&meter, query, view.live_indices(), &mut shard_rng)
+        })?;
+        p.record_shard_ops(shard, Stage::DistanceComputation, meter.take());
+
+        let candidates = p.time(Stage::ShardCandidates, || {
+            TopKStage::new(k).candidates(c1, &meter, query, &distances, &mut shard_rng)
+        })?;
+        p.record_shard_ops(shard, Stage::ShardCandidates, meter.take());
+        Ok::<_, SknnError>((p, candidates))
+    });
+
+    let mut candidates: Vec<BasicCandidate> = Vec::new();
+    for out in shard_outs {
+        let (p, shard_candidates) = out?;
+        profile.merge(&p);
+        candidates.extend(shard_candidates);
+    }
+
+    // ── Gather: one top-k over the ≤ k·S candidates on the primary
+    // session. Sorting by physical index restores the monolithic scan's
+    // (distance, storage position) total order, so equal-distance
+    // tie-breaks match it exactly.
+    candidates.sort_by_key(|c| c.physical);
+    let c2 = sessions.primary();
+    let meter = OpMeter::new(c2);
+    let merge_cts: Vec<Ciphertext> = candidates.iter().map(|c| c.distance.clone()).collect();
+    let top = profile.time(Stage::RecordSelection, || {
+        meter.top_k_indices(&merge_cts, k)
+    });
+    profile.record_ops(Stage::RecordSelection, meter.take());
+
+    let top_k_physical: Vec<usize> = top.iter().map(|&i| candidates[i].physical).collect();
+    let chosen: Vec<Vec<Ciphertext>> = top_k_physical
+        .iter()
+        .map(|&i| db.record(i).clone())
+        .collect();
+    let masked = profile.time(Stage::Finalization, || {
+        FinalizeStage.run(c1, &meter, &chosen, rng)
+    });
+    profile.record_ops(Stage::Finalization, meter.take());
+
+    let audit = AccessPatternAudit::basic_protocol(&top_k_physical);
+    Ok((masked, profile, audit))
+}

@@ -1,0 +1,217 @@
+//! The staged, sharded SkNN executor.
+//!
+//! The paper's protocols are a single linear scan: one function walks one
+//! table over one C1↔C2 conversation. This module decomposes both
+//! protocols into **stage operators** that run against one
+//! [`ShardView`](crate::EncryptedDatabase) each —
+//! [`SsedStage`] (secure squared distances), [`SbdStage`] (bit
+//! decomposition), [`TopKStage`] (SkNN_b candidate selection) and
+//! [`FinalizeStage`] (the two-share reveal) — and drives them as a
+//! **scatter–gather plan**:
+//!
+//! ```text
+//!             scatter (one task per shard, pinned session)        gather
+//!  SkNN_b:    SSED  →  per-shard top-k candidates        ─┐
+//!             SSED  →  per-shard top-k candidates        ─┼→ top-k over the
+//!             SSED  →  per-shard top-k candidates        ─┘  ≤ k·S candidates
+//!                                                            → finalize
+//!
+//!  SkNN_m:    SSED → SBD → k oblivious extraction rounds ─┐
+//!             SSED → SBD → k oblivious extraction rounds ─┼→ k SMIN_n/selection
+//!             SSED → SBD → k oblivious extraction rounds ─┘  rounds over the
+//!                                                            ≤ k·S candidates
+//!                                                            → finalize
+//! ```
+//!
+//! Every scatter task talks to the C2 session its shard is pinned to
+//! ([`SessionSet`]), so with multiple sessions the per-shard stages
+//! genuinely overlap on the wire. The gather runs on the primary session:
+//! for SkNN_b a plain top-k over the surviving candidates' distance
+//! ciphertexts, for SkNN_m the same oblivious SMIN_n/selection rounds as
+//! the paper — but over the `k·S` candidates instead of all `n` records.
+//! Results are bit-identical to the monolithic scan (ties aside — see the
+//! driver docs), and a database with one shard takes the monolithic path
+//! unchanged, so the paper's shape is the `shards = 1` special case rather
+//! than separate code. The leakage delta of the sharded plan (per-shard
+//! candidate counts, and nothing else) is analyzed in `DESIGN.md`
+//! ("Sharded data plane").
+
+mod basic;
+mod secure;
+mod stages;
+
+pub use stages::{FinalizeStage, SbdStage, ShardDistances, SsedStage, TopKStage};
+
+pub(crate) use basic::execute_basic;
+pub(crate) use secure::execute_secure;
+
+use sknn_paillier::{Ciphertext, PublicKey, SlotLayout};
+use sknn_protocols::{KeyHolder, ProtocolError, SminRoundResponse};
+
+/// The C2 key-holder sessions a query plan executes over, with the
+/// shard-to-session pinning.
+///
+/// Shard `s` is pinned to session `s mod sessions.len()`; the *primary*
+/// session (index 0) additionally runs the gather and finalize stages.
+/// A [`SessionSet::single`] set reproduces the pre-sharding behavior of
+/// one conversation carrying the whole query.
+pub struct SessionSet<'a> {
+    sessions: Vec<&'a dyn KeyHolder>,
+}
+
+impl<'a> SessionSet<'a> {
+    /// Wraps an explicit list of sessions.
+    ///
+    /// # Panics
+    /// Panics on an empty list — a query cannot run without C2.
+    pub fn new(sessions: Vec<&'a dyn KeyHolder>) -> Self {
+        assert!(
+            !sessions.is_empty(),
+            "a SessionSet needs at least one session"
+        );
+        SessionSet { sessions }
+    }
+
+    /// A set of one session: every shard (and the gather) uses `c2`.
+    pub fn single(c2: &'a dyn KeyHolder) -> Self {
+        SessionSet { sessions: vec![c2] }
+    }
+
+    /// Number of sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Always false (construction rejects empty sets); provided for
+    /// `len`/`is_empty` API symmetry.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// The session shard `shard` is pinned to.
+    pub fn for_shard(&self, shard: usize) -> &'a dyn KeyHolder {
+        self.sessions[shard % self.sessions.len()]
+    }
+
+    /// The primary session: runs unsharded queries, the gather merge and
+    /// the finalize stage.
+    pub fn primary(&self) -> &'a dyn KeyHolder {
+        self.sessions[0]
+    }
+}
+
+/// Adapts any `&K` into a [`Sized`] value that implements [`KeyHolder`],
+/// so generic `?Sized` entry points (the legacy `CloudC1::process_*`
+/// signatures) can build a `&dyn KeyHolder`-based [`SessionSet`] without
+/// an unsized coercion.
+pub(crate) struct DynKeyHolder<'a, K: KeyHolder + ?Sized>(pub &'a K);
+
+impl<K: KeyHolder + ?Sized> KeyHolder for DynKeyHolder<'_, K> {
+    fn public_key(&self) -> &PublicKey {
+        self.0.public_key()
+    }
+
+    fn sm_mask_multiply_batch(&self, pairs: &[(Ciphertext, Ciphertext)]) -> Vec<Ciphertext> {
+        self.0.sm_mask_multiply_batch(pairs)
+    }
+
+    fn lsb_of_masked_batch(&self, masked: &[Ciphertext]) -> Vec<Ciphertext> {
+        self.0.lsb_of_masked_batch(masked)
+    }
+
+    fn smin_round(
+        &self,
+        gamma_permuted: &[Ciphertext],
+        l_permuted: &[Ciphertext],
+    ) -> SminRoundResponse {
+        self.0.smin_round(gamma_permuted, l_permuted)
+    }
+
+    fn min_selection(&self, beta: &[Ciphertext]) -> Result<Vec<Ciphertext>, ProtocolError> {
+        self.0.min_selection(beta)
+    }
+
+    fn top_k_indices(&self, distances: &[Ciphertext], k: usize) -> Vec<usize> {
+        self.0.top_k_indices(distances, k)
+    }
+
+    fn decrypt_masked_batch(&self, masked: &[Ciphertext]) -> Vec<sknn_bigint::BigUint> {
+        self.0.decrypt_masked_batch(masked)
+    }
+
+    fn supports_packing(&self) -> bool {
+        self.0.supports_packing()
+    }
+
+    fn sm_packed_square_batch(
+        &self,
+        layout: &SlotLayout,
+        packed: &[Ciphertext],
+    ) -> Result<Vec<Ciphertext>, ProtocolError> {
+        self.0.sm_packed_square_batch(layout, packed)
+    }
+
+    fn sm_packed_multiply_batch(
+        &self,
+        layout: &SlotLayout,
+        pairs: &[(Ciphertext, Ciphertext)],
+    ) -> Result<Vec<Ciphertext>, ProtocolError> {
+        self.0.sm_packed_multiply_batch(layout, pairs)
+    }
+
+    fn lsb_packed_batch(
+        &self,
+        layout: &SlotLayout,
+        masked: &[Ciphertext],
+        slot_counts: &[usize],
+    ) -> Result<Vec<Ciphertext>, ProtocolError> {
+        self.0.lsb_packed_batch(layout, masked, slot_counts)
+    }
+
+    fn top_k_indices_packed(
+        &self,
+        layout: &SlotLayout,
+        packed: &[Ciphertext],
+        count: usize,
+        k: usize,
+    ) -> Result<Vec<usize>, ProtocolError> {
+        self.0.top_k_indices_packed(layout, packed, count, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sknn_paillier::Keypair;
+    use sknn_protocols::LocalKeyHolder;
+
+    #[test]
+    fn shard_to_session_pinning_is_round_robin() {
+        let mut rng = StdRng::seed_from_u64(701);
+        let (_, sk) = Keypair::generate(96, &mut rng).split();
+        let a = LocalKeyHolder::new(sk.clone(), 1);
+        let b = LocalKeyHolder::new(sk, 2);
+        let set = SessionSet::new(vec![&a, &b]);
+        let thin = |k: &dyn KeyHolder| k as *const dyn KeyHolder as *const ();
+        assert_eq!(set.len(), 2);
+        assert!(!set.is_empty());
+        assert_eq!(thin(set.for_shard(0)), thin(set.primary()));
+        assert_eq!(
+            thin(set.for_shard(1)),
+            &b as *const LocalKeyHolder as *const ()
+        );
+        assert_eq!(thin(set.for_shard(2)), thin(set.primary()));
+
+        let single = SessionSet::single(&a);
+        assert_eq!(single.len(), 1);
+        assert_eq!(thin(single.for_shard(7)), thin(single.primary()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one session")]
+    fn empty_session_set_rejected() {
+        let _ = SessionSet::new(Vec::new());
+    }
+}

@@ -238,10 +238,11 @@ impl Federation {
     /// # Errors
     /// Propagates validation errors (dimension mismatch, invalid `k`, bad `l`).
     #[deprecated(
-        since = "0.2.0",
+        since = "0.1.0",
         note = "use the engine's QueryBuilder with .distance_bits(l) instead: \
                 federation.engine().query(Federation::DATASET).k(k).point(q)\
-                .distance_bits(l).run(rng)"
+                .distance_bits(l).run(rng) — see the \"Deprecation registry\" \
+                section of the `sknn` facade crate docs"
     )]
     pub fn query_secure_with_bits<R: RngCore + ?Sized>(
         &self,

@@ -66,6 +66,7 @@ mod config;
 mod encdb;
 pub mod engine;
 mod error;
+pub mod exec;
 mod federation;
 mod meter;
 mod parallel;
@@ -77,12 +78,13 @@ mod sknn_secure;
 mod table;
 
 pub use audit::AccessPatternAudit;
-pub use config::{FederationConfig, PackingKind, SecureQueryParams, TransportKind};
-pub use encdb::{EncryptedDatabase, EncryptedQuery, EncryptedRecord, MaskedResult};
+pub use config::{FederationConfig, PackingKind, SecureQueryParams, ShardingConfig, TransportKind};
+pub use encdb::{EncryptedDatabase, EncryptedQuery, EncryptedRecord, MaskedResult, ShardView};
 pub use engine::{
     Dataset, DatasetOptions, PreparedQuery, Protocol, QueryBuilder, QueryOutcome, SknnEngine,
 };
 pub use error::{InvalidQueryReason, SknnError, UpdateRejected};
+pub use exec::SessionSet;
 pub use federation::{Federation, QueryResult};
 pub use parallel::ParallelismConfig;
 pub use plain::{plain_knn, plain_knn_records, squared_euclidean_distance};

@@ -13,7 +13,13 @@ pub enum Stage {
     DistanceComputation,
     /// Secure bit decomposition of every distance (SkNN_m only).
     BitDecomposition,
-    /// The k SMIN_n tournaments (SkNN_m only).
+    /// The scatter half of a sharded plan: per-shard top-k candidate
+    /// selection (SkNN_b's per-shard index exchange, or SkNN_m's per-shard
+    /// oblivious extraction rounds). Zero for unsharded queries.
+    ShardCandidates,
+    /// The k SMIN_n tournaments (SkNN_m only). In a sharded plan this is
+    /// the *gather* half: the tournaments run over the k·S surviving
+    /// candidates instead of all n records.
     SecureMinimum,
     /// Locating and extracting the winning record obliviously
     /// (steps 3(b)–3(d) of Algorithm 6), or the top-k index exchange of SkNN_b.
@@ -27,9 +33,10 @@ pub enum Stage {
 
 impl Stage {
     /// All stages in execution order.
-    pub const ALL: [Stage; 6] = [
+    pub const ALL: [Stage; 7] = [
         Stage::DistanceComputation,
         Stage::BitDecomposition,
+        Stage::ShardCandidates,
         Stage::SecureMinimum,
         Stage::RecordSelection,
         Stage::DistanceFreezing,
@@ -41,6 +48,7 @@ impl Stage {
         match self {
             Stage::DistanceComputation => "SSED",
             Stage::BitDecomposition => "SBD",
+            Stage::ShardCandidates => "shard top-k",
             Stage::SecureMinimum => "SMIN_n",
             Stage::RecordSelection => "selection",
             Stage::DistanceFreezing => "SBOR freeze",
@@ -115,12 +123,22 @@ impl OpCounters {
 }
 
 /// Wall-clock timings of one query, broken down by [`Stage`].
+///
+/// Stage durations are *summed over every task that ran the stage*: when
+/// a sharded plan runs its scatter tasks concurrently (or a parallel
+/// stage runs on several threads), a stage's accumulated time can exceed
+/// the query's elapsed wall-clock time — the semantics are CPU-time-like,
+/// not elapsed-time. For comparisons across shard/thread configurations
+/// use the [`OpCounters`], which are scheduling-independent by
+/// construction.
 #[derive(Clone, Debug, Default)]
 pub struct QueryProfile {
     durations: Vec<(Stage, Duration)>,
     total: Duration,
     pool: PoolActivity,
     ops: Vec<(Stage, OpCounters)>,
+    /// Per-shard attribution of `ops`, populated by sharded plans.
+    shard_ops: Vec<(usize, Stage, OpCounters)>,
 }
 
 impl QueryProfile {
@@ -211,6 +229,54 @@ impl QueryProfile {
             .unwrap_or_default()
     }
 
+    /// Adds protocol-operation counters observed during `stage` on behalf
+    /// of one shard of a sharded plan. The counters land in the per-shard
+    /// table *and* in the regular per-stage totals, so [`QueryProfile::ops`]
+    /// stays the single source of truth for a stage's overall volume.
+    pub fn record_shard_ops(&mut self, shard: usize, stage: Stage, counters: OpCounters) {
+        self.record_ops(stage, counters);
+        if let Some(entry) = self
+            .shard_ops
+            .iter_mut()
+            .find(|(s, st, _)| *s == shard && *st == stage)
+        {
+            entry.2.add(counters);
+        } else {
+            self.shard_ops.push((shard, stage, counters));
+        }
+    }
+
+    /// Protocol-operation counters attributed to one shard during `stage`
+    /// (zero for unsharded queries, which have no per-shard attribution).
+    pub fn shard_stage_ops(&self, shard: usize, stage: Stage) -> OpCounters {
+        self.shard_ops
+            .iter()
+            .find(|(s, st, _)| *s == shard && *st == stage)
+            .map(|(_, _, c)| *c)
+            .unwrap_or_default()
+    }
+
+    /// Protocol-operation counters attributed to one shard, summed across
+    /// stages.
+    pub fn shard_ops(&self, shard: usize) -> OpCounters {
+        let mut total = OpCounters::default();
+        for (s, _, c) in &self.shard_ops {
+            if *s == shard {
+                total.add(*c);
+            }
+        }
+        total
+    }
+
+    /// The shard ids that contributed per-shard counters, ascending.
+    /// Empty for unsharded queries.
+    pub fn shards(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = self.shard_ops.iter().map(|(s, _, _)| *s).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
     /// Protocol-operation counters summed across all stages.
     pub fn total_ops(&self) -> OpCounters {
         let mut total = OpCounters::default();
@@ -221,13 +287,29 @@ impl QueryProfile {
     }
 
     /// Merges another profile into this one (used by the parallel executor to
-    /// fold per-thread measurements together).
+    /// fold per-thread and per-shard measurements together). Durations
+    /// add, so merging profiles of concurrently executed tasks produces
+    /// the CPU-time-like semantics documented on [`QueryProfile`].
     pub fn merge(&mut self, other: &QueryProfile) {
         for (stage, d) in &other.durations {
             self.record(*stage, *d);
         }
         for (stage, c) in &other.ops {
             self.record_ops(*stage, *c);
+        }
+        // The per-shard table merges directly: `other.ops` above already
+        // carries the shard contributions, so routing them through
+        // `record_shard_ops` would double-count the stage totals.
+        for (shard, stage, c) in &other.shard_ops {
+            if let Some(entry) = self
+                .shard_ops
+                .iter_mut()
+                .find(|(s, st, _)| s == shard && st == stage)
+            {
+                entry.2.add(*c);
+            } else {
+                self.shard_ops.push((*shard, *stage, *c));
+            }
         }
         self.record_pool(other.pool);
     }
@@ -340,9 +422,43 @@ mod tests {
 
     #[test]
     fn labels_and_order() {
-        assert_eq!(Stage::ALL.len(), 6);
+        assert_eq!(Stage::ALL.len(), 7);
         assert_eq!(Stage::SecureMinimum.label(), "SMIN_n");
+        assert_eq!(Stage::ShardCandidates.label(), "shard top-k");
+        assert!(Stage::ShardCandidates < Stage::SecureMinimum);
         let empty = QueryProfile::new();
         assert_eq!(empty.fraction(Stage::SecureMinimum), 0.0);
+    }
+
+    #[test]
+    fn shard_ops_attribute_and_feed_stage_totals() {
+        let counters = |to: u64| OpCounters {
+            ciphertexts_to_c2: to,
+            ciphertexts_from_c2: 1,
+            c2_decryptions: to,
+        };
+        let mut p = QueryProfile::new();
+        assert!(p.shards().is_empty());
+        p.record_shard_ops(0, Stage::ShardCandidates, counters(10));
+        p.record_shard_ops(1, Stage::ShardCandidates, counters(20));
+        p.record_shard_ops(1, Stage::ShardCandidates, counters(5));
+        p.record_shard_ops(1, Stage::DistanceComputation, counters(7));
+        assert_eq!(p.shards(), vec![0, 1]);
+        assert_eq!(
+            p.shard_stage_ops(1, Stage::ShardCandidates)
+                .ciphertexts_to_c2,
+            25
+        );
+        assert_eq!(p.shard_ops(1).ciphertexts_to_c2, 32);
+        assert_eq!(p.shard_ops(2), OpCounters::default());
+        // The stage totals include every shard's contribution exactly once.
+        assert_eq!(p.ops(Stage::ShardCandidates).ciphertexts_to_c2, 35);
+
+        // Merging keeps per-shard attribution without double counting.
+        let mut merged = QueryProfile::new();
+        merged.record_shard_ops(0, Stage::ShardCandidates, counters(1));
+        merged.merge(&p);
+        assert_eq!(merged.shard_ops(0).ciphertexts_to_c2, 11);
+        assert_eq!(merged.ops(Stage::ShardCandidates).ciphertexts_to_c2, 36);
     }
 }

@@ -209,6 +209,15 @@ impl CloudC1 {
         self.packing.as_ref()
     }
 
+    /// Re-partitions the hosted database into `shards` shards (clamped to
+    /// ≥ 1; see [`crate::EncryptedDatabase::with_shards`]), turning both
+    /// query protocols into scatter–gather plans over the shards.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.db.set_shards(shards);
+        self
+    }
+
     /// The packing parameters to use against a concrete key holder: `None`
     /// when packing is off, the key holder lacks the fast path, or (for the
     /// secure protocol, which passes its distance bit length) the layout

@@ -10,96 +10,22 @@
 //! (Figure 2(c)) — but it deliberately trades security for that speed: C2
 //! learns every plaintext distance, and both clouds learn which records were
 //! returned (the data-access pattern).
+//!
+//! The implementation lives in the staged executor ([`crate::exec`]): a
+//! single-shard database runs the monolithic scan above, a sharded one runs
+//! the scatter–gather plan (per-shard SSED + top-k candidates, then a merge
+//! over the ≤ k·S survivors) with bit-identical results.
 
-use crate::meter::OpMeter;
-use crate::parallel::{parallel_map, ParallelismConfig};
-use crate::profile::{QueryProfile, Stage};
+use crate::exec::{execute_basic, DynKeyHolder, SessionSet};
+use crate::parallel::ParallelismConfig;
+use crate::profile::QueryProfile;
 use crate::roles::CloudC1;
 use crate::{AccessPatternAudit, EncryptedQuery, MaskedResult, SknnError};
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
-use sknn_paillier::Ciphertext;
-use sknn_protocols::{packed_squared_distances, secure_squared_distance, KeyHolder, PackedParams};
-
-/// The encrypted distances of all records, in the representation the
-/// configured path produced: one ciphertext per record (scalar) or one per
-/// σ-record group (packed).
-pub(crate) enum Distances {
-    /// `distances[i] = E(dᵢ)`.
-    Scalar(Vec<Ciphertext>),
-    /// `groups[g]` packs the distances of records `g·σ .. g·σ + counts[g]`.
-    Packed {
-        /// One packed ciphertext per record group.
-        groups: Vec<Ciphertext>,
-        /// Used slots per group (all σ except possibly the last).
-        counts: Vec<usize>,
-    },
-}
-
-/// Computes the encrypted squared distance of every *live* record (`live`
-/// holds their physical indices), routing through the packed SSED when
-/// `packing` is set. Record groups (packed) or records (scalar) are
-/// independent, so both paths are parallel (Figure 3). Distance `i` of the
-/// output corresponds to the record at physical index `live[i]`.
-pub(crate) fn compute_distances<K: KeyHolder + ?Sized, R: RngCore + ?Sized>(
-    c1: &CloudC1,
-    c2: &K,
-    query: &EncryptedQuery,
-    packing: Option<&PackedParams>,
-    parallelism: ParallelismConfig,
-    live: &[usize],
-    rng: &mut R,
-) -> Result<Distances, SknnError> {
-    let pk = c1.public_key();
-    let n = live.len();
-    match packing {
-        Some(params) => {
-            let sigma = params.slots();
-            let group_ranges: Vec<(usize, usize)> = (0..n.div_ceil(sigma))
-                .map(|g| (g * sigma, n.min((g + 1) * sigma)))
-                .collect();
-            let seeds: Vec<u64> = (0..group_ranges.len()).map(|_| rng.gen()).collect();
-            let groups = parallel_map(parallelism.threads, &group_ranges, |g, &(lo, hi)| {
-                let mut thread_rng = StdRng::seed_from_u64(seeds[g]);
-                let records: Vec<&[Ciphertext]> = live[lo..hi]
-                    .iter()
-                    .map(|&i| c1.database().record(i).as_slice())
-                    .collect();
-                packed_squared_distances(
-                    pk,
-                    c2,
-                    query.attributes(),
-                    &records,
-                    params,
-                    &mut thread_rng,
-                    c1.encryptor(),
-                )
-            })
-            .into_iter()
-            .collect::<Result<Vec<_>, _>>()?;
-            Ok(Distances::Packed {
-                groups,
-                counts: group_ranges.iter().map(|&(lo, hi)| hi - lo).collect(),
-            })
-        }
-        None => {
-            let seeds: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
-            Ok(Distances::Scalar(parallel_map(
-                parallelism.threads,
-                live,
-                |i, &physical| {
-                    let mut thread_rng = StdRng::seed_from_u64(seeds[i]);
-                    let record = c1.database().record(physical);
-                    secure_squared_distance(pk, c2, query.attributes(), record, &mut thread_rng)
-                        .expect("database and query dimensions were validated")
-                },
-            )))
-        }
-    }
-}
+use rand::RngCore;
+use sknn_protocols::KeyHolder;
 
 impl CloudC1 {
-    /// Runs SkNN_b for the given encrypted query.
+    /// Runs SkNN_b for the given encrypted query over a single C2 session.
     ///
     /// Returns the two-share [`MaskedResult`] destined for Bob, the per-stage
     /// timing profile (including per-stage ciphertext and C2-decryption
@@ -121,53 +47,43 @@ impl CloudC1 {
         parallelism: ParallelismConfig,
         rng: &mut R,
     ) -> Result<(MaskedResult, QueryProfile, AccessPatternAudit), SknnError> {
-        self.validate_query(query, k)?;
-        let mut profile = QueryProfile::new();
-        let packing = self.effective_packing(c2, None);
-        let meter = OpMeter::new(c2);
-        // Tombstoned records are excluded before any protocol message is
-        // formed: the protocol run is indistinguishable from one over a
-        // database that never contained them.
-        let live = self.database().live_indices();
+        let adapter = DynKeyHolder(c2);
+        execute_basic(
+            self,
+            &SessionSet::single(&adapter),
+            query,
+            k,
+            parallelism,
+            rng,
+        )
+    }
 
-        // Step 2: E(d_i) ← SSED(E(Q), E(t_i)) for every live record.
-        let distances = profile.time(Stage::DistanceComputation, || {
-            compute_distances(self, &meter, query, packing, parallelism, &live, rng)
-        })?;
-        profile.record_ops(Stage::DistanceComputation, meter.take());
-
-        // Step 3: C2 decrypts the distances and returns the top-k index list δ.
-        let top_k = profile.time(Stage::RecordSelection, || match &distances {
-            Distances::Scalar(cts) => Ok(meter.top_k_indices(cts, k)),
-            Distances::Packed { groups, counts } => {
-                let params = packing.expect("packed distances imply packing parameters");
-                let count: usize = counts.iter().sum();
-                meter.top_k_indices_packed(&params.layout, groups, count, k)
-            }
-        })?;
-        profile.record_ops(Stage::RecordSelection, meter.take());
-
-        // Steps 4–6: mask the chosen records and produce Bob's two shares.
-        // `top_k` indexes the live view; map back to physical indices.
-        let top_k_physical: Vec<usize> = top_k.iter().map(|&i| live[i]).collect();
-        let chosen: Vec<_> = top_k_physical
-            .iter()
-            .map(|&i| self.database().record(i).clone())
-            .collect();
-        let masked = profile.time(Stage::Finalization, || {
-            self.mask_and_reveal(&meter, &chosen, rng)
-        });
-        profile.record_ops(Stage::Finalization, meter.take());
-
-        let audit = AccessPatternAudit::basic_protocol(&top_k_physical);
-        Ok((masked, profile, audit))
+    /// [`CloudC1::process_basic`] over an explicit session set: shards are
+    /// pinned to sessions round-robin, so a sharded database's scatter
+    /// stages overlap on the wire when the set holds more than one
+    /// session.
+    ///
+    /// # Errors
+    /// See [`CloudC1::process_basic`].
+    pub fn process_basic_sharded<R: RngCore + ?Sized>(
+        &self,
+        sessions: &SessionSet<'_>,
+        query: &EncryptedQuery,
+        k: usize,
+        parallelism: ParallelismConfig,
+        rng: &mut R,
+    ) -> Result<(MaskedResult, QueryProfile, AccessPatternAudit), SknnError> {
+        execute_basic(self, sessions, query, k, parallelism, rng)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::profile::Stage;
     use crate::{plain_knn_records, DataOwner, QueryUser, Table};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
     use sknn_protocols::LocalKeyHolder;
 
     fn setup(table: &Table) -> (CloudC1, LocalKeyHolder, QueryUser, StdRng) {
@@ -230,6 +146,38 @@ mod tests {
                 .unwrap();
             let records = user.recover_records(&masked);
             assert_eq!(records, plain_knn_records(&table, &query, k), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn sharded_plan_matches_the_monolithic_scan() {
+        let table = heart_disease_table();
+        let query = [58u64, 1, 4, 133, 196, 1, 2, 1, 6, 0];
+        let (mono_c1, c2, user, mut rng) = setup(&table);
+        let enc_q = user.encrypt_query(&query, &mut rng).unwrap();
+        let (mono, _, mono_audit) = mono_c1
+            .process_basic(&c2, &enc_q, 3, ParallelismConfig::serial(), &mut rng)
+            .unwrap();
+
+        for shards in [2usize, 3, 6] {
+            let sharded_c1 = mono_c1.clone().with_shards(shards);
+            let (masked, profile, audit) = sharded_c1
+                .process_basic(&c2, &enc_q, 3, ParallelismConfig::serial(), &mut rng)
+                .unwrap();
+            assert_eq!(
+                user.recover_records(&masked),
+                user.recover_records(&mono),
+                "shards = {shards}"
+            );
+            // Same physical winners in the same order, so the leaked
+            // access pattern is unchanged too.
+            assert_eq!(
+                audit.record_indices_revealed_to_c2,
+                mono_audit.record_indices_revealed_to_c2
+            );
+            // The scatter half is attributed per shard.
+            assert_eq!(profile.shards().len(), shards.min(6));
+            assert!(profile.ops(Stage::ShardCandidates).ciphertexts_to_c2 > 0);
         }
     }
 

@@ -13,25 +13,24 @@
 //! Neither cloud learns plaintext distances, which records were returned, or
 //! how the returned set maps to stored records — the hidden-access-pattern
 //! guarantee the paper's Section 4.3 argues for.
+//!
+//! The implementation lives in the staged executor ([`crate::exec`]): a
+//! single-shard database runs the paper's loop unchanged, a sharded one
+//! runs the scatter–gather plan — per-shard SSED + SBD + oblivious
+//! candidate extraction, then the same SMIN_n/selection rounds over only
+//! the ≤ k·S surviving candidates (leakage analysis in `DESIGN.md`).
 
 use crate::config::SecureQueryParams;
-use crate::meter::OpMeter;
-use crate::parallel::{parallel_map, ParallelismConfig};
-use crate::profile::{QueryProfile, Stage};
+use crate::exec::{execute_secure, DynKeyHolder, SessionSet};
+use crate::parallel::ParallelismConfig;
+use crate::profile::QueryProfile;
 use crate::roles::CloudC1;
-use crate::sknn_basic::{compute_distances, Distances};
 use crate::{AccessPatternAudit, EncryptedQuery, MaskedResult, SknnError};
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
-use sknn_bigint::{random_range, BigUint};
-use sknn_paillier::Ciphertext;
-use sknn_protocols::{
-    packed_bit_decompose, recompose_bits, secure_bit_decompose_with, secure_multiply_batch,
-    KeyHolder, Permutation,
-};
+use rand::RngCore;
+use sknn_protocols::KeyHolder;
 
 impl CloudC1 {
-    /// Runs SkNN_m for the given encrypted query.
+    /// Runs SkNN_m for the given encrypted query over a single C2 session.
     ///
     /// `params.l` is the bit length of the squared-distance domain: every
     /// genuine squared distance must be strictly smaller than `2^l − 1`
@@ -48,157 +47,43 @@ impl CloudC1 {
         parallelism: ParallelismConfig,
         rng: &mut R,
     ) -> Result<(MaskedResult, QueryProfile, AccessPatternAudit), SknnError> {
-        self.validate_query(query, params.k)?;
-        let pk = self.public_key();
-        // Tombstoned records are excluded up front; every protocol stage
-        // below operates on the live view only.
-        let live = self.database().live_indices();
-        let n = live.len();
-        let m = self.database().num_attributes();
-        let l = params.l;
-        let mut profile = QueryProfile::new();
-        let packing = self.effective_packing(c2, Some(l));
-        let meter = OpMeter::new(c2);
+        let adapter = DynKeyHolder(c2);
+        execute_secure(
+            self,
+            &SessionSet::single(&adapter),
+            query,
+            params,
+            parallelism,
+            rng,
+        )
+    }
 
-        // ── Step 2a: E(d_i) ← SSED(E(Q), E(t_i)) ───────────────────────────
-        let distances = profile.time(Stage::DistanceComputation, || {
-            compute_distances(self, &meter, query, packing, parallelism, &live, rng)
-        })?;
-        profile.record_ops(Stage::DistanceComputation, meter.take());
-
-        // ── Step 2a (cont.): [d_i] ← SBD(E(d_i)) ───────────────────────────
-        let mut distance_bits: Vec<Vec<Ciphertext>> =
-            profile.time(Stage::BitDecomposition, || match &distances {
-                // Packed state: all groups advance in lockstep, one packed
-                // request per group per round.
-                Distances::Packed { groups, counts } => {
-                    let p = packing.expect("packed distances imply packing parameters");
-                    packed_bit_decompose(pk, &meter, groups, counts, l, p, rng, self.encryptor())
-                        .map_err(SknnError::from)
-                }
-                Distances::Scalar(distances) => {
-                    let seeds: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
-                    let decomposed = parallel_map(parallelism.threads, distances, |i, dist| {
-                        let mut thread_rng = StdRng::seed_from_u64(seeds[i]);
-                        // The per-round mask encryptions draw from C1's
-                        // offline randomness pool when one is attached.
-                        secure_bit_decompose_with(
-                            pk,
-                            &meter,
-                            dist,
-                            l,
-                            &mut thread_rng,
-                            self.encryptor(),
-                        )
-                    });
-                    decomposed
-                        .into_iter()
-                        .collect::<Result<Vec<_>, _>>()
-                        .map_err(SknnError::from)
-                }
-            })?;
-        profile.record_ops(Stage::BitDecomposition, meter.take());
-
-        // ── Step 3: k oblivious selection rounds ───────────────────────────
-        let one = BigUint::one();
-        let mut results: Vec<Vec<Ciphertext>> = Vec::with_capacity(params.k);
-        for _s in 0..params.k {
-            // 3(a): [d_min] over all records.
-            let dmin_bits = profile.time(Stage::SecureMinimum, || {
-                sknn_protocols::secure_min_n(pk, &meter, &distance_bits, rng)
-            })?;
-            profile.record_ops(Stage::SecureMinimum, meter.take());
-
-            let selection = profile.time(Stage::RecordSelection, || {
-                // 3(b): recompose E(d_min) and every E(d_i) from their bits
-                // (the bits are the authoritative state — they get overwritten
-                // by the freezing step below).
-                let e_dmin = recompose_bits(pk, &dmin_bits);
-                let e_dist: Vec<Ciphertext> = distance_bits
-                    .iter()
-                    .map(|bits| recompose_bits(pk, bits))
-                    .collect();
-
-                // τ_i = E(d_min − d_i), randomized and permuted before C2 sees it.
-                let tau_prime: Vec<Ciphertext> = e_dist
-                    .iter()
-                    .map(|e_di| {
-                        let tau = pk.sub(&e_dmin, e_di);
-                        let r_i = random_range(rng, &one, pk.n());
-                        pk.mul_plain(&tau, &r_i)
-                    })
-                    .collect();
-                let pi = Permutation::random(rng, n);
-                let beta = pi.apply(&tau_prime);
-
-                // 3(c): C2 marks exactly one zero position — obliviously,
-                // because of the permutation and randomization. A missing
-                // zero violates the protocol invariant and surfaces as a
-                // typed error instead of a silent all-zero indicator.
-                let u = meter.min_selection(&beta)?;
-                // 3(d): undo the permutation; V has E(1) at the winning record.
-                let v = pi.apply_inverse(&u);
-
-                // V′_{i,j} = SM(V_i, E(t_{i,j})); E(t′_{s,j}) = Π_i V′_{i,j}.
-                let pairs: Vec<(Ciphertext, Ciphertext)> = (0..n)
-                    .flat_map(|i| {
-                        let v_i = v[i].clone();
-                        self.database()
-                            .record(live[i])
-                            .iter()
-                            .map(move |attr| (v_i.clone(), attr.clone()))
-                            .collect::<Vec<_>>()
-                    })
-                    .collect();
-                let products = secure_multiply_batch(pk, &meter, &pairs, rng);
-                let record: Vec<Ciphertext> = (0..m)
-                    .map(|j| pk.sum((0..n).map(|i| &products[i * m + j])))
-                    .collect();
-                Ok::<_, SknnError>((record, v))
-            });
-            profile.record_ops(Stage::RecordSelection, meter.take());
-            let (selected_record, indicator) = selection?;
-            results.push(selected_record);
-
-            // 3(e): freeze the winner's distance at the all-ones maximum via
-            // SBOR so it can never win again. One batched SM round covers all
-            // n·l bit positions.
-            profile.time(Stage::DistanceFreezing, || {
-                let pairs: Vec<(Ciphertext, Ciphertext)> = (0..n)
-                    .flat_map(|i| {
-                        let v_i = indicator[i].clone();
-                        distance_bits[i]
-                            .iter()
-                            .map(move |bit| (v_i.clone(), bit.clone()))
-                            .collect::<Vec<_>>()
-                    })
-                    .collect();
-                let products = secure_multiply_batch(pk, &meter, &pairs, rng);
-                for i in 0..n {
-                    for gamma in 0..l {
-                        // o₁ ∨ o₂ = o₁ + o₂ − o₁·o₂ with o₁ = V_i, o₂ = d_{i,γ}.
-                        let sum = pk.add(&indicator[i], &distance_bits[i][gamma]);
-                        distance_bits[i][gamma] = pk.sub(&sum, &products[i * l + gamma]);
-                    }
-                }
-            });
-            profile.record_ops(Stage::DistanceFreezing, meter.take());
-        }
-
-        // ── Steps 4–6: the same two-share reveal as the basic protocol ─────
-        let masked = profile.time(Stage::Finalization, || {
-            self.mask_and_reveal(&meter, &results, rng)
-        });
-        profile.record_ops(Stage::Finalization, meter.take());
-
-        Ok((masked, profile, AccessPatternAudit::nothing_revealed()))
+    /// [`CloudC1::process_secure`] over an explicit session set: shards
+    /// are pinned to sessions round-robin, so a sharded database's scatter
+    /// stages overlap on the wire when the set holds more than one
+    /// session.
+    ///
+    /// # Errors
+    /// See [`CloudC1::process_secure`].
+    pub fn process_secure_sharded<R: RngCore + ?Sized>(
+        &self,
+        sessions: &SessionSet<'_>,
+        query: &EncryptedQuery,
+        params: SecureQueryParams,
+        parallelism: ParallelismConfig,
+        rng: &mut R,
+    ) -> Result<(MaskedResult, QueryProfile, AccessPatternAudit), SknnError> {
+        execute_secure(self, sessions, query, params, parallelism, rng)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::profile::Stage;
     use crate::{plain_knn_records, DataOwner, QueryUser, Table};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
     use sknn_protocols::LocalKeyHolder;
 
     fn setup(table: &Table) -> (CloudC1, LocalKeyHolder, QueryUser, StdRng) {
@@ -283,6 +168,46 @@ mod tests {
     }
 
     #[test]
+    fn sharded_plan_matches_the_monolithic_scan() {
+        // Distinct distances, so the expected set and its nearest-first
+        // order are unique for every shard count.
+        let table = Table::new(vec![
+            vec![10, 0],
+            vec![0, 7],
+            vec![5, 5],
+            vec![9, 9],
+            vec![1, 1],
+            vec![7, 2],
+        ])
+        .unwrap();
+        let l = table.required_distance_bits(10);
+        let query = [2u64, 2];
+        let (c1, c2, user, mut rng) = setup(&table);
+        let enc_q = user.encrypt_query(&query, &mut rng).unwrap();
+        let expected = plain_knn_records(&table, &query, 2);
+
+        for shards in [2usize, 3] {
+            let sharded = c1.clone().with_shards(shards);
+            let (masked, profile, audit) = sharded
+                .process_secure(
+                    &c2,
+                    &enc_q,
+                    SecureQueryParams { k: 2, l },
+                    ParallelismConfig::serial(),
+                    &mut rng,
+                )
+                .unwrap();
+            assert_eq!(user.recover_records(&masked), expected, "shards = {shards}");
+            assert!(audit.is_oblivious());
+            // Scatter work is attributed per shard; the gather SMIN_n runs
+            // over the k·S candidates only.
+            assert_eq!(profile.shards().len(), shards);
+            assert!(profile.ops(Stage::ShardCandidates).ciphertexts_to_c2 > 0);
+            assert!(profile.ops(Stage::SecureMinimum).ciphertexts_to_c2 > 0);
+        }
+    }
+
+    #[test]
     fn duplicate_records_and_ties() {
         let table = Table::new(vec![vec![4, 4], vec![4, 4], vec![0, 0], vec![7, 7]]).unwrap();
         let l = table.required_distance_bits(7);
@@ -351,6 +276,29 @@ mod tests {
         let mut records = user.recover_records(&masked);
         records.sort();
         assert_eq!(records, vec![vec![1], vec![3], vec![5]]);
+    }
+
+    #[test]
+    fn sharded_k_equals_n_returns_whole_table() {
+        // k = n with more shards than surviving candidates per shard:
+        // every record is a candidate and the gather must drain them all.
+        let table = Table::new(vec![vec![1], vec![5], vec![3], vec![9]]).unwrap();
+        let l = table.required_distance_bits(9);
+        let (c1, c2, user, mut rng) = setup(&table);
+        let sharded = c1.with_shards(3);
+        let enc_q = user.encrypt_query(&[2], &mut rng).unwrap();
+        let (masked, _, _) = sharded
+            .process_secure(
+                &c2,
+                &enc_q,
+                SecureQueryParams { k: 4, l },
+                ParallelismConfig::serial(),
+                &mut rng,
+            )
+            .unwrap();
+        let mut records = user.recover_records(&masked);
+        records.sort();
+        assert_eq!(records, vec![vec![1], vec![3], vec![5], vec![9]]);
     }
 
     #[test]

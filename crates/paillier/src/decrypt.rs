@@ -60,7 +60,8 @@ impl PrivateKey {
     #[deprecated(
         since = "0.1.0",
         note = "use `try_decrypt_u64`, which surfaces an oversized plaintext as a typed error \
-                instead of panicking"
+                instead of panicking — see the \"Deprecation registry\" section of the `sknn` \
+                facade crate docs"
     )]
     pub fn decrypt_u64(&self, c: &Ciphertext) -> u64 {
         self.try_decrypt_u64(c)

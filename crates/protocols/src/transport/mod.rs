@@ -28,11 +28,13 @@
 pub mod wire;
 
 mod channel;
+mod pool;
 mod server;
 mod session;
 mod tcp;
 
 pub use channel::{channel_pair, ChannelTransport};
+pub use pool::SessionPool;
 pub use server::{serve, serve_with_features};
 pub use session::{CoalesceConfig, SessionKeyHolder};
 pub use tcp::TcpTransport;

@@ -1,0 +1,165 @@
+//! A pool of independent key-holder sessions.
+//!
+//! One pipelined [`SessionKeyHolder`] already lets many worker threads
+//! share a single connection, but every request still serializes through
+//! one wire and one demux thread. A sharded query plan wants its per-shard
+//! scatter stages to overlap *on the wire*: [`SessionPool`] stands up
+//! `sessions` fully independent connections — each with its own transport,
+//! demux thread and server-side worker pool — and the executor pins shard
+//! `s` to session `s mod sessions`. Every session serves the same logical
+//! C2 (same secret key), so correctness is unaffected by the pinning; the
+//! pool is purely a throughput/latency structure.
+
+use super::session::{CoalesceConfig, SessionKeyHolder};
+use super::wire::TransportError;
+use crate::party::LocalKeyHolder;
+use crate::stats::CommSnapshot;
+use std::thread::JoinHandle;
+
+/// A set of ≥ 1 independent key-holder sessions plus the join handles of
+/// their (in-process) server threads. Dropping the pool hangs up every
+/// session and reaps the servers, so no key-holding thread outlives it.
+pub struct SessionPool {
+    sessions: Vec<SessionKeyHolder>,
+    servers: Vec<JoinHandle<Result<(), TransportError>>>,
+}
+
+impl SessionPool {
+    /// Stands up `sessions` in-process key-holder servers — holder `i`
+    /// produced by `make_holder(i)`, each served by `workers` request
+    /// threads — and connects one client session to each. `sessions` is
+    /// clamped to at least 1.
+    pub fn spawn_in_process(
+        mut make_holder: impl FnMut(usize) -> LocalKeyHolder,
+        sessions: usize,
+        workers: usize,
+        coalesce: CoalesceConfig,
+    ) -> SessionPool {
+        let count = sessions.max(1);
+        let mut clients = Vec::with_capacity(count);
+        let mut servers = Vec::with_capacity(count);
+        for i in 0..count {
+            let (client, server) =
+                SessionKeyHolder::spawn_in_process(make_holder(i), workers, coalesce);
+            clients.push(client);
+            servers.push(server);
+        }
+        SessionPool {
+            sessions: clients,
+            servers,
+        }
+    }
+
+    /// Assembles a pool from already-connected sessions and their server
+    /// join handles — the path for transports the embedder bootstraps
+    /// itself (e.g. one TCP connection per session).
+    ///
+    /// # Panics
+    /// Panics on an empty session list.
+    pub fn from_parts(
+        sessions: Vec<SessionKeyHolder>,
+        servers: Vec<JoinHandle<Result<(), TransportError>>>,
+    ) -> SessionPool {
+        assert!(
+            !sessions.is_empty(),
+            "a SessionPool needs at least one session"
+        );
+        SessionPool { sessions, servers }
+    }
+
+    /// Number of sessions in the pool.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Always false (construction guarantees at least one session).
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// The session shard (or caller) `i` is pinned to: index `i mod len`.
+    pub fn session(&self, i: usize) -> &SessionKeyHolder {
+        &self.sessions[i % self.sessions.len()]
+    }
+
+    /// All sessions, in pinning order.
+    pub fn sessions(&self) -> &[SessionKeyHolder] {
+        &self.sessions
+    }
+
+    /// Aggregate traffic counters, summed over every session's transport.
+    pub fn comm_snapshot(&self) -> CommSnapshot {
+        let mut total = CommSnapshot::default();
+        for session in &self.sessions {
+            let s = session.stats().snapshot();
+            total.requests += s.requests;
+            total.request_bytes += s.request_bytes;
+            total.responses += s.responses;
+            total.response_bytes += s.response_bytes;
+        }
+        total
+    }
+}
+
+impl Drop for SessionPool {
+    fn drop(&mut self) {
+        // Hang up every client first (each close wakes its server's
+        // workers), then reap the server threads so the secret-key-holding
+        // threads never outlive the pool.
+        self.sessions.clear();
+        for handle in self.servers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::KeyHolder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sknn_paillier::Keypair;
+
+    #[test]
+    fn independent_sessions_answer_requests_and_account_traffic() {
+        let mut rng = StdRng::seed_from_u64(801);
+        let (pk, sk) = Keypair::generate(128, &mut rng).split();
+        let pool = SessionPool::spawn_in_process(
+            |i| LocalKeyHolder::new(sk.clone(), 900 + i as u64),
+            3,
+            1,
+            CoalesceConfig::disabled(),
+        );
+        assert_eq!(pool.len(), 3);
+        assert!(!pool.is_empty());
+        assert_eq!(pool.sessions().len(), 3);
+
+        // Pinning wraps round-robin.
+        let thin = |s: &SessionKeyHolder| s as *const SessionKeyHolder;
+        assert_eq!(thin(pool.session(0)), thin(pool.session(3)));
+        assert_ne!(thin(pool.session(0)), thin(pool.session(1)));
+
+        // Every session is a fully functional key holder.
+        std::thread::scope(|scope| {
+            for i in 0..3 {
+                let session = pool.session(i);
+                let pk = pk.clone();
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(810 + i as u64);
+                    let a = pk.encrypt_u64(6, &mut rng);
+                    let b = pk.encrypt_u64(7, &mut rng);
+                    let pairs = vec![(a, b)];
+                    let products = session.sm_mask_multiply_batch(&pairs);
+                    assert_eq!(products.len(), 1);
+                });
+            }
+        });
+
+        // The aggregate snapshot sums all three wires.
+        let total = pool.comm_snapshot();
+        assert!(total.requests >= 3);
+        let per_session = pool.session(0).stats().snapshot();
+        assert!(total.total_bytes() > per_session.total_bytes());
+    }
+}

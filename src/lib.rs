@@ -39,9 +39,11 @@
 //!    │    SknnError::{UnknownDataset,
 //!    │                InvalidQuery}
 //!    │
-//!    ├─ run / run_batch                       whole queries fan out across
-//!    │    per-query QueryOutcome              ParallelismConfig threads over
-//!    │    { result, profile, audit, comm }    ONE shared pipelined session
+//!    ├─ run / run_batch                       scatter–gather plans over the
+//!    │    per-query QueryOutcome              dataset's shards, scheduled as
+//!    │    { result, profile, audit, comm }    shard-stage tasks across
+//!    │                                        ParallelismConfig threads and
+//!    │                                        ShardingConfig.sessions wires
 //!    │
 //!    └─ dynamic updates                       DataOwner::encrypt_record →
 //!         append_records / tombstone_record   C1's table grows and shrinks
@@ -54,6 +56,45 @@
 //! existing embedders keep working; `Federation::engine()` is the
 //! incremental migration path. See `DESIGN.md` ("Engine façade & dataset
 //! lifecycle") for what dynamic updates do and do not leak to the clouds.
+//!
+//! ## Architecture: the sharded encrypted data plane
+//!
+//! The paper's protocols are one linear scan over all `n` records driven
+//! by one C1↔C2 conversation — which is why batch throughput stays flat
+//! no matter how many threads submit queries. [`ShardingConfig`]
+//! (`{ shards, sessions }` on [`FederationConfig`]) turns the query path
+//! into a **staged scatter–gather plan** (`core::exec`):
+//!
+//! ```text
+//!  EncryptedDatabase                 round-robin shards: record i → shard i mod S
+//!    └─ ShardView                    per-shard live/tombstone view, stable indices
+//!
+//!  scatter (per shard, pinned to session shard mod sessions):
+//!    SkNN_b:  SsedStage → TopKStage          shard's k candidates + distance cts
+//!    SkNN_m:  SsedStage → SbdStage →         shard's k candidates, extracted with
+//!             k oblivious SMIN_n rounds      the paper's own randomize-permute
+//!                                            machinery (nothing decrypted)
+//!  gather (primary session):
+//!    SkNN_b:  one top-k over the ≤ k·S candidate distances
+//!    SkNN_m:  the same k SMIN_n/selection rounds — over ≤ k·S candidates
+//!             instead of all n
+//!    FinalizeStage: the usual two-share reveal to Bob
+//! ```
+//!
+//! Results are bit-identical to the monolithic scan for every shard count
+//! (the global k nearest are each among their shard's k nearest; the
+//! merge orders by the same (distance, storage index) total order), and
+//! `shards = 1` *is* the monolithic code path, not a parallel
+//! implementation of it. Each shard's stages talk to the C2 session the
+//! shard is pinned to — [`protocols::transport::SessionPool`] stands up
+//! `sessions` fully independent connections (own wire, demux thread and
+//! server workers) — so scatter stages overlap on the wire instead of
+//! pipelining through one connection. [`QueryProfile`] reports per-shard,
+//! per-stage ciphertext/decryption counters (`shard_stage_ops`), and the
+//! `shard-scaling` experiment tracks queries/sec and scatter/gather
+//! volume in `BENCH_results.json` per PR. What sharding changes about
+//! C2's view — per-shard candidate counts and nothing else — is analyzed
+//! in `DESIGN.md` ("Sharded data plane").
 //!
 //! ## Architecture: the C1↔C2 transport stack
 //!
@@ -163,6 +204,19 @@
 //! connection (`Features` probe) so pre-packing peers interoperate
 //! untouched.
 //!
+//! ## Deprecation registry
+//!
+//! Every deprecated item in the workspace is gated with a
+//! `#[deprecated(since, note)]` attribute whose note points here; this
+//! list is the single place to check what is scheduled for removal and
+//! what replaces it. No internal code calls a deprecated item except the
+//! equivalence test that pins the deprecated path to its replacement.
+//!
+//! | Deprecated | Since | Use instead |
+//! |------------|-------|-------------|
+//! | `Federation::query_secure_with_bits` | 0.1.0 | the engine's [`QueryBuilder`] with `.distance_bits(l)` |
+//! | `PrivateKey::decrypt_u64` | 0.1.0 | [`PrivateKey::try_decrypt_u64`] (typed error instead of a panic) |
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -219,9 +273,9 @@ pub use sknn_protocols as protocols;
 pub use sknn_core::{
     plain_knn, plain_knn_records, squared_euclidean_distance, AccessPatternAudit, CloudC1,
     DataOwner, Dataset, DatasetOptions, Federation, FederationConfig, InvalidQueryReason,
-    KeyHolder, LocalKeyHolder, ParallelismConfig, PoolActivity, PreparedQuery, Protocol,
-    QueryBuilder, QueryOutcome, QueryProfile, QueryResult, QueryUser, SknnEngine, SknnError, Stage,
-    Table, TransportKind, UpdateRejected,
+    KeyHolder, LocalKeyHolder, OpCounters, ParallelismConfig, PoolActivity, PreparedQuery,
+    Protocol, QueryBuilder, QueryOutcome, QueryProfile, QueryResult, QueryUser, SessionSet,
+    ShardView, ShardingConfig, SknnEngine, SknnError, Stage, Table, TransportKind, UpdateRejected,
 };
 pub use sknn_paillier::{
     Ciphertext, Keypair, PoolConfig, PoolStats, PooledEncryptor, PrivateKey, PublicKey,

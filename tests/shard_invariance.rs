@@ -1,0 +1,374 @@
+//! Shard-count invariance suite for the sharded data plane.
+//!
+//! The scatter–gather executor must be a pure performance structure: for
+//! every shard/session shape, both protocols must return exactly the
+//! records — in exactly the order — that the unsharded seed path returns.
+//! This suite pins that down over shards ∈ {1, 2, 4} × sessions ∈ {1, 2}
+//! × {Basic, Secure} × {Channel, Tcp}, checks that dynamic updates land
+//! in the round-robin-owning shard, and asserts the headline scaling
+//! property: the gather's SMIN_n stage runs over the ≤ k·S surviving
+//! candidates, so its ciphertext volume *drops* against the unsharded run
+//! once n ≫ k·S.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sknn::{
+    plain_knn_records, FederationConfig, Protocol, ShardingConfig, SknnEngine, Stage, Table,
+    TransportKind,
+};
+
+/// 16 records whose squared distances from the query (3, 3) are all
+/// distinct (asserted in `distances_are_distinct`), so every k has one
+/// valid result set and one valid nearest-first ordering — any shard-shape
+/// dependence would be visible immediately.
+fn table() -> Table {
+    Table::new(
+        (0..16u64)
+            .map(|i| vec![i, (i * i + 2 * i) % 23])
+            .collect::<Vec<_>>(),
+    )
+    .unwrap()
+}
+
+const QUERY: [u64; 2] = [3, 3];
+const MAX_VALUE: u64 = 22;
+
+fn engine_with(
+    sharding: ShardingConfig,
+    transport: TransportKind,
+    threads: usize,
+    rng: &mut StdRng,
+) -> SknnEngine {
+    let mut engine = SknnEngine::setup(
+        FederationConfig {
+            key_bits: 96,
+            max_query_value: MAX_VALUE,
+            transport,
+            threads,
+            sharding,
+            ..Default::default()
+        },
+        rng,
+    )
+    .expect("engine setup");
+    engine
+        .register_dataset("t", &table(), rng)
+        .expect("register dataset");
+    engine
+}
+
+#[test]
+fn distances_are_distinct() {
+    let t = table();
+    let mut dists: Vec<u128> = t
+        .records()
+        .iter()
+        .map(|r| sknn::squared_euclidean_distance(r, &QUERY))
+        .collect();
+    dists.sort_unstable();
+    dists.dedup();
+    assert_eq!(dists.len(), 16, "the fixture must have distinct distances");
+}
+
+/// The core matrix: every shard/session/protocol/transport combination
+/// returns the unsharded seed path's records in the seed path's order.
+#[test]
+fn results_and_ordering_are_shard_count_invariant() {
+    let mut rng = StdRng::seed_from_u64(0x5AAD);
+    let k = 3;
+    let expected = plain_knn_records(&table(), &QUERY, k);
+
+    for transport in [TransportKind::Channel, TransportKind::Tcp] {
+        for shards in [1usize, 2, 4] {
+            for sessions in [1usize, 2] {
+                let engine =
+                    engine_with(ShardingConfig { shards, sessions }, transport, 2, &mut rng);
+                assert_eq!(engine.dataset("t").unwrap().shards(), shards);
+                assert_eq!(engine.num_sessions(), sessions);
+                for protocol in [Protocol::Basic, Protocol::Secure] {
+                    let outcome = engine
+                        .query("t")
+                        .k(k)
+                        .point(&QUERY)
+                        .protocol(protocol)
+                        .run(&mut rng)
+                        .unwrap_or_else(|e| {
+                            panic!(
+                                "{transport:?} shards={shards} sessions={sessions} \
+                                 {protocol:?}: {e}"
+                            )
+                        });
+                    assert_eq!(
+                        outcome.result, expected,
+                        "{transport:?} shards={shards} sessions={sessions} {protocol:?}"
+                    );
+                    // Sharded plans report per-shard op attribution for
+                    // every populated shard; unsharded plans report none.
+                    if shards > 1 {
+                        assert_eq!(
+                            outcome.profile.shards().len(),
+                            shards,
+                            "{transport:?} shards={shards} {protocol:?}"
+                        );
+                        for s in outcome.profile.shards() {
+                            assert!(
+                                outcome
+                                    .profile
+                                    .shard_stage_ops(s, Stage::DistanceComputation)
+                                    .ciphertexts_to_c2
+                                    > 0,
+                                "shard {s} must attribute SSED traffic"
+                            );
+                        }
+                    } else {
+                        assert!(outcome.profile.shards().is_empty());
+                    }
+                    // Remote transports must account traffic on every wire
+                    // the query actually used.
+                    assert!(outcome.comm.expect("remote transport").requests > 0);
+                }
+            }
+        }
+    }
+}
+
+/// The headline scaling property (acceptance criterion): the secure
+/// gather's SMIN_n/selection stages run over the ≤ k·S surviving
+/// candidates, so their ciphertext volume drops versus the unsharded run
+/// for n ≫ k·S — here n = 16 against k·S = 2·4 = 8.
+#[test]
+fn secure_gather_runs_smin_over_candidates_only() {
+    let mut rng = StdRng::seed_from_u64(0x5AAE);
+    let k = 2;
+    let run = |shards: usize, rng: &mut StdRng| {
+        let engine = engine_with(
+            ShardingConfig {
+                shards,
+                sessions: 1,
+            },
+            TransportKind::InProcess,
+            1,
+            rng,
+        );
+        engine
+            .query("t")
+            .k(k)
+            .point(&QUERY)
+            .protocol(Protocol::Secure)
+            .run(rng)
+            .unwrap()
+    };
+    let unsharded = run(1, &mut rng);
+    let sharded = run(4, &mut rng);
+    assert_eq!(unsharded.result, sharded.result);
+
+    for stage in [
+        Stage::SecureMinimum,
+        Stage::RecordSelection,
+        Stage::DistanceFreezing,
+    ] {
+        let mono = unsharded.profile.ops(stage);
+        let shard = sharded.profile.ops(stage);
+        assert!(
+            shard.ciphertexts_to_c2 < mono.ciphertexts_to_c2,
+            "{stage:?}: gather over k·S = 8 candidates must ship fewer \
+             ciphertexts than the unsharded run over n = 16 \
+             ({} vs {})",
+            shard.ciphertexts_to_c2,
+            mono.ciphertexts_to_c2
+        );
+    }
+    // The scatter work is visible — and attributed per shard.
+    let scatter = sharded.profile.ops(Stage::ShardCandidates);
+    assert!(scatter.ciphertexts_to_c2 > 0);
+    let per_shard: u64 = sharded
+        .profile
+        .shards()
+        .into_iter()
+        .map(|s| {
+            sharded
+                .profile
+                .shard_stage_ops(s, Stage::ShardCandidates)
+                .ciphertexts_to_c2
+        })
+        .sum();
+    assert_eq!(per_shard, scatter.ciphertexts_to_c2);
+}
+
+/// The same drop holds for SkNN_b: the gather merge ships only the k·S
+/// candidate distances instead of all n.
+#[test]
+fn basic_gather_merges_candidates_only() {
+    let mut rng = StdRng::seed_from_u64(0x5AAF);
+    let k = 2;
+    let run = |shards: usize, rng: &mut StdRng| {
+        let engine = engine_with(
+            ShardingConfig {
+                shards,
+                sessions: 1,
+            },
+            TransportKind::InProcess,
+            1,
+            rng,
+        );
+        engine
+            .query("t")
+            .k(k)
+            .point(&QUERY)
+            .protocol(Protocol::Basic)
+            .run(rng)
+            .unwrap()
+    };
+    let unsharded = run(1, &mut rng);
+    let sharded = run(4, &mut rng);
+    assert_eq!(unsharded.result, sharded.result);
+    // Unsharded selection ships all 16 distances; the sharded merge ships
+    // the 8 candidates.
+    let mono = unsharded.profile.ops(Stage::RecordSelection);
+    let merge = sharded.profile.ops(Stage::RecordSelection);
+    assert_eq!(mono.ciphertexts_to_c2, 16);
+    assert_eq!(merge.ciphertexts_to_c2, 8);
+}
+
+/// Dynamic updates route to the round-robin-owning shard, and the
+/// updated dataset still answers shard-invariantly.
+#[test]
+fn appends_and_tombstones_land_in_the_owning_shard() {
+    let mut rng = StdRng::seed_from_u64(0x5AB0);
+    let shards = 4;
+    let mut engine = engine_with(
+        ShardingConfig {
+            shards,
+            sessions: 1,
+        },
+        TransportKind::InProcess,
+        1,
+        &mut rng,
+    );
+
+    // Physical index 16 → shard 16 mod 4 = 0.
+    let record = engine.owner().encrypt_record(&[3, 3], &mut rng).unwrap();
+    let indices = engine.append_records("t", vec![record]).unwrap();
+    assert_eq!(indices, vec![16]);
+    {
+        let db = engine.dataset("t").unwrap().cloud().database();
+        assert_eq!(db.shard_of(16), 0);
+        assert!(db.shard(0).live_indices().contains(&16));
+        for s in 1..shards {
+            assert!(!db.shard(s).live_indices().contains(&16));
+        }
+    }
+
+    // The appended record (distance 0) is the new nearest under every
+    // protocol.
+    for protocol in [Protocol::Basic, Protocol::Secure] {
+        let nearest = engine
+            .query("t")
+            .k(1)
+            .point(&QUERY)
+            .protocol(protocol)
+            .run(&mut rng)
+            .unwrap();
+        assert_eq!(nearest.result, vec![vec![3, 3]], "{protocol:?}");
+    }
+
+    // Tombstoning removes it from shard 0's view only, and queries go
+    // back to the original answer.
+    engine.tombstone_record("t", 16).unwrap();
+    {
+        let db = engine.dataset("t").unwrap().cloud().database();
+        assert!(!db.shard(0).live_indices().contains(&16));
+        assert_eq!(db.num_live(), 16);
+    }
+    let expected = plain_knn_records(&table(), &QUERY, 2);
+    for protocol in [Protocol::Basic, Protocol::Secure] {
+        let outcome = engine
+            .query("t")
+            .k(2)
+            .point(&QUERY)
+            .protocol(protocol)
+            .run(&mut rng)
+            .unwrap();
+        assert_eq!(outcome.result, expected, "{protocol:?}");
+    }
+
+    // Tombstone an entire shard empty (indices 1, 5, 9, 13 form shard 1):
+    // the plan must drop the empty shard and still answer correctly.
+    for i in [1usize, 5, 9, 13] {
+        engine.tombstone_record("t", i).unwrap();
+    }
+    assert_eq!(
+        engine
+            .dataset("t")
+            .unwrap()
+            .cloud()
+            .database()
+            .shard(1)
+            .num_live(),
+        0
+    );
+    let survivors = Table::new(
+        table()
+            .records()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 4 != 1)
+            .map(|(_, r)| r.to_vec())
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    let expected = plain_knn_records(&survivors, &QUERY, 3);
+    for protocol in [Protocol::Basic, Protocol::Secure] {
+        let outcome = engine
+            .query("t")
+            .k(3)
+            .point(&QUERY)
+            .protocol(protocol)
+            .run(&mut rng)
+            .unwrap();
+        assert_eq!(outcome.result, expected, "{protocol:?}");
+    }
+}
+
+/// Batches schedule shard-stage tasks: a mixed batch over a sharded
+/// dataset with two sessions returns exactly the per-query results.
+#[test]
+fn sharded_batches_match_sequential_runs() {
+    let mut rng = StdRng::seed_from_u64(0x5AB1);
+    let engine = engine_with(
+        ShardingConfig {
+            shards: 4,
+            sessions: 2,
+        },
+        TransportKind::Channel,
+        4,
+        &mut rng,
+    );
+    let queries: Vec<_> = [
+        (1usize, Protocol::Basic),
+        (4, Protocol::Basic),
+        (2, Protocol::Secure),
+        (3, Protocol::Basic),
+    ]
+    .iter()
+    .map(|&(k, protocol)| {
+        engine
+            .query("t")
+            .k(k)
+            .point(&QUERY)
+            .protocol(protocol)
+            .build()
+            .unwrap()
+    })
+    .collect();
+    let outcomes = engine.run_batch(&queries, &mut rng);
+    for (query, outcome) in queries.iter().zip(&outcomes) {
+        let outcome = outcome.as_ref().expect("batch query succeeds");
+        assert_eq!(
+            outcome.result,
+            plain_knn_records(&table(), &QUERY, query.k()),
+            "k = {}",
+            query.k()
+        );
+    }
+}
