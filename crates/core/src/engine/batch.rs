@@ -17,9 +17,9 @@
 use super::{PreparedQuery, SknnEngine};
 use crate::parallel::{parallel_map, ParallelismConfig};
 use crate::profile::QueryProfile;
+use crate::seed::{derive_seeds, derived_rng};
 use crate::{AccessPatternAudit, SknnError};
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+use rand::RngCore;
 use sknn_protocols::stats::CommSnapshot;
 
 /// The result of one engine query — what [`crate::QueryResult`] is to the
@@ -70,7 +70,7 @@ impl SknnEngine {
         queries: &[PreparedQuery],
         rng: &mut R,
     ) -> Vec<Result<QueryOutcome, SknnError>> {
-        let seeds: Vec<u64> = queries.iter().map(|_| rng.gen()).collect();
+        let seeds = derive_seeds(rng, queries.len());
         let threads = self.parallelism().threads;
         // Ceiling, not floor: with e.g. 4 threads and 3 queries a floor
         // would strand a thread while sharded scatter tasks queue behind
@@ -80,7 +80,7 @@ impl SknnEngine {
             threads: threads.div_ceil(queries.len().max(1)).max(1),
         };
         parallel_map(threads, queries, |i, query| {
-            let mut query_rng = StdRng::seed_from_u64(seeds[i]);
+            let mut query_rng = derived_rng(seeds[i]);
             self.run_with_parallelism(query, inner, &mut query_rng)
         })
     }

@@ -29,9 +29,9 @@ use crate::meter::OpMeter;
 use crate::parallel::{parallel_map, ParallelismConfig};
 use crate::profile::{OpCounters, QueryProfile, Stage};
 use crate::roles::CloudC1;
+use crate::seed::{derive_seeds, derived_rng};
 use crate::{AccessPatternAudit, EncryptedQuery, MaskedResult, SknnError};
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+use rand::RngCore;
 use sknn_bigint::{random_range, BigUint};
 use sknn_paillier::Ciphertext;
 use sknn_protocols::{recompose_bits, secure_multiply_batch, KeyHolder, Permutation};
@@ -258,14 +258,14 @@ pub(crate) fn execute_secure<R: RngCore + ?Sized>(
     }
 
     // ── Scatter: each shard extracts its k nearest as encrypted candidates ──
-    let seeds: Vec<u64> = views.iter().map(|_| rng.gen()).collect();
+    let seeds = derive_seeds(rng, views.len());
     // Ceiling for the same reason run_batch uses it: floor would strand
     // threads whenever shards don't divide the budget evenly.
     let inner = ParallelismConfig {
         threads: parallelism.threads.div_ceil(views.len()).max(1),
     };
     let shard_outs = parallel_map(parallelism.threads, &views, |i, view| {
-        let mut shard_rng = StdRng::seed_from_u64(seeds[i]);
+        let mut shard_rng = derived_rng(seeds[i]);
         let shard = view.shard();
         let c2 = sessions.for_shard(shard);
         let meter = OpMeter::new(c2);

@@ -5,9 +5,9 @@
 
 use crate::parallel::{parallel_map, ParallelismConfig};
 use crate::roles::CloudC1;
+use crate::seed::{derive_seeds, derived_rng};
 use crate::{EncryptedQuery, MaskedResult, SknnError};
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+use rand::RngCore;
 use sknn_paillier::Ciphertext;
 use sknn_protocols::{
     packed_bit_decompose, packed_squared_distances, secure_bit_decompose_with,
@@ -51,9 +51,9 @@ pub(crate) fn compute_distances<K: KeyHolder + ?Sized, R: RngCore + ?Sized>(
             let group_ranges: Vec<(usize, usize)> = (0..n.div_ceil(sigma))
                 .map(|g| (g * sigma, n.min((g + 1) * sigma)))
                 .collect();
-            let seeds: Vec<u64> = (0..group_ranges.len()).map(|_| rng.gen()).collect();
+            let seeds = derive_seeds(rng, group_ranges.len());
             let groups = parallel_map(parallelism.threads, &group_ranges, |g, &(lo, hi)| {
-                let mut thread_rng = StdRng::seed_from_u64(seeds[g]);
+                let mut thread_rng = derived_rng(seeds[g]);
                 let records: Vec<&[Ciphertext]> = live[lo..hi]
                     .iter()
                     .map(|&i| c1.database().record(i).as_slice())
@@ -76,12 +76,12 @@ pub(crate) fn compute_distances<K: KeyHolder + ?Sized, R: RngCore + ?Sized>(
             })
         }
         None => {
-            let seeds: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+            let seeds = derive_seeds(rng, n);
             Ok(Distances::Scalar(parallel_map(
                 parallelism.threads,
                 live,
                 |i, &physical| {
-                    let mut thread_rng = StdRng::seed_from_u64(seeds[i]);
+                    let mut thread_rng = derived_rng(seeds[i]);
                     let record = c1.database().record(physical);
                     secure_squared_distance(pk, c2, query.attributes(), record, &mut thread_rng)
                         .expect("database and query dimensions were validated")
@@ -196,9 +196,9 @@ impl<'a> SbdStage<'a> {
                     .map_err(SknnError::from)
             }
             Distances::Scalar(scalar) => {
-                let seeds: Vec<u64> = (0..scalar.len()).map(|_| rng.gen()).collect();
+                let seeds = derive_seeds(rng, scalar.len());
                 let decomposed = parallel_map(self.parallelism.threads, scalar, |i, dist| {
-                    let mut thread_rng = StdRng::seed_from_u64(seeds[i]);
+                    let mut thread_rng = derived_rng(seeds[i]);
                     // The per-round mask encryptions draw from C1's
                     // offline randomness pool when one is attached.
                     secure_bit_decompose_with(pk, c2, dist, l, &mut thread_rng, self.c1.encryptor())

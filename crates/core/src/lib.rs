@@ -73,6 +73,7 @@ mod parallel;
 mod plain;
 mod profile;
 mod roles;
+mod seed;
 mod sknn_basic;
 mod sknn_secure;
 mod table;

@@ -1,0 +1,45 @@
+//! Approved derived-seed helpers — the only sanctioned way for engine
+//! and executor code to construct RNGs.
+//!
+//! `run_batch` determinism rests on one discipline: every parallel task
+//! draws its C1-side randomness from a seed derived *up front* from the
+//! caller's RNG, in input order, so the records a batch returns match
+//! what the same queries return one at a time regardless of scheduling.
+//! A stray `StdRng::seed_from_u64(...)` (or worse, an entropy-seeded
+//! RNG) inside a `parallel_map` closure silently breaks that property.
+//!
+//! The `rng-discipline` rule of `sknn-lint` therefore rejects direct RNG
+//! construction anywhere under `crates/core/src/{exec,engine}`; this
+//! module is the allowlisted choke point it points callers at.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Draws `count` independent task seeds from `rng`, in task order,
+/// before any parallel fan-out begins.
+pub(crate) fn derive_seeds<R: RngCore + ?Sized>(rng: &mut R, count: usize) -> Vec<u64> {
+    (0..count).map(|_| rng.gen()).collect()
+}
+
+/// Builds the deterministic per-task RNG for a seed from
+/// [`derive_seeds`].
+pub(crate) fn derived_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_drawn_in_order_and_rngs_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let sa = derive_seeds(&mut a, 4);
+        let sb = derive_seeds(&mut b, 4);
+        assert_eq!(sa, sb);
+        let x: u64 = derived_rng(sa[2]).gen();
+        let y: u64 = derived_rng(sb[2]).gen();
+        assert_eq!(x, y);
+    }
+}

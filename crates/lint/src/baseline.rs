@@ -1,0 +1,200 @@
+//! The checked-in finding baseline.
+//!
+//! The panic-free rule starts life with hundreds of pre-existing sites;
+//! failing CI on all of them would just get the rule turned off. Instead
+//! a baseline file records, per `(rule, file)`, how many findings are
+//! tolerated. CI fails as soon as any file *exceeds* its budget — i.e.
+//! on every **new** site — while counts below budget merely report
+//! burn-down slack. Counts are used instead of `file:line` entries so an
+//! unrelated edit that shifts lines cannot invalidate the baseline.
+//!
+//! The file format is plain text, one entry per line:
+//!
+//! ```text
+//! <rule-id> <count> <path>
+//! ```
+//!
+//! sorted by path, `#` comments allowed — deliberately diff-friendly so
+//! a PR that burns down panic sites shows up as shrinking numbers.
+
+use crate::rules::Finding;
+use std::collections::BTreeMap;
+
+/// Per-`(rule, file)` tolerated finding counts.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    entries: BTreeMap<(String, String), usize>,
+}
+
+/// Result of checking findings against a baseline.
+#[derive(Debug)]
+pub struct Partitioned {
+    /// Findings beyond any baseline budget — these fail the build.
+    pub failing: Vec<Finding>,
+    /// Findings covered by the baseline.
+    pub baselined: Vec<Finding>,
+    /// `(rule, file, budget, current)` where the tree now has *fewer*
+    /// findings than budgeted: burn-down that should be locked in by
+    /// regenerating the baseline.
+    pub slack: Vec<(String, String, usize, usize)>,
+}
+
+impl Baseline {
+    /// Parses the text format; unparseable lines are errors so a corrupt
+    /// baseline cannot silently admit findings.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = BTreeMap::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(rule), Some(count), Some(path), None) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!(
+                    "baseline line {}: expected `<rule> <count> <path>`",
+                    idx + 1
+                ));
+            };
+            let count: usize = count
+                .parse()
+                .map_err(|_| format!("baseline line {}: bad count `{count}`", idx + 1))?;
+            entries.insert((rule.to_string(), path.to_string()), count);
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Serializes back to the text format.
+    pub fn serialize(&self) -> String {
+        let mut out = String::from(
+            "# sknn-lint baseline: tolerated pre-existing findings, per (rule, file).\n\
+             # Budgets may only shrink. Regenerate with `sknn-lint --update-baseline`.\n",
+        );
+        for ((rule, path), count) in &self.entries {
+            out.push_str(&format!("{rule} {count} {path}\n"));
+        }
+        out
+    }
+
+    /// Builds a baseline admitting exactly the given findings.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut entries: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for f in findings {
+            *entries
+                .entry((f.rule.to_string(), f.file.clone()))
+                .or_insert(0) += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Total budgeted findings.
+    pub fn total(&self) -> usize {
+        self.entries.values().sum()
+    }
+
+    /// Splits findings into failing/baselined. A file within budget has
+    /// all its findings accepted; a file over budget fails with *all* its
+    /// findings listed, because line-level attribution of "which one is
+    /// new" is not meaningful under count-based baselining.
+    pub fn partition(&self, findings: Vec<Finding>) -> Partitioned {
+        let mut by_key: BTreeMap<(String, String), Vec<Finding>> = BTreeMap::new();
+        for f in findings {
+            by_key
+                .entry((f.rule.to_string(), f.file.clone()))
+                .or_default()
+                .push(f);
+        }
+        let mut out = Partitioned {
+            failing: Vec::new(),
+            baselined: Vec::new(),
+            slack: Vec::new(),
+        };
+        for (key, group) in &mut by_key {
+            let budget = self.entries.get(key).copied().unwrap_or(0);
+            if group.len() <= budget {
+                if group.len() < budget {
+                    out.slack
+                        .push((key.0.clone(), key.1.clone(), budget, group.len()));
+                }
+                out.baselined.append(group);
+            } else {
+                out.failing.append(group);
+            }
+        }
+        // Budgeted files that are now completely clean are also slack.
+        for ((rule, path), budget) in &self.entries {
+            if *budget > 0 && !by_key.contains_key(&(rule.clone(), path.clone())) {
+                out.slack.push((rule.clone(), path.clone(), *budget, 0));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, line: usize) -> Finding {
+        Finding {
+            rule,
+            file: file.into(),
+            line,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let fs = vec![
+            finding("panic-free", "a.rs", 1),
+            finding("panic-free", "a.rs", 9),
+            finding("panic-free", "b.rs", 2),
+        ];
+        let b = Baseline::from_findings(&fs);
+        let parsed = Baseline::parse(&b.serialize()).unwrap();
+        assert_eq!(b, parsed);
+        assert_eq!(parsed.total(), 3);
+    }
+
+    #[test]
+    fn within_budget_is_baselined_over_budget_fails() {
+        let baseline = Baseline::parse("panic-free 2 a.rs\n").unwrap();
+        let ok = baseline.partition(vec![
+            finding("panic-free", "a.rs", 1),
+            finding("panic-free", "a.rs", 2),
+        ]);
+        assert!(ok.failing.is_empty());
+        assert_eq!(ok.baselined.len(), 2);
+
+        let over = baseline.partition(vec![
+            finding("panic-free", "a.rs", 1),
+            finding("panic-free", "a.rs", 2),
+            finding("panic-free", "a.rs", 3),
+        ]);
+        assert_eq!(over.failing.len(), 3);
+    }
+
+    #[test]
+    fn shrink_is_reported_as_slack() {
+        let baseline = Baseline::parse("panic-free 5 a.rs\npanic-free 2 gone.rs\n").unwrap();
+        let p = baseline.partition(vec![finding("panic-free", "a.rs", 1)]);
+        assert!(p.failing.is_empty());
+        assert_eq!(p.slack.len(), 2);
+    }
+
+    #[test]
+    fn unknown_rule_file_pairs_have_zero_budget() {
+        let baseline = Baseline::default();
+        let p = baseline.partition(vec![finding("decrypt-containment", "x.rs", 3)]);
+        assert_eq!(p.failing.len(), 1);
+    }
+
+    #[test]
+    fn corrupt_baseline_is_an_error() {
+        assert!(Baseline::parse("panic-free nope a.rs\n").is_err());
+        assert!(Baseline::parse("too few\n").is_err());
+    }
+}

@@ -1,0 +1,474 @@
+//! A minimal Rust lexer: strips comments and literals while preserving
+//! byte offsets and line numbers exactly.
+//!
+//! The analyzer never needs a full parse — every rule works on *token
+//! neighborhoods* ("`.unwrap` followed by `(`", "`Request::Name` inside
+//! `fn wire_tag`"). What it must never do is match inside a string
+//! literal or a comment, so this module produces a `code` buffer of the
+//! same length as the input where:
+//!
+//! - line and block comments (nested) are blanked to spaces,
+//! - string, raw-string, byte-string, and char literals are blanked
+//!   (the delimiting quotes are kept so literals remain visible as
+//!   tokens),
+//! - newlines are preserved everywhere, so `offset -> line` mapping is
+//!   identical between the raw source and the stripped buffer.
+//!
+//! Line comments are additionally collected verbatim (for
+//! `// sknn-lint: allow(...)` suppressions) and string-literal spans are
+//! recorded (for the secret-format rule, which inspects format strings).
+
+/// One `//` comment: 1-based line number and the raw text including the
+/// leading slashes.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// Raw comment text, `//` included.
+    pub text: String,
+}
+
+/// The result of stripping one source file.
+#[derive(Debug)]
+pub struct Stripped {
+    /// Same byte length as the input; comments and literal contents
+    /// blanked with spaces, newlines preserved.
+    pub code: String,
+    /// All line comments, for suppression parsing.
+    pub comments: Vec<Comment>,
+    /// Byte ranges (start..end, quotes excluded) of string-literal
+    /// contents in the *raw* source.
+    pub strings: Vec<(usize, usize)>,
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Strips `source` as described in the module docs.
+pub fn strip(source: &str) -> Stripped {
+    let bytes = source.as_bytes();
+    let n = bytes.len();
+    let mut code: Vec<u8> = Vec::with_capacity(n);
+    let mut comments = Vec::new();
+    let mut strings = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+
+    // Pushes a blanked byte, preserving newlines (and the line counter).
+    macro_rules! blank {
+        ($b:expr) => {
+            if $b == b'\n' {
+                code.push(b'\n');
+                line += 1;
+            } else {
+                code.push(b' ');
+            }
+        };
+    }
+
+    while i < n {
+        let b = bytes[i];
+        let prev_ident = i > 0 && is_ident(bytes[i - 1]);
+        if b == b'\n' {
+            code.push(b'\n');
+            line += 1;
+            i += 1;
+        } else if b == b'/' && i + 1 < n && bytes[i + 1] == b'/' {
+            let start = i;
+            while i < n && bytes[i] != b'\n' {
+                i += 1;
+            }
+            comments.push(Comment {
+                line,
+                text: String::from_utf8_lossy(&bytes[start..i]).into_owned(),
+            });
+            code.extend(std::iter::repeat_n(b' ', i - start));
+        } else if b == b'/' && i + 1 < n && bytes[i + 1] == b'*' {
+            // Nested block comment.
+            let mut depth = 1usize;
+            code.push(b' ');
+            code.push(b' ');
+            i += 2;
+            while i < n && depth > 0 {
+                if bytes[i] == b'/' && i + 1 < n && bytes[i + 1] == b'*' {
+                    depth += 1;
+                    code.push(b' ');
+                    code.push(b' ');
+                    i += 2;
+                } else if bytes[i] == b'*' && i + 1 < n && bytes[i + 1] == b'/' {
+                    depth -= 1;
+                    code.push(b' ');
+                    code.push(b' ');
+                    i += 2;
+                } else {
+                    blank!(bytes[i]);
+                    i += 1;
+                }
+            }
+        } else if (b == b'r' || b == b'b') && !prev_ident && is_literal_prefix(bytes, i) {
+            // r"...", r#"..."#, b"...", br#"..."# and friends.
+            let (raw, prefix_len) = literal_prefix(bytes, i);
+            for _ in 0..prefix_len {
+                code.push(bytes[i]);
+                i += 1;
+            }
+            if raw {
+                let mut hashes = 0usize;
+                while i < n && bytes[i] == b'#' {
+                    code.push(b'#');
+                    i += 1;
+                    hashes += 1;
+                }
+                if i < n && bytes[i] == b'"' {
+                    code.push(b'"');
+                    i += 1;
+                    let content_start = i;
+                    // Scan for `"` followed by `hashes` hash marks.
+                    loop {
+                        if i >= n {
+                            break;
+                        }
+                        if bytes[i] == b'"'
+                            && bytes[i + 1..]
+                                .iter()
+                                .take(hashes)
+                                .filter(|&&c| c == b'#')
+                                .count()
+                                == hashes
+                            && i + 1 + hashes <= n
+                        {
+                            strings.push((content_start, i));
+                            code.push(b'"');
+                            i += 1;
+                            code.extend(std::iter::repeat_n(b'#', hashes));
+                            i += hashes;
+                            break;
+                        }
+                        blank!(bytes[i]);
+                        i += 1;
+                    }
+                }
+            } else if i < n && bytes[i] == b'"' {
+                i = scan_plain_string(bytes, i, &mut code, &mut line, &mut strings);
+            }
+        } else if b == b'"' {
+            i = scan_plain_string(bytes, i, &mut code, &mut line, &mut strings);
+        } else if b == b'\'' {
+            // Char literal vs. lifetime. `'\x'`-style escapes and `'c'`
+            // are literals; anything else (`'a` in `&'a str`) is a
+            // lifetime and flows through untouched.
+            if i + 1 < n && bytes[i + 1] == b'\\' {
+                code.push(b'\'');
+                i += 1;
+                while i < n && bytes[i] != b'\'' {
+                    blank!(bytes[i]);
+                    i += 1;
+                }
+                if i < n {
+                    code.push(b'\'');
+                    i += 1;
+                }
+            } else if i + 2 < n && bytes[i + 2] == b'\'' {
+                code.push(b'\'');
+                code.push(b' ');
+                code.push(b'\'');
+                i += 3;
+            } else {
+                code.push(b'\'');
+                i += 1;
+            }
+        } else {
+            code.push(b);
+            i += 1;
+        }
+    }
+
+    Stripped {
+        // Every replacement byte is ASCII and untouched spans are copied
+        // verbatim, so the buffer is valid UTF-8 by construction.
+        code: String::from_utf8_lossy(&code).into_owned(),
+        comments,
+        strings,
+    }
+}
+
+/// Consumes a `"`-delimited string with escapes starting at `bytes[i]`.
+fn scan_plain_string(
+    bytes: &[u8],
+    mut i: usize,
+    code: &mut Vec<u8>,
+    line: &mut usize,
+    strings: &mut Vec<(usize, usize)>,
+) -> usize {
+    let n = bytes.len();
+    code.push(b'"');
+    i += 1;
+    let content_start = i;
+    while i < n {
+        match bytes[i] {
+            b'\\' if i + 1 < n => {
+                if bytes[i + 1] == b'\n' {
+                    code.push(b' ');
+                    code.push(b'\n');
+                    *line += 1;
+                } else {
+                    code.push(b' ');
+                    code.push(b' ');
+                }
+                i += 2;
+            }
+            b'"' => {
+                strings.push((content_start, i));
+                code.push(b'"');
+                i += 1;
+                return i;
+            }
+            b'\n' => {
+                code.push(b'\n');
+                *line += 1;
+                i += 1;
+            }
+            _ => {
+                code.push(b' ');
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Does `bytes[i..]` start a raw/byte string prefix (`r"`, `r#`, `b"`,
+/// `br"`, `br#`)?
+fn is_literal_prefix(bytes: &[u8], i: usize) -> bool {
+    let n = bytes.len();
+    match bytes[i] {
+        b'r' => i + 1 < n && (bytes[i + 1] == b'"' || bytes[i + 1] == b'#'),
+        b'b' => {
+            (i + 1 < n && bytes[i + 1] == b'"')
+                || (i + 2 < n
+                    && bytes[i + 1] == b'r'
+                    && (bytes[i + 2] == b'"' || bytes[i + 2] == b'#'))
+        }
+        _ => false,
+    }
+}
+
+/// `(is_raw, prefix_len)` for a literal prefix at `bytes[i]`.
+fn literal_prefix(bytes: &[u8], i: usize) -> (bool, usize) {
+    match bytes[i] {
+        b'r' => (true, 1),
+        b'b' if bytes.get(i + 1) == Some(&b'r') => (true, 2),
+        _ => (false, 1),
+    }
+}
+
+/// Byte offsets of each line start, for `offset -> line` mapping.
+pub fn line_starts(text: &str) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for (i, b) in text.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// 1-based line containing byte `offset`.
+pub fn line_of(starts: &[usize], offset: usize) -> usize {
+    match starts.binary_search(&offset) {
+        Ok(i) => i + 1,
+        Err(i) => i,
+    }
+}
+
+/// Byte ranges of `#[cfg(test)] mod`-style regions: any item whose
+/// attribute list mentions `test` (word-boundary match, so `#[test]`,
+/// `#[cfg(test)]`, `#[cfg(all(test, ...))]` all qualify) together with
+/// its brace-delimited body.
+pub fn test_regions(code: &str) -> Vec<(usize, usize)> {
+    let bytes = code.as_bytes();
+    let n = bytes.len();
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < n {
+        if bytes[i] != b'#' {
+            i += 1;
+            continue;
+        }
+        // `#![...]` inner attributes never gate a following item.
+        let mut j = i + 1;
+        while j < n && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if j >= n || bytes[j] != b'[' {
+            i += 1;
+            continue;
+        }
+        // Capture the attribute to its matching bracket.
+        let attr_start = j;
+        let mut depth = 0usize;
+        let mut k = j;
+        while k < n {
+            match bytes[k] {
+                b'[' => depth += 1,
+                b']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        if k >= n {
+            break;
+        }
+        let attr = &code[attr_start..=k];
+        if contains_word(attr, "test") {
+            if let Some((_, region_end)) = item_body_after(bytes, k + 1) {
+                regions.push((i, region_end));
+            }
+        }
+        i = k + 1;
+    }
+    regions
+}
+
+/// Finds the `{ ... }` body of the item that starts after offset `i`,
+/// skipping further attributes; returns `None` when a `;` ends the item
+/// before any body (e.g. `#[cfg(test)] mod tests;`).
+fn item_body_after(bytes: &[u8], mut i: usize) -> Option<(usize, usize)> {
+    let n = bytes.len();
+    let mut paren = 0isize;
+    let mut bracket = 0isize;
+    while i < n {
+        match bytes[i] {
+            b'(' => paren += 1,
+            b')' => paren -= 1,
+            b'[' => bracket += 1,
+            b']' => bracket -= 1,
+            b';' if paren == 0 && bracket == 0 => return None,
+            b'{' if paren == 0 && bracket == 0 => {
+                let start = i;
+                let mut depth = 0usize;
+                while i < n {
+                    match bytes[i] {
+                        b'{' => depth += 1,
+                        b'}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return Some((start, i + 1));
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                return Some((start, n));
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Whole-word containment: `needle` appears in `haystack` with
+/// non-identifier characters (or boundaries) on both sides.
+pub fn contains_word(haystack: &str, needle: &str) -> bool {
+    find_words(haystack, needle).next().is_some()
+}
+
+/// Iterator over byte offsets of whole-word occurrences of `needle`.
+pub fn find_words<'a>(haystack: &'a str, needle: &'a str) -> impl Iterator<Item = usize> + 'a {
+    let bytes = haystack.as_bytes();
+    let len = needle.len();
+    haystack.match_indices(needle).filter_map(move |(pos, _)| {
+        let before_ok = pos == 0 || !is_ident(bytes[pos - 1]);
+        let after_ok = pos + len >= bytes.len() || !is_ident(bytes[pos + len]);
+        (before_ok && after_ok).then_some(pos)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_strings_preserving_length() {
+        let src = "let x = \"a // not comment\"; // real\n/* block */ let y = 1;";
+        let s = strip(src);
+        assert_eq!(s.code.len(), src.len());
+        assert!(!s.code.contains("not comment"));
+        assert!(!s.code.contains("real"));
+        assert!(!s.code.contains("block"));
+        assert!(s.code.contains("let y = 1;"));
+        assert_eq!(s.comments.len(), 1);
+        assert_eq!(s.comments[0].line, 1);
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let src = "let a = r#\"un\"closed? no\"#; let c = '\"'; let lt: &'static str = \"x\";";
+        let s = strip(src);
+        assert_eq!(s.code.len(), src.len());
+        assert!(!s.code.contains("closed"));
+        assert!(s.code.contains("'static"));
+        // Exactly two string-literal spans (the raw one and "x").
+        assert_eq!(s.strings.len(), 2);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ fn f() {}";
+        let s = strip(src);
+        assert!(!s.code.contains("still"));
+        assert!(s.code.contains("fn f()"));
+    }
+
+    #[test]
+    fn test_region_covers_cfg_test_mod() {
+        let src = "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n  fn t() { y.unwrap(); }\n}\nfn after() {}";
+        let s = strip(src);
+        let regions = test_regions(&s.code);
+        assert_eq!(regions.len(), 1);
+        let (a, b) = regions[0];
+        assert!(src[a..b].contains("y.unwrap"));
+        assert!(!src[a..b].contains("x.unwrap"));
+        assert!(!src[a..b].contains("after"));
+    }
+
+    #[test]
+    fn cfg_test_on_semicolon_item_makes_no_region() {
+        let src = "#[cfg(test)]\nmod tests;\nfn live() {}";
+        let s = strip(src);
+        assert!(test_regions(&s.code).is_empty());
+    }
+
+    #[test]
+    fn array_type_semicolons_do_not_end_the_item() {
+        let src = "#[test]\nfn t(x: [u8; 4]) { body(); }";
+        let s = strip(src);
+        let regions = test_regions(&s.code);
+        assert_eq!(regions.len(), 1);
+        assert!(src[regions[0].0..regions[0].1].contains("body"));
+    }
+
+    #[test]
+    fn whole_word_matching() {
+        assert!(contains_word("cfg(test)", "test"));
+        assert!(!contains_word("latest", "test"));
+        assert!(!contains_word("test_helper", "test"));
+    }
+
+    #[test]
+    fn line_mapping_survives_multiline_strings() {
+        let src = "let s = \"line one\nline two\";\nlet t = 3;";
+        let s = strip(src);
+        let starts = line_starts(&s.code);
+        let off = s.code.find("let t").unwrap();
+        assert_eq!(line_of(&starts, off), 3);
+    }
+}

@@ -1,0 +1,217 @@
+//! Workspace walking and the per-file model every rule consumes.
+
+use crate::lexer::{self, Comment, Stripped};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// What kind of target a file belongs to, derived from its path. Rules
+/// use this to scope themselves: the trust-boundary rules bind library
+/// code, while test/bench/example code is exercised under a developer's
+/// eyes and may decrypt or print freely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// `src/` code of a library crate — the protocol trust boundary.
+    Library,
+    /// Integration tests (`tests/` directories).
+    Test,
+    /// Benchmarks (`benches/` directories).
+    Bench,
+    /// Examples (`examples/` directories).
+    Example,
+    /// Binary targets (`src/bin/`, `src/main.rs`).
+    Bin,
+}
+
+/// One parsed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the scan root, forward slashes.
+    pub rel: String,
+    /// Target classification (see [`FileKind`]).
+    pub kind: FileKind,
+    /// Raw file contents.
+    pub raw: String,
+    /// Comment/literal-stripped contents (same length as `raw`).
+    pub code: String,
+    /// String-literal content spans in `raw`.
+    pub strings: Vec<(usize, usize)>,
+    /// Line comments (suppression carriers).
+    pub comments: Vec<Comment>,
+    /// Byte ranges covered by `#[cfg(test)]`/`#[test]` items.
+    pub test_regions: Vec<(usize, usize)>,
+    /// Inline suppressions: `(line, rule-id)`; a suppression covers its
+    /// own line and the next line.
+    pub suppressions: Vec<(usize, String)>,
+    line_starts: Vec<usize>,
+}
+
+impl SourceFile {
+    /// Parses `raw` into the model.
+    pub fn parse(rel: String, raw: String) -> SourceFile {
+        let kind = classify(&rel);
+        let Stripped {
+            code,
+            comments,
+            strings,
+        } = lexer::strip(&raw);
+        let test_regions = lexer::test_regions(&code);
+        let suppressions = parse_suppressions(&comments);
+        let line_starts = lexer::line_starts(&code);
+        SourceFile {
+            rel,
+            kind,
+            raw,
+            code,
+            strings,
+            comments,
+            test_regions,
+            suppressions,
+            line_starts,
+        }
+    }
+
+    /// 1-based line containing byte `offset`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        lexer::line_of(&self.line_starts, offset)
+    }
+
+    /// Is `offset` inside test-gated code? Whole files in `tests/`
+    /// directories count, as do `#[cfg(test)]`/`#[test]` regions.
+    pub fn in_test(&self, offset: usize) -> bool {
+        self.kind == FileKind::Test
+            || self
+                .test_regions
+                .iter()
+                .any(|&(a, b)| offset >= a && offset < b)
+    }
+
+    /// Is a finding of `rule` on `line` covered by an inline
+    /// `// sknn-lint: allow(rule, "reason")` on the same or previous line?
+    pub fn is_suppressed(&self, rule: &str, line: usize) -> bool {
+        self.suppressions
+            .iter()
+            .any(|(l, r)| (*l == line || *l + 1 == line) && (r == rule || r == "all"))
+    }
+}
+
+fn classify(rel: &str) -> FileKind {
+    let in_dir = |d: &str| rel.starts_with(&format!("{d}/")) || rel.contains(&format!("/{d}/"));
+    if in_dir("tests") {
+        FileKind::Test
+    } else if in_dir("benches") {
+        FileKind::Bench
+    } else if in_dir("examples") {
+        FileKind::Example
+    } else if in_dir("bin") || rel.ends_with("/main.rs") || rel == "main.rs" {
+        FileKind::Bin
+    } else {
+        FileKind::Library
+    }
+}
+
+/// Extracts `sknn-lint: allow(rule, "reason")` directives from line
+/// comments. The reason is free text for reviewers; only the rule id is
+/// machine-read. `allow(all, ...)` suppresses every rule.
+fn parse_suppressions(comments: &[Comment]) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for c in comments {
+        let Some(marker) = c.text.find("sknn-lint:") else {
+            continue;
+        };
+        let rest = &c.text[marker..];
+        let Some(open) = rest.find("allow(") else {
+            continue;
+        };
+        let body = &rest[open + "allow(".len()..];
+        let end = body.find([',', ')']).unwrap_or(body.len());
+        let rule = body[..end].trim().to_string();
+        if !rule.is_empty() {
+            out.push((c.line, rule));
+        }
+    }
+    out
+}
+
+/// Paths never scanned: build output, VCS metadata, and the linter's own
+/// rule fixtures (which contain violations on purpose).
+const SKIP_DIRS: &[&str] = &["target", ".git"];
+const SKIP_PREFIXES: &[&str] = &["crates/lint/tests/fixtures"];
+
+/// Walks `root` for `.rs` files and parses each. Paths are returned
+/// sorted for deterministic output.
+pub fn load_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    walk(root, root, &mut paths)?;
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for path in paths {
+        let rel = rel_path(root, &path);
+        let raw = fs::read_to_string(&path)?;
+        files.push(SourceFile::parse(rel, raw));
+    }
+    Ok(files)
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            let rel = rel_path(root, &path);
+            if SKIP_PREFIXES.iter().any(|p| rel.starts_with(p)) {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_by_path() {
+        assert_eq!(classify("crates/core/src/lib.rs"), FileKind::Library);
+        assert_eq!(classify("crates/core/tests/t.rs"), FileKind::Test);
+        assert_eq!(classify("crates/bench/benches/b.rs"), FileKind::Bench);
+        assert_eq!(classify("examples/quickstart.rs"), FileKind::Example);
+        assert_eq!(classify("crates/lint/src/main.rs"), FileKind::Bin);
+        assert_eq!(classify("src/bin/tool.rs"), FileKind::Bin);
+    }
+
+    #[test]
+    fn suppression_parsing_and_coverage() {
+        let src = "// sknn-lint: allow(panic-free, \"reason here\")\nx.unwrap();\ny.unwrap();\n";
+        let f = SourceFile::parse("crates/core/src/x.rs".into(), src.into());
+        assert!(f.is_suppressed("panic-free", 1));
+        assert!(f.is_suppressed("panic-free", 2));
+        assert!(!f.is_suppressed("panic-free", 3));
+        assert!(!f.is_suppressed("decrypt-containment", 2));
+    }
+
+    #[test]
+    fn allow_all_covers_every_rule() {
+        let src = "// sknn-lint: allow(all)\nx.unwrap();\n";
+        let f = SourceFile::parse("crates/core/src/x.rs".into(), src.into());
+        assert!(f.is_suppressed("panic-free", 2));
+        assert!(f.is_suppressed("secret-format", 2));
+    }
+}

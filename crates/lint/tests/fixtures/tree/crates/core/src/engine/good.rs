@@ -1,0 +1,8 @@
+//! Fixture: the approved derived-seed pattern passes rng-discipline.
+
+pub fn scatter<R: RngCore + ?Sized>(rng: &mut R, n: usize) {
+    let seeds = crate::seed::derive_seeds(rng, n);
+    for &s in &seeds {
+        let _rng = crate::seed::derived_rng(s);
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: rng-discipline violation in executor code.
+
+pub fn scatter(seeds: &[u64]) {
+    for &s in seeds {
+        // VIOLATION(rng-discipline): direct RNG construction.
+        let _rng = StdRng::seed_from_u64(s);
+    }
+}

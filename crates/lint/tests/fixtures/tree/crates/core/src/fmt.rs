@@ -1,0 +1,29 @@
+//! Fixture: secret-format violations.
+
+pub fn chatty(blinded: u64) {
+    // VIOLATION(secret-format): print macro in library code.
+    println!("value = {blinded}");
+}
+
+pub fn leaky_message(sk: &PrivateKey) -> String {
+    // VIOLATION(secret-format): interpolates a secret binding.
+    format!("debugging with key {sk:?}")
+}
+
+// VIOLATION(secret-format): key material must not derive Debug.
+#[derive(Debug, Clone)]
+pub struct PrivateKey {
+    lambda: BigUint,
+}
+
+pub fn harmless() -> String {
+    // Not a violation: `sk` only appears in prose, not as `{sk}`.
+    "the sk never leaves C2".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn test_may_print(sk: &super::PrivateKey) {
+        println!("{sk:?}");
+    }
+}

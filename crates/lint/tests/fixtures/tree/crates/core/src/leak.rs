@@ -1,0 +1,21 @@
+//! Fixture: a C1-side module that wrongly decrypts — the exact failure
+//! mode the decrypt-containment rule exists to catch.
+
+pub fn c1_peeks_at_plaintext(sk: &PrivateKey, c: &Ciphertext) -> u64 {
+    // VIOLATION(decrypt-containment): C1 must never decrypt.
+    sk.try_decrypt_u64(c).unwrap_or(0)
+}
+
+pub fn audited_escape_hatch(sk: &PrivateKey, c: &Ciphertext) -> BigUint {
+    // sknn-lint: allow(decrypt-containment, "fixture: suppression must be honored")
+    sk.decrypt(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_code_may_decrypt(sk: &PrivateKey, c: &Ciphertext) -> BigUint {
+        sk.decrypt(c)
+    }
+}

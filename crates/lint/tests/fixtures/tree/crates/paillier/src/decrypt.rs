@@ -1,0 +1,8 @@
+//! Fixture: the defining crate's own decrypt implementation is allowed.
+
+impl PrivateKey {
+    pub fn try_decrypt_u64(&self, c: &Ciphertext) -> Result<u64, Error> {
+        let m = self.decrypt(c);
+        m.to_u64().ok_or(Error::TooLarge)
+    }
+}

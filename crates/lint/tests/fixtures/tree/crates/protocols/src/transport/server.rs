@@ -1,0 +1,11 @@
+//! Fixture: server dispatch that forgot one variant. The mention of
+//! Request::Shutdown in this comment must NOT count — only code does.
+
+pub fn handle(req: Request) -> Response {
+    match req {
+        Request::Ping => Response::Pong,
+        Request::Query { k } => run_query(k),
+        Request::Shard(s) => accept_shard(s),
+        Request::Drain => drain(),
+    }
+}

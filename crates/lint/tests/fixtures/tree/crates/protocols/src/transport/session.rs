@@ -1,0 +1,23 @@
+//! Fixture: client session encodes every request variant.
+
+impl Session {
+    pub fn ping(&mut self) {
+        self.submit(Request::Ping);
+    }
+
+    pub fn query(&mut self, k: usize) {
+        self.submit(Request::Query { k });
+    }
+
+    pub fn shutdown(&mut self) {
+        self.submit(Request::Shutdown);
+    }
+
+    pub fn shard(&mut self, s: u64) {
+        self.submit(Request::Shard(s));
+    }
+
+    pub fn drain(&mut self) {
+        self.submit(Request::Drain);
+    }
+}

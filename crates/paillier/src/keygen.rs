@@ -6,10 +6,21 @@ use rand::RngCore;
 use sknn_bigint::{gen_prime, BigUint};
 
 /// A freshly generated Paillier key pair.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct Keypair {
     public: PublicKey,
     private: PrivateKey,
+}
+
+/// Redacted: defers to [`PrivateKey`]'s redacted `Debug`, so the secret
+/// half stays unformattable even when a key pair is embedded in a
+/// `#[derive(Debug)]` struct.
+impl std::fmt::Debug for Keypair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Keypair")
+            .field("public", &self.public)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Keypair {

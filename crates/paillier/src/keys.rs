@@ -65,7 +65,7 @@ impl PublicKey {
 /// Holds the factorization of `N` and the precomputed CRT constants so that
 /// decryption costs two half-size exponentiations instead of one full-size
 /// one (≈4× faster; see the `paillier` benchmark's `decrypt_direct` ablation).
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PrivateKey {
     pub(crate) public: PublicKey,
@@ -94,6 +94,17 @@ impl PrivateKey {
     /// The modulus `N` (convenience accessor).
     pub fn n(&self) -> &BigUint {
         &self.public.n
+    }
+}
+
+/// Redacted: prints only the public half. The factorization and CRT
+/// constants must never reach a log line or panic message, even through a
+/// derive on a struct that embeds this key.
+impl std::fmt::Debug for PrivateKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PrivateKey")
+            .field("public", &self.public)
+            .finish_non_exhaustive()
     }
 }
 

@@ -48,6 +48,15 @@ pub enum ProtocolError {
     /// A slot-packing invariant was violated (layout overflow, a value too
     /// wide for its slot, a packed value with carried slots).
     Packing(PackingError),
+    /// An invariant the protocol constructs by design was violated by a
+    /// lower layer — e.g. a pooled encryption rejecting a mask the caller
+    /// already reduced below `N`, or a reduction tree ending empty. Always
+    /// a logic bug, but surfaced as a typed error rather than a panic so
+    /// the serving loops stay panic-free on protocol paths.
+    Invariant {
+        /// What was violated.
+        message: String,
+    },
 }
 
 impl From<PackingError> for ProtocolError {
@@ -84,6 +93,9 @@ impl fmt::Display for ProtocolError {
                 write!(f, "the key holder does not support slot-packed requests")
             }
             ProtocolError::Packing(e) => write!(f, "slot packing failed: {e}"),
+            ProtocolError::Invariant { message } => {
+                write!(f, "protocol invariant violated: {message}")
+            }
         }
     }
 }
@@ -116,5 +128,10 @@ mod tests {
         assert!(ProtocolError::MinSelectionFailed { candidates: 9 }
             .to_string()
             .contains('9'));
+        assert!(ProtocolError::Invariant {
+            message: "tree ended empty".into()
+        }
+        .to_string()
+        .contains("tree ended empty"));
     }
 }

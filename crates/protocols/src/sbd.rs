@@ -59,7 +59,11 @@ pub fn secure_bit_decompose_with<K: KeyHolder + ?Sized, R: RngCore + ?Sized>(
     enc: Option<&PooledEncryptor>,
 ) -> Result<Vec<Ciphertext>, ProtocolError> {
     secure_bit_decompose_batch_with(pk, key_holder, std::slice::from_ref(e_z), l, rng, enc)
-        .map(|mut v| v.pop().expect("batch of one returns one result"))
+        .and_then(|mut v| {
+            v.pop().ok_or_else(|| ProtocolError::Invariant {
+                message: "SBD batch of one returned no decomposition".into(),
+            })
+        })
 }
 
 /// Bit-decomposes many ciphertexts at once; the `i`-th output is the
@@ -116,9 +120,12 @@ pub fn secure_bit_decompose_batch_with<K: KeyHolder + ?Sized, R: RngCore + ?Size
         let mut masked = Vec::with_capacity(current.len());
         for c in &current {
             let r = random_below(rng, &mask_bound);
-            // r < mask_bound < N, so pooled encryption cannot be out of range.
+            // r < mask_bound < N, so pooled encryption cannot be out of range;
+            // if it still objects, surface the logic bug as a typed error.
             let e_r = match enc {
-                Some(enc) => enc.encrypt(&r).expect("mask is below N by construction"),
+                Some(enc) => enc.encrypt(&r).map_err(|e| ProtocolError::Invariant {
+                    message: format!("pooled encryption rejected an in-range SBD mask: {e}"),
+                })?,
                 None => pk.encrypt(&r, rng),
             };
             masked.push(pk.add(c, &e_r));

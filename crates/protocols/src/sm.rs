@@ -26,6 +26,7 @@ pub fn secure_multiply<K: KeyHolder + ?Sized, R: RngCore + ?Sized>(
 ) -> Ciphertext {
     secure_multiply_batch(pk, key_holder, &[(e_a.clone(), e_b.clone())], rng)
         .pop()
+        // sknn-lint: allow(panic-free, "batch of one returns exactly one product; the scalar API has no error channel")
         .expect("batch of one returns one result")
 }
 

@@ -41,12 +41,20 @@ pub fn secure_min_n<K: KeyHolder + ?Sized, R: RngCore + ?Sized>(
             match chunk {
                 [a, b] => next.push(secure_min(pk, key_holder, a, b, rng)?),
                 [a] => next.push(a.clone()),
-                _ => unreachable!("chunks(2) yields chunks of length 1 or 2"),
+                // `chunks(2)` never yields any other shape; an empty chunk
+                // would mean the tournament lost contenders mid-level.
+                _ => {
+                    return Err(ProtocolError::Invariant {
+                        message: "SMIN_n tournament produced an empty pairing".into(),
+                    })
+                }
             }
         }
         current = next;
     }
-    Ok(current.pop().expect("at least one value remains"))
+    current.pop().ok_or_else(|| ProtocolError::Invariant {
+        message: "SMIN_n tournament ended with no remaining value".into(),
+    })
 }
 
 #[cfg(test)]

@@ -196,7 +196,13 @@ pub fn serve_with_features(
             .collect();
         let mut result = Ok(());
         for handle in handles {
-            if let Err(e) = handle.join().expect("server worker panicked") {
+            // A worker that panicked (it should never — handlers reply with
+            // typed errors) is reported as an I/O-class failure instead of
+            // propagating the panic into the caller's thread.
+            let worker = handle.join().unwrap_or(Err(TransportError::Io(
+                "server worker panicked".to_string(),
+            )));
+            if let Err(e) = worker {
                 // Keep the first error: the worker that hit the root cause
                 // closed the transport, so later workers only report
                 // secondary symptoms.

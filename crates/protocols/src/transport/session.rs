@@ -337,6 +337,7 @@ fn bootstrap(transport: Arc<dyn Transport>) -> (Arc<SessionCore>, JoinHandle<()>
         std::thread::Builder::new()
             .name("sknn-session-demux".into())
             .spawn(move || demux_loop(core.transport.as_ref(), &core.pending))
+            // sknn-lint: allow(panic-free, "thread spawn fails only on OS resource exhaustion; connect has no error channel")
             .expect("spawn demux thread")
     };
     (core, demux)
@@ -417,6 +418,7 @@ impl SessionKeyHolder {
         let server = std::thread::Builder::new()
             .name("sknn-keyholder-server".into())
             .spawn(move || serve(&server_end, &holder, workers))
+            // sknn-lint: allow(panic-free, "thread spawn fails only on OS resource exhaustion; test-harness constructor")
             .expect("spawn key-holder server thread");
         let client = SessionKeyHolder::connect(pk, Arc::new(client_end), coalesce);
         (client, server)
@@ -467,6 +469,7 @@ impl SessionKeyHolder {
 /// no error channel — see the "Failure behavior" section of
 /// [`SessionKeyHolder`]'s docs.
 fn unwrap_or_die<T>(operation: &'static str, result: Result<T, TransportError>) -> T {
+    // sknn-lint: allow(panic-free, "documented fail-stop behavior: KeyHolder trait methods have no error channel")
     result.unwrap_or_else(|e| panic!("key-holder {operation} failed: {e}"))
 }
 

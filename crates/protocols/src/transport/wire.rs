@@ -310,14 +310,12 @@ impl Frame {
     /// # Errors
     /// Returns a typed [`TransportError`] on version/kind/length mismatches.
     pub fn decode(bytes: &[u8]) -> Result<Frame, TransportError> {
-        if bytes.len() < FRAME_HEADER_LEN {
+        let Some(header) = bytes.first_chunk::<FRAME_HEADER_LEN>() else {
             return Err(TransportError::Truncated {
                 needed: FRAME_HEADER_LEN,
                 available: bytes.len(),
             });
-        }
-        let header: &[u8; FRAME_HEADER_LEN] =
-            bytes[..FRAME_HEADER_LEN].try_into().expect("header slice");
+        };
         let (kind, correlation_id, len) = parse_header(header)?;
         let body = &bytes[FRAME_HEADER_LEN..];
         if body.len() < len {
@@ -345,12 +343,15 @@ impl Frame {
 pub(crate) fn parse_header(
     header: &[u8; FRAME_HEADER_LEN],
 ) -> Result<(FrameKind, u64, usize), TransportError> {
-    if header[0] != WIRE_VERSION {
-        return Err(TransportError::BadVersion { got: header[0] });
+    // Destructuring the fixed-size header keeps this path free of
+    // slice-conversion panics: the layout is checked at compile time.
+    let [version, kind, c0, c1, c2, c3, c4, c5, c6, c7, l0, l1, l2, l3] = *header;
+    if version != WIRE_VERSION {
+        return Err(TransportError::BadVersion { got: version });
     }
-    let kind = FrameKind::from_byte(header[1])?;
-    let correlation_id = u64::from_be_bytes(header[2..10].try_into().expect("8 bytes"));
-    let len = u32::from_be_bytes(header[10..14].try_into().expect("4 bytes")) as usize;
+    let kind = FrameKind::from_byte(kind)?;
+    let correlation_id = u64::from_be_bytes([c0, c1, c2, c3, c4, c5, c6, c7]);
+    let len = u32::from_be_bytes([l0, l1, l2, l3]) as usize;
     if len > MAX_FRAME_PAYLOAD {
         return Err(TransportError::FrameTooLarge { len: len as u64 });
     }

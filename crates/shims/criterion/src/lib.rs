@@ -172,9 +172,20 @@ impl Bencher {
     }
 }
 
+/// The single audited console sink of the bench harness. Keeping every
+/// write behind one function makes the shim's output surface reviewable
+/// at a glance: only bench labels and timing summaries pass through
+/// here, never protocol data.
+fn emit(line: std::fmt::Arguments<'_>) {
+    // sknn-lint: allow(secret-format, "bench reporter sink: prints timing labels only, never protocol data")
+    println!("{line}");
+}
+
 fn report(label: &str, samples: &[Duration], test_mode: bool) {
     if samples.is_empty() {
-        println!("{label:<50} no samples (closure never called iter)");
+        emit(format_args!(
+            "{label:<50} no samples (closure never called iter)"
+        ));
         return;
     }
     let total: Duration = samples.iter().sum();
@@ -182,15 +193,18 @@ fn report(label: &str, samples: &[Duration], test_mode: bool) {
     let min = samples.iter().min().copied().unwrap_or_default();
     let max = samples.iter().max().copied().unwrap_or_default();
     if test_mode {
-        println!("{label:<50} ok ({} in test mode)", fmt_duration(mean));
+        emit(format_args!(
+            "{label:<50} ok ({} in test mode)",
+            fmt_duration(mean)
+        ));
     } else {
-        println!(
+        emit(format_args!(
             "{label:<50} time: [{} {} {}]  ({} samples)",
             fmt_duration(min),
             fmt_duration(mean),
             fmt_duration(max),
             samples.len()
-        );
+        ));
     }
 }
 

@@ -210,7 +210,12 @@
 //! `#[deprecated(since, note)]` attribute whose note points here; this
 //! list is the single place to check what is scheduled for removal and
 //! what replaces it. No internal code calls a deprecated item except the
-//! equivalence test that pins the deprecated path to its replacement.
+//! equivalence test that pins the deprecated path to its replacement —
+//! and `sknn-lint`'s `decrypt-containment` rule now enforces this
+//! statically for the decrypt surface: every `decrypt*` method
+//! (deprecated or not) may only be called from the key-holder modules on
+//! the rule's allowlist, so a stray `decrypt_u64` caller fails CI rather
+//! than just emitting a deprecation warning.
 //!
 //! | Deprecated | Since | Use instead |
 //! |------------|-------|-------------|
