@@ -20,6 +20,9 @@
 //!              SkNN_b queries/sec and per-stage/per-shard ciphertext
 //!              counts over the sharded data plane, at shards ∈ {1,2,4}
 //!              × sessions ∈ {1,2}                         (beyond the paper)
+//!   chaos-smoke
+//!              retry / reconnect / failover counters from deterministic
+//!              faulty runs through FaultInjectTransport   (beyond the paper)
 //!   all        every experiment above, in order
 //! ```
 //!
@@ -86,6 +89,7 @@ fn main() {
         "keysize" => keysize(scale, &mut report),
         "batch" => batch_throughput(scale, &mut report),
         "shard-scaling" => shard_scaling(scale, &mut report),
+        "chaos-smoke" => chaos_smoke(scale, &mut report),
         "all" => {
             fig2ab(scale, false, &mut report);
             fig2ab(scale, true, &mut report);
@@ -99,6 +103,7 @@ fn main() {
             keysize(scale, &mut report);
             batch_throughput(scale, &mut report);
             shard_scaling(scale, &mut report);
+            chaos_smoke(scale, &mut report);
         }
         other => {
             eprintln!("unknown experiment '{other}'");
@@ -560,5 +565,165 @@ fn keysize(scale: Scale, report: &mut BenchReport) {
         "# ratio when K doubles: {:.2}x (paper reports ≈7x)",
         large_time.as_secs_f64() / small_time.as_secs_f64()
     );
+    println!();
+}
+
+/// Beyond the paper: the fault-tolerance layer under deterministic faults.
+/// Two smoke-scale scenarios through `FaultInjectTransport`: a corrupted
+/// frame absorbed by retry-in-place, and a severed session whose shards
+/// fail over to the survivor mid-batch. Every point records the pool's
+/// resilience counters (retries / reconnects / failovers) alongside wall
+/// time, so the recovery cost is tracked across PRs like any other curve.
+fn chaos_smoke(scale: Scale, report: &mut BenchReport) {
+    use sknn_core::{
+        DataOwner, FederationConfig, LocalKeyHolder, PoolConfig, Protocol, RetryPolicy,
+        ShardingConfig, SknnEngine, TransportKind,
+    };
+    use sknn_data::{uniform_query, SyntheticDataset};
+    use sknn_protocols::transport::{
+        channel_pair, serve, CoalesceConfig, FaultInjectTransport, FaultPlan, SessionKeyHolder,
+        SessionPool, Transport,
+    };
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let (small, _) = scale.key_sizes();
+    let n = 8;
+    let k = 2;
+    let retry = RetryPolicy {
+        max_attempts: 3,
+        base_backoff: Duration::from_millis(2),
+        deadline: Some(Duration::from_millis(500)),
+    };
+    println!(
+        "## Chaos smoke: resilience counters under injected faults, n = {n}, m = 6, k = {k}, \
+         K = {small} bits, Channel transport"
+    );
+    println!(
+        "{:>16} {:>12} {:>9} {:>12} {:>10}",
+        "scenario", "time_s", "retries", "reconnects", "failovers"
+    );
+
+    let mut rng = StdRng::seed_from_u64(HARNESS_SEED ^ 0xC4A0);
+    let dataset = SyntheticDataset::uniform(n, 6, 12, &mut rng);
+    let owner = DataOwner::from_keypair(cached_keypair(small));
+
+    // Stands up an engine whose session `i` runs over a fault-injecting
+    // wire when `plans[i]` is set; `plans.len()` sessions in total.
+    let build = |plans: &[Option<FaultPlan>], shards: usize, rng: &mut StdRng| -> SknnEngine {
+        let mut clients = Vec::new();
+        let mut servers = Vec::new();
+        for (i, plan) in plans.iter().enumerate() {
+            let holder = LocalKeyHolder::new(owner.private_key().clone(), 0xC2_0000 + i as u64);
+            let (client_end, server_end) = channel_pair();
+            servers.push(
+                std::thread::Builder::new()
+                    .name(format!("chaos-smoke-c2-{i}"))
+                    .spawn(move || serve(&server_end, &holder, 2))
+                    .expect("spawn chaos server"),
+            );
+            let raw: Arc<dyn Transport> = Arc::new(client_end);
+            let transport: Arc<dyn Transport> = match plan {
+                Some(p) => Arc::new(FaultInjectTransport::new(raw, *p)),
+                None => raw,
+            };
+            clients.push(SessionKeyHolder::connect(
+                owner.public_key().clone(),
+                transport,
+                CoalesceConfig::disabled(),
+            ));
+        }
+        let pool = SessionPool::from_parts(clients, servers).expect("assemble pool");
+        let config = FederationConfig {
+            key_bits: small,
+            max_query_value: dataset.max_value,
+            transport: TransportKind::Channel,
+            threads: 2,
+            sharding: ShardingConfig {
+                shards,
+                sessions: plans.len(),
+            },
+            pool: PoolConfig {
+                capacity: 0,
+                ..Default::default()
+            },
+            pool_prewarm: 0,
+            retry,
+            ..Default::default()
+        };
+        let mut engine = SknnEngine::setup_with_sessions(owner.clone(), config, pool)
+            .expect("chaos engine setup");
+        engine
+            .register_dataset("chaos", &dataset.table, rng)
+            .expect("register dataset");
+        engine
+    };
+
+    // Scenario 1: one session, one corrupted frame mid-query — the typed
+    // remote error is retried in place and the query completes.
+    // Scenario 2: two sessions, session 1 severed mid-batch — its shards
+    // re-pin onto the survivor and every query in the batch completes.
+    let scenarios: [(&str, Vec<Option<FaultPlan>>, usize, usize); 2] = [
+        ("corrupt-retry", vec![Some(FaultPlan::corrupt_at(3))], 1, 1),
+        (
+            "sever-failover",
+            vec![None, Some(FaultPlan::sever_at(2))],
+            4,
+            3,
+        ),
+    ];
+    for (name, plans, shards, batch) in scenarios {
+        let engine = build(&plans, shards, &mut rng);
+        let queries: Vec<_> = (0..batch)
+            .map(|_| {
+                let q = uniform_query(6, dataset.max_value, &mut rng);
+                engine
+                    .query("chaos")
+                    .k(k)
+                    .point(&q)
+                    .protocol(Protocol::Basic)
+                    .build()
+                    .expect("validated query")
+            })
+            .collect();
+        let start = Instant::now();
+        let outcomes = engine.run_batch(&queries, &mut rng);
+        let elapsed = start.elapsed();
+        let mut shard_failovers = 0usize;
+        let mut shard_retries = 0usize;
+        for outcome in &outcomes {
+            let outcome = outcome.as_ref().expect("every chaos-smoke query recovers");
+            shard_failovers += outcome.retries.failed_over_shards().len();
+            shard_retries += outcome.retries.shard_retries.len();
+        }
+        let comm = engine
+            .comm_stats()
+            .expect("channel transport keeps traffic accounting");
+        report.push_duration(
+            "chaos-smoke",
+            &[
+                ("scenario", name.to_string()),
+                ("n", n.to_string()),
+                ("k", k.to_string()),
+                ("K", small.to_string()),
+                ("sessions", plans.len().to_string()),
+                ("shards", shards.to_string()),
+                ("batch", batch.to_string()),
+                ("retries", comm.retries.to_string()),
+                ("reconnects", comm.reconnects.to_string()),
+                ("failovers", comm.failovers.to_string()),
+                ("shard_retries", shard_retries.to_string()),
+                ("shard_failovers", shard_failovers.to_string()),
+            ],
+            elapsed,
+        );
+        println!(
+            "{name:>16} {:>12} {:>9} {:>12} {:>10}",
+            secs(elapsed),
+            comm.retries,
+            comm.reconnects,
+            comm.failovers
+        );
+    }
     println!();
 }

@@ -1,5 +1,6 @@
 //! Configuration types for the federated-cloud setup and for secure queries.
 
+use crate::retry::RetryPolicy;
 use sknn_paillier::PoolConfig;
 
 /// How cloud C1 talks to the key-holding cloud C2.
@@ -168,6 +169,11 @@ pub struct FederationConfig {
     /// into and how many independent C2 sessions serve them. The default
     /// ([`ShardingConfig::monolithic`]) reproduces the paper exactly.
     pub sharding: ShardingConfig,
+    /// Failure handling: per-request deadlines, retry attempts and backoff
+    /// (see [`RetryPolicy`]). The default ([`RetryPolicy::none`]) disables
+    /// all of it — requests wait forever and the first failure is final —
+    /// reproducing the pre-resilience behavior exactly.
+    pub retry: RetryPolicy,
 }
 
 impl Default for FederationConfig {
@@ -185,6 +191,7 @@ impl Default for FederationConfig {
             packing: PackingKind::Off,
             packing_blind_bits: 40,
             sharding: ShardingConfig::default(),
+            retry: RetryPolicy::none(),
         }
     }
 }
@@ -217,6 +224,8 @@ mod tests {
         assert_eq!(c.sharding, ShardingConfig::monolithic());
         assert_eq!(c.sharding.shards, 1);
         assert_eq!(c.sharding.sessions, 1);
+        assert_eq!(c.retry, RetryPolicy::none());
+        assert!(!c.retry.is_enabled(), "resilience is opt-in");
     }
 
     #[test]

@@ -42,16 +42,17 @@ pub use batch::QueryOutcome;
 pub use builder::{PreparedQuery, Protocol, QueryBuilder};
 
 use crate::config::{FederationConfig, PackingKind, SecureQueryParams, TransportKind};
-use crate::exec::SessionSet;
+use crate::exec::{classify_session_failure, SessionSet};
 use crate::parallel::ParallelismConfig;
 use crate::profile::PoolActivity;
+use crate::retry::RetryReport;
 use crate::roles::{CloudC1, DataOwner, QueryUser};
 use crate::{EncryptedRecord, SknnError, Table};
 use rand::RngCore;
 use sknn_paillier::{PoolConfig, PoolStats, PooledEncryptor, PublicKey, RandomnessPool};
 use sknn_protocols::stats::CommSnapshot;
 use sknn_protocols::transport::{
-    serve, CoalesceConfig, SessionKeyHolder, SessionPool, TcpTransport,
+    serve, CoalesceConfig, SessionHealth, SessionKeyHolder, SessionPool, TcpTransport,
 };
 use sknn_protocols::{KeyHolder, LocalKeyHolder, PackedParams};
 use std::collections::BTreeMap;
@@ -96,6 +97,15 @@ impl C2Handle {
         match self {
             C2Handle::Local(_) => None,
             C2Handle::Pool(pool) => Some(pool.comm_snapshot()),
+        }
+    }
+
+    /// The session pool, when C2 is behind a transport (health marks and
+    /// resilience counters live there; in-process holders need neither).
+    pub(crate) fn pool(&self) -> Option<&SessionPool> {
+        match self {
+            C2Handle::Local(_) => None,
+            C2Handle::Pool(pool) => Some(pool),
         }
     }
 }
@@ -286,7 +296,10 @@ impl SknnEngine {
             };
             let mut holder = LocalKeyHolder::new(owner.private_key().clone(), seed);
             if let Some(pool) = &c2_pool {
-                holder = holder.with_pool(Arc::clone(pool));
+                // The pool is built from this deployment's own key, so the
+                // key check cannot fail; unpooled encryption is the correct
+                // degradation if it ever did.
+                let _ = holder.attach_pool(Arc::clone(pool));
             }
             holder
         };
@@ -340,14 +353,75 @@ impl SknnEngine {
                         coalesce,
                     ));
                 }
-                C2Handle::Pool(SessionPool::from_parts(clients, servers))
+                C2Handle::Pool(
+                    SessionPool::from_parts(clients, servers).map_err(SknnError::Protocol)?,
+                )
             }
         };
+        // The per-request deadline is the liveness half of the retry
+        // policy: without it a dropped frame parks a worker forever and no
+        // amount of retrying ever runs.
+        if let C2Handle::Pool(pool) = &c2 {
+            pool.set_deadline(config.retry.deadline);
+        }
 
         Ok(SknnEngine {
             owner,
             user,
             c2,
+            pools,
+            c1_pool,
+            datasets: BTreeMap::new(),
+            parallelism: ParallelismConfig {
+                threads: config.threads.max(1),
+            },
+            config,
+        })
+    }
+
+    /// Like [`SknnEngine::setup_with_owner`] but over a caller-supplied,
+    /// already-connected C2 session pool instead of standing up the
+    /// transport from [`FederationConfig::transport`]. This is the path for
+    /// embedders that bootstrap their own wires — and for fault-injection
+    /// tests, which wrap each session's transport in a
+    /// [`sknn_protocols::transport::FaultInjectTransport`] before handing
+    /// the pool over.
+    ///
+    /// The engine installs [`FederationConfig::retry`]'s deadline on every
+    /// pool session; C2-side offline randomness pooling is skipped (the
+    /// key holders live on the other end of the wire), while C1's pool is
+    /// set up as usual.
+    ///
+    /// # Errors
+    /// Currently infallible; the `Result` matches the other constructors so
+    /// call sites are uniform.
+    pub fn setup_with_sessions(
+        owner: DataOwner,
+        mut config: FederationConfig,
+        sessions: SessionPool,
+    ) -> Result<SknnEngine, SknnError> {
+        config.key_bits = owner.public_key().bits();
+        let public_key = owner.public_key().clone();
+        let user = QueryUser::new(public_key.clone());
+        let mut pools = Vec::new();
+        let pooling = config.pool.capacity > 0;
+        let c1_pool = pooling.then(|| {
+            let pool = RandomnessPool::new(
+                public_key.clone(),
+                PoolConfig {
+                    seed: config.pool.seed.map(|s| s ^ 0xC1),
+                    ..config.pool
+                },
+            );
+            pool.prewarm(config.pool_prewarm);
+            pools.push(Arc::clone(&pool));
+            pool
+        });
+        sessions.set_deadline(config.retry.deadline);
+        Ok(SknnEngine {
+            owner,
+            user,
+            c2: C2Handle::Pool(sessions),
             pools,
             c1_pool,
             datasets: BTreeMap::new(),
@@ -572,25 +646,107 @@ impl SknnEngine {
         let comm_before = self.comm_stats();
         let pool_before = self.pool_stats();
         let enc_q = self.user.encrypt_query(query.point(), rng)?;
-        let sessions = SessionSet::new(self.c2.key_holders());
-        let (masked, mut profile, audit) = match query.protocol() {
-            Protocol::Basic => {
-                dataset
-                    .c1
-                    .process_basic_sharded(&sessions, &enc_q, query.k(), parallelism, rng)?
+        let policy = self.config.retry;
+        let secure_params = SecureQueryParams {
+            k: query.k(),
+            l: query
+                .requested_distance_bits()
+                .unwrap_or(dataset.distance_bits),
+        };
+        let holders = self.c2.key_holders();
+        // Whole-query retry: the executor recovers failed *scatter* stages
+        // itself; what reaches here is a failed monolithic or gather stage.
+        // Each re-run excludes sessions found dead, so it lands on the
+        // survivors, and re-derives nothing — the query ciphertexts are
+        // reused as-is, so a successful re-run answers exactly like a
+        // fault-free run would.
+        let mut report = RetryReport::default();
+        let mut excluded: Vec<usize> = Vec::new();
+        let mut attempt = 0usize;
+        let (masked, mut profile, audit) = loop {
+            attempt += 1;
+            // Indices into `holders` that are still in play, so the shard
+            // report below can be translated back to pool positions.
+            let live_idx: Vec<usize> = (0..holders.len())
+                .filter(|i| !excluded.contains(i))
+                .collect();
+            let live: Vec<&dyn KeyHolder> = live_idx.iter().map(|&i| holders[i]).collect();
+            let sessions = SessionSet::new(live);
+            let run = match query.protocol() {
+                Protocol::Basic => dataset.c1.process_basic_sharded(
+                    &sessions,
+                    &enc_q,
+                    query.k(),
+                    parallelism,
+                    &policy,
+                    rng,
+                ),
+                Protocol::Secure => dataset.c1.process_secure_sharded(
+                    &sessions,
+                    &enc_q,
+                    secure_params,
+                    parallelism,
+                    &policy,
+                    rng,
+                ),
+            };
+            match run {
+                Ok((masked, profile, audit, mut shard_report)) => {
+                    // The executor reports session-set positions; map them
+                    // back to pool indices before publishing.
+                    for r in &mut shard_report.shard_retries {
+                        r.from_session = live_idx[r.from_session % live_idx.len()];
+                        r.to_session = live_idx[r.to_session % live_idx.len()];
+                    }
+                    for s in &mut shard_report.dead_sessions {
+                        *s = live_idx[*s % live_idx.len()];
+                    }
+                    if let Some(pool) = self.c2.pool() {
+                        for s in &shard_report.dead_sessions {
+                            pool.mark(*s, SessionHealth::Dead);
+                        }
+                        for r in &shard_report.shard_retries {
+                            if r.is_failover() {
+                                pool.record_failover();
+                            } else {
+                                pool.record_retry();
+                            }
+                        }
+                    }
+                    report.absorb(shard_report);
+                    break (masked, profile, audit);
+                }
+                Err(e) => {
+                    let retryable = classify_session_failure(&e).is_some();
+                    if !retryable || attempt >= policy.max_attempts.max(1) {
+                        return Err(e);
+                    }
+                    // Probe before re-running: dead sessions are excluded
+                    // so the re-run lands on survivors only.
+                    if let Some(pool) = self.c2.pool() {
+                        for i in 0..pool.len() {
+                            if pool.probe(i) == SessionHealth::Dead && !excluded.contains(&i) {
+                                excluded.push(i);
+                            }
+                        }
+                        pool.record_retry();
+                    }
+                    if excluded.len() >= holders.len() {
+                        // Nothing left to fail over to.
+                        return Err(e);
+                    }
+                    for &i in &excluded {
+                        if !report.dead_sessions.contains(&i) {
+                            report.dead_sessions.push(i);
+                        }
+                    }
+                    report.query_retries += 1;
+                    let backoff = policy.backoff_before(attempt);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                }
             }
-            Protocol::Secure => dataset.c1.process_secure_sharded(
-                &sessions,
-                &enc_q,
-                SecureQueryParams {
-                    k: query.k(),
-                    l: query
-                        .requested_distance_bits()
-                        .unwrap_or(dataset.distance_bits),
-                },
-                parallelism,
-                rng,
-            )?,
         };
         profile.record_pool(pool_delta(&pool_before, &self.pool_stats()));
         let result = self.user.recover_records(&masked);
@@ -599,6 +755,7 @@ impl SknnEngine {
             profile,
             audit,
             comm: comm_delta(comm_before, self.comm_stats()),
+            retries: report,
         })
     }
 

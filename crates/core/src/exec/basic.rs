@@ -8,15 +8,22 @@
 //! way and both the per-shard and the merge selections order by
 //! (distance, physical index), the result — including tie-breaks — is
 //! identical to the monolithic scan.
+//!
+//! Every stage runs inside [`super::run_contained`], so a dying session
+//! surfaces as a typed error instead of an unwind; a failed scatter task is
+//! a pure function of its derived seed and shard view, so
+//! [`super::retry_shard_stage`] can re-run it — on the same session or
+//! re-pinned onto a survivor — with bit-identical protocol behavior.
 
 use super::stages::{BasicCandidate, FinalizeStage, SsedStage, TopKStage};
-use super::SessionSet;
+use super::{retry_shard_stage, run_contained, SessionSet};
 use crate::meter::OpMeter;
 use crate::parallel::{parallel_map, ParallelismConfig};
 use crate::profile::{QueryProfile, Stage};
+use crate::retry::{RetryPolicy, RetryReport};
 use crate::roles::CloudC1;
 use crate::seed::{derive_seeds, derived_rng};
-use crate::{AccessPatternAudit, EncryptedQuery, MaskedResult, SknnError};
+use crate::{AccessPatternAudit, EncryptedQuery, MaskedResult, ShardView, SknnError};
 use rand::RngCore;
 use sknn_paillier::Ciphertext;
 use sknn_protocols::KeyHolder;
@@ -30,8 +37,9 @@ pub(crate) fn execute_basic<R: RngCore + ?Sized>(
     query: &EncryptedQuery,
     k: usize,
     parallelism: ParallelismConfig,
+    retry: &RetryPolicy,
     rng: &mut R,
-) -> Result<(MaskedResult, QueryProfile, AccessPatternAudit), SknnError> {
+) -> Result<(MaskedResult, QueryProfile, AccessPatternAudit, RetryReport), SknnError> {
     c1.validate_query(query, k)?;
     let db = c1.database();
     let mut profile = QueryProfile::new();
@@ -47,38 +55,46 @@ pub(crate) fn execute_basic<R: RngCore + ?Sized>(
         .collect();
 
     // ── Monolithic plan: one populated shard is the paper's Algorithm 5 ──
+    // There is no per-shard stage to retry here; failures surface as typed
+    // errors and the engine's whole-query retry handles them.
     if views.len() <= 1 {
-        let c2 = sessions.primary();
-        let meter = OpMeter::new(c2);
-        let live = db.live_indices();
+        let rng = &mut *rng;
+        let profile_ref = &mut profile;
+        let (masked, audit) = run_contained(move || {
+            let c2 = sessions.primary();
+            let meter = OpMeter::new(c2);
+            let live = db.live_indices();
 
-        // Step 2: E(d_i) ← SSED(E(Q), E(t_i)) for every live record.
-        let distances = profile.time(Stage::DistanceComputation, || {
-            SsedStage::for_basic(c1, parallelism).run(&meter, query, live, rng)
+            // Step 2: E(d_i) ← SSED(E(Q), E(t_i)) for every live record.
+            let distances = profile_ref.time(Stage::DistanceComputation, || {
+                SsedStage::for_basic(c1, parallelism).run(&meter, query, live, rng)
+            })?;
+            profile_ref.record_ops(Stage::DistanceComputation, meter.take());
+
+            // Step 3: C2 decrypts the distances and returns the top-k index
+            // list δ.
+            let top_k = profile_ref.time(Stage::RecordSelection, || {
+                TopKStage::new(k).run(c1, &meter, &distances)
+            })?;
+            profile_ref.record_ops(Stage::RecordSelection, meter.take());
+
+            // Steps 4–6: mask the chosen records and produce Bob's two
+            // shares. `top_k` indexes the live view; map back to physical
+            // indices.
+            let top_k_physical: Vec<usize> = top_k.iter().map(|&i| distances.live[i]).collect();
+            let chosen: Vec<Vec<Ciphertext>> = top_k_physical
+                .iter()
+                .map(|&i| db.record(i).clone())
+                .collect();
+            let masked = profile_ref.time(Stage::Finalization, || {
+                FinalizeStage.run(c1, &meter, &chosen, rng)
+            });
+            profile_ref.record_ops(Stage::Finalization, meter.take());
+
+            let audit = AccessPatternAudit::basic_protocol(&top_k_physical);
+            Ok((masked, audit))
         })?;
-        profile.record_ops(Stage::DistanceComputation, meter.take());
-
-        // Step 3: C2 decrypts the distances and returns the top-k index
-        // list δ.
-        let top_k = profile.time(Stage::RecordSelection, || {
-            TopKStage::new(k).run(c1, &meter, &distances)
-        })?;
-        profile.record_ops(Stage::RecordSelection, meter.take());
-
-        // Steps 4–6: mask the chosen records and produce Bob's two shares.
-        // `top_k` indexes the live view; map back to physical indices.
-        let top_k_physical: Vec<usize> = top_k.iter().map(|&i| distances.live[i]).collect();
-        let chosen: Vec<Vec<Ciphertext>> = top_k_physical
-            .iter()
-            .map(|&i| db.record(i).clone())
-            .collect();
-        let masked = profile.time(Stage::Finalization, || {
-            FinalizeStage.run(c1, &meter, &chosen, rng)
-        });
-        profile.record_ops(Stage::Finalization, meter.take());
-
-        let audit = AccessPatternAudit::basic_protocol(&top_k_physical);
-        return Ok((masked, profile, audit));
+        return Ok((masked, profile, audit, RetryReport::default()));
     }
 
     // ── Scatter: per-shard SSED + top-k candidates on pinned sessions ──
@@ -88,10 +104,14 @@ pub(crate) fn execute_basic<R: RngCore + ?Sized>(
     let inner = ParallelismConfig {
         threads: parallelism.threads.div_ceil(views.len()).max(1),
     };
-    let shard_outs = parallel_map(parallelism.threads, &views, |i, view| {
+    // The scatter task: a pure function of (derived seed, shard view,
+    // session), so a re-run on any session is bit-identical.
+    let run_shard = |i: usize,
+                     view: &ShardView,
+                     c2: &dyn KeyHolder|
+     -> Result<(QueryProfile, Vec<BasicCandidate>), SknnError> {
         let mut shard_rng = derived_rng(seeds[i]);
         let shard = view.shard();
-        let c2 = sessions.for_shard(shard);
         let meter = OpMeter::new(c2);
         let mut p = QueryProfile::new();
 
@@ -104,39 +124,63 @@ pub(crate) fn execute_basic<R: RngCore + ?Sized>(
             TopKStage::new(k).candidates(c1, &meter, query, &distances, &mut shard_rng)
         })?;
         p.record_shard_ops(shard, Stage::ShardCandidates, meter.take());
-        Ok::<_, SknnError>((p, candidates))
+        Ok((p, candidates))
+    };
+    let shard_outs = parallel_map(parallelism.threads, &views, |i, view| {
+        run_contained(|| run_shard(i, view, sessions.for_shard(view.shard())))
     });
 
+    // Serial recovery pass: re-run failed scatter tasks per the policy,
+    // re-pinning dead sessions' shards onto survivors.
+    let mut report = RetryReport::default();
+    let mut dead: Vec<usize> = Vec::new();
     let mut candidates: Vec<BasicCandidate> = Vec::new();
-    for out in shard_outs {
-        let (p, shard_candidates) = out?;
+    for (i, out) in shard_outs.into_iter().enumerate() {
+        let view = &views[i];
+        let (p, shard_candidates) = match out {
+            Ok(ok) => ok,
+            Err(e) => retry_shard_stage(
+                sessions,
+                view.shard(),
+                retry,
+                &mut dead,
+                &mut report,
+                e,
+                |c2| run_shard(i, view, c2),
+            )?,
+        };
         profile.merge(&p);
         candidates.extend(shard_candidates);
     }
+    report.dead_sessions = dead;
 
     // ── Gather: one top-k over the ≤ k·S candidates on the primary
     // session. Sorting by physical index restores the monolithic scan's
     // (distance, storage position) total order, so equal-distance
     // tie-breaks match it exactly.
     candidates.sort_by_key(|c| c.physical);
-    let c2 = sessions.primary();
-    let meter = OpMeter::new(c2);
-    let merge_cts: Vec<Ciphertext> = candidates.iter().map(|c| c.distance.clone()).collect();
-    let top = profile.time(Stage::RecordSelection, || {
-        meter.top_k_indices(&merge_cts, k)
-    });
-    profile.record_ops(Stage::RecordSelection, meter.take());
+    let profile_ref = &mut profile;
+    let (masked, top_k_physical) = run_contained(move || {
+        let c2 = sessions.primary();
+        let meter = OpMeter::new(c2);
+        let merge_cts: Vec<Ciphertext> = candidates.iter().map(|c| c.distance.clone()).collect();
+        let top = profile_ref.time(Stage::RecordSelection, || {
+            meter.top_k_indices(&merge_cts, k)
+        });
+        profile_ref.record_ops(Stage::RecordSelection, meter.take());
 
-    let top_k_physical: Vec<usize> = top.iter().map(|&i| candidates[i].physical).collect();
-    let chosen: Vec<Vec<Ciphertext>> = top_k_physical
-        .iter()
-        .map(|&i| db.record(i).clone())
-        .collect();
-    let masked = profile.time(Stage::Finalization, || {
-        FinalizeStage.run(c1, &meter, &chosen, rng)
-    });
-    profile.record_ops(Stage::Finalization, meter.take());
+        let top_k_physical: Vec<usize> = top.iter().map(|&i| candidates[i].physical).collect();
+        let chosen: Vec<Vec<Ciphertext>> = top_k_physical
+            .iter()
+            .map(|&i| db.record(i).clone())
+            .collect();
+        let masked = profile_ref.time(Stage::Finalization, || {
+            FinalizeStage.run(c1, &meter, &chosen, rng)
+        });
+        profile_ref.record_ops(Stage::Finalization, meter.take());
+        Ok((masked, top_k_physical))
+    })?;
 
     let audit = AccessPatternAudit::basic_protocol(&top_k_physical);
-    Ok((masked, profile, audit))
+    Ok((masked, profile, audit, report))
 }

@@ -45,8 +45,12 @@ pub use stages::{FinalizeStage, SbdStage, ShardDistances, SsedStage, TopKStage};
 pub(crate) use basic::execute_basic;
 pub(crate) use secure::execute_secure;
 
+use crate::retry::{RetryPolicy, RetryReport, ShardRetry};
+use crate::SknnError;
 use sknn_paillier::{Ciphertext, PublicKey, SlotLayout};
+use sknn_protocols::transport::SessionFailure;
 use sknn_protocols::{KeyHolder, ProtocolError, SminRoundResponse};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 /// The C2 key-holder sessions a query plan executes over, with the
 /// shard-to-session pinning.
@@ -93,11 +97,119 @@ impl<'a> SessionSet<'a> {
         self.sessions[shard % self.sessions.len()]
     }
 
+    /// The session-set index shard `shard` is pinned to.
+    pub fn index_for_shard(&self, shard: usize) -> usize {
+        shard % self.sessions.len()
+    }
+
+    /// The session at set index `idx` (wrapping), for failover re-pinning.
+    pub fn session_at(&self, idx: usize) -> &'a dyn KeyHolder {
+        self.sessions[idx % self.sessions.len()]
+    }
+
     /// The primary session: runs unsharded queries, the gather merge and
     /// the finalize stage.
     pub fn primary(&self) -> &'a dyn KeyHolder {
         self.sessions[0]
     }
+}
+
+/// How a session failure constrains the re-run, from the executor's view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum FailureClass {
+    /// The session's connection is gone — re-pin onto a survivor.
+    Dead,
+    /// The failure may be transient (timeout, one corrupted exchange) —
+    /// the same session may be retried.
+    Transient,
+}
+
+/// Classifies an error as a session failure, or `None` for genuine
+/// protocol/validation errors that no amount of retrying fixes. The
+/// classification is purely structural (typed variants, no message
+/// sniffing): only a closed connection means the session is dead.
+pub(crate) fn classify_session_failure(e: &SknnError) -> Option<FailureClass> {
+    match e {
+        SknnError::Protocol(ProtocolError::TransportClosed) => Some(FailureClass::Dead),
+        SknnError::Protocol(ProtocolError::Transport { .. }) => Some(FailureClass::Transient),
+        _ => None,
+    }
+}
+
+/// Runs `f`, converting the session layer's documented fail-stop — an
+/// unwind carrying a typed [`SessionFailure`] payload — into a typed
+/// [`SknnError`]. Any other panic payload is a genuine bug and is
+/// propagated unchanged. This is the boundary that makes scatter tasks
+/// restartable: transport death inside a `KeyHolder` method (whose trait
+/// signature has no error channel) surfaces here as a value.
+pub(crate) fn run_contained<T>(f: impl FnOnce() -> Result<T, SknnError>) -> Result<T, SknnError> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(payload) => match payload.downcast::<SessionFailure>() {
+            Ok(failure) => Err(SknnError::Protocol(ProtocolError::from(failure.error))),
+            Err(other) => resume_unwind(other),
+        },
+    }
+}
+
+/// The next session index after `from` (wrapping) not listed in `dead`.
+fn next_live(len: usize, from: usize, dead: &[usize]) -> Option<usize> {
+    (1..=len)
+        .map(|d| (from + d) % len)
+        .find(|i| !dead.contains(i))
+}
+
+/// Serial recovery for one failed scatter task: re-executes `run` — a pure
+/// function of the shard's derived seed, so a re-run is bit-identical —
+/// against the same session for transient failures, or re-pinned onto the
+/// next live session when the pinned one is dead. Sleeps the policy's
+/// backoff between attempts, records every re-run in `report`, and returns
+/// the last error once the attempt budget (or the supply of live sessions)
+/// is exhausted.
+pub(crate) fn retry_shard_stage<T>(
+    sessions: &SessionSet<'_>,
+    shard: usize,
+    policy: &RetryPolicy,
+    dead: &mut Vec<usize>,
+    report: &mut RetryReport,
+    first_error: SknnError,
+    mut run: impl FnMut(&dyn KeyHolder) -> Result<T, SknnError>,
+) -> Result<T, SknnError> {
+    let pinned = sessions.index_for_shard(shard);
+    let mut current = pinned;
+    let mut error = first_error;
+    for attempt in 1..policy.max_attempts.max(1) {
+        let Some(class) = classify_session_failure(&error) else {
+            return Err(error);
+        };
+        if class == FailureClass::Dead {
+            if !dead.contains(&current) {
+                dead.push(current);
+            }
+            match next_live(sessions.len(), current, dead) {
+                Some(next) => current = next,
+                // Every session is dead: nothing left to fail over to.
+                None => return Err(error),
+            }
+        }
+        let backoff = policy.backoff_before(attempt);
+        if !backoff.is_zero() {
+            std::thread::sleep(backoff);
+        }
+        match run_contained(|| run(sessions.session_at(current))) {
+            Ok(value) => {
+                report.shard_retries.push(ShardRetry {
+                    shard,
+                    from_session: pinned,
+                    to_session: current,
+                    error: error.to_string(),
+                });
+                return Ok(value);
+            }
+            Err(e) => error = e,
+        }
+    }
+    Err(error)
 }
 
 /// Adapts any `&K` into a [`Sized`] value that implements [`KeyHolder`],

@@ -23,14 +23,15 @@
 //! kNN sets.
 
 use super::stages::{FinalizeStage, SbdStage, SsedStage};
-use super::SessionSet;
+use super::{retry_shard_stage, run_contained, SessionSet};
 use crate::config::SecureQueryParams;
 use crate::meter::OpMeter;
 use crate::parallel::{parallel_map, ParallelismConfig};
 use crate::profile::{OpCounters, QueryProfile, Stage};
+use crate::retry::{RetryPolicy, RetryReport};
 use crate::roles::CloudC1;
 use crate::seed::{derive_seeds, derived_rng};
-use crate::{AccessPatternAudit, EncryptedQuery, MaskedResult, SknnError};
+use crate::{AccessPatternAudit, EncryptedQuery, MaskedResult, ShardView, SknnError};
 use rand::RngCore;
 use sknn_bigint::{random_range, BigUint};
 use sknn_paillier::Ciphertext;
@@ -199,8 +200,9 @@ pub(crate) fn execute_secure<R: RngCore + ?Sized>(
     query: &EncryptedQuery,
     params: SecureQueryParams,
     parallelism: ParallelismConfig,
+    retry: &RetryPolicy,
     rng: &mut R,
-) -> Result<(MaskedResult, QueryProfile, AccessPatternAudit), SknnError> {
+) -> Result<(MaskedResult, QueryProfile, AccessPatternAudit, RetryReport), SknnError> {
     c1.validate_query(query, params.k)?;
     let db = c1.database();
     let k = params.k;
@@ -216,45 +218,57 @@ pub(crate) fn execute_secure<R: RngCore + ?Sized>(
         .collect();
 
     // ── Monolithic plan: one populated shard is the paper's Algorithm 6 ──
+    // There is no per-shard stage to retry here; failures surface as typed
+    // errors and the engine's whole-query retry handles them.
     if views.len() <= 1 {
-        let c2 = sessions.primary();
-        let meter = OpMeter::new(c2);
-        let live = db.live_indices();
+        let rng = &mut *rng;
+        let profile_ref = &mut profile;
+        let masked = run_contained(move || {
+            let c2 = sessions.primary();
+            let meter = OpMeter::new(c2);
+            let live = db.live_indices();
 
-        let distances = profile.time(Stage::DistanceComputation, || {
-            SsedStage::for_secure(c1, l, parallelism).run(&meter, query, live, rng)
+            let distances = profile_ref.time(Stage::DistanceComputation, || {
+                SsedStage::for_secure(c1, l, parallelism).run(&meter, query, live, rng)
+            })?;
+            profile_ref.record_ops(Stage::DistanceComputation, meter.take());
+
+            let mut distance_bits = profile_ref.time(Stage::BitDecomposition, || {
+                SbdStage::new(c1, l, parallelism).run(&meter, &distances, rng)
+            })?;
+            profile_ref.record_ops(Stage::BitDecomposition, meter.take());
+
+            let records: Vec<&[Ciphertext]> = distances
+                .live
+                .iter()
+                .map(|&i| db.record(i).as_slice())
+                .collect();
+            let mut results = Vec::with_capacity(k);
+            for _ in 0..k {
+                let (record, _bits) = oblivious_select_round(
+                    c1,
+                    &meter,
+                    &records,
+                    &mut distance_bits,
+                    profile_ref,
+                    &GATHER,
+                    rng,
+                )?;
+                results.push(record);
+            }
+
+            let masked = profile_ref.time(Stage::Finalization, || {
+                FinalizeStage.run(c1, &meter, &results, rng)
+            });
+            profile_ref.record_ops(Stage::Finalization, meter.take());
+            Ok(masked)
         })?;
-        profile.record_ops(Stage::DistanceComputation, meter.take());
-
-        let mut distance_bits = profile.time(Stage::BitDecomposition, || {
-            SbdStage::new(c1, l, parallelism).run(&meter, &distances, rng)
-        })?;
-        profile.record_ops(Stage::BitDecomposition, meter.take());
-
-        let records: Vec<&[Ciphertext]> = distances
-            .live
-            .iter()
-            .map(|&i| db.record(i).as_slice())
-            .collect();
-        let mut results = Vec::with_capacity(k);
-        for _ in 0..k {
-            let (record, _bits) = oblivious_select_round(
-                c1,
-                &meter,
-                &records,
-                &mut distance_bits,
-                &mut profile,
-                &GATHER,
-                rng,
-            )?;
-            results.push(record);
-        }
-
-        let masked = profile.time(Stage::Finalization, || {
-            FinalizeStage.run(c1, &meter, &results, rng)
-        });
-        profile.record_ops(Stage::Finalization, meter.take());
-        return Ok((masked, profile, AccessPatternAudit::nothing_revealed()));
+        return Ok((
+            masked,
+            profile,
+            AccessPatternAudit::nothing_revealed(),
+            RetryReport::default(),
+        ));
     }
 
     // ── Scatter: each shard extracts its k nearest as encrypted candidates ──
@@ -264,10 +278,14 @@ pub(crate) fn execute_secure<R: RngCore + ?Sized>(
     let inner = ParallelismConfig {
         threads: parallelism.threads.div_ceil(views.len()).max(1),
     };
-    let shard_outs = parallel_map(parallelism.threads, &views, |i, view| {
+    // The scatter task: a pure function of (derived seed, shard view,
+    // session), so a re-run on any session is bit-identical.
+    let run_shard = |i: usize,
+                     view: &ShardView,
+                     c2: &dyn KeyHolder|
+     -> Result<(QueryProfile, Vec<SecureCandidate>), SknnError> {
         let mut shard_rng = derived_rng(seeds[i]);
         let shard = view.shard();
-        let c2 = sessions.for_shard(shard);
         let meter = OpMeter::new(c2);
         let mut p = QueryProfile::new();
 
@@ -309,40 +327,69 @@ pub(crate) fn execute_secure<R: RngCore + ?Sized>(
                 bits: dmin_bits,
             });
         }
-        Ok::<_, SknnError>((p, candidates))
+        Ok((p, candidates))
+    };
+    let shard_outs = parallel_map(parallelism.threads, &views, |i, view| {
+        run_contained(|| run_shard(i, view, sessions.for_shard(view.shard())))
     });
 
+    // Serial recovery pass: re-run failed scatter tasks per the policy,
+    // re-pinning dead sessions' shards onto survivors.
+    let mut report = RetryReport::default();
+    let mut dead: Vec<usize> = Vec::new();
     let mut candidates: Vec<SecureCandidate> = Vec::new();
-    for out in shard_outs {
-        let (p, shard_candidates) = out?;
+    for (i, out) in shard_outs.into_iter().enumerate() {
+        let view = &views[i];
+        let (p, shard_candidates) = match out {
+            Ok(ok) => ok,
+            Err(e) => retry_shard_stage(
+                sessions,
+                view.shard(),
+                retry,
+                &mut dead,
+                &mut report,
+                e,
+                |c2| run_shard(i, view, c2),
+            )?,
+        };
         profile.merge(&p);
         candidates.extend(shard_candidates);
     }
+    report.dead_sessions = dead;
 
     // ── Gather: the same oblivious rounds over the ≤ k·S candidates ──
-    let c2 = sessions.primary();
-    let meter = OpMeter::new(c2);
-    let mut candidate_bits: Vec<Vec<Ciphertext>> =
-        candidates.iter().map(|c| c.bits.clone()).collect();
-    let candidate_records: Vec<&[Ciphertext]> =
-        candidates.iter().map(|c| c.record.as_slice()).collect();
-    let mut results = Vec::with_capacity(k);
-    for _ in 0..k {
-        let (record, _bits) = oblivious_select_round(
-            c1,
-            &meter,
-            &candidate_records,
-            &mut candidate_bits,
-            &mut profile,
-            &GATHER,
-            rng,
-        )?;
-        results.push(record);
-    }
+    let profile_ref = &mut profile;
+    let masked = run_contained(move || {
+        let c2 = sessions.primary();
+        let meter = OpMeter::new(c2);
+        let mut candidate_bits: Vec<Vec<Ciphertext>> =
+            candidates.iter().map(|c| c.bits.clone()).collect();
+        let candidate_records: Vec<&[Ciphertext]> =
+            candidates.iter().map(|c| c.record.as_slice()).collect();
+        let mut results = Vec::with_capacity(k);
+        for _ in 0..k {
+            let (record, _bits) = oblivious_select_round(
+                c1,
+                &meter,
+                &candidate_records,
+                &mut candidate_bits,
+                profile_ref,
+                &GATHER,
+                rng,
+            )?;
+            results.push(record);
+        }
 
-    let masked = profile.time(Stage::Finalization, || {
-        FinalizeStage.run(c1, &meter, &results, rng)
-    });
-    profile.record_ops(Stage::Finalization, meter.take());
-    Ok((masked, profile, AccessPatternAudit::nothing_revealed()))
+        let masked = profile_ref.time(Stage::Finalization, || {
+            FinalizeStage.run(c1, &meter, &results, rng)
+        });
+        profile_ref.record_ops(Stage::Finalization, meter.take());
+        Ok(masked)
+    })?;
+    Ok((
+        masked,
+        profile,
+        AccessPatternAudit::nothing_revealed(),
+        report,
+    ))
 }

@@ -72,6 +72,7 @@ mod meter;
 mod parallel;
 mod plain;
 mod profile;
+mod retry;
 mod roles;
 mod seed;
 mod sknn_basic;
@@ -90,6 +91,7 @@ pub use federation::{Federation, QueryResult};
 pub use parallel::ParallelismConfig;
 pub use plain::{plain_knn, plain_knn_records, squared_euclidean_distance};
 pub use profile::{OpCounters, PoolActivity, QueryProfile, Stage};
+pub use retry::{RetryPolicy, RetryReport, ShardRetry};
 pub use roles::{CloudC1, DataOwner, QueryUser};
 pub use table::Table;
 

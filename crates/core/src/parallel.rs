@@ -73,7 +73,14 @@ where
             }));
         }
         for handle in handles {
-            chunk_outputs.push(handle.join().expect("worker thread panicked"));
+            match handle.join() {
+                Ok(chunk) => chunk_outputs.push(chunk),
+                // Re-raise the worker's own payload rather than wrapping it:
+                // typed panics (the session layer's `SessionFailure`) must
+                // stay downcastable at the containment boundary in
+                // `crate::exec::run_contained`.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
     });
     chunk_outputs.into_iter().flatten().collect()

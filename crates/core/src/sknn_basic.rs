@@ -19,6 +19,7 @@
 use crate::exec::{execute_basic, DynKeyHolder, SessionSet};
 use crate::parallel::ParallelismConfig;
 use crate::profile::QueryProfile;
+use crate::retry::{RetryPolicy, RetryReport};
 use crate::roles::CloudC1;
 use crate::{AccessPatternAudit, EncryptedQuery, MaskedResult, SknnError};
 use rand::RngCore;
@@ -48,20 +49,25 @@ impl CloudC1 {
         rng: &mut R,
     ) -> Result<(MaskedResult, QueryProfile, AccessPatternAudit), SknnError> {
         let adapter = DynKeyHolder(c2);
-        execute_basic(
+        let (masked, profile, audit, _report) = execute_basic(
             self,
             &SessionSet::single(&adapter),
             query,
             k,
             parallelism,
+            &RetryPolicy::none(),
             rng,
-        )
+        )?;
+        Ok((masked, profile, audit))
     }
 
     /// [`CloudC1::process_basic`] over an explicit session set: shards are
     /// pinned to sessions round-robin, so a sharded database's scatter
     /// stages overlap on the wire when the set holds more than one
-    /// session.
+    /// session. The extra `retry` policy and [`RetryReport`] return value
+    /// are the failure-handling surface: failed scatter stages re-run per
+    /// the policy (re-pinned onto surviving sessions when theirs died),
+    /// and the report says what recovery actually happened.
     ///
     /// # Errors
     /// See [`CloudC1::process_basic`].
@@ -71,9 +77,10 @@ impl CloudC1 {
         query: &EncryptedQuery,
         k: usize,
         parallelism: ParallelismConfig,
+        retry: &RetryPolicy,
         rng: &mut R,
-    ) -> Result<(MaskedResult, QueryProfile, AccessPatternAudit), SknnError> {
-        execute_basic(self, sessions, query, k, parallelism, rng)
+    ) -> Result<(MaskedResult, QueryProfile, AccessPatternAudit, RetryReport), SknnError> {
+        execute_basic(self, sessions, query, k, parallelism, retry, rng)
     }
 }
 

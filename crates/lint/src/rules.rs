@@ -738,7 +738,7 @@ fn gated_variants(body: &str) -> Vec<String> {
             continue;
         };
         let value = rest[arrow + 2..].trim_start();
-        if value.starts_with("FEATURE_VERSION_PACKED") {
+        if value.starts_with("FEATURE_VERSION_") && !value.starts_with("FEATURE_VERSION_SCALAR") {
             out.push(name);
         }
     }

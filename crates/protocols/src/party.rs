@@ -235,17 +235,28 @@ impl LocalKeyHolder {
     /// vectors) consumes one precomputed `r^N mod N²` unit instead of paying
     /// the exponentiation online.
     ///
-    /// # Panics
-    /// Panics when the pool was built for a different public key — a
-    /// deployment wiring error, not a runtime condition.
-    pub fn with_pool(mut self, pool: Arc<RandomnessPool>) -> Self {
-        assert_eq!(
-            pool.public_key().n(),
-            self.pk.n(),
-            "randomness pool belongs to a different Paillier key"
-        );
+    /// # Errors
+    /// [`ProtocolError::Invariant`] when the pool was built for a different
+    /// Paillier key — a deployment wiring error. The key holder is left
+    /// without a pool (correct, just slower), so callers may also treat the
+    /// error as a degraded-mode warning.
+    pub fn attach_pool(&mut self, pool: Arc<RandomnessPool>) -> Result<(), ProtocolError> {
+        if pool.public_key().n() != self.pk.n() {
+            return Err(ProtocolError::Invariant {
+                message: "randomness pool belongs to a different Paillier key".to_string(),
+            });
+        }
         self.pool = Some(pool);
-        self
+        Ok(())
+    }
+
+    /// Builder-style [`LocalKeyHolder::attach_pool`].
+    ///
+    /// # Errors
+    /// See [`LocalKeyHolder::attach_pool`].
+    pub fn with_pool(mut self, pool: Arc<RandomnessPool>) -> Result<Self, ProtocolError> {
+        self.attach_pool(pool)?;
+        Ok(self)
     }
 
     /// The attached randomness pool, if any.
@@ -523,7 +534,9 @@ impl KeyHolder for LocalKeyHolder {
                 } else {
                     BigUint::zero()
                 };
-                let unit = unit_iter.next().expect("one unit per used slot");
+                let unit = unit_iter.next().ok_or_else(|| ProtocolError::Invariant {
+                    message: "encryption units exhausted before the used slots".to_string(),
+                })?;
                 out.push(self.encrypt_own(&bit, &unit));
             }
         }
@@ -687,8 +700,16 @@ mod tests {
             },
         );
         pool.prewarm(32);
-        let holder = LocalKeyHolder::new(sk, 65).with_pool(Arc::clone(&pool));
+        let holder = LocalKeyHolder::new(sk, 65)
+            .with_pool(Arc::clone(&pool))
+            .unwrap();
         assert!(holder.pool().is_some());
+
+        // A pool for the wrong key is a typed error, not a panic.
+        let (_other_pk, other_sk) = Keypair::generate(128, &mut rng).split();
+        let mut mismatched = LocalKeyHolder::new(other_sk, 67);
+        assert!(mismatched.attach_pool(Arc::clone(&pool)).is_err());
+        assert!(mismatched.pool().is_none());
 
         // SM products, LSB replies and min-selection all come back with the
         // same plaintext semantics as the unpooled path.

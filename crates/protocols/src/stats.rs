@@ -76,18 +76,22 @@ impl CommStats {
         self.response_bytes.store(0, Ordering::Relaxed);
     }
 
-    /// A point-in-time copy of the counters.
+    /// A point-in-time copy of the counters. The resilience counters are
+    /// zero here — a single transport does not retry; those fields are
+    /// filled in by pool-level aggregation.
     pub fn snapshot(&self) -> CommSnapshot {
         CommSnapshot {
             requests: self.requests(),
             request_bytes: self.request_bytes(),
             responses: self.responses(),
             response_bytes: self.response_bytes(),
+            ..CommSnapshot::default()
         }
     }
 }
 
-/// An immutable copy of [`CommStats`] counters.
+/// An immutable copy of [`CommStats`] counters, plus the resilience
+/// counters a session pool layers on top (zero for a bare transport).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CommSnapshot {
     /// Number of C1→C2 messages.
@@ -98,6 +102,12 @@ pub struct CommSnapshot {
     pub responses: u64,
     /// Serialized C2→C1 bytes.
     pub response_bytes: u64,
+    /// Requests re-issued after a transport failure (same session).
+    pub retries: u64,
+    /// Sessions re-dialed and re-negotiated after dying.
+    pub reconnects: u64,
+    /// Shard stages re-pinned from a dead session onto a survivor.
+    pub failovers: u64,
 }
 
 impl CommSnapshot {
@@ -113,6 +123,9 @@ impl CommSnapshot {
             request_bytes: self.request_bytes - earlier.request_bytes,
             responses: self.responses - earlier.responses,
             response_bytes: self.response_bytes - earlier.response_bytes,
+            retries: self.retries - earlier.retries,
+            reconnects: self.reconnects - earlier.reconnects,
+            failovers: self.failovers - earlier.failovers,
         }
     }
 }

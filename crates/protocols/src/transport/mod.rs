@@ -28,18 +28,21 @@
 pub mod wire;
 
 mod channel;
+mod fault;
 mod pool;
 mod server;
 mod session;
 mod tcp;
 
 pub use channel::{channel_pair, ChannelTransport};
-pub use pool::SessionPool;
+pub use fault::{FaultInjectTransport, FaultKind, FaultPlan};
+pub use pool::{Reconnector, SessionHealth, SessionPool};
 pub use server::{serve, serve_with_features};
-pub use session::{CoalesceConfig, SessionKeyHolder};
+pub use session::{CoalesceConfig, SessionFailure, SessionKeyHolder};
 pub use tcp::TcpTransport;
 pub use wire::{
-    Frame, FrameKind, TransportError, FEATURE_VERSION, FEATURE_VERSION_SCALAR, WIRE_VERSION,
+    Frame, FrameKind, TransportError, FEATURE_VERSION, FEATURE_VERSION_LIVENESS,
+    FEATURE_VERSION_SCALAR, WIRE_VERSION,
 };
 
 use crate::stats::CommStats;

@@ -97,6 +97,9 @@ fn handle(
         Request::Features { max } => Response::Features {
             version: max.min(features),
         },
+        // Liveness probe: answered without touching the key holder, so a
+        // health check costs one round trip and no cryptography.
+        Request::Ping => Response::Pong,
     })
 }
 

@@ -22,7 +22,7 @@
 use super::server::serve;
 use super::wire::{
     Frame, FrameKind, Request, Response, TransportError, WireError, FEATURE_VERSION,
-    FEATURE_VERSION_PACKED, FEATURE_VERSION_SCALAR,
+    FEATURE_VERSION_LIVENESS, FEATURE_VERSION_PACKED, FEATURE_VERSION_SCALAR,
 };
 use super::{channel_pair, to_ciphertexts, to_raw, Transport};
 use crate::error::ProtocolError;
@@ -32,6 +32,7 @@ use parking_lot::Mutex;
 use sknn_bigint::BigUint;
 use sknn_paillier::{Ciphertext, PublicKey, SlotLayout};
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -132,10 +133,19 @@ struct SessionCore {
     transport: Arc<dyn Transport>,
     next_id: AtomicU64,
     pending: Arc<PendingMap>,
+    /// Per-request deadline in milliseconds; `0` means wait forever (the
+    /// pre-deadline behavior). Atomic so callers can tighten or clear it on
+    /// a live session without a lock on the hot path.
+    deadline_ms: AtomicU64,
 }
 
 impl SessionCore {
     /// One pipelined round trip: register, send, block for the routed reply.
+    ///
+    /// With a deadline configured, a silent peer surfaces as a typed
+    /// [`TransportError::Timeout`] instead of blocking forever; the waiter
+    /// is unregistered first, so a straggling response is dropped by
+    /// correlation id and the session stays usable for later requests.
     fn round_trip(&self, request: &Request) -> Result<Response, TransportError> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = mpsc::channel();
@@ -145,10 +155,24 @@ impl SessionCore {
             self.pending.forget(id);
             return Err(e);
         }
-        match rx.recv() {
+        let deadline_ms = self.deadline_ms.load(Ordering::Relaxed);
+        if deadline_ms == 0 {
+            return match rx.recv() {
+                Ok(result) => result,
+                // The demux thread dropped the sender without answering.
+                Err(_) => Err(TransportError::Closed),
+            };
+        }
+        match rx.recv_timeout(Duration::from_millis(deadline_ms)) {
             Ok(result) => result,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                self.pending.forget(id);
+                Err(TransportError::Timeout {
+                    after_ms: deadline_ms,
+                })
+            }
             // The demux thread dropped the sender without answering.
-            Err(_) => Err(TransportError::Closed),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(TransportError::Closed),
         }
     }
 }
@@ -331,6 +355,7 @@ fn bootstrap(transport: Arc<dyn Transport>) -> (Arc<SessionCore>, JoinHandle<()>
         transport,
         next_id: AtomicU64::new(1),
         pending: PendingMap::new(),
+        deadline_ms: AtomicU64::new(0),
     });
     let demux = {
         let core = Arc::clone(&core);
@@ -439,6 +464,65 @@ impl SessionKeyHolder {
         self.features
     }
 
+    /// Hangs up the underlying transport deliberately. Every in-flight and
+    /// future request on this session fails with
+    /// [`TransportError::Closed`], and the peer's serving loop exits — the
+    /// supervisor-side way to retire a session that is being replaced.
+    pub fn close(&self) {
+        self.core.transport.close();
+    }
+
+    /// Sets (or clears, with `None`) the per-request deadline. With a
+    /// deadline, a request whose reply does not arrive in time returns a
+    /// typed [`TransportError::Timeout`] instead of blocking forever on a
+    /// silent peer; the session stays usable — the late reply is discarded
+    /// by correlation id. Sub-millisecond deadlines round up to 1 ms
+    /// (`Some(0)` would otherwise read as "no deadline").
+    pub fn set_deadline(&self, deadline: Option<Duration>) {
+        let ms = deadline.map_or(0, |d| {
+            u64::try_from(d.as_millis()).unwrap_or(u64::MAX).max(1)
+        });
+        self.core.deadline_ms.store(ms, Ordering::Relaxed);
+    }
+
+    /// The per-request deadline currently in force, if any.
+    pub fn deadline(&self) -> Option<Duration> {
+        match self.core.deadline_ms.load(Ordering::Relaxed) {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        }
+    }
+
+    /// Liveness probe: one round trip that proves the peer is alive and
+    /// serving. On a peer with feature revision ≥ 3 this is a
+    /// [`Request::Ping`]/[`Response::Pong`] exchange (no cryptography);
+    /// older peers are probed with a [`Request::Features`] round trip
+    /// instead, where *any* well-formed reply — including the unknown-tag
+    /// error a pre-negotiation build sends — proves liveness.
+    ///
+    /// # Errors
+    /// Returns the transport error when the peer is actually unreachable:
+    /// [`TransportError::Closed`], [`TransportError::Io`], or (with a
+    /// deadline configured) [`TransportError::Timeout`].
+    pub fn ping(&self) -> Result<(), TransportError> {
+        let result = if self.features >= FEATURE_VERSION_LIVENESS {
+            self.round_trip(&Request::Ping)
+        } else {
+            // Probe-on-error fallback: an old peer answers the capability
+            // probe (possibly with an unknown-tag error reply), and a reply
+            // of any shape means the peer is alive.
+            self.round_trip(&Request::Features {
+                max: FEATURE_VERSION,
+            })
+        };
+        match result {
+            Ok(_) => Ok(()),
+            // The peer produced a reply — alive, just old or confused.
+            Err(e) if peer_answered(&e) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
     fn round_trip(&self, request: &Request) -> Result<Response, TransportError> {
         self.core.round_trip(request)
     }
@@ -465,12 +549,50 @@ impl SessionKeyHolder {
     }
 }
 
+/// Does this error mean the peer replied (i.e. it is alive), as opposed to
+/// the connection being dead or the peer silent past its deadline?
+fn peer_answered(e: &TransportError) -> bool {
+    !matches!(
+        e,
+        TransportError::Closed | TransportError::Io(_) | TransportError::Timeout { .. }
+    )
+}
+
+/// The panic payload of the session's documented fail-stop: a [`KeyHolder`]
+/// method whose trait signature has no error channel hit a transport
+/// failure. Carrying the typed [`TransportError`] (instead of a formatted
+/// string) lets a supervising executor `catch_unwind` at a task boundary,
+/// recover the exact failure class, and retry the task on a surviving
+/// session — see the "Failure behavior" section of [`SessionKeyHolder`]'s
+/// docs.
+#[derive(Debug, Clone)]
+pub struct SessionFailure {
+    /// The request kind that failed (diagnostics).
+    pub operation: &'static str,
+    /// The underlying transport failure.
+    pub error: TransportError,
+}
+
+impl fmt::Display for SessionFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "key-holder {} failed: {}", self.operation, self.error)
+    }
+}
+
 /// Unwraps a session result inside a `KeyHolder` method whose signature has
 /// no error channel — see the "Failure behavior" section of
-/// [`SessionKeyHolder`]'s docs.
+/// [`SessionKeyHolder`]'s docs. The documented fail-stop unwinds with a
+/// typed [`SessionFailure`] payload so a supervising executor can catch it
+/// at a task boundary and fail over; anything that does not catch it still
+/// dies, exactly as before.
 fn unwrap_or_die<T>(operation: &'static str, result: Result<T, TransportError>) -> T {
-    // sknn-lint: allow(panic-free, "documented fail-stop behavior: KeyHolder trait methods have no error channel")
-    result.unwrap_or_else(|e| panic!("key-holder {operation} failed: {e}"))
+    // `resume_unwind`, not `panic_any`: the unwind carries the same typed
+    // payload but skips the panic hook, so an *expected* session failure —
+    // one a supervising executor catches and recovers from — does not spray
+    // a backtrace on stderr. An uncaught one still aborts the thread.
+    result.unwrap_or_else(|error| {
+        std::panic::resume_unwind(Box::new(SessionFailure { operation, error }))
+    })
 }
 
 impl Drop for SessionKeyHolder {

@@ -49,7 +49,8 @@ pub const WIRE_VERSION: u8 = 1;
 /// * `2` — adds the slot-packed requests ([`Request::SmPackedSquares`],
 ///   [`Request::SmPackedPairs`], [`Request::LsbPacked`],
 ///   [`Request::TopKPacked`]) and the [`Request::Features`] probe itself.
-pub const FEATURE_VERSION: u8 = 2;
+/// * `3` — adds the [`Request::Ping`] liveness probe.
+pub const FEATURE_VERSION: u8 = 3;
 
 /// The feature revision of peers that predate negotiation (scalar only).
 pub const FEATURE_VERSION_SCALAR: u8 = 1;
@@ -57,6 +58,12 @@ pub const FEATURE_VERSION_SCALAR: u8 = 1;
 /// The feature revision that introduced the slot-packed request tags —
 /// the gate [`super::SessionKeyHolder`] checks before sending them.
 pub const FEATURE_VERSION_PACKED: u8 = 2;
+
+/// The feature revision that introduced the [`Request::Ping`] liveness
+/// probe. Older peers answer it with an unknown-tag error reply, which a
+/// health checker still reads as "the peer is alive" (it produced a
+/// well-formed reply) — see [`super::SessionKeyHolder::ping`].
+pub const FEATURE_VERSION_LIVENESS: u8 = 3;
 
 /// Frame header size in bytes (version + kind + correlation id + length).
 pub const FRAME_HEADER_LEN: usize = 1 + 1 + 8 + 4;
@@ -130,6 +137,13 @@ pub enum TransportError {
         /// The variant actually received.
         got: &'static str,
     },
+    /// A request's per-call deadline elapsed before the peer answered.
+    /// The session stays usable: the late response (if it ever arrives)
+    /// is discarded by correlation id, and later requests are unaffected.
+    Timeout {
+        /// The deadline that elapsed, in milliseconds.
+        after_ms: u64,
+    },
     /// The peer reported an error it could not express as a typed
     /// [`ProtocolError`].
     Remote {
@@ -175,6 +189,9 @@ impl fmt::Display for TransportError {
             ),
             TransportError::ResponseMismatch { expected, got } => {
                 write!(f, "expected a {expected} response, got {got}")
+            }
+            TransportError::Timeout { after_ms } => {
+                write!(f, "request timed out after {after_ms} ms")
             }
             TransportError::Remote { code, message } => {
                 write!(f, "peer reported error (code {code}): {message}")
@@ -545,6 +562,11 @@ pub enum Request {
         /// The sender's [`FEATURE_VERSION`].
         max: u8,
     },
+    /// Liveness probe: the server answers with [`Response::Pong`] without
+    /// touching the key holder, so a health check costs one round trip and
+    /// no cryptography. Feature revision ≥ 3; older peers answer with an
+    /// unknown-tag error reply, which still proves they are alive.
+    Ping,
 }
 
 impl Request {
@@ -563,6 +585,7 @@ impl Request {
             Request::LsbPacked { .. } => "LsbPacked",
             Request::TopKPacked { .. } => "TopKPacked",
             Request::Features { .. } => "Features",
+            Request::Ping => "Ping",
         }
     }
 
@@ -574,6 +597,7 @@ impl Request {
             | Request::LsbPacked { .. }
             | Request::TopKPacked { .. }
             | Request::Features { .. } => FEATURE_VERSION_PACKED,
+            Request::Ping => FEATURE_VERSION_LIVENESS,
             _ => FEATURE_VERSION_SCALAR,
         }
     }
@@ -594,6 +618,7 @@ impl Request {
             Request::LsbPacked { .. } => 10,
             Request::TopKPacked { .. } => 11,
             Request::Features { .. } => 12,
+            Request::Ping => 13,
         }
     }
 
@@ -677,6 +702,9 @@ impl Request {
                 buf.put_u8(12);
                 buf.put_u8(*max);
             }
+            Request::Ping => {
+                buf.put_u8(13);
+            }
         }
         buf.freeze()
     }
@@ -749,6 +777,7 @@ impl Request {
                 }
             }
             12 => Request::Features { max: r.u8()? },
+            13 => Request::Ping,
             tag => return Err(TransportError::UnknownRequestTag { tag }),
         };
         r.finish()?;
@@ -780,6 +809,8 @@ pub enum Response {
         /// The negotiated feature revision.
         version: u8,
     },
+    /// Answer to [`Request::Ping`]: the peer is alive and serving.
+    Pong,
 }
 
 impl Response {
@@ -792,6 +823,7 @@ impl Response {
             Response::Plaintexts(_) => "Plaintexts",
             Response::PublicKey(_) => "PublicKey",
             Response::Features { .. } => "Features",
+            Response::Pong => "Pong",
         }
     }
 
@@ -827,6 +859,9 @@ impl Response {
                 buf.put_u8(6);
                 buf.put_u8(*version);
             }
+            Response::Pong => {
+                buf.put_u8(7);
+            }
         }
         buf.freeze()
     }
@@ -852,6 +887,7 @@ impl Response {
             4 => Response::Plaintexts(r.biguint_vec()?),
             5 => Response::PublicKey(r.biguint()?),
             6 => Response::Features { version: r.u8()? },
+            7 => Response::Pong,
             tag => return Err(TransportError::UnknownResponseTag { tag }),
         };
         r.finish()?;
@@ -1029,6 +1065,12 @@ mod tests {
     }
 
     #[test]
+    fn liveness_codecs_roundtrip() {
+        roundtrip_request(Request::Ping);
+        roundtrip_response(Response::Pong);
+    }
+
+    #[test]
     fn wire_tag_matches_encoded_first_byte() {
         let layout = SlotLayout::new(8, 8, 2).unwrap();
         let requests = [
@@ -1065,6 +1107,7 @@ mod tests {
                 k: 0,
             },
             Request::Features { max: 2 },
+            Request::Ping,
         ];
         for request in requests {
             assert_eq!(
@@ -1090,6 +1133,7 @@ mod tests {
             2
         );
         assert_eq!(Request::Features { max: 2 }.required_features(), 2);
+        assert_eq!(Request::Ping.required_features(), FEATURE_VERSION_LIVENESS);
     }
 
     #[test]

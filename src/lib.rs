@@ -279,8 +279,9 @@ pub use sknn_core::{
     plain_knn, plain_knn_records, squared_euclidean_distance, AccessPatternAudit, CloudC1,
     DataOwner, Dataset, DatasetOptions, Federation, FederationConfig, InvalidQueryReason,
     KeyHolder, LocalKeyHolder, OpCounters, ParallelismConfig, PoolActivity, PreparedQuery,
-    Protocol, QueryBuilder, QueryOutcome, QueryProfile, QueryResult, QueryUser, SessionSet,
-    ShardView, ShardingConfig, SknnEngine, SknnError, Stage, Table, TransportKind, UpdateRejected,
+    Protocol, QueryBuilder, QueryOutcome, QueryProfile, QueryResult, QueryUser, RetryPolicy,
+    RetryReport, SessionSet, ShardRetry, ShardView, ShardingConfig, SknnEngine, SknnError, Stage,
+    Table, TransportKind, UpdateRejected,
 };
 pub use sknn_paillier::{
     Ciphertext, Keypair, PoolConfig, PoolStats, PooledEncryptor, PrivateKey, PublicKey,

@@ -1,0 +1,411 @@
+//! Chaos suite: deterministic fault injection across the full matrix.
+//!
+//! Every fault class a real deployment sees — dropped frames, slow frames,
+//! duplicated frames, corrupted frames, severed connections — is injected
+//! at a deterministic frame index through
+//! [`sknn::protocols::transport::FaultInjectTransport`], across
+//! {Channel, Tcp} × {Basic, Secure} × shards {1, 4}. The contract under
+//! test is the fault-tolerance layer's headline guarantee: a query under
+//! fault either returns **exactly the fault-free result** or a **typed
+//! error** — never a hang (per-request deadlines bound every wait), never
+//! a wrong answer, never a panic.
+//!
+//! The suite serializes through one mutex: several tests assert on
+//! process-wide thread counts, which concurrent engines would distort.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sknn::protocols::transport::{
+    channel_pair, serve, CoalesceConfig, FaultInjectTransport, FaultKind, FaultPlan,
+    SessionKeyHolder, SessionPool, TcpTransport, Transport,
+};
+use sknn::{
+    plain_knn_records, DataOwner, FederationConfig, LocalKeyHolder, PoolConfig, Protocol,
+    RetryPolicy, ShardingConfig, SknnEngine, SknnError, Table, TransportKind,
+};
+use std::net::TcpListener;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Serializes the whole suite (thread-count assertions need the process to
+/// themselves) and caches the one key pair every engine shares.
+static LOCK: Mutex<()> = Mutex::new(());
+static OWNER: OnceLock<DataOwner> = OnceLock::new();
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn owner() -> DataOwner {
+    OWNER
+        .get_or_init(|| DataOwner::new(96, &mut StdRng::seed_from_u64(0xFA_u64)))
+        .clone()
+}
+
+/// 6 records whose squared distances from the query (3, 3) are distinct,
+/// so both protocols have one valid result list for every k and any
+/// fault-induced deviation is visible immediately.
+fn table() -> Table {
+    Table::new(
+        (0..6u64)
+            .map(|i| vec![i, (i * i + 2 * i) % 23])
+            .collect::<Vec<_>>(),
+    )
+    .unwrap()
+}
+
+const QUERY: [u64; 2] = [3, 3];
+const MAX_VALUE: u64 = 22;
+
+#[derive(Clone, Copy, Debug)]
+enum Wire {
+    Channel,
+    Tcp,
+}
+
+/// The suite's policy: enough attempts to absorb any single fault, a short
+/// backoff, and a deadline that converts dropped frames into typed
+/// timeouts well inside the test budget.
+fn policy() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 3,
+        base_backoff: Duration::from_millis(2),
+        deadline: Some(Duration::from_millis(400)),
+    }
+}
+
+/// Stands up an engine over `plans.len()` sessions; session `i`'s client
+/// transport is wrapped in a [`FaultInjectTransport`] when `plans[i]` is
+/// set. Offline randomness pooling is off so the only long-lived threads
+/// are the sessions' own (servers + demux), which the leak check counts.
+fn build_engine(
+    wire: Wire,
+    shards: usize,
+    plans: &[Option<FaultPlan>],
+    retry: RetryPolicy,
+    rng: &mut StdRng,
+) -> SknnEngine {
+    let owner = owner();
+    let mut clients = Vec::new();
+    let mut servers = Vec::new();
+    for (i, plan) in plans.iter().enumerate() {
+        let holder = LocalKeyHolder::new(owner.private_key().clone(), 9_000 + i as u64);
+        let raw: Arc<dyn Transport> = match wire {
+            Wire::Channel => {
+                let (client_end, server_end) = channel_pair();
+                servers.push(
+                    std::thread::Builder::new()
+                        .name(format!("chaos-c2-{i}"))
+                        .spawn(move || serve(&server_end, &holder, 2))
+                        .expect("spawn chaos server"),
+                );
+                Arc::new(client_end)
+            }
+            Wire::Tcp => {
+                let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+                let addr = listener.local_addr().expect("local addr");
+                servers.push(
+                    std::thread::Builder::new()
+                        .name(format!("chaos-c2-tcp-{i}"))
+                        .spawn(move || {
+                            let server_end = TcpTransport::accept(&listener)?;
+                            serve(&server_end, &holder, 2)
+                        })
+                        .expect("spawn chaos tcp server"),
+                );
+                Arc::new(TcpTransport::connect(addr).expect("connect"))
+            }
+        };
+        let transport: Arc<dyn Transport> = match plan {
+            Some(p) => Arc::new(FaultInjectTransport::new(raw, *p)),
+            None => raw,
+        };
+        clients.push(SessionKeyHolder::connect(
+            owner.public_key().clone(),
+            transport,
+            CoalesceConfig::disabled(),
+        ));
+    }
+    let pool = SessionPool::from_parts(clients, servers).expect("assemble pool");
+    let config = FederationConfig {
+        key_bits: 96,
+        max_query_value: MAX_VALUE,
+        transport: match wire {
+            Wire::Channel => TransportKind::Channel,
+            Wire::Tcp => TransportKind::Tcp,
+        },
+        threads: 2,
+        sharding: ShardingConfig {
+            shards,
+            sessions: plans.len(),
+        },
+        pool: PoolConfig {
+            capacity: 0,
+            ..Default::default()
+        },
+        pool_prewarm: 0,
+        retry,
+        ..Default::default()
+    };
+    let mut engine = SknnEngine::setup_with_sessions(owner, config, pool).expect("engine");
+    engine
+        .register_dataset("t", &table(), rng)
+        .expect("register");
+    engine
+}
+
+/// One plan per fault class, striking frame `at` (frame 0 is the feature
+/// negotiation the session constructor performs, so `at ≥ 2` lands inside
+/// query traffic).
+fn plan_for(kind: FaultKind, at: u64) -> FaultPlan {
+    match kind {
+        FaultKind::Drop => FaultPlan::drop_at(at),
+        FaultKind::Delay => FaultPlan::delay_at(at, Duration::from_millis(30)),
+        FaultKind::Duplicate => FaultPlan::duplicate_at(at),
+        FaultKind::Corrupt => FaultPlan::corrupt_at(at),
+        FaultKind::Sever => FaultPlan::sever_at(at),
+    }
+}
+
+fn thread_count() -> usize {
+    std::fs::read_dir("/proc/self/task")
+        .expect("read task dir")
+        .count()
+}
+
+/// Polls until the process thread count drops back to `baseline` (session
+/// demux and server threads are reaped on engine drop with a bounded
+/// join), failing after a generous deadline.
+fn assert_threads_return_to(baseline: usize) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let now = thread_count();
+        if now <= baseline {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "leaked threads: {now} alive, baseline {baseline}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// The full matrix over a single session: every fault class must yield
+/// either the exact fault-free result (recovered by deadline + retry) or,
+/// for a severed connection with no survivor, a typed error. No hang, no
+/// panic, no wrong answer, no leaked thread.
+#[test]
+fn fault_matrix_recovers_or_errors_typed() {
+    let _guard = lock();
+    let expected = plain_knn_records(&table(), &QUERY, 2);
+    let baseline = thread_count();
+    for wire in [Wire::Channel, Wire::Tcp] {
+        for protocol in [Protocol::Basic, Protocol::Secure] {
+            for shards in [1usize, 4] {
+                for kind in FaultKind::ALL {
+                    let mut rng = StdRng::seed_from_u64(0xC4A0_5000);
+                    let engine =
+                        build_engine(wire, shards, &[Some(plan_for(kind, 3))], policy(), &mut rng);
+                    let run = engine
+                        .query("t")
+                        .k(2)
+                        .point(&QUERY)
+                        .protocol(protocol)
+                        .run(&mut rng);
+                    let label = format!("{wire:?}/{protocol:?}/shards={shards}/{kind:?}");
+                    match run {
+                        Ok(outcome) => {
+                            assert_eq!(outcome.result, expected, "{label}: wrong answer");
+                        }
+                        Err(e) => {
+                            // Only a severed wire with no surviving session
+                            // is allowed to fail — and then only with a
+                            // typed protocol error.
+                            assert!(
+                                matches!(kind, FaultKind::Sever),
+                                "{label}: unexpected failure {e}"
+                            );
+                            assert!(
+                                matches!(e, SknnError::Protocol(_)),
+                                "{label}: untyped error {e}"
+                            );
+                        }
+                    }
+                    drop(engine);
+                }
+            }
+        }
+    }
+    assert_threads_return_to(baseline);
+}
+
+/// A severed connection with a single session must be a typed error (there
+/// is no survivor to re-pin onto), and the engine must remain usable for
+/// constructing further engines — i.e. the failure is contained.
+#[test]
+fn sever_without_survivor_is_a_typed_error() {
+    let _guard = lock();
+    let mut rng = StdRng::seed_from_u64(0x5E4E);
+    let engine = build_engine(
+        Wire::Channel,
+        4,
+        &[Some(FaultPlan::sever_at(2))],
+        policy(),
+        &mut rng,
+    );
+    let err = match engine
+        .query("t")
+        .k(2)
+        .point(&QUERY)
+        .protocol(Protocol::Basic)
+        .run(&mut rng)
+    {
+        Err(e) => e,
+        Ok(_) => panic!("severed single-session query cannot succeed"),
+    };
+    assert!(matches!(err, SknnError::Protocol(_)), "untyped: {err}");
+}
+
+/// The acceptance scenario: two sessions, four shards, session 1's wire
+/// severed mid-batch. The batch must complete on the survivor with every
+/// result identical to the fault-free reference, and the per-query
+/// [`sknn::RetryReport`]s must show shards re-pinned off the dead session.
+#[test]
+fn sever_one_of_two_sessions_completes_batch_on_survivor() {
+    let _guard = lock();
+    let mut rng = StdRng::seed_from_u64(0xBA7C);
+    let baseline = thread_count();
+    let engine = build_engine(
+        Wire::Channel,
+        4,
+        &[None, Some(FaultPlan::sever_at(2))],
+        policy(),
+        &mut rng,
+    );
+    let queries: Vec<_> = (1..=3usize)
+        .map(|k| {
+            engine
+                .query("t")
+                .k(k)
+                .point(&QUERY)
+                .protocol(Protocol::Basic)
+                .build()
+                .expect("build query")
+        })
+        .collect();
+    let outcomes = engine.run_batch(&queries, &mut rng);
+    let mut failed_over = Vec::new();
+    let mut dead = Vec::new();
+    for (k, outcome) in (1..=3usize).zip(&outcomes) {
+        let outcome = outcome.as_ref().expect("batch query survives the sever");
+        assert_eq!(
+            outcome.result,
+            plain_knn_records(&table(), &QUERY, k),
+            "k = {k}"
+        );
+        failed_over.extend(outcome.retries.failed_over_shards());
+        dead.extend(outcome.retries.dead_sessions.iter().copied());
+    }
+    assert!(
+        !failed_over.is_empty(),
+        "no shard re-pinned; reports: {:?}",
+        outcomes
+            .iter()
+            .map(|o| o.as_ref().map(|o| o.retries.clone()))
+            .collect::<Vec<_>>()
+    );
+    assert!(dead.contains(&1), "session 1 not reported dead: {dead:?}");
+    // The recovery shows up in the pool's resilience counters too.
+    let comm = engine.comm_stats().expect("remote transport accounts");
+    assert!(comm.failovers >= 1, "failovers not counted: {comm:?}");
+    drop(engine);
+    assert_threads_return_to(baseline);
+}
+
+/// Same failover scenario through the fully secure protocol: the re-pinned
+/// scatter stages re-run their oblivious rounds bit-identically, so the
+/// result matches the fault-free reference exactly.
+#[test]
+fn secure_failover_matches_reference() {
+    let _guard = lock();
+    let mut rng = StdRng::seed_from_u64(0x5EC2);
+    let engine = build_engine(
+        Wire::Tcp,
+        4,
+        &[None, Some(FaultPlan::sever_at(2))],
+        policy(),
+        &mut rng,
+    );
+    let outcome = engine
+        .query("t")
+        .k(2)
+        .point(&QUERY)
+        .protocol(Protocol::Secure)
+        .run(&mut rng)
+        .expect("secure query survives the sever");
+    assert_eq!(outcome.result, plain_knn_records(&table(), &QUERY, 2));
+    assert!(
+        !outcome.retries.failed_over_shards().is_empty(),
+        "no failover recorded: {:?}",
+        outcome.retries
+    );
+}
+
+/// With the default policy ([`RetryPolicy::none`]) nothing retries: a
+/// corrupted exchange surfaces as a typed error immediately — the exact
+/// pre-resilience behavior, just with a typed error instead of a panic.
+#[test]
+fn disabled_policy_fails_fast_with_typed_error() {
+    let _guard = lock();
+    let mut rng = StdRng::seed_from_u64(0x0FF);
+    let engine = build_engine(
+        Wire::Channel,
+        1,
+        &[Some(FaultPlan::corrupt_at(2))],
+        RetryPolicy::none(),
+        &mut rng,
+    );
+    let run = engine
+        .query("t")
+        .k(2)
+        .point(&QUERY)
+        .protocol(Protocol::Basic)
+        .run(&mut rng);
+    let err = match run {
+        Err(e) => e,
+        Ok(_) => panic!("corrupted exchange cannot succeed without retries"),
+    };
+    assert!(matches!(err, SknnError::Protocol(_)), "untyped: {err}");
+    assert!(
+        engine.comm_stats().expect("accounting").retries == 0,
+        "none() must not retry"
+    );
+}
+
+/// A clean run under an armed-but-never-striking plan reports no failure
+/// handling at all: the resilience layer is invisible until a fault fires.
+#[test]
+fn clean_run_reports_clean() {
+    let _guard = lock();
+    let mut rng = StdRng::seed_from_u64(0xC1EA);
+    let engine = build_engine(
+        Wire::Channel,
+        4,
+        // Strike far beyond the traffic this test generates.
+        &[Some(FaultPlan::drop_at(1_000_000))],
+        policy(),
+        &mut rng,
+    );
+    let outcome = engine
+        .query("t")
+        .k(2)
+        .point(&QUERY)
+        .protocol(Protocol::Basic)
+        .run(&mut rng)
+        .expect("clean run");
+    assert_eq!(outcome.result, plain_knn_records(&table(), &QUERY, 2));
+    assert!(outcome.retries.is_clean(), "{:?}", outcome.retries);
+    let comm = engine.comm_stats().expect("accounting");
+    assert_eq!((comm.retries, comm.reconnects, comm.failovers), (0, 0, 0));
+}
