@@ -23,6 +23,9 @@
 //!   chaos-smoke
 //!              retry / reconnect / failover counters from deterministic
 //!              faulty runs through FaultInjectTransport   (beyond the paper)
+//!   store-io   durable shard store throughput: persist / append+flush /
+//!              reload / compact records-per-second and log bytes
+//!              through the engine lifecycle                (beyond the paper)
 //!   all        every experiment above, in order
 //! ```
 //!
@@ -90,6 +93,7 @@ fn main() {
         "batch" => batch_throughput(scale, &mut report),
         "shard-scaling" => shard_scaling(scale, &mut report),
         "chaos-smoke" => chaos_smoke(scale, &mut report),
+        "store-io" => store_io(scale, &mut report),
         "all" => {
             fig2ab(scale, false, &mut report);
             fig2ab(scale, true, &mut report);
@@ -104,6 +108,7 @@ fn main() {
             batch_throughput(scale, &mut report);
             shard_scaling(scale, &mut report);
             chaos_smoke(scale, &mut report);
+            store_io(scale, &mut report);
         }
         other => {
             eprintln!("unknown experiment '{other}'");
@@ -725,5 +730,164 @@ fn chaos_smoke(scale: Scale, report: &mut BenchReport) {
             comm.failovers
         );
     }
+    println!();
+}
+
+/// Beyond the paper: throughput of the durable shard store
+/// (`crates/store`) through the engine lifecycle — persist (encrypt +
+/// write-ahead registration), append+flush batches, crash-safe reload
+/// via `open_dir`, and compaction after tombstoning half the records.
+/// Encryption cost is kept out of the append/flush and reload phases
+/// (records are encrypted before the timer starts; reload parses logs
+/// without any Paillier work), so those rows track disk-format cost,
+/// not crypto.
+fn store_io(scale: Scale, report: &mut BenchReport) {
+    use sknn_core::{DataOwner, FederationConfig, ShardingConfig, SknnEngine, TransportKind};
+    use sknn_data::{uniform_query, SyntheticDataset};
+
+    let (small, _) = scale.key_sizes();
+    let (n, batches, batch) = match scale {
+        Scale::Smoke => (48usize, 4usize, 8usize),
+        Scale::PaperShape => (400, 8, 16),
+        Scale::Paper => (4000, 16, 64),
+    };
+    let m = 6;
+    let shards = 4;
+    let root = std::env::temp_dir().join(format!("sknn-store-io-{}", std::process::id()));
+    if root.exists() {
+        let _ = std::fs::remove_dir_all(&root);
+    }
+    let log_bytes = |root: &std::path::Path| -> u64 {
+        std::fs::read_dir(root.join("store-io"))
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok().and_then(|e| e.metadata().ok()))
+                    .map(|meta| meta.len())
+                    .sum()
+            })
+            .unwrap_or(0)
+    };
+
+    println!(
+        "## Store I/O: durable shard store throughput, n = {n}, m = {m}, shards = {shards}, \
+         K = {small} bits, append batches = {batches} × {batch}"
+    );
+    println!(
+        "{:>14} {:>12} {:>9} {:>12} {:>12}",
+        "phase", "time_s", "records", "records/s", "log_bytes"
+    );
+
+    let mut rng = StdRng::seed_from_u64(HARNESS_SEED ^ 0x570);
+    let dataset = SyntheticDataset::uniform(n, m, 12, &mut rng);
+    let owner = DataOwner::from_keypair(cached_keypair(small));
+    let config = FederationConfig {
+        key_bits: small,
+        max_query_value: dataset.max_value,
+        transport: TransportKind::InProcess,
+        sharding: ShardingConfig {
+            shards,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut row = |phase: &str, elapsed: std::time::Duration, records: usize, bytes: u64| {
+        let rate = records as f64 / elapsed.as_secs_f64().max(1e-9);
+        report.push_duration(
+            "store-io",
+            &[
+                ("phase", phase.to_string()),
+                ("n", n.to_string()),
+                ("m", m.to_string()),
+                ("K", small.to_string()),
+                ("shards", shards.to_string()),
+                ("records", records.to_string()),
+                ("records_per_s", format!("{rate:.1}")),
+                ("log_bytes", bytes.to_string()),
+            ],
+            elapsed,
+        );
+        println!(
+            "{phase:>14} {:>12} {records:>9} {rate:>12.1} {bytes:>12}",
+            secs(elapsed)
+        );
+    };
+
+    // Persist: encrypt the table and write it ahead to the shard logs.
+    let mut engine =
+        SknnEngine::open_dir(owner.clone(), config.clone(), &root).expect("open store root");
+    let start = Instant::now();
+    engine
+        .register_dataset_persistent("store-io", &dataset.table, &mut rng)
+        .expect("persistent registration");
+    row("persist", start.elapsed(), n, log_bytes(&root));
+
+    // Append + flush: records are pre-encrypted so the timer sees only
+    // the write-ahead path (encode, append, fsync per touched shard).
+    let appended = batches * batch;
+    let pre_encrypted: Vec<Vec<_>> = (0..batches)
+        .map(|_| {
+            (0..batch)
+                .map(|_| {
+                    let record = uniform_query(m, dataset.max_value, &mut rng);
+                    engine
+                        .owner()
+                        .encrypt_record(&record, &mut rng)
+                        .expect("encrypt record")
+                })
+                .collect()
+        })
+        .collect();
+    let start = Instant::now();
+    for records in pre_encrypted {
+        engine
+            .append_records("store-io", records)
+            .expect("durable append");
+        engine.flush().expect("flush");
+    }
+    row("append-flush", start.elapsed(), appended, log_bytes(&root));
+
+    // Reload: drop the engine and recover the dataset from disk alone.
+    drop(engine);
+    let total = n + appended;
+    let start = Instant::now();
+    let mut engine =
+        SknnEngine::open_dir(owner.clone(), config.clone(), &root).expect("reload store root");
+    let elapsed = start.elapsed();
+    assert!(
+        engine
+            .recovery_report("store-io")
+            .expect("recovery report")
+            .is_clean(),
+        "a flushed store must reload clean"
+    );
+    row("reload", elapsed, total, log_bytes(&root));
+
+    // Compact: tombstone every other record, then reclaim the bytes.
+    for index in (0..total).step_by(2) {
+        engine
+            .tombstone_record("store-io", index)
+            .expect("tombstone");
+    }
+    let start = Instant::now();
+    let compaction = engine.compact_dataset("store-io").expect("compact");
+    row(
+        "compact",
+        start.elapsed(),
+        compaction.reclaimed_records as usize,
+        log_bytes(&root),
+    );
+
+    // Reload the compacted generation: parse cost scales with live data.
+    drop(engine);
+    let start = Instant::now();
+    let engine = SknnEngine::open_dir(owner, config, &root).expect("reload compacted");
+    let elapsed = start.elapsed();
+    let live = engine
+        .dataset("store-io")
+        .expect("dataset")
+        .num_physical_records();
+    row("reload-compact", elapsed, live, log_bytes(&root));
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&root);
     println!();
 }

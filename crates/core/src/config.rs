@@ -174,6 +174,13 @@ pub struct FederationConfig {
     /// all of it — requests wait forever and the first failure is final —
     /// reproducing the pre-resilience behavior exactly.
     pub retry: RetryPolicy,
+    /// Root directory of C1's durable shard store (`sknn-store`). `None`
+    /// (the default) keeps every dataset purely in-memory — the paper's
+    /// model and the pre-storage behavior, byte for byte. When set (or when
+    /// the engine is constructed through `SknnEngine::open_dir`), datasets
+    /// registered through `register_dataset_persistent` live in
+    /// `<store_root>/<dataset-name>/` and survive process restarts.
+    pub store_root: Option<std::path::PathBuf>,
 }
 
 impl Default for FederationConfig {
@@ -192,6 +199,7 @@ impl Default for FederationConfig {
             packing_blind_bits: 40,
             sharding: ShardingConfig::default(),
             retry: RetryPolicy::none(),
+            store_root: None,
         }
     }
 }
@@ -226,6 +234,7 @@ mod tests {
         assert_eq!(c.sharding.sessions, 1);
         assert_eq!(c.retry, RetryPolicy::none());
         assert!(!c.retry.is_enabled(), "resilience is opt-in");
+        assert!(c.store_root.is_none(), "durability is opt-in");
     }
 
     #[test]

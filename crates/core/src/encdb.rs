@@ -1,8 +1,11 @@
 //! Encrypted database, query and result-transfer types.
 
-use crate::error::UpdateRejected;
+use crate::error::{DurableUpdateError, UpdateRejected};
+use crate::storage::BackingStore;
 use sknn_bigint::BigUint;
 use sknn_paillier::{Ciphertext, PublicKey};
+use sknn_store::StoreError;
+use std::sync::Arc;
 
 /// One attribute-wise encrypted record: `⟨E(t_{i,1}), …, E(t_{i,m})⟩`.
 pub type EncryptedRecord = Vec<Ciphertext>;
@@ -39,6 +42,10 @@ pub struct EncryptedDatabase {
     /// Number of shards the records are partitioned into (≥ 1).
     shards: usize,
     public_key: PublicKey,
+    /// Durable write-ahead sink; `None` (the default) keeps the database
+    /// purely in-memory with zero behavior change. Clones share the same
+    /// backing — the backing mirrors whichever clone keeps writing.
+    backing: Option<Arc<dyn BackingStore>>,
 }
 
 impl EncryptedDatabase {
@@ -62,7 +69,70 @@ impl EncryptedDatabase {
             attributes,
             shards: 1,
             public_key,
+            backing: None,
         }
+    }
+
+    /// Assembles a database from explicit parts — the reload path of the
+    /// durable store, where `attributes` must be supplied because the
+    /// record list may be empty and tombstoned slots must be restored
+    /// as-is.
+    ///
+    /// # Errors
+    /// [`StoreError::Invariant`] when `live` and `records` have different
+    /// lengths or a record has the wrong width — the store validates both
+    /// against the manifest, so a mismatch here means the loaded state is
+    /// not trustworthy.
+    pub fn from_parts(
+        records: Vec<EncryptedRecord>,
+        live: Vec<bool>,
+        attributes: usize,
+        public_key: PublicKey,
+    ) -> Result<Self, StoreError> {
+        if records.len() != live.len() {
+            return Err(StoreError::Invariant {
+                message: format!(
+                    "liveness bitmap covers {} records but {} were loaded",
+                    live.len(),
+                    records.len()
+                ),
+            });
+        }
+        if let Some(bad) = records.iter().find(|r| r.len() != attributes) {
+            return Err(StoreError::Invariant {
+                message: format!(
+                    "loaded record has {} attributes, manifest says {attributes}",
+                    bad.len()
+                ),
+            });
+        }
+        let tombstones = live.iter().filter(|&&l| !l).count();
+        Ok(EncryptedDatabase {
+            records,
+            live,
+            tombstones,
+            attributes,
+            shards: 1,
+            public_key,
+            backing: None,
+        })
+    }
+
+    /// Attaches a durable backing store: every subsequent
+    /// [`append_record`](Self::append_record) and
+    /// [`tombstone`](Self::tombstone) becomes **write-ahead** — the store
+    /// must acknowledge durability before the update is visible to
+    /// queries. The backing is expected to already mirror the database's
+    /// current contents (the engine loads one from the other).
+    #[must_use]
+    pub fn with_backing(mut self, backing: Arc<dyn BackingStore>) -> Self {
+        self.backing = Some(backing);
+        self
+    }
+
+    /// Whether a durable backing store is attached.
+    pub fn is_durable(&self) -> bool {
+        self.backing.is_some()
     }
 
     /// Re-partitions the database into `shards` shards (clamped to at
@@ -149,7 +219,90 @@ impl EncryptedDatabase {
         (0..self.records.len()).filter(|&i| self.live[i]).collect()
     }
 
+    /// Durably appends a batch of already-encrypted records, returning the
+    /// physical indices they were stored at. **Write-ahead**: when a
+    /// backing store is attached, the whole batch is made durable before
+    /// any of it becomes visible to queries, and a failed batch changes
+    /// nothing (all-or-nothing, on disk and in memory). Without a backing
+    /// this is a plain in-memory batch append with the same atomicity.
+    ///
+    /// # Errors
+    /// Rejects the whole batch when any record's width differs from the
+    /// database's, and surfaces backing-store failures typed.
+    pub fn append_records_durable(
+        &mut self,
+        records: Vec<EncryptedRecord>,
+    ) -> Result<Vec<usize>, DurableUpdateError> {
+        if let Some(bad) = records.iter().find(|r| r.len() != self.attributes) {
+            return Err(DurableUpdateError::Rejected(UpdateRejected::WrongArity {
+                expected: self.attributes,
+                got: bad.len(),
+            }));
+        }
+        let base = self.records.len();
+        if let Some(backing) = &self.backing {
+            let raw: Vec<Vec<BigUint>> = records
+                .iter()
+                .map(|r| r.iter().map(|c| c.as_raw().clone()).collect())
+                .collect();
+            backing
+                .append(base as u64, &raw)
+                .map_err(DurableUpdateError::Storage)?;
+        }
+        let indices = (base..base + records.len()).collect();
+        for record in records {
+            self.records.push(record);
+            self.live.push(true);
+        }
+        Ok(indices)
+    }
+
+    /// Durably tombstones the record at physical index `i` — write-ahead
+    /// when a backing store is attached, plain in-memory otherwise.
+    ///
+    /// # Errors
+    /// Rejects out-of-range and already-tombstoned indices; surfaces
+    /// backing-store failures typed.
+    pub fn tombstone_durable(&mut self, i: usize) -> Result<(), DurableUpdateError> {
+        if i >= self.records.len() {
+            return Err(DurableUpdateError::Rejected(
+                UpdateRejected::IndexOutOfRange {
+                    index: i,
+                    records: self.records.len(),
+                },
+            ));
+        }
+        if !self.live[i] {
+            return Err(DurableUpdateError::Rejected(
+                UpdateRejected::AlreadyTombstoned { index: i },
+            ));
+        }
+        if let Some(backing) = &self.backing {
+            backing
+                .tombstone(i as u64)
+                .map_err(DurableUpdateError::Storage)?;
+        }
+        self.live[i] = false;
+        self.tombstones += 1;
+        Ok(())
+    }
+
+    /// Forces everything the backing store has acknowledged onto stable
+    /// storage (a no-op without a backing).
+    ///
+    /// # Errors
+    /// Surfaces backing-store failures typed.
+    pub fn flush(&self) -> Result<(), StoreError> {
+        match &self.backing {
+            Some(backing) => backing.flush(),
+            None => Ok(()),
+        }
+    }
+
     /// Appends one already-encrypted record, returning its physical index.
+    /// **In-memory only** — an attached backing store is bypassed; durable
+    /// databases must use
+    /// [`append_records_durable`](Self::append_records_durable).
     ///
     /// The ciphertexts are assumed to be encryptions under
     /// [`Self::public_key`] of values within the domain bound the hosting
@@ -172,7 +325,9 @@ impl EncryptedDatabase {
     }
 
     /// Tombstones the record at physical index `i`: it keeps its index but
-    /// is skipped by all subsequent queries.
+    /// is skipped by all subsequent queries. **In-memory only** — an
+    /// attached backing store is bypassed; durable databases must use
+    /// [`tombstone_durable`](Self::tombstone_durable).
     ///
     /// # Errors
     /// Rejects out-of-range indices and records that are already

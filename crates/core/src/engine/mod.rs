@@ -42,21 +42,31 @@ pub use batch::QueryOutcome;
 pub use builder::{PreparedQuery, Protocol, QueryBuilder};
 
 use crate::config::{FederationConfig, PackingKind, SecureQueryParams, TransportKind};
+use crate::error::DurableUpdateError;
 use crate::exec::{classify_session_failure, SessionSet};
 use crate::parallel::ParallelismConfig;
 use crate::profile::PoolActivity;
 use crate::retry::RetryReport;
 use crate::roles::{CloudC1, DataOwner, QueryUser};
-use crate::{EncryptedRecord, SknnError, Table};
+use crate::storage::{BackingStore, DatasetStoreHandle};
+use crate::{EncryptedDatabase, EncryptedRecord, SknnError, Table, UpdateRejected};
 use rand::RngCore;
-use sknn_paillier::{PoolConfig, PoolStats, PooledEncryptor, PublicKey, RandomnessPool};
+use sknn_bigint::BigUint;
+use sknn_paillier::{
+    Ciphertext, PoolConfig, PoolStats, PooledEncryptor, PublicKey, RandomnessPool,
+};
 use sknn_protocols::stats::CommSnapshot;
 use sknn_protocols::transport::{
     serve, CoalesceConfig, SessionHealth, SessionKeyHolder, SessionPool, TcpTransport,
 };
 use sknn_protocols::{KeyHolder, LocalKeyHolder, PackedParams};
+use sknn_store::{
+    key_fingerprint, validate_dataset_name, CompactionReport, DatasetMeta, DatasetStore, Manifest,
+    RecoveryReport, StoreError, MANIFEST_FILE,
+};
 use std::collections::BTreeMap;
 use std::net::TcpListener;
+use std::path::Path;
 use std::sync::Arc;
 
 /// The deployment's handle on cloud C2: one or more independent key-holder
@@ -130,6 +140,11 @@ pub struct Dataset {
     pub(crate) c1: CloudC1,
     distance_bits: usize,
     value_bound: u64,
+    /// The durable shard store backing this dataset (`None` for in-memory
+    /// datasets). The database holds the same handle as its write-ahead
+    /// sink; the engine reaches through this one for stable-index
+    /// resolution and compaction.
+    store: Option<Arc<DatasetStoreHandle>>,
 }
 
 impl Dataset {
@@ -178,6 +193,22 @@ impl Dataset {
     pub fn cloud(&self) -> &CloudC1 {
         &self.c1
     }
+
+    /// Whether this dataset is backed by the durable shard store (true for
+    /// datasets registered through
+    /// [`SknnEngine::register_dataset_persistent`] or reloaded by
+    /// [`SknnEngine::open_dir`]).
+    pub fn is_durable(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// How many times this dataset has been compacted (0 for in-memory
+    /// datasets).
+    pub fn compactions(&self) -> u64 {
+        self.store
+            .as_ref()
+            .map_or(0, |s| s.with(|store| store.manifest().compactions))
+    }
 }
 
 /// A two-cloud SkNN deployment hosting many named encrypted datasets.
@@ -216,6 +247,9 @@ pub struct SknnEngine {
     /// C1's pool, attached to every registered dataset's encryptor.
     c1_pool: Option<Arc<RandomnessPool>>,
     datasets: BTreeMap<String, Dataset>,
+    /// What crash recovery had to do per dataset reloaded by
+    /// [`SknnEngine::open_dir`].
+    recovery: BTreeMap<String, RecoveryReport>,
     parallelism: ParallelismConfig,
     config: FederationConfig,
 }
@@ -372,6 +406,7 @@ impl SknnEngine {
             pools,
             c1_pool,
             datasets: BTreeMap::new(),
+            recovery: BTreeMap::new(),
             parallelism: ParallelismConfig {
                 threads: config.threads.max(1),
             },
@@ -425,11 +460,83 @@ impl SknnEngine {
             pools,
             c1_pool,
             datasets: BTreeMap::new(),
+            recovery: BTreeMap::new(),
             parallelism: ParallelismConfig {
                 threads: config.threads.max(1),
             },
             config,
         })
+    }
+
+    /// Stands up a **durable** deployment rooted at `root`: the engine is
+    /// constructed as by [`SknnEngine::setup_with_owner`] (with
+    /// `config.store_root` set to `root`), then every dataset directory
+    /// found under `root` is crash-recovered and registered. An empty or
+    /// missing `root` is a fresh durable deployment — create datasets with
+    /// [`SknnEngine::register_dataset_persistent`] and they will be here
+    /// on the next `open_dir`.
+    ///
+    /// The key pair is **not** persisted (the store holds only
+    /// ciphertexts); the caller supplies the same owner across restarts.
+    /// Each dataset's manifest pins a fingerprint of the public modulus and
+    /// the shard count, so opening under a different key pair or a
+    /// different [`crate::ShardingConfig::shards`] fails with a typed
+    /// [`SknnError::Storage`] error instead of serving garbage.
+    ///
+    /// # Errors
+    /// Transport-setup errors as in [`SknnEngine::setup`], and
+    /// [`SknnError::Storage`] for unreadable, corrupt, or mismatched
+    /// dataset directories. Torn log tails are *not* errors — they are
+    /// truncated to the last consistent prefix, and
+    /// [`SknnEngine::recovery_report`] says what was dropped.
+    pub fn open_dir(
+        owner: DataOwner,
+        mut config: FederationConfig,
+        root: &Path,
+    ) -> Result<SknnEngine, SknnError> {
+        config.store_root = Some(root.to_path_buf());
+        let mut engine = Self::setup_with_owner(owner, config)?;
+        std::fs::create_dir_all(root).map_err(|e| {
+            SknnError::Storage(StoreError::Io {
+                path: root.display().to_string(),
+                operation: "create store root",
+                message: e.to_string(),
+            })
+        })?;
+        let mut names = Vec::new();
+        let entries = std::fs::read_dir(root).map_err(|e| {
+            SknnError::Storage(StoreError::Io {
+                path: root.display().to_string(),
+                operation: "read store root",
+                message: e.to_string(),
+            })
+        })?;
+        for entry in entries {
+            let entry = entry.map_err(|e| {
+                SknnError::Storage(StoreError::Io {
+                    path: root.display().to_string(),
+                    operation: "read store root",
+                    message: e.to_string(),
+                })
+            })?;
+            if !entry.path().join(MANIFEST_FILE).is_file() {
+                continue;
+            }
+            let name = entry.file_name();
+            let name = name.to_str().ok_or_else(|| {
+                SknnError::Storage(StoreError::InvalidDatasetName {
+                    name: entry.path().display().to_string(),
+                })
+            })?;
+            validate_dataset_name(name).map_err(SknnError::Storage)?;
+            names.push(name.to_string());
+        }
+        // Deterministic registration order regardless of directory order.
+        names.sort();
+        for name in names {
+            engine.load_dataset(&name)?;
+        }
+        Ok(engine)
     }
 
     /// Encrypts `table` under the deployment's key and registers it as the
@@ -508,9 +615,292 @@ impl SknnEngine {
                 c1,
                 distance_bits,
                 value_bound: table.max_attribute_value().max(opts.max_query_value),
+                store: None,
             },
         );
         Ok(())
+    }
+
+    /// Like [`SknnEngine::register_dataset`] but **durable**: the encrypted
+    /// table is written ahead to `<store_root>/<name>/` (per-shard
+    /// append-only ciphertext logs plus a manifest pinning the key
+    /// fingerprint and shard count) before the dataset is registered, so a
+    /// later [`SknnEngine::open_dir`] with the same owner reloads it
+    /// bit-identically. Requires [`FederationConfig::store_root`] to be set
+    /// (which [`SknnEngine::open_dir`] does).
+    ///
+    /// # Errors
+    /// Everything [`SknnEngine::register_dataset_with`] can return, plus
+    /// [`SknnError::Storage`] when no store root is configured, the name is
+    /// not filesystem-safe ([`sknn_store::validate_dataset_name`]), the
+    /// directory already holds a dataset, or writing fails (a half-created
+    /// directory is cleaned up; nothing is registered).
+    pub fn register_dataset_persistent<R: RngCore + ?Sized>(
+        &mut self,
+        name: &str,
+        table: &Table,
+        rng: &mut R,
+    ) -> Result<(), SknnError> {
+        let opts = DatasetOptions {
+            distance_bits: self.config.distance_bits,
+            max_query_value: self.config.max_query_value,
+        };
+        self.register_dataset_persistent_with(name, table, opts, rng)
+    }
+
+    /// [`SknnEngine::register_dataset_persistent`] with explicit
+    /// per-dataset options.
+    ///
+    /// # Errors
+    /// See [`SknnEngine::register_dataset_persistent`].
+    pub fn register_dataset_persistent_with<R: RngCore + ?Sized>(
+        &mut self,
+        name: &str,
+        table: &Table,
+        opts: DatasetOptions,
+        rng: &mut R,
+    ) -> Result<(), SknnError> {
+        let root = self.config.store_root.clone().ok_or_else(|| {
+            SknnError::Storage(StoreError::Invariant {
+                message: "no store root configured: set FederationConfig::store_root \
+                          or construct the engine with SknnEngine::open_dir"
+                    .to_string(),
+            })
+        })?;
+        validate_dataset_name(name).map_err(SknnError::Storage)?;
+        if self.datasets.contains_key(name) {
+            return Err(SknnError::DatasetAlreadyRegistered {
+                name: name.to_string(),
+            });
+        }
+        let dir = root.join(name);
+        if dir.join(MANIFEST_FILE).is_file() {
+            return Err(SknnError::Storage(StoreError::Invariant {
+                message: format!(
+                    "dataset directory {} already exists on disk; \
+                     open_dir reloads it instead",
+                    dir.display()
+                ),
+            }));
+        }
+        let required = table.required_distance_bits(opts.max_query_value);
+        let distance_bits = opts.distance_bits.unwrap_or(required);
+        if distance_bits < required {
+            return Err(SknnError::InsufficientDistanceBits {
+                l: distance_bits,
+                required,
+            });
+        }
+        if distance_bits + 2 >= self.config.key_bits {
+            return Err(SknnError::InsufficientDistanceBits {
+                l: distance_bits,
+                required: self.config.key_bits.saturating_sub(2),
+            });
+        }
+        let packing = derive_packing(&self.config, distance_bits)?;
+
+        let db = self
+            .owner
+            .encrypt_table(table, rng)?
+            .with_shards(self.config.sharding.shards);
+        let value_bound = table.max_attribute_value().max(opts.max_query_value);
+        let meta = DatasetMeta {
+            key_fingerprint: key_fingerprint(&self.owner.public_key().n().to_bytes_be()),
+            shards: self.config.sharding.shards as u32,
+            attributes: db.num_attributes() as u32,
+            value_bound,
+            distance_bits: distance_bits as u32,
+        };
+        // Write-ahead the full table; a failure anywhere leaves no
+        // half-created dataset directory behind.
+        let created = (|| {
+            let mut store = DatasetStore::create(&dir, meta)?;
+            let raw: Vec<Vec<BigUint>> = db
+                .records()
+                .iter()
+                .map(|r| r.iter().map(|c| c.as_raw().clone()).collect())
+                .collect();
+            store.append_batch(0, &raw)?;
+            Ok(store)
+        })();
+        let store = match created {
+            Ok(store) => store,
+            Err(e) => {
+                let _ = std::fs::remove_dir_all(&dir);
+                return Err(SknnError::Storage(e));
+            }
+        };
+        let handle = Arc::new(DatasetStoreHandle::new(store));
+        let db = db.with_backing(Arc::clone(&handle) as Arc<dyn BackingStore>);
+        let mut c1 = CloudC1::new(db);
+        if let Some(pool) = &self.c1_pool {
+            c1 = c1.with_encryptor(PooledEncryptor::new(Arc::clone(pool)));
+        }
+        if let Some(params) = packing {
+            c1 = c1.with_packing(params);
+        }
+        self.datasets.insert(
+            name.to_string(),
+            Dataset {
+                c1,
+                distance_bits,
+                value_bound,
+                store: Some(handle),
+            },
+        );
+        Ok(())
+    }
+
+    /// Crash-recovers and registers the dataset stored at
+    /// `<store_root>/<name>/`, refusing key or configuration mismatches.
+    fn load_dataset(&mut self, name: &str) -> Result<(), SknnError> {
+        let root = self.config.store_root.clone().ok_or_else(|| {
+            SknnError::Storage(StoreError::Invariant {
+                message: "load_dataset reached without a store root".to_string(),
+            })
+        })?;
+        let dir = root.join(name);
+        let manifest = Manifest::load(&dir.join(MANIFEST_FILE)).map_err(SknnError::Storage)?;
+        let found = key_fingerprint(&self.owner.public_key().n().to_bytes_be());
+        if manifest.meta.key_fingerprint != found {
+            return Err(SknnError::Storage(StoreError::KeyMismatch {
+                expected: manifest.meta.key_fingerprint,
+                found,
+            }));
+        }
+        let shards = self.config.sharding.shards as u64;
+        if u64::from(manifest.meta.shards) != shards {
+            return Err(SknnError::Storage(StoreError::ManifestMismatch {
+                field: "shard count",
+                expected: u64::from(manifest.meta.shards),
+                found: shards,
+            }));
+        }
+        let distance_bits = manifest.meta.distance_bits as usize;
+        if distance_bits + 2 >= self.config.key_bits {
+            return Err(SknnError::InsufficientDistanceBits {
+                l: distance_bits,
+                required: self.config.key_bits.saturating_sub(2),
+            });
+        }
+        let packing = derive_packing(&self.config, distance_bits)?;
+        let (store, report) =
+            DatasetStore::open(&dir, &manifest.meta).map_err(SknnError::Storage)?;
+
+        let records: Vec<EncryptedRecord> = store
+            .records()
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .map(|raw| Ciphertext::from_raw(raw.clone()))
+                    .collect()
+            })
+            .collect();
+        let live = store.live().to_vec();
+        let attributes = manifest.meta.attributes as usize;
+        let value_bound = manifest.meta.value_bound;
+        let handle = Arc::new(DatasetStoreHandle::new(store));
+        let db = EncryptedDatabase::from_parts(
+            records,
+            live,
+            attributes,
+            self.owner.public_key().clone(),
+        )
+        .map_err(SknnError::Storage)?
+        .with_shards(self.config.sharding.shards)
+        .with_backing(Arc::clone(&handle) as Arc<dyn BackingStore>);
+        let mut c1 = CloudC1::new(db);
+        if let Some(pool) = &self.c1_pool {
+            c1 = c1.with_encryptor(PooledEncryptor::new(Arc::clone(pool)));
+        }
+        if let Some(params) = packing {
+            c1 = c1.with_packing(params);
+        }
+        self.recovery.insert(name.to_string(), report);
+        self.datasets.insert(
+            name.to_string(),
+            Dataset {
+                c1,
+                distance_bits,
+                value_bound,
+                store: Some(handle),
+            },
+        );
+        Ok(())
+    }
+
+    /// What crash recovery had to do for dataset `name` when it was
+    /// reloaded by [`SknnEngine::open_dir`] (`None` for datasets registered
+    /// in this process).
+    pub fn recovery_report(&self, name: &str) -> Option<&RecoveryReport> {
+        self.recovery.get(name)
+    }
+
+    /// Forces every durable dataset's acknowledged writes onto stable
+    /// storage. A no-op for in-memory datasets.
+    ///
+    /// # Errors
+    /// Returns the first [`SknnError::Storage`] failure.
+    pub fn flush(&self) -> Result<(), SknnError> {
+        for dataset in self.datasets.values() {
+            dataset.c1.database().flush().map_err(SknnError::Storage)?;
+        }
+        Ok(())
+    }
+
+    /// Compacts the durable dataset `name`: rewrites its shard logs without
+    /// tombstoned records, renumbering the survivors densely (in order, so
+    /// query results are unchanged) and extending the manifest's
+    /// stable-index map so every index the owner ever observed keeps
+    /// resolving — to the record's new position, or to a typed
+    /// "already tombstoned" rejection once it is reclaimed.
+    ///
+    /// # Errors
+    /// Returns [`SknnError::UnknownDataset`] for an unregistered name and
+    /// [`SknnError::Storage`] for a non-durable dataset or an I/O failure
+    /// (the previous generation stays intact in that case — the manifest
+    /// rename is the commit point).
+    pub fn compact_dataset(&mut self, name: &str) -> Result<CompactionReport, SknnError> {
+        let dataset = self
+            .datasets
+            .get_mut(name)
+            .ok_or_else(|| SknnError::UnknownDataset {
+                name: name.to_string(),
+            })?;
+        let handle = dataset.store.as_ref().ok_or_else(|| {
+            SknnError::Storage(StoreError::Invariant {
+                message: format!("dataset {name:?} is in-memory; nothing to compact"),
+            })
+        })?;
+        let report = handle
+            .with(DatasetStore::compact)
+            .map_err(SknnError::Storage)?;
+        // Rebuild C1's in-memory view from the compacted store so the
+        // physical indices match the rewritten logs.
+        let (records, live) = handle.with(|s| {
+            let records: Vec<EncryptedRecord> = s
+                .records()
+                .iter()
+                .map(|r| {
+                    r.iter()
+                        .map(|raw| Ciphertext::from_raw(raw.clone()))
+                        .collect()
+                })
+                .collect();
+            (records, s.live().to_vec())
+        });
+        let attributes = dataset.c1.database().num_attributes();
+        let db = EncryptedDatabase::from_parts(
+            records,
+            live,
+            attributes,
+            self.owner.public_key().clone(),
+        )
+        .map_err(SknnError::Storage)?
+        .with_shards(self.config.sharding.shards)
+        .with_backing(Arc::clone(handle) as Arc<dyn BackingStore>);
+        *dataset.c1.database_mut() = db;
+        Ok(report)
     }
 
     /// Retires the dataset `name`: its ciphertexts are dropped from C1 and
@@ -546,13 +936,17 @@ impl SknnEngine {
 
     /// Appends already-encrypted records (from
     /// [`DataOwner::encrypt_record`]) to the dataset `name`, returning the
-    /// physical indices they were stored at. The records become visible to
-    /// the very next query.
+    /// **stable** indices they were stored at (for an in-memory or
+    /// never-compacted dataset these equal the physical positions). The
+    /// whole batch is atomic — a rejected record leaves nothing appended —
+    /// and for a durable dataset it is write-ahead: the records become
+    /// visible to queries only after the shard logs acknowledged them.
     ///
     /// # Errors
-    /// Returns [`SknnError::UnknownDataset`] for an unregistered name and
+    /// Returns [`SknnError::UnknownDataset`] for an unregistered name,
     /// [`SknnError::InvalidUpdate`] when a record's width differs from the
-    /// dataset's (nothing is appended in that case).
+    /// dataset's, and [`SknnError::Storage`] when the backing store refuses
+    /// the batch (in every case nothing is appended).
     pub fn append_records(
         &mut self,
         name: &str,
@@ -564,40 +958,41 @@ impl SknnEngine {
             .ok_or_else(|| SknnError::UnknownDataset {
                 name: name.to_string(),
             })?;
-        let expected = dataset.c1.database().num_attributes();
-        // Validate the whole batch first so a mid-batch arity error cannot
-        // leave a partial append behind.
-        if let Some(bad) = records.iter().find(|r| r.len() != expected) {
-            return Err(SknnError::InvalidUpdate {
-                dataset: name.to_string(),
-                rejected: crate::error::UpdateRejected::WrongArity {
-                    expected,
-                    got: bad.len(),
-                },
-            });
-        }
-        let mut indices = Vec::with_capacity(records.len());
-        for record in records {
-            let index = dataset
-                .c1
-                .database_mut()
-                .append_record(record)
-                .map_err(|rejected| SknnError::InvalidUpdate {
+        let physical = dataset
+            .c1
+            .database_mut()
+            .append_records_durable(records)
+            .map_err(|e| match e {
+                DurableUpdateError::Rejected(rejected) => SknnError::InvalidUpdate {
                     dataset: name.to_string(),
                     rejected,
-                })?;
-            indices.push(index);
+                },
+                DurableUpdateError::Storage(e) => SknnError::Storage(e),
+            })?;
+        match &dataset.store {
+            None => Ok(physical),
+            Some(handle) => Ok(handle.with(|s| {
+                physical
+                    .iter()
+                    .map(|&p| s.stable_of_new_physical(p as u64) as usize)
+                    .collect()
+            })),
         }
-        Ok(indices)
     }
 
-    /// Tombstones the record at physical `index` in dataset `name`: it
-    /// keeps its index but no subsequent query can return it.
+    /// Tombstones the record at stable `index` in dataset `name`: the index
+    /// stays allocated (no other record ever reuses it) but no subsequent
+    /// query can return the record. For a durable dataset the tombstone is
+    /// write-ahead — durable before visible — and `index` is interpreted in
+    /// the stable numbering [`SknnEngine::append_records`] returns, which
+    /// survives compaction.
     ///
     /// # Errors
-    /// Returns [`SknnError::UnknownDataset`] for an unregistered name and
+    /// Returns [`SknnError::UnknownDataset`] for an unregistered name,
     /// [`SknnError::InvalidUpdate`] for an out-of-range or already
-    /// tombstoned index.
+    /// tombstoned index (a record reclaimed by compaction counts as
+    /// already tombstoned), and [`SknnError::Storage`] when the backing
+    /// store refuses the write (the record then stays live).
     pub fn tombstone_record(&mut self, name: &str, index: usize) -> Result<(), SknnError> {
         let dataset = self
             .datasets
@@ -605,13 +1000,51 @@ impl SknnEngine {
             .ok_or_else(|| SknnError::UnknownDataset {
                 name: name.to_string(),
             })?;
+        let physical = match &dataset.store {
+            None => index,
+            Some(handle) => {
+                let stable_count = handle.with(|s| s.stable_count());
+                match handle.with(|s| s.stable_to_physical(index as u64)) {
+                    Ok(Some(p)) => p as usize,
+                    // Reclaimed by compaction: the owner tombstoned it long
+                    // ago, so answer as for any other dead index.
+                    Ok(None) => {
+                        return Err(SknnError::InvalidUpdate {
+                            dataset: name.to_string(),
+                            rejected: UpdateRejected::AlreadyTombstoned { index },
+                        });
+                    }
+                    Err(_) => {
+                        return Err(SknnError::InvalidUpdate {
+                            dataset: name.to_string(),
+                            rejected: UpdateRejected::IndexOutOfRange {
+                                index,
+                                records: stable_count as usize,
+                            },
+                        });
+                    }
+                }
+            }
+        };
         dataset
             .c1
             .database_mut()
-            .tombstone(index)
-            .map_err(|rejected| SknnError::InvalidUpdate {
-                dataset: name.to_string(),
-                rejected,
+            .tombstone_durable(physical)
+            .map_err(|e| match e {
+                DurableUpdateError::Rejected(rejected) => SknnError::InvalidUpdate {
+                    dataset: name.to_string(),
+                    // Report in the caller's (stable) numbering.
+                    rejected: match rejected {
+                        UpdateRejected::IndexOutOfRange { records, .. } => {
+                            UpdateRejected::IndexOutOfRange { index, records }
+                        }
+                        UpdateRejected::AlreadyTombstoned { .. } => {
+                            UpdateRejected::AlreadyTombstoned { index }
+                        }
+                        other => other,
+                    },
+                },
+                DurableUpdateError::Storage(e) => SknnError::Storage(e),
             })
     }
 
@@ -1130,5 +1563,172 @@ mod tests {
             engine.run(&prepared, &mut rng),
             Err(SknnError::UnknownDataset { .. })
         ));
+    }
+
+    fn tmp_root(tag: &str) -> std::path::PathBuf {
+        static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "sknn-engine-store-{}-{}-{}",
+            std::process::id(),
+            tag,
+            n
+        ))
+    }
+
+    fn durable_config() -> FederationConfig {
+        FederationConfig {
+            key_bits: 96,
+            max_query_value: 10,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn durable_datasets_survive_restart() {
+        let mut rng = StdRng::seed_from_u64(506);
+        let root = tmp_root("restart");
+        let owner = DataOwner::new(96, &mut rng);
+
+        let mut engine = SknnEngine::open_dir(owner.clone(), durable_config(), &root).unwrap();
+        engine
+            .register_dataset_persistent("d", &table(), &mut rng)
+            .unwrap();
+        assert!(engine.dataset("d").unwrap().is_durable());
+        let record = engine.owner().encrypt_record(&[2, 2], &mut rng).unwrap();
+        assert_eq!(engine.append_records("d", vec![record]).unwrap(), vec![5]);
+        engine.tombstone_record("d", 0).unwrap();
+        engine.flush().unwrap();
+        let before = engine
+            .query("d")
+            .k(3)
+            .point(&[2, 2])
+            .protocol(Protocol::Basic)
+            .run(&mut rng)
+            .unwrap();
+        drop(engine);
+
+        let reloaded = SknnEngine::open_dir(owner, durable_config(), &root).unwrap();
+        assert_eq!(reloaded.dataset_names(), vec!["d"]);
+        assert!(reloaded.recovery_report("d").unwrap().is_clean());
+        let dataset = reloaded.dataset("d").unwrap();
+        assert_eq!(dataset.num_physical_records(), 6);
+        assert_eq!(dataset.num_records(), 5);
+        let after = reloaded
+            .query("d")
+            .k(3)
+            .point(&[2, 2])
+            .protocol(Protocol::Basic)
+            .run(&mut rng)
+            .unwrap();
+        assert_eq!(after.result, before.result);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn persistent_registration_requires_root_and_safe_name() {
+        let mut rng = StdRng::seed_from_u64(507);
+        let mut plain = engine(durable_config(), &mut rng);
+        assert!(matches!(
+            plain.register_dataset_persistent("d", &table(), &mut rng),
+            Err(SknnError::Storage(StoreError::Invariant { .. }))
+        ));
+
+        let root = tmp_root("names");
+        let owner = DataOwner::new(96, &mut rng);
+        let mut durable = SknnEngine::open_dir(owner, durable_config(), &root).unwrap();
+        assert!(matches!(
+            durable.register_dataset_persistent("../escape", &table(), &mut rng),
+            Err(SknnError::Storage(StoreError::InvalidDatasetName { .. }))
+        ));
+        // In-memory registration still works on a durable engine, and the
+        // two paths reject each other's duplicates.
+        durable.register_dataset("mem", &table(), &mut rng).unwrap();
+        assert!(!durable.dataset("mem").unwrap().is_durable());
+        assert!(matches!(
+            durable.register_dataset_persistent("mem", &table(), &mut rng),
+            Err(SknnError::DatasetAlreadyRegistered { .. })
+        ));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn reload_refuses_the_wrong_keypair() {
+        let mut rng = StdRng::seed_from_u64(508);
+        let root = tmp_root("wrong-key");
+        let owner = DataOwner::new(96, &mut rng);
+        let mut engine = SknnEngine::open_dir(owner, durable_config(), &root).unwrap();
+        engine
+            .register_dataset_persistent("d", &table(), &mut rng)
+            .unwrap();
+        drop(engine);
+
+        let other = DataOwner::new(96, &mut rng);
+        assert!(matches!(
+            SknnEngine::open_dir(other, durable_config(), &root),
+            Err(SknnError::Storage(StoreError::KeyMismatch { .. }))
+        ));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn compaction_keeps_stable_indices_and_results() {
+        let mut rng = StdRng::seed_from_u64(509);
+        let root = tmp_root("compact");
+        let owner = DataOwner::new(96, &mut rng);
+        let mut engine = SknnEngine::open_dir(owner.clone(), durable_config(), &root).unwrap();
+        engine
+            .register_dataset_persistent("d", &table(), &mut rng)
+            .unwrap();
+        // Kill the two nearest records so compaction genuinely rewrites.
+        engine.tombstone_record("d", 4).unwrap();
+        engine.tombstone_record("d", 2).unwrap();
+        let report = engine.compact_dataset("d").unwrap();
+        assert_eq!(report.reclaimed_records, 2);
+        assert_eq!(report.live_records, 3);
+        assert!(report.shards_rewritten >= 1);
+        assert_eq!(engine.dataset("d").unwrap().compactions(), 1);
+
+        // Stable indices keep their meaning: 2 and 4 are reclaimed (typed
+        // "already tombstoned"), 3 still resolves and can be tombstoned.
+        assert!(matches!(
+            engine.tombstone_record("d", 4),
+            Err(SknnError::InvalidUpdate {
+                rejected: UpdateRejected::AlreadyTombstoned { index: 4 },
+                ..
+            })
+        ));
+        engine.tombstone_record("d", 3).unwrap();
+        // New appends continue the stable numbering from 5, not from the
+        // compacted physical count.
+        let record = engine.owner().encrypt_record(&[2, 2], &mut rng).unwrap();
+        assert_eq!(engine.append_records("d", vec![record]).unwrap(), vec![5]);
+
+        // Results stay correct after the rewrite, and survive a restart.
+        let expected = vec![vec![2, 2], vec![0, 7], vec![10, 0]];
+        let live = engine
+            .query("d")
+            .k(3)
+            .point(&[2, 2])
+            .protocol(Protocol::Basic)
+            .run(&mut rng)
+            .unwrap();
+        assert_eq!(live.result, expected);
+        drop(engine);
+        let reloaded = SknnEngine::open_dir(owner, durable_config(), &root).unwrap();
+        assert!(reloaded.recovery_report("d").unwrap().is_clean());
+        let after = reloaded
+            .query("d")
+            .k(3)
+            .point(&[2, 2])
+            .protocol(Protocol::Basic)
+            .run(&mut rng)
+            .unwrap();
+        assert_eq!(after.result, expected);
+        assert!(matches!(
+            reloaded.dataset("d"),
+            Some(d) if d.compactions() == 1
+        ));
+        std::fs::remove_dir_all(&root).unwrap();
     }
 }

@@ -3,6 +3,7 @@
 use core::fmt;
 use sknn_paillier::PaillierError;
 use sknn_protocols::ProtocolError;
+use sknn_store::StoreError;
 
 /// Errors surfaced while outsourcing a database or answering a query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,6 +72,10 @@ pub enum SknnError {
         /// Why the update was rejected.
         rejected: UpdateRejected,
     },
+    /// An error bubbled up from the durable shard store: an I/O failure, a
+    /// corrupt log or manifest, or a dataset directory persisted under a
+    /// different key pair or sharding configuration.
+    Storage(StoreError),
     /// An error bubbled up from the underlying two-party protocols.
     Protocol(ProtocolError),
     /// An error bubbled up from the Paillier layer — typically a plaintext
@@ -175,6 +180,30 @@ pub enum UpdateRejected {
     },
 }
 
+/// Why a durable (write-ahead) update on an
+/// [`crate::EncryptedDatabase`] failed: either up-front validation, or the
+/// backing store refusing to make the update durable. In the latter case
+/// nothing became visible — "durable before visible" means a storage
+/// failure leaves the queryable state exactly as it was.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DurableUpdateError {
+    /// The update failed validation (wrong arity, bad index).
+    Rejected(UpdateRejected),
+    /// The backing store could not make the update durable.
+    Storage(StoreError),
+}
+
+impl fmt::Display for DurableUpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableUpdateError::Rejected(r) => write!(f, "{r}"),
+            DurableUpdateError::Storage(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableUpdateError {}
+
 impl fmt::Display for UpdateRejected {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -232,6 +261,7 @@ impl fmt::Display for SknnError {
             SknnError::InvalidUpdate { dataset, rejected } => {
                 write!(f, "invalid update to dataset {dataset:?}: {rejected}")
             }
+            SknnError::Storage(e) => write!(f, "storage error: {e}"),
             SknnError::Protocol(e) => write!(f, "protocol error: {e}"),
             SknnError::Paillier(e) => write!(f, "encryption error: {e}"),
         }
@@ -243,6 +273,7 @@ impl std::error::Error for SknnError {
         match self {
             SknnError::Protocol(e) => Some(e),
             SknnError::Paillier(e) => Some(e),
+            SknnError::Storage(e) => Some(e),
             _ => None,
         }
     }
@@ -257,6 +288,12 @@ impl From<ProtocolError> for SknnError {
 impl From<PaillierError> for SknnError {
     fn from(e: PaillierError) -> Self {
         SknnError::Paillier(e)
+    }
+}
+
+impl From<StoreError> for SknnError {
+    fn from(e: StoreError) -> Self {
+        SknnError::Storage(e)
     }
 }
 
@@ -338,6 +375,19 @@ mod tests {
         }
         .to_string()
         .contains("index 7"));
+    }
+
+    #[test]
+    fn storage_errors_convert_and_display() {
+        use std::error::Error;
+        let e: SknnError = StoreError::KeyMismatch {
+            expected: 1,
+            found: 2,
+        }
+        .into();
+        assert!(matches!(e, SknnError::Storage(_)));
+        assert!(e.to_string().contains("storage error"));
+        assert!(e.source().is_some());
     }
 
     #[test]

@@ -235,7 +235,7 @@ impl<K: KeyHolder + ?Sized> KeyHolder for DynKeyHolder<'_, K> {
         &self,
         gamma_permuted: &[Ciphertext],
         l_permuted: &[Ciphertext],
-    ) -> SminRoundResponse {
+    ) -> Result<SminRoundResponse, ProtocolError> {
         self.0.smin_round(gamma_permuted, l_permuted)
     }
 

@@ -77,6 +77,7 @@ mod roles;
 mod seed;
 mod sknn_basic;
 mod sknn_secure;
+pub mod storage;
 mod table;
 
 pub use audit::AccessPatternAudit;
@@ -85,7 +86,7 @@ pub use encdb::{EncryptedDatabase, EncryptedQuery, EncryptedRecord, MaskedResult
 pub use engine::{
     Dataset, DatasetOptions, PreparedQuery, Protocol, QueryBuilder, QueryOutcome, SknnEngine,
 };
-pub use error::{InvalidQueryReason, SknnError, UpdateRejected};
+pub use error::{DurableUpdateError, InvalidQueryReason, SknnError, UpdateRejected};
 pub use exec::SessionSet;
 pub use federation::{Federation, QueryResult};
 pub use parallel::ParallelismConfig;
@@ -93,6 +94,7 @@ pub use plain::{plain_knn, plain_knn_records, squared_euclidean_distance};
 pub use profile::{OpCounters, PoolActivity, QueryProfile, Stage};
 pub use retry::{RetryPolicy, RetryReport, ShardRetry};
 pub use roles::{CloudC1, DataOwner, QueryUser};
+pub use storage::{BackingStore, DatasetStoreHandle};
 pub use table::Table;
 
 // Re-export the lower layers so downstream users need a single dependency.
@@ -102,3 +104,4 @@ pub use sknn_paillier::{
 };
 pub use sknn_protocols::transport::{CoalesceConfig, SessionKeyHolder, Transport, TransportError};
 pub use sknn_protocols::{KeyHolder, LocalKeyHolder, PackedParams, ProtocolError};
+pub use sknn_store::{CompactionReport, DatasetMeta, DatasetStore, RecoveryReport, StoreError};

@@ -70,7 +70,7 @@ impl<K: KeyHolder + ?Sized> KeyHolder for OpMeter<'_, K> {
         &self,
         gamma_permuted: &[Ciphertext],
         l_permuted: &[Ciphertext],
-    ) -> SminRoundResponse {
+    ) -> Result<SminRoundResponse, ProtocolError> {
         // Γ′ and L′ out; C2 decrypts L′ only; M′ and E(α) back.
         self.record(
             gamma_permuted.len() + l_permuted.len(),

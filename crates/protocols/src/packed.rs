@@ -435,7 +435,7 @@ mod tests {
         for (i, &v) in values.iter().enumerate() {
             let plain: Vec<u64> = bits[i]
                 .iter()
-                .map(|b| holder.debug_decrypt_u64(b))
+                .map(|b| holder.debug_decrypt_u64(b).unwrap())
                 .collect();
             assert!(plain.iter().all(|&b| b <= 1), "v = {v}");
             let recomposed = plain.iter().fold(0u64, |acc, &b| (acc << 1) | b);
@@ -479,7 +479,7 @@ mod tests {
                 &self,
                 gamma: &[Ciphertext],
                 l_vec: &[Ciphertext],
-            ) -> crate::SminRoundResponse {
+            ) -> Result<crate::SminRoundResponse, ProtocolError> {
                 self.0.smin_round(gamma, l_vec)
             }
             fn min_selection(&self, beta: &[Ciphertext]) -> Result<Vec<Ciphertext>, ProtocolError> {

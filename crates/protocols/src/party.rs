@@ -47,11 +47,16 @@ pub trait KeyHolder: Send + Sync {
     /// SMIN, step 2 (Algorithm 3): decrypt the permuted `L′` vector, decide
     /// `α` (1 if any entry decrypts to exactly 1), exponentiate the permuted
     /// `Γ′` vector by `α` and return it together with `E(α)`.
+    ///
+    /// # Errors
+    /// Returns [`ProtocolError::DimensionMismatch`] when the two permuted
+    /// vectors disagree in length — they are produced together in step 1, so
+    /// a mismatch means corrupted input, not a recoverable condition.
     fn smin_round(
         &self,
         gamma_permuted: &[Ciphertext],
         l_permuted: &[Ciphertext],
-    ) -> SminRoundResponse;
+    ) -> Result<SminRoundResponse, ProtocolError>;
 
     /// SkNN_m, step 3(c) (Algorithm 6): decrypt the permuted, randomized
     /// distance differences `β` and return the indicator vector `U` with
@@ -80,17 +85,33 @@ pub trait KeyHolder: Send + Sync {
     fn decrypt_masked_batch(&self, masked: &[Ciphertext]) -> Vec<BigUint>;
 
     /// Single-pair convenience wrapper over [`KeyHolder::sm_mask_multiply_batch`].
-    fn sm_mask_multiply(&self, a_masked: &Ciphertext, b_masked: &Ciphertext) -> Ciphertext {
+    ///
+    /// # Errors
+    /// [`ProtocolError::Invariant`] when the batch implementation violates
+    /// its one-result-per-pair contract.
+    fn sm_mask_multiply(
+        &self,
+        a_masked: &Ciphertext,
+        b_masked: &Ciphertext,
+    ) -> Result<Ciphertext, ProtocolError> {
         self.sm_mask_multiply_batch(std::slice::from_ref(&(a_masked.clone(), b_masked.clone())))
             .pop()
-            .expect("batch of one returns one result")
+            .ok_or_else(|| ProtocolError::Invariant {
+                message: "sm_mask_multiply_batch returned nothing for a batch of one".to_string(),
+            })
     }
 
     /// Single-item convenience wrapper over [`KeyHolder::lsb_of_masked_batch`].
-    fn lsb_of_masked(&self, masked: &Ciphertext) -> Ciphertext {
+    ///
+    /// # Errors
+    /// [`ProtocolError::Invariant`] when the batch implementation violates
+    /// its one-result-per-input contract.
+    fn lsb_of_masked(&self, masked: &Ciphertext) -> Result<Ciphertext, ProtocolError> {
         self.lsb_of_masked_batch(std::slice::from_ref(masked))
             .pop()
-            .expect("batch of one returns one result")
+            .ok_or_else(|| ProtocolError::Invariant {
+                message: "lsb_of_masked_batch returned nothing for a batch of one".to_string(),
+            })
     }
 
     // ── Slot-packed fast paths ──────────────────────────────────────────
@@ -273,11 +294,18 @@ impl LocalKeyHolder {
     }
 
     /// [`LocalKeyHolder::debug_decrypt`] narrowed to `u64`.
-    pub fn debug_decrypt_u64(&self, c: &Ciphertext) -> u64 {
+    ///
+    /// # Errors
+    /// [`ProtocolError::Invariant`] when the plaintext exceeds `u64` — for
+    /// a test helper that usually means the ciphertext was not the small
+    /// protocol value the caller believed it to be.
+    pub fn debug_decrypt_u64(&self, c: &Ciphertext) -> Result<u64, ProtocolError> {
         self.sk
             .decrypt(c)
             .to_u64()
-            .expect("plaintext does not fit in u64")
+            .ok_or_else(|| ProtocolError::Invariant {
+                message: "decrypted plaintext does not fit in u64".to_string(),
+            })
     }
 
     /// Access to the private key for composition into higher-level roles
@@ -313,11 +341,18 @@ impl LocalKeyHolder {
     }
 
     /// Fresh encryption of a value this key holder itself computed (a
-    /// decryption result or a protocol bit, hence always `< N`).
+    /// decryption result or a protocol bit, hence always `< N` — the
+    /// reduction below is a no-op on every real input and exists so this
+    /// path cannot unwind mid-protocol).
     fn encrypt_own(&self, m: &BigUint, unit: &BigUint) -> Ciphertext {
-        self.pk
-            .encrypt_with_unit(m, unit)
-            .expect("key-holder plaintexts are reduced mod N by construction")
+        let reduced = m.rem_ref(self.pk.n());
+        if let Ok(ct) = self.pk.encrypt_with_unit(&reduced, unit) {
+            return ct;
+        }
+        // Unreachable (`reduced < N` by construction); degrade to a full
+        // online encryption rather than panic.
+        let mut rng = self.rng.lock();
+        self.pk.encrypt(&reduced, &mut *rng)
     }
 }
 
@@ -365,8 +400,13 @@ impl KeyHolder for LocalKeyHolder {
         &self,
         gamma_permuted: &[Ciphertext],
         l_permuted: &[Ciphertext],
-    ) -> SminRoundResponse {
-        assert_eq!(gamma_permuted.len(), l_permuted.len());
+    ) -> Result<SminRoundResponse, ProtocolError> {
+        if gamma_permuted.len() != l_permuted.len() {
+            return Err(ProtocolError::DimensionMismatch {
+                left: gamma_permuted.len(),
+                right: l_permuted.len(),
+            });
+        }
         let one = BigUint::one();
         // α = 1 iff some decrypted L′ entry equals exactly 1.
         let alpha_is_one = l_permuted.iter().any(|c| self.sk.decrypt(c) == one);
@@ -391,11 +431,13 @@ impl KeyHolder for LocalKeyHolder {
         let unit = self
             .fresh_units(1)
             .pop()
-            .expect("one encryption unit requested");
-        SminRoundResponse {
+            .ok_or_else(|| ProtocolError::Invariant {
+                message: "one encryption unit requested, none produced".to_string(),
+            })?;
+        Ok(SminRoundResponse {
             m_prime,
             alpha: self.encrypt_own(&alpha_plain, &unit),
-        }
+        })
     }
 
     fn min_selection(&self, beta: &[Ciphertext]) -> Result<Vec<Ciphertext>, ProtocolError> {
@@ -592,8 +634,8 @@ mod tests {
         let (pk, holder, mut rng) = setup();
         let a = pk.encrypt_u64(60, &mut rng); // a + ra from Example 2
         let b = pk.encrypt_u64(61, &mut rng); // b + rb from Example 2
-        let h = holder.sm_mask_multiply(&a, &b);
-        assert_eq!(holder.debug_decrypt_u64(&h), 3660);
+        let h = holder.sm_mask_multiply(&a, &b).unwrap();
+        assert_eq!(holder.debug_decrypt_u64(&h).unwrap(), 3660);
     }
 
     #[test]
@@ -602,8 +644,8 @@ mod tests {
         let evens = pk.encrypt_u64(44, &mut rng);
         let odds = pk.encrypt_u64(45, &mut rng);
         let bits = holder.lsb_of_masked_batch(&[evens, odds]);
-        assert_eq!(holder.debug_decrypt_u64(&bits[0]), 0);
-        assert_eq!(holder.debug_decrypt_u64(&bits[1]), 1);
+        assert_eq!(holder.debug_decrypt_u64(&bits[0]).unwrap(), 0);
+        assert_eq!(holder.debug_decrypt_u64(&bits[1]).unwrap(), 1);
     }
 
     #[test]
@@ -617,10 +659,10 @@ mod tests {
             pk.encrypt_u64(77, &mut rng),
             pk.encrypt_u64(0, &mut rng),
         ];
-        let resp = holder.smin_round(&gamma, &l_with_one);
-        assert_eq!(holder.debug_decrypt_u64(&resp.alpha), 1);
+        let resp = holder.smin_round(&gamma, &l_with_one).unwrap();
+        assert_eq!(holder.debug_decrypt_u64(&resp.alpha).unwrap(), 1);
         // M′ = Γ′^1 keeps the plaintexts.
-        assert_eq!(holder.debug_decrypt_u64(&resp.m_prime[2]), 12);
+        assert_eq!(holder.debug_decrypt_u64(&resp.m_prime[2]).unwrap(), 12);
 
         let l_without_one = vec![
             pk.encrypt_u64(923, &mut rng),
@@ -628,8 +670,8 @@ mod tests {
             pk.encrypt_u64(77, &mut rng),
             pk.encrypt_u64(0, &mut rng),
         ];
-        let resp = holder.smin_round(&gamma, &l_without_one);
-        assert_eq!(holder.debug_decrypt_u64(&resp.alpha), 0);
+        let resp = holder.smin_round(&gamma, &l_without_one).unwrap();
+        assert_eq!(holder.debug_decrypt_u64(&resp.alpha).unwrap(), 0);
         // M′ = Γ′^0 wipes the plaintexts to zero.
         assert!(resp
             .m_prime
@@ -647,7 +689,10 @@ mod tests {
             pk.encrypt_u64(0, &mut rng),
         ];
         let u = holder.min_selection(&beta).expect("a zero is present");
-        let plain: Vec<u64> = u.iter().map(|c| holder.debug_decrypt_u64(c)).collect();
+        let plain: Vec<u64> = u
+            .iter()
+            .map(|c| holder.debug_decrypt_u64(c).unwrap())
+            .collect();
         assert_eq!(plain.iter().sum::<u64>(), 1);
         let marked = plain.iter().position(|&b| b == 1).unwrap();
         assert!(
@@ -716,15 +761,22 @@ mod tests {
         let a = pk.encrypt_u64(60, &mut rng);
         let b = pk.encrypt_u64(61, &mut rng);
         assert_eq!(
-            holder.debug_decrypt_u64(&holder.sm_mask_multiply(&a, &b)),
+            holder
+                .debug_decrypt_u64(&holder.sm_mask_multiply(&a, &b).unwrap())
+                .unwrap(),
             3660
         );
         let odd = pk.encrypt_u64(45, &mut rng);
-        assert_eq!(holder.debug_decrypt_u64(&holder.lsb_of_masked(&odd)), 1);
+        assert_eq!(
+            holder
+                .debug_decrypt_u64(&holder.lsb_of_masked(&odd).unwrap())
+                .unwrap(),
+            1
+        );
         let beta = vec![pk.encrypt_u64(5, &mut rng), pk.encrypt_u64(0, &mut rng)];
         let u = holder.min_selection(&beta).unwrap();
-        assert_eq!(holder.debug_decrypt_u64(&u[0]), 0);
-        assert_eq!(holder.debug_decrypt_u64(&u[1]), 1);
+        assert_eq!(holder.debug_decrypt_u64(&u[0]).unwrap(), 0);
+        assert_eq!(holder.debug_decrypt_u64(&u[1]).unwrap(), 1);
 
         let stats = pool.stats();
         assert!(stats.hits >= 4, "responses must consume pool entries");

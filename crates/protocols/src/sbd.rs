@@ -202,7 +202,9 @@ mod tests {
     }
 
     fn decrypt_bits(holder: &LocalKeyHolder, bits: &[Ciphertext]) -> Vec<u64> {
-        bits.iter().map(|b| holder.debug_decrypt_u64(b)).collect()
+        bits.iter()
+            .map(|b| holder.debug_decrypt_u64(b).unwrap())
+            .collect()
     }
 
     #[test]
@@ -251,7 +253,7 @@ mod tests {
             let e_z = pk.encrypt_u64(z, &mut rng);
             let bits = secure_bit_decompose(&pk, &holder, &e_z, 10, &mut rng).unwrap();
             let recomposed = recompose_bits(&pk, &bits);
-            assert_eq!(holder.debug_decrypt_u64(&recomposed), z);
+            assert_eq!(holder.debug_decrypt_u64(&recomposed).unwrap(), z);
         }
     }
 

@@ -55,7 +55,11 @@ mod tests {
                 let e1 = pk.encrypt_u64(o1, &mut rng);
                 let e2 = pk.encrypt_u64(o2, &mut rng);
                 let or = secure_bit_or(&pk, &holder, &e1, &e2, &mut rng);
-                assert_eq!(holder.debug_decrypt_u64(&or), o1 | o2, "{o1} ∨ {o2}");
+                assert_eq!(
+                    holder.debug_decrypt_u64(&or).unwrap(),
+                    o1 | o2,
+                    "{o1} ∨ {o2}"
+                );
             }
         }
     }
@@ -68,7 +72,11 @@ mod tests {
                 let e1 = pk.encrypt_u64(o1, &mut rng);
                 let e2 = pk.encrypt_u64(o2, &mut rng);
                 let and = secure_bit_and(&pk, &holder, &e1, &e2, &mut rng);
-                assert_eq!(holder.debug_decrypt_u64(&and), o1 & o2, "{o1} ∧ {o2}");
+                assert_eq!(
+                    holder.debug_decrypt_u64(&and).unwrap(),
+                    o1 & o2,
+                    "{o1} ∧ {o2}"
+                );
             }
         }
     }
@@ -80,9 +88,9 @@ mod tests {
         let (pk, holder, mut rng) = setup();
         let e1 = pk.encrypt_u64(1, &mut rng);
         let or = secure_bit_or(&pk, &holder, &e1, &e1, &mut rng);
-        assert_eq!(holder.debug_decrypt_u64(&or), 1);
+        assert_eq!(holder.debug_decrypt_u64(&or).unwrap(), 1);
         let e0 = pk.encrypt_u64(0, &mut rng);
         let or = secure_bit_or(&pk, &holder, &e0, &e0, &mut rng);
-        assert_eq!(holder.debug_decrypt_u64(&or), 0);
+        assert_eq!(holder.debug_decrypt_u64(&or).unwrap(), 0);
     }
 }

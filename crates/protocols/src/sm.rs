@@ -94,7 +94,7 @@ mod tests {
         let e_a = pk.encrypt_u64(59, &mut rng);
         let e_b = pk.encrypt_u64(58, &mut rng);
         let product = secure_multiply(&pk, &holder, &e_a, &e_b, &mut rng);
-        assert_eq!(holder.debug_decrypt_u64(&product), 3422);
+        assert_eq!(holder.debug_decrypt_u64(&product).unwrap(), 3422);
     }
 
     #[test]
@@ -104,11 +104,15 @@ mod tests {
         let e_one = pk.encrypt_u64(1, &mut rng);
         let e_x = pk.encrypt_u64(987654, &mut rng);
         assert_eq!(
-            holder.debug_decrypt_u64(&secure_multiply(&pk, &holder, &e_zero, &e_x, &mut rng)),
+            holder
+                .debug_decrypt_u64(&secure_multiply(&pk, &holder, &e_zero, &e_x, &mut rng))
+                .unwrap(),
             0
         );
         assert_eq!(
-            holder.debug_decrypt_u64(&secure_multiply(&pk, &holder, &e_one, &e_x, &mut rng)),
+            holder
+                .debug_decrypt_u64(&secure_multiply(&pk, &holder, &e_one, &e_x, &mut rng))
+                .unwrap(),
             987654
         );
     }
@@ -123,7 +127,7 @@ mod tests {
             .collect();
         let results = secure_multiply_batch(&pk, &holder, &pairs, &mut rng);
         for (&(a, b), c) in inputs.iter().zip(&results) {
-            assert_eq!(holder.debug_decrypt_u64(c), a * b);
+            assert_eq!(holder.debug_decrypt_u64(c).unwrap(), a * b);
         }
     }
 

@@ -103,7 +103,7 @@ pub fn secure_min<K: KeyHolder + ?Sized, R: RngCore + ?Sized>(
     let l_permuted = pi2.apply(&l_vec);
 
     // Step 2: P2 decides α obliviously and exponentiates Γ′ by it.
-    let response = key_holder.smin_round(&gamma_permuted, &l_permuted);
+    let response = key_holder.smin_round(&gamma_permuted, &l_permuted)?;
     debug_assert_eq!(response.m_prime.len(), l);
 
     // Step 3: undo the permutation, strip the r̂ masks, and select the bits.
@@ -148,8 +148,9 @@ mod tests {
     }
 
     fn decrypt_value(holder: &LocalKeyHolder, bits: &[Ciphertext]) -> u64 {
-        bits.iter()
-            .fold(0u64, |acc, b| (acc << 1) | holder.debug_decrypt_u64(b))
+        bits.iter().fold(0u64, |acc, b| {
+            (acc << 1) | holder.debug_decrypt_u64(b).unwrap()
+        })
     }
 
     #[test]
@@ -162,7 +163,7 @@ mod tests {
         assert_eq!(decrypt_value(&holder, &min), 55);
         // Output bits are valid bits.
         for b in &min {
-            assert!(holder.debug_decrypt_u64(b) <= 1);
+            assert!(holder.debug_decrypt_u64(b).unwrap() <= 1);
         }
     }
 

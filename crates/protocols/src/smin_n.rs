@@ -79,8 +79,9 @@ mod tests {
     }
 
     fn decrypt_value(holder: &LocalKeyHolder, bits: &[Ciphertext]) -> u64 {
-        bits.iter()
-            .fold(0u64, |acc, b| (acc << 1) | holder.debug_decrypt_u64(b))
+        bits.iter().fold(0u64, |acc, b| {
+            (acc << 1) | holder.debug_decrypt_u64(b).unwrap()
+        })
     }
 
     #[test]

@@ -72,7 +72,7 @@ mod tests {
         let e_t1 = encrypt_vec(&pk, &t1, &mut rng);
         let e_t2 = encrypt_vec(&pk, &t2, &mut rng);
         let dist = secure_squared_distance(&pk, &holder, &e_t1, &e_t2, &mut rng).unwrap();
-        assert_eq!(holder.debug_decrypt_u64(&dist), 813);
+        assert_eq!(holder.debug_decrypt_u64(&dist).unwrap(), 813);
     }
 
     #[test]
@@ -80,7 +80,7 @@ mod tests {
         let (pk, holder, mut rng) = setup();
         let v = encrypt_vec(&pk, &[10, 20, 30], &mut rng);
         let dist = secure_squared_distance(&pk, &holder, &v, &v, &mut rng).unwrap();
-        assert_eq!(holder.debug_decrypt_u64(&dist), 0);
+        assert_eq!(holder.debug_decrypt_u64(&dist).unwrap(), 0);
     }
 
     #[test]
@@ -99,7 +99,7 @@ mod tests {
         let e_x = encrypt_vec(&pk, &xs, &mut rng);
         let e_y = encrypt_vec(&pk, &ys, &mut rng);
         let dist = secure_squared_distance(&pk, &holder, &e_x, &e_y, &mut rng).unwrap();
-        assert_eq!(holder.debug_decrypt_u64(&dist), expected);
+        assert_eq!(holder.debug_decrypt_u64(&dist).unwrap(), expected);
     }
 
     #[test]
@@ -127,6 +127,6 @@ mod tests {
     fn empty_vectors_give_zero() {
         let (pk, holder, mut rng) = setup();
         let dist = secure_squared_distance(&pk, &holder, &[], &[], &mut rng).unwrap();
-        assert_eq!(holder.debug_decrypt_u64(&dist), 0);
+        assert_eq!(holder.debug_decrypt_u64(&dist).unwrap(), 0);
     }
 }

@@ -139,7 +139,7 @@ mod tests {
         let e_a = pk.encrypt_u64(59, &mut rng);
         let e_b = pk.encrypt_u64(58, &mut rng);
         let prod = secure_multiply(&pk, &client, &e_a, &e_b, &mut rng);
-        assert_eq!(oracle.debug_decrypt_u64(&prod), 3422);
+        assert_eq!(oracle.debug_decrypt_u64(&prod).unwrap(), 3422);
 
         let e_x: Vec<_> = [1u64, 2, 3]
             .iter()
@@ -150,11 +150,14 @@ mod tests {
             .map(|&v| pk.encrypt_u64(v, &mut rng))
             .collect();
         let d = secure_squared_distance(&pk, &client, &e_x, &e_y, &mut rng).unwrap();
-        assert_eq!(oracle.debug_decrypt_u64(&d), 9 + 16 + 25);
+        assert_eq!(oracle.debug_decrypt_u64(&d).unwrap(), 9 + 16 + 25);
 
         let bits =
             secure_bit_decompose(&pk, &client, &pk.encrypt_u64(55, &mut rng), 6, &mut rng).unwrap();
-        let plain: Vec<u64> = bits.iter().map(|b| oracle.debug_decrypt_u64(b)).collect();
+        let plain: Vec<u64> = bits
+            .iter()
+            .map(|b| oracle.debug_decrypt_u64(b).unwrap())
+            .collect();
         assert_eq!(plain, vec![1, 1, 0, 1, 1, 1]);
     }
 
@@ -273,7 +276,7 @@ mod tests {
         for (i, &v) in values.iter().enumerate() {
             let plain: Vec<u64> = bits[i]
                 .iter()
-                .map(|b| oracle.debug_decrypt_u64(b))
+                .map(|b| oracle.debug_decrypt_u64(b).unwrap())
                 .collect();
             assert_eq!(plain.iter().fold(0u64, |acc, &b| (acc << 1) | b), v);
         }
@@ -330,7 +333,7 @@ mod tests {
                 .1,
             143,
         );
-        assert_eq!(oracle.debug_decrypt_u64(&prod), 3422);
+        assert_eq!(oracle.debug_decrypt_u64(&prod).unwrap(), 3422);
         drop(client);
         assert_eq!(server.join().unwrap(), Ok(()));
     }

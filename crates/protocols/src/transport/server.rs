@@ -40,7 +40,7 @@ fn handle(
             Response::Ciphertexts(to_raw(&holder.lsb_of_masked_batch(&to_ciphertexts(values))))
         }
         Request::SminRound { gamma, l_vec } => {
-            let resp = holder.smin_round(&to_ciphertexts(gamma), &to_ciphertexts(l_vec));
+            let resp = holder.smin_round(&to_ciphertexts(gamma), &to_ciphertexts(l_vec))?;
             Response::SminRound {
                 m_prime: to_raw(&resp.m_prime),
                 alpha: resp.alpha.into_raw(),

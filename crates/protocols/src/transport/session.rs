@@ -640,12 +640,15 @@ impl KeyHolder for SessionKeyHolder {
         &self,
         gamma_permuted: &[Ciphertext],
         l_permuted: &[Ciphertext],
-    ) -> SminRoundResponse {
+    ) -> Result<SminRoundResponse, ProtocolError> {
         let result = self.round_trip(&Request::SminRound {
             gamma: to_raw(gamma_permuted),
             l_vec: to_raw(l_permuted),
         });
-        unwrap_or_die(
+        // Transport failures still unwind (the session pool's failover
+        // catches the panic and re-pins the shard); only a *protocol-level*
+        // refusal from the peer would surface here as Err.
+        Ok(unwrap_or_die(
             "SminRound",
             Self::expect("SminRound", result, |r| match r {
                 Response::SminRound { m_prime, alpha } => Some(SminRoundResponse {
@@ -654,7 +657,7 @@ impl KeyHolder for SessionKeyHolder {
                 }),
                 _ => None,
             }),
-        )
+        ))
     }
 
     fn min_selection(&self, beta: &[Ciphertext]) -> Result<Vec<Ciphertext>, ProtocolError> {

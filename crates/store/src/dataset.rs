@@ -1,0 +1,930 @@
+//! A dataset's durable state: one directory holding a manifest and one
+//! append-only log per shard.
+//!
+//! ```text
+//! <dir>/manifest.bin      — identity + generation + stable-index map
+//! <dir>/shard-<s>.g<G>.log — shard s's log for generation G
+//! ```
+//!
+//! # Consistency model
+//!
+//! Appends are written in global physical-index order, record `i` to shard
+//! `i mod S`, and synced before the caller sees success ("durable before
+//! visible"). A crash can therefore leave the shards unevenly long, but
+//! only in one shape: some shards carry a few *unacknowledged* records
+//! beyond the longest prefix every shard agrees on. Recovery computes that
+//! consistent prefix `n = min_s(s + c_s·S)` (where `c_s` is shard `s`'s
+//! salvaged append count), drops everything beyond it, and — because the
+//! dropped entries are still physically present in the logs — rewrites the
+//! dataset to a fresh generation so the next open starts from a clean
+//! history. Records below `n` were all individually synced, so nothing
+//! acknowledged is ever lost.
+//!
+//! # Generations
+//!
+//! Log files are named by generation and only ever referenced through the
+//! generation recorded in the manifest. Any multi-file rewrite (recovery,
+//! compaction) writes generation `G+1` completely, syncs it, then commits
+//! by atomically replacing the manifest; a crash anywhere in between
+//! leaves the old generation fully intact.
+
+use crate::error::StoreError;
+use crate::frame::{LogEntry, MAX_ENTRY_PAYLOAD};
+use crate::log::{ShardLog, LOG_HEADER_LEN};
+use crate::manifest::{DatasetMeta, Manifest, DROPPED};
+use sknn_bigint::BigUint;
+use std::path::{Path, PathBuf};
+
+/// File name of the per-dataset manifest inside its directory.
+pub const MANIFEST_FILE: &str = "manifest.bin";
+
+fn log_path(dir: &Path, shard: u32, generation: u64) -> PathBuf {
+    dir.join(format!("shard-{shard}.g{generation}.log"))
+}
+
+/// Checks that `name` is usable as a store directory name: 1–64 bytes of
+/// `[A-Za-z0-9_-]`, so a dataset name can never traverse out of the store
+/// root or collide with the store's own files.
+pub fn validate_dataset_name(name: &str) -> Result<(), StoreError> {
+    let ok = !name.is_empty()
+        && name.len() <= 64
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-');
+    if ok {
+        Ok(())
+    } else {
+        Err(StoreError::InvalidDatasetName { name: name.into() })
+    }
+}
+
+/// What recovery had to do to bring a dataset back to a consistent state.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Torn-tail bytes truncated across all shard logs.
+    pub dropped_tail_bytes: u64,
+    /// Unacknowledged records beyond the consistent prefix that were
+    /// discarded.
+    pub dropped_records: u64,
+    /// Tombstones referring to discarded records, discarded with them.
+    pub dropped_tombstones: u64,
+    /// Whether recovery rewrote the dataset to a fresh generation.
+    pub rewrote_generation: bool,
+}
+
+impl RecoveryReport {
+    /// True when the dataset loaded without salvage of any kind.
+    pub fn is_clean(&self) -> bool {
+        *self == RecoveryReport::default()
+    }
+}
+
+/// What a compaction accomplished.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Records that survived (all live).
+    pub live_records: u64,
+    /// Tombstoned records whose bytes were reclaimed.
+    pub reclaimed_records: u64,
+    /// Shard logs rewritten (compaction rewrites every shard: live
+    /// records are renumbered densely, which also rebalances skewed
+    /// per-shard live counts back to round-robin-even).
+    pub shards_rewritten: u32,
+    /// Total log bytes before compaction.
+    pub bytes_before: u64,
+    /// Total log bytes after compaction.
+    pub bytes_after: u64,
+    /// The generation the dataset now lives at.
+    pub generation: u64,
+}
+
+/// The durable backing of one dataset: its manifest, its shard logs, and
+/// an in-memory mirror of the record table they encode.
+#[derive(Debug)]
+pub struct DatasetStore {
+    dir: PathBuf,
+    manifest: Manifest,
+    logs: Vec<ShardLog>,
+    /// Records by physical index; tombstoned records keep their slot until
+    /// compaction.
+    records: Vec<Vec<BigUint>>,
+    live: Vec<bool>,
+    /// Set when a failed batch could not be rolled back: disk and memory
+    /// may disagree, so every further mutation is refused.
+    poisoned: bool,
+}
+
+impl DatasetStore {
+    /// Creates a fresh dataset at `dir` (the directory is created if
+    /// needed; it must not already contain a dataset).
+    pub fn create(dir: &Path, meta: DatasetMeta) -> Result<DatasetStore, StoreError> {
+        if meta.shards == 0 {
+            return Err(StoreError::Invariant {
+                message: "a dataset needs at least one shard".into(),
+            });
+        }
+        std::fs::create_dir_all(dir).map_err(|e| StoreError::io(dir, "create dir", &e))?;
+        let manifest_path = dir.join(MANIFEST_FILE);
+        if manifest_path.exists() {
+            return Err(StoreError::Invariant {
+                message: format!("{} already holds a dataset", dir.display()),
+            });
+        }
+        let manifest = Manifest::new(meta);
+        let mut logs = Vec::with_capacity(meta.shards as usize);
+        for s in 0..meta.shards {
+            logs.push(ShardLog::create(&log_path(dir, s, 0), s)?);
+        }
+        manifest.store(&manifest_path)?;
+        Ok(DatasetStore {
+            dir: dir.to_path_buf(),
+            manifest,
+            logs,
+            records: Vec::new(),
+            live: Vec::new(),
+            poisoned: false,
+        })
+    }
+
+    /// Opens the dataset at `dir`, refusing if its manifest disagrees with
+    /// `expected` (wrong key pair, shard count, attribute count, value
+    /// bound or distance bits), and recovering per the module-level
+    /// policy.
+    pub fn open(
+        dir: &Path,
+        expected: &DatasetMeta,
+    ) -> Result<(DatasetStore, RecoveryReport), StoreError> {
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let manifest = Manifest::load(&manifest_path)?;
+        let found = &manifest.meta;
+        if found.key_fingerprint != expected.key_fingerprint {
+            return Err(StoreError::KeyMismatch {
+                expected: expected.key_fingerprint,
+                found: found.key_fingerprint,
+            });
+        }
+        for (field, exp, got) in [
+            (
+                "shards",
+                u64::from(expected.shards),
+                u64::from(found.shards),
+            ),
+            (
+                "attributes",
+                u64::from(expected.attributes),
+                u64::from(found.attributes),
+            ),
+            ("value_bound", expected.value_bound, found.value_bound),
+            (
+                "distance_bits",
+                u64::from(expected.distance_bits),
+                u64::from(found.distance_bits),
+            ),
+        ] {
+            if exp != got {
+                return Err(StoreError::ManifestMismatch {
+                    field,
+                    expected: exp,
+                    found: got,
+                });
+            }
+        }
+        Self::open_with_manifest(dir, manifest)
+    }
+
+    fn open_with_manifest(
+        dir: &Path,
+        manifest: Manifest,
+    ) -> Result<(DatasetStore, RecoveryReport), StoreError> {
+        let shards = manifest.meta.shards;
+        let stride = u64::from(shards);
+        let mut report = RecoveryReport::default();
+
+        // Salvage each shard log's clean prefix and validate its local
+        // entry sequence.
+        let mut logs = Vec::with_capacity(shards as usize);
+        let mut shard_appends: Vec<Vec<Vec<BigUint>>> = Vec::with_capacity(shards as usize);
+        let mut shard_tombstones: Vec<Vec<u64>> = Vec::with_capacity(shards as usize);
+        for s in 0..shards {
+            let path = log_path(dir, s, manifest.generation);
+            let loaded = ShardLog::open(&path, s)?;
+            report.dropped_tail_bytes += loaded.dropped_tail_bytes;
+            let mut appends = Vec::new();
+            let mut tombstones = Vec::new();
+            for (ordinal, entry) in loaded.entries.into_iter().enumerate() {
+                match entry {
+                    LogEntry::Append { index, attrs } => {
+                        let expected_index = u64::from(s) + appends.len() as u64 * stride;
+                        if index != expected_index {
+                            return Err(StoreError::corrupt(
+                                &path,
+                                0,
+                                format!(
+                                    "entry {ordinal}: append for index {index} where \
+                                     {expected_index} was expected (out-of-sequence log)"
+                                ),
+                            ));
+                        }
+                        if attrs.len() as u64 != u64::from(manifest.meta.attributes) {
+                            return Err(StoreError::corrupt(
+                                &path,
+                                0,
+                                format!(
+                                    "entry {ordinal}: record {index} has {} attributes, \
+                                     manifest says {}",
+                                    attrs.len(),
+                                    manifest.meta.attributes
+                                ),
+                            ));
+                        }
+                        appends.push(attrs);
+                    }
+                    LogEntry::Tombstone { index } => {
+                        if index % stride != u64::from(s) {
+                            return Err(StoreError::corrupt(
+                                &path,
+                                0,
+                                format!(
+                                    "entry {ordinal}: tombstone for index {index} does not \
+                                     belong to shard {s}"
+                                ),
+                            ));
+                        }
+                        if (index - u64::from(s)) / stride >= appends.len() as u64 {
+                            return Err(StoreError::corrupt(
+                                &path,
+                                0,
+                                format!(
+                                    "entry {ordinal}: tombstone for index {index} precedes \
+                                     its append"
+                                ),
+                            ));
+                        }
+                        tombstones.push(index);
+                    }
+                }
+            }
+            shard_appends.push(appends);
+            shard_tombstones.push(tombstones);
+            logs.push(loaded.log);
+        }
+
+        // The consistent prefix: the largest n such that every index
+        // below n survived in its shard. Anything beyond n was never
+        // acknowledged (appends sync shard by shard before success).
+        let n = (0..shards)
+            .map(|s| u64::from(s) + shard_appends[s as usize].len() as u64 * stride)
+            .min()
+            .unwrap_or(0);
+        for (s, appends) in shard_appends.iter_mut().enumerate() {
+            while !appends.is_empty() && s as u64 + (appends.len() as u64 - 1) * stride >= n {
+                appends.pop();
+                report.dropped_records += 1;
+            }
+        }
+
+        // Assemble the physical record table and apply tombstones.
+        let mut records: Vec<Vec<BigUint>> = vec![Vec::new(); n as usize];
+        for (s, appends) in shard_appends.into_iter().enumerate() {
+            for (k, attrs) in appends.into_iter().enumerate() {
+                records[s + k * stride as usize] = attrs;
+            }
+        }
+        let mut live = vec![true; n as usize];
+        for (s, tombstones) in shard_tombstones.into_iter().enumerate() {
+            for index in tombstones {
+                if index >= n {
+                    report.dropped_tombstones += 1;
+                    continue;
+                }
+                if !live[index as usize] {
+                    return Err(StoreError::corrupt(
+                        &log_path(dir, s as u32, manifest.generation),
+                        0,
+                        format!("duplicate tombstone for index {index}"),
+                    ));
+                }
+                live[index as usize] = false;
+            }
+        }
+
+        let mut store = DatasetStore {
+            dir: dir.to_path_buf(),
+            manifest,
+            logs,
+            records,
+            live,
+            poisoned: false,
+        };
+
+        // Dropped entries are still physically present in the logs; left
+        // alone they would collide with re-appended indices on the next
+        // open. Rewriting to a fresh generation makes recovery idempotent.
+        if report.dropped_records > 0 || report.dropped_tombstones > 0 {
+            let mut manifest = store.manifest.clone();
+            manifest.generation += 1;
+            store.commit_generation(manifest)?;
+            report.rewrote_generation = true;
+        }
+        Ok((store, report))
+    }
+
+    /// Writes the current in-memory state as `manifest.generation`'s log
+    /// files, commits the manifest atomically, then removes the previous
+    /// generation. The manifest rename is the single commit point: a crash
+    /// before it leaves the old generation authoritative and intact.
+    fn commit_generation(&mut self, manifest: Manifest) -> Result<(), StoreError> {
+        let old_generation = self.manifest.generation;
+        let generation = manifest.generation;
+        let shards = manifest.meta.shards;
+        let stride = shards as usize;
+        let mut logs = Vec::with_capacity(stride);
+        let mut buffers: Vec<Vec<u8>> = vec![Vec::new(); stride];
+        for (index, attrs) in self.records.iter().enumerate() {
+            LogEntry::Append {
+                index: index as u64,
+                attrs: attrs.clone(),
+            }
+            .encode_into(&mut buffers[index % stride]);
+        }
+        for (index, live) in self.live.iter().enumerate() {
+            if !live {
+                LogEntry::Tombstone {
+                    index: index as u64,
+                }
+                .encode_into(&mut buffers[index % stride]);
+            }
+        }
+        for (s, buffer) in buffers.iter().enumerate() {
+            let mut log = ShardLog::create(&log_path(&self.dir, s as u32, generation), s as u32)?;
+            log.append_bytes(buffer)?;
+            log.sync()?;
+            logs.push(log);
+        }
+        manifest.store(&self.dir.join(MANIFEST_FILE))?;
+        // Committed: the old generation is garbage now. Removal is
+        // best-effort — a leftover file is ignored by every future open.
+        if old_generation != generation {
+            for s in 0..shards {
+                let _ = std::fs::remove_file(log_path(&self.dir, s, old_generation));
+            }
+        }
+        self.manifest = manifest;
+        self.logs = logs;
+        Ok(())
+    }
+
+    fn check_poisoned(&self) -> Result<(), StoreError> {
+        if self.poisoned {
+            return Err(StoreError::Invariant {
+                message: "store is poisoned: a failed batch could not be rolled back; \
+                          reopen the dataset to recover"
+                    .into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The dataset's identity parameters.
+    pub fn meta(&self) -> &DatasetMeta {
+        &self.manifest.meta
+    }
+
+    /// The dataset's manifest (generation, compaction count, index map).
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// The dataset's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Records by physical index (tombstoned slots included).
+    pub fn records(&self) -> &[Vec<BigUint>] {
+        &self.records
+    }
+
+    /// Liveness by physical index.
+    pub fn live(&self) -> &[bool] {
+        &self.live
+    }
+
+    /// Total physical records (live + tombstoned).
+    pub fn record_count(&self) -> u64 {
+        self.records.len() as u64
+    }
+
+    /// Live records.
+    pub fn live_count(&self) -> u64 {
+        self.live.iter().filter(|&&l| l).count() as u64
+    }
+
+    /// Owner-visible stable indices allocated so far.
+    pub fn stable_count(&self) -> u64 {
+        self.manifest.stable_count(self.record_count())
+    }
+
+    /// Resolves an owner-stable index to its current physical index
+    /// (`None` once compaction has reclaimed the record).
+    pub fn stable_to_physical(&self, stable: u64) -> Result<Option<u64>, StoreError> {
+        self.manifest
+            .stable_to_physical(stable, self.record_count())
+    }
+
+    /// The stable index of physical record `p` appended after the last
+    /// compaction.
+    pub fn stable_of_new_physical(&self, p: u64) -> u64 {
+        self.manifest.stable_of_new_physical(p)
+    }
+
+    /// Sum of all shard-log file sizes in bytes.
+    pub fn total_log_bytes(&self) -> u64 {
+        self.logs.iter().map(|l| l.len()).sum()
+    }
+
+    /// Durably appends a batch of records starting at physical index
+    /// `base` (which must equal the current record count — a staleness
+    /// guard for write-ahead callers). All-or-nothing: on any failure the
+    /// touched logs are rolled back to their pre-batch lengths and the
+    /// in-memory table is untouched.
+    pub fn append_batch(&mut self, base: u64, batch: &[Vec<BigUint>]) -> Result<(), StoreError> {
+        self.check_poisoned()?;
+        if base != self.record_count() {
+            return Err(StoreError::Invariant {
+                message: format!(
+                    "append batch bases at {base} but the store holds {} records",
+                    self.record_count()
+                ),
+            });
+        }
+        let stride = self.logs.len();
+        let mut buffers: Vec<Vec<u8>> = vec![Vec::new(); stride];
+        for (offset, attrs) in batch.iter().enumerate() {
+            if attrs.len() as u64 != u64::from(self.manifest.meta.attributes) {
+                return Err(StoreError::Invariant {
+                    message: format!(
+                        "record {offset} of the batch has {} attributes, dataset has {}",
+                        attrs.len(),
+                        self.manifest.meta.attributes
+                    ),
+                });
+            }
+            let index = base + offset as u64;
+            let entry = LogEntry::Append {
+                index,
+                attrs: attrs.clone(),
+            };
+            if entry.encoded_len() > MAX_ENTRY_PAYLOAD {
+                return Err(StoreError::Invariant {
+                    message: format!("record {offset} of the batch exceeds the entry size bound"),
+                });
+            }
+            entry.encode_into(&mut buffers[(index as usize) % stride]);
+        }
+
+        let checkpoints: Vec<u64> = self.logs.iter().map(ShardLog::len).collect();
+        let mut failure = None;
+        'write: {
+            for (s, buffer) in buffers.iter().enumerate() {
+                if buffer.is_empty() {
+                    continue;
+                }
+                if let Err(e) = self.logs[s].append_bytes(buffer) {
+                    failure = Some(e);
+                    break 'write;
+                }
+            }
+            for (s, buffer) in buffers.iter().enumerate() {
+                if buffer.is_empty() {
+                    continue;
+                }
+                if let Err(e) = self.logs[s].sync() {
+                    failure = Some(e);
+                    break 'write;
+                }
+            }
+        }
+        if let Some(error) = failure {
+            for (s, &checkpoint) in checkpoints.iter().enumerate() {
+                if self.logs[s].len() != checkpoint && self.logs[s].truncate_to(checkpoint).is_err()
+                {
+                    // Disk now disagrees with memory in a way we cannot
+                    // see through; refuse further writes until a reopen
+                    // re-derives the truth from the logs.
+                    self.poisoned = true;
+                }
+            }
+            return Err(error);
+        }
+
+        // Durable on every shard — now it may become visible.
+        for attrs in batch {
+            self.records.push(attrs.clone());
+            self.live.push(true);
+        }
+        Ok(())
+    }
+
+    /// Durably tombstones the record at physical index `physical`.
+    pub fn tombstone(&mut self, physical: u64) -> Result<(), StoreError> {
+        self.check_poisoned()?;
+        if physical >= self.record_count() {
+            return Err(StoreError::Invariant {
+                message: format!(
+                    "tombstone for physical index {physical} but the store holds {} records",
+                    self.record_count()
+                ),
+            });
+        }
+        if !self.live[physical as usize] {
+            return Err(StoreError::Invariant {
+                message: format!("physical index {physical} is already tombstoned"),
+            });
+        }
+        let s = (physical as usize) % self.logs.len();
+        let checkpoint = self.logs[s].len();
+        let mut buffer = Vec::new();
+        LogEntry::Tombstone { index: physical }.encode_into(&mut buffer);
+        let written = self.logs[s]
+            .append_bytes(&buffer)
+            .and_then(|()| self.logs[s].sync());
+        if let Err(error) = written {
+            if self.logs[s].len() != checkpoint && self.logs[s].truncate_to(checkpoint).is_err() {
+                self.poisoned = true;
+            }
+            return Err(error);
+        }
+        self.live[physical as usize] = false;
+        Ok(())
+    }
+
+    /// Forces all shard logs onto stable storage. Appends and tombstones
+    /// already sync individually, so this is a belt-and-braces barrier for
+    /// callers about to report durability externally.
+    pub fn flush(&mut self) -> Result<(), StoreError> {
+        self.check_poisoned()?;
+        for log in &mut self.logs {
+            log.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Rewrites the dataset without its tombstoned records: live records
+    /// are renumbered densely in physical order (preserving relative
+    /// order, so query results are unchanged), per-shard live counts
+    /// rebalance to round-robin-even, and the owner's stable indices keep
+    /// resolving through the composed index map committed in the new
+    /// manifest.
+    pub fn compact(&mut self) -> Result<CompactionReport, StoreError> {
+        self.check_poisoned()?;
+        let bytes_before = self.total_log_bytes();
+        let old_count = self.record_count();
+        let old_stable_count = self.stable_count();
+
+        // Dense renumbering of the survivors, in physical order.
+        let mut new_of_physical = vec![DROPPED; old_count as usize];
+        let mut next = 0u64;
+        for (p, &live) in self.live.iter().enumerate() {
+            if live {
+                new_of_physical[p] = next;
+                next += 1;
+            }
+        }
+        // Compose the stable map: every stable index ever issued resolves
+        // through the old mapping, then through the renumbering.
+        let mut index_map = Vec::with_capacity(old_stable_count as usize);
+        for stable in 0..old_stable_count {
+            let physical = self.manifest.stable_to_physical(stable, old_count)?;
+            index_map.push(match physical {
+                Some(p) if self.live[p as usize] => new_of_physical[p as usize],
+                _ => DROPPED,
+            });
+        }
+
+        let mut manifest = self.manifest.clone();
+        manifest.generation += 1;
+        manifest.compactions += 1;
+        manifest.stable_base = old_stable_count;
+        manifest.physical_base = next;
+        manifest.index_map = index_map;
+
+        let mut survivors = Vec::with_capacity(next as usize);
+        for (p, attrs) in self.records.iter().enumerate() {
+            if self.live[p] {
+                survivors.push(attrs.clone());
+            }
+        }
+        self.records = survivors;
+        self.live = vec![true; next as usize];
+        self.commit_generation(manifest)?;
+
+        Ok(CompactionReport {
+            live_records: next,
+            reclaimed_records: old_count - next,
+            shards_rewritten: self.manifest.meta.shards,
+            bytes_before,
+            bytes_after: self.total_log_bytes(),
+            generation: self.manifest.generation,
+        })
+    }
+
+    /// Whether the logs carry no entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.logs.iter().all(ShardLog::is_empty) && self.records.is_empty()
+    }
+}
+
+/// Bytes of header overhead per shard log (exposed for sizing estimates in
+/// benches).
+pub const PER_SHARD_OVERHEAD: u64 = LOG_HEADER_LEN;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "sknn-store-ds-{}-{}-{}",
+            std::process::id(),
+            tag,
+            n
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn meta(shards: u32) -> DatasetMeta {
+        DatasetMeta {
+            key_fingerprint: 0x1234_5678_9ABC_DEF0,
+            shards,
+            attributes: 2,
+            value_bound: 100,
+            distance_bits: 16,
+        }
+    }
+
+    fn record(seed: u64) -> Vec<BigUint> {
+        vec![
+            BigUint::from_u64(seed.wrapping_mul(0x9E37_79B9) | 1),
+            BigUint::from_u64(seed + 7),
+        ]
+    }
+
+    fn records(range: std::ops::Range<u64>) -> Vec<Vec<BigUint>> {
+        range.map(record).collect()
+    }
+
+    #[test]
+    fn create_append_tombstone_reopen_round_trip() {
+        let dir = tmp_dir("roundtrip");
+        let mut store = DatasetStore::create(&dir, meta(3)).unwrap();
+        store.append_batch(0, &records(0..7)).unwrap();
+        store.tombstone(2).unwrap();
+        store.tombstone(5).unwrap();
+        store.flush().unwrap();
+        let expected_records = store.records().to_vec();
+        let expected_live = store.live().to_vec();
+        drop(store);
+
+        let (reloaded, report) = DatasetStore::open(&dir, &meta(3)).unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(reloaded.records(), expected_records.as_slice());
+        assert_eq!(reloaded.live(), expected_live.as_slice());
+        assert_eq!(reloaded.record_count(), 7);
+        assert_eq!(reloaded.live_count(), 5);
+        assert_eq!(reloaded.stable_count(), 7);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wrong_key_and_wrong_meta_refuse_to_open() {
+        let dir = tmp_dir("identity");
+        drop(DatasetStore::create(&dir, meta(2)).unwrap());
+
+        let mut wrong_key = meta(2);
+        wrong_key.key_fingerprint ^= 1;
+        assert!(matches!(
+            DatasetStore::open(&dir, &wrong_key),
+            Err(StoreError::KeyMismatch { .. })
+        ));
+
+        let wrong_shards = meta(3);
+        assert!(matches!(
+            DatasetStore::open(&dir, &wrong_shards),
+            Err(StoreError::ManifestMismatch {
+                field: "shards",
+                ..
+            })
+        ));
+
+        let mut wrong_bits = meta(2);
+        wrong_bits.distance_bits = 40;
+        assert!(matches!(
+            DatasetStore::open(&dir, &wrong_bits),
+            Err(StoreError::ManifestMismatch {
+                field: "distance_bits",
+                ..
+            })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_shard_tail_drops_the_overhang_and_rewrites() {
+        let dir = tmp_dir("overhang");
+        let mut store = DatasetStore::create(&dir, meta(2)).unwrap();
+        store.append_batch(0, &records(0..6)).unwrap();
+        drop(store);
+
+        // Cut shard 1's log back to one complete append (index 1) plus a
+        // few torn bytes of the next: indices 3 and 5 are lost, so the
+        // consistent prefix is 3 records and shard 0's surviving append
+        // for index 4 becomes unacknowledged overhang.
+        let first = LogEntry::Append {
+            index: 1,
+            attrs: record(1),
+        };
+        let shard1 = log_path(&dir, 1, 0);
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&shard1)
+            .unwrap();
+        f.set_len(LOG_HEADER_LEN + first.encoded_len() as u64 + 3)
+            .unwrap();
+        drop(f);
+
+        let (reloaded, report) = DatasetStore::open(&dir, &meta(2)).unwrap();
+        assert_eq!(reloaded.record_count(), 3);
+        assert!(report.dropped_tail_bytes > 0);
+        assert_eq!(report.dropped_records, 1, "{report:?}");
+        assert!(report.rewrote_generation);
+        assert_eq!(reloaded.manifest().generation, 1);
+        assert_eq!(reloaded.records()[..3], records(0..3)[..]);
+        drop(reloaded);
+
+        // Recovery is idempotent: the rewritten dataset opens cleanly and
+        // indices 3.. can be reused without colliding with stale entries.
+        let (mut again, report) = DatasetStore::open(&dir, &meta(2)).unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        again.append_batch(3, &records(40..42)).unwrap();
+        drop(again);
+        let (final_store, report) = DatasetStore::open(&dir, &meta(2)).unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(final_store.record_count(), 5);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_tombstone_beyond_the_prefix_is_dropped() {
+        let dir = tmp_dir("staletomb");
+        let mut store = DatasetStore::create(&dir, meta(2)).unwrap();
+        store.append_batch(0, &records(0..4)).unwrap();
+        store.tombstone(3).unwrap();
+        drop(store);
+
+        // Tear index 2 (shard 0's second append): the consistent prefix
+        // shrinks to 2 records, so shard 1's append for index 3 — and the
+        // tombstone referring to it — sit beyond the prefix.
+        let shard0 = log_path(&dir, 0, 0);
+        let len = std::fs::metadata(&shard0).unwrap().len();
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&shard0)
+            .unwrap();
+        f.set_len(len - 1).unwrap();
+        drop(f);
+
+        let (reloaded, report) = DatasetStore::open(&dir, &meta(2)).unwrap();
+        assert_eq!(reloaded.record_count(), 2);
+        assert_eq!(report.dropped_records, 1, "{report:?}");
+        assert_eq!(report.dropped_tombstones, 1);
+        assert!(report.rewrote_generation);
+        assert_eq!(reloaded.live_count(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_batch_rejects_stale_base_and_bad_arity() {
+        let dir = tmp_dir("batchguards");
+        let mut store = DatasetStore::create(&dir, meta(2)).unwrap();
+        store.append_batch(0, &records(0..2)).unwrap();
+        assert!(matches!(
+            store.append_batch(1, &records(2..3)),
+            Err(StoreError::Invariant { .. })
+        ));
+        assert!(matches!(
+            store.append_batch(2, &[vec![BigUint::from_u64(1)]]),
+            Err(StoreError::Invariant { .. })
+        ));
+        // Neither rejected batch changed anything.
+        assert_eq!(store.record_count(), 2);
+        drop(store);
+        let (reloaded, report) = DatasetStore::open(&dir, &meta(2)).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(reloaded.record_count(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_reclaims_renumbers_and_keeps_stable_indices() {
+        let dir = tmp_dir("compact");
+        let mut store = DatasetStore::create(&dir, meta(2)).unwrap();
+        store.append_batch(0, &records(0..6)).unwrap();
+        // Skew the shards: kill three of shard 0's records (0, 2, 4).
+        for p in [0, 2, 4] {
+            store.tombstone(p).unwrap();
+        }
+        let report = store.compact().unwrap();
+        assert_eq!(report.live_records, 3);
+        assert_eq!(report.reclaimed_records, 3);
+        assert_eq!(report.shards_rewritten, 2);
+        assert!(report.bytes_after < report.bytes_before);
+        assert_eq!(report.generation, 1);
+
+        // Survivors 1, 3, 5 renumbered densely to 0, 1, 2 — order kept.
+        assert_eq!(store.record_count(), 3);
+        assert_eq!(store.records()[0], record(1));
+        assert_eq!(store.records()[1], record(3));
+        assert_eq!(store.records()[2], record(5));
+
+        // The owner's stable indices still resolve.
+        assert_eq!(store.stable_to_physical(0).unwrap(), None);
+        assert_eq!(store.stable_to_physical(1).unwrap(), Some(0));
+        assert_eq!(store.stable_to_physical(3).unwrap(), Some(1));
+        assert_eq!(store.stable_to_physical(5).unwrap(), Some(2));
+
+        // New appends allocate fresh stable indices past everything old.
+        store.append_batch(3, &records(10..11)).unwrap();
+        assert_eq!(store.stable_of_new_physical(3), 6);
+        assert_eq!(store.stable_to_physical(6).unwrap(), Some(3));
+        drop(store);
+
+        // All of it survives a reload — including the composed map.
+        let (reloaded, report) = DatasetStore::open(&dir, &meta(2)).unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(reloaded.record_count(), 4);
+        assert_eq!(reloaded.manifest().compactions, 1);
+        assert_eq!(reloaded.stable_to_physical(1).unwrap(), Some(0));
+        assert_eq!(reloaded.stable_to_physical(0).unwrap(), None);
+        assert_eq!(reloaded.stable_to_physical(6).unwrap(), Some(3));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn double_compaction_composes_the_index_map() {
+        let dir = tmp_dir("compact2");
+        let mut store = DatasetStore::create(&dir, meta(2)).unwrap();
+        store.append_batch(0, &records(0..4)).unwrap();
+        store.tombstone(1).unwrap();
+        store.compact().unwrap(); // stable 0,2,3 -> physical 0,1,2
+        store.append_batch(3, &records(100..102)).unwrap(); // stable 4,5
+        store.tombstone(0).unwrap(); // kills stable 0
+        store.compact().unwrap(); // stable 2,3,4,5 -> physical 0,1,2,3
+        assert_eq!(store.stable_to_physical(0).unwrap(), None);
+        assert_eq!(store.stable_to_physical(1).unwrap(), None);
+        assert_eq!(store.stable_to_physical(2).unwrap(), Some(0));
+        assert_eq!(store.stable_to_physical(3).unwrap(), Some(1));
+        assert_eq!(store.stable_to_physical(4).unwrap(), Some(2));
+        assert_eq!(store.stable_to_physical(5).unwrap(), Some(3));
+        assert_eq!(store.records()[0], record(2));
+        assert_eq!(store.records()[3], record(101));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dataset_name_validation() {
+        assert!(validate_dataset_name("hospital-beds_2024").is_ok());
+        for bad in ["", "../escape", "a b", "naïve", &"x".repeat(65)] {
+            assert!(
+                matches!(
+                    validate_dataset_name(bad),
+                    Err(StoreError::InvalidDatasetName { .. })
+                ),
+                "{bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn compaction_crash_before_manifest_commit_is_invisible() {
+        let dir = tmp_dir("crashwindow");
+        let mut store = DatasetStore::create(&dir, meta(2)).unwrap();
+        store.append_batch(0, &records(0..4)).unwrap();
+        store.tombstone(0).unwrap();
+        drop(store);
+
+        // Simulate a crash mid-compaction: generation-1 logs exist but the
+        // manifest still points at generation 0.
+        drop(ShardLog::create(&log_path(&dir, 0, 1), 0).unwrap());
+        drop(ShardLog::create(&log_path(&dir, 1, 1), 1).unwrap());
+
+        let (reloaded, report) = DatasetStore::open(&dir, &meta(2)).unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(reloaded.record_count(), 4);
+        assert_eq!(reloaded.manifest().generation, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,169 @@
+//! Typed errors for the durable shard store.
+//!
+//! The store follows the workspace's error philosophy (DESIGN.md): nothing
+//! read back from disk is trusted, and every malformed byte surfaces as a
+//! typed [`StoreError`] — never a panic, and never silently-wrong records.
+
+use core::fmt;
+
+/// Why a store operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// An operating-system I/O failure (open, read, write, sync, rename).
+    Io {
+        /// The file or directory the operation targeted.
+        path: String,
+        /// The failing operation, e.g. `"sync"` or `"rename"`.
+        operation: &'static str,
+        /// The OS error message.
+        message: String,
+    },
+    /// A log or manifest file contains bytes that decode to something
+    /// structurally impossible *before* the recoverable tail region: a
+    /// checksum mismatch mid-file, an entry index out of sequence, a record
+    /// with the wrong attribute count, a duplicate tombstone. Unlike a torn
+    /// tail (which recovery silently truncates), corruption in the durable
+    /// prefix means acknowledged data cannot be trusted, so the dataset
+    /// refuses to open.
+    Corrupt {
+        /// The offending file.
+        path: String,
+        /// Byte offset of the corrupt frame or field.
+        offset: u64,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The manifest disagrees with the deployment trying to open it
+    /// (wrong shard count, wrong attribute count, unsupported format
+    /// version, …). Field-by-field so operators can see which knob moved.
+    ManifestMismatch {
+        /// The manifest field that disagrees.
+        field: &'static str,
+        /// The value the opener expected.
+        expected: u64,
+        /// The value persisted in the manifest.
+        found: u64,
+    },
+    /// The manifest was written under a different Paillier key pair than
+    /// the one trying to open the dataset. Serving ciphertexts under the
+    /// wrong key would decrypt to garbage downstream, so this is fatal.
+    KeyMismatch {
+        /// Fingerprint of the key the opener holds.
+        expected: u64,
+        /// Fingerprint persisted in the manifest.
+        found: u64,
+    },
+    /// A dataset name is not usable as a directory name. Only
+    /// `[A-Za-z0-9_-]` names up to 64 bytes are accepted, so a dataset
+    /// name can never escape the store root or collide with the store's
+    /// own files.
+    InvalidDatasetName {
+        /// The rejected name.
+        name: String,
+    },
+    /// An internal consistency check failed (e.g. the caller's record count
+    /// disagrees with the log's). Indicates a wiring bug, not bad media.
+    Invariant {
+        /// What was violated.
+        message: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io {
+                path,
+                operation,
+                message,
+            } => write!(f, "i/o error during {operation} on {path}: {message}"),
+            StoreError::Corrupt {
+                path,
+                offset,
+                reason,
+            } => write!(f, "corrupt store file {path} at byte {offset}: {reason}"),
+            StoreError::ManifestMismatch {
+                field,
+                expected,
+                found,
+            } => write!(
+                f,
+                "manifest mismatch: {field} is {found} on disk but {expected} was expected"
+            ),
+            StoreError::KeyMismatch { expected, found } => write!(
+                f,
+                "dataset was persisted under key fingerprint {found:#018x}, \
+                 refusing to open under {expected:#018x}"
+            ),
+            StoreError::InvalidDatasetName { name } => write!(
+                f,
+                "dataset name {name:?} is not a valid store directory name \
+                 (use [A-Za-z0-9_-], at most 64 bytes)"
+            ),
+            StoreError::Invariant { message } => write!(f, "store invariant violated: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl StoreError {
+    pub(crate) fn io(path: &std::path::Path, operation: &'static str, e: &std::io::Error) -> Self {
+        StoreError::Io {
+            path: path.display().to_string(),
+            operation,
+            message: e.to_string(),
+        }
+    }
+
+    pub(crate) fn corrupt(path: &std::path::Path, offset: u64, reason: impl Into<String>) -> Self {
+        StoreError::Corrupt {
+            path: path.display().to_string(),
+            offset,
+            reason: reason.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    #[test]
+    fn display_names_the_failure() {
+        let e = StoreError::io(
+            Path::new("/tmp/x"),
+            "sync",
+            &std::io::Error::other("disk gone"),
+        );
+        assert!(e.to_string().contains("sync"));
+        assert!(e.to_string().contains("/tmp/x"));
+
+        let e = StoreError::corrupt(Path::new("shard-0.log"), 17, "bad checksum");
+        assert!(e.to_string().contains("byte 17"));
+
+        let e = StoreError::KeyMismatch {
+            expected: 1,
+            found: 2,
+        };
+        assert!(e.to_string().contains("refusing"));
+
+        let e = StoreError::ManifestMismatch {
+            field: "shards",
+            expected: 4,
+            found: 2,
+        };
+        assert!(e.to_string().contains("shards"));
+
+        let e = StoreError::InvalidDatasetName {
+            name: "../x".into(),
+        };
+        assert!(e.to_string().contains("../x"));
+
+        let e = StoreError::Invariant {
+            message: "count drift".into(),
+        };
+        assert!(e.to_string().contains("count drift"));
+    }
+}

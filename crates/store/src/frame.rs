@@ -1,0 +1,355 @@
+//! The on-disk entry format of a shard log: checksummed, length-prefixed
+//! frames, following the same codec discipline as the transport's wire
+//! format (`sknn_protocols::transport::wire`) — explicit big-endian
+//! integers, length-prefixed `BigUint`s, a hard payload bound, and typed
+//! decode outcomes so no byte sequence read back from disk can panic the
+//! reader.
+//!
+//! ```text
+//! entry := kind:u8 | index:u64 | len:u32 | payload[len] | crc:u32
+//! ```
+//!
+//! `crc` is CRC-32 (IEEE) over everything before it (`kind` through
+//! `payload`). An `Append` payload is the record's ciphertexts:
+//! `count:u32 | (len:u32 | be_bytes)*count`; a `Tombstone` payload is
+//! empty (the index in the header *is* the tombstone).
+
+use crate::crc::{crc32, Crc32};
+use sknn_bigint::BigUint;
+
+/// Hard bound on one entry's payload, mirroring the wire codec's frame
+/// bound: a length field beyond this can only be garbage, so the reader
+/// never allocates gigabytes on the say-so of a flipped bit.
+pub const MAX_ENTRY_PAYLOAD: usize = 64 * 1024 * 1024;
+
+/// Fixed bytes around every payload: kind (1) + index (8) + len (4) + crc (4).
+pub const ENTRY_OVERHEAD: usize = 17;
+
+const KIND_APPEND: u8 = 1;
+const KIND_TOMBSTONE: u8 = 2;
+
+/// One durable event in a shard's history.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LogEntry {
+    /// Record `index` (global physical index) was appended with these
+    /// attribute ciphertexts (raw Paillier residues).
+    Append {
+        /// The record's global physical index.
+        index: u64,
+        /// The record's attribute ciphertexts, in attribute order.
+        attrs: Vec<BigUint>,
+    },
+    /// Record `index` was tombstoned.
+    Tombstone {
+        /// The tombstoned record's global physical index.
+        index: u64,
+    },
+}
+
+impl LogEntry {
+    /// The global physical index this entry is about.
+    pub fn index(&self) -> u64 {
+        match self {
+            LogEntry::Append { index, .. } | LogEntry::Tombstone { index } => *index,
+        }
+    }
+
+    /// Serializes the entry (frame header, payload, checksum) into `buf`.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        let start = buf.len();
+        let (kind, index) = match self {
+            LogEntry::Append { index, .. } => (KIND_APPEND, *index),
+            LogEntry::Tombstone { index } => (KIND_TOMBSTONE, *index),
+        };
+        buf.push(kind);
+        buf.extend_from_slice(&index.to_be_bytes());
+        let len_at = buf.len();
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        if let LogEntry::Append { attrs, .. } = self {
+            buf.extend_from_slice(&(attrs.len() as u32).to_be_bytes());
+            for attr in attrs {
+                let bytes = attr.to_bytes_be();
+                buf.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+                buf.extend_from_slice(&bytes);
+            }
+        }
+        let payload_len = buf.len() - len_at - 4;
+        buf[len_at..len_at + 4].copy_from_slice(&(payload_len as u32).to_be_bytes());
+        let mut crc = Crc32::new();
+        crc.update(&buf[start..]);
+        buf.extend_from_slice(&crc.finish().to_be_bytes());
+    }
+
+    /// Serialized size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        let payload = match self {
+            LogEntry::Append { attrs, .. } => {
+                4 + attrs
+                    .iter()
+                    .map(|a| 4 + a.to_bytes_be().len())
+                    .sum::<usize>()
+            }
+            LogEntry::Tombstone { .. } => 0,
+        };
+        ENTRY_OVERHEAD + payload
+    }
+}
+
+/// The outcome of decoding one entry from the bytes at a log position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EntryDecode {
+    /// A complete, checksummed, well-formed entry occupying `consumed`
+    /// bytes.
+    Entry {
+        /// The decoded entry.
+        entry: LogEntry,
+        /// Bytes the frame occupied.
+        consumed: usize,
+    },
+    /// The remaining bytes cannot hold the frame they claim (mid-frame
+    /// end-of-file, or a length field pointing past it): the signature of
+    /// a write torn by a crash. Recovery truncates here.
+    Torn,
+    /// A complete frame whose checksum does not match its bytes
+    /// (`consumed` is the frame's full size). The caller decides: at the
+    /// very tail of the file this is a torn write (page-granular I/O can
+    /// persist a frame's length before its body) and is truncated; earlier
+    /// it means the durable prefix is corrupt.
+    BadCrc {
+        /// Bytes the frame occupies.
+        consumed: usize,
+    },
+    /// The checksum matches but the content is structurally impossible
+    /// (unknown kind, payload shape inconsistent with its length). This is
+    /// writer corruption, not a torn write — always fatal.
+    Malformed {
+        /// Bytes the frame occupies.
+        consumed: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+/// Decodes the entry starting at `bytes[0]`.
+pub fn decode_entry(bytes: &[u8]) -> EntryDecode {
+    if bytes.len() < ENTRY_OVERHEAD {
+        return EntryDecode::Torn;
+    }
+    let kind = bytes[0];
+    let index = u64::from_be_bytes(bytes[1..9].try_into().expect("slice of 8"));
+    let payload_len = u32::from_be_bytes(bytes[9..13].try_into().expect("slice of 4")) as usize;
+    if payload_len > MAX_ENTRY_PAYLOAD || bytes.len() < ENTRY_OVERHEAD + payload_len {
+        // Either the tail of the file ends mid-frame, or the length field
+        // itself is garbage pointing past everything we have. Both read as
+        // an incomplete frame from here on.
+        return EntryDecode::Torn;
+    }
+    let consumed = ENTRY_OVERHEAD + payload_len;
+    let stored_crc = u32::from_be_bytes(
+        bytes[consumed - 4..consumed]
+            .try_into()
+            .expect("slice of 4"),
+    );
+    if crc32(&bytes[..consumed - 4]) != stored_crc {
+        return EntryDecode::BadCrc { consumed };
+    }
+    let payload = &bytes[13..13 + payload_len];
+    match kind {
+        KIND_TOMBSTONE => {
+            if !payload.is_empty() {
+                return EntryDecode::Malformed {
+                    consumed,
+                    reason: format!("tombstone entry carries {} payload bytes", payload.len()),
+                };
+            }
+            EntryDecode::Entry {
+                entry: LogEntry::Tombstone { index },
+                consumed,
+            }
+        }
+        KIND_APPEND => match decode_append_payload(payload) {
+            Ok(attrs) => EntryDecode::Entry {
+                entry: LogEntry::Append { index, attrs },
+                consumed,
+            },
+            Err(reason) => EntryDecode::Malformed { consumed, reason },
+        },
+        other => EntryDecode::Malformed {
+            consumed,
+            reason: format!("unknown entry kind {other}"),
+        },
+    }
+}
+
+fn decode_append_payload(payload: &[u8]) -> Result<Vec<BigUint>, String> {
+    if payload.len() < 4 {
+        return Err("append payload shorter than its attribute count".to_string());
+    }
+    let count = u32::from_be_bytes(payload[..4].try_into().expect("slice of 4")) as usize;
+    let mut cursor = 4usize;
+    let mut attrs = Vec::with_capacity(count.min(1024));
+    for i in 0..count {
+        let Some(len_bytes) = payload.get(cursor..cursor + 4) else {
+            return Err(format!("attribute {i} length field runs past the payload"));
+        };
+        let len = u32::from_be_bytes(len_bytes.try_into().expect("slice of 4")) as usize;
+        cursor += 4;
+        let Some(value) = payload.get(cursor..cursor + len) else {
+            return Err(format!("attribute {i} value runs past the payload"));
+        };
+        attrs.push(BigUint::from_bytes_be(value));
+        cursor += len;
+    }
+    if cursor != payload.len() {
+        return Err(format!(
+            "{} trailing bytes after the last attribute",
+            payload.len() - cursor
+        ));
+    }
+    Ok(attrs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_append() -> LogEntry {
+        LogEntry::Append {
+            index: 42,
+            attrs: vec![
+                BigUint::from_u64(0xDEAD_BEEF),
+                BigUint::zero(),
+                BigUint::from_u64(7),
+            ],
+        }
+    }
+
+    #[test]
+    fn append_round_trips() {
+        let entry = sample_append();
+        let mut buf = Vec::new();
+        entry.encode_into(&mut buf);
+        assert_eq!(buf.len(), entry.encoded_len());
+        match decode_entry(&buf) {
+            EntryDecode::Entry {
+                entry: decoded,
+                consumed,
+            } => {
+                assert_eq!(decoded, entry);
+                assert_eq!(consumed, buf.len());
+            }
+            other => panic!("expected entry, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tombstone_round_trips() {
+        let entry = LogEntry::Tombstone { index: 9 };
+        let mut buf = Vec::new();
+        entry.encode_into(&mut buf);
+        assert_eq!(buf.len(), ENTRY_OVERHEAD);
+        assert_eq!(
+            decode_entry(&buf),
+            EntryDecode::Entry {
+                entry,
+                consumed: ENTRY_OVERHEAD
+            }
+        );
+    }
+
+    #[test]
+    fn truncated_frames_read_as_torn() {
+        let mut buf = Vec::new();
+        sample_append().encode_into(&mut buf);
+        for cut in [0, 1, ENTRY_OVERHEAD - 1, buf.len() - 1] {
+            assert_eq!(decode_entry(&buf[..cut]), EntryDecode::Torn, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn absurd_length_field_reads_as_torn() {
+        let mut buf = Vec::new();
+        sample_append().encode_into(&mut buf);
+        buf[9..13].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert_eq!(decode_entry(&buf), EntryDecode::Torn);
+    }
+
+    #[test]
+    fn bit_flips_are_bad_crc() {
+        let mut reference = Vec::new();
+        sample_append().encode_into(&mut reference);
+        // Flip one bit everywhere except the length field (which changes
+        // the frame's claimed extent rather than its checksum).
+        for byte in (0..reference.len()).filter(|b| !(9..13).contains(b)) {
+            let mut buf = reference.clone();
+            buf[byte] ^= 0x01;
+            match decode_entry(&buf) {
+                EntryDecode::BadCrc { consumed } => assert_eq!(consumed, reference.len()),
+                other => panic!("flip at {byte}: expected BadCrc, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn semantically_impossible_frames_are_malformed() {
+        // A tombstone with payload bytes, correctly checksummed.
+        let mut buf = vec![2u8];
+        buf.extend_from_slice(&3u64.to_be_bytes());
+        buf.extend_from_slice(&2u32.to_be_bytes());
+        buf.extend_from_slice(&[0xAA, 0xBB]);
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_be_bytes());
+        assert!(matches!(decode_entry(&buf), EntryDecode::Malformed { .. }));
+
+        // An unknown kind, correctly checksummed.
+        let mut buf = vec![9u8];
+        buf.extend_from_slice(&3u64.to_be_bytes());
+        buf.extend_from_slice(&0u32.to_be_bytes());
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_be_bytes());
+        assert!(matches!(
+            decode_entry(&buf),
+            EntryDecode::Malformed { reason, .. } if reason.contains("kind 9")
+        ));
+
+        // An append whose payload is internally inconsistent.
+        let mut buf = vec![1u8];
+        buf.extend_from_slice(&3u64.to_be_bytes());
+        buf.extend_from_slice(&4u32.to_be_bytes());
+        buf.extend_from_slice(&500u32.to_be_bytes()); // claims 500 attrs, none present
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_be_bytes());
+        assert!(matches!(decode_entry(&buf), EntryDecode::Malformed { .. }));
+    }
+
+    #[test]
+    fn consecutive_entries_decode_in_sequence() {
+        let entries = vec![
+            LogEntry::Append {
+                index: 0,
+                attrs: vec![BigUint::from_u64(1)],
+            },
+            LogEntry::Tombstone { index: 0 },
+            LogEntry::Append {
+                index: 3,
+                attrs: vec![BigUint::from_u64(2)],
+            },
+        ];
+        let mut buf = Vec::new();
+        for e in &entries {
+            e.encode_into(&mut buf);
+        }
+        let mut cursor = 0;
+        let mut decoded = Vec::new();
+        while cursor < buf.len() {
+            match decode_entry(&buf[cursor..]) {
+                EntryDecode::Entry { entry, consumed } => {
+                    decoded.push(entry);
+                    cursor += consumed;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(decoded, entries);
+    }
+}

@@ -1,0 +1,80 @@
+//! # sknn-store — the durable encrypted shard store
+//!
+//! C1's disk layer: per-shard append-only ciphertext logs with
+//! checksummed, length-prefixed frames, a per-dataset manifest that pins
+//! the deployment identity (Paillier key fingerprint, shard count,
+//! attribute count, value bound, distance bits), crash-safe recovery with
+//! torn-tail truncation, and compaction that reclaims tombstoned records
+//! while keeping the data owner's record indices stable.
+//!
+//! The crate deliberately knows nothing about Paillier or the SkNN
+//! protocols: records are opaque `Vec<BigUint>` ciphertext residues. The
+//! core crate converts to and from its `Ciphertext` wrapper at the
+//! boundary, and the manifest's key fingerprint (a 64-bit FNV-1a of the
+//! modulus bytes, [`key_fingerprint`]) is how a reload refuses to marry
+//! logs to the wrong key pair.
+//!
+//! ## Leakage
+//!
+//! Everything this crate persists — ciphertexts, record order, shard
+//! placement, tombstone positions, compaction history — is exactly the
+//! state C1 already holds in memory in the two-cloud model. Durability
+//! adds no new leakage beyond timing: the logs additionally reveal *when*
+//! records were appended or tombstoned relative to each other, which the
+//! in-memory protocol already reveals to C1 as it executes the updates.
+//!
+//! See `DESIGN.md` ("Durable storage & compaction") for the full on-disk
+//! format and the recovery invariants.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod crc;
+mod dataset;
+mod error;
+mod frame;
+mod log;
+mod manifest;
+
+pub use crc::{crc32, Crc32};
+pub use dataset::{
+    validate_dataset_name, CompactionReport, DatasetStore, RecoveryReport, MANIFEST_FILE,
+    PER_SHARD_OVERHEAD,
+};
+pub use error::StoreError;
+pub use frame::{decode_entry, EntryDecode, LogEntry, ENTRY_OVERHEAD, MAX_ENTRY_PAYLOAD};
+pub use log::{LoadedLog, ShardLog, LOG_HEADER_LEN};
+pub use manifest::{DatasetMeta, Manifest, DROPPED, MANIFEST_VERSION};
+
+/// 64-bit FNV-1a over a Paillier modulus's big-endian bytes — the
+/// fingerprint a dataset manifest pins so a reload under a different key
+/// pair fails fast with [`StoreError::KeyMismatch`] instead of serving
+/// ciphertexts that would decrypt to garbage.
+pub fn key_fingerprint(modulus_be: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in modulus_be {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_matches_the_fnv1a_reference_vectors() {
+        // Canonical FNV-1a 64 test vectors.
+        assert_eq!(key_fingerprint(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(key_fingerprint(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(key_fingerprint(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_nearby_moduli() {
+        let a = key_fingerprint(&[0x80, 0x00, 0x01]);
+        let b = key_fingerprint(&[0x80, 0x00, 0x02]);
+        assert_ne!(a, b);
+    }
+}

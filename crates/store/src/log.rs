@@ -1,0 +1,353 @@
+//! One shard's append-only log file.
+//!
+//! ```text
+//! file := magic[8] | shard:u32 | crc:u32 | entry*
+//! ```
+//!
+//! The fixed header pins the format revision (in the magic) and the shard
+//! id, checksummed so a log can never be silently attached to the wrong
+//! shard slot. Everything after it is a sequence of [`LogEntry`] frames.
+//!
+//! # Recovery policy
+//!
+//! Reading back distinguishes two failure classes, mirroring the
+//! transport's "malformed input is a typed error, never a panic" rule:
+//!
+//! * **Torn tail** — the file ends mid-frame, or the final complete frame
+//!   fails its checksum (page-granular I/O can persist a frame's length
+//!   before its body). This is the expected signature of a crash during an
+//!   unacknowledged write; the clean prefix before it is returned and the
+//!   tail is reported as dropped.
+//! * **Corruption** — a frame *before* the tail fails its checksum, or a
+//!   checksummed frame decodes to something structurally impossible. The
+//!   durable prefix itself cannot be trusted, so the log refuses to load
+//!   with [`StoreError::Corrupt`].
+
+use crate::crc::crc32;
+use crate::error::StoreError;
+use crate::frame::{decode_entry, EntryDecode, LogEntry};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic + format revision of the shard-log container.
+const LOG_MAGIC: &[u8; 8] = b"SKNNLOG1";
+
+/// Header bytes before the first entry: magic (8) + shard (4) + crc (4).
+pub const LOG_HEADER_LEN: u64 = 16;
+
+/// An open shard log, positioned for appends.
+#[derive(Debug)]
+pub struct ShardLog {
+    path: PathBuf,
+    file: File,
+    /// Current file length in bytes (header included).
+    len: u64,
+}
+
+/// What [`ShardLog::open`] salvaged from disk.
+#[derive(Debug)]
+pub struct LoadedLog {
+    /// The open log, truncated to its clean prefix.
+    pub log: ShardLog,
+    /// The entries of the clean prefix, in file order.
+    pub entries: Vec<LogEntry>,
+    /// Bytes dropped from the tail by torn-write recovery (0 on a clean
+    /// shutdown).
+    pub dropped_tail_bytes: u64,
+}
+
+fn header_bytes(shard: u32) -> [u8; LOG_HEADER_LEN as usize] {
+    let mut header = [0u8; LOG_HEADER_LEN as usize];
+    header[..8].copy_from_slice(LOG_MAGIC);
+    header[8..12].copy_from_slice(&shard.to_be_bytes());
+    let crc = crc32(&header[..12]);
+    header[12..16].copy_from_slice(&crc.to_be_bytes());
+    header
+}
+
+impl ShardLog {
+    /// Creates a fresh log for `shard` at `path` (truncating any previous
+    /// file), writes the header and syncs it to disk.
+    pub fn create(path: &Path, shard: u32) -> Result<ShardLog, StoreError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| StoreError::io(path, "create", &e))?;
+        file.write_all(&header_bytes(shard))
+            .map_err(|e| StoreError::io(path, "write header", &e))?;
+        file.sync_all()
+            .map_err(|e| StoreError::io(path, "sync", &e))?;
+        Ok(ShardLog {
+            path: path.to_path_buf(),
+            file,
+            len: LOG_HEADER_LEN,
+        })
+    }
+
+    /// Opens an existing log for `shard`, salvaging its clean prefix per
+    /// the module-level recovery policy. The file is truncated to that
+    /// prefix so subsequent appends extend a consistent log.
+    pub fn open(path: &Path, shard: u32) -> Result<LoadedLog, StoreError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| StoreError::io(path, "open", &e))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)
+            .map_err(|e| StoreError::io(path, "read", &e))?;
+
+        if bytes.len() < LOG_HEADER_LEN as usize {
+            // A crash during creation can leave a partial header; there can
+            // be no acknowledged data in such a file, so start it over.
+            let log = ShardLog::create(path, shard)?;
+            let dropped = bytes.len() as u64;
+            return Ok(LoadedLog {
+                log,
+                entries: Vec::new(),
+                dropped_tail_bytes: dropped,
+            });
+        }
+        let expected = header_bytes(shard);
+        if bytes[..LOG_HEADER_LEN as usize] != expected {
+            return Err(StoreError::corrupt(
+                path,
+                0,
+                "log header does not match this shard (wrong magic, shard id or header checksum)",
+            ));
+        }
+
+        let mut entries = Vec::new();
+        let mut cursor = LOG_HEADER_LEN as usize;
+        let mut clean_end = cursor;
+        let mut dropped_tail_bytes = 0u64;
+        while cursor < bytes.len() {
+            match decode_entry(&bytes[cursor..]) {
+                EntryDecode::Entry { entry, consumed } => {
+                    entries.push(entry);
+                    cursor += consumed;
+                    clean_end = cursor;
+                }
+                EntryDecode::Torn => {
+                    dropped_tail_bytes = (bytes.len() - clean_end) as u64;
+                    break;
+                }
+                EntryDecode::BadCrc { consumed } => {
+                    if cursor + consumed >= bytes.len() {
+                        // Final frame: a torn write, not corruption.
+                        dropped_tail_bytes = (bytes.len() - clean_end) as u64;
+                        break;
+                    }
+                    return Err(StoreError::corrupt(
+                        path,
+                        cursor as u64,
+                        "entry checksum mismatch in the durable prefix",
+                    ));
+                }
+                EntryDecode::Malformed { reason, .. } => {
+                    return Err(StoreError::corrupt(path, cursor as u64, reason));
+                }
+            }
+        }
+
+        if dropped_tail_bytes > 0 {
+            file.set_len(clean_end as u64)
+                .map_err(|e| StoreError::io(path, "truncate", &e))?;
+            file.sync_all()
+                .map_err(|e| StoreError::io(path, "sync", &e))?;
+        }
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| StoreError::io(path, "seek", &e))?;
+        Ok(LoadedLog {
+            log: ShardLog {
+                path: path.to_path_buf(),
+                file,
+                len: clean_end as u64,
+            },
+            entries,
+            dropped_tail_bytes,
+        })
+    }
+
+    /// Current file length in bytes (header included).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the log holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == LOG_HEADER_LEN
+    }
+
+    /// The log's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends already-encoded entry bytes (no sync — see
+    /// [`ShardLog::sync`]).
+    pub fn append_bytes(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+        self.file
+            .write_all(bytes)
+            .map_err(|e| StoreError::io(&self.path, "append", &e))?;
+        self.len += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Forces everything written so far onto stable storage.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.file
+            .sync_all()
+            .map_err(|e| StoreError::io(&self.path, "sync", &e))
+    }
+
+    /// Rolls the file back to `len` bytes — the write-ahead batch rollback
+    /// path: a batch that failed partway is erased so it was never visible
+    /// and never durable.
+    pub fn truncate_to(&mut self, len: u64) -> Result<(), StoreError> {
+        self.file
+            .set_len(len)
+            .map_err(|e| StoreError::io(&self.path, "truncate", &e))?;
+        self.file
+            .seek(SeekFrom::End(0))
+            .map_err(|e| StoreError::io(&self.path, "seek", &e))?;
+        self.len = len;
+        self.file
+            .sync_all()
+            .map_err(|e| StoreError::io(&self.path, "sync", &e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sknn_bigint::BigUint;
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "sknn-store-log-{}-{}-{}.log",
+            std::process::id(),
+            tag,
+            n
+        ))
+    }
+
+    fn entry(i: u64) -> LogEntry {
+        LogEntry::Append {
+            index: i,
+            attrs: vec![BigUint::from_u64(1000 + i)],
+        }
+    }
+
+    fn write_entries(log: &mut ShardLog, entries: &[LogEntry]) {
+        let mut buf = Vec::new();
+        for e in entries {
+            e.encode_into(&mut buf);
+        }
+        log.append_bytes(&buf).unwrap();
+        log.sync().unwrap();
+    }
+
+    #[test]
+    fn create_write_reopen_round_trip() {
+        let path = tmp_path("roundtrip");
+        let mut log = ShardLog::create(&path, 3).unwrap();
+        let entries = vec![entry(3), LogEntry::Tombstone { index: 3 }, entry(7)];
+        write_entries(&mut log, &entries);
+        drop(log);
+
+        let loaded = ShardLog::open(&path, 3).unwrap();
+        assert_eq!(loaded.entries, entries);
+        assert_eq!(loaded.dropped_tail_bytes, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn wrong_shard_id_refuses_to_open() {
+        let path = tmp_path("wrongshard");
+        drop(ShardLog::create(&path, 1).unwrap());
+        assert!(matches!(
+            ShardLog::open(&path, 2),
+            Err(StoreError::Corrupt { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_to_the_clean_prefix() {
+        let path = tmp_path("torn");
+        let mut log = ShardLog::create(&path, 0).unwrap();
+        write_entries(&mut log, &[entry(0), entry(1)]);
+        let full = log.len();
+        drop(log);
+
+        // Cut the file mid-way through the final entry.
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(full - 3).unwrap();
+        drop(f);
+
+        let loaded = ShardLog::open(&path, 0).unwrap();
+        assert_eq!(loaded.entries, vec![entry(0)]);
+        assert!(loaded.dropped_tail_bytes > 0);
+        // The file itself was truncated: a second open is clean.
+        let again = ShardLog::open(&path, 0).unwrap();
+        assert_eq!(again.entries, vec![entry(0)]);
+        assert_eq!(again.dropped_tail_bytes, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mid_file_bit_flip_is_a_typed_corruption_error() {
+        let path = tmp_path("flip");
+        let mut log = ShardLog::create(&path, 0).unwrap();
+        write_entries(&mut log, &[entry(0), entry(1), entry(2)]);
+        drop(log);
+
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a payload bit inside the first entry (safely past its
+        // length field).
+        let target = LOG_HEADER_LEN as usize + 15;
+        bytes[target] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        assert!(matches!(
+            ShardLog::open(&path, 0),
+            Err(StoreError::Corrupt { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn partial_header_restarts_the_log() {
+        let path = tmp_path("partialheader");
+        std::fs::write(&path, [0x53, 0x4B]).unwrap();
+        let loaded = ShardLog::open(&path, 5).unwrap();
+        assert!(loaded.entries.is_empty());
+        assert_eq!(loaded.dropped_tail_bytes, 2);
+        assert!(loaded.log.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncate_to_rolls_back_unsynced_batches() {
+        let path = tmp_path("rollback");
+        let mut log = ShardLog::create(&path, 0).unwrap();
+        write_entries(&mut log, &[entry(0)]);
+        let checkpoint = log.len();
+        let mut buf = Vec::new();
+        entry(1).encode_into(&mut buf);
+        log.append_bytes(&buf).unwrap();
+        log.truncate_to(checkpoint).unwrap();
+        assert_eq!(log.len(), checkpoint);
+        drop(log);
+        let loaded = ShardLog::open(&path, 0).unwrap();
+        assert_eq!(loaded.entries, vec![entry(0)]);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

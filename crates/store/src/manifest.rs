@@ -1,0 +1,391 @@
+//! The per-dataset manifest: the small, atomically-replaced file that says
+//! what the shard logs *mean*.
+//!
+//! ```text
+//! file := magic[8] | body | crc:u32
+//! body := version:u32 | key_fingerprint:u64 | shards:u32 | attributes:u32
+//!       | value_bound:u64 | distance_bits:u32 | generation:u64
+//!       | compactions:u64 | stable_base:u64 | physical_base:u64
+//!       | index_map[stable_base]:u64
+//! ```
+//!
+//! Everything is big-endian, matching the wire codec. The manifest is the
+//! **commit point** for every multi-file transition (creation, compaction):
+//! it is written to a temporary file, synced, then renamed over the old
+//! manifest — readers see either the old state or the new state, never a
+//! mix, because log files are only referenced through the `generation`
+//! recorded here and a new generation's logs are fully written and synced
+//! *before* the rename.
+//!
+//! The owner-facing **stable index map** also lives here: `index_map[s]`
+//! is the physical index of stable record `s` for `s < stable_base`
+//! (`u64::MAX` once the record has been tombstoned and compacted away);
+//! stable indices at or past `stable_base` were allocated after the last
+//! compaction and map linearly onto physical indices at or past
+//! `physical_base`, so ordinary appends never rewrite the manifest.
+
+use crate::crc::crc32;
+use crate::error::StoreError;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MANIFEST_MAGIC: &[u8; 8] = b"SKNNMAN1";
+
+/// The manifest format revision this crate reads and writes.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// Physical-index sentinel for "tombstoned and reclaimed by compaction".
+pub const DROPPED: u64 = u64::MAX;
+
+/// The deployment-identity half of the manifest: the parameters a dataset
+/// was persisted under, all of which must match before a reload is allowed
+/// to serve records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DatasetMeta {
+    /// FNV-1a fingerprint of the Paillier modulus `N` (see
+    /// [`crate::key_fingerprint`]).
+    pub key_fingerprint: u64,
+    /// Number of round-robin shards the records are partitioned into.
+    pub shards: u32,
+    /// Attributes per record (`m`).
+    pub attributes: u32,
+    /// The per-attribute value bound registration derived `l` from.
+    pub value_bound: u64,
+    /// The distance-domain bit length (`l`) secure queries default to.
+    pub distance_bits: u32,
+}
+
+/// The full persisted manifest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Manifest {
+    /// Deployment identity (key fingerprint, sharding, query domain).
+    pub meta: DatasetMeta,
+    /// Log-file generation the manifest commits to (bumped by compaction).
+    pub generation: u64,
+    /// How many compactions this dataset has been through.
+    pub compactions: u64,
+    /// Stable indices below this are resolved through
+    /// [`Manifest::index_map`]; at or above it they map linearly onto
+    /// physicals starting at [`Manifest::physical_base`].
+    pub stable_base: u64,
+    /// Physical index the linear region starts at (the live record count
+    /// at the last compaction; 0 before any compaction).
+    pub physical_base: u64,
+    /// `index_map[s]` = physical index of stable record `s < stable_base`,
+    /// or [`DROPPED`].
+    pub index_map: Vec<u64>,
+}
+
+impl Manifest {
+    /// A fresh manifest for a newly created dataset: generation 0, an
+    /// empty map (every stable index is linear).
+    pub fn new(meta: DatasetMeta) -> Self {
+        Manifest {
+            meta,
+            generation: 0,
+            compactions: 0,
+            stable_base: 0,
+            physical_base: 0,
+            index_map: Vec::new(),
+        }
+    }
+
+    /// The number of stable (owner-visible) indices ever allocated, given
+    /// the current physical record count.
+    pub fn stable_count(&self, physical_records: u64) -> u64 {
+        self.stable_base + physical_records.saturating_sub(self.physical_base)
+    }
+
+    /// Resolves the owner's stable index `s` to the current physical
+    /// index: `Ok(Some(p))` for a present record, `Ok(None)` for one
+    /// reclaimed by compaction, `Err` for an index never allocated.
+    pub fn stable_to_physical(
+        &self,
+        s: u64,
+        physical_records: u64,
+    ) -> Result<Option<u64>, StoreError> {
+        if s < self.stable_base {
+            let p = self.index_map[s as usize];
+            return Ok(if p == DROPPED { None } else { Some(p) });
+        }
+        if s < self.stable_count(physical_records) {
+            return Ok(Some(self.physical_base + (s - self.stable_base)));
+        }
+        Err(StoreError::Invariant {
+            message: format!(
+                "stable index {s} was never allocated (only {} exist)",
+                self.stable_count(physical_records)
+            ),
+        })
+    }
+
+    /// The stable index of a physical record appended after the last
+    /// compaction (physical indices below `physical_base` are only
+    /// reachable through the map).
+    pub fn stable_of_new_physical(&self, p: u64) -> u64 {
+        debug_assert!(p >= self.physical_base);
+        self.stable_base + (p - self.physical_base)
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64 + self.index_map.len() * 8 + 12);
+        buf.extend_from_slice(MANIFEST_MAGIC);
+        buf.extend_from_slice(&MANIFEST_VERSION.to_be_bytes());
+        buf.extend_from_slice(&self.meta.key_fingerprint.to_be_bytes());
+        buf.extend_from_slice(&self.meta.shards.to_be_bytes());
+        buf.extend_from_slice(&self.meta.attributes.to_be_bytes());
+        buf.extend_from_slice(&self.meta.value_bound.to_be_bytes());
+        buf.extend_from_slice(&self.meta.distance_bits.to_be_bytes());
+        buf.extend_from_slice(&self.generation.to_be_bytes());
+        buf.extend_from_slice(&self.compactions.to_be_bytes());
+        buf.extend_from_slice(&self.stable_base.to_be_bytes());
+        buf.extend_from_slice(&self.physical_base.to_be_bytes());
+        debug_assert_eq!(self.index_map.len() as u64, self.stable_base);
+        for &p in &self.index_map {
+            buf.extend_from_slice(&p.to_be_bytes());
+        }
+        let crc = crc32(&buf[8..]);
+        buf.extend_from_slice(&crc.to_be_bytes());
+        buf
+    }
+
+    fn decode(path: &Path, bytes: &[u8]) -> Result<Manifest, StoreError> {
+        if bytes.len() < 8 || &bytes[..8] != MANIFEST_MAGIC {
+            return Err(StoreError::corrupt(path, 0, "not a manifest (bad magic)"));
+        }
+        if bytes.len() < 8 + 4 {
+            return Err(StoreError::corrupt(path, 8, "manifest truncated"));
+        }
+        let stored_crc =
+            u32::from_be_bytes(bytes[bytes.len() - 4..].try_into().expect("slice of 4"));
+        if crc32(&bytes[8..bytes.len() - 4]) != stored_crc {
+            return Err(StoreError::corrupt(path, 8, "manifest checksum mismatch"));
+        }
+        let mut cursor = Cursor {
+            bytes: &bytes[..bytes.len() - 4],
+            at: 8,
+            path,
+        };
+        let version = cursor.u32()?;
+        if version != MANIFEST_VERSION {
+            return Err(StoreError::ManifestMismatch {
+                field: "format version",
+                expected: u64::from(MANIFEST_VERSION),
+                found: u64::from(version),
+            });
+        }
+        let key_fingerprint = cursor.u64()?;
+        let shards = cursor.u32()?;
+        let attributes = cursor.u32()?;
+        let value_bound = cursor.u64()?;
+        let distance_bits = cursor.u32()?;
+        let generation = cursor.u64()?;
+        let compactions = cursor.u64()?;
+        let stable_base = cursor.u64()?;
+        let physical_base = cursor.u64()?;
+        let remaining = cursor.bytes.len() - cursor.at;
+        if remaining as u64 != stable_base.saturating_mul(8) {
+            return Err(StoreError::corrupt(
+                path,
+                cursor.at as u64,
+                format!(
+                    "index map holds {} bytes but stable_base {stable_base} needs {}",
+                    remaining,
+                    stable_base.saturating_mul(8)
+                ),
+            ));
+        }
+        let mut index_map = Vec::with_capacity(stable_base as usize);
+        for _ in 0..stable_base {
+            index_map.push(cursor.u64()?);
+        }
+        if shards == 0 {
+            return Err(StoreError::corrupt(path, 0, "manifest claims zero shards"));
+        }
+        Ok(Manifest {
+            meta: DatasetMeta {
+                key_fingerprint,
+                shards,
+                attributes,
+                value_bound,
+                distance_bits,
+            },
+            generation,
+            compactions,
+            stable_base,
+            physical_base,
+            index_map,
+        })
+    }
+
+    /// Loads and verifies the manifest at `path`.
+    pub fn load(path: &Path) -> Result<Manifest, StoreError> {
+        let mut file = File::open(path).map_err(|e| StoreError::io(path, "open", &e))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)
+            .map_err(|e| StoreError::io(path, "read", &e))?;
+        Manifest::decode(path, &bytes)
+    }
+
+    /// Atomically replaces the manifest at `path`: writes to
+    /// `<path>.tmp`, syncs, renames over `path`, then syncs the parent
+    /// directory so the rename itself is durable.
+    pub fn store(&self, path: &Path) -> Result<(), StoreError> {
+        let tmp = path.with_extension("tmp");
+        {
+            let mut file = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp)
+                .map_err(|e| StoreError::io(&tmp, "create", &e))?;
+            file.write_all(&self.encode())
+                .map_err(|e| StoreError::io(&tmp, "write", &e))?;
+            file.sync_all()
+                .map_err(|e| StoreError::io(&tmp, "sync", &e))?;
+        }
+        std::fs::rename(&tmp, path).map_err(|e| StoreError::io(path, "rename", &e))?;
+        if let Some(dir) = path.parent() {
+            // Persist the rename in the directory itself; best-effort on
+            // platforms where directories cannot be opened as files.
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+    path: &'a Path,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], StoreError> {
+        let Some(slice) = self.bytes.get(self.at..self.at + n) else {
+            return Err(StoreError::corrupt(
+                self.path,
+                self.at as u64,
+                "manifest field runs past the file",
+            ));
+        };
+        self.at += n;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_be_bytes(
+            self.take(4)?.try_into().expect("slice of 4"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_be_bytes(
+            self.take(8)?.try_into().expect("slice of 8"),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "sknn-store-manifest-{}-{}-{}",
+            std::process::id(),
+            tag,
+            n
+        ))
+    }
+
+    fn meta() -> DatasetMeta {
+        DatasetMeta {
+            key_fingerprint: 0xFEED_FACE_CAFE_BEEF,
+            shards: 4,
+            attributes: 6,
+            value_bound: 200,
+            distance_bits: 17,
+        }
+    }
+
+    #[test]
+    fn round_trips_through_disk() {
+        let path = tmp_path("roundtrip");
+        let manifest = Manifest {
+            meta: meta(),
+            generation: 3,
+            compactions: 2,
+            stable_base: 5,
+            physical_base: 3,
+            index_map: vec![0, DROPPED, 1, DROPPED, 2],
+        };
+        manifest.store(&path).unwrap();
+        assert_eq!(Manifest::load(&path).unwrap(), manifest);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_is_a_typed_error() {
+        let path = tmp_path("flip");
+        Manifest::new(meta()).store(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[20] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            Manifest::load(&path),
+            Err(StoreError::Corrupt { .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unknown_version_is_a_manifest_mismatch() {
+        let path = tmp_path("version");
+        Manifest::new(meta()).store(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Bump the version field and re-checksum so only the version is
+        // "wrong".
+        bytes[8..12].copy_from_slice(&99u32.to_be_bytes());
+        let body_end = bytes.len() - 4;
+        let crc = crate::crc::crc32(&bytes[8..body_end]);
+        bytes[body_end..].copy_from_slice(&crc.to_be_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            Manifest::load(&path),
+            Err(StoreError::ManifestMismatch {
+                field: "format version",
+                ..
+            })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stable_index_resolution() {
+        let manifest = Manifest {
+            meta: meta(),
+            generation: 1,
+            compactions: 1,
+            stable_base: 4,
+            physical_base: 2,
+            index_map: vec![0, DROPPED, 1, DROPPED],
+        };
+        // 6 physical records: 2 survivors + 4 appended after compaction.
+        assert_eq!(manifest.stable_count(6), 8);
+        assert_eq!(manifest.stable_to_physical(0, 6).unwrap(), Some(0));
+        assert_eq!(manifest.stable_to_physical(1, 6).unwrap(), None);
+        assert_eq!(manifest.stable_to_physical(2, 6).unwrap(), Some(1));
+        assert_eq!(manifest.stable_to_physical(4, 6).unwrap(), Some(2));
+        assert_eq!(manifest.stable_to_physical(7, 6).unwrap(), Some(5));
+        assert!(manifest.stable_to_physical(8, 6).is_err());
+        assert_eq!(manifest.stable_of_new_physical(2), 4);
+        assert_eq!(manifest.stable_of_new_physical(5), 7);
+    }
+}

@@ -273,15 +273,16 @@ pub use sknn_core as core;
 pub use sknn_data as data;
 pub use sknn_paillier as paillier;
 pub use sknn_protocols as protocols;
+pub use sknn_store as store;
 
 // The most commonly used types, flattened for convenience.
 pub use sknn_core::{
     plain_knn, plain_knn_records, squared_euclidean_distance, AccessPatternAudit, CloudC1,
-    DataOwner, Dataset, DatasetOptions, Federation, FederationConfig, InvalidQueryReason,
-    KeyHolder, LocalKeyHolder, OpCounters, ParallelismConfig, PoolActivity, PreparedQuery,
-    Protocol, QueryBuilder, QueryOutcome, QueryProfile, QueryResult, QueryUser, RetryPolicy,
-    RetryReport, SessionSet, ShardRetry, ShardView, ShardingConfig, SknnEngine, SknnError, Stage,
-    Table, TransportKind, UpdateRejected,
+    CompactionReport, DataOwner, Dataset, DatasetOptions, DurableUpdateError, Federation,
+    FederationConfig, InvalidQueryReason, KeyHolder, LocalKeyHolder, OpCounters, ParallelismConfig,
+    PoolActivity, PreparedQuery, Protocol, QueryBuilder, QueryOutcome, QueryProfile, QueryResult,
+    QueryUser, RecoveryReport, RetryPolicy, RetryReport, SessionSet, ShardRetry, ShardView,
+    ShardingConfig, SknnEngine, SknnError, Stage, StoreError, Table, TransportKind, UpdateRejected,
 };
 pub use sknn_paillier::{
     Ciphertext, Keypair, PoolConfig, PoolStats, PooledEncryptor, PrivateKey, PublicKey,
