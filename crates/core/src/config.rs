@@ -24,12 +24,28 @@ pub enum TransportKind {
     /// ([`sknn_protocols::transport::TcpTransport`]); the key-holder server
     /// runs in a background thread of this process.
     Tcp,
+    /// The in-process frame channel, multiplexed through the async reactor
+    /// ([`sknn_protocols::transport::Reactor`]): one readiness-driven event
+    /// loop services every session, with per-connection in-flight windows
+    /// and backpressure. Same wire bytes as [`TransportKind::Channel`].
+    AsyncChannel,
+    /// Loopback TCP multiplexed through the async reactor: non-blocking
+    /// sockets, one epoll thread for all sessions, per-connection
+    /// backpressure. Same wire bytes as [`TransportKind::Tcp`], but C1's
+    /// demux cost is O(1) threads instead of one per session.
+    AsyncTcp,
 }
 
 impl TransportKind {
     /// Whether this transport reports [`crate::QueryResult::comm`] traffic.
     pub fn has_accounting(&self) -> bool {
         !matches!(self, TransportKind::InProcess)
+    }
+
+    /// Whether this transport multiplexes its sessions through the shared
+    /// async reactor instead of one blocking demux thread per session.
+    pub fn is_async(&self) -> bool {
+        matches!(self, TransportKind::AsyncChannel | TransportKind::AsyncTcp)
     }
 }
 
@@ -174,6 +190,23 @@ pub struct FederationConfig {
     /// all of it — requests wait forever and the first failure is final —
     /// reproducing the pre-resilience behavior exactly.
     pub retry: RetryPolicy,
+    /// Per-connection in-flight window of the async transports (clamped to
+    /// ≥ 1): how many requests one session keeps on the wire before new
+    /// submissions start queueing. Ignored by the blocking transports,
+    /// whose pipelining is unbounded.
+    pub inflight_window: usize,
+    /// Per-connection overflow queue of the async transports: submissions
+    /// beyond the window wait here (their deadline clock already running).
+    /// When the queue is also full, submitters block briefly and then fail
+    /// with a typed `Overloaded` error instead of hanging.
+    pub inflight_queue: usize,
+    /// Per-query admission control: how many queries may run concurrently
+    /// per engine before `run_batch` callers wait at the gate. `0` (the
+    /// default) disables the gate entirely. With async transports this
+    /// bounds the work entering the reactor so the backpressure ladder
+    /// (window → queue → `Overloaded`) is reached by bursts, not by a
+    /// steady-state workload.
+    pub admission: usize,
     /// Root directory of C1's durable shard store (`sknn-store`). `None`
     /// (the default) keeps every dataset purely in-memory — the paper's
     /// model and the pre-storage behavior, byte for byte. When set (or when
@@ -199,6 +232,9 @@ impl Default for FederationConfig {
             packing_blind_bits: 40,
             sharding: ShardingConfig::default(),
             retry: RetryPolicy::none(),
+            inflight_window: 64,
+            inflight_queue: 256,
+            admission: 0,
             store_root: None,
         }
     }
@@ -234,6 +270,9 @@ mod tests {
         assert_eq!(c.sharding.sessions, 1);
         assert_eq!(c.retry, RetryPolicy::none());
         assert!(!c.retry.is_enabled(), "resilience is opt-in");
+        assert_eq!(c.inflight_window, 64);
+        assert_eq!(c.inflight_queue, 256);
+        assert_eq!(c.admission, 0, "admission control is opt-in");
         assert!(c.store_root.is_none(), "durability is opt-in");
     }
 
@@ -251,5 +290,11 @@ mod tests {
         assert!(!TransportKind::InProcess.has_accounting());
         assert!(TransportKind::Channel.has_accounting());
         assert!(TransportKind::Tcp.has_accounting());
+        assert!(TransportKind::AsyncChannel.has_accounting());
+        assert!(TransportKind::AsyncTcp.has_accounting());
+        assert!(!TransportKind::Channel.is_async());
+        assert!(!TransportKind::Tcp.is_async());
+        assert!(TransportKind::AsyncChannel.is_async());
+        assert!(TransportKind::AsyncTcp.is_async());
     }
 }

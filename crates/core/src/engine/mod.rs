@@ -44,7 +44,7 @@ pub use builder::{PreparedQuery, Protocol, QueryBuilder};
 use crate::config::{FederationConfig, PackingKind, SecureQueryParams, TransportKind};
 use crate::error::DurableUpdateError;
 use crate::exec::{classify_session_failure, SessionSet};
-use crate::parallel::ParallelismConfig;
+use crate::parallel::{Admission, ParallelismConfig};
 use crate::profile::PoolActivity;
 use crate::retry::RetryReport;
 use crate::roles::{CloudC1, DataOwner, QueryUser};
@@ -57,7 +57,8 @@ use sknn_paillier::{
 };
 use sknn_protocols::stats::CommSnapshot;
 use sknn_protocols::transport::{
-    serve, CoalesceConfig, SessionHealth, SessionKeyHolder, SessionPool, TcpTransport,
+    serve, BackpressureConfig, CoalesceConfig, Reactor, SessionHealth, SessionKeyHolder,
+    SessionPool, TcpTransport,
 };
 use sknn_protocols::{KeyHolder, LocalKeyHolder, PackedParams};
 use sknn_store::{
@@ -251,6 +252,9 @@ pub struct SknnEngine {
     /// [`SknnEngine::open_dir`].
     recovery: BTreeMap<String, RecoveryReport>,
     parallelism: ParallelismConfig,
+    /// The per-engine query admission gate; `None` when
+    /// [`FederationConfig::admission`] is 0 (the default).
+    admission: Option<Admission>,
     config: FederationConfig,
 }
 
@@ -391,6 +395,67 @@ impl SknnEngine {
                     SessionPool::from_parts(clients, servers).map_err(SknnError::Protocol)?,
                 )
             }
+            TransportKind::AsyncChannel | TransportKind::AsyncTcp => {
+                // One reactor thread multiplexes every session; the C2
+                // server side stays blocking (serve() and its worker pool
+                // are unchanged), so async-vs-blocking equivalence compares
+                // only the C1 demux strategy.
+                let backpressure = BackpressureConfig {
+                    window: config.inflight_window,
+                    queue: config.inflight_queue,
+                    ..BackpressureConfig::default()
+                };
+                let reactor = Reactor::new().map_err(|e| transport_setup_error(&e.to_string()))?;
+                let mut clients = Vec::with_capacity(sessions);
+                let mut servers = Vec::with_capacity(sessions);
+                for i in 0..sessions {
+                    let holder = holder_for(i);
+                    let conn = if config.transport == TransportKind::AsyncChannel {
+                        let (conn, server_end) = reactor
+                            .channel_pair(backpressure, None)
+                            .map_err(|e| transport_setup_error(&e.to_string()))?;
+                        let server = std::thread::Builder::new()
+                            .name(format!("sknn-c2-achan-{i}"))
+                            .spawn(move || serve(&server_end, &holder, workers))
+                            .map_err(|e| transport_setup_error(&e.to_string()))?;
+                        servers.push(server);
+                        conn
+                    } else {
+                        let listener = TcpListener::bind("127.0.0.1:0")
+                            .map_err(|e| transport_setup_error(&e.to_string()))?;
+                        let addr = listener
+                            .local_addr()
+                            .map_err(|e| transport_setup_error(&e.to_string()))?;
+                        let server = std::thread::Builder::new()
+                            .name(format!("sknn-c2-atcp-{i}"))
+                            .spawn(move || {
+                                let server_end = TcpTransport::accept(&listener)?;
+                                serve(&server_end, &holder, workers)
+                            })
+                            .map_err(|e| transport_setup_error(&e.to_string()))?;
+                        servers.push(server);
+                        reactor
+                            .dial_tcp(&addr.to_string(), backpressure)
+                            .map_err(|e| {
+                                // Same leak-avoidance as the blocking Tcp
+                                // arm: unblock the pending accept() so the
+                                // server thread exits.
+                                let _ = std::net::TcpStream::connect(addr);
+                                transport_setup_error(&e.to_string())
+                            })?
+                    };
+                    clients.push(SessionKeyHolder::connect_async(
+                        public_key.clone(),
+                        conn,
+                        coalesce,
+                    ));
+                }
+                C2Handle::Pool(
+                    SessionPool::from_parts(clients, servers)
+                        .map_err(SknnError::Protocol)?
+                        .with_reactor(reactor),
+                )
+            }
         };
         // The per-request deadline is the liveness half of the retry
         // policy: without it a dropped frame parks a worker forever and no
@@ -410,6 +475,7 @@ impl SknnEngine {
             parallelism: ParallelismConfig {
                 threads: config.threads.max(1),
             },
+            admission: (config.admission > 0).then(|| Admission::new(config.admission)),
             config,
         })
     }
@@ -464,6 +530,7 @@ impl SknnEngine {
             parallelism: ParallelismConfig {
                 threads: config.threads.max(1),
             },
+            admission: (config.admission > 0).then(|| Admission::new(config.admission)),
             config,
         })
     }
@@ -1071,6 +1138,12 @@ impl SknnEngine {
         parallelism: ParallelismConfig,
         rng: &mut R,
     ) -> Result<QueryOutcome, SknnError> {
+        // Admission control (opt-in): every query path — run, run_batch,
+        // the Federation facade — funnels through here, so one gate bounds
+        // the engine's aggregate concurrency. The permit is held for the
+        // whole query, including its scatter fan-out, and returns on every
+        // exit path (it is an RAII guard).
+        let _admission = self.admission.as_ref().map(|gate| gate.acquire());
         let dataset = self
             .dataset(query.dataset())
             .ok_or_else(|| SknnError::UnknownDataset {

@@ -41,6 +41,61 @@ impl ParallelismConfig {
     }
 }
 
+/// A counting admission gate bounding how many queries run concurrently
+/// per engine (see [`crate::FederationConfig::admission`]).
+///
+/// The async transports already shed *per-connection* overload through the
+/// backpressure ladder (window → queue → typed `Overloaded`); this gate
+/// bounds the *aggregate* work entering the reactor, so a steady-state
+/// workload queues at the front door instead of tripping the per-session
+/// ladder. Callers block in [`Admission::acquire`] until a permit frees —
+/// admission is flow control, not failure, so there is no typed-error
+/// timeout here: a parked query is making scheduling progress, unlike a
+/// request wedged behind a dead peer.
+///
+/// Built on `std::sync` because the workspace `parking_lot` shim carries no
+/// `Condvar`; poisoning is ignored with the repo-wide
+/// `unwrap_or_else(|e| e.into_inner())` idiom.
+pub(crate) struct Admission {
+    permits: std::sync::Mutex<usize>,
+    freed: std::sync::Condvar,
+}
+
+impl Admission {
+    /// A gate with `limit` concurrent permits (clamped to ≥ 1; a limit of
+    /// zero is expressed by not constructing a gate at all).
+    pub(crate) fn new(limit: usize) -> Admission {
+        Admission {
+            permits: std::sync::Mutex::new(limit.max(1)),
+            freed: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks until a permit is available and takes it. The permit returns
+    /// to the gate when the guard drops, panic or not.
+    pub(crate) fn acquire(&self) -> AdmissionPermit<'_> {
+        let mut permits = self.permits.lock().unwrap_or_else(|e| e.into_inner());
+        while *permits == 0 {
+            permits = self.freed.wait(permits).unwrap_or_else(|e| e.into_inner());
+        }
+        *permits -= 1;
+        AdmissionPermit { gate: self }
+    }
+}
+
+/// RAII permit from [`Admission::acquire`].
+pub(crate) struct AdmissionPermit<'a> {
+    gate: &'a Admission,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        let mut permits = self.gate.permits.lock().unwrap_or_else(|e| e.into_inner());
+        *permits += 1;
+        self.gate.freed.notify_one();
+    }
+}
+
 /// Maps `f` over `items`, preserving order, using up to `threads` scoped
 /// worker threads. With `threads <= 1` the map runs on the calling thread.
 ///
@@ -130,6 +185,37 @@ mod tests {
         let empty: Vec<u32> = vec![];
         assert!(parallel_map(8, &empty, |_, &x| x).is_empty());
         assert_eq!(parallel_map(8, &[41u32], |_, &x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn admission_bounds_concurrency_and_releases_on_drop() {
+        let gate = std::sync::Arc::new(Admission::new(2));
+        let peak = std::sync::Arc::new(AtomicUsize::new(0));
+        let live = std::sync::Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let (gate, peak, live) = (gate.clone(), peak.clone(), live.clone());
+            handles.push(std::thread::spawn(move || {
+                let _permit = gate.acquire();
+                let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                live.fetch_sub(1, Ordering::SeqCst);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 2, "gate admitted too many");
+        // All permits returned: two more acquires succeed without blocking.
+        let _a = gate.acquire();
+        let _b = gate.acquire();
+    }
+
+    #[test]
+    fn admission_zero_limit_clamps_to_one() {
+        let gate = Admission::new(0);
+        let _permit = gate.acquire();
     }
 
     #[test]

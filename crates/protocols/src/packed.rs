@@ -176,9 +176,14 @@ pub fn packed_squared_distances<K: KeyHolder + ?Sized, R: RngCore + ?Sized>(
             .collect();
         let packed_masks = layout.pack(&masks).map_err(ProtocolError::from)?;
         let e_masks = match enc {
-            Some(enc) => enc
-                .encrypt(&packed_masks)
-                .expect("packed masks stay below the layout capacity < N"),
+            Some(enc) => enc.encrypt(&packed_masks).map_err(|e| {
+                // The masks were packed by the layout above, so they are
+                // below N by construction; a refusal here is a broken
+                // invariant, not a caller mistake.
+                ProtocolError::Invariant {
+                    message: format!("pooled encryption rejected a packed mask: {e}"),
+                }
+            })?,
             None => pk.encrypt(&packed_masks, rng),
         };
         requests.push(pk.add(&pack_ciphertexts(pk, layout, &diffs), &e_masks));
@@ -211,7 +216,9 @@ pub fn packed_squared_distances<K: KeyHolder + ?Sized, R: RngCore + ?Sized>(
                 None => term,
             });
         }
-        let cross = cross.expect("at least one record per group");
+        let cross = cross.ok_or_else(|| ProtocolError::Invariant {
+            message: "packed distance group has no records".to_string(),
+        })?;
         let mask_squares: Vec<BigUint> = masks.iter().map(|r| r.mul_ref(r)).collect();
         let packed_mask_squares = layout
             .pack_wide(&mask_squares)
@@ -293,9 +300,13 @@ pub fn packed_bit_decompose<K: KeyHolder + ?Sized, R: RngCore + ?Sized>(
             let rs: Vec<BigUint> = (0..count).map(|_| random_bits(rng, stride - 1)).collect();
             let packed_masks = layout.pack_wide(&rs).map_err(ProtocolError::from)?;
             let e_masks = match enc {
-                Some(enc) => enc
-                    .encrypt(&packed_masks)
-                    .expect("packed masks stay below the layout capacity < N"),
+                Some(enc) => enc.encrypt(&packed_masks).map_err(|e| {
+                    // Same invariant as the distance path: a layout-packed
+                    // mask is below N by construction.
+                    ProtocolError::Invariant {
+                        message: format!("pooled encryption rejected a packed mask: {e}"),
+                    }
+                })?,
                 None => pk.encrypt(&packed_masks, rng),
             };
             masked.push(pk.add(x, &e_masks));
@@ -318,7 +329,9 @@ pub fn packed_bit_decompose<K: KeyHolder + ?Sized, R: RngCore + ?Sized>(
             let mut parity_iter = parities.iter();
             for rs in &masks {
                 for r in rs {
-                    let beta = parity_iter.next().expect("length checked above");
+                    let beta = parity_iter.next().ok_or_else(|| ProtocolError::Invariant {
+                        message: "parity stream shorter than the mask count".to_string(),
+                    })?;
                     round_bits.push(if r.is_even() {
                         beta.clone()
                     } else {

@@ -139,6 +139,11 @@ impl FaultPlan {
     pub fn strike_at(&self) -> u64 {
         self.at
     }
+
+    /// How long a [`FaultKind::Delay`] strike holds the frame.
+    pub fn delay(&self) -> Duration {
+        self.delay
+    }
 }
 
 /// A [`Transport`] wrapper that applies one [`FaultPlan`] to the outbound

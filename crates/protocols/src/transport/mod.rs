@@ -30,6 +30,7 @@ pub mod wire;
 mod channel;
 mod fault;
 mod pool;
+mod reactor;
 mod server;
 mod session;
 mod tcp;
@@ -37,6 +38,7 @@ mod tcp;
 pub use channel::{channel_pair, ChannelTransport};
 pub use fault::{FaultInjectTransport, FaultKind, FaultPlan};
 pub use pool::{Reconnector, SessionHealth, SessionPool};
+pub use reactor::{AsyncChannelServer, AsyncConn, BackpressureConfig, Reactor};
 pub use server::{serve, serve_with_features};
 pub use session::{CoalesceConfig, SessionFailure, SessionKeyHolder};
 pub use tcp::TcpTransport;

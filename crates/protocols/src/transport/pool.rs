@@ -25,6 +25,7 @@
 //!   and deterministic jitter — that can replace a dead session in place,
 //!   re-running feature negotiation on the fresh connection.
 
+use super::reactor::{BackpressureConfig, Reactor};
 use super::session::{CoalesceConfig, SessionKeyHolder};
 use super::tcp::TcpTransport;
 use super::wire::TransportError;
@@ -92,6 +93,11 @@ pub struct SessionPool {
     retries: AtomicU64,
     reconnects: AtomicU64,
     failovers: AtomicU64,
+    /// The event loop servicing this pool's async sessions, if any. Owned
+    /// here so [`Drop`] can stop and join it after hanging up the sessions:
+    /// the `sknn-reactor` thread obeys the same no-thread-outlives-the-pool
+    /// contract as the demux and server threads.
+    reactor: Option<Reactor>,
 }
 
 /// How long [`Drop`] waits for server threads to finish after every client
@@ -117,7 +123,17 @@ impl SessionPool {
             retries: AtomicU64::new(0),
             reconnects: AtomicU64::new(0),
             failovers: AtomicU64::new(0),
+            reactor: None,
         }
+    }
+
+    /// Hands the pool ownership of the reactor its async sessions run on;
+    /// [`Drop`] will shut it down (and join its thread) after the sessions
+    /// hang up.
+    #[must_use]
+    pub fn with_reactor(mut self, reactor: Reactor) -> SessionPool {
+        self.reactor = Some(reactor);
+        self
     }
 
     /// Stands up `sessions` in-process key-holder servers — holder `i`
@@ -285,6 +301,13 @@ impl Drop for SessionPool {
         // embedder's Drop forever — the tradeoff a session that died
         // mid-request forces.
         self.sessions.clear();
+        // With the clients gone the reactor has no live connections left;
+        // stopping it joins the `sknn-reactor` thread (and fails any
+        // connection a leaked clone might still hold), keeping the pool's
+        // zero-leaked-threads guarantee under the async backends.
+        if let Some(reactor) = self.reactor.take() {
+            reactor.shutdown();
+        }
         let deadline = Instant::now() + DRAIN_DEADLINE;
         for handle in self.servers.drain(..) {
             loop {
@@ -345,6 +368,25 @@ impl Reconnector {
                 Arc::new(transport),
                 coalesce,
             ))
+        }))
+    }
+
+    /// A reconnector that redials `addr` and registers the fresh socket
+    /// with the shared `reactor` — the async-backend counterpart of
+    /// [`Reconnector::tcp`]. The dialer holds a reactor handle, so a
+    /// re-pinned shard's replacement session lands on the same event loop
+    /// as every other connection.
+    pub fn async_tcp(
+        reactor: Reactor,
+        addr: impl Into<String>,
+        pk: PublicKey,
+        coalesce: CoalesceConfig,
+        backpressure: BackpressureConfig,
+    ) -> Reconnector {
+        let addr = addr.into();
+        Reconnector::new(Box::new(move || {
+            let conn = reactor.dial_tcp(addr.as_str(), backpressure)?;
+            Ok(SessionKeyHolder::connect_async(pk.clone(), conn, coalesce))
         }))
     }
 

@@ -19,6 +19,7 @@
 //!   holder is stateless across batch boundaries — so coalescing is purely a
 //!   round-trip optimization.
 
+use super::reactor::AsyncConn;
 use super::server::serve;
 use super::wire::{
     Frame, FrameKind, Request, Response, TransportError, WireError, FEATURE_VERSION,
@@ -75,10 +76,12 @@ impl Default for CoalesceConfig {
     }
 }
 
-type PendingSender = mpsc::Sender<Result<Response, TransportError>>;
+pub(super) type PendingSender = mpsc::Sender<Result<Response, TransportError>>;
 
-/// Correlation-id → waiting caller map, shared with the demux thread.
-struct PendingMap {
+/// Correlation-id → waiting caller map, shared with whichever component
+/// routes responses: the per-connection demux thread (blocking backends) or
+/// the process-wide reactor (async backends).
+pub(super) struct PendingMap {
     state: Mutex<PendingState>,
 }
 
@@ -89,7 +92,7 @@ struct PendingState {
 }
 
 impl PendingMap {
-    fn new() -> Arc<PendingMap> {
+    pub(super) fn new() -> Arc<PendingMap> {
         Arc::new(PendingMap {
             state: Mutex::new(PendingState {
                 waiters: HashMap::new(),
@@ -98,7 +101,7 @@ impl PendingMap {
         })
     }
 
-    fn register(&self, id: u64, tx: PendingSender) -> Result<(), TransportError> {
+    pub(super) fn register(&self, id: u64, tx: PendingSender) -> Result<(), TransportError> {
         let mut state = self.state.lock();
         if let Some(err) = &state.dead {
             return Err(err.clone());
@@ -107,11 +110,11 @@ impl PendingMap {
         Ok(())
     }
 
-    fn forget(&self, id: u64) {
+    pub(super) fn forget(&self, id: u64) {
         self.state.lock().waiters.remove(&id);
     }
 
-    fn complete(&self, id: u64, result: Result<Response, TransportError>) {
+    pub(super) fn complete(&self, id: u64, result: Result<Response, TransportError>) {
         let waiter = self.state.lock().waiters.remove(&id);
         if let Some(tx) = waiter {
             // The caller may have given up; a dead receiver is fine.
@@ -119,7 +122,7 @@ impl PendingMap {
         }
     }
 
-    fn fail_all(&self, err: TransportError) {
+    pub(super) fn fail_all(&self, err: TransportError) {
         let mut state = self.state.lock();
         state.dead = Some(err.clone());
         for (_, tx) in state.waiters.drain() {
@@ -128,9 +131,32 @@ impl PendingMap {
     }
 }
 
-/// The connection state shared by callers and the demux thread.
+/// How a session reaches its peer: a blocking [`Transport`] with a
+/// dedicated demux thread, or a reactor-serviced async connection.
+enum Link {
+    Blocking(Arc<dyn Transport>),
+    Async(AsyncConn),
+}
+
+impl Link {
+    fn stats(&self) -> Arc<CommStats> {
+        match self {
+            Link::Blocking(transport) => transport.stats(),
+            Link::Async(conn) => conn.stats(),
+        }
+    }
+
+    fn close(&self) {
+        match self {
+            Link::Blocking(transport) => transport.close(),
+            Link::Async(conn) => conn.close(),
+        }
+    }
+}
+
+/// The connection state shared by callers and the response router.
 struct SessionCore {
-    transport: Arc<dyn Transport>,
+    link: Link,
     next_id: AtomicU64,
     pending: Arc<PendingMap>,
     /// Per-request deadline in milliseconds; `0` means wait forever (the
@@ -151,11 +177,29 @@ impl SessionCore {
         let (tx, rx) = mpsc::channel();
         self.pending.register(id, tx)?;
         let frame = Frame::request(id, request.encode());
-        if let Err(e) = self.transport.send_frame(&frame) {
+        let deadline_ms = self.deadline_ms.load(Ordering::Relaxed);
+        let transport = match &self.link {
+            Link::Blocking(transport) => transport,
+            Link::Async(conn) => {
+                if let Err(e) = conn.submit(&frame, deadline_ms) {
+                    self.pending.forget(id);
+                    return Err(e);
+                }
+                // The reactor's timer wheel enforces the deadline (and
+                // drops the straggler by correlation id); the completion
+                // slot is always eventually completed — by a response, the
+                // deadline timer, or connection teardown — so a plain
+                // blocking receive cannot hang.
+                return match rx.recv() {
+                    Ok(result) => result,
+                    Err(_) => Err(TransportError::Closed),
+                };
+            }
+        };
+        if let Err(e) = transport.send_frame(&frame) {
             self.pending.forget(id);
             return Err(e);
         }
-        let deadline_ms = self.deadline_ms.load(Ordering::Relaxed);
         if deadline_ms == 0 {
             return match rx.recv() {
                 Ok(result) => result,
@@ -352,16 +396,16 @@ fn negotiate_features(core: &SessionCore) -> u8 {
 /// common bootstrap of every session constructor.
 fn bootstrap(transport: Arc<dyn Transport>) -> (Arc<SessionCore>, JoinHandle<()>) {
     let core = Arc::new(SessionCore {
-        transport,
+        link: Link::Blocking(Arc::clone(&transport)),
         next_id: AtomicU64::new(1),
         pending: PendingMap::new(),
         deadline_ms: AtomicU64::new(0),
     });
     let demux = {
-        let core = Arc::clone(&core);
+        let pending = Arc::clone(&core.pending);
         std::thread::Builder::new()
             .name("sknn-session-demux".into())
-            .spawn(move || demux_loop(core.transport.as_ref(), &core.pending))
+            .spawn(move || demux_loop(transport.as_ref(), &pending))
             // sknn-lint: allow(panic-free, "thread spawn fails only on OS resource exhaustion; connect has no error channel")
             .expect("spawn demux thread")
     };
@@ -372,14 +416,14 @@ impl SessionKeyHolder {
     fn assemble(
         pk: PublicKey,
         core: Arc<SessionCore>,
-        demux: JoinHandle<()>,
+        demux: Option<JoinHandle<()>>,
         coalesce: CoalesceConfig,
         features: u8,
     ) -> SessionKeyHolder {
         SessionKeyHolder {
             pk,
             core,
-            demux: Mutex::new(Some(demux)),
+            demux: Mutex::new(demux),
             coalesce,
             sm_lane: CoalesceLane::new(),
             lsb_lane: CoalesceLane::new(),
@@ -396,7 +440,27 @@ impl SessionKeyHolder {
     ) -> SessionKeyHolder {
         let (core, demux) = bootstrap(transport);
         let features = negotiate_features(&core);
-        SessionKeyHolder::assemble(pk, core, demux, coalesce, features)
+        SessionKeyHolder::assemble(pk, core, Some(demux), coalesce, features)
+    }
+
+    /// Attaches to a reactor-serviced async connection with a locally known
+    /// public key. No demux thread is spawned: the shared reactor routes
+    /// responses into this session's completion slots, so a pool of N async
+    /// sessions costs O(1) event-loop threads instead of N demux threads.
+    /// The synchronous [`KeyHolder`] surface is unchanged.
+    pub fn connect_async(
+        pk: PublicKey,
+        conn: AsyncConn,
+        coalesce: CoalesceConfig,
+    ) -> SessionKeyHolder {
+        let core = Arc::new(SessionCore {
+            pending: conn.pending(),
+            link: Link::Async(conn),
+            next_id: AtomicU64::new(1),
+            deadline_ms: AtomicU64::new(0),
+        });
+        let features = negotiate_features(&core);
+        SessionKeyHolder::assemble(pk, core, None, coalesce, features)
     }
 
     /// Attaches to `transport` and fetches the public key from the server
@@ -412,20 +476,24 @@ impl SessionKeyHolder {
         let pk = match core.round_trip(&Request::PublicKey) {
             Ok(Response::PublicKey(n)) => PublicKey::from_n(n),
             Ok(other) => {
-                core.transport.close();
+                core.link.close();
                 return Err(TransportError::ResponseMismatch {
                     expected: "PublicKey",
                     got: other.name(),
                 });
             }
             Err(e) => {
-                core.transport.close();
+                core.link.close();
                 return Err(e);
             }
         };
         let features = negotiate_features(&core);
         Ok(SessionKeyHolder::assemble(
-            pk, core, demux, coalesce, features,
+            pk,
+            core,
+            Some(demux),
+            coalesce,
+            features,
         ))
     }
 
@@ -451,7 +519,7 @@ impl SessionKeyHolder {
 
     /// Traffic counters of the underlying transport (this endpoint's view).
     pub fn stats(&self) -> Arc<CommStats> {
-        self.core.transport.stats()
+        self.core.link.stats()
     }
 
     /// The coalescing policy this session was built with.
@@ -469,7 +537,7 @@ impl SessionKeyHolder {
     /// [`TransportError::Closed`], and the peer's serving loop exits — the
     /// supervisor-side way to retire a session that is being replaced.
     pub fn close(&self) {
-        self.core.transport.close();
+        self.core.link.close();
     }
 
     /// Sets (or clears, with `None`) the per-request deadline. With a
@@ -552,9 +620,14 @@ impl SessionKeyHolder {
 /// Does this error mean the peer replied (i.e. it is alive), as opposed to
 /// the connection being dead or the peer silent past its deadline?
 fn peer_answered(e: &TransportError) -> bool {
+    // `Overloaded` is a local backpressure verdict — the request never
+    // reached the wire, so it proves nothing about the peer.
     !matches!(
         e,
-        TransportError::Closed | TransportError::Io(_) | TransportError::Timeout { .. }
+        TransportError::Closed
+            | TransportError::Io(_)
+            | TransportError::Timeout { .. }
+            | TransportError::Overloaded { .. }
     )
 }
 
@@ -597,7 +670,7 @@ fn unwrap_or_die<T>(operation: &'static str, result: Result<T, TransportError>) 
 
 impl Drop for SessionKeyHolder {
     fn drop(&mut self) {
-        self.core.transport.close();
+        self.core.link.close();
         if let Some(handle) = self.demux.lock().take() {
             let _ = handle.join();
         }

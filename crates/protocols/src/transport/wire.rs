@@ -144,6 +144,16 @@ pub enum TransportError {
         /// The deadline that elapsed, in milliseconds.
         after_ms: u64,
     },
+    /// The connection's in-flight window and submit queue were both full
+    /// and no slot freed up within the backpressure blocking budget — the
+    /// async transport's typed "slow down" signal. The connection itself is
+    /// healthy; the caller submitted faster than the peer drains.
+    Overloaded {
+        /// Requests in flight on the wire when the submission gave up.
+        inflight: usize,
+        /// Requests queued behind the window when the submission gave up.
+        queued: usize,
+    },
     /// The peer reported an error it could not express as a typed
     /// [`ProtocolError`].
     Remote {
@@ -193,6 +203,10 @@ impl fmt::Display for TransportError {
             TransportError::Timeout { after_ms } => {
                 write!(f, "request timed out after {after_ms} ms")
             }
+            TransportError::Overloaded { inflight, queued } => write!(
+                f,
+                "connection overloaded: {inflight} requests in flight, {queued} queued"
+            ),
             TransportError::Remote { code, message } => {
                 write!(f, "peer reported error (code {code}): {message}")
             }

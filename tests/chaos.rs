@@ -16,8 +16,8 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sknn::protocols::transport::{
-    channel_pair, serve, CoalesceConfig, FaultInjectTransport, FaultKind, FaultPlan,
-    SessionKeyHolder, SessionPool, TcpTransport, Transport,
+    channel_pair, serve, BackpressureConfig, CoalesceConfig, FaultInjectTransport, FaultKind,
+    FaultPlan, Reactor, SessionKeyHolder, SessionPool, TcpTransport, Transport,
 };
 use sknn::{
     plain_knn_records, DataOwner, FederationConfig, LocalKeyHolder, PoolConfig, Protocol,
@@ -57,10 +57,52 @@ fn table() -> Table {
 const QUERY: [u64; 2] = [3, 3];
 const MAX_VALUE: u64 = 22;
 
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Wire {
     Channel,
     Tcp,
+    /// The in-process channel multiplexed through the async reactor.
+    AsyncChannel,
+    /// Loopback TCP multiplexed through the async reactor.
+    AsyncTcp,
+}
+
+impl Wire {
+    const ALL: [Wire; 4] = [Wire::Channel, Wire::Tcp, Wire::AsyncChannel, Wire::AsyncTcp];
+
+    fn is_async(self) -> bool {
+        matches!(self, Wire::AsyncChannel | Wire::AsyncTcp)
+    }
+}
+
+/// The wires the matrix tests run over, narrowed by the `SKNN_WIRE_FILTER`
+/// environment variable (CI uses it to split blocking and async backends
+/// into separate jobs). Comma-separated tokens, case-insensitive: a wire
+/// name (`channel`, `tcp`, `asyncchannel`, `asynctcp`) or the groups
+/// `blocking` / `async`. Unset or empty runs everything.
+fn wires() -> Vec<Wire> {
+    let filter = std::env::var("SKNN_WIRE_FILTER").unwrap_or_default();
+    if filter.trim().is_empty() {
+        return Wire::ALL.to_vec();
+    }
+    let tokens: Vec<String> = filter
+        .split(',')
+        .map(|t| t.trim().to_ascii_lowercase())
+        .filter(|t| !t.is_empty())
+        .collect();
+    let selected: Vec<Wire> = Wire::ALL
+        .into_iter()
+        .filter(|w| {
+            let name = format!("{w:?}").to_ascii_lowercase();
+            let group = if w.is_async() { "async" } else { "blocking" };
+            tokens.iter().any(|t| t == &name || t == group)
+        })
+        .collect();
+    assert!(
+        !selected.is_empty(),
+        "SKNN_WIRE_FILTER={filter:?} matches no wire"
+    );
+    selected
 }
 
 /// The suite's policy: enough attempts to absorb any single fault, a short
@@ -88,8 +130,53 @@ fn build_engine(
     let owner = owner();
     let mut clients = Vec::new();
     let mut servers = Vec::new();
+    // Async wires share one reactor; fault plans are installed on the
+    // reactor connection itself (the reactor owns the wire end the blocking
+    // backends would wrap in a FaultInjectTransport).
+    let reactor = wire.is_async().then(|| Reactor::new().expect("reactor"));
+    let backpressure = BackpressureConfig::default();
     for (i, plan) in plans.iter().enumerate() {
         let holder = LocalKeyHolder::new(owner.private_key().clone(), 9_000 + i as u64);
+        if let Some(reactor) = &reactor {
+            let conn = match wire {
+                Wire::AsyncChannel => {
+                    let (conn, server_end) = reactor
+                        .channel_pair(backpressure, *plan)
+                        .expect("channel pair");
+                    servers.push(
+                        std::thread::Builder::new()
+                            .name(format!("chaos-c2-achan-{i}"))
+                            .spawn(move || serve(&server_end, &holder, 2))
+                            .expect("spawn chaos async server"),
+                    );
+                    conn
+                }
+                Wire::AsyncTcp => {
+                    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+                    let addr = listener.local_addr().expect("local addr");
+                    servers.push(
+                        std::thread::Builder::new()
+                            .name(format!("chaos-c2-atcp-{i}"))
+                            .spawn(move || {
+                                let server_end = TcpTransport::accept(&listener)?;
+                                serve(&server_end, &holder, 2)
+                            })
+                            .expect("spawn chaos async tcp server"),
+                    );
+                    let stream = std::net::TcpStream::connect(addr).expect("connect");
+                    reactor
+                        .connect_tcp(stream, backpressure, *plan)
+                        .expect("register with reactor")
+                }
+                Wire::Channel | Wire::Tcp => unreachable!("blocking wire with a reactor"),
+            };
+            clients.push(SessionKeyHolder::connect_async(
+                owner.public_key().clone(),
+                conn,
+                CoalesceConfig::disabled(),
+            ));
+            continue;
+        }
         let raw: Arc<dyn Transport> = match wire {
             Wire::Channel => {
                 let (client_end, server_end) = channel_pair();
@@ -115,6 +202,7 @@ fn build_engine(
                 );
                 Arc::new(TcpTransport::connect(addr).expect("connect"))
             }
+            Wire::AsyncChannel | Wire::AsyncTcp => unreachable!("async wire without a reactor"),
         };
         let transport: Arc<dyn Transport> = match plan {
             Some(p) => Arc::new(FaultInjectTransport::new(raw, *p)),
@@ -126,13 +214,18 @@ fn build_engine(
             CoalesceConfig::disabled(),
         ));
     }
-    let pool = SessionPool::from_parts(clients, servers).expect("assemble pool");
+    let mut pool = SessionPool::from_parts(clients, servers).expect("assemble pool");
+    if let Some(reactor) = reactor {
+        pool = pool.with_reactor(reactor);
+    }
     let config = FederationConfig {
         key_bits: 96,
         max_query_value: MAX_VALUE,
         transport: match wire {
             Wire::Channel => TransportKind::Channel,
             Wire::Tcp => TransportKind::Tcp,
+            Wire::AsyncChannel => TransportKind::AsyncChannel,
+            Wire::AsyncTcp => TransportKind::AsyncTcp,
         },
         threads: 2,
         sharding: ShardingConfig {
@@ -200,7 +293,7 @@ fn fault_matrix_recovers_or_errors_typed() {
     let _guard = lock();
     let expected = plain_knn_records(&table(), &QUERY, 2);
     let baseline = thread_count();
-    for wire in [Wire::Channel, Wire::Tcp] {
+    for wire in wires() {
         for protocol in [Protocol::Basic, Protocol::Secure] {
             for shards in [1usize, 4] {
                 for kind in FaultKind::ALL {
@@ -408,4 +501,94 @@ fn clean_run_reports_clean() {
     assert!(outcome.retries.is_clean(), "{:?}", outcome.retries);
     let comm = engine.comm_stats().expect("accounting");
     assert_eq!((comm.retries, comm.reconnects, comm.failovers), (0, 0, 0));
+}
+
+/// Failover on the async backend: two reactor-multiplexed sessions, one
+/// severed mid-query. The shard re-pinning and retry machinery must work
+/// unchanged over the reactor — and dropping the engine must reap the
+/// reactor thread along with the servers (zero leaked threads).
+#[test]
+fn async_sever_fails_over_and_leaks_no_threads() {
+    let _guard = lock();
+    let mut rng = StdRng::seed_from_u64(0xA51C);
+    let baseline = thread_count();
+    for wire in [Wire::AsyncChannel, Wire::AsyncTcp] {
+        let engine = build_engine(
+            wire,
+            4,
+            &[None, Some(FaultPlan::sever_at(2))],
+            policy(),
+            &mut rng,
+        );
+        let outcome = engine
+            .query("t")
+            .k(2)
+            .point(&QUERY)
+            .protocol(Protocol::Basic)
+            .run(&mut rng)
+            .unwrap_or_else(|e| panic!("{wire:?}: query must survive the sever: {e}"));
+        assert_eq!(
+            outcome.result,
+            plain_knn_records(&table(), &QUERY, 2),
+            "{wire:?}"
+        );
+        assert!(
+            !outcome.retries.failed_over_shards().is_empty(),
+            "{wire:?}: no failover recorded: {:?}",
+            outcome.retries
+        );
+        drop(engine);
+    }
+    assert_threads_return_to(baseline);
+}
+
+/// A full engine stood up purely through [`FederationConfig::transport`]
+/// (no hand-built pool): the `AsyncTcp` arm in the engine itself must
+/// produce correct answers and reap every thread — servers, workers and
+/// the reactor — on drop.
+#[test]
+fn engine_configured_async_tcp_round_trips_and_reaps() {
+    let _guard = lock();
+    let mut rng = StdRng::seed_from_u64(0xE2E1);
+    let baseline = thread_count();
+    for transport in [TransportKind::AsyncChannel, TransportKind::AsyncTcp] {
+        let mut engine = SknnEngine::setup_with_owner(
+            owner(),
+            FederationConfig {
+                key_bits: 96,
+                max_query_value: MAX_VALUE,
+                transport,
+                threads: 2,
+                sharding: ShardingConfig {
+                    shards: 2,
+                    sessions: 2,
+                },
+                pool: PoolConfig {
+                    capacity: 0,
+                    ..Default::default()
+                },
+                pool_prewarm: 0,
+                ..Default::default()
+            },
+        )
+        .expect("async engine");
+        engine
+            .register_dataset("t", &table(), &mut rng)
+            .expect("register");
+        let outcome = engine
+            .query("t")
+            .k(2)
+            .point(&QUERY)
+            .protocol(Protocol::Basic)
+            .run(&mut rng)
+            .expect("query");
+        assert_eq!(
+            outcome.result,
+            plain_knn_records(&table(), &QUERY, 2),
+            "{transport:?}"
+        );
+        assert!(outcome.comm.is_some(), "{transport:?} must account traffic");
+        drop(engine);
+    }
+    assert_threads_return_to(baseline);
 }
